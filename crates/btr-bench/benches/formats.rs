@@ -1,0 +1,117 @@
+//! Criterion end-to-end benchmarks: block compression/decompression per
+//! scheme, and whole-relation encode/decode per storage format — the
+//! steady-state numbers behind Figures 4 and 8.
+
+use btr_bench::formats::Format;
+use btr_lz::Codec;
+use btrblocks::block::{compress_block, compress_block_with, decompress_block, BlockRef};
+use btrblocks::{ColumnType, Config, SchemeCode};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+const ROWS: usize = 64_000;
+
+fn block_schemes(c: &mut Criterion) {
+    let cfg = Config::default();
+    let runs: Vec<i32> = (0..ROWS as i32).map(|i| i / 500).collect();
+    let prices: Vec<f64> = (0..ROWS).map(|i| ((i * 13) % 9_000) as f64 * 0.01).collect();
+
+    let mut group = c.benchmark_group("block_decompress");
+    group.throughput(Throughput::Bytes((ROWS * 4) as u64));
+    let rle = compress_block_with(SchemeCode::Rle, BlockRef::Int(&runs), &cfg);
+    group.bench_function("int_rle_cascade", |b| {
+        b.iter(|| decompress_block(black_box(&rle), ColumnType::Integer, &cfg).unwrap())
+    });
+    let pfor = compress_block_with(SchemeCode::FastPfor, BlockRef::Int(&runs), &cfg);
+    group.bench_function("int_fastpfor", |b| {
+        b.iter(|| decompress_block(black_box(&pfor), ColumnType::Integer, &cfg).unwrap())
+    });
+    group.throughput(Throughput::Bytes((ROWS * 8) as u64));
+    let pde = compress_block_with(SchemeCode::Pseudodecimal, BlockRef::Double(&prices), &cfg);
+    group.bench_function("double_pseudodecimal", |b| {
+        b.iter(|| decompress_block(black_box(&pde), ColumnType::Double, &cfg).unwrap())
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("block_compress");
+    group.throughput(Throughput::Bytes((ROWS * 4) as u64));
+    group.bench_function("int_auto_selection", |b| {
+        b.iter(|| compress_block(BlockRef::Int(black_box(&runs)), &cfg))
+    });
+    group.finish();
+}
+
+fn relation_formats(c: &mut Criterion) {
+    let rel = btr_datagen::dataset_relation(btr_datagen::pbi::registry(16_000, 5));
+    let unc = rel.heap_size() as u64;
+    let mut group = c.benchmark_group("relation_roundtrip");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(unc));
+    for fmt in [
+        Format::Btr,
+        Format::Parquet(Codec::None),
+        Format::Parquet(Codec::SnappyLike),
+        Format::Parquet(Codec::Heavy),
+        Format::Orc(Codec::None),
+    ] {
+        let bytes = fmt.compress(&rel);
+        group.bench_function(format!("{}_compress", fmt.name()), |b| {
+            b.iter(|| fmt.compress(black_box(&rel)))
+        });
+        group.bench_function(format!("{}_scan", fmt.name()), |b| {
+            b.iter(|| fmt.decompress_scan(black_box(&bytes)))
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: the §5 fused RLE+Dict string decode vs the two-step version.
+fn fused_rle_dict(c: &mut Criterion) {
+    use btrblocks::StringArena;
+    let strings: Vec<&str> = (0..ROWS)
+        .map(|i| ["ALPHA", "BRAVO", "CHARLIE", "DELTA"][(i / 700) % 4])
+        .collect();
+    let arena = StringArena::from_strs(&strings);
+    let cfg = Config::default();
+    let bytes = compress_block_with(SchemeCode::Dict, BlockRef::Str(&arena), &cfg);
+    let fused = Config::default();
+    let unfused = Config {
+        fused_rle_dict_min_run: f64::INFINITY,
+        ..Config::default()
+    };
+    let mut group = c.benchmark_group("fused_rle_dict");
+    group.throughput(Throughput::Bytes(arena.heap_size() as u64));
+    group.bench_function("fused", |b| {
+        b.iter(|| decompress_block(black_box(&bytes), ColumnType::String, &fused).unwrap())
+    });
+    group.bench_function("two_step", |b| {
+        b.iter(|| decompress_block(black_box(&bytes), ColumnType::String, &unfused).unwrap())
+    });
+    group.finish();
+}
+
+/// Parallel vs sequential whole-relation compression (thread scaling is
+/// bounded by the host's cores; the shapes still show the overhead is small).
+fn parallel_compression(c: &mut Criterion) {
+    let rel = btr_datagen::dataset_relation(btr_datagen::pbi::registry(16_000, 9));
+    let cfg = Config::default();
+    let mut group = c.benchmark_group("parallel_compression");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(rel.heap_size() as u64));
+    group.bench_function("sequential", |b| {
+        b.iter(|| btrblocks::compress(black_box(&rel), &cfg).unwrap())
+    });
+    for threads in [2usize, 4] {
+        group.bench_function(format!("threads_{threads}"), |b| {
+            b.iter(|| btrblocks::compress_parallel(black_box(&rel), &cfg, threads).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = block_schemes, relation_formats, fused_rle_dict, parallel_compression
+}
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Regenerates the paper's §6.7 individual-column scan experiment.
+
+fn main() {
+    println!(
+        "{}",
+        btr_bench::experiments::column_scan::run(btr_bench::bench_rows(), btr_bench::bench_seed())
+    );
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's figure5 experiment; see `btr_bench::experiments::figure5`.
+
+fn main() {
+    println!(
+        "{}",
+        btr_bench::experiments::figure5::run(btr_bench::bench_rows(), btr_bench::bench_seed())
+    );
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's figure6 experiment; see `btr_bench::experiments::figure6`.
+
+fn main() {
+    println!(
+        "{}",
+        btr_bench::experiments::figure6::run(btr_bench::bench_rows(), btr_bench::bench_seed())
+    );
+}

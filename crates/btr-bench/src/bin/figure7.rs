@@ -1,0 +1,8 @@
+//! Regenerates the paper's figure7 experiment; see `btr_bench::experiments::figure7`.
+
+fn main() {
+    println!(
+        "{}",
+        btr_bench::experiments::figure7::run(btr_bench::bench_rows(), btr_bench::bench_seed())
+    );
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's figure8 experiment; see `btr_bench::experiments::figure8`.
+
+fn main() {
+    println!(
+        "{}",
+        btr_bench::experiments::figure8::run(btr_bench::bench_rows(), btr_bench::bench_seed())
+    );
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's pde_pool experiment; see `btr_bench::experiments::pde_pool`.
+
+fn main() {
+    println!(
+        "{}",
+        btr_bench::experiments::pde_pool::run(btr_bench::bench_rows(), btr_bench::bench_seed())
+    );
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's scalar_ablation experiment; see `btr_bench::experiments::scalar_ablation`.
+
+fn main() {
+    println!(
+        "{}",
+        btr_bench::experiments::scalar_ablation::run(btr_bench::bench_rows(), btr_bench::bench_seed())
+    );
+}

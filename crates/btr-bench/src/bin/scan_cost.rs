@@ -1,0 +1,8 @@
+//! Regenerates the paper's scan_cost experiment; see `btr_bench::experiments::scan_cost`.
+
+fn main() {
+    println!(
+        "{}",
+        btr_bench::experiments::scan_cost::run(btr_bench::bench_rows(), btr_bench::bench_seed())
+    );
+}

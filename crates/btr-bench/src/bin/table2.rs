@@ -1,0 +1,8 @@
+//! Regenerates the paper's table2 experiment; see `btr_bench::experiments::table2`.
+
+fn main() {
+    println!(
+        "{}",
+        btr_bench::experiments::table2::run(btr_bench::bench_rows(), btr_bench::bench_seed())
+    );
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's table3 experiment; see `btr_bench::experiments::table3`.
+
+fn main() {
+    println!(
+        "{}",
+        btr_bench::experiments::table3::run(btr_bench::bench_rows(), btr_bench::bench_seed())
+    );
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's table4 experiment; see `btr_bench::experiments::table4`.
+
+fn main() {
+    println!(
+        "{}",
+        btr_bench::experiments::table4::run(btr_bench::bench_rows(), btr_bench::bench_seed())
+    );
+}

@@ -1,0 +1,112 @@
+//! Figure 4: compression ratio and single-thread decompression throughput as
+//! encoding techniques are successively added to the scheme pool, per type.
+
+use crate::{gbps, time_avg, Table};
+use btr_datagen::pbi;
+use btrblocks::{ColumnData, Config, Relation, SchemeCode};
+
+fn columns_of_type(rows: usize, seed: u64, want: fn(&ColumnData) -> bool) -> Vec<Relation> {
+    pbi::registry(rows, seed)
+        .into_iter()
+        .filter(|c| want(&c.data))
+        .map(|c| Relation::new(vec![c.into_column()]))
+        .collect()
+}
+
+fn measure(rels: &[Relation], pool: &[SchemeCode]) -> (f64, f64) {
+    let cfg = Config::default().with_pool(pool);
+    let mut unc = 0usize;
+    let mut comp = 0usize;
+    let mut total_secs = 0.0;
+    for rel in rels {
+        let compressed = btrblocks::compress(rel, &cfg).expect("compress").to_bytes();
+        unc += rel.heap_size();
+        comp += compressed.len();
+        let (_, secs) = time_avg(3, || {
+            // Scan-style decode: strings stay as views (paper methodology).
+            let parsed = btrblocks::CompressedRelation::from_bytes(&compressed).expect("parse");
+            let mut touched = 0usize;
+            for col in &parsed.columns {
+                for block in &col.blocks {
+                    let d = btrblocks::block::decompress_block(block, col.column_type, &cfg)
+                        .expect("decompress");
+                    touched += d.len();
+                }
+            }
+            touched
+        });
+        total_secs += secs;
+    }
+    (unc as f64 / comp.max(1) as f64, gbps(unc, total_secs))
+}
+
+fn sequence(
+    out: &mut String,
+    label: &str,
+    rels: &[Relation],
+    steps: &[(&str, &[SchemeCode])],
+) {
+    let mut table = Table::new(&["pool", "compression-ratio", "decompression GB/s"]);
+    for (name, pool) in steps {
+        let (ratio, speed) = measure(rels, pool);
+        table.row(vec![name.to_string(), format!("{ratio:.2}"), format!("{speed:.2}")]);
+    }
+    out.push_str(&format!("== {label} ==\n"));
+    out.push_str(&table.render());
+    out.push('\n');
+}
+
+/// Regenerates Figure 4 (both panels, all three types).
+pub fn run(rows: usize, seed: u64) -> String {
+    use SchemeCode::*;
+    let mut out = String::from(
+        "Figure 4: ratio and single-thread decompression speed while successively \
+         enabling techniques\n\n",
+    );
+
+    let doubles = columns_of_type(rows, seed, |d| matches!(d, ColumnData::Double(_)));
+    sequence(
+        &mut out,
+        "double",
+        &doubles,
+        &[
+            ("uncompressed", &[]),
+            ("+onevalue", &[OneValue]),
+            ("+dictionary", &[OneValue, Dict]),
+            ("+rle", &[OneValue, Dict, Rle]),
+            ("+frequency", &[OneValue, Dict, Rle, Frequency]),
+            ("+pseudodecimal", &[OneValue, Dict, Rle, Frequency, Pseudodecimal, FastBp128, FastPfor]),
+        ],
+    );
+
+    let ints = columns_of_type(rows, seed, |d| matches!(d, ColumnData::Int(_)));
+    sequence(
+        &mut out,
+        "integer",
+        &ints,
+        &[
+            ("uncompressed", &[]),
+            ("+onevalue", &[OneValue]),
+            ("+fastbp128", &[OneValue, FastBp128]),
+            ("+fastpfor", &[OneValue, FastBp128, FastPfor]),
+            ("+rle", &[OneValue, FastBp128, FastPfor, Rle]),
+            ("+dictionary", &[OneValue, FastBp128, FastPfor, Rle, Dict]),
+            ("+frequency", &[OneValue, FastBp128, FastPfor, Rle, Dict, Frequency]),
+        ],
+    );
+
+    let strings = columns_of_type(rows, seed, |d| matches!(d, ColumnData::Str(_)));
+    sequence(
+        &mut out,
+        "string",
+        &strings,
+        &[
+            ("uncompressed", &[]),
+            ("+onevalue", &[OneValue]),
+            ("+fsst", &[OneValue, Fsst]),
+            ("+dictionary", &[OneValue, Fsst, Dict, FastBp128, FastPfor, Rle]),
+            ("+dict-fsst", &[OneValue, Fsst, Dict, DictFsst, FastBp128, FastPfor, Rle]),
+        ],
+    );
+    out
+}

@@ -1,0 +1,34 @@
+//! Figure 8: compression ratio vs in-memory decompression bandwidth for
+//! Parquet, ORC and BtrBlocks on Public BI (top) and TPC-H (bottom).
+
+use crate::formats::Format;
+use crate::{gbps, time_avg, Table};
+use btr_datagen::{pbi, tpch, GenColumn};
+
+fn panel(label: &str, cols: Vec<GenColumn>) -> String {
+    let rel = btr_datagen::dataset_relation(cols);
+    let unc = rel.heap_size();
+    let mut table = Table::new(&["format", "compression ratio", "decompression GB/s"]);
+    for fmt in Format::figure8_lineup() {
+        let bytes = fmt.compress(&rel);
+        let (_, secs) = time_avg(3, || fmt.decompress_scan(&bytes));
+        table.row(vec![
+            fmt.name().to_string(),
+            format!("{:.2}", unc as f64 / bytes.len().max(1) as f64),
+            format!("{:.2}", gbps(unc, secs)),
+        ]);
+    }
+    format!("== {label} ==\n{}\n", table.render())
+}
+
+/// Regenerates Figure 8 (both panels). Throughput is single-threaded; the
+/// paper parallelized over rowgroups/columns, which scales all series by the
+/// same core count and does not change the ordering.
+pub fn run(rows: usize, seed: u64) -> String {
+    let mut out = String::from(
+        "Figure 8: compression ratio vs in-memory decompression bandwidth (single thread)\n\n",
+    );
+    out.push_str(&panel("Public BI", pbi::registry(rows, seed)));
+    out.push_str(&panel("TPC-H", tpch::registry(rows, seed)));
+    out
+}

@@ -1,0 +1,129 @@
+//! Frame-of-reference, delta, and zigzag transforms.
+//!
+//! These are the "logical" transforms the paper cascades with bit-packing:
+//! FOR subtracts a base so the residuals need fewer bits, delta stores
+//! successive differences, and zigzag folds signed integers into unsigned so
+//! small negative values stay small.
+
+/// Folds an `i32` into a `u32` such that small-magnitude values stay small.
+#[inline]
+pub fn zigzag_encode(v: i32) -> u32 {
+    ((v << 1) ^ (v >> 31)) as u32
+}
+
+/// Inverse of [`zigzag_encode`].
+#[inline]
+pub fn zigzag_decode(v: u32) -> i32 {
+    ((v >> 1) as i32) ^ -((v & 1) as i32)
+}
+
+/// Frame-of-reference encoding of signed integers.
+///
+/// Returns `(base, offsets)` where `offsets[i] = values[i] - base` as `u32`.
+/// The base is the minimum, so every offset is non-negative and the full
+/// `i32` range is representable because the span of `i32` fits in `u32`.
+pub fn for_encode(values: &[i32]) -> (i32, Vec<u32>) {
+    let base = values.iter().copied().min().unwrap_or(0);
+    let offsets = values
+        .iter()
+        .map(|&v| (i64::from(v) - i64::from(base)) as u32)
+        .collect();
+    (base, offsets)
+}
+
+/// Inverse of [`for_encode`].
+pub fn for_decode(base: i32, offsets: &[u32]) -> Vec<i32> {
+    offsets
+        .iter()
+        .map(|&o| (i64::from(base) + i64::from(o)) as i32)
+        .collect()
+}
+
+/// In-place variant of [`for_decode`] writing into `out`.
+pub fn for_decode_into(base: i32, offsets: &[u32], out: &mut [i32]) {
+    debug_assert_eq!(offsets.len(), out.len());
+    let base = i64::from(base);
+    for (slot, &o) in out.iter_mut().zip(offsets) {
+        *slot = (base + i64::from(o)) as i32;
+    }
+}
+
+/// Delta-encodes: `out[0] = values[0]`, `out[i] = values[i] - values[i-1]`,
+/// each zigzag-folded to `u32` (deltas may be negative).
+pub fn delta_encode(values: &[i32]) -> Vec<u32> {
+    let mut prev = 0i32;
+    values
+        .iter()
+        .map(|&v| {
+            let d = v.wrapping_sub(prev);
+            prev = v;
+            zigzag_encode(d)
+        })
+        .collect()
+}
+
+/// Inverse of [`delta_encode`].
+pub fn delta_decode(deltas: &[u32]) -> Vec<i32> {
+    let mut prev = 0i32;
+    deltas
+        .iter()
+        .map(|&d| {
+            prev = prev.wrapping_add(zigzag_decode(d));
+            prev
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_roundtrip_extremes() {
+        for v in [0, 1, -1, 2, -2, i32::MAX, i32::MIN, 12345, -98765] {
+            assert_eq!(zigzag_decode(zigzag_encode(v)), v);
+        }
+        // Small magnitudes map to small codes.
+        assert_eq!(zigzag_encode(0), 0);
+        assert_eq!(zigzag_encode(-1), 1);
+        assert_eq!(zigzag_encode(1), 2);
+        assert_eq!(zigzag_encode(-2), 3);
+    }
+
+    #[test]
+    fn for_roundtrip_with_negatives() {
+        let values = vec![-100, 5, i32::MAX, i32::MIN, 0, 77];
+        let (base, offsets) = for_encode(&values);
+        assert_eq!(base, i32::MIN);
+        assert_eq!(for_decode(base, &offsets), values);
+    }
+
+    #[test]
+    fn for_narrow_range_gives_small_offsets() {
+        let values = vec![1_000_000, 1_000_005, 1_000_001];
+        let (base, offsets) = for_encode(&values);
+        assert_eq!(base, 1_000_000);
+        assert_eq!(offsets, vec![0, 5, 1]);
+    }
+
+    #[test]
+    fn for_empty() {
+        let (base, offsets) = for_encode(&[]);
+        assert_eq!(base, 0);
+        assert!(offsets.is_empty());
+        assert!(for_decode(base, &offsets).is_empty());
+    }
+
+    #[test]
+    fn delta_roundtrip() {
+        let values = vec![10, 11, 12, 5, -3, i32::MAX, i32::MIN];
+        assert_eq!(delta_decode(&delta_encode(&values)), values);
+    }
+
+    #[test]
+    fn delta_sorted_input_is_small() {
+        let values: Vec<i32> = (0..100).map(|i| i * 3).collect();
+        let deltas = delta_encode(&values);
+        assert!(deltas[1..].iter().all(|&d| d == zigzag_encode(3)));
+    }
+}

@@ -1,0 +1,93 @@
+//! Bit-packing kernels for the BtrBlocks reproduction.
+//!
+//! This crate re-implements, from scratch, the integer-compression substrate
+//! the BtrBlocks paper takes from the FastPFor C++ library (Lemire & Boytsov,
+//! "Decoding billions of integers per second through vectorization"):
+//!
+//! * [`plain`] — horizontal word-aligned bit-packing of 32-value groups for
+//!   any bit width 0..=32. Used as a building block and for tail handling.
+//! * [`bp128`] — *FastBP128*: 128-value blocks laid out vertically across four
+//!   32-bit lanes (the SIMD-friendly layout of the original library). The
+//!   inner loops are written over `[u32; 4]` lane tuples which LLVM
+//!   auto-vectorizes to SSE/AVX; an explicit AVX2 path covers unpacking.
+//! * [`fastpfor`] — *FastPFOR*: patched frame-of-reference. Each 128-value
+//!   block picks a bit width that covers most values and stores the rest as
+//!   exceptions (position + high bits) packed separately.
+//! * [`for_delta`] — frame-of-reference and delta/zigzag transforms shared by
+//!   the higher layers.
+//!
+//! All codecs are lossless round-trips over `u32`/`i32` slices and are tested
+//! with unit tests and property tests.
+
+pub mod bp128;
+pub mod fastpfor;
+pub mod for_delta;
+pub mod plain;
+
+/// Number of values in one vertical-layout packing block.
+pub const BLOCK128: usize = 128;
+
+/// Number of values in one horizontal packing group.
+pub const GROUP32: usize = 32;
+
+/// Errors produced by the bit-packing codecs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The encoded buffer ended before all values could be decoded.
+    UnexpectedEnd,
+    /// A stored bit width was outside `0..=32`.
+    InvalidBitWidth(u8),
+    /// The encoded buffer is structurally malformed.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::UnexpectedEnd => write!(f, "encoded buffer ended unexpectedly"),
+            Error::InvalidBitWidth(w) => write!(f, "invalid bit width {w}"),
+            Error::Corrupt(msg) => write!(f, "corrupt bitpacked data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Returns the number of bits needed to represent `v` (0 for 0).
+#[inline]
+pub fn bits_needed(v: u32) -> u8 {
+    (32 - v.leading_zeros()) as u8
+}
+
+/// Returns the maximum number of bits needed by any value in `values`.
+#[inline]
+pub fn max_bits(values: &[u32]) -> u8 {
+    bits_needed(values.iter().fold(0u32, |acc, &v| acc | v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_needed_boundaries() {
+        assert_eq!(bits_needed(0), 0);
+        assert_eq!(bits_needed(1), 1);
+        assert_eq!(bits_needed(2), 2);
+        assert_eq!(bits_needed(3), 2);
+        assert_eq!(bits_needed(255), 8);
+        assert_eq!(bits_needed(256), 9);
+        assert_eq!(bits_needed(u32::MAX), 32);
+    }
+
+    #[test]
+    fn max_bits_of_mixed() {
+        assert_eq!(max_bits(&[]), 0);
+        assert_eq!(max_bits(&[0, 0]), 0);
+        assert_eq!(max_bits(&[1, 7, 3]), 3);
+        assert_eq!(max_bits(&[1, u32::MAX]), 32);
+    }
+}

@@ -1,0 +1,130 @@
+//! Horizontal word-aligned bit-packing.
+//!
+//! Packs groups of 32 `u32` values at a fixed bit width `w` into `w` output
+//! words. Values are laid out LSB-first across consecutive words, the layout
+//! used by Parquet's bit-packed hybrid encoding. The per-width inner loops are
+//! fully determined by constants so LLVM unrolls and vectorizes them.
+
+use crate::{Error, Result};
+
+/// Packs `values` (arbitrary length) at bit width `width` into a word vector.
+///
+/// Values must fit in `width` bits; higher bits are masked off. A trailing
+/// partial group is zero-padded, so the caller must remember the original
+/// count to decode.
+pub fn pack(values: &[u32], width: u8) -> Vec<u32> {
+    assert!(width <= 32, "bit width must be <= 32");
+    if width == 0 || values.is_empty() {
+        return Vec::new();
+    }
+    let w = width as usize;
+    let total_bits = values.len() * w;
+    let words = total_bits.div_ceil(32);
+    let mut out = vec![0u32; words];
+    let mask: u64 = if width == 32 { u64::from(u32::MAX) } else { (1u64 << width) - 1 };
+    let mut bitpos = 0usize;
+    for &v in values {
+        let v = u64::from(v) & mask;
+        let word = bitpos / 32;
+        let off = bitpos % 32;
+        out[word] |= (v << off) as u32;
+        if off + w > 32 {
+            out[word + 1] |= (v >> (32 - off)) as u32;
+        }
+        bitpos += w;
+    }
+    out
+}
+
+/// Unpacks `count` values at bit width `width` from `packed`.
+pub fn unpack(packed: &[u32], count: usize, width: u8) -> Result<Vec<u32>> {
+    let mut out = vec![0u32; count];
+    unpack_into(packed, width, &mut out)?;
+    Ok(out)
+}
+
+/// Unpacks `out.len()` values at bit width `width` from `packed` into `out`.
+pub fn unpack_into(packed: &[u32], width: u8, out: &mut [u32]) -> Result<()> {
+    if width > 32 {
+        return Err(Error::InvalidBitWidth(width));
+    }
+    if width == 0 {
+        out.fill(0);
+        return Ok(());
+    }
+    let w = width as usize;
+    let needed = (out.len() * w).div_ceil(32);
+    if packed.len() < needed {
+        return Err(Error::UnexpectedEnd);
+    }
+    let mask: u64 = if width == 32 { u64::from(u32::MAX) } else { (1u64 << width) - 1 };
+    let mut bitpos = 0usize;
+    for slot in out.iter_mut() {
+        let word = bitpos / 32;
+        let off = bitpos % 32;
+        let mut v = u64::from(packed[word]) >> off;
+        if off + w > 32 {
+            v |= u64::from(packed[word + 1]) << (32 - off);
+        }
+        *slot = (v & mask) as u32;
+        bitpos += w;
+    }
+    Ok(())
+}
+
+/// Number of `u32` words `pack` produces for `count` values at `width` bits.
+pub fn packed_words(count: usize, width: u8) -> usize {
+    (count * width as usize).div_ceil(32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(values: &[u32], width: u8) {
+        let packed = pack(values, width);
+        assert_eq!(packed.len(), packed_words(values.len(), width));
+        let unpacked = unpack(&packed, values.len(), width).unwrap();
+        let mask = if width == 32 { u32::MAX } else { (1u32 << width) - 1 };
+        let expect: Vec<u32> = values.iter().map(|&v| v & mask).collect();
+        assert_eq!(unpacked, expect, "width {width}");
+    }
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let values: Vec<u32> = (0..100).map(|i| (i * 2654435761u64 % (1 << 31)) as u32).collect();
+        for width in 0..=32 {
+            roundtrip(&values, width);
+        }
+    }
+
+    #[test]
+    fn roundtrip_empty_and_single() {
+        roundtrip(&[], 7);
+        roundtrip(&[42], 6);
+        roundtrip(&[u32::MAX], 32);
+    }
+
+    #[test]
+    fn zero_width_unpacks_zeros() {
+        let out = unpack(&[], 5, 0).unwrap();
+        assert_eq!(out, vec![0; 5]);
+    }
+
+    #[test]
+    fn truncated_buffer_is_error() {
+        let packed = pack(&[1, 2, 3, 4, 5, 6, 7, 8], 13);
+        assert_eq!(unpack(&packed[..1], 8, 13), Err(Error::UnexpectedEnd));
+    }
+
+    #[test]
+    fn invalid_width_is_error() {
+        assert_eq!(unpack(&[0], 1, 33), Err(Error::InvalidBitWidth(33)));
+    }
+
+    #[test]
+    fn masks_overwide_values() {
+        // 300 does not fit in 8 bits; pack must mask, not corrupt neighbours.
+        roundtrip(&[300, 1, 2], 8);
+    }
+}

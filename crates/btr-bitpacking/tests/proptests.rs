@@ -1,0 +1,60 @@
+//! Property tests: every bit-packing codec must round-trip arbitrary input.
+
+use btr_bitpacking::{bp128, fastpfor, for_delta, plain};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn plain_roundtrips(values in proptest::collection::vec(any::<u32>(), 0..500), width in 0u8..=32) {
+        let mask = if width == 32 { u32::MAX } else { (1u32 << width).wrapping_sub(1) };
+        let masked: Vec<u32> = values.iter().map(|&v| v & mask).collect();
+        let packed = plain::pack(&masked, width);
+        let unpacked = plain::unpack(&packed, masked.len(), width).unwrap();
+        prop_assert_eq!(unpacked, masked);
+    }
+
+    #[test]
+    fn bp128_roundtrips(values in proptest::collection::vec(any::<u32>(), 0..1200)) {
+        let enc = bp128::encode(&values);
+        prop_assert_eq!(bp128::decode(&enc).unwrap(), values);
+    }
+
+    #[test]
+    fn fastpfor_roundtrips(values in proptest::collection::vec(any::<u32>(), 0..1200)) {
+        let enc = fastpfor::encode(&values);
+        prop_assert_eq!(fastpfor::decode(&enc).unwrap(), values);
+    }
+
+    #[test]
+    fn fastpfor_roundtrips_skewed(values in proptest::collection::vec(
+        prop_oneof![9 => 0u32..64, 1 => any::<u32>()], 0..2000)) {
+        let enc = fastpfor::encode(&values);
+        prop_assert_eq!(fastpfor::decode(&enc).unwrap(), values);
+    }
+
+    #[test]
+    fn zigzag_roundtrips(v in any::<i32>()) {
+        prop_assert_eq!(for_delta::zigzag_decode(for_delta::zigzag_encode(v)), v);
+    }
+
+    #[test]
+    fn for_roundtrips(values in proptest::collection::vec(any::<i32>(), 0..500)) {
+        let (base, offsets) = for_delta::for_encode(&values);
+        prop_assert_eq!(for_delta::for_decode(base, &offsets), values);
+    }
+
+    #[test]
+    fn delta_roundtrips(values in proptest::collection::vec(any::<i32>(), 0..500)) {
+        let deltas = for_delta::delta_encode(&values);
+        prop_assert_eq!(for_delta::delta_decode(&deltas), values);
+    }
+
+    #[test]
+    fn for_then_fastpfor_roundtrips(values in proptest::collection::vec(any::<i32>(), 0..600)) {
+        // The cascade the core library actually uses.
+        let (base, offsets) = for_delta::for_encode(&values);
+        let enc = fastpfor::encode(&offsets);
+        let dec = fastpfor::decode(&enc).unwrap();
+        prop_assert_eq!(for_delta::for_decode(base, &dec), values);
+    }
+}

@@ -1,0 +1,761 @@
+//! Public BI Benchmark-like column generators.
+//!
+//! Each generator mimics one column the paper names (Tables 3 and 4, Figure 4
+//! discussion) or one recurring pattern of the benchmark (denormalization
+//! runs, skewed categories, string-encoded NULLs). Comments state the paper
+//! behaviour being reproduced.
+
+use crate::{words, GenColumn};
+use btrblocks::{ColumnData, StringArena};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+fn rng_for(seed: u64, salt: u64) -> StdRng {
+    StdRng::seed_from_u64(seed ^ salt.wrapping_mul(0x9E3779B97F4A7C15))
+}
+
+/// Zipf-ish index: heavily skewed choice among `n` options.
+fn zipf(rng: &mut StdRng, n: usize) -> usize {
+    let u: f64 = rng.gen_range(0.0f64..1.0);
+    let idx = ((n as f64).powf(u) - 1.0) as usize;
+    idx.min(n - 1)
+}
+
+fn str_col(
+    dataset: &'static str,
+    column: &'static str,
+    note: &'static str,
+    strings: Vec<String>,
+) -> GenColumn {
+    let refs: Vec<&str> = strings.iter().map(|s| s.as_str()).collect();
+    GenColumn {
+        dataset,
+        column,
+        note,
+        data: ColumnData::Str(StringArena::from_strs(&refs)),
+    }
+}
+
+// ---------------------------------------------------------------- strings
+
+/// SalariesFrance/LIBDOM1 — Table 4 top row: almost everything is the
+/// literal string "null" in long runs; Dictionary reaches >1000×.
+pub fn salaries_france_libdom1(rows: usize, seed: u64) -> GenColumn {
+    let mut rng = rng_for(seed, 1);
+    let mut out = Vec::with_capacity(rows);
+    while out.len() < rows {
+        let run = rng.gen_range(200..2000).min(rows - out.len());
+        let s = if rng.gen_bool(0.97) {
+            "null".to_string()
+        } else {
+            words::FR_DOMAINS[rng.gen_range(0..words::FR_DOMAINS.len())].to_string()
+        };
+        out.extend(std::iter::repeat_n(s, run));
+    }
+    str_col("SalariesFrance", "LIBDOM1", "string-encoded NULLs in long runs; Dict ~1800x", out)
+}
+
+/// MulheresMil/ped — near-empty strings, tiny cardinality; Dict ~240×.
+pub fn mulheres_mil_ped(rows: usize, seed: u64) -> GenColumn {
+    let mut rng = rng_for(seed, 2);
+    let opts = ["", "S", "N", "1"];
+    let mut out = Vec::with_capacity(rows);
+    while out.len() < rows {
+        let run = rng.gen_range(30..300).min(rows - out.len());
+        let s = opts[zipf(&mut rng, opts.len())].to_string();
+        out.extend(std::iter::repeat_n(s, run));
+    }
+    str_col("MulheresMil", "ped", "tiny low-cardinality strings with runs; Dict ~240x", out)
+}
+
+/// Redfin2/property_type — a handful of categories, sorted-ish; Dict ~1200×.
+pub fn redfin2_property_type(rows: usize, seed: u64) -> GenColumn {
+    let mut rng = rng_for(seed, 3);
+    let mut out = Vec::with_capacity(rows);
+    while out.len() < rows {
+        let run = rng.gen_range(100..1500).min(rows - out.len());
+        let s = words::PROPERTY_TYPES[zipf(&mut rng, words::PROPERTY_TYPES.len())].to_string();
+        out.extend(std::iter::repeat_n(s, run));
+    }
+    str_col("Redfin2", "property_type", "few categories in long runs; Dict ~1200x", out)
+}
+
+/// Motos/Medio — one dominant constant value; OneValue ~5000×.
+pub fn motos_medio(rows: usize, _seed: u64) -> GenColumn {
+    let out = vec!["CABLE".to_string(); rows];
+    str_col("Motos", "Medio", "constant column; OneValue ~5000x", out)
+}
+
+/// NYC/Community Board — "01 BRONX" style: number + shared borough word;
+/// Dict+FSST ~8× (dictionary pool itself is compressible).
+pub fn nyc_community_board(rows: usize, seed: u64) -> GenColumn {
+    let mut rng = rng_for(seed, 4);
+    let out = (0..rows)
+        .map(|_| {
+            let b = words::BOROUGHS[rng.gen_range(0..words::BOROUGHS.len())];
+            format!("{:02} {}", rng.gen_range(1..=18), b)
+        })
+        .collect();
+    str_col("NYC", "Community Board", "structured codes sharing substrings; Dict+FSST ~8x", out)
+}
+
+/// PanCreactomy1/STREET1 — street addresses: high cardinality, shared
+/// substrings; Dict+FSST ~5×.
+pub fn pancreactomy1_street1(rows: usize, seed: u64) -> GenColumn {
+    let mut rng = rng_for(seed, 5);
+    let out = (0..rows)
+        .map(|_| {
+            format!(
+                "{} {} {} {}",
+                rng.gen_range(100..9999),
+                ["N", "S", "E", "W"][rng.gen_range(0..4)],
+                words::STREET_NAMES[rng.gen_range(0..words::STREET_NAMES.len())],
+                words::STREET_SUFFIX[rng.gen_range(0..words::STREET_SUFFIX.len())],
+            )
+        })
+        .collect();
+    str_col("PanCreactomy1", "STREET1", "addresses: high-cardinality, substring-rich; Dict+FSST ~5x", out)
+}
+
+/// Provider/nppes_provider_city — city names incl. string "null"; Dict+FSST ~5×.
+pub fn provider_city(rows: usize, seed: u64) -> GenColumn {
+    let mut rng = rng_for(seed, 6);
+    let out = (0..rows)
+        .map(|_| {
+            if rng.gen_bool(0.08) {
+                "null".to_string()
+            } else {
+                words::CITIES_US[zipf(&mut rng, words::CITIES_US.len())].to_string()
+            }
+        })
+        .collect();
+    str_col("Provider", "nppes_provider_city", "skewed city names + literal nulls; Dict+FSST ~5x", out)
+}
+
+/// PanCreactomy1/CITY — like provider_city with a different mix.
+pub fn pancreactomy1_city(rows: usize, seed: u64) -> GenColumn {
+    let mut rng = rng_for(seed, 7);
+    let out = (0..rows)
+        .map(|_| {
+            if rng.gen_bool(0.05) {
+                "null".to_string()
+            } else {
+                words::CITIES_US[rng.gen_range(0..words::CITIES_US.len())].to_string()
+            }
+        })
+        .collect();
+    str_col("PanCreactomy1", "CITY", "uniform city names + nulls; Dict+FSST ~5x", out)
+}
+
+/// Uberlandia/municipio_da_ue — Brazilian municipalities; Dict ~10×.
+pub fn uberlandia_municipio(rows: usize, seed: u64) -> GenColumn {
+    let mut rng = rng_for(seed, 8);
+    let out = (0..rows)
+        .map(|_| words::CITIES_BR[zipf(&mut rng, words::CITIES_BR.len())].to_string())
+        .collect();
+    str_col("Uberlandia", "municipio_da_ue", "skewed unicode city names; Dict ~10x", out)
+}
+
+/// Generico/url — URLs with a common prefix; FSST-friendly.
+pub fn generico_url(rows: usize, seed: u64) -> GenColumn {
+    let mut rng = rng_for(seed, 9);
+    let out = (0..rows)
+        .map(|_| {
+            format!(
+                "https://www.example-shop.com/catalog/{}/item-{}?ref=email",
+                ["electronics", "garden", "toys", "office"][rng.gen_range(0..4)],
+                rng.gen_range(0..100_000)
+            )
+        })
+        .collect();
+    str_col("Generico", "url", "shared-prefix URLs; FSST shines", out)
+}
+
+/// TrainsUK1/station — structured station codes.
+pub fn trains_uk_station(rows: usize, seed: u64) -> GenColumn {
+    let mut rng = rng_for(seed, 10);
+    let out = (0..rows)
+        .map(|_| {
+            format!(
+                "GB-{}{}{}",
+                (b'A' + rng.gen_range(0..26)) as char,
+                (b'A' + rng.gen_range(0..26)) as char,
+                rng.gen_range(100..999)
+            )
+        })
+        .collect();
+    str_col("TrainsUK1", "station", "short structured codes, high cardinality", out)
+}
+
+/// Arade/descriptor — free-ish text with moderate repetition.
+pub fn arade_descriptor(rows: usize, seed: u64) -> GenColumn {
+    let mut rng = rng_for(seed, 11);
+    let out = (0..rows)
+        .map(|_| {
+            let a = words::TPCH_WORDS[zipf(&mut rng, 30)];
+            let b = words::TPCH_WORDS[rng.gen_range(0..words::TPCH_WORDS.len())];
+            format!("{a} {b} record")
+        })
+        .collect();
+    str_col("Arade", "descriptor", "semi-structured text; FSST/Dict contest", out)
+}
+
+// ---------------------------------------------------------------- integers
+
+fn int_col(
+    dataset: &'static str,
+    column: &'static str,
+    note: &'static str,
+    values: Vec<i32>,
+) -> GenColumn {
+    GenColumn {
+        dataset,
+        column,
+        note,
+        data: ColumnData::Int(values),
+    }
+}
+
+/// RealEstate1/New Build? — all zeros (Table 4: OneValue, 13 055×).
+pub fn realestate1_new_build(rows: usize, _seed: u64) -> GenColumn {
+    int_col("RealEstate1", "New Build?", "all-zero column; OneValue ~13000x", vec![0; rows])
+}
+
+/// Medicare1/TOTAL_DAY_SUPPLY — skewed counts (Table 4: FastPFOR 2.4×).
+pub fn medicare1_total_day_supply(rows: usize, seed: u64) -> GenColumn {
+    let mut rng = rng_for(seed, 20);
+    let values = (0..rows)
+        .map(|_| {
+            // Mostly small counts, occasionally large outliers (26994, ...).
+            if rng.gen_bool(0.9) {
+                rng.gen_range(0..3000)
+            } else {
+                rng.gen_range(3000..30_000)
+            }
+        })
+        .collect();
+    int_col("Medicare1", "TOTAL_DAY_SUPPLY", "skewed counts with outliers; FastPFOR ~2.4x", values)
+}
+
+/// Uberlandia/cod_ibge_da_ue — 7-digit municipality codes from a small set
+/// (Table 4: FastPFOR 3.0×).
+pub fn uberlandia_cod_ibge(rows: usize, seed: u64) -> GenColumn {
+    let mut rng = rng_for(seed, 21);
+    let codes: Vec<i32> = (0..400).map(|_| rng.gen_range(1_100_000..5_300_000)).collect();
+    let values = (0..rows).map(|_| codes[zipf(&mut rng, codes.len())]).collect();
+    int_col("Uberlandia", "cod_ibge_da_ue", "7-digit codes from a small pool; FastPFOR ~3x", values)
+}
+
+/// Eixo/cod_ibge_da_ue — same distribution, different seed salt.
+pub fn eixo_cod_ibge(rows: usize, seed: u64) -> GenColumn {
+    let mut rng = rng_for(seed, 22);
+    let codes: Vec<i32> = (0..400).map(|_| rng.gen_range(1_100_000..5_300_000)).collect();
+    let values = (0..rows).map(|_| codes[zipf(&mut rng, codes.len())]).collect();
+    int_col("Eixo", "cod_ibge_da_ue", "7-digit codes from a small pool; FastPFOR ~3x", values)
+}
+
+/// CommonGovernment/agency_key — denormalized join key: long runs (the
+/// paper's point about PBI integers compressing 5.4× vs TPC-H's 1.6×).
+pub fn common_government_agency_key(rows: usize, seed: u64) -> GenColumn {
+    let mut rng = rng_for(seed, 23);
+    let mut values = Vec::with_capacity(rows);
+    let mut key = 1000;
+    while values.len() < rows {
+        let run = rng.gen_range(50..800).min(rows - values.len());
+        values.extend(std::iter::repeat_n(key, run));
+        key += rng.gen_range(1..5);
+    }
+    int_col("CommonGovernment", "agency_key", "denormalized FK runs; RLE wins", values)
+}
+
+/// Hatred/zero_or_one — boolean stored as int, skewed.
+pub fn hatred_flag(rows: usize, seed: u64) -> GenColumn {
+    let mut rng = rng_for(seed, 24);
+    let values = (0..rows).map(|_| i32::from(rng.gen_bool(0.05))).collect();
+    int_col("Hatred", "flag", "skewed 0/1 flags; Frequency/bitpack", values)
+}
+
+/// Medicare2/row_id — dense ascending id (normalized-style, compresses via FOR).
+pub fn medicare2_row_id(rows: usize, seed: u64) -> GenColumn {
+    let start = 1_000_000 + (seed as i32 % 1000);
+    let values = (0..rows as i32).map(|i| start + i).collect();
+    int_col("Medicare2", "row_id", "dense ascending key; FOR+BP", values)
+}
+
+/// Telco/cell_id — moderate-cardinality categorical int.
+pub fn telco_cell_id(rows: usize, seed: u64) -> GenColumn {
+    let mut rng = rng_for(seed, 25);
+    let values = (0..rows).map(|_| rng.gen_range(0..5_000) * 7 + 13).collect();
+    int_col("Telco", "cell_id", "moderate-cardinality categorical; Dict/BP contest", values)
+}
+
+/// Food/year — tiny-range values in long runs (sorted by year).
+pub fn food_year(rows: usize, seed: u64) -> GenColumn {
+    let mut rng = rng_for(seed, 26);
+    let mut values = Vec::with_capacity(rows);
+    let mut year = 2005;
+    while values.len() < rows {
+        let run = rng.gen_range(500..4000).min(rows - values.len());
+        values.extend(std::iter::repeat_n(year, run));
+        year += 1;
+    }
+    int_col("Food", "year", "sorted year column; RLE then OneValue lengths", values)
+}
+
+// ---------------------------------------------------------------- doubles
+
+fn dbl_col(
+    dataset: &'static str,
+    column: &'static str,
+    note: &'static str,
+    values: Vec<f64>,
+) -> GenColumn {
+    GenColumn {
+        dataset,
+        column,
+        note,
+        data: ColumnData::Double(values),
+    }
+}
+
+/// Telco/CHARGD_SMS_P3 — mostly zeros plus few small charges (Table 4:
+/// Dictionary 11.5×).
+pub fn telco_chargd_sms_p3(rows: usize, seed: u64) -> GenColumn {
+    let mut rng = rng_for(seed, 40);
+    let values = (0..rows)
+        .map(|_| {
+            if rng.gen_bool(0.85) {
+                0.0
+            } else {
+                f64::from(rng.gen_range(1..200)) * 0.05
+            }
+        })
+        .collect();
+    dbl_col("Telco", "CHARGD_SMS_P3", "mostly-zero charges; Dict ~11x", values)
+}
+
+/// Telco/TOTA_OUTGOING_REV_P3 — like CHARGD_SMS_P3 (Table 4: Dict 10.5×).
+pub fn telco_outgoing_rev_p3(rows: usize, seed: u64) -> GenColumn {
+    let mut rng = rng_for(seed, 41);
+    let values = (0..rows)
+        .map(|_| {
+            if rng.gen_bool(0.8) {
+                0.0
+            } else {
+                f64::from(rng.gen_range(1..500)) * 0.01
+            }
+        })
+        .collect();
+    dbl_col("Telco", "TOTA_OUTGOING_REV_P3", "mostly-zero revenue; Dict ~10x", values)
+}
+
+/// Telco/RECHRG_USED_P1 — one dominant value, exponentially rarer others
+/// (Table 4: Frequency 4.4×).
+pub fn telco_rechrg_used_p1(rows: usize, seed: u64) -> GenColumn {
+    let mut rng = rng_for(seed, 42);
+    let values = (0..rows)
+        .map(|_| {
+            if rng.gen_bool(0.7) {
+                83.2833
+            } else {
+                // High-precision tail values that resist other schemes.
+                rng.gen_range(0.0f64..100.0) + rng.gen_range(0.0f64..1e-4)
+            }
+        })
+        .collect();
+    dbl_col("Telco", "RECHRG_USED_P1", "one dominant value + precise tail; Frequency ~4.4x", values)
+}
+
+/// Motos/InversionQ — mostly zeros, some amounts (Table 4: Dict 4.6×).
+pub fn motos_inversionq(rows: usize, seed: u64) -> GenColumn {
+    let mut rng = rng_for(seed, 43);
+    let values = (0..rows)
+        .map(|_| {
+            if rng.gen_bool(0.6) {
+                0.0
+            } else {
+                f64::from(rng.gen_range(100..200_000))
+            }
+        })
+        .collect();
+    dbl_col("Motos", "InversionQ", "zeros + integer-valued amounts; Dict ~4.6x", values)
+}
+
+/// Telco/TOTAL_MINS_P1 — minutes with 1–2 decimals, high cardinality
+/// (Table 4: Pseudodecimal 2.7×).
+pub fn telco_total_mins_p1(rows: usize, seed: u64) -> GenColumn {
+    let mut rng = rng_for(seed, 44);
+    let values = (0..rows)
+        .map(|_| f64::from(rng.gen_range(0..600_000)) * 0.01)
+        .collect();
+    dbl_col("Telco", "TOTAL_MINS_P1", "2-decimal durations, high cardinality; PDE ~2.7x", values)
+}
+
+/// Redfin4/median_sale_price_mom — month-over-month ratios incl. many
+/// string-NULL-turned-0 entries (Table 4: Dict 1.3×, hard to compress).
+pub fn redfin4_median_sale_price_mom(rows: usize, seed: u64) -> GenColumn {
+    let mut rng = rng_for(seed, 45);
+    let values = (0..rows)
+        .map(|_| {
+            if rng.gen_bool(0.3) {
+                0.0
+            } else {
+                // Full-precision ratios: hostile to PDE, mildly dict-able.
+                rng.gen_range(-0.5f64..0.5)
+            }
+        })
+        .collect();
+    dbl_col("Redfin4", "median_sale_price_mom", "precise ratios + nulls; barely compressible", values)
+}
+
+// -- Table 3 double columns (PDE vs FPC/Gorilla/Chimp comparisons) --
+
+/// CommonGovernment/10 — wide-range prices with cents; PDE ≈ 1.8×, BP ≈ 1.
+pub fn common_government_10(rows: usize, seed: u64) -> GenColumn {
+    let mut rng = rng_for(seed, 50);
+    let values = (0..rows)
+        .map(|_| f64::from(rng.gen_range(-2_000_000..8_000_000)) * 0.01)
+        .collect();
+    dbl_col("CommonGovernment", "10", "wide 2-decimal prices; PDE ~1.8x", values)
+}
+
+/// CommonGovernment/26 — dominated by zeros with occasional short runs of
+/// amounts. The paper's numbers (plain bit-packing already reaches 60.9×)
+/// imply a mostly-zero column: zero blocks pack to ~0 bits, Gorilla sees
+/// XOR-0 runs, and PDE's digit/exponent columns collapse almost entirely
+/// (PDE best at 75×).
+pub fn common_government_26(rows: usize, seed: u64) -> GenColumn {
+    let mut rng = rng_for(seed, 51);
+    // Thousands of distinct amounts: dictionaries pay real pool costs
+    // (paper: Dict only 4.4x on this column).
+    let amounts: Vec<f64> =
+        (0..3_000).map(|_| f64::from(rng.gen_range(10..500_000)) * 0.25).collect();
+    let mut values = Vec::with_capacity(rows);
+    // Long zero runs (so ~90% of 128-value bit-packing blocks are all-zero:
+    // the paper's BP reaches 60.9x) interleaved with bursts of amounts whose
+    // runs are tiny (so RLE pays one raw double per run: paper RLE 18.7x,
+    // below PDE's 75x whose digit column stays integer-packable).
+    while values.len() < rows {
+        if rng.gen_bool(0.82) {
+            let run = rng.gen_range(1_000..3_000).min(rows - values.len());
+            values.extend(std::iter::repeat_n(0.0, run));
+        } else {
+            let burst = rng.gen_range(30..80);
+            for _ in 0..burst {
+                if values.len() >= rows {
+                    break;
+                }
+                let run = rng.gen_range(2..4).min(rows - values.len());
+                let v = amounts[zipf(&mut rng, amounts.len())];
+                values.extend(std::iter::repeat_n(v, run));
+            }
+        }
+    }
+    dbl_col("CommonGovernment", "26", "zero runs + amount bursts; PDE ~75x", values)
+}
+
+/// CommonGovernment/30 — half zeros, half 1-decimal amounts in short runs;
+/// PDE ~7.8×, RLE ~6.9×, BP ~4.7×.
+pub fn common_government_30(rows: usize, seed: u64) -> GenColumn {
+    let mut rng = rng_for(seed, 52);
+    let mut values = Vec::with_capacity(rows);
+    while values.len() < rows {
+        let run = rng.gen_range(2..12).min(rows - values.len());
+        let v = if rng.gen_bool(0.5) {
+            0.0
+        } else {
+            f64::from(rng.gen_range(0..20_000)) * 0.1
+        };
+        values.extend(std::iter::repeat_n(v, run));
+    }
+    dbl_col("CommonGovernment", "30", "zeros + 1-decimal amounts, short runs; PDE ~7.8x", values)
+}
+
+/// CommonGovernment/31 — whole-dollar amounts, mostly zero; PDE ~23×,
+/// BP ~12× (zero blocks pack away), RLE poor (short runs).
+pub fn common_government_31(rows: usize, seed: u64) -> GenColumn {
+    let mut rng = rng_for(seed, 53);
+    let values = (0..rows)
+        .map(|_| {
+            if rng.gen_bool(0.7) {
+                0.0
+            } else {
+                f64::from(rng.gen_range(0..4_000))
+            }
+        })
+        .collect();
+    dbl_col("CommonGovernment", "31", "mostly-zero whole dollars; PDE ~23x", values)
+}
+
+/// CommonGovernment/40 — like /26 with very long runs; PDE ~55×, RLE best
+/// in the §6.5 pool table (91.5×).
+pub fn common_government_40(rows: usize, seed: u64) -> GenColumn {
+    let mut rng = rng_for(seed, 54);
+    let amounts: Vec<f64> = (0..25).map(|_| f64::from(rng.gen_range(100..90_000)) * 0.5).collect();
+    let mut values = Vec::with_capacity(rows);
+    while values.len() < rows {
+        if rng.gen_bool(0.9) {
+            let run = rng.gen_range(1_000..6_000).min(rows - values.len());
+            values.extend(std::iter::repeat_n(0.0, run));
+        } else {
+            let run = rng.gen_range(50..400).min(rows - values.len());
+            let v = amounts[rng.gen_range(0..amounts.len())];
+            values.extend(std::iter::repeat_n(v, run));
+        }
+    }
+    dbl_col("CommonGovernment", "40", "zero-dominated very long runs; PDE ~55x", values)
+}
+
+/// Arade/4 — 4-decimal measurements, mostly unique; PDE ~1.9×, others ~1.
+pub fn arade_4(rows: usize, seed: u64) -> GenColumn {
+    let mut rng = rng_for(seed, 55);
+    let values = (0..rows)
+        .map(|_| f64::from(rng.gen_range(0..100_000_000)) * 0.0001)
+        .collect();
+    dbl_col("Arade", "4", "4-decimal measurements, high cardinality; PDE ~1.9x", values)
+}
+
+/// NYC/29 — longitudes at full double precision: nothing helps (PDE 1.0,
+/// Chimp ~2.5 from shared exponents).
+pub fn nyc_29(rows: usize, seed: u64) -> GenColumn {
+    let mut rng = rng_for(seed, 56);
+    let values = (0..rows).map(|_| -74.3 + rng.gen_range(0.0f64..0.6)).collect();
+    dbl_col("NYC", "29", "full-precision longitudes; incompressible for PDE", values)
+}
+
+/// CMSProvider/1 — charges with cents, wide range; everything ~1.5×.
+pub fn cms_provider_1(rows: usize, seed: u64) -> GenColumn {
+    let mut rng = rng_for(seed, 57);
+    let values = (0..rows)
+        .map(|_| f64::from(rng.gen_range(1_000..100_000_000)) * 0.01)
+        .collect();
+    dbl_col("CMSProvider", "1", "wide charges with cents; ~1.5x everywhere", values)
+}
+
+/// CMSProvider/9 — small counts stored as doubles, skewed; PDE ~6.6×.
+pub fn cms_provider_9(rows: usize, seed: u64) -> GenColumn {
+    let mut rng = rng_for(seed, 58);
+    let values = (0..rows).map(|_| f64::from(zipf(&mut rng, 2_000) as i32 + 11)).collect();
+    dbl_col("CMSProvider", "9", "small skewed counts as doubles; PDE ~6.6x", values)
+}
+
+/// CMSProvider/25 — near-random payment averages; ~1.0 everywhere.
+pub fn cms_provider_25(rows: usize, seed: u64) -> GenColumn {
+    let mut rng = rng_for(seed, 59);
+    let values = (0..rows).map(|_| rng.gen_range(10.0f64..500.0)).collect();
+    dbl_col("CMSProvider", "25", "full-precision averages; ~1.0 everywhere", values)
+}
+
+/// Medicare/1 — like CMSProvider/1.
+pub fn medicare_1(rows: usize, seed: u64) -> GenColumn {
+    let mut rng = rng_for(seed, 60);
+    let values = (0..rows)
+        .map(|_| f64::from(rng.gen_range(500..50_000_000)) * 0.01)
+        .collect();
+    dbl_col("Medicare", "1", "wide charges with cents; ~1.5x everywhere", values)
+}
+
+/// Medicare/9 — like CMSProvider/9 (PDE ~6.3×).
+pub fn medicare_9(rows: usize, seed: u64) -> GenColumn {
+    let mut rng = rng_for(seed, 61);
+    let values = (0..rows).map(|_| f64::from(zipf(&mut rng, 1_500) as i32 + 11)).collect();
+    dbl_col("Medicare", "9", "small skewed counts as doubles; PDE ~6.3x", values)
+}
+
+/// The full Public-BI-like registry (used by Table 2, Figures 4–8).
+pub fn registry(rows: usize, seed: u64) -> Vec<GenColumn> {
+    vec![
+        // strings (the PBI volume majority, per Table 2)
+        salaries_france_libdom1(rows, seed),
+        mulheres_mil_ped(rows, seed),
+        redfin2_property_type(rows, seed),
+        motos_medio(rows, seed),
+        nyc_community_board(rows, seed),
+        pancreactomy1_street1(rows, seed),
+        provider_city(rows, seed),
+        pancreactomy1_city(rows, seed),
+        uberlandia_municipio(rows, seed),
+        generico_url(rows, seed),
+        trains_uk_station(rows, seed),
+        arade_descriptor(rows, seed),
+        // integers
+        realestate1_new_build(rows, seed),
+        medicare1_total_day_supply(rows, seed),
+        uberlandia_cod_ibge(rows, seed),
+        eixo_cod_ibge(rows, seed),
+        common_government_agency_key(rows, seed),
+        hatred_flag(rows, seed),
+        medicare2_row_id(rows, seed),
+        telco_cell_id(rows, seed),
+        food_year(rows, seed),
+        // doubles
+        telco_chargd_sms_p3(rows, seed),
+        telco_outgoing_rev_p3(rows, seed),
+        telco_rechrg_used_p1(rows, seed),
+        motos_inversionq(rows, seed),
+        telco_total_mins_p1(rows, seed),
+        redfin4_median_sale_price_mom(rows, seed),
+        common_government_10(rows, seed),
+        common_government_26(rows, seed),
+        common_government_30(rows, seed),
+        common_government_31(rows, seed),
+        common_government_40(rows, seed),
+        arade_4(rows, seed),
+        nyc_29(rows, seed),
+        cms_provider_1(rows, seed),
+        cms_provider_9(rows, seed),
+        cms_provider_25(rows, seed),
+        medicare_1(rows, seed),
+        medicare_9(rows, seed),
+    ]
+}
+
+/// The twelve "largest non-trivial double columns" of Table 3, in the
+/// paper's row order.
+pub fn table3_columns(rows: usize, seed: u64) -> Vec<GenColumn> {
+    vec![
+        common_government_10(rows, seed),
+        common_government_26(rows, seed),
+        common_government_30(rows, seed),
+        common_government_31(rows, seed),
+        common_government_40(rows, seed),
+        arade_4(rows, seed),
+        nyc_29(rows, seed),
+        cms_provider_1(rows, seed),
+        cms_provider_9(rows, seed),
+        cms_provider_25(rows, seed),
+        medicare_1(rows, seed),
+        medicare_9(rows, seed),
+    ]
+}
+
+/// The Table 4 random column sample, in the paper's row order.
+pub fn table4_columns(rows: usize, seed: u64) -> Vec<GenColumn> {
+    vec![
+        salaries_france_libdom1(rows, seed),
+        mulheres_mil_ped(rows, seed),
+        redfin2_property_type(rows, seed),
+        motos_medio(rows, seed),
+        nyc_community_board(rows, seed),
+        pancreactomy1_street1(rows, seed),
+        provider_city(rows, seed),
+        pancreactomy1_city(rows, seed),
+        uberlandia_municipio(rows, seed),
+        realestate1_new_build(rows, seed),
+        medicare1_total_day_supply(rows, seed),
+        uberlandia_cod_ibge(rows, seed),
+        eixo_cod_ibge(rows, seed),
+        telco_chargd_sms_p3(rows, seed),
+        telco_outgoing_rev_p3(rows, seed),
+        telco_rechrg_used_p1(rows, seed),
+        motos_inversionq(rows, seed),
+        telco_total_mins_p1(rows, seed),
+        redfin4_median_sale_price_mom(rows, seed),
+    ]
+}
+
+/// Pseudo-"five largest workbooks" mix for the S3 scan experiments
+/// (Figure 1 / Table 5): one relation per workbook with its columns.
+pub fn five_largest(rows: usize, seed: u64) -> Vec<(&'static str, Vec<GenColumn>)> {
+    vec![
+        (
+            "CommonGovernment",
+            vec![
+                common_government_10(rows, seed),
+                common_government_26(rows, seed),
+                common_government_31(rows, seed),
+                common_government_40(rows, seed),
+                common_government_agency_key(rows, seed),
+                // The real workbook is dominated by denormalized string
+                // columns with enormous dictionary ratios.
+                salaries_france_libdom1(rows, seed),
+                redfin2_property_type(rows, seed),
+            ],
+        ),
+        (
+            "Generico",
+            vec![
+                generico_url(rows, seed),
+                arade_descriptor(rows, seed),
+                food_year(rows, seed),
+                motos_medio(rows, seed),
+                mulheres_mil_ped(rows, seed),
+            ],
+        ),
+        (
+            "Medicare",
+            vec![
+                medicare_1(rows, seed),
+                medicare_9(rows, seed),
+                medicare1_total_day_supply(rows, seed),
+                medicare2_row_id(rows, seed),
+                realestate1_new_build(rows, seed),
+                uberlandia_municipio(rows, seed),
+            ],
+        ),
+        (
+            "Telco",
+            vec![
+                telco_chargd_sms_p3(rows, seed),
+                telco_outgoing_rev_p3(rows, seed),
+                telco_rechrg_used_p1(rows, seed),
+                telco_total_mins_p1(rows, seed),
+                telco_cell_id(rows, seed),
+                nyc_community_board(rows, seed),
+            ],
+        ),
+        (
+            "CMSProvider",
+            vec![
+                cms_provider_1(rows, seed),
+                cms_provider_9(rows, seed),
+                cms_provider_25(rows, seed),
+                provider_city(rows, seed),
+                pancreactomy1_city(rows, seed),
+            ],
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_skewed() {
+        let mut rng = rng_for(1, 99);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[zipf(&mut rng, 10)] += 1;
+        }
+        assert!(counts[0] > counts[9] * 3, "{counts:?}");
+    }
+
+    #[test]
+    fn table3_columns_are_doubles() {
+        for col in table3_columns(500, 1) {
+            assert!(matches!(col.data, ColumnData::Double(_)), "{}", col.full_name());
+        }
+    }
+
+    #[test]
+    fn five_largest_has_five() {
+        let sets = five_largest(200, 1);
+        assert_eq!(sets.len(), 5);
+        for (_, cols) in sets {
+            assert!(!cols.is_empty());
+        }
+    }
+
+    #[test]
+    fn constant_columns_are_constant() {
+        match motos_medio(100, 0).data {
+            ColumnData::Str(a) => assert!((0..a.len()).all(|i| a.get(i) == b"CABLE")),
+            _ => panic!(),
+        }
+        match realestate1_new_build(100, 0).data {
+            ColumnData::Int(v) => assert!(v.iter().all(|&x| x == 0)),
+            _ => panic!(),
+        }
+    }
+}

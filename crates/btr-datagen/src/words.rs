@@ -1,0 +1,66 @@
+//! Word pools used by the string generators.
+
+/// NYC-style borough/community-board names (NYC/Community Board in Table 4).
+pub const BOROUGHS: [&str; 6] = ["BRONX", "QUEENS", "BROOKLYN", "MANHATTAN", "STATEN ISLAND", "CITYWIDE"];
+
+/// US city names in caps (Provider/nppes_provider_city, PanCreactomy1/CITY).
+pub const CITIES_US: [&str; 40] = [
+    "BETHESDA", "ATHENS", "PHOENIX", "RALEIGH", "SPRINGFIELD", "PORTLAND", "COLUMBUS",
+    "AUSTIN", "MADISON", "SALEM", "GEORGETOWN", "ARLINGTON", "FRANKLIN", "CLINTON",
+    "FAIRVIEW", "GREENVILLE", "BRISTOL", "DOVER", "MANCHESTER", "NEWPORT", "ASHLAND",
+    "BURLINGTON", "CLAYTON", "DAYTON", "EUGENE", "FARGO", "GRETNA", "HOUSTON",
+    "IRVING", "JACKSON", "KINGSTON", "LAREDO", "MEMPHIS", "NORFOLK", "ODESSA",
+    "PEORIA", "QUINCY", "ROSWELL", "SEATTLE", "TOLEDO",
+];
+
+/// Brazilian municipality names (Uberlandia/municipio_da_ue).
+pub const CITIES_BR: [&str; 25] = [
+    "Maceió", "Curitiba", "Uberlândia", "São Paulo", "Fortaleza", "Salvador", "Recife",
+    "Manaus", "Belém", "Goiânia", "Campinas", "Natal", "Teresina", "João Pessoa",
+    "Aracaju", "Cuiabá", "Londrina", "Joinville", "Niterói", "Santos", "Sorocaba",
+    "Pelotas", "Anápolis", "Itabuna", "Blumenau",
+];
+
+/// Street-name parts (PanCreactomy1/STREET1-style addresses).
+pub const STREET_NAMES: [&str; 20] = [
+    "MAYO", "MAIN", "OAK", "PINE", "MAPLE", "CEDAR", "ELM", "WASHINGTON", "LAKE",
+    "HILL", "PARK", "RIVER", "CHURCH", "SPRING", "RIDGE", "SUNSET", "HIGHLAND",
+    "MEADOW", "FOREST", "VALLEY",
+];
+
+/// Street suffixes.
+pub const STREET_SUFFIX: [&str; 8] = ["BLVD", "ST", "AVE", "RD", "DR", "LN", "CT", "WAY"];
+
+/// Residential property types (Redfin2/property_type).
+pub const PROPERTY_TYPES: [&str; 6] = [
+    "All Residential", "Single Family Residential", "Condo/Co-op", "Townhouse",
+    "Multi-Family (2-4 Unit)", "Vacant Land",
+];
+
+/// French administrative domain labels (SalariesFrance/LIBDOM1).
+pub const FR_DOMAINS: [&str; 8] = [
+    "ADMINISTRATION GENERALE", "ENSEIGNEMENT", "CULTURE", "SPORT ET JEUNESSE",
+    "SANTE ET ACTION SOCIALE", "AMENAGEMENT URBAIN", "ENVIRONNEMENT", "TRANSPORTS",
+];
+
+/// TPC-H ship modes.
+pub const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+
+/// TPC-H ship instructions.
+pub const SHIP_INSTRUCT: [&str; 4] =
+    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+
+/// TPC-H comment vocabulary (random text, the paper's "random samples from a
+/// pool of test data" that compress poorly).
+pub const TPCH_WORDS: [&str; 48] = [
+    "furiously", "quickly", "slyly", "carefully", "blithely", "ironic", "final",
+    "special", "pending", "regular", "express", "bold", "even", "silent", "unusual",
+    "daring", "idle", "busy", "deposits", "requests", "accounts", "packages",
+    "theodolites", "instructions", "foxes", "pinto", "beans", "dependencies",
+    "platelets", "asymptotes", "somas", "dugouts", "waters", "sauternes", "warhorses",
+    "sheaves", "realms", "courts", "excuses", "ideas", "dolphins", "multipliers",
+    "sentiments", "grouches", "epitaphs", "attainments", "escapades", "braids",
+];
+
+/// Motorbike transmission types, dominated by one value (Motos/Medio).
+pub const MOTO_MEDIO: [&str; 4] = ["CABLE", "HIDRAULICO", "MIXTO", "ELECTRONICO"];

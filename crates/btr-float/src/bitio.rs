@@ -1,0 +1,177 @@
+//! Bit-granular reader/writer over byte buffers (MSB-first within bytes).
+
+use crate::{Error, Result};
+
+/// Appends bits to a byte vector, most-significant-bit first.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    /// Bits already used in the final byte (0..8); 0 means byte-aligned.
+    used: u8,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a writer with pre-reserved capacity in bytes.
+    pub fn with_capacity(bytes: usize) -> Self {
+        BitWriter {
+            buf: Vec::with_capacity(bytes),
+            used: 0,
+        }
+    }
+
+    /// Writes the low `n` bits of `value` (n <= 64), MSB first.
+    #[inline]
+    pub fn write_bits(&mut self, value: u64, n: u8) {
+        debug_assert!(n <= 64);
+        let mut left = n;
+        while left > 0 {
+            if self.used == 0 {
+                self.buf.push(0);
+            }
+            let free = 8 - self.used;
+            let take = free.min(left);
+            let shift = left - take;
+            // take <= 8, so the mask fits comfortably in u16.
+            let bits = (value >> shift) as u8 & (((1u16 << take) - 1) as u8);
+            let last = self.buf.len() - 1;
+            self.buf[last] |= bits << (free - take);
+            self.used = (self.used + take) % 8;
+            left -= take;
+        }
+    }
+
+    /// Writes a single bit.
+    #[inline]
+    pub fn write_bit(&mut self, bit: bool) {
+        self.write_bits(u64::from(bit), 1);
+    }
+
+    /// Total bits written so far.
+    pub fn bit_len(&self) -> usize {
+        if self.used == 0 {
+            self.buf.len() * 8
+        } else {
+            (self.buf.len() - 1) * 8 + usize::from(self.used)
+        }
+    }
+
+    /// Finishes and returns the underlying buffer (zero-padded to a byte).
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Reads bits MSB-first from a byte slice.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    buf: &'a [u8],
+    pos_bits: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        BitReader { buf, pos_bits: 0 }
+    }
+
+    /// Reads `n` bits (n <= 64) into the low bits of the result.
+    #[inline]
+    pub fn read_bits(&mut self, n: u8) -> Result<u64> {
+        debug_assert!(n <= 64);
+        if self.pos_bits + usize::from(n) > self.buf.len() * 8 {
+            return Err(Error::UnexpectedEnd);
+        }
+        let mut out: u64 = 0;
+        let mut left = n;
+        while left > 0 {
+            let byte = self.buf[self.pos_bits / 8];
+            let off = (self.pos_bits % 8) as u8;
+            let avail = 8 - off;
+            let take = avail.min(left);
+            let shifted = (byte << off) >> (8 - take);
+            out = (out << take) | u64::from(shifted);
+            self.pos_bits += usize::from(take);
+            left -= take;
+        }
+        Ok(out)
+    }
+
+    /// Reads a single bit.
+    #[inline]
+    pub fn read_bit(&mut self) -> Result<bool> {
+        Ok(self.read_bits(1)? != 0)
+    }
+
+    /// Bits remaining in the stream.
+    pub fn remaining_bits(&self) -> usize {
+        self.buf.len() * 8 - self.pos_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_mixed_widths() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bits(0xDEADBEEF, 32);
+        w.write_bit(true);
+        w.write_bits(0x3FF, 10);
+        w.write_bits(u64::MAX, 64);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+        assert_eq!(r.read_bits(32).unwrap(), 0xDEADBEEF);
+        assert!(r.read_bit().unwrap());
+        assert_eq!(r.read_bits(10).unwrap(), 0x3FF);
+        assert_eq!(r.read_bits(64).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn bit_len_tracks_writes() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        w.write_bits(1, 1);
+        assert_eq!(w.bit_len(), 1);
+        w.write_bits(0, 12);
+        assert_eq!(w.bit_len(), 13);
+    }
+
+    #[test]
+    fn read_past_end_is_error() {
+        let mut r = BitReader::new(&[0xFF]);
+        assert_eq!(r.read_bits(8).unwrap(), 0xFF);
+        assert_eq!(r.read_bits(1), Err(Error::UnexpectedEnd));
+    }
+
+    #[test]
+    fn zero_bit_write_and_read() {
+        let mut w = BitWriter::new();
+        w.write_bits(123, 0);
+        assert_eq!(w.bit_len(), 0);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(0).unwrap(), 0);
+    }
+
+    #[test]
+    fn many_single_bits() {
+        let pattern: Vec<bool> = (0..1000).map(|i| i % 3 == 0).collect();
+        let mut w = BitWriter::new();
+        for &b in &pattern {
+            w.write_bit(b);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.read_bit().unwrap(), b);
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! Chimp and Chimp128 compression for doubles (Liakos et al., VLDB 2022).
+//!
+//! Chimp refines Gorilla with two observations: leading-zero counts cluster
+//! into a few buckets (so 3 bits suffice when rounded), and XORs with more
+//! than 6 trailing zeros are worth a dedicated case that stores only the
+//! center bits. Chimp128 additionally keeps the previous 128 values and XORs
+//! against the most promising one (found via a hash of the low mantissa
+//! bits), which helps on data whose periodicity is longer than one value.
+//!
+//! Flags (2 bits, per non-first value), plain Chimp:
+//! * `00` — XOR with previous is zero.
+//! * `01` — trailing zeros > 6: 3-bit rounded leading code + 6-bit center
+//!   length + center bits.
+//! * `10` — reuse previous leading-zero count: `64 - lead` bits of XOR.
+//! * `11` — new leading-zero count: 3-bit code + `64 - lead` bits of XOR.
+//!
+//! Chimp128 repurposes `00`/`01` to reference one of the previous 128 values
+//! by a 7-bit index (exact match and big-trailing-zero match respectively).
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::{Error, Result};
+
+/// Rounded leading-zero buckets (value stored in 3 bits).
+const LEADING_ROUND: [u8; 65] = {
+    let mut t = [0u8; 65];
+    let mut i = 0;
+    while i <= 64 {
+        t[i] = match i {
+            0..=7 => 0,
+            8..=11 => 8,
+            12..=15 => 12,
+            16..=17 => 16,
+            18..=19 => 18,
+            20..=21 => 20,
+            22..=23 => 22,
+            _ => 24,
+        };
+        i += 1;
+    }
+    t
+};
+
+/// 3-bit code for each rounded bucket.
+#[inline]
+fn lead_code(rounded: u8) -> u64 {
+    match rounded {
+        0 => 0,
+        8 => 1,
+        12 => 2,
+        16 => 3,
+        18 => 4,
+        20 => 5,
+        22 => 6,
+        _ => 7,
+    }
+}
+
+/// Bucket value for each 3-bit code.
+const LEAD_FROM_CODE: [u8; 8] = [0, 8, 12, 16, 18, 20, 22, 24];
+
+fn header(values: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 5 + 12);
+    out.extend_from_slice(&(values.len() as u32).to_le_bytes());
+    out
+}
+
+/// Compresses with plain Chimp.
+pub fn compress(values: &[f64]) -> Vec<u8> {
+    let mut out = header(values);
+    if values.is_empty() {
+        return out;
+    }
+    let mut w = BitWriter::with_capacity(values.len() * 5);
+    let mut prev = values[0].to_bits();
+    w.write_bits(prev, 64);
+    let mut stored_lead: Option<u8> = None;
+    for &v in &values[1..] {
+        let bits = v.to_bits();
+        let xor = bits ^ prev;
+        prev = bits;
+        if xor == 0 {
+            w.write_bits(0b00, 2);
+            stored_lead = None;
+            continue;
+        }
+        let lead = LEADING_ROUND[xor.leading_zeros() as usize];
+        let trail = xor.trailing_zeros() as u8;
+        if trail > 6 {
+            let sig = 64 - lead - trail;
+            w.write_bits(0b01, 2);
+            w.write_bits(lead_code(lead), 3);
+            w.write_bits(u64::from(sig), 6);
+            w.write_bits(xor >> trail, sig);
+            stored_lead = None;
+        } else if Some(lead) == stored_lead {
+            w.write_bits(0b10, 2);
+            w.write_bits(xor, 64 - lead);
+        } else {
+            w.write_bits(0b11, 2);
+            w.write_bits(lead_code(lead), 3);
+            w.write_bits(xor, 64 - lead);
+            stored_lead = Some(lead);
+        }
+    }
+    out.extend_from_slice(&w.into_bytes());
+    out
+}
+
+/// Decompresses a plain-Chimp stream.
+pub fn decompress(data: &[u8]) -> Result<Vec<f64>> {
+    if data.len() < 4 {
+        return Err(Error::UnexpectedEnd);
+    }
+    let count = u32::from_le_bytes([data[0], data[1], data[2], data[3]]) as usize;
+    let mut out = Vec::with_capacity(count);
+    if count == 0 {
+        return Ok(out);
+    }
+    let mut r = BitReader::new(&data[4..]);
+    let mut prev = r.read_bits(64)?;
+    out.push(f64::from_bits(prev));
+    let mut stored_lead: u8 = 0;
+    while out.len() < count {
+        match r.read_bits(2)? {
+            0b00 => {}
+            0b01 => {
+                let lead = LEAD_FROM_CODE[r.read_bits(3)? as usize];
+                let sig = r.read_bits(6)? as u8;
+                if u16::from(lead) + u16::from(sig) > 64 {
+                    return Err(Error::Corrupt("chimp center exceeds 64 bits"));
+                }
+                let trail = 64 - lead - sig;
+                prev ^= r.read_bits(sig)? << trail;
+            }
+            0b10 => {
+                prev ^= r.read_bits(64 - stored_lead)?;
+            }
+            _ => {
+                stored_lead = LEAD_FROM_CODE[r.read_bits(3)? as usize];
+                prev ^= r.read_bits(64 - stored_lead)?;
+            }
+        }
+        out.push(f64::from_bits(prev));
+    }
+    Ok(out)
+}
+
+/// History window size for Chimp128.
+const N: usize = 128;
+const N_LOG2: u8 = 7;
+/// Trailing-zero threshold for referencing an older value.
+const THRESHOLD: u8 = 6 + N_LOG2;
+/// Hash key: low `THRESHOLD + 1` bits of the representation.
+const KEY_BITS: u32 = THRESHOLD as u32 + 1;
+const KEY_MASK: u64 = (1u64 << KEY_BITS) - 1;
+
+/// Compresses with Chimp128 (128-value history window).
+pub fn compress128(values: &[f64]) -> Vec<u8> {
+    let mut out = header(values);
+    if values.is_empty() {
+        return out;
+    }
+    let mut w = BitWriter::with_capacity(values.len() * 5);
+    let mut stored = [0u64; N];
+    // indices[key] = absolute position (1-based; 0 = unset) of the latest
+    // value whose low KEY_BITS equal `key`.
+    let mut indices = vec![0usize; 1 << KEY_BITS];
+    let first = values[0].to_bits();
+    w.write_bits(first, 64);
+    stored[0] = first;
+    indices[(first & KEY_MASK) as usize] = 1;
+    let mut stored_lead: Option<u8> = None;
+    for (i, &v) in values.iter().enumerate().skip(1) {
+        let bits = v.to_bits();
+        let pos = i; // absolute position of this value
+        let key = (bits & KEY_MASK) as usize;
+        let cand_abs = indices[key];
+        let mut handled = false;
+        if cand_abs > 0 && pos - (cand_abs - 1) <= N {
+            let cand_idx = (cand_abs - 1) % N;
+            let cand = stored[cand_idx];
+            let xor = bits ^ cand;
+            if xor == 0 {
+                w.write_bits(0b00, 2);
+                w.write_bits(cand_idx as u64, N_LOG2);
+                stored_lead = None;
+                handled = true;
+            } else if xor.trailing_zeros() as u8 > THRESHOLD {
+                let trail = xor.trailing_zeros() as u8;
+                let lead = LEADING_ROUND[xor.leading_zeros() as usize];
+                let sig = 64 - lead - trail;
+                w.write_bits(0b01, 2);
+                w.write_bits(cand_idx as u64, N_LOG2);
+                w.write_bits(lead_code(lead), 3);
+                w.write_bits(u64::from(sig), 6);
+                w.write_bits(xor >> trail, sig);
+                stored_lead = None;
+                handled = true;
+            }
+        }
+        if !handled {
+            // Fall back to plain Chimp against the immediately previous value.
+            let prev = stored[(pos - 1) % N];
+            let xor = bits ^ prev;
+            let lead = LEADING_ROUND[xor.leading_zeros() as usize];
+            if Some(lead) == stored_lead && xor != 0 {
+                w.write_bits(0b10, 2);
+                w.write_bits(xor, 64 - lead);
+            } else {
+                w.write_bits(0b11, 2);
+                w.write_bits(lead_code(lead), 3);
+                w.write_bits(xor, 64 - lead);
+                stored_lead = Some(lead);
+            }
+        }
+        stored[pos % N] = bits;
+        indices[key] = pos + 1;
+    }
+    out.extend_from_slice(&w.into_bytes());
+    out
+}
+
+/// Decompresses a Chimp128 stream.
+pub fn decompress128(data: &[u8]) -> Result<Vec<f64>> {
+    if data.len() < 4 {
+        return Err(Error::UnexpectedEnd);
+    }
+    let count = u32::from_le_bytes([data[0], data[1], data[2], data[3]]) as usize;
+    let mut out = Vec::with_capacity(count);
+    if count == 0 {
+        return Ok(out);
+    }
+    let mut r = BitReader::new(&data[4..]);
+    let mut stored = [0u64; N];
+    let first = r.read_bits(64)?;
+    out.push(f64::from_bits(first));
+    stored[0] = first;
+    let mut stored_lead: u8 = 0;
+    while out.len() < count {
+        let pos = out.len();
+        let bits = match r.read_bits(2)? {
+            0b00 => {
+                let idx = r.read_bits(N_LOG2)? as usize;
+                stored[idx]
+            }
+            0b01 => {
+                let idx = r.read_bits(N_LOG2)? as usize;
+                let lead = LEAD_FROM_CODE[r.read_bits(3)? as usize];
+                let sig = r.read_bits(6)? as u8;
+                if u16::from(lead) + u16::from(sig) > 64 {
+                    return Err(Error::Corrupt("chimp128 center exceeds 64 bits"));
+                }
+                let trail = 64 - lead - sig;
+                stored[idx] ^ (r.read_bits(sig)? << trail)
+            }
+            0b10 => {
+                let prev = stored[(pos - 1) % N];
+                prev ^ r.read_bits(64 - stored_lead)?
+            }
+            _ => {
+                stored_lead = LEAD_FROM_CODE[r.read_bits(3)? as usize];
+                let prev = stored[(pos - 1) % N];
+                prev ^ r.read_bits(64 - stored_lead)?
+            }
+        };
+        stored[pos % N] = bits;
+        out.push(f64::from_bits(bits));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_bits_eq;
+
+    #[test]
+    fn chimp_roundtrip_tricky() {
+        let values = crate::tricky_values();
+        assert_bits_eq(&values, &decompress(&compress(&values)).unwrap());
+    }
+
+    #[test]
+    fn chimp128_roundtrip_tricky() {
+        let values = crate::tricky_values();
+        assert_bits_eq(&values, &decompress128(&compress128(&values)).unwrap());
+    }
+
+    #[test]
+    fn chimp128_exploits_periodicity() {
+        // Period-16 series: plain Chimp sees noise, Chimp128 sees exact
+        // repeats of values 16 positions back.
+        let values: Vec<f64> = (0..4096).map(|i| ((i % 16) as f64).sqrt() * 13.7).collect();
+        let plain = compress(&values);
+        let windowed = compress128(&values);
+        assert!(
+            windowed.len() < plain.len(),
+            "chimp128 ({}) should beat chimp ({}) on periodic data",
+            windowed.len(),
+            plain.len()
+        );
+        assert_bits_eq(&values, &decompress128(&windowed).unwrap());
+    }
+
+    #[test]
+    fn chimp_handles_leading_zero_buckets() {
+        // Exercise each rounding bucket via crafted XOR patterns.
+        let mut values = vec![0.0f64];
+        for shift in [0u32, 8, 12, 16, 18, 20, 22, 24, 40, 56, 63] {
+            let prev = values.last().unwrap().to_bits();
+            values.push(f64::from_bits(prev ^ (1u64 << (63 - shift))));
+        }
+        assert_bits_eq(&values, &decompress(&compress(&values)).unwrap());
+        assert_bits_eq(&values, &decompress128(&compress128(&values)).unwrap());
+    }
+
+    #[test]
+    fn truncated_streams_error() {
+        let values: Vec<f64> = (0..100).map(|i| i as f64 * 0.3).collect();
+        let c = compress(&values);
+        assert!(decompress(&c[..c.len() - 2]).is_err());
+        let c = compress128(&values);
+        assert!(decompress128(&c[..c.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn leading_round_table_is_monotone() {
+        for i in 1..=64usize {
+            assert!(LEADING_ROUND[i] >= LEADING_ROUND[i - 1]);
+            assert!(LEADING_ROUND[i] <= i as u8);
+        }
+        for (code, &bucket) in LEAD_FROM_CODE.iter().enumerate() {
+            assert_eq!(lead_code(bucket), code as u64);
+        }
+    }
+}

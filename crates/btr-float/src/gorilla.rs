@@ -1,0 +1,139 @@
+//! Gorilla XOR compression for doubles (Pelkonen et al., VLDB 2015, §4.1.2).
+//!
+//! Each value is XORed with its predecessor:
+//! * XOR == 0 → control bit `0`.
+//! * XOR fits the previous leading/trailing-zero window → `10` + meaningful
+//!   bits at the previous width.
+//! * otherwise → `11` + 5-bit leading-zero count + 6-bit meaningful-bit
+//!   length + the meaningful bits, and the window is updated.
+//!
+//! Stream layout: `u32 count (LE)`, then the first value as 64 raw bits,
+//! then the control/bit stream.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::{Error, Result};
+
+/// Compresses `values` into a Gorilla XOR stream.
+pub fn compress(values: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() + 8);
+    out.extend_from_slice(&(values.len() as u32).to_le_bytes());
+    if values.is_empty() {
+        return out;
+    }
+    let mut w = BitWriter::with_capacity(values.len() * 5);
+    let mut prev = values[0].to_bits();
+    w.write_bits(prev, 64);
+    let mut prev_lead: u8 = 65; // sentinel: no window yet
+    let mut prev_meaning: u8 = 0;
+    for &v in &values[1..] {
+        let bits = v.to_bits();
+        let xor = bits ^ prev;
+        prev = bits;
+        if xor == 0 {
+            w.write_bit(false);
+            continue;
+        }
+        w.write_bit(true);
+        let lead = (xor.leading_zeros() as u8).min(31);
+        let trail = xor.trailing_zeros() as u8;
+        let meaning = 64 - lead - trail;
+        let prev_trail = 64u8.saturating_sub(prev_lead).saturating_sub(prev_meaning);
+        if prev_lead <= 64 && lead >= prev_lead && trail >= prev_trail && prev_meaning > 0 {
+            // Control '0' after the 1: reuse previous window.
+            w.write_bit(false);
+            w.write_bits(xor >> prev_trail, prev_meaning);
+        } else {
+            w.write_bit(true);
+            w.write_bits(u64::from(lead), 5);
+            // meaning is in 1..=64; store 64 as 0 (6 bits).
+            w.write_bits(u64::from(meaning) & 0x3F, 6);
+            w.write_bits(xor >> trail, meaning);
+            prev_lead = lead;
+            prev_meaning = meaning;
+        }
+    }
+    out.extend_from_slice(&w.into_bytes());
+    out
+}
+
+/// Decompresses a stream produced by [`compress`].
+pub fn decompress(data: &[u8]) -> Result<Vec<f64>> {
+    if data.len() < 4 {
+        return Err(Error::UnexpectedEnd);
+    }
+    let count = u32::from_le_bytes([data[0], data[1], data[2], data[3]]) as usize;
+    let mut out = Vec::with_capacity(count);
+    if count == 0 {
+        return Ok(out);
+    }
+    let mut r = BitReader::new(&data[4..]);
+    let mut prev = r.read_bits(64)?;
+    out.push(f64::from_bits(prev));
+    let mut lead: u8 = 0;
+    let mut meaning: u8 = 0;
+    while out.len() < count {
+        if !r.read_bit()? {
+            out.push(f64::from_bits(prev));
+            continue;
+        }
+        if r.read_bit()? {
+            lead = r.read_bits(5)? as u8;
+            let m = r.read_bits(6)? as u8;
+            meaning = if m == 0 { 64 } else { m };
+            if u16::from(lead) + u16::from(meaning) > 64 {
+                return Err(Error::Corrupt("gorilla window exceeds 64 bits"));
+            }
+        } else if meaning == 0 {
+            return Err(Error::Corrupt("gorilla window reuse before definition"));
+        }
+        let trail = 64 - lead - meaning;
+        let xor = r.read_bits(meaning)? << trail;
+        prev ^= xor;
+        out.push(f64::from_bits(prev));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_bits_eq;
+
+    #[test]
+    fn roundtrip_tricky() {
+        let values = crate::tricky_values();
+        assert_bits_eq(&values, &decompress(&compress(&values)).unwrap());
+    }
+
+    #[test]
+    fn identical_values_cost_one_bit() {
+        let values = vec![12.75f64; 1001];
+        let comp = compress(&values);
+        // 4 header + 8 first value + 1000 bits ≈ 125 bytes.
+        assert!(comp.len() <= 4 + 8 + 130, "got {}", comp.len());
+        assert_bits_eq(&values, &decompress(&comp).unwrap());
+    }
+
+    #[test]
+    fn slowly_varying_series_compresses() {
+        let values: Vec<f64> = (0..4096).map(|i| 1000.0 + (i as f64) * 0.5).collect();
+        let comp = compress(&values);
+        assert!(comp.len() < values.len() * 8 / 2);
+        assert_bits_eq(&values, &decompress(&comp).unwrap());
+    }
+
+    #[test]
+    fn truncated_stream_is_error() {
+        let comp = compress(&[1.0, 2.0, 3.0]);
+        assert!(decompress(&comp[..comp.len() - 1]).is_err());
+        assert!(decompress(&[1, 0]).is_err());
+    }
+
+    #[test]
+    fn meaning_64_roundtrips() {
+        // Force a full-width XOR: values with opposite sign bits and noisy
+        // mantissas produce 0 leading zeros.
+        let values = vec![f64::from_bits(0x0000_0000_0000_0001), f64::from_bits(0xFFFF_FFFF_FFFF_FFFF)];
+        assert_bits_eq(&values, &decompress(&compress(&values)).unwrap());
+    }
+}

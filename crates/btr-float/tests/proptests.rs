@@ -1,0 +1,56 @@
+//! Property tests: all four baseline float codecs must be bit-exact lossless
+//! on arbitrary doubles, including NaN payloads.
+
+use btr_float::FloatCodec;
+use proptest::prelude::*;
+
+fn arb_f64() -> impl Strategy<Value = f64> {
+    // Cover both "nice" values and raw bit patterns (NaNs, denormals...).
+    prop_oneof![
+        any::<f64>(),
+        any::<u64>().prop_map(f64::from_bits),
+        (-1_000_000i64..1_000_000).prop_map(|i| i as f64 / 100.0),
+    ]
+}
+
+fn assert_bits_eq(a: &[f64], b: &[f64]) -> std::result::Result<(), TestCaseError> {
+    prop_assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        prop_assert_eq!(x.to_bits(), y.to_bits());
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn fpc_roundtrips(values in proptest::collection::vec(arb_f64(), 0..500)) {
+        let out = FloatCodec::Fpc.decompress(&FloatCodec::Fpc.compress(&values)).unwrap();
+        assert_bits_eq(&values, &out)?;
+    }
+
+    #[test]
+    fn gorilla_roundtrips(values in proptest::collection::vec(arb_f64(), 0..500)) {
+        let out = FloatCodec::Gorilla.decompress(&FloatCodec::Gorilla.compress(&values)).unwrap();
+        assert_bits_eq(&values, &out)?;
+    }
+
+    #[test]
+    fn chimp_roundtrips(values in proptest::collection::vec(arb_f64(), 0..500)) {
+        let out = FloatCodec::Chimp.decompress(&FloatCodec::Chimp.compress(&values)).unwrap();
+        assert_bits_eq(&values, &out)?;
+    }
+
+    #[test]
+    fn chimp128_roundtrips(values in proptest::collection::vec(arb_f64(), 0..500)) {
+        let out = FloatCodec::Chimp128.decompress(&FloatCodec::Chimp128.compress(&values)).unwrap();
+        assert_bits_eq(&values, &out)?;
+    }
+
+    #[test]
+    fn chimp128_roundtrips_low_cardinality(values in proptest::collection::vec(
+            prop_oneof![Just(0.0f64), Just(1.5), Just(-7.25), Just(99.99)], 0..800)) {
+        // Low-cardinality data exercises the exact-match (flag 00) path heavily.
+        let out = FloatCodec::Chimp128.decompress(&FloatCodec::Chimp128.compress(&values)).unwrap();
+        assert_bits_eq(&values, &out)?;
+    }
+}

@@ -1,0 +1,337 @@
+//! The immutable symbol table: matching, encoding, decoding, serialization.
+
+use crate::{Error, Result};
+
+/// Maximum number of real symbols; code 255 is reserved as the escape marker.
+pub const MAX_SYMBOLS: usize = 255;
+
+/// Maximum symbol length in bytes.
+pub const MAX_SYMBOL_LEN: usize = 8;
+
+/// The escape code: the following stream byte is a literal.
+pub const ESCAPE: u8 = 255;
+
+/// A symbol: up to 8 bytes stored little-endian in a `u64`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Symbol {
+    pub bytes: u64,
+    pub len: u8,
+}
+
+impl Symbol {
+    #[inline]
+    pub fn as_slice(&self) -> [u8; 8] {
+        self.bytes.to_le_bytes()
+    }
+
+    #[inline]
+    pub fn first_byte(&self) -> u8 {
+        (self.bytes & 0xFF) as u8
+    }
+
+    /// Whether `input` starts with this symbol.
+    #[inline]
+    fn matches(&self, input: &[u8]) -> bool {
+        let len = self.len as usize;
+        if input.len() < len {
+            return false;
+        }
+        // Load up to 8 input bytes and compare the masked prefix.
+        let mut buf = [0u8; 8];
+        let take = input.len().min(8);
+        buf[..take].copy_from_slice(&input[..take]);
+        let word = u64::from_le_bytes(buf);
+        let mask = if len == 8 { u64::MAX } else { (1u64 << (len * 8)) - 1 };
+        (word & mask) == self.bytes
+    }
+}
+
+/// An immutable FSST symbol table plus the lookup structures for encoding.
+#[derive(Debug, Clone)]
+pub struct SymbolTable {
+    /// Symbols indexed by code (0..symbols.len()).
+    symbols: Vec<Symbol>,
+    /// Per-first-byte candidate codes, sorted by symbol length descending so
+    /// the greedy longest-match encoder tries long symbols first.
+    buckets: Vec<Vec<u8>>,
+}
+
+impl SymbolTable {
+    pub(crate) fn from_symbols(symbols: Vec<Symbol>) -> Self {
+        debug_assert!(symbols.len() <= MAX_SYMBOLS);
+        let mut buckets: Vec<Vec<u8>> = vec![Vec::new(); 256];
+        for (code, sym) in symbols.iter().enumerate() {
+            debug_assert!(sym.len >= 1 && sym.len as usize <= MAX_SYMBOL_LEN);
+            buckets[usize::from(sym.first_byte())].push(code as u8);
+        }
+        for bucket in &mut buckets {
+            bucket.sort_by_key(|&c| std::cmp::Reverse(symbols[usize::from(c)].len));
+        }
+        SymbolTable { symbols, buckets }
+    }
+
+    /// Builds a symbol table from sample byte-strings; see the crate docs.
+    pub fn train(sample: &[&[u8]]) -> Self {
+        crate::train::train(sample)
+    }
+
+    /// Number of symbols in the table.
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Whether the table has no symbols (everything will be escaped).
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// Compresses `input`, appending codes to `out`.
+    ///
+    /// Greedy longest-match: at each position the longest matching symbol is
+    /// emitted; if none matches, an escape plus the literal byte is emitted.
+    pub fn compress(&self, input: &[u8], out: &mut Vec<u8>) {
+        out.reserve(input.len() + input.len() / 2);
+        let mut pos = 0usize;
+        while pos < input.len() {
+            let rest = &input[pos..];
+            let bucket = &self.buckets[usize::from(rest[0])];
+            let mut matched = false;
+            for &code in bucket {
+                let sym = &self.symbols[usize::from(code)];
+                if sym.matches(rest) {
+                    out.push(code);
+                    pos += sym.len as usize;
+                    matched = true;
+                    break;
+                }
+            }
+            if !matched {
+                out.push(ESCAPE);
+                out.push(rest[0]);
+                pos += 1;
+            }
+        }
+    }
+
+    /// Size `compress` would produce, without materializing the output.
+    pub fn compressed_size(&self, input: &[u8]) -> usize {
+        let mut size = 0usize;
+        let mut pos = 0usize;
+        while pos < input.len() {
+            let rest = &input[pos..];
+            let bucket = &self.buckets[usize::from(rest[0])];
+            let mut matched = false;
+            for &code in bucket {
+                let sym = &self.symbols[usize::from(code)];
+                if sym.matches(rest) {
+                    size += 1;
+                    pos += sym.len as usize;
+                    matched = true;
+                    break;
+                }
+            }
+            if !matched {
+                size += 2;
+                pos += 1;
+            }
+        }
+        size
+    }
+
+    /// Decompresses `input`, appending to `out`.
+    ///
+    /// The hot loop writes each symbol as one unconditional 8-byte store and
+    /// then advances by the true length — the "write behind the output end"
+    /// trick from the paper — so there is no per-byte copy loop. `out` is
+    /// over-reserved by 8 bytes to make the trailing store safe.
+    pub fn decompress(&self, input: &[u8], out: &mut Vec<u8>) -> Result<()> {
+        out.reserve(input.len() * MAX_SYMBOL_LEN + 8);
+        let n_symbols = self.symbols.len() as u8;
+        let mut i = 0usize;
+        while i < input.len() {
+            let code = input[i];
+            if code == ESCAPE {
+                if i + 1 >= input.len() {
+                    return Err(Error::TruncatedEscape);
+                }
+                out.push(input[i + 1]);
+                i += 2;
+            } else {
+                if code >= n_symbols {
+                    return Err(Error::UnknownCode(code));
+                }
+                let sym = self.symbols[usize::from(code)];
+                let old_len = out.len();
+                // SAFETY: `reserve` above guarantees at least 8 spare bytes
+                // beyond any point we write within this loop iteration, and
+                // we immediately fix up the length to the true symbol length.
+                unsafe {
+                    if out.capacity() < old_len + 8 {
+                        out.reserve(8 + (input.len() - i) * MAX_SYMBOL_LEN);
+                    }
+                    let dst = out.as_mut_ptr().add(old_len);
+                    std::ptr::copy_nonoverlapping(sym.as_slice().as_ptr(), dst, 8);
+                    out.set_len(old_len + sym.len as usize);
+                }
+                i += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes the table: `[n][len_0..len_n-1][bytes...]`.
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(1 + self.symbols.len() * 9);
+        out.push(self.symbols.len() as u8);
+        for s in &self.symbols {
+            out.push(s.len);
+        }
+        for s in &self.symbols {
+            out.extend_from_slice(&s.as_slice()[..s.len as usize]);
+        }
+        out
+    }
+
+    /// Size of [`SymbolTable::serialize`]'s output.
+    pub fn serialized_size(&self) -> usize {
+        1 + self
+            .symbols
+            .iter()
+            .map(|s| 1 + s.len as usize)
+            .sum::<usize>()
+    }
+
+    /// Deserializes a table produced by [`SymbolTable::serialize`], returning
+    /// the table and the number of bytes consumed.
+    pub fn deserialize(bytes: &[u8]) -> Result<Self> {
+        let (&n, rest) = bytes.split_first().ok_or(Error::CorruptTable("empty buffer"))?;
+        let n = usize::from(n);
+        if n > MAX_SYMBOLS {
+            return Err(Error::CorruptTable("too many symbols"));
+        }
+        if rest.len() < n {
+            return Err(Error::CorruptTable("missing length array"));
+        }
+        let (lens, mut data) = rest.split_at(n);
+        let mut symbols = Vec::with_capacity(n);
+        for &len in lens {
+            let len_us = usize::from(len);
+            if len_us == 0 || len_us > MAX_SYMBOL_LEN {
+                return Err(Error::CorruptTable("symbol length out of range"));
+            }
+            if data.len() < len_us {
+                return Err(Error::CorruptTable("missing symbol bytes"));
+            }
+            let mut buf = [0u8; 8];
+            buf[..len_us].copy_from_slice(&data[..len_us]);
+            data = &data[len_us..];
+            symbols.push(Symbol {
+                bytes: u64::from_le_bytes(buf),
+                len,
+            });
+        }
+        Ok(SymbolTable::from_symbols(symbols))
+    }
+
+    /// Crate-internal access to the symbol array (used by training).
+    pub(crate) fn symbols(&self) -> &[Symbol] {
+        &self.symbols
+    }
+
+    /// Crate-internal access to the first-byte buckets (used by training).
+    pub(crate) fn bucket(&self, first: u8) -> &[u8] {
+        &self.buckets[usize::from(first)]
+    }
+
+    /// Whether `input` starts with symbol `code`'s bytes (used by training).
+    pub(crate) fn symbol_matches(&self, code: u8, input: &[u8]) -> bool {
+        self.symbols[usize::from(code)].matches(input)
+    }
+
+    /// Number of bytes [`SymbolTable::deserialize`] consumes for this buffer
+    /// without fully parsing symbol contents.
+    pub fn deserialized_len(bytes: &[u8]) -> Result<usize> {
+        let (&n, rest) = bytes.split_first().ok_or(Error::CorruptTable("empty buffer"))?;
+        let n = usize::from(n);
+        if rest.len() < n {
+            return Err(Error::CorruptTable("missing length array"));
+        }
+        let body: usize = rest[..n].iter().map(|&l| usize::from(l)).sum();
+        Ok(1 + n + body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(s: &[u8]) -> Symbol {
+        let mut buf = [0u8; 8];
+        buf[..s.len()].copy_from_slice(s);
+        Symbol {
+            bytes: u64::from_le_bytes(buf),
+            len: s.len() as u8,
+        }
+    }
+
+    #[test]
+    fn longest_match_wins() {
+        let table = SymbolTable::from_symbols(vec![sym(b"ab"), sym(b"abcd"), sym(b"a")]);
+        let mut out = Vec::new();
+        table.compress(b"abcdab", &mut out);
+        assert_eq!(out, vec![1, 0]); // "abcd" then "ab"
+    }
+
+    #[test]
+    fn escape_for_unmatched() {
+        let table = SymbolTable::from_symbols(vec![sym(b"x")]);
+        let mut out = Vec::new();
+        table.compress(b"xyx", &mut out);
+        assert_eq!(out, vec![0, ESCAPE, b'y', 0]);
+    }
+
+    #[test]
+    fn compressed_size_matches_compress() {
+        let table = SymbolTable::from_symbols(vec![sym(b"ab"), sym(b"a")]);
+        for input in [b"abababa".as_slice(), b"zzz", b"", b"aabbab"] {
+            let mut out = Vec::new();
+            table.compress(input, &mut out);
+            assert_eq!(out.len(), table.compressed_size(input));
+        }
+    }
+
+    #[test]
+    fn decompress_rejects_unknown_code() {
+        let table = SymbolTable::from_symbols(vec![sym(b"a")]);
+        let mut out = Vec::new();
+        assert_eq!(table.decompress(&[7], &mut out), Err(Error::UnknownCode(7)));
+    }
+
+    #[test]
+    fn symbol_match_at_input_end() {
+        // A 4-byte symbol must not match when only 3 bytes remain.
+        let table = SymbolTable::from_symbols(vec![sym(b"abcd"), sym(b"a")]);
+        let mut out = Vec::new();
+        table.compress(b"abc", &mut out);
+        assert_eq!(out, vec![1, ESCAPE, b'b', ESCAPE, b'c']);
+    }
+
+    #[test]
+    fn deserialize_rejects_garbage() {
+        assert!(SymbolTable::deserialize(&[]).is_err());
+        assert!(SymbolTable::deserialize(&[1]).is_err()); // promises 1 symbol, no lens
+        assert!(SymbolTable::deserialize(&[1, 9, 0, 0, 0, 0, 0, 0, 0, 0, 0]).is_err()); // len 9
+        assert!(SymbolTable::deserialize(&[1, 4, 1, 2]).is_err()); // missing bytes
+    }
+
+    #[test]
+    fn eight_byte_symbols() {
+        let table = SymbolTable::from_symbols(vec![sym(b"12345678")]);
+        let mut comp = Vec::new();
+        table.compress(b"1234567812345678", &mut comp);
+        assert_eq!(comp, vec![0, 0]);
+        let mut out = Vec::new();
+        table.decompress(&comp, &mut out).unwrap();
+        assert_eq!(out, b"1234567812345678");
+    }
+}

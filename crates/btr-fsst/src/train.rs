@@ -1,0 +1,155 @@
+//! Iterative bottom-up symbol table construction.
+//!
+//! Follows the FSST paper's training loop: several generations of
+//! (1) greedily parsing a sample with the current table, (2) counting how
+//! often each symbol and each adjacent symbol *pair* occurs, (3) rebuilding
+//! the table from the 255 candidates with the highest gain (`count × length`),
+//! where pairs become longer concatenated symbols. Literal bytes that the
+//! current table cannot match are treated as single-byte pseudo-symbols so
+//! they can earn a code in the next generation.
+
+use crate::table::{Symbol, SymbolTable, MAX_SYMBOLS, MAX_SYMBOL_LEN};
+use std::collections::HashMap;
+
+/// Training generations; the paper uses 5.
+const GENERATIONS: usize = 5;
+
+/// Cap on the total number of sample bytes consumed (the paper uses ~16 KiB).
+const SAMPLE_BYTES: usize = 16 * 1024;
+
+/// Key for candidate symbols during counting: packed bytes + length.
+type CandKey = (u64, u8);
+
+#[inline]
+fn concat(a: CandKey, b: CandKey) -> Option<CandKey> {
+    let total = a.1 + b.1;
+    if usize::from(total) > MAX_SYMBOL_LEN {
+        return None;
+    }
+    Some((a.0 | (b.0 << (8 * u32::from(a.1))), total))
+}
+
+/// Greedy parse of `text` with the current table, yielding candidate keys.
+/// Unmatched bytes come out as single-byte pseudo-symbols. This mirrors the
+/// encoder's longest-match loop exactly, so training optimizes the behaviour
+/// compression will actually exhibit.
+fn parse<'a>(table: &'a SymbolTable, text: &'a [u8]) -> impl Iterator<Item = CandKey> + 'a {
+    let mut pos = 0usize;
+    std::iter::from_fn(move || {
+        if pos >= text.len() {
+            return None;
+        }
+        let rest = &text[pos..];
+        for &code in table.bucket(rest[0]) {
+            if table.symbol_matches(code, rest) {
+                let sym = table.symbols()[usize::from(code)];
+                pos += usize::from(sym.len);
+                return Some((sym.bytes, sym.len));
+            }
+        }
+        let b = rest[0];
+        pos += 1;
+        Some((u64::from(b), 1u8))
+    })
+}
+
+/// Trains a symbol table on the given sample strings.
+pub(crate) fn train(sample: &[&[u8]]) -> SymbolTable {
+    // Gather up to SAMPLE_BYTES of text, spreading across the strings so a
+    // single huge string does not dominate.
+    let mut budget = SAMPLE_BYTES;
+    let mut texts: Vec<&[u8]> = Vec::new();
+    for s in sample {
+        if budget == 0 {
+            break;
+        }
+        let take = s.len().min(budget.max(64)).min(budget);
+        if take == 0 {
+            continue;
+        }
+        texts.push(&s[..take]);
+        budget = budget.saturating_sub(take);
+    }
+    if texts.is_empty() {
+        return SymbolTable::from_symbols(Vec::new());
+    }
+
+    let mut table = SymbolTable::from_symbols(Vec::new());
+    for _gen in 0..GENERATIONS {
+        let mut gains: HashMap<CandKey, u64> = HashMap::new();
+        for text in &texts {
+            let mut prev: Option<CandKey> = None;
+            for key in parse(&table, text) {
+                *gains.entry(key).or_insert(0) += u64::from(key.1);
+                if let Some(p) = prev {
+                    if let Some(pair) = concat(p, key) {
+                        *gains.entry(pair).or_insert(0) += u64::from(pair.1);
+                    }
+                }
+                prev = Some(key);
+            }
+        }
+        // Keep the MAX_SYMBOLS candidates with the highest gain. Gains below
+        // the cost of an escape (single-byte symbols seen once) are dropped.
+        let mut cands: Vec<(CandKey, u64)> = gains
+            .into_iter()
+            .filter(|&((_, len), gain)| gain > u64::from(len))
+            .collect();
+        cands.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        cands.truncate(MAX_SYMBOLS);
+        let symbols: Vec<Symbol> = cands
+            .into_iter()
+            .map(|((bytes, len), _)| Symbol { bytes, len })
+            .collect();
+        table = SymbolTable::from_symbols(symbols);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concat_caps_at_eight() {
+        let a = (0x1234, 7u8);
+        let b = (0x56, 1u8);
+        assert!(concat(a, b).is_some());
+        let c = (0x5678, 2u8);
+        assert!(concat(a, c).is_none());
+    }
+
+    #[test]
+    fn concat_orders_bytes() {
+        let a = (u64::from_le_bytes(*b"ab\0\0\0\0\0\0"), 2u8);
+        let b = (u64::from_le_bytes(*b"cd\0\0\0\0\0\0"), 2u8);
+        let (bytes, len) = concat(a, b).unwrap();
+        assert_eq!(len, 4);
+        assert_eq!(&bytes.to_le_bytes()[..4], b"abcd");
+    }
+
+    #[test]
+    fn training_learns_long_symbols() {
+        let text = b"common_prefix/common_prefix/common_prefix/".repeat(50);
+        let table = train(&[&text]);
+        assert!(!table.is_empty());
+        // The learned table must cut the text at least in half.
+        assert!(table.compressed_size(&text) * 2 < text.len());
+    }
+
+    #[test]
+    fn training_on_empty_sample() {
+        let table = train(&[]);
+        assert!(table.is_empty());
+        let table = train(&[b"".as_slice()]);
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let text = b"deterministic output matters for tests".repeat(20);
+        let t1 = train(&[&text]).serialize();
+        let t2 = train(&[&text]).serialize();
+        assert_eq!(t1, t2);
+    }
+}

@@ -1,0 +1,66 @@
+//! Property tests: FSST must round-trip arbitrary binary strings, regardless
+//! of what the table was trained on.
+
+use btr_fsst::SymbolTable;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn roundtrip_arbitrary_input(train in proptest::collection::vec(any::<u8>(), 0..2000),
+                                 input in proptest::collection::vec(any::<u8>(), 0..2000)) {
+        let table = SymbolTable::train(&[&train]);
+        let mut comp = Vec::new();
+        table.compress(&input, &mut comp);
+        let mut out = Vec::new();
+        table.decompress(&comp, &mut out).unwrap();
+        prop_assert_eq!(out, input);
+    }
+
+    #[test]
+    fn roundtrip_on_training_data(input in proptest::collection::vec(any::<u8>(), 0..3000)) {
+        let table = SymbolTable::train(&[&input]);
+        let mut comp = Vec::new();
+        table.compress(&input, &mut comp);
+        prop_assert_eq!(comp.len(), table.compressed_size(&input));
+        let mut out = Vec::new();
+        table.decompress(&comp, &mut out).unwrap();
+        prop_assert_eq!(out, input);
+    }
+
+    #[test]
+    fn roundtrip_many_strings(strings in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..100), 0..50)) {
+        let refs: Vec<&[u8]> = strings.iter().map(|s| s.as_slice()).collect();
+        let (table, data, offsets) = btr_fsst::compress_strings(&refs);
+        let mut start = 0usize;
+        for (i, &end) in offsets.iter().enumerate() {
+            let mut out = Vec::new();
+            table.decompress(&data[start..end as usize], &mut out).unwrap();
+            prop_assert_eq!(out.as_slice(), refs[i]);
+            start = end as usize;
+        }
+    }
+
+    #[test]
+    fn table_serialization_roundtrips(train in proptest::collection::vec(any::<u8>(), 0..2000)) {
+        let table = SymbolTable::train(&[&train]);
+        let bytes = table.serialize();
+        prop_assert_eq!(bytes.len(), table.serialized_size());
+        let back = SymbolTable::deserialize(&bytes).unwrap();
+        prop_assert_eq!(back.serialize(), bytes);
+    }
+
+    #[test]
+    fn ascii_text_roundtrip_and_no_expansion_blowup(
+            words in proptest::collection::vec("[a-z]{1,12}", 1..100)) {
+        let text = words.join(" ").into_bytes();
+        let table = SymbolTable::train(&[&text]);
+        let mut comp = Vec::new();
+        table.compress(&text, &mut comp);
+        // Worst case is escape-everything: 2 bytes per input byte.
+        prop_assert!(comp.len() <= 2 * text.len());
+        let mut out = Vec::new();
+        table.decompress(&comp, &mut out).unwrap();
+        prop_assert_eq!(out, text);
+    }
+}

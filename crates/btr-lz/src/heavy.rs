@@ -1,0 +1,210 @@
+//! The "heavy" codec: LZ77 with lazy matching + canonical Huffman (Zstd
+//! stand-in).
+//!
+//! Stage 1 produces the same byte-aligned token stream as
+//! [`crate::snappy_like`] but searches harder: a 4-entry hash chain and
+//! one-step lazy matching (defer a match if the next position has a longer
+//! one). Stage 2 Huffman-codes the token bytes.
+//!
+//! Format: `u32 LE uncompressed length`, `u32 LE token-stream length`,
+//! 256 code lengths (1 byte each), then the Huffman-coded token stream.
+
+use crate::{huffman, snappy_like, Error, Result};
+
+const MIN_MATCH: usize = 4;
+const MAX_MATCH: usize = 131;
+const HASH_BITS: u32 = 16;
+const WINDOW: usize = 65_535;
+const CHAIN: usize = 8;
+
+#[inline]
+fn hash4(bytes: &[u8]) -> usize {
+    let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    (v.wrapping_mul(0x9E3779B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Finds the best match for `pos`, probing a small hash chain.
+fn best_match(input: &[u8], pos: usize, table: &[Vec<u32>]) -> Option<(usize, usize)> {
+    if pos + MIN_MATCH > input.len() {
+        return None;
+    }
+    let bucket = &table[hash4(&input[pos..])];
+    let mut best: Option<(usize, usize)> = None;
+    for &cand in bucket.iter().rev().take(CHAIN) {
+        let cand = cand as usize;
+        if pos - cand > WINDOW {
+            break;
+        }
+        if input[cand..cand + MIN_MATCH] != input[pos..pos + MIN_MATCH] {
+            continue;
+        }
+        let mut len = MIN_MATCH;
+        let max = (input.len() - pos).min(MAX_MATCH);
+        while len < max && input[cand + len] == input[pos + len] {
+            len += 1;
+        }
+        if best.is_none_or(|(blen, _)| len > blen) {
+            best = Some((len, pos - cand));
+        }
+    }
+    best
+}
+
+fn emit_literals(out: &mut Vec<u8>, lits: &[u8]) {
+    for chunk in lits.chunks(128) {
+        out.push((chunk.len() - 1) as u8);
+        out.extend_from_slice(chunk);
+    }
+}
+
+/// LZ77 stage with lazy matching; produces the snappy-like token format.
+fn lz_tokens(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    let mut table: Vec<Vec<u32>> = vec![Vec::new(); 1 << HASH_BITS];
+    let mut pos = 0usize;
+    let mut lit_start = 0usize;
+    while pos + MIN_MATCH <= input.len() {
+        let m = best_match(input, pos, &table);
+        table[hash4(&input[pos..])].push(pos as u32);
+        let Some((len, offset)) = m else {
+            pos += 1;
+            continue;
+        };
+        // Lazy matching: if the next position has a strictly longer match,
+        // emit this byte as a literal and take the later match instead.
+        if pos + 1 + MIN_MATCH <= input.len() {
+            if let Some((next_len, _)) = best_match(input, pos + 1, &table) {
+                if next_len > len + 1 {
+                    pos += 1;
+                    continue;
+                }
+            }
+        }
+        emit_literals(&mut out, &input[lit_start..pos]);
+        out.push(0x80 | (len - MIN_MATCH) as u8);
+        out.extend_from_slice(&(offset as u16).to_le_bytes());
+        // Index the skipped positions so later matches can reference them.
+        for p in pos + 1..(pos + len).min(input.len().saturating_sub(MIN_MATCH - 1)) {
+            table[hash4(&input[p..])].push(p as u32);
+        }
+        pos += len;
+        lit_start = pos;
+    }
+    emit_literals(&mut out, &input[lit_start..]);
+    out
+}
+
+/// Compresses `input`.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let tokens = lz_tokens(input);
+    let mut freqs = [0u64; 256];
+    for &b in &tokens {
+        freqs[usize::from(b)] += 1;
+    }
+    let lens = huffman::code_lengths(&freqs);
+    let encoded = huffman::encode(&tokens, &lens);
+    let mut out = Vec::with_capacity(encoded.len() + 128 + 9);
+    out.extend_from_slice(&(input.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(tokens.len() as u32).to_le_bytes());
+    // Code-length table: sparse `[1][n][sym,len]*` when few symbols are
+    // active, dense `[0][256 lens]` otherwise.
+    let nonzero: Vec<u8> = (0..=255u8).filter(|&s| lens[usize::from(s)] > 0).collect();
+    if nonzero.len() < 120 {
+        out.push(1);
+        out.push(nonzero.len() as u8);
+        for &sym in &nonzero {
+            out.push(sym);
+            out.push(lens[usize::from(sym)]);
+        }
+    } else {
+        out.push(0);
+        out.extend_from_slice(&lens);
+    }
+    out.extend_from_slice(&encoded);
+    out
+}
+
+/// Decompresses data produced by [`compress`].
+pub fn decompress(input: &[u8]) -> Result<Vec<u8>> {
+    if input.len() < 9 {
+        return Err(Error::UnexpectedEnd);
+    }
+    let raw_len = u32::from_le_bytes([input[0], input[1], input[2], input[3]]) as usize;
+    let token_len = u32::from_le_bytes([input[4], input[5], input[6], input[7]]) as usize;
+    let mut lens = [0u8; 256];
+    let body_start;
+    if input[8] == 1 {
+        let n = usize::from(*input.get(9).ok_or(Error::UnexpectedEnd)?);
+        if input.len() < 10 + 2 * n {
+            return Err(Error::UnexpectedEnd);
+        }
+        for pair in input[10..10 + 2 * n].chunks_exact(2) {
+            lens[usize::from(pair[0])] = pair[1];
+        }
+        body_start = 10 + 2 * n;
+    } else {
+        if input.len() < 9 + 256 {
+            return Err(Error::UnexpectedEnd);
+        }
+        lens.copy_from_slice(&input[9..9 + 256]);
+        body_start = 9 + 256;
+    }
+    let decoder = huffman::Decoder::new(&lens)?;
+    let tokens = decoder.decode(&input[body_start..], token_len)?;
+    // Reuse the snappy-like token decoder by prefixing the raw length.
+    let mut framed = Vec::with_capacity(tokens.len() + 4);
+    framed.extend_from_slice(&(raw_len as u32).to_le_bytes());
+    framed.extend_from_slice(&tokens);
+    snappy_like::decompress(&framed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(input: &[u8]) {
+        let comp = compress(input);
+        assert_eq!(decompress(&comp).unwrap(), input);
+    }
+
+    #[test]
+    fn roundtrip_basics() {
+        roundtrip(b"");
+        roundtrip(b"x");
+        roundtrip(&b"mississippi mississippi mississippi".repeat(10));
+    }
+
+    #[test]
+    fn roundtrip_binary() {
+        let input: Vec<u8> = (0u64..8192)
+            .map(|i| (i.wrapping_mul(0x2545F4914F6CDD1D) >> 32) as u8)
+            .collect();
+        roundtrip(&input);
+    }
+
+    #[test]
+    fn lazy_matching_tokens_roundtrip() {
+        // Construct data where position p has a 4-match but p+1 has a longer
+        // one, to exercise the lazy path.
+        let mut input = Vec::new();
+        input.extend_from_slice(b"abcdXYZ12345678");
+        input.extend_from_slice(b"zabcd");
+        input.extend_from_slice(b"XYZ12345678tail");
+        roundtrip(&input);
+    }
+
+    #[test]
+    fn dense_on_structured_data() {
+        let input: Vec<u8> = (0..2000u32).flat_map(|i| (i % 50).to_le_bytes()).collect();
+        let comp = compress(&input);
+        assert!(comp.len() * 3 < input.len(), "got {} for {}", comp.len(), input.len());
+        assert_eq!(decompress(&comp).unwrap(), input);
+    }
+
+    #[test]
+    fn truncated_is_error() {
+        let comp = compress(&b"hello world hello world".repeat(5));
+        assert!(decompress(&comp[..comp.len() - 1]).is_err());
+        assert!(decompress(&comp[..20]).is_err());
+    }
+}

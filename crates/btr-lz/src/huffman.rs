@@ -1,0 +1,274 @@
+//! Canonical Huffman coding over bytes.
+//!
+//! Used as the entropy stage of the [`crate::heavy`] codec. Code lengths are
+//! limited to [`MAX_CODE_LEN`] bits by frequency flattening; the header
+//! stores one length per symbol, from which both sides derive the canonical
+//! code assignment (shorter codes first, ties by symbol value).
+
+use crate::{Error, Result};
+
+/// Upper bound on code length; keeps the decoder tables small.
+pub const MAX_CODE_LEN: u8 = 15;
+
+/// Computes Huffman code lengths for the given symbol frequencies, with all
+/// lengths ≤ [`MAX_CODE_LEN`]. Zero-frequency symbols get length 0.
+pub fn code_lengths(freqs: &[u64; 256]) -> [u8; 256] {
+    let mut freqs = *freqs;
+    loop {
+        let lens = unrestricted_lengths(&freqs);
+        if lens.iter().all(|&l| l <= MAX_CODE_LEN) {
+            return lens;
+        }
+        // Flatten the distribution and retry; converges quickly because each
+        // halving shrinks the frequency ratio that causes deep trees.
+        for f in freqs.iter_mut() {
+            if *f > 0 {
+                *f = (*f / 2).max(1);
+            }
+        }
+    }
+}
+
+fn unrestricted_lengths(freqs: &[u64; 256]) -> [u8; 256] {
+    // Package the active symbols into a heap of (weight, node) and merge.
+    #[derive(Clone)]
+    enum Node {
+        Leaf(u8),
+        Internal(Box<Node>, Box<Node>),
+    }
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u32, usize)>> =
+        std::collections::BinaryHeap::new();
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut seq = 0u32; // tie-breaker for determinism
+    for (sym, &f) in freqs.iter().enumerate() {
+        if f > 0 {
+            nodes.push(Node::Leaf(sym as u8));
+            heap.push(std::cmp::Reverse((f, seq, nodes.len() - 1)));
+            seq += 1;
+        }
+    }
+    let mut lens = [0u8; 256];
+    match heap.len() {
+        0 => return lens,
+        1 => {
+            // A single distinct symbol still needs a 1-bit code.
+            if let Node::Leaf(sym) = nodes[0] {
+                lens[usize::from(sym)] = 1;
+            }
+            return lens;
+        }
+        _ => {}
+    }
+    while heap.len() > 1 {
+        let std::cmp::Reverse((fa, _, ia)) = heap.pop().expect("len > 1");
+        let std::cmp::Reverse((fb, _, ib)) = heap.pop().expect("len > 1");
+        let merged = Node::Internal(
+            Box::new(nodes[ia].clone()),
+            Box::new(nodes[ib].clone()),
+        );
+        nodes.push(merged);
+        heap.push(std::cmp::Reverse((fa + fb, seq, nodes.len() - 1)));
+        seq += 1;
+    }
+    let std::cmp::Reverse((_, _, root)) = heap.pop().expect("root");
+    // Depth-first traversal assigning depths.
+    fn assign(node: &Node, depth: u8, lens: &mut [u8; 256]) {
+        match node {
+            Node::Leaf(sym) => lens[usize::from(*sym)] = depth.max(1),
+            Node::Internal(a, b) => {
+                assign(a, depth + 1, lens);
+                assign(b, depth + 1, lens);
+            }
+        }
+    }
+    assign(&nodes[root], 0, &mut lens);
+    lens
+}
+
+/// Canonical code assignment: returns `codes[sym]` (MSB-first bit patterns).
+pub fn canonical_codes(lens: &[u8; 256]) -> [u16; 256] {
+    let mut count = [0u16; MAX_CODE_LEN as usize + 1];
+    for &l in lens.iter() {
+        count[usize::from(l)] += 1;
+    }
+    count[0] = 0;
+    let mut next = [0u16; MAX_CODE_LEN as usize + 2];
+    let mut code = 0u16;
+    for len in 1..=usize::from(MAX_CODE_LEN) {
+        code = (code + count[len - 1]) << 1;
+        next[len] = code;
+    }
+    let mut codes = [0u16; 256];
+    for sym in 0..256 {
+        let l = usize::from(lens[sym]);
+        if l > 0 {
+            codes[sym] = next[l];
+            next[l] += 1;
+        }
+    }
+    codes
+}
+
+/// Encodes `input` with the canonical code defined by `lens`.
+pub fn encode(input: &[u8], lens: &[u8; 256]) -> Vec<u8> {
+    let codes = canonical_codes(lens);
+    let mut out = Vec::with_capacity(input.len() / 2 + 8);
+    let mut acc: u64 = 0;
+    let mut nbits: u32 = 0;
+    for &b in input {
+        let l = u32::from(lens[usize::from(b)]);
+        debug_assert!(l > 0, "symbol without code");
+        acc = (acc << l) | u64::from(codes[usize::from(b)]);
+        nbits += l;
+        while nbits >= 8 {
+            nbits -= 8;
+            out.push((acc >> nbits) as u8);
+        }
+    }
+    if nbits > 0 {
+        out.push((acc << (8 - nbits)) as u8);
+    }
+    out
+}
+
+/// Table-driven decoder: one [`MAX_CODE_LEN`]-bit peek resolves a symbol and
+/// its code length in a single lookup, so decoding costs O(1) per symbol
+/// instead of O(bits). The table has `2^15` entries of `(symbol, len)`.
+pub struct Decoder {
+    /// `lut[peek] = (symbol, code_len)`; `code_len == 0` marks invalid codes.
+    lut: Vec<(u8, u8)>,
+}
+
+impl Decoder {
+    /// Builds a decoder from code lengths.
+    pub fn new(lens: &[u8; 256]) -> Result<Decoder> {
+        if lens.iter().any(|&l| l > MAX_CODE_LEN) {
+            return Err(Error::Corrupt("huffman code length too large"));
+        }
+        let codes = canonical_codes(lens);
+        let mut lut = vec![(0u8, 0u8); 1 << MAX_CODE_LEN];
+        for sym in 0..256usize {
+            let len = lens[sym];
+            if len == 0 {
+                continue;
+            }
+            // All table entries whose top `len` bits equal the code map here.
+            let shift = MAX_CODE_LEN - len;
+            let base = usize::from(codes[sym]) << shift;
+            for fill in 0..(1usize << shift) {
+                lut[base | fill] = (sym as u8, len);
+            }
+        }
+        Ok(Decoder { lut })
+    }
+
+    /// Decodes exactly `n` symbols from `input`.
+    pub fn decode(&self, input: &[u8], n: usize) -> Result<Vec<u8>> {
+        let mut out = Vec::with_capacity(n);
+        // Bit reservoir: `avail` valid bits in the low end of `acc`.
+        let mut acc: u64 = 0;
+        let mut avail: u32 = 0;
+        let mut pos = 0usize;
+        let max_len = u32::from(MAX_CODE_LEN);
+        while out.len() < n {
+            while avail < max_len && pos < input.len() {
+                acc = (acc << 8) | u64::from(input[pos]);
+                pos += 1;
+                avail += 8;
+            }
+            if avail == 0 {
+                return Err(Error::UnexpectedEnd);
+            }
+            // Left-align a MAX_CODE_LEN-bit peek (zero-padded at stream end).
+            let peek = if avail >= max_len {
+                (acc >> (avail - max_len)) as usize & ((1 << max_len) - 1)
+            } else {
+                ((acc << (max_len - avail)) as usize) & ((1 << max_len) - 1)
+            };
+            let (sym, len) = self.lut[peek];
+            if len == 0 || u32::from(len) > avail {
+                return Err(Error::UnexpectedEnd);
+            }
+            out.push(sym);
+            avail -= u32::from(len);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn freqs_of(input: &[u8]) -> [u64; 256] {
+        let mut f = [0u64; 256];
+        for &b in input {
+            f[usize::from(b)] += 1;
+        }
+        f
+    }
+
+    fn roundtrip(input: &[u8]) {
+        let lens = code_lengths(&freqs_of(input));
+        let enc = encode(input, &lens);
+        let dec = Decoder::new(&lens).unwrap().decode(&enc, input.len()).unwrap();
+        assert_eq!(dec, input);
+    }
+
+    #[test]
+    fn roundtrip_text() {
+        roundtrip(b"abracadabra abracadabra abracadabra");
+    }
+
+    #[test]
+    fn roundtrip_single_symbol() {
+        roundtrip(&[42u8; 100]);
+    }
+
+    #[test]
+    fn roundtrip_two_symbols() {
+        let input: Vec<u8> = (0..1000).map(|i| if i % 10 == 0 { 1 } else { 0 }).collect();
+        roundtrip(&input);
+    }
+
+    #[test]
+    fn roundtrip_all_bytes() {
+        let input: Vec<u8> = (0..=255u8).cycle().take(5000).collect();
+        roundtrip(&input);
+    }
+
+    #[test]
+    fn skewed_distribution_respects_max_len() {
+        // Fibonacci-like frequencies force deep unrestricted trees.
+        let mut freqs = [0u64; 256];
+        let (mut a, mut b) = (1u64, 1u64);
+        for f in freqs.iter_mut().take(40) {
+            *f = a;
+            let c = a.saturating_add(b);
+            a = b;
+            b = c;
+        }
+        let lens = code_lengths(&freqs);
+        assert!(lens.iter().all(|&l| l <= MAX_CODE_LEN));
+        // And the resulting canonical code must still be decodable.
+        let input: Vec<u8> = (0..40u8).flat_map(|s| std::iter::repeat_n(s, 3)).collect();
+        let enc = encode(&input, &lens);
+        let dec = Decoder::new(&lens).unwrap().decode(&enc, input.len()).unwrap();
+        assert_eq!(dec, input);
+    }
+
+    #[test]
+    fn entropy_reduction_on_skew() {
+        let input: Vec<u8> = (0..10_000).map(|i| if i % 20 == 0 { b'x' } else { b'a' }).collect();
+        let lens = code_lengths(&freqs_of(&input));
+        let enc = encode(&input, &lens);
+        assert!(enc.len() * 4 < input.len(), "got {} bytes", enc.len());
+    }
+
+    #[test]
+    fn decoder_rejects_overlong_lengths() {
+        let mut lens = [0u8; 256];
+        lens[0] = MAX_CODE_LEN + 1;
+        assert!(Decoder::new(&lens).is_err());
+    }
+}

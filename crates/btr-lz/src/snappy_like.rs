@@ -1,0 +1,167 @@
+//! Fast byte-aligned LZ77 (Snappy/LZ4 stand-in).
+//!
+//! Format: `u32 LE uncompressed length`, then a token stream:
+//! * control byte `< 0x80` — literal run of `control + 1` bytes (1..=128)
+//!   follows inline,
+//! * control byte `>= 0x80` — match of length `(control & 0x7F) + MIN_MATCH`
+//!   (4..=131) at a 2-byte little-endian backwards `offset` (1..=65535).
+//!
+//! Match finding is a single-probe hash table over 4-byte prefixes — the
+//! same "good enough, never slow" strategy Snappy uses.
+
+use crate::{Error, Result};
+
+const MIN_MATCH: usize = 4;
+const MAX_MATCH: usize = 131;
+const HASH_BITS: u32 = 15;
+const WINDOW: usize = 65_535;
+
+#[inline]
+fn hash4(bytes: &[u8]) -> usize {
+    let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    (v.wrapping_mul(0x9E3779B1) >> (32 - HASH_BITS)) as usize
+}
+
+fn emit_literals(out: &mut Vec<u8>, lits: &[u8]) {
+    for chunk in lits.chunks(128) {
+        out.push((chunk.len() - 1) as u8);
+        out.extend_from_slice(chunk);
+    }
+}
+
+/// Compresses `input`.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    out.extend_from_slice(&(input.len() as u32).to_le_bytes());
+    let mut table = vec![usize::MAX; 1 << HASH_BITS];
+    let mut pos = 0usize;
+    let mut lit_start = 0usize;
+    while pos + MIN_MATCH <= input.len() {
+        let h = hash4(&input[pos..]);
+        let cand = table[h];
+        table[h] = pos;
+        if cand != usize::MAX
+            && pos - cand <= WINDOW
+            && input[cand..cand + MIN_MATCH] == input[pos..pos + MIN_MATCH]
+        {
+            // Extend the match.
+            let mut len = MIN_MATCH;
+            let max = (input.len() - pos).min(MAX_MATCH);
+            while len < max && input[cand + len] == input[pos + len] {
+                len += 1;
+            }
+            emit_literals(&mut out, &input[lit_start..pos]);
+            let offset = (pos - cand) as u16;
+            out.push(0x80 | (len - MIN_MATCH) as u8);
+            out.extend_from_slice(&offset.to_le_bytes());
+            pos += len;
+            lit_start = pos;
+        } else {
+            pos += 1;
+        }
+    }
+    emit_literals(&mut out, &input[lit_start..]);
+    out
+}
+
+/// Decompresses data produced by [`compress`].
+pub fn decompress(input: &[u8]) -> Result<Vec<u8>> {
+    if input.len() < 4 {
+        return Err(Error::UnexpectedEnd);
+    }
+    let n = u32::from_le_bytes([input[0], input[1], input[2], input[3]]) as usize;
+    let mut out = Vec::with_capacity(n);
+    let mut pos = 4usize;
+    while out.len() < n {
+        let Some(&control) = input.get(pos) else {
+            return Err(Error::UnexpectedEnd);
+        };
+        pos += 1;
+        if control < 0x80 {
+            let len = usize::from(control) + 1;
+            if pos + len > input.len() {
+                return Err(Error::UnexpectedEnd);
+            }
+            out.extend_from_slice(&input[pos..pos + len]);
+            pos += len;
+        } else {
+            if pos + 2 > input.len() {
+                return Err(Error::UnexpectedEnd);
+            }
+            let offset = usize::from(u16::from_le_bytes([input[pos], input[pos + 1]]));
+            pos += 2;
+            let len = usize::from(control & 0x7F) + MIN_MATCH;
+            if offset == 0 || offset > out.len() {
+                return Err(Error::Corrupt("match offset out of range"));
+            }
+            let start = out.len() - offset;
+            if offset >= len {
+                // Non-overlapping: one bulk copy.
+                out.extend_from_within(start..start + len);
+            } else {
+                // Overlapping (RLE-style, e.g. offset 1): the pattern repeats,
+                // so copy in pattern-sized doublings.
+                let mut copied = 0usize;
+                while copied < len {
+                    let take = offset.min(len - copied);
+                    out.extend_from_within(start + copied..start + copied + take);
+                    copied += take;
+                }
+            }
+        }
+    }
+    if out.len() != n {
+        return Err(Error::Corrupt("decompressed length mismatch"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(input: &[u8]) {
+        let comp = compress(input);
+        assert_eq!(decompress(&comp).unwrap(), input);
+    }
+
+    #[test]
+    fn roundtrip_basics() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"aaaaaaaaaaaaaaaaaaaaaaaaaa");
+        roundtrip(b"abcabcabcabcabcabcabcabc");
+        roundtrip(&b"long literal with no repeats 0123456789".to_vec());
+    }
+
+    #[test]
+    fn overlapping_match_rle_style() {
+        let input = vec![7u8; 10_000];
+        let comp = compress(&input);
+        assert!(comp.len() < 400, "RLE-like input should shrink, got {}", comp.len());
+        assert_eq!(decompress(&comp).unwrap(), input);
+    }
+
+    #[test]
+    fn long_matches_split_at_max() {
+        let pattern: Vec<u8> = (0..=255u8).collect();
+        let input = pattern.repeat(40);
+        roundtrip(&input);
+    }
+
+    #[test]
+    fn corrupt_offset_is_error() {
+        // control = match, offset 5 with empty output so far.
+        let mut buf = 4u32.to_le_bytes().to_vec();
+        buf.push(0x80);
+        buf.extend_from_slice(&5u16.to_le_bytes());
+        assert!(decompress(&buf).is_err());
+    }
+
+    #[test]
+    fn truncated_is_error() {
+        let comp = compress(b"hello hello hello hello");
+        assert!(decompress(&comp[..comp.len() - 1]).is_err());
+        assert!(decompress(&[0, 0]).is_err());
+    }
+}

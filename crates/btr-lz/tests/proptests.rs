@@ -1,0 +1,42 @@
+//! Property tests: both general-purpose codecs must round-trip arbitrary
+//! bytes, including highly repetitive and incompressible inputs.
+
+use btr_lz::Codec;
+use proptest::prelude::*;
+
+fn arb_bytes() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        // Arbitrary bytes.
+        proptest::collection::vec(any::<u8>(), 0..4000),
+        // Repetitive text-like data (exercises long matches).
+        ("[a-d]{1,40}", 1usize..60).prop_map(|(s, n)| s.repeat(n).into_bytes()),
+        // Low-entropy data (exercises deep Huffman codes).
+        proptest::collection::vec(prop_oneof![9 => Just(0u8), 1 => any::<u8>()], 0..4000),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn snappy_like_roundtrips(input in arb_bytes()) {
+        let comp = Codec::SnappyLike.compress(&input);
+        prop_assert_eq!(Codec::SnappyLike.decompress(&comp).unwrap(), input);
+    }
+
+    #[test]
+    fn heavy_roundtrips(input in arb_bytes()) {
+        let comp = Codec::Heavy.compress(&input);
+        prop_assert_eq!(Codec::Heavy.decompress(&comp).unwrap(), input);
+    }
+
+    #[test]
+    fn huffman_roundtrips(input in proptest::collection::vec(any::<u8>(), 1..3000)) {
+        let mut freqs = [0u64; 256];
+        for &b in &input {
+            freqs[usize::from(b)] += 1;
+        }
+        let lens = btr_lz::huffman::code_lengths(&freqs);
+        let enc = btr_lz::huffman::encode(&input, &lens);
+        let dec = btr_lz::huffman::Decoder::new(&lens).unwrap().decode(&enc, input.len()).unwrap();
+        prop_assert_eq!(dec, input);
+    }
+}

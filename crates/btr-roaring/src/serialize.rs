@@ -1,0 +1,200 @@
+//! Compact serialization for Roaring bitmaps.
+//!
+//! Layout (little-endian):
+//! ```text
+//! u32 n_chunks
+//! per chunk:
+//!   u16 key
+//!   u8  kind            (0 = array, 1 = bitmap, 2 = run)
+//!   u32 n               (array: #values, bitmap: cardinality, run: #runs)
+//!   payload             (array: n × u16, bitmap: 1024 × u64, run: n × (u16,u16))
+//! ```
+
+use crate::container::Container;
+use crate::{RoaringBitmap, RoaringError};
+
+const KIND_ARRAY: u8 = 0;
+const KIND_BITMAP: u8 = 1;
+const KIND_RUN: u8 = 2;
+
+pub(crate) fn serialized_size(bm: &RoaringBitmap) -> usize {
+    4 + bm
+        .chunks()
+        .iter()
+        .map(|(_, c)| {
+            7 + match c {
+                Container::Array(a) => 2 * a.len(),
+                Container::Bitmap(_) => 8 * 1024,
+                Container::Run(r) => 4 * r.len(),
+            }
+        })
+        .sum::<usize>()
+}
+
+pub(crate) fn serialize(bm: &RoaringBitmap) -> Vec<u8> {
+    let mut out = Vec::with_capacity(serialized_size(bm));
+    out.extend_from_slice(&(bm.chunks().len() as u32).to_le_bytes());
+    for (key, c) in bm.chunks() {
+        out.extend_from_slice(&key.to_le_bytes());
+        match c {
+            Container::Array(a) => {
+                out.push(KIND_ARRAY);
+                out.extend_from_slice(&(a.len() as u32).to_le_bytes());
+                for &v in a {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            Container::Bitmap(b) => {
+                out.push(KIND_BITMAP);
+                out.extend_from_slice(&(c.cardinality() as u32).to_le_bytes());
+                for &w in b.iter() {
+                    out.extend_from_slice(&w.to_le_bytes());
+                }
+            }
+            Container::Run(runs) => {
+                out.push(KIND_RUN);
+                out.extend_from_slice(&(runs.len() as u32).to_le_bytes());
+                for &(s, l) in runs {
+                    out.extend_from_slice(&s.to_le_bytes());
+                    out.extend_from_slice(&l.to_le_bytes());
+                }
+            }
+        }
+    }
+    out
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], RoaringError> {
+        if self.pos + n > self.buf.len() {
+            return Err(RoaringError::UnexpectedEnd);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, RoaringError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, RoaringError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, RoaringError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+}
+
+pub(crate) fn deserialize(bytes: &[u8]) -> Result<RoaringBitmap, RoaringError> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    let n_chunks = r.u32()? as usize;
+    let mut chunks = Vec::with_capacity(n_chunks.min(1 << 16));
+    let mut prev_key: Option<u16> = None;
+    for _ in 0..n_chunks {
+        let key = r.u16()?;
+        if let Some(pk) = prev_key {
+            if key <= pk {
+                return Err(RoaringError::Corrupt("chunk keys not strictly increasing"));
+            }
+        }
+        prev_key = Some(key);
+        let kind = r.u8()?;
+        let n = r.u32()? as usize;
+        let container = match kind {
+            KIND_ARRAY => {
+                let raw = r.take(2 * n)?;
+                let mut vals = Vec::with_capacity(n);
+                for c in raw.chunks_exact(2) {
+                    vals.push(u16::from_le_bytes([c[0], c[1]]));
+                }
+                if vals.windows(2).any(|w| w[0] >= w[1]) {
+                    return Err(RoaringError::Corrupt("array container not sorted"));
+                }
+                Container::Array(vals)
+            }
+            KIND_BITMAP => {
+                let raw = r.take(8 * 1024)?;
+                let mut words = Box::new([0u64; 1024]);
+                for (i, c) in raw.chunks_exact(8).enumerate() {
+                    words[i] = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+                }
+                Container::Bitmap(words)
+            }
+            KIND_RUN => {
+                let raw = r.take(4 * n)?;
+                let mut runs = Vec::with_capacity(n);
+                for c in raw.chunks_exact(4) {
+                    runs.push((
+                        u16::from_le_bytes([c[0], c[1]]),
+                        u16::from_le_bytes([c[2], c[3]]),
+                    ));
+                }
+                Container::Run(runs)
+            }
+            _ => return Err(RoaringError::Corrupt("unknown container kind")),
+        };
+        if container.cardinality() == 0 {
+            return Err(RoaringError::Corrupt("empty container"));
+        }
+        chunks.push((key, container));
+    }
+    Ok(RoaringBitmap::from_chunks(chunks))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(bm: &RoaringBitmap) {
+        let bytes = bm.serialize();
+        assert_eq!(bytes.len(), serialized_size(bm));
+        let back = RoaringBitmap::deserialize(&bytes).unwrap();
+        assert_eq!(&back, bm);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        roundtrip(&RoaringBitmap::new());
+    }
+
+    #[test]
+    fn roundtrip_array_bitmap_run() {
+        // Sparse chunk (array), dense chunk (bitmap), run-optimized chunk.
+        let mut bm = RoaringBitmap::from_sorted_iter(
+            [5u32, 9, 1000].into_iter().chain(65_536..80_000).chain((200_000..200_100).step_by(2)),
+        );
+        bm.run_optimize();
+        roundtrip(&bm);
+    }
+
+    #[test]
+    fn deserialize_truncated_is_error() {
+        let bm = RoaringBitmap::from_sorted_iter(0..100);
+        let bytes = bm.serialize();
+        assert_eq!(
+            RoaringBitmap::deserialize(&bytes[..bytes.len() - 1]),
+            Err(RoaringError::UnexpectedEnd)
+        );
+        assert_eq!(RoaringBitmap::deserialize(&[]), Err(RoaringError::UnexpectedEnd));
+    }
+
+    #[test]
+    fn deserialize_bad_kind_is_error() {
+        let bm = RoaringBitmap::from_sorted_iter([1u32]);
+        let mut bytes = bm.serialize();
+        bytes[6] = 99; // container kind
+        assert!(matches!(
+            RoaringBitmap::deserialize(&bytes),
+            Err(RoaringError::Corrupt(_))
+        ));
+    }
+}

@@ -1,0 +1,62 @@
+//! Property tests: RoaringBitmap must behave like a `BTreeSet<u32>` model and
+//! serialization must round-trip.
+
+use btr_roaring::RoaringBitmap;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+proptest! {
+    #[test]
+    fn behaves_like_btreeset(values in proptest::collection::vec(any::<u32>(), 0..300)) {
+        let model: BTreeSet<u32> = values.iter().copied().collect();
+        let bm: RoaringBitmap = values.iter().copied().collect();
+        prop_assert_eq!(bm.cardinality() as usize, model.len());
+        prop_assert_eq!(bm.iter().collect::<Vec<_>>(), model.iter().copied().collect::<Vec<_>>());
+        for &v in values.iter().take(20) {
+            prop_assert!(bm.contains(v));
+            prop_assert_eq!(bm.rank(v) as usize, model.range(..v).count());
+        }
+    }
+
+    #[test]
+    fn from_sorted_equals_inserted(mut values in proptest::collection::btree_set(any::<u32>(), 0..300)) {
+        let sorted: Vec<u32> = values.iter().copied().collect();
+        let a = RoaringBitmap::from_sorted_iter(sorted.iter().copied());
+        let b: RoaringBitmap = sorted.iter().copied().collect();
+        prop_assert_eq!(&a, &b);
+        values.clear();
+    }
+
+    #[test]
+    fn serialize_roundtrips(values in proptest::collection::vec(any::<u32>(), 0..300), optimize in any::<bool>()) {
+        let mut bm: RoaringBitmap = values.iter().copied().collect();
+        if optimize {
+            bm.run_optimize();
+        }
+        let bytes = bm.serialize();
+        let back = RoaringBitmap::deserialize(&bytes).unwrap();
+        prop_assert_eq!(back.iter().collect::<Vec<_>>(), bm.iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn union_intersection_model(a in proptest::collection::btree_set(0u32..10_000, 0..200),
+                                b in proptest::collection::btree_set(0u32..10_000, 0..200)) {
+        let ra = RoaringBitmap::from_sorted_iter(a.iter().copied());
+        let rb = RoaringBitmap::from_sorted_iter(b.iter().copied());
+        let union_model: Vec<u32> = a.union(&b).copied().collect();
+        let inter_model: Vec<u32> = a.intersection(&b).copied().collect();
+        prop_assert_eq!(ra.union(&rb).iter().collect::<Vec<_>>(), union_model);
+        prop_assert_eq!(ra.intersection(&rb).iter().collect::<Vec<_>>(), inter_model);
+    }
+
+    #[test]
+    fn remove_matches_model(values in proptest::collection::vec(0u32..5_000, 0..200),
+                            removals in proptest::collection::vec(0u32..5_000, 0..100)) {
+        let mut model: BTreeSet<u32> = values.iter().copied().collect();
+        let mut bm: RoaringBitmap = values.iter().copied().collect();
+        for &r in &removals {
+            prop_assert_eq!(bm.remove(r), model.remove(&r));
+        }
+        prop_assert_eq!(bm.iter().collect::<Vec<_>>(), model.into_iter().collect::<Vec<_>>());
+    }
+}

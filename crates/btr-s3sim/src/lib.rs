@@ -1,0 +1,318 @@
+//! A simulated cloud object store with the paper's cost model (§6.7).
+//!
+//! The end-to-end experiments (Figure 1, Table 5) ran on a c5n.18xlarge
+//! instance scanning S3 over 100 Gbit/s networking. This crate substitutes a
+//! deterministic simulation for that testbed:
+//!
+//! * [`ObjectStore`] — an in-memory keyed blob store with ranged GETs and a
+//!   16 MB chunking helper (the request size AWS' performance guidelines
+//!   recommend and the paper uses).
+//! * [`CostModel`] — the paper's pricing: $3.89/h for the instance,
+//!   $0.0004 per 1 000 GET requests, 100 Gbit/s of aggregate network
+//!   bandwidth, and a per-request first-byte latency hidden by concurrency.
+//! * [`Simulator::scan`] — drives a scan: it issues the GETs, *measures the
+//!   real CPU time* your decompression closure takes on this machine, scales
+//!   it to the simulated core count (the paper's 36 cores, perfect-scaling
+//!   assumption documented in `DESIGN.md`), overlaps it with the simulated
+//!   network timeline, and reports duration, throughputs and dollars.
+//!
+//! The simulation preserves exactly the trade-off the paper measures: a
+//! denser format moves fewer bytes (less network time) but may burn more CPU
+//! per byte; scans are network-bound only while `T_c` — decompression
+//! throughput in *compressed* bytes — exceeds the wire speed.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Default chunk size for multi-part objects: 16 MB (paper §6.7).
+pub const DEFAULT_CHUNK: usize = 16 * 1024 * 1024;
+
+/// Pricing and physics of the simulated cloud (defaults = paper's setup).
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// Instance price in dollars per hour (c5n.18xlarge: $3.89).
+    pub instance_usd_per_hour: f64,
+    /// GET request price per 1 000 requests ($0.0004).
+    pub usd_per_1000_gets: f64,
+    /// Aggregate network bandwidth in gigabits per second (100).
+    pub network_gbps: f64,
+    /// First-byte latency per GET in milliseconds (S3-typical ~30 ms).
+    pub first_byte_latency_ms: f64,
+    /// Concurrent in-flight requests (the paper maps threads to chunks 1:1).
+    pub concurrent_requests: usize,
+    /// Simulated decompression cores (c5n.18xlarge: 36, HT disabled).
+    pub cores: usize,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            instance_usd_per_hour: 3.89,
+            usd_per_1000_gets: 0.0004,
+            network_gbps: 100.0,
+            first_byte_latency_ms: 30.0,
+            concurrent_requests: 72,
+            cores: 36,
+        }
+    }
+}
+
+/// Outcome of one simulated scan.
+#[derive(Debug, Clone, Default)]
+pub struct ScanStats {
+    /// Number of GET requests issued.
+    pub requests: u64,
+    /// Compressed bytes moved over the simulated network.
+    pub compressed_bytes: u64,
+    /// Uncompressed bytes produced by decompression.
+    pub uncompressed_bytes: u64,
+    /// Simulated seconds the network was the constraint.
+    pub network_seconds: f64,
+    /// Simulated seconds of (scaled) decompression CPU.
+    pub cpu_seconds: f64,
+    /// Simulated scan duration (network and CPU overlap).
+    pub duration_seconds: f64,
+}
+
+impl ScanStats {
+    /// Decompression throughput in uncompressed bytes — the paper's `T_r`.
+    pub fn t_r_gb_per_s(&self) -> f64 {
+        self.uncompressed_bytes as f64 / 1e9 / self.duration_seconds.max(1e-12)
+    }
+
+    /// Throughput in *compressed* bits over the wire — the paper's `T_c`.
+    pub fn t_c_gbit_per_s(&self) -> f64 {
+        self.compressed_bytes as f64 * 8.0 / 1e9 / self.duration_seconds.max(1e-12)
+    }
+}
+
+impl CostModel {
+    /// Simulated network time for moving `bytes` in `requests` GETs.
+    pub fn network_seconds(&self, bytes: u64, requests: u64) -> f64 {
+        let transfer = bytes as f64 * 8.0 / (self.network_gbps * 1e9);
+        let latency =
+            requests as f64 * self.first_byte_latency_ms / 1e3 / self.concurrent_requests.max(1) as f64;
+        transfer + latency
+    }
+
+    /// Dollar cost of a scan (instance time + request charges), the paper's
+    /// two cost components.
+    pub fn scan_cost_usd(&self, stats: &ScanStats) -> f64 {
+        stats.duration_seconds / 3600.0 * self.instance_usd_per_hour
+            + stats.requests as f64 / 1000.0 * self.usd_per_1000_gets
+    }
+}
+
+/// An in-memory object store.
+#[derive(Default)]
+pub struct ObjectStore {
+    objects: RwLock<HashMap<String, Arc<Vec<u8>>>>,
+}
+
+impl ObjectStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores one object.
+    pub fn put(&self, key: impl Into<String>, bytes: Vec<u8>) {
+        self.objects.write().insert(key.into(), Arc::new(bytes));
+    }
+
+    /// Splits `bytes` into `chunk_size` parts stored as `key/part-N`,
+    /// returning the part keys. Mirrors uploading a dataset as 16 MB chunks.
+    pub fn put_chunked(&self, key: &str, bytes: &[u8], chunk_size: usize) -> Vec<String> {
+        let chunk = chunk_size.max(1);
+        let mut keys = Vec::new();
+        if bytes.is_empty() {
+            let part = format!("{key}/part-0");
+            self.put(part.clone(), Vec::new());
+            keys.push(part);
+            return keys;
+        }
+        for (i, c) in bytes.chunks(chunk).enumerate() {
+            let part = format!("{key}/part-{i}");
+            self.put(part.clone(), c.to_vec());
+            keys.push(part);
+        }
+        keys
+    }
+
+    /// Fetches a whole object.
+    pub fn get(&self, key: &str) -> Option<Arc<Vec<u8>>> {
+        self.objects.read().get(key).cloned()
+    }
+
+    /// Fetches a byte range of an object (an HTTP range GET).
+    pub fn get_range(&self, key: &str, start: usize, len: usize) -> Option<Vec<u8>> {
+        let obj = self.get(key)?;
+        if start + len > obj.len() {
+            return None;
+        }
+        Some(obj[start..start + len].to_vec())
+    }
+
+    /// Size of an object.
+    pub fn size_of(&self, key: &str) -> Option<usize> {
+        self.get(key).map(|o| o.len())
+    }
+
+    /// Lists keys with a prefix, sorted.
+    pub fn list(&self, prefix: &str) -> Vec<String> {
+        let mut keys: Vec<String> = self
+            .objects
+            .read()
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect();
+        keys.sort();
+        keys
+    }
+}
+
+/// Drives scans against an [`ObjectStore`] under a [`CostModel`].
+pub struct Simulator {
+    /// The blob store.
+    pub store: ObjectStore,
+    /// The pricing/physics model.
+    pub model: CostModel,
+}
+
+impl Simulator {
+    /// Creates a simulator with the default (paper) cost model.
+    pub fn new() -> Self {
+        Simulator {
+            store: ObjectStore::new(),
+            model: CostModel::default(),
+        }
+    }
+
+    /// Scans `keys`: fetches each object and runs `decompress` on it, which
+    /// must return the number of uncompressed bytes it produced.
+    ///
+    /// CPU time is measured for real on the host, summed across chunks, and
+    /// divided by the simulated core count (chunks are independent, so the
+    /// paper's thread-per-chunk scaling applies). The simulated duration is
+    /// `max(network, cpu)` — fetch and decode pipelines overlap.
+    pub fn scan<F>(&self, keys: &[String], decompress: F) -> ScanStats
+    where
+        F: Fn(&[u8]) -> usize + Sync,
+    {
+        let mut stats = ScanStats::default();
+        let chunks: Vec<Arc<Vec<u8>>> = keys
+            .iter()
+            .filter_map(|k| self.store.get(k))
+            .collect();
+        stats.requests = chunks.len() as u64;
+        stats.compressed_bytes = chunks.iter().map(|c| c.len() as u64).sum();
+
+        // Real measured decompression time, one task per chunk.
+        let produced = AtomicUsize::new(0);
+        let started = Instant::now();
+        for chunk in &chunks {
+            produced.fetch_add(decompress(chunk), Ordering::Relaxed);
+        }
+        let cpu_single_thread = started.elapsed().as_secs_f64();
+
+        stats.uncompressed_bytes = produced.load(Ordering::Relaxed) as u64;
+        stats.cpu_seconds = cpu_single_thread / self.model.cores.max(1) as f64;
+        stats.network_seconds = self
+            .model
+            .network_seconds(stats.compressed_bytes, stats.requests);
+        stats.duration_seconds = stats.network_seconds.max(stats.cpu_seconds);
+        stats
+    }
+
+    /// Dollar cost of the scan under this simulator's model.
+    pub fn cost_usd(&self, stats: &ScanStats) -> f64 {
+        self.model.scan_cost_usd(stats)
+    }
+}
+
+impl Default for Simulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip_and_ranges() {
+        let store = ObjectStore::new();
+        store.put("a", vec![1, 2, 3, 4, 5]);
+        assert_eq!(store.get("a").unwrap().as_slice(), &[1, 2, 3, 4, 5]);
+        assert_eq!(store.get_range("a", 1, 3).unwrap(), vec![2, 3, 4]);
+        assert!(store.get_range("a", 3, 5).is_none());
+        assert!(store.get("missing").is_none());
+        assert_eq!(store.size_of("a"), Some(5));
+    }
+
+    #[test]
+    fn chunked_put_splits_and_lists() {
+        let store = ObjectStore::new();
+        let data = vec![7u8; 100];
+        let keys = store.put_chunked("ds", &data, 30);
+        assert_eq!(keys.len(), 4);
+        assert_eq!(store.list("ds/"), keys);
+        let total: usize = keys.iter().map(|k| store.size_of(k).unwrap()).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn network_time_scales_with_bytes_and_requests() {
+        let model = CostModel::default();
+        // 12.5 GB at 100 Gbit/s = 1 s transfer.
+        let t = model.network_seconds(12_500_000_000, 1);
+        assert!((t - 1.0).abs() < 0.01, "got {t}");
+        let more_requests = model.network_seconds(12_500_000_000, 10_000);
+        assert!(more_requests > t);
+    }
+
+    #[test]
+    fn scan_accounts_bytes_and_requests() {
+        let sim = Simulator::new();
+        let keys = sim.store.put_chunked("x", &vec![0u8; 1000], 100);
+        let stats = sim.scan(&keys, |chunk| chunk.len() * 3);
+        assert_eq!(stats.requests, 10);
+        assert_eq!(stats.compressed_bytes, 1000);
+        assert_eq!(stats.uncompressed_bytes, 3000);
+        assert!(stats.duration_seconds > 0.0);
+        assert!(sim.cost_usd(&stats) > 0.0);
+    }
+
+    #[test]
+    fn denser_format_is_cheaper_when_network_bound() {
+        // Same uncompressed data; format B is 4x denser. With negligible CPU,
+        // B's scan must cost less — the core claim of the paper's Table 5.
+        let sim = Simulator::new();
+        let a = sim.store.put_chunked("a", &vec![1u8; 40_000_000], DEFAULT_CHUNK);
+        let b = sim.store.put_chunked("b", &vec![1u8; 10_000_000], DEFAULT_CHUNK);
+        let sa = sim.scan(&a, |c| c.len());
+        let sb = sim.scan(&b, |c| c.len() * 4);
+        assert!(sim.cost_usd(&sb) < sim.cost_usd(&sa));
+        assert_eq!(sa.uncompressed_bytes, 40_000_000);
+        assert_eq!(sb.uncompressed_bytes, 40_000_000);
+    }
+
+    #[test]
+    fn t_c_and_t_r_definitions() {
+        let stats = ScanStats {
+            requests: 1,
+            compressed_bytes: 1_000_000_000,
+            uncompressed_bytes: 4_000_000_000,
+            network_seconds: 1.0,
+            cpu_seconds: 0.5,
+            duration_seconds: 1.0,
+        };
+        assert!((stats.t_r_gb_per_s() - 4.0).abs() < 1e-9);
+        assert!((stats.t_c_gbit_per_s() - 8.0).abs() < 1e-9);
+    }
+}

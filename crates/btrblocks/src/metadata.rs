@@ -1,0 +1,375 @@
+//! Zone-map sidecar: per-block statistics tracked *outside* the data file.
+//!
+//! The paper deliberately keeps the data format metadata-free (§2.1):
+//! "one would like to prune data using statistics and indices *before*
+//! accessing a file through a high-latency network. […] Metadata, statistics
+//! and indices are completely orthogonal and may be added on top or tracked
+//! separately." This module is that orthogonal companion: a compact sidecar
+//! holding per-block min/max (ints and doubles) and counts, plus predicate
+//! pruning that decides which blocks a scan can skip entirely.
+
+use crate::query::{CmpOp, Literal};
+use crate::relation::CompressedRelation;
+use crate::types::{ColumnData, ColumnType};
+use crate::writer::{Reader, WriteLe};
+use crate::{Error, Result};
+
+/// Per-block zone map.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BlockZone {
+    /// Integer block: `(min, max)`.
+    Int { min: i32, max: i32 },
+    /// Double block: `(min, max)` over non-NaN values plus a NaN flag.
+    Double { min: f64, max: f64, has_nan: bool },
+    /// String block: no ordering stats tracked (dictionary order is not
+    /// value order); only the value count.
+    Str,
+}
+
+/// Sidecar for one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnMeta {
+    /// Column name (matches the data file).
+    pub name: String,
+    /// Column type.
+    pub column_type: ColumnType,
+    /// Value count per block.
+    pub block_rows: Vec<u32>,
+    /// Zone map per block.
+    pub zones: Vec<BlockZone>,
+}
+
+/// Sidecar for a whole relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sidecar {
+    /// Per-column metadata, in file order.
+    pub columns: Vec<ColumnMeta>,
+}
+
+fn zone_of(data: &ColumnData) -> BlockZone {
+    match data {
+        ColumnData::Int(v) => {
+            let (mut min, mut max) = (i32::MAX, i32::MIN);
+            for &x in v {
+                min = min.min(x);
+                max = max.max(x);
+            }
+            if v.is_empty() {
+                BlockZone::Int { min: 0, max: 0 }
+            } else {
+                BlockZone::Int { min, max }
+            }
+        }
+        ColumnData::Double(v) => {
+            let mut min = f64::INFINITY;
+            let mut max = f64::NEG_INFINITY;
+            let mut has_nan = false;
+            for &x in v {
+                if x.is_nan() {
+                    has_nan = true;
+                } else {
+                    min = min.min(x);
+                    max = max.max(x);
+                }
+            }
+            if min > max {
+                // All NaN or empty.
+                min = 0.0;
+                max = 0.0;
+            }
+            BlockZone::Double { min, max, has_nan }
+        }
+        ColumnData::Str(_) => BlockZone::Str,
+    }
+}
+
+impl Sidecar {
+    /// Builds the sidecar while (re)scanning the uncompressed column blocks.
+    /// `block_size` must match the compression config.
+    pub fn build(rel: &crate::relation::Relation, block_size: usize) -> Sidecar {
+        let bs = block_size.max(1);
+        let columns = rel
+            .columns
+            .iter()
+            .map(|col| {
+                let n = col.data.len();
+                let mut block_rows = Vec::new();
+                let mut zones = Vec::new();
+                let mut start = 0usize;
+                loop {
+                    let end = (start + bs).min(n);
+                    let chunk = match &col.data {
+                        ColumnData::Int(v) => ColumnData::Int(v[start..end].to_vec()),
+                        ColumnData::Double(v) => ColumnData::Double(v[start..end].to_vec()),
+                        ColumnData::Str(a) => ColumnData::Str(a.gather(start..end)),
+                    };
+                    block_rows.push((end - start) as u32);
+                    zones.push(zone_of(&chunk));
+                    start = end;
+                    if start >= n {
+                        break;
+                    }
+                }
+                ColumnMeta {
+                    name: col.name.clone(),
+                    column_type: col.data.column_type(),
+                    block_rows,
+                    zones,
+                }
+            })
+            .collect();
+        Sidecar { columns }
+    }
+
+    /// Finds a column's metadata by name.
+    pub fn column(&self, name: &str) -> Option<&ColumnMeta> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// Serializes the sidecar (the separate metadata file of §2.1).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(b"BTRM");
+        out.put_u32(self.columns.len() as u32);
+        for col in &self.columns {
+            let name = col.name.as_bytes();
+            out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            out.extend_from_slice(name);
+            out.put_u8(col.column_type.tag());
+            out.put_u32(col.zones.len() as u32);
+            for (rows, zone) in col.block_rows.iter().zip(&col.zones) {
+                out.put_u32(*rows);
+                match zone {
+                    BlockZone::Int { min, max } => {
+                        out.put_u8(0);
+                        out.put_i32(*min);
+                        out.put_i32(*max);
+                    }
+                    BlockZone::Double { min, max, has_nan } => {
+                        out.put_u8(1);
+                        out.put_f64(*min);
+                        out.put_f64(*max);
+                        out.put_u8(u8::from(*has_nan));
+                    }
+                    BlockZone::Str => out.put_u8(2),
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses a sidecar produced by [`Sidecar::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Sidecar> {
+        let mut r = Reader::new(bytes);
+        if r.take(4)? != b"BTRM" {
+            return Err(Error::Corrupt("bad sidecar magic"));
+        }
+        let n_cols = r.u32()? as usize;
+        let mut columns = Vec::with_capacity(n_cols);
+        for _ in 0..n_cols {
+            let name_len = {
+                let b = r.take(2)?;
+                u16::from_le_bytes([b[0], b[1]]) as usize
+            };
+            let name = String::from_utf8(r.take(name_len)?.to_vec())
+                .map_err(|_| Error::Corrupt("sidecar name not utf-8"))?;
+            let column_type =
+                ColumnType::from_tag(r.u8()?).ok_or(Error::Corrupt("bad sidecar type"))?;
+            let n_blocks = r.u32()? as usize;
+            let mut block_rows = Vec::with_capacity(n_blocks);
+            let mut zones = Vec::with_capacity(n_blocks);
+            for _ in 0..n_blocks {
+                block_rows.push(r.u32()?);
+                match r.u8()? {
+                    0 => zones.push(BlockZone::Int {
+                        min: r.i32()?,
+                        max: r.i32()?,
+                    }),
+                    1 => zones.push(BlockZone::Double {
+                        min: r.f64()?,
+                        max: r.f64()?,
+                        has_nan: r.u8()? != 0,
+                    }),
+                    2 => zones.push(BlockZone::Str),
+                    _ => return Err(Error::Corrupt("bad zone tag")),
+                }
+            }
+            columns.push(ColumnMeta {
+                name,
+                column_type,
+                block_rows,
+                zones,
+            });
+        }
+        Ok(Sidecar { columns })
+    }
+}
+
+impl BlockZone {
+    /// Whether a block with this zone may contain rows matching the
+    /// predicate. `true` means "must be fetched"; `false` means "prune".
+    pub fn may_match(&self, op: CmpOp, literal: &Literal) -> bool {
+        match (self, literal) {
+            (BlockZone::Int { min, max }, Literal::Int(l)) => range_may_match(*min, *max, op, *l),
+            (BlockZone::Double { min, max, has_nan }, Literal::Double(l)) => {
+                // NaN never matches any comparison, so it cannot *add*
+                // matches, but it also does not widen min/max.
+                let _ = has_nan;
+                if l.is_nan() {
+                    return false;
+                }
+                range_may_match(*min, *max, op, *l)
+            }
+            // No string zone stats: never prune.
+            (BlockZone::Str, _) => true,
+            // Type-mismatched predicate: be safe, fetch the block.
+            _ => true,
+        }
+    }
+}
+
+fn range_may_match<T: PartialOrd>(min: T, max: T, op: CmpOp, lit: T) -> bool {
+    match op {
+        CmpOp::Eq => min <= lit && lit <= max,
+        CmpOp::Lt => min < lit,
+        CmpOp::Le => min <= lit,
+        CmpOp::Gt => max > lit,
+        CmpOp::Ge => max >= lit,
+    }
+}
+
+/// Scans one column of a compressed relation with zone-map pruning: blocks
+/// whose zones cannot match are skipped without decompression. Returns
+/// matching global row positions and the number of blocks actually decoded.
+pub fn pruned_filter(
+    compressed: &CompressedRelation,
+    sidecar: &Sidecar,
+    column: &str,
+    op: CmpOp,
+    literal: &Literal,
+    cfg: &crate::config::Config,
+) -> Result<(btr_roaring::RoaringBitmap, usize)> {
+    let (ci, col) = compressed
+        .columns
+        .iter()
+        .enumerate()
+        .find(|(_, c)| c.name == column)
+        .ok_or(Error::Corrupt("unknown column"))?;
+    let meta = sidecar
+        .column(column)
+        .ok_or(Error::Corrupt("column missing from sidecar"))?;
+    if meta.zones.len() != col.blocks.len() {
+        return Err(Error::Corrupt("sidecar block count mismatch"));
+    }
+    let _ = ci;
+    let mut out = btr_roaring::RoaringBitmap::new();
+    let mut decoded = 0usize;
+    let mut base = 0u32;
+    for ((block, zone), rows) in col.blocks.iter().zip(&meta.zones).zip(&meta.block_rows) {
+        if zone.may_match(op, literal) {
+            decoded += 1;
+            let matches = crate::query::filter_block(block, col.column_type, op, literal, cfg)?;
+            for m in matches.iter() {
+                out.insert(base + m);
+            }
+        }
+        base += rows;
+    }
+    Ok((out, decoded))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::{compress, Column, Relation};
+    use crate::Config;
+
+    fn sample() -> (Relation, Config) {
+        let cfg = Config {
+            block_size: 1_000,
+            ..Config::default()
+        };
+        // Sorted data → disjoint block ranges → aggressive pruning.
+        let rel = Relation::new(vec![Column::new(
+            "sorted",
+            ColumnData::Int((0..10_000).collect()),
+        )]);
+        (rel, cfg)
+    }
+
+    #[test]
+    fn sidecar_roundtrips() {
+        let (rel, cfg) = sample();
+        let sidecar = Sidecar::build(&rel, cfg.block_size);
+        let bytes = sidecar.to_bytes();
+        assert_eq!(Sidecar::from_bytes(&bytes).unwrap(), sidecar);
+        assert!(Sidecar::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        assert!(Sidecar::from_bytes(b"junk").is_err());
+    }
+
+    #[test]
+    fn zones_capture_min_max() {
+        let (rel, cfg) = sample();
+        let sidecar = Sidecar::build(&rel, cfg.block_size);
+        match sidecar.columns[0].zones[3] {
+            BlockZone::Int { min, max } => {
+                assert_eq!(min, 3_000);
+                assert_eq!(max, 3_999);
+            }
+            ref other => panic!("unexpected zone {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pruned_filter_skips_blocks() {
+        let (rel, cfg) = sample();
+        let sidecar = Sidecar::build(&rel, cfg.block_size);
+        let compressed = compress(&rel, &cfg).unwrap();
+        // Equality on a sorted column: exactly one block must be decoded.
+        let (matches, decoded) = pruned_filter(
+            &compressed,
+            &sidecar,
+            "sorted",
+            CmpOp::Eq,
+            &Literal::Int(4_321),
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(matches.iter().collect::<Vec<_>>(), vec![4_321]);
+        assert_eq!(decoded, 1, "only the containing block decodes");
+        // Range predicate: prefix of blocks.
+        let (matches, decoded) = pruned_filter(
+            &compressed,
+            &sidecar,
+            "sorted",
+            CmpOp::Lt,
+            &Literal::Int(2_500),
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(matches.cardinality(), 2_500);
+        assert_eq!(decoded, 3);
+    }
+
+    #[test]
+    fn double_zone_nan_handling() {
+        let zone = zone_of(&ColumnData::Double(vec![1.0, f64::NAN, 3.0]));
+        match zone {
+            BlockZone::Double { min, max, has_nan } => {
+                assert_eq!(min, 1.0);
+                assert_eq!(max, 3.0);
+                assert!(has_nan);
+            }
+            _ => panic!(),
+        }
+        assert!(!zone.may_match(CmpOp::Eq, &Literal::Double(f64::NAN)));
+        assert!(zone.may_match(CmpOp::Eq, &Literal::Double(2.0)));
+        assert!(!zone.may_match(CmpOp::Gt, &Literal::Double(3.0)));
+    }
+
+    #[test]
+    fn string_zones_never_prune() {
+        let zone = BlockZone::Str;
+        assert!(zone.may_match(CmpOp::Eq, &Literal::Str(b"x".to_vec())));
+    }
+}

@@ -1,0 +1,116 @@
+//! Parallel compression and decompression.
+//!
+//! Blocks are self-contained, which is exactly what makes BtrBlocks easy to
+//! parallelize (paper §2.2: "Blocks also facilitate parallelizing compression
+//! and decompression"). These helpers fan columns out over a scoped thread
+//! pool; results are returned in the original column order regardless of
+//! completion order.
+
+use crate::config::Config;
+use crate::relation::{
+    compress_column, decompress_column, Column, CompressedColumn, CompressedRelation, Relation,
+};
+use crate::Result;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `work(i)` for every `i in 0..n` on up to `threads` workers, storing
+/// results in order.
+fn for_each_indexed<T: Send>(
+    n: usize,
+    threads: usize,
+    work: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
+    let threads = threads.max(1).min(n.max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = work(i);
+                *slots[i].lock().expect("result slot") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("poisoned slot").expect("worker filled slot"))
+        .collect()
+}
+
+/// Compresses a relation with one worker per column, `threads`-wide.
+pub fn compress_parallel(rel: &Relation, cfg: &Config, threads: usize) -> Result<CompressedRelation> {
+    let columns: Vec<CompressedColumn> =
+        for_each_indexed(rel.columns.len(), threads, |i| compress_column(&rel.columns[i], cfg));
+    Ok(CompressedRelation {
+        rows: rel.rows() as u64,
+        columns,
+    })
+}
+
+/// Decompresses a relation with one worker per column, `threads`-wide.
+pub fn decompress_parallel(
+    compressed: &CompressedRelation,
+    cfg: &Config,
+    threads: usize,
+) -> Result<Relation> {
+    let results: Vec<Result<Column>> = for_each_indexed(compressed.columns.len(), threads, |i| {
+        decompress_column(&compressed.columns[i], cfg)
+    });
+    let mut columns = Vec::with_capacity(results.len());
+    for r in results {
+        columns.push(r?);
+    }
+    Ok(Relation { columns })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{ColumnData, StringArena};
+
+    fn sample(rows: usize) -> Relation {
+        let strings: Vec<String> = (0..rows).map(|i| format!("p{}", i % 31)).collect();
+        let refs: Vec<&str> = strings.iter().map(|s| s.as_str()).collect();
+        Relation::new(vec![
+            Column::new("a", ColumnData::Int((0..rows as i32).collect())),
+            Column::new("b", ColumnData::Double((0..rows).map(|i| i as f64 * 0.5).collect())),
+            Column::new("c", ColumnData::Str(StringArena::from_strs(&refs))),
+            Column::new("d", ColumnData::Int(vec![9; rows])),
+        ])
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let cfg = Config::default();
+        let rel = sample(5_000);
+        let seq = crate::relation::compress(&rel, &cfg).unwrap();
+        for threads in [1, 2, 8] {
+            let par = compress_parallel(&rel, &cfg, threads).unwrap();
+            assert_eq!(par, seq, "threads = {threads}");
+            let restored = decompress_parallel(&par, &cfg, threads).unwrap();
+            assert_eq!(restored, rel);
+        }
+    }
+
+    #[test]
+    fn parallel_handles_empty_relation() {
+        let cfg = Config::default();
+        let rel = Relation::new(vec![]);
+        let compressed = compress_parallel(&rel, &cfg, 4).unwrap();
+        assert_eq!(decompress_parallel(&compressed, &cfg, 4).unwrap(), rel);
+    }
+
+    #[test]
+    fn corrupt_column_error_propagates() {
+        let cfg = Config::default();
+        let rel = sample(500);
+        let mut compressed = compress_parallel(&rel, &cfg, 2).unwrap();
+        compressed.columns[1].blocks[0][0] = 200; // invalid scheme code
+        assert!(decompress_parallel(&compressed, &cfg, 2).is_err());
+    }
+}

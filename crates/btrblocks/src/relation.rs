@@ -1,0 +1,508 @@
+//! Relation-level API: columns, block splitting, and the file format.
+//!
+//! Following the paper's design position (§2.1), the format is deliberately
+//! minimal: it is *only* compressed blocks plus the little framing needed to
+//! find them. Statistics, zone maps and indexes are orthogonal concerns that
+//! belong outside the data file.
+//!
+//! File layout (little-endian):
+//! ```text
+//! magic "BTRB" | version: u32 | row_count: u64 | column_count: u32
+//! per column:
+//!   name_len: u16 | name bytes | type tag: u8
+//!   null_len: u32 | roaring NULL bitmap (0 length = no NULLs)
+//!   block_count: u32 | per block: byte_len: u32 | block bytes
+//! ```
+
+use crate::block::{self, BlockRef};
+use crate::config::Config;
+use crate::scheme::SchemeCode;
+use crate::types::{ColumnData, ColumnType, DecodedColumn, StringArena};
+use crate::writer::{Reader, WriteLe};
+use crate::{Error, Result};
+use btr_roaring::RoaringBitmap;
+
+const MAGIC: &[u8; 4] = b"BTRB";
+const VERSION: u32 = 1;
+
+/// A named, typed column with optional NULLs.
+///
+/// NULL positions are tracked in a Roaring bitmap; the value slots at NULL
+/// positions still exist and should hold a neutral value (0 / 0.0 / "") so
+/// they compress away.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    /// Column name.
+    pub name: String,
+    /// Values.
+    pub data: ColumnData,
+    /// NULL positions, if any.
+    pub nulls: Option<RoaringBitmap>,
+}
+
+impl Column {
+    /// A column without NULLs.
+    pub fn new(name: impl Into<String>, data: ColumnData) -> Self {
+        Column {
+            name: name.into(),
+            data,
+            nulls: None,
+        }
+    }
+
+    /// A column with a NULL bitmap.
+    pub fn with_nulls(name: impl Into<String>, data: ColumnData, nulls: RoaringBitmap) -> Self {
+        Column {
+            name: name.into(),
+            data,
+            nulls: Some(nulls),
+        }
+    }
+
+    /// Builds an integer column from optional values. NULL slots become `0`
+    /// so they compress away; positions go into the Roaring bitmap (the
+    /// paper's NULL representation).
+    pub fn from_int_options(name: impl Into<String>, values: &[Option<i32>]) -> Self {
+        let nulls = RoaringBitmap::from_sorted_iter(
+            values
+                .iter()
+                .enumerate()
+                .filter_map(|(i, v)| v.is_none().then_some(i as u32)),
+        );
+        let data = ColumnData::Int(values.iter().map(|v| v.unwrap_or(0)).collect());
+        if nulls.is_empty() {
+            Column::new(name, data)
+        } else {
+            Column::with_nulls(name, data, nulls)
+        }
+    }
+
+    /// Builds a double column from optional values (NULL slots become `0.0`).
+    pub fn from_double_options(name: impl Into<String>, values: &[Option<f64>]) -> Self {
+        let nulls = RoaringBitmap::from_sorted_iter(
+            values
+                .iter()
+                .enumerate()
+                .filter_map(|(i, v)| v.is_none().then_some(i as u32)),
+        );
+        let data = ColumnData::Double(values.iter().map(|v| v.unwrap_or(0.0)).collect());
+        if nulls.is_empty() {
+            Column::new(name, data)
+        } else {
+            Column::with_nulls(name, data, nulls)
+        }
+    }
+
+    /// Builds a string column from optional values (NULL slots become `""`).
+    pub fn from_str_options(name: impl Into<String>, values: &[Option<&str>]) -> Self {
+        let nulls = RoaringBitmap::from_sorted_iter(
+            values
+                .iter()
+                .enumerate()
+                .filter_map(|(i, v)| v.is_none().then_some(i as u32)),
+        );
+        let mut arena = StringArena::new();
+        for v in values {
+            arena.push(v.unwrap_or("").as_bytes());
+        }
+        let data = ColumnData::Str(arena);
+        if nulls.is_empty() {
+            Column::new(name, data)
+        } else {
+            Column::with_nulls(name, data, nulls)
+        }
+    }
+
+    /// Returns `true` when row `i` is NULL.
+    pub fn is_null(&self, i: usize) -> bool {
+        self.nulls.as_ref().is_some_and(|b| b.contains(i as u32))
+    }
+
+    /// Number of NULL rows.
+    pub fn null_count(&self) -> usize {
+        self.nulls.as_ref().map_or(0, |b| b.cardinality() as usize)
+    }
+}
+
+/// A set of equal-length columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Relation {
+    /// The columns.
+    pub columns: Vec<Column>,
+}
+
+impl Relation {
+    /// Builds a relation, asserting equal column lengths.
+    pub fn new(columns: Vec<Column>) -> Self {
+        if let Some(first) = columns.first() {
+            let n = first.data.len();
+            assert!(
+                columns.iter().all(|c| c.data.len() == n),
+                "all columns must have equal length"
+            );
+        }
+        Relation { columns }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.columns.first().map_or(0, |c| c.data.len())
+    }
+
+    /// Total uncompressed size in bytes.
+    pub fn heap_size(&self) -> usize {
+        self.columns.iter().map(|c| c.data.heap_size()).sum()
+    }
+}
+
+/// One compressed column: independent blocks plus the NULL bitmap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompressedColumn {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub column_type: ColumnType,
+    /// Serialized NULL bitmap (empty = no NULLs).
+    pub nulls: Vec<u8>,
+    /// Independent compressed blocks.
+    pub blocks: Vec<Vec<u8>>,
+    /// Root scheme chosen per block (not serialized; introspection only).
+    pub schemes: Vec<SchemeCode>,
+}
+
+impl CompressedColumn {
+    /// Compressed size in bytes (blocks + null bitmap + framing).
+    pub fn compressed_size(&self) -> usize {
+        self.blocks.iter().map(|b| b.len() + 4).sum::<usize>() + self.nulls.len() + 16
+    }
+}
+
+/// A compressed relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompressedRelation {
+    /// Row count.
+    pub rows: u64,
+    /// Compressed columns.
+    pub columns: Vec<CompressedColumn>,
+}
+
+impl CompressedRelation {
+    /// Total compressed size in bytes, including framing.
+    pub fn compressed_size(&self) -> usize {
+        self.columns.iter().map(|c| c.compressed_size()).sum::<usize>() + 16
+    }
+
+    /// Serializes to the single-file layout described in the module docs.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.compressed_size() + 64);
+        out.extend_from_slice(MAGIC);
+        out.put_u32(VERSION);
+        out.extend_from_slice(&self.rows.to_le_bytes());
+        out.put_u32(self.columns.len() as u32);
+        for col in &self.columns {
+            let name = col.name.as_bytes();
+            out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            out.extend_from_slice(name);
+            out.put_u8(col.column_type.tag());
+            out.put_u32(col.nulls.len() as u32);
+            out.extend_from_slice(&col.nulls);
+            out.put_u32(col.blocks.len() as u32);
+            for b in &col.blocks {
+                out.put_u32(b.len() as u32);
+                out.extend_from_slice(b);
+            }
+        }
+        out
+    }
+
+    /// Parses the single-file layout.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(bytes);
+        if r.take(4)? != MAGIC {
+            return Err(Error::Corrupt("bad magic"));
+        }
+        if r.u32()? != VERSION {
+            return Err(Error::Corrupt("unsupported version"));
+        }
+        let rows = u64::from_le_bytes(r.take(8)?.try_into().expect("8 bytes"));
+        let n_cols = r.u32()? as usize;
+        let mut columns = Vec::with_capacity(n_cols);
+        for _ in 0..n_cols {
+            let name_len = {
+                let b = r.take(2)?;
+                u16::from_le_bytes([b[0], b[1]]) as usize
+            };
+            let name = String::from_utf8(r.take(name_len)?.to_vec())
+                .map_err(|_| Error::Corrupt("column name not utf-8"))?;
+            let column_type =
+                ColumnType::from_tag(r.u8()?).ok_or(Error::Corrupt("bad column type tag"))?;
+            let null_len = r.u32()? as usize;
+            let nulls = r.take(null_len)?.to_vec();
+            let n_blocks = r.u32()? as usize;
+            let mut blocks = Vec::with_capacity(n_blocks);
+            let mut schemes = Vec::with_capacity(n_blocks);
+            for _ in 0..n_blocks {
+                let len = r.u32()? as usize;
+                let b = r.take(len)?.to_vec();
+                schemes.push(block::peek_scheme(&b)?);
+                blocks.push(b);
+            }
+            columns.push(CompressedColumn {
+                name,
+                column_type,
+                nulls,
+                blocks,
+                schemes,
+            });
+        }
+        Ok(CompressedRelation { rows, columns })
+    }
+}
+
+/// Compresses every column of `rel` into independent blocks.
+pub fn compress(rel: &Relation, cfg: &Config) -> Result<CompressedRelation> {
+    let mut columns = Vec::with_capacity(rel.columns.len());
+    for col in &rel.columns {
+        columns.push(compress_column(col, cfg));
+    }
+    Ok(CompressedRelation {
+        rows: rel.rows() as u64,
+        columns,
+    })
+}
+
+/// Compresses a single column.
+pub fn compress_column(col: &Column, cfg: &Config) -> CompressedColumn {
+    let mut blocks = Vec::new();
+    let mut schemes = Vec::new();
+    let n = col.data.len();
+    let bs = cfg.block_size.max(1);
+    match &col.data {
+        ColumnData::Int(values) => {
+            for chunk in values.chunks(bs) {
+                let (bytes, code) = block::compress_block(BlockRef::Int(chunk), cfg);
+                blocks.push(bytes);
+                schemes.push(code);
+            }
+        }
+        ColumnData::Double(values) => {
+            for chunk in values.chunks(bs) {
+                let (bytes, code) = block::compress_block(BlockRef::Double(chunk), cfg);
+                blocks.push(bytes);
+                schemes.push(code);
+            }
+        }
+        ColumnData::Str(arena) => {
+            let mut start = 0;
+            while start < n {
+                let end = (start + bs).min(n);
+                let sub = arena.gather(start..end);
+                let (bytes, code) = block::compress_block(BlockRef::Str(&sub), cfg);
+                blocks.push(bytes);
+                schemes.push(code);
+                start = end;
+            }
+        }
+    }
+    if n == 0 {
+        // Keep an explicit empty block so decompression restores the column.
+        let (bytes, code) = match col.data.column_type() {
+            ColumnType::Integer => block::compress_block(BlockRef::Int(&[]), cfg),
+            ColumnType::Double => block::compress_block(BlockRef::Double(&[]), cfg),
+            ColumnType::String => {
+                let empty = StringArena::new();
+                let (b, c) = block::compress_block(BlockRef::Str(&empty), cfg);
+                (b, c)
+            }
+        };
+        blocks.push(bytes);
+        schemes.push(code);
+    }
+    CompressedColumn {
+        name: col.name.clone(),
+        column_type: col.data.column_type(),
+        nulls: col
+            .nulls
+            .as_ref()
+            .map(|b| b.serialize())
+            .unwrap_or_default(),
+        blocks,
+        schemes,
+    }
+}
+
+/// Decompresses a file produced by [`CompressedRelation::to_bytes`].
+pub fn decompress(bytes: &[u8], cfg: &Config) -> Result<Relation> {
+    let compressed = CompressedRelation::from_bytes(bytes)?;
+    decompress_relation(&compressed, cfg)
+}
+
+/// Decompresses an in-memory [`CompressedRelation`].
+pub fn decompress_relation(compressed: &CompressedRelation, cfg: &Config) -> Result<Relation> {
+    let mut columns = Vec::with_capacity(compressed.columns.len());
+    for col in &compressed.columns {
+        columns.push(decompress_column(col, cfg)?);
+    }
+    Ok(Relation { columns })
+}
+
+/// Decompresses a single column (all blocks, concatenated).
+pub fn decompress_column(col: &CompressedColumn, cfg: &Config) -> Result<Column> {
+    let mut data: Option<ColumnData> = None;
+    for b in &col.blocks {
+        let decoded = block::decompress_block(b, col.column_type, cfg)?;
+        match (&mut data, decoded) {
+            (None, d) => data = Some(d.into_column_data()),
+            (Some(ColumnData::Int(acc)), DecodedColumn::Int(v)) => acc.extend_from_slice(&v),
+            (Some(ColumnData::Double(acc)), DecodedColumn::Double(v)) => acc.extend_from_slice(&v),
+            (Some(ColumnData::Str(acc)), DecodedColumn::Str(v)) => {
+                for i in 0..v.len() {
+                    acc.push(v.get(i));
+                }
+            }
+            _ => return Err(Error::Corrupt("mixed block types in column")),
+        }
+    }
+    let data = data.unwrap_or(match col.column_type {
+        ColumnType::Integer => ColumnData::Int(Vec::new()),
+        ColumnType::Double => ColumnData::Double(Vec::new()),
+        ColumnType::String => ColumnData::Str(StringArena::new()),
+    });
+    let nulls = if col.nulls.is_empty() {
+        None
+    } else {
+        Some(RoaringBitmap::deserialize(&col.nulls)?)
+    };
+    Ok(Column {
+        name: col.name.clone(),
+        data,
+        nulls,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_relation(rows: usize) -> Relation {
+        let strings: Vec<String> = (0..rows).map(|i| format!("val-{}", i % 100)).collect();
+        let refs: Vec<&str> = strings.iter().map(|s| s.as_str()).collect();
+        Relation::new(vec![
+            Column::new("id", ColumnData::Int((0..rows as i32).collect())),
+            Column::new(
+                "price",
+                ColumnData::Double((0..rows).map(|i| (i % 500) as f64 * 0.25).collect()),
+            ),
+            Column::new("label", ColumnData::Str(StringArena::from_strs(&refs))),
+        ])
+    }
+
+    #[test]
+    fn relation_roundtrip_via_bytes() {
+        let cfg = Config::default();
+        let rel = sample_relation(10_000);
+        let compressed = compress(&rel, &cfg).unwrap();
+        let bytes = compressed.to_bytes();
+        assert!(bytes.len() < rel.heap_size(), "must compress overall");
+        let restored = decompress(&bytes, &cfg).unwrap();
+        assert_eq!(rel, restored);
+    }
+
+    #[test]
+    fn multi_block_columns() {
+        let cfg = Config {
+            block_size: 1000,
+            ..Config::default()
+        };
+        let rel = sample_relation(3_500);
+        let compressed = compress(&rel, &cfg).unwrap();
+        assert_eq!(compressed.columns[0].blocks.len(), 4);
+        let restored = decompress(&compressed.to_bytes(), &cfg).unwrap();
+        assert_eq!(rel, restored);
+    }
+
+    #[test]
+    fn nulls_roundtrip() {
+        let cfg = Config::default();
+        let nulls = RoaringBitmap::from_sorted_iter([1u32, 5, 7]);
+        let rel = Relation::new(vec![Column::with_nulls(
+            "x",
+            ColumnData::Int(vec![1, 0, 3, 4, 5, 0, 7, 0]),
+            nulls.clone(),
+        )]);
+        let restored = decompress(&compress(&rel, &cfg).unwrap().to_bytes(), &cfg).unwrap();
+        assert_eq!(restored.columns[0].nulls.as_ref(), Some(&nulls));
+        assert_eq!(rel, restored);
+    }
+
+    #[test]
+    fn empty_relation_roundtrip() {
+        let cfg = Config::default();
+        let rel = Relation::new(vec![
+            Column::new("a", ColumnData::Int(Vec::new())),
+            Column::new("b", ColumnData::Str(StringArena::new())),
+        ]);
+        let restored = decompress(&compress(&rel, &cfg).unwrap().to_bytes(), &cfg).unwrap();
+        assert_eq!(rel, restored);
+    }
+
+    #[test]
+    fn corrupt_magic_is_error() {
+        let cfg = Config::default();
+        let rel = sample_relation(100);
+        let mut bytes = compress(&rel, &cfg).unwrap().to_bytes();
+        bytes[0] = b'X';
+        assert!(decompress(&bytes, &cfg).is_err());
+    }
+
+    #[test]
+    fn from_options_builders() {
+        let col = Column::from_int_options("i", &[Some(1), None, Some(3), None]);
+        assert_eq!(col.null_count(), 2);
+        assert!(col.is_null(1) && col.is_null(3));
+        assert!(!col.is_null(0));
+        assert_eq!(col.data, ColumnData::Int(vec![1, 0, 3, 0]));
+
+        let col = Column::from_double_options("d", &[None, Some(2.5)]);
+        assert_eq!(col.null_count(), 1);
+        assert_eq!(col.data, ColumnData::Double(vec![0.0, 2.5]));
+
+        let col = Column::from_str_options("s", &[Some("x"), None]);
+        assert_eq!(col.null_count(), 1);
+        match &col.data {
+            ColumnData::Str(a) => {
+                assert_eq!(a.get(0), b"x");
+                assert_eq!(a.get(1), b"");
+            }
+            _ => panic!(),
+        }
+
+        // No NULLs → no bitmap at all.
+        let col = Column::from_int_options("n", &[Some(1), Some(2)]);
+        assert!(col.nulls.is_none());
+    }
+
+    #[test]
+    fn null_columns_roundtrip_through_compression() {
+        let cfg = Config::default();
+        let values: Vec<Option<i32>> = (0..5_000)
+            .map(|i| if i % 7 == 0 { None } else { Some(i % 50) })
+            .collect();
+        let rel = Relation::new(vec![Column::from_int_options("x", &values)]);
+        let restored = decompress(&compress(&rel, &cfg).unwrap().to_bytes(), &cfg).unwrap();
+        assert_eq!(restored, rel);
+        for (i, v) in values.iter().enumerate() {
+            assert_eq!(restored.columns[0].is_null(i), v.is_none());
+        }
+    }
+
+    #[test]
+    fn schemes_are_reported() {
+        let cfg = Config::default();
+        let rel = Relation::new(vec![Column::new("zeros", ColumnData::Int(vec![0; 5000]))]);
+        let compressed = compress(&rel, &cfg).unwrap();
+        assert_eq!(compressed.columns[0].schemes, vec![SchemeCode::OneValue]);
+        let parsed = CompressedRelation::from_bytes(&compressed.to_bytes()).unwrap();
+        assert_eq!(parsed.columns[0].schemes, vec![SchemeCode::OneValue]);
+    }
+}

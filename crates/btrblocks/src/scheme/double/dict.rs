@@ -1,0 +1,89 @@
+//! Dictionary encoding for doubles (keys compare by bit pattern).
+//!
+//! Payload: `[dict_len: u32][dict: dict_len × f64][child: code sequence]`.
+//! Decompression uses the 4-wide AVX2 gather kernel.
+
+use crate::config::Config;
+use crate::scheme;
+use crate::simd;
+use crate::writer::{Reader, WriteLe};
+use crate::{Error, Result};
+use crate::fxhash::FxHashMap;
+
+/// Builds `(dictionary, codes)` in first-occurrence order, keyed by bits.
+pub fn encode_dict(values: &[f64]) -> (Vec<f64>, Vec<i32>) {
+    let mut map: FxHashMap<u64, i32> =
+        FxHashMap::with_capacity_and_hasher(values.len() / 4 + 1, Default::default());
+    let mut dict = Vec::new();
+    let mut codes = Vec::with_capacity(values.len());
+    for &v in values {
+        let code = *map.entry(v.to_bits()).or_insert_with(|| {
+            dict.push(v);
+            (dict.len() - 1) as i32
+        });
+        codes.push(code);
+    }
+    (dict, codes)
+}
+
+/// Compresses `values` as a dictionary with a cascaded code sequence.
+pub fn compress(values: &[f64], child_depth: u8, cfg: &Config, out: &mut Vec<u8>) {
+    let (dict, codes) = encode_dict(values);
+    out.put_u32(dict.len() as u32);
+    out.put_f64_slice(&dict);
+    scheme::compress_int_excluding(&codes, child_depth, cfg, out, Some(crate::scheme::SchemeCode::Dict));
+}
+
+/// Decompresses a dictionary block of `count` doubles.
+pub fn decompress(r: &mut Reader<'_>, count: usize, cfg: &Config) -> Result<Vec<f64>> {
+    let dict_len = r.u32()? as usize;
+    let dict = r.f64_vec(dict_len)?;
+    let codes = scheme::decompress_int(r, cfg)?;
+    if codes.len() != count {
+        return Err(Error::Corrupt("double dict code count mismatch"));
+    }
+    let mut codes_u32 = Vec::with_capacity(codes.len());
+    for &c in &codes {
+        if c < 0 || c as usize >= dict_len {
+            return Err(Error::Corrupt("double dict code out of range"));
+        }
+        codes_u32.push(c as u32);
+    }
+    Ok(simd::dict_decode_f64(&codes_u32, &dict, cfg.simd))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::{compress_double_with, decompress_double, SchemeCode};
+
+    fn roundtrip(values: &[f64]) {
+        let cfg = Config::default();
+        let mut buf = Vec::new();
+        compress_double_with(SchemeCode::Dict, values, 3, &cfg, &mut buf);
+        let mut r = Reader::new(&buf);
+        let out = decompress_double(&mut r, &cfg).unwrap();
+        for (a, b) in values.iter().zip(&out) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn roundtrip_low_cardinality() {
+        let values: Vec<f64> = (0..10_000)
+            .map(|i| [0.0, 83.2833, 3.05, 9.5999][i % 4])
+            .collect();
+        roundtrip(&values);
+    }
+
+    #[test]
+    fn distinguishes_zero_signs_and_nans() {
+        roundtrip(&[0.0, -0.0, f64::NAN, 0.0, -0.0]);
+    }
+
+    #[test]
+    fn roundtrip_empty_and_single() {
+        roundtrip(&[]);
+        roundtrip(&[1.5]);
+    }
+}

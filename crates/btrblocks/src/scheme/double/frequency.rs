@@ -1,0 +1,85 @@
+//! Frequency encoding for doubles: dominant top value + Roaring exceptions.
+//!
+//! Payload: `[top: f64][bitmap_len: u32][roaring bitmap][child: exceptions
+//! (double)]`.
+
+use crate::config::Config;
+use crate::scheme;
+use crate::writer::{Reader, WriteLe};
+use crate::{Error, Result};
+use btr_roaring::RoaringBitmap;
+
+/// Compresses `values` as Frequency encoding.
+pub fn compress(values: &[f64], child_depth: u8, cfg: &Config, out: &mut Vec<u8>) {
+    let stats = crate::stats::DoubleStats::collect(values);
+    let top_bits = stats.top_value.to_bits();
+    let mut exceptions = Vec::new();
+    let bitmap = RoaringBitmap::from_sorted_iter(values.iter().enumerate().filter_map(|(i, &v)| {
+        if v.to_bits() != top_bits {
+            exceptions.push(v);
+            Some(i as u32)
+        } else {
+            None
+        }
+    }));
+    let bitmap_bytes = bitmap.serialize();
+    out.put_f64(stats.top_value);
+    out.put_u32(bitmap_bytes.len() as u32);
+    out.extend_from_slice(&bitmap_bytes);
+    scheme::compress_double(&exceptions, child_depth, cfg, out);
+}
+
+/// Decompresses a Frequency block of `count` doubles.
+pub fn decompress(r: &mut Reader<'_>, count: usize, cfg: &Config) -> Result<Vec<f64>> {
+    let top = r.f64()?;
+    let bitmap_len = r.u32()? as usize;
+    let bitmap = RoaringBitmap::deserialize(r.take(bitmap_len)?)?;
+    let exceptions = scheme::decompress_double(r, cfg)?;
+    if bitmap.cardinality() as usize != exceptions.len() {
+        return Err(Error::Corrupt("double frequency exception count mismatch"));
+    }
+    let mut out = vec![top; count];
+    for (pos, &val) in bitmap.iter().zip(&exceptions) {
+        let pos = pos as usize;
+        if pos >= count {
+            return Err(Error::Corrupt("double frequency position out of range"));
+        }
+        out[pos] = val;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::{compress_double_with, decompress_double, SchemeCode};
+
+    fn roundtrip(values: &[f64]) -> usize {
+        let cfg = Config::default();
+        let mut buf = Vec::new();
+        compress_double_with(SchemeCode::Frequency, values, 3, &cfg, &mut buf);
+        let mut r = Reader::new(&buf);
+        let out = decompress_double(&mut r, &cfg).unwrap();
+        for (a, b) in values.iter().zip(&out) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        buf.len()
+    }
+
+    #[test]
+    fn roundtrip_dominant_zero() {
+        let mut values = vec![0.0; 10_000];
+        for i in (0..10_000).step_by(53) {
+            values[i] = i as f64 * 0.1;
+        }
+        let size = roundtrip(&values);
+        assert!(size * 8 < values.len() * 8, "got {size} bytes");
+    }
+
+    #[test]
+    fn roundtrip_edge_cases() {
+        roundtrip(&[]);
+        roundtrip(&[1.0]);
+        roundtrip(&[f64::NAN, f64::NAN, 2.0]);
+    }
+}

@@ -1,0 +1,78 @@
+//! Double (f64) encoding schemes.
+
+pub mod decimal;
+pub mod dict;
+pub mod frequency;
+pub mod onevalue;
+pub mod rle;
+pub mod uncompressed;
+
+use crate::config::Config;
+use crate::scheme::SchemeCode;
+use crate::stats::DoubleStats;
+
+/// Statistics-based viability filter. Pseudodecimal additionally checks the
+/// *sample's* exception rate, because "fraction of non-encodable values" is
+/// not derivable from simple statistics (paper §4.2).
+pub fn viable(code: SchemeCode, stats: &DoubleStats, sample: &[f64], cfg: &Config) -> bool {
+    match code {
+        SchemeCode::OneValue => stats.unique_count <= 1,
+        SchemeCode::Rle => stats.average_run_length >= cfg.rle_min_avg_run,
+        SchemeCode::Frequency => {
+            stats.unique_fraction() <= cfg.frequency_unique_max
+                && stats.top_count * 2 >= stats.count
+        }
+        SchemeCode::Dict => stats.unique_count < stats.count,
+        SchemeCode::Pseudodecimal => {
+            if stats.unique_fraction() < cfg.pde_unique_min {
+                return false;
+            }
+            let exceptions = sample
+                .iter()
+                .filter(|&&v| decimal::encode_single(v).is_none())
+                .count();
+            (exceptions as f64) <= cfg.pde_exception_max * sample.len().max(1) as f64
+        }
+        SchemeCode::Uncompressed => true,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pde_excluded_for_low_uniqueness() {
+        let cfg = Config::default();
+        let values: Vec<f64> = (0..1000).map(|i| (i % 5) as f64 * 0.25).collect();
+        let stats = DoubleStats::collect(&values);
+        assert!(!viable(SchemeCode::Pseudodecimal, &stats, &values, &cfg));
+    }
+
+    #[test]
+    fn pde_excluded_for_many_exceptions() {
+        let cfg = Config::default();
+        // High-precision values (longitude-like): mostly non-encodable.
+        let values: Vec<f64> = (0..1000).map(|i| -73.0 - (i as f64).sin() / 1e7).collect();
+        let stats = DoubleStats::collect(&values);
+        assert!(!viable(SchemeCode::Pseudodecimal, &stats, &values, &cfg));
+    }
+
+    #[test]
+    fn pde_viable_for_prices() {
+        let cfg = Config::default();
+        let values: Vec<f64> = (0..1000).map(|i| (i % 800) as f64 * 0.01 + 0.99).collect();
+        let stats = DoubleStats::collect(&values);
+        assert!(viable(SchemeCode::Pseudodecimal, &stats, &values, &cfg));
+    }
+
+    #[test]
+    fn frequency_needs_dominant_top() {
+        let cfg = Config::default();
+        let mut values = vec![0.0; 900];
+        values.extend((0..100).map(|i| i as f64));
+        let stats = DoubleStats::collect(&values);
+        assert!(viable(SchemeCode::Frequency, &stats, &values, &cfg));
+    }
+}

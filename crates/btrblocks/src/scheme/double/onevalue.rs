@@ -1,0 +1,34 @@
+//! One Value for doubles: the whole block is a single bit pattern.
+
+use crate::writer::{Reader, WriteLe};
+use crate::Result;
+
+/// Payload: one `f64`.
+pub fn compress(values: &[f64], out: &mut Vec<u8>) {
+    debug_assert!(values.windows(2).all(|w| w[0].to_bits() == w[1].to_bits()));
+    out.put_f64(values.first().copied().unwrap_or(0.0));
+}
+
+/// Expands the stored value `count` times.
+pub fn decompress(r: &mut Reader<'_>, count: usize) -> Result<Vec<f64>> {
+    let v = r.f64()?;
+    Ok(vec![v; count])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_including_nan() {
+        for v in [0.0f64, -0.0, f64::NAN, 123.456] {
+            let values = vec![v; 1000];
+            let mut buf = Vec::new();
+            compress(&values, &mut buf);
+            assert_eq!(buf.len(), 8);
+            let mut r = Reader::new(&buf);
+            let out = decompress(&mut r, 1000).unwrap();
+            assert!(out.iter().all(|x| x.to_bits() == v.to_bits()));
+        }
+    }
+}

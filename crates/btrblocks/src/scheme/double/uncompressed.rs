@@ -1,0 +1,31 @@
+//! Raw double storage — the depth-0 fallback.
+
+use crate::writer::{Reader, WriteLe};
+use crate::Result;
+
+/// Payload: `count × f64` little-endian.
+pub fn compress(values: &[f64], out: &mut Vec<u8>) {
+    out.put_f64_slice(values);
+}
+
+/// Reads `count` raw doubles.
+pub fn decompress(r: &mut Reader<'_>, count: usize) -> Result<Vec<f64>> {
+    r.f64_vec(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_bitwise() {
+        let values = vec![0.0, -0.0, f64::NAN, f64::INFINITY, 1.25e-300];
+        let mut buf = Vec::new();
+        compress(&values, &mut buf);
+        let mut r = Reader::new(&buf);
+        let out = decompress(&mut r, values.len()).unwrap();
+        for (a, b) in values.iter().zip(&out) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! FastBP128 integer scheme: frame-of-reference + vertical bit-packing.
+//!
+//! Payload: `[base: i32][word_count: u32][FastBP128 words]`. Unlike
+//! [`super::pfor`], there is no exception patching — every 128-value block is
+//! packed at the width of its largest offset, which is faster to decode but
+//! sensitive to outliers (exactly the trade-off the paper's scheme pool
+//! exploits by offering both).
+
+use crate::writer::{Reader, WriteLe};
+use crate::{Error, Result};
+use btr_bitpacking::{bp128, for_delta};
+
+/// Compresses `values` as FOR + FastBP128.
+pub fn compress(values: &[i32], out: &mut Vec<u8>) {
+    let (base, offsets) = for_delta::for_encode(values);
+    let words = bp128::encode(&offsets);
+    out.put_i32(base);
+    out.put_u32(words.len() as u32);
+    out.put_u32_slice(&words);
+}
+
+/// Decompresses a FastBP128 block of `count` values.
+pub fn decompress(r: &mut Reader<'_>, count: usize) -> Result<Vec<i32>> {
+    let base = r.i32()?;
+    let word_count = r.u32()? as usize;
+    let words = r.u32_vec(word_count)?;
+    let offsets = bp128::decode(&words)?;
+    if offsets.len() != count {
+        return Err(Error::Corrupt("FastBP128 count mismatch"));
+    }
+    Ok(for_delta::for_decode(base, &offsets))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::scheme::{compress_int_with, decompress_int, SchemeCode};
+
+    fn roundtrip(values: &[i32]) -> usize {
+        let cfg = Config::default();
+        let mut buf = Vec::new();
+        compress_int_with(SchemeCode::FastBp128, values, 3, &cfg, &mut buf);
+        let mut r = Reader::new(&buf);
+        assert_eq!(decompress_int(&mut r, &cfg).unwrap(), values);
+        buf.len()
+    }
+
+    #[test]
+    fn roundtrip_small_values() {
+        let values: Vec<i32> = (0..12_800).map(|i| i % 16).collect();
+        let size = roundtrip(&values);
+        // 4-bit packing => ~8x smaller.
+        assert!(size * 6 < values.len() * 4, "got {size} bytes");
+    }
+
+    #[test]
+    fn roundtrip_negative_and_extremes() {
+        roundtrip(&[-5, -4, -3, 0, 100]);
+        roundtrip(&[i32::MIN, i32::MAX, 0]);
+        roundtrip(&[]);
+    }
+
+    #[test]
+    fn outlier_hurts_bp_more_than_pfor() {
+        let cfg = Config::default();
+        let mut values: Vec<i32> = (0..12_800).map(|i| i % 16).collect();
+        for i in (0..values.len()).step_by(128) {
+            values[i] = i32::MAX;
+        }
+        let mut bp_buf = Vec::new();
+        compress_int_with(SchemeCode::FastBp128, &values, 3, &cfg, &mut bp_buf);
+        let mut pfor_buf = Vec::new();
+        compress_int_with(SchemeCode::FastPfor, &values, 3, &cfg, &mut pfor_buf);
+        assert!(
+            pfor_buf.len() * 2 < bp_buf.len(),
+            "pfor {} vs bp {}",
+            pfor_buf.len(),
+            bp_buf.len()
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Frequency encoding (the paper's adaptation of DB2 BLU's scheme).
+//!
+//! Real-world columns often have one dominant value with exponentially rarer
+//! exceptions. The block stores (1) the top value, (2) a Roaring bitmap
+//! marking which positions are *not* the top value, and (3) the exception
+//! values as a cascaded child block.
+//!
+//! Payload: `[top: i32][bitmap_len: u32][roaring bitmap][child block:
+//! exceptions]`.
+
+use crate::config::Config;
+use crate::scheme;
+use crate::writer::{Reader, WriteLe};
+use crate::{Error, Result};
+use btr_roaring::RoaringBitmap;
+
+/// Compresses `values` as Frequency encoding.
+pub fn compress(values: &[i32], child_depth: u8, cfg: &Config, out: &mut Vec<u8>) {
+    // Find the dominant value (selection already verified dominance).
+    let stats = crate::stats::IntegerStats::collect(values);
+    let top = stats.top_value;
+    let mut exceptions = Vec::new();
+    let bitmap = RoaringBitmap::from_sorted_iter(values.iter().enumerate().filter_map(|(i, &v)| {
+        if v != top {
+            exceptions.push(v);
+            Some(i as u32)
+        } else {
+            None
+        }
+    }));
+    let bitmap_bytes = bitmap.serialize();
+    out.put_i32(top);
+    out.put_u32(bitmap_bytes.len() as u32);
+    out.extend_from_slice(&bitmap_bytes);
+    scheme::compress_int(&exceptions, child_depth, cfg, out);
+}
+
+/// Decompresses a Frequency block of `count` values.
+pub fn decompress(r: &mut Reader<'_>, count: usize, cfg: &Config) -> Result<Vec<i32>> {
+    let top = r.i32()?;
+    let bitmap_len = r.u32()? as usize;
+    let bitmap = RoaringBitmap::deserialize(r.take(bitmap_len)?)?;
+    let exceptions = scheme::decompress_int(r, cfg)?;
+    if bitmap.cardinality() as usize != exceptions.len() {
+        return Err(Error::Corrupt("frequency exception count mismatch"));
+    }
+    let mut out = vec![top; count];
+    for (pos, &val) in bitmap.iter().zip(&exceptions) {
+        let pos = pos as usize;
+        if pos >= count {
+            return Err(Error::Corrupt("frequency exception position out of range"));
+        }
+        out[pos] = val;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::{compress_int_with, decompress_int, SchemeCode};
+
+    fn roundtrip(values: &[i32]) -> usize {
+        let cfg = Config::default();
+        let mut buf = Vec::new();
+        compress_int_with(SchemeCode::Frequency, values, 3, &cfg, &mut buf);
+        let mut r = Reader::new(&buf);
+        assert_eq!(decompress_int(&mut r, &cfg).unwrap(), values);
+        buf.len()
+    }
+
+    #[test]
+    fn roundtrip_dominant_value() {
+        let mut values = vec![0; 10_000];
+        for i in (0..10_000).step_by(97) {
+            values[i] = i as i32;
+        }
+        let size = roundtrip(&values);
+        assert!(size * 10 < values.len() * 4, "got {size} bytes");
+    }
+
+    #[test]
+    fn roundtrip_no_exceptions() {
+        roundtrip(&[5; 100]);
+    }
+
+    #[test]
+    fn roundtrip_all_exceptions_edge() {
+        // Degenerate but legal: top value appears once.
+        roundtrip(&[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        roundtrip(&[]);
+    }
+}

@@ -1,0 +1,66 @@
+//! Integer encoding schemes.
+
+pub mod bp;
+pub mod dict;
+pub mod frequency;
+pub mod onevalue;
+pub mod pfor;
+pub mod rle;
+pub mod uncompressed;
+
+use crate::config::Config;
+use crate::scheme::SchemeCode;
+use crate::stats::IntegerStats;
+
+/// Statistics-based viability filter (paper §3, step 2).
+pub fn viable(code: SchemeCode, stats: &IntegerStats, cfg: &Config) -> bool {
+    match code {
+        SchemeCode::OneValue => stats.unique_count <= 1,
+        SchemeCode::Rle => stats.average_run_length >= cfg.rle_min_avg_run,
+        SchemeCode::Frequency => {
+            stats.unique_fraction() <= cfg.frequency_unique_max
+                && stats.top_count * 2 >= stats.count
+        }
+        // A dictionary can never win when every value is distinct.
+        SchemeCode::Dict => stats.unique_count < stats.count,
+        SchemeCode::FastPfor | SchemeCode::FastBp128 => true,
+        SchemeCode::Uncompressed => true,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats_of(values: &[i32]) -> IntegerStats {
+        IntegerStats::collect(values)
+    }
+
+    #[test]
+    fn rle_excluded_on_short_runs() {
+        let cfg = Config::default();
+        let alternating: Vec<i32> = (0..100).map(|i| i % 2).collect();
+        assert!(!viable(SchemeCode::Rle, &stats_of(&alternating), &cfg));
+        let runs = vec![1, 1, 1, 2, 2, 2];
+        assert!(viable(SchemeCode::Rle, &stats_of(&runs), &cfg));
+    }
+
+    #[test]
+    fn frequency_excluded_on_high_uniqueness() {
+        let cfg = Config::default();
+        let unique: Vec<i32> = (0..100).collect();
+        assert!(!viable(SchemeCode::Frequency, &stats_of(&unique), &cfg));
+        let mut skewed = vec![7; 90];
+        skewed.extend(0..10);
+        assert!(viable(SchemeCode::Frequency, &stats_of(&skewed), &cfg));
+    }
+
+    #[test]
+    fn bitpacking_always_viable() {
+        let cfg = Config::default();
+        let any: Vec<i32> = (0..50).collect();
+        assert!(viable(SchemeCode::FastPfor, &stats_of(&any), &cfg));
+        assert!(viable(SchemeCode::FastBp128, &stats_of(&any), &cfg));
+    }
+}

@@ -1,0 +1,39 @@
+//! One Value: a block whose values are all identical stores just that value.
+
+use crate::writer::{Reader, WriteLe};
+use crate::Result;
+
+/// Payload: one `i32`.
+pub fn compress(values: &[i32], out: &mut Vec<u8>) {
+    debug_assert!(values.windows(2).all(|w| w[0] == w[1]));
+    out.put_i32(values.first().copied().unwrap_or(0));
+}
+
+/// Expands the stored value `count` times.
+pub fn decompress(r: &mut Reader<'_>, count: usize) -> Result<Vec<i32>> {
+    let v = r.i32()?;
+    Ok(vec![v; count])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let values = vec![-77; 64_000];
+        let mut buf = Vec::new();
+        compress(&values, &mut buf);
+        assert_eq!(buf.len(), 4);
+        let mut r = Reader::new(&buf);
+        assert_eq!(decompress(&mut r, values.len()).unwrap(), values);
+    }
+
+    #[test]
+    fn zero_count() {
+        let mut buf = Vec::new();
+        compress(&[], &mut buf);
+        let mut r = Reader::new(&buf);
+        assert!(decompress(&mut r, 0).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,69 @@
+//! FastPFOR integer scheme: frame-of-reference + patched bit-packing.
+//!
+//! Payload: `[base: i32][word_count: u32][FastPFOR words]`. The FOR
+//! transform subtracts the block minimum so the full `i32` range maps onto
+//! `u32` offsets; the offsets go through the FastPFOR codec of
+//! `btr-bitpacking`, whose per-128-block exception patching absorbs outliers.
+
+use crate::writer::{Reader, WriteLe};
+use crate::{Error, Result};
+use btr_bitpacking::{fastpfor, for_delta};
+
+/// Compresses `values` as FOR + FastPFOR.
+pub fn compress(values: &[i32], out: &mut Vec<u8>) {
+    let (base, offsets) = for_delta::for_encode(values);
+    let words = fastpfor::encode(&offsets);
+    out.put_i32(base);
+    out.put_u32(words.len() as u32);
+    out.put_u32_slice(&words);
+}
+
+/// Decompresses a FastPFOR block of `count` values.
+pub fn decompress(r: &mut Reader<'_>, count: usize) -> Result<Vec<i32>> {
+    let base = r.i32()?;
+    let word_count = r.u32()? as usize;
+    let words = r.u32_vec(word_count)?;
+    let offsets = fastpfor::decode(&words)?;
+    if offsets.len() != count {
+        return Err(Error::Corrupt("FastPFOR count mismatch"));
+    }
+    Ok(for_delta::for_decode(base, &offsets))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::scheme::{compress_int_with, decompress_int, SchemeCode};
+
+    fn roundtrip(values: &[i32]) -> usize {
+        let cfg = Config::default();
+        let mut buf = Vec::new();
+        compress_int_with(SchemeCode::FastPfor, values, 3, &cfg, &mut buf);
+        let mut r = Reader::new(&buf);
+        assert_eq!(decompress_int(&mut r, &cfg).unwrap(), values);
+        buf.len()
+    }
+
+    #[test]
+    fn roundtrip_narrow_range() {
+        let values: Vec<i32> = (0..10_000).map(|i| 1_000_000 + (i % 100)).collect();
+        let size = roundtrip(&values);
+        assert!(size * 3 < values.len() * 4, "got {size} bytes");
+    }
+
+    #[test]
+    fn roundtrip_with_outliers() {
+        let mut values: Vec<i32> = (0..2_000).map(|i| i % 50).collect();
+        values[13] = i32::MAX;
+        values[1500] = i32::MIN;
+        roundtrip(&values);
+    }
+
+    #[test]
+    fn roundtrip_extremes_and_empty() {
+        roundtrip(&[i32::MIN, i32::MAX]);
+        roundtrip(&[]);
+        roundtrip(&[0]);
+    }
+}

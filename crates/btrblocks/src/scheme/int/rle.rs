@@ -1,0 +1,113 @@
+//! Run-length encoding for integers, with cascading children.
+//!
+//! Payload: `[run_count: u32][child block: run values][child block: run
+//! lengths]`. Both children are full framed blocks compressed by recursive
+//! scheme selection (paper Listing 1's two `pickScheme` calls).
+//! Decompression uses the vectorized splat-store kernel of §5.
+
+use crate::config::Config;
+use crate::scheme;
+use crate::simd;
+use crate::writer::{Reader, WriteLe};
+use crate::{Error, Result};
+
+/// Splits `values` into `(run_values, run_lengths)`.
+pub fn runs_of(values: &[i32]) -> (Vec<i32>, Vec<i32>) {
+    let mut run_values = Vec::new();
+    let mut run_lengths: Vec<i32> = Vec::new();
+    for &v in values {
+        match run_values.last() {
+            Some(&last) if last == v => *run_lengths.last_mut().expect("parallel arrays") += 1,
+            _ => {
+                run_values.push(v);
+                run_lengths.push(1);
+            }
+        }
+    }
+    (run_values, run_lengths)
+}
+
+/// Compresses `values` as RLE with cascaded children.
+pub fn compress(values: &[i32], child_depth: u8, cfg: &Config, out: &mut Vec<u8>) {
+    let (run_values, run_lengths) = runs_of(values);
+    out.put_u32(run_values.len() as u32);
+    scheme::compress_int(&run_values, child_depth, cfg, out);
+    scheme::compress_int(&run_lengths, child_depth, cfg, out);
+}
+
+/// Decompresses an RLE block of `count` values.
+pub fn decompress(r: &mut Reader<'_>, count: usize, cfg: &Config) -> Result<Vec<i32>> {
+    let run_count = r.u32()? as usize;
+    let run_values = scheme::decompress_int(r, cfg)?;
+    let run_lengths = scheme::decompress_int(r, cfg)?;
+    if run_values.len() != run_count || run_lengths.len() != run_count {
+        return Err(Error::Corrupt("RLE run array length mismatch"));
+    }
+    let mut total = 0usize;
+    let mut lengths = Vec::with_capacity(run_count);
+    for &l in &run_lengths {
+        if l < 0 {
+            return Err(Error::Corrupt("negative RLE run length"));
+        }
+        total += l as usize;
+        lengths.push(l as u32);
+    }
+    if total != count {
+        return Err(Error::Corrupt("RLE total length mismatch"));
+    }
+    Ok(simd::rle_decode_i32(&run_values, &lengths, total, cfg.simd))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::{compress_int_with, decompress_int, SchemeCode};
+
+    fn roundtrip(values: &[i32]) {
+        let cfg = Config::default();
+        let mut buf = Vec::new();
+        compress_int_with(SchemeCode::Rle, values, 3, &cfg, &mut buf);
+        let mut r = Reader::new(&buf);
+        assert_eq!(decompress_int(&mut r, &cfg).unwrap(), values);
+    }
+
+    #[test]
+    fn roundtrip_runs() {
+        roundtrip(&[5, 5, 5, 1, 1, 9, 9, 9, 9]);
+        roundtrip(&[7; 1000]);
+        roundtrip(&(0..100).collect::<Vec<_>>()); // worst case: all runs of 1
+    }
+
+    #[test]
+    fn runs_of_splits_correctly() {
+        let (v, l) = runs_of(&[3, 3, 8, 8, 8, 1]);
+        assert_eq!(v, vec![3, 8, 1]);
+        assert_eq!(l, vec![2, 3, 1]);
+        let (v, l) = runs_of(&[]);
+        assert!(v.is_empty() && l.is_empty());
+    }
+
+    #[test]
+    fn compresses_long_runs_well() {
+        let cfg = Config::default();
+        let values: Vec<i32> = (0..64_000).map(|i| i / 1000).collect();
+        let mut buf = Vec::new();
+        compress_int_with(SchemeCode::Rle, &values, 3, &cfg, &mut buf);
+        assert!(buf.len() * 50 < values.len() * 4, "got {} bytes", buf.len());
+    }
+
+    #[test]
+    fn corrupt_total_is_error() {
+        let cfg = Config::default();
+        let mut buf = Vec::new();
+        compress_int_with(SchemeCode::Rle, &[1, 1, 2], 3, &cfg, &mut buf);
+        let mut r = Reader::new(&buf);
+        let code = r.u8().unwrap();
+        assert_eq!(code, SchemeCode::Rle as u8);
+        // Lie about the count in the frame.
+        let mut tampered = buf.clone();
+        tampered[1..5].copy_from_slice(&10u32.to_le_bytes());
+        let mut r = Reader::new(&tampered);
+        assert!(decompress_int(&mut r, &cfg).is_err());
+    }
+}

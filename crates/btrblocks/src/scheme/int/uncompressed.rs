@@ -1,0 +1,37 @@
+//! Raw integer storage — the depth-0 fallback and last-resort scheme.
+
+use crate::writer::{Reader, WriteLe};
+use crate::Result;
+
+/// Payload: `count × i32` little-endian.
+pub fn compress(values: &[i32], out: &mut Vec<u8>) {
+    out.put_i32_slice(values);
+}
+
+/// Reads `count` raw integers.
+pub fn decompress(r: &mut Reader<'_>, count: usize) -> Result<Vec<i32>> {
+    r.i32_vec(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let values = vec![i32::MIN, -1, 0, 1, i32::MAX];
+        let mut buf = Vec::new();
+        compress(&values, &mut buf);
+        assert_eq!(buf.len(), values.len() * 4);
+        let mut r = Reader::new(&buf);
+        assert_eq!(decompress(&mut r, values.len()).unwrap(), values);
+    }
+
+    #[test]
+    fn truncated_errors() {
+        let mut buf = Vec::new();
+        compress(&[1, 2, 3], &mut buf);
+        let mut r = Reader::new(&buf[..8]);
+        assert!(decompress(&mut r, 3).is_err());
+    }
+}

@@ -1,0 +1,199 @@
+//! Dictionary encoding for strings, with copy-free decode and the fused
+//! RLE+Dict fast path (paper §5).
+//!
+//! Payload: `[dict_n: u32][pool_len: u32][dict pool bytes][dict offsets:
+//! (dict_n + 1) × u32][child block: code sequence]`.
+//!
+//! Decompression never copies string bytes: each code becomes a fixed-size
+//! 64-bit `(offset, len)` view into the dictionary pool, gathered with AVX2.
+//! When the code sequence was itself RLE-compressed and runs are long enough
+//! (average > `cfg.fused_rle_dict_min_run`), the two decode steps are fused:
+//! the dictionary lookup happens per *run* and the view is splat-stored,
+//! skipping the intermediate code array entirely.
+
+use crate::config::Config;
+use crate::scheme::{self, SchemeCode};
+use crate::simd;
+use crate::types::{StringArena, StringViews};
+use crate::writer::{Reader, WriteLe};
+use crate::{Error, Result};
+use crate::fxhash::FxHashMap;
+
+/// Builds `(dictionary arena, codes)` in first-occurrence order.
+pub fn encode_dict(arena: &StringArena) -> (StringArena, Vec<i32>) {
+    let mut map: FxHashMap<&[u8], i32> =
+        FxHashMap::with_capacity_and_hasher(arena.len() / 4 + 1, Default::default());
+    let mut dict = StringArena::new();
+    let mut codes = Vec::with_capacity(arena.len());
+    for i in 0..arena.len() {
+        let s = arena.get(i);
+        let code = *map.entry(s).or_insert_with(|| {
+            dict.push(s);
+            (dict.len() - 1) as i32
+        });
+        codes.push(code);
+    }
+    (dict, codes)
+}
+
+/// Compresses `arena` as a dictionary with a cascaded code sequence.
+pub fn compress(arena: &StringArena, child_depth: u8, cfg: &Config, out: &mut Vec<u8>) {
+    let (dict, codes) = encode_dict(arena);
+    write_dict(&dict, out);
+    scheme::compress_int_excluding(&codes, child_depth, cfg, out, Some(SchemeCode::Dict));
+}
+
+pub(crate) fn write_dict(dict: &StringArena, out: &mut Vec<u8>) {
+    out.put_u32(dict.len() as u32);
+    out.put_u32(dict.bytes.len() as u32);
+    out.extend_from_slice(&dict.bytes);
+    out.put_u32_slice(&dict.offsets);
+}
+
+pub(crate) fn read_dict(r: &mut Reader<'_>) -> Result<(Vec<u8>, Vec<u64>)> {
+    let dict_n = r.u32()? as usize;
+    let pool_len = r.u32()? as usize;
+    let pool = r.take(pool_len)?.to_vec();
+    let offsets = r.u32_vec(dict_n + 1)?;
+    let mut views = Vec::with_capacity(dict_n);
+    for w in offsets.windows(2) {
+        if w[1] < w[0] || w[1] as usize > pool_len {
+            return Err(Error::Corrupt("dict offsets not monotone"));
+        }
+        views.push(StringViews::pack(w[0], w[1] - w[0]));
+    }
+    Ok((pool, views))
+}
+
+/// Decodes a cascaded code sequence into views, fusing RLE+Dict when the
+/// child block is RLE with long runs.
+pub(crate) fn decode_codes_to_views(
+    r: &mut Reader<'_>,
+    count: usize,
+    cfg: &Config,
+    dict_views: &[u64],
+) -> Result<Vec<u64>> {
+    // Peek the child frame to detect the RLE fusion opportunity.
+    let mut peek = r.clone();
+    let child_code = SchemeCode::from_u8(peek.u8()?)?;
+    if child_code == SchemeCode::Rle {
+        let child_count = peek.u32()? as usize;
+        let run_count = peek.u32()? as usize;
+        if child_count == count
+            && run_count > 0
+            && count as f64 / run_count as f64 > cfg.fused_rle_dict_min_run
+        {
+            let run_values = scheme::decompress_int(&mut peek, cfg)?;
+            let run_lengths = scheme::decompress_int(&mut peek, cfg)?;
+            if run_values.len() != run_count || run_lengths.len() != run_count {
+                return Err(Error::Corrupt("fused RLE run array mismatch"));
+            }
+            // Dictionary lookup per run, then splat-store the views.
+            let mut total = 0usize;
+            let mut run_views = Vec::with_capacity(run_count);
+            let mut lengths = Vec::with_capacity(run_count);
+            for (&code, &len) in run_values.iter().zip(&run_lengths) {
+                if code < 0 || code as usize >= dict_views.len() || len < 0 {
+                    return Err(Error::Corrupt("fused RLE dict code out of range"));
+                }
+                run_views.push(dict_views[code as usize]);
+                lengths.push(len as u32);
+                total += len as usize;
+            }
+            if total != count {
+                return Err(Error::Corrupt("fused RLE total mismatch"));
+            }
+            *r = peek;
+            return Ok(simd::rle_decode_u64(&run_views, &lengths, total, cfg.simd));
+        }
+    }
+    // Generic path: decode codes, then gather views.
+    let codes = scheme::decompress_int(r, cfg)?;
+    if codes.len() != count {
+        return Err(Error::Corrupt("string dict code count mismatch"));
+    }
+    let mut codes_u32 = Vec::with_capacity(codes.len());
+    for &c in &codes {
+        if c < 0 || c as usize >= dict_views.len() {
+            return Err(Error::Corrupt("string dict code out of range"));
+        }
+        codes_u32.push(c as u32);
+    }
+    Ok(simd::dict_decode_u64(&codes_u32, dict_views, cfg.simd))
+}
+
+/// Decompresses a dictionary block of `count` strings.
+pub fn decompress(r: &mut Reader<'_>, count: usize, cfg: &Config) -> Result<StringViews> {
+    let (pool, dict_views) = read_dict(r)?;
+    let views = decode_codes_to_views(r, count, cfg, &dict_views)?;
+    Ok(StringViews { pool, views })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::{compress_str_with, decompress_str};
+
+    fn roundtrip(strings: &[&str]) {
+        let arena = StringArena::from_strs(strings);
+        let cfg = Config::default();
+        let mut buf = Vec::new();
+        compress_str_with(SchemeCode::Dict, &arena, 3, &cfg, &mut buf);
+        let mut r = Reader::new(&buf);
+        let out = decompress_str(&mut r, &cfg).unwrap();
+        assert_eq!(out.len(), strings.len());
+        for (i, s) in strings.iter().enumerate() {
+            assert_eq!(out.get(i), s.as_bytes(), "string {i}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_low_cardinality() {
+        let strings: Vec<&str> = (0..1000)
+            .map(|i| ["All Residential", "Condo", "Townhouse"][i % 3])
+            .collect();
+        roundtrip(&strings);
+    }
+
+    #[test]
+    fn roundtrip_with_long_runs_exercises_fusion() {
+        // Long runs of equal values: the code child becomes RLE and the
+        // fused path kicks in (avg run length 250 > 3).
+        let strings: Vec<&str> = (0..1000)
+            .map(|i| ["AAAA", "BBBB", "CCCC", "DDDD"][i / 250])
+            .collect();
+        roundtrip(&strings);
+    }
+
+    #[test]
+    fn fused_and_scalar_agree() {
+        let strings: Vec<&str> = (0..2000).map(|i| ["x", "yy", "zzz"][(i / 100) % 3]).collect();
+        let arena = StringArena::from_strs(&strings);
+        let mut buf = Vec::new();
+        let cfg = Config::default();
+        compress_str_with(SchemeCode::Dict, &arena, 3, &cfg, &mut buf);
+        // Fusion enabled (default threshold 3).
+        let mut r = Reader::new(&buf);
+        let fused = decompress_str(&mut r, &cfg).unwrap();
+        // Fusion disabled via an impossible threshold.
+        let no_fuse = Config { fused_rle_dict_min_run: f64::INFINITY, ..Config::default() };
+        let mut r = Reader::new(&buf);
+        let plain = decompress_str(&mut r, &no_fuse).unwrap();
+        assert_eq!(fused.iter().collect::<Vec<_>>(), plain.iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn roundtrip_empty_strings_and_unicode() {
+        roundtrip(&["", "", "Maceió", "", "Maceió", "東京"]);
+    }
+
+    #[test]
+    fn dict_smaller_than_raw_on_repetition() {
+        let strings: Vec<&str> = (0..10_000).map(|_| "a rather long repeated string value").collect();
+        let arena = StringArena::from_strs(&strings);
+        let cfg = Config::default();
+        let mut buf = Vec::new();
+        compress_str_with(SchemeCode::Dict, &arena, 3, &cfg, &mut buf);
+        assert!(buf.len() * 100 < arena.heap_size(), "got {} bytes", buf.len());
+    }
+}

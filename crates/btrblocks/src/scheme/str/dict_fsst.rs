@@ -1,0 +1,123 @@
+//! Dictionary with an FSST-compressed string pool (paper Figure 4: "+ FSST
+//! on dictionary", a 51 % ratio improvement over plain dictionaries on
+//! Public BI strings).
+//!
+//! Payload: `[dict_n: u32][table_len: u32][symbol table][comp_len: u32]
+//! [compressed dict pool][dict lengths: dict_n × u32][child block: code
+//! sequence]`.
+//!
+//! Decompression decodes the dictionary pool with a single FSST call, builds
+//! `(offset, len)` views from the stored uncompressed lengths, then decodes
+//! the code sequence exactly like [`super::dict`] (including the fused
+//! RLE+Dict fast path).
+
+use crate::config::Config;
+use crate::scheme;
+use crate::types::{StringArena, StringViews};
+use crate::writer::{Reader, WriteLe};
+use crate::{Error, Result};
+use btr_fsst::SymbolTable;
+
+/// Compresses `arena` as Dict+FSST.
+pub fn compress(arena: &StringArena, child_depth: u8, cfg: &Config, out: &mut Vec<u8>) {
+    let (dict, codes) = super::dict::encode_dict(arena);
+    let dict_strings: Vec<&[u8]> = dict.iter().collect();
+    let table = SymbolTable::train(&dict_strings);
+    let table_bytes = table.serialize();
+    let mut compressed = Vec::with_capacity(dict.total_bytes() / 2 + 16);
+    let mut lengths = Vec::with_capacity(dict.len());
+    for s in &dict_strings {
+        table.compress(s, &mut compressed);
+        lengths.push(s.len() as u32);
+    }
+    out.put_u32(dict.len() as u32);
+    out.put_u32(table_bytes.len() as u32);
+    out.extend_from_slice(&table_bytes);
+    out.put_u32(compressed.len() as u32);
+    out.extend_from_slice(&compressed);
+    out.put_u32_slice(&lengths);
+    scheme::compress_int_excluding(&codes, child_depth, cfg, out, Some(crate::scheme::SchemeCode::Dict));
+}
+
+/// Decompresses a Dict+FSST block of `count` strings.
+pub fn decompress(r: &mut Reader<'_>, count: usize, cfg: &Config) -> Result<StringViews> {
+    let dict_n = r.u32()? as usize;
+    let table_len = r.u32()? as usize;
+    let table = SymbolTable::deserialize(r.take(table_len)?)?;
+    let comp_len = r.u32()? as usize;
+    let compressed = r.take(comp_len)?;
+    let lengths = r.u32_vec(dict_n)?;
+    // Single FSST call for the whole dictionary pool.
+    let mut pool = Vec::new();
+    table.decompress(compressed, &mut pool)?;
+    let mut dict_views = Vec::with_capacity(dict_n);
+    let mut off = 0u64;
+    for &l in &lengths {
+        dict_views.push(StringViews::pack(off as u32, l));
+        off += u64::from(l);
+    }
+    if off != pool.len() as u64 {
+        return Err(Error::Corrupt("dict+fsst pool length mismatch"));
+    }
+    let views = super::dict::decode_codes_to_views(r, count, cfg, &dict_views)?;
+    Ok(StringViews { pool, views })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::{compress_str_with, decompress_str, SchemeCode};
+
+    fn roundtrip(strings: &[&str]) -> usize {
+        let arena = StringArena::from_strs(strings);
+        let cfg = Config::default();
+        let mut buf = Vec::new();
+        compress_str_with(SchemeCode::DictFsst, &arena, 3, &cfg, &mut buf);
+        let mut r = Reader::new(&buf);
+        let out = decompress_str(&mut r, &cfg).unwrap();
+        assert_eq!(out.len(), strings.len());
+        for (i, s) in strings.iter().enumerate() {
+            assert_eq!(out.get(i), s.as_bytes(), "string {i}");
+        }
+        buf.len()
+    }
+
+    #[test]
+    fn roundtrip_city_names() {
+        // The paper's Dict+FSST examples: city/street columns with shared
+        // substrings and moderate cardinality.
+        let cities = ["01 BRONX", "04 BRONX", "05 QUEENS", "12 QUEENS", "03 BROOKLYN"];
+        let strings: Vec<&str> = (0..5_000).map(|i| cities[(i * 7) % 5]).collect();
+        let size = roundtrip(&strings);
+        let arena = StringArena::from_strs(&strings);
+        assert!(size * 20 < arena.heap_size(), "got {size} bytes");
+    }
+
+    #[test]
+    fn beats_plain_dict_on_substring_rich_dictionaries() {
+        // High-cardinality strings that share long substrings: the dictionary
+        // pool itself is compressible, which is exactly DictFsst's case.
+        let strings: Vec<String> = (0..4_000)
+            .map(|i| format!("5777 E MAYO BLVD BUILDING {} PHOENIX ARIZONA", i % 2000))
+            .collect();
+        let refs: Vec<&str> = strings.iter().map(|s| s.as_str()).collect();
+        let arena = StringArena::from_strs(&refs);
+        let cfg = Config::default();
+        let mut plain = Vec::new();
+        compress_str_with(SchemeCode::Dict, &arena, 3, &cfg, &mut plain);
+        let mut fsst = Vec::new();
+        compress_str_with(SchemeCode::DictFsst, &arena, 3, &cfg, &mut fsst);
+        assert!(
+            fsst.len() < plain.len(),
+            "dict+fsst ({}) should beat dict ({})",
+            fsst.len(),
+            plain.len()
+        );
+    }
+
+    #[test]
+    fn roundtrip_edge_cases() {
+        roundtrip(&["", "a", "", "a"]);
+        roundtrip(&["solo"]);
+    }
+}

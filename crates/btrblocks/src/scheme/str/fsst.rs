@@ -1,0 +1,108 @@
+//! FSST over the raw string concatenation (paper §5's block-decode variant).
+//!
+//! The whole block's strings are FSST-compressed back-to-back into one
+//! buffer. Compressed per-string offsets are *not* stored: because FSST
+//! decoding is stateless, decompressing the entire concatenation with a
+//! single call and splitting it by the (cascade-compressed) *uncompressed*
+//! string lengths reconstructs every boundary — the "50 instructions per
+//! string" saving the paper describes.
+//!
+//! Payload: `[table_len: u32][symbol table][comp_len: u32][compressed
+//! bytes][child block: uncompressed lengths (integer)]`.
+
+use crate::config::Config;
+use crate::scheme;
+use crate::types::{StringArena, StringViews};
+use crate::writer::{Reader, WriteLe};
+use crate::{Error, Result};
+use btr_fsst::SymbolTable;
+
+/// Compresses `arena` with FSST.
+pub fn compress(arena: &StringArena, child_depth: u8, cfg: &Config, out: &mut Vec<u8>) {
+    let strings: Vec<&[u8]> = arena.iter().collect();
+    let table = SymbolTable::train(&strings);
+    let table_bytes = table.serialize();
+    let mut compressed = Vec::with_capacity(arena.total_bytes() / 2 + 16);
+    let mut lengths = Vec::with_capacity(arena.len());
+    for s in &strings {
+        table.compress(s, &mut compressed);
+        lengths.push(s.len() as i32);
+    }
+    out.put_u32(table_bytes.len() as u32);
+    out.extend_from_slice(&table_bytes);
+    out.put_u32(compressed.len() as u32);
+    out.extend_from_slice(&compressed);
+    scheme::compress_int(&lengths, child_depth, cfg, out);
+}
+
+/// Decompresses an FSST block of `count` strings.
+pub fn decompress(r: &mut Reader<'_>, count: usize, cfg: &Config) -> Result<StringViews> {
+    let table_len = r.u32()? as usize;
+    let table = SymbolTable::deserialize(r.take(table_len)?)?;
+    let comp_len = r.u32()? as usize;
+    let compressed = r.take(comp_len)?;
+    let lengths = scheme::decompress_int(r, cfg)?;
+    if lengths.len() != count {
+        return Err(Error::Corrupt("fsst length count mismatch"));
+    }
+    // One decompression call for the whole block.
+    let mut pool = Vec::new();
+    table.decompress(compressed, &mut pool)?;
+    let total: usize = pool.len();
+    let mut views = Vec::with_capacity(count);
+    let mut off = 0u64;
+    for &l in &lengths {
+        if l < 0 {
+            return Err(Error::Corrupt("negative fsst string length"));
+        }
+        views.push(StringViews::pack(off as u32, l as u32));
+        off += l as u64;
+    }
+    if off != total as u64 {
+        return Err(Error::Corrupt("fsst pool length mismatch"));
+    }
+    Ok(StringViews { pool, views })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::{compress_str_with, decompress_str, SchemeCode};
+
+    fn roundtrip(strings: &[&str]) -> usize {
+        let arena = StringArena::from_strs(strings);
+        let cfg = Config::default();
+        let mut buf = Vec::new();
+        compress_str_with(SchemeCode::Fsst, &arena, 3, &cfg, &mut buf);
+        let mut r = Reader::new(&buf);
+        let out = decompress_str(&mut r, &cfg).unwrap();
+        assert_eq!(out.len(), strings.len());
+        for (i, s) in strings.iter().enumerate() {
+            assert_eq!(out.get(i), s.as_bytes(), "string {i}");
+        }
+        buf.len()
+    }
+
+    #[test]
+    fn roundtrip_urls() {
+        let strings: Vec<String> = (0..2000)
+            .map(|i| format!("https://example.com/products/category-{}/item-{}", i % 7, i))
+            .collect();
+        let refs: Vec<&str> = strings.iter().map(|s| s.as_str()).collect();
+        let size = roundtrip(&refs);
+        let raw: usize = strings.iter().map(|s| s.len() + 4).sum();
+        assert!(size * 2 < raw, "FSST should halve URLs: {size} vs {raw}");
+    }
+
+    #[test]
+    fn roundtrip_empty_and_mixed() {
+        roundtrip(&["", "one", "", "two", ""]);
+        roundtrip(&[""]);
+    }
+
+    #[test]
+    fn roundtrip_binary_strings() {
+        let strings = ["\u{0}\u{1}", "ÿþý", "normal"];
+        roundtrip(&strings);
+    }
+}

@@ -1,0 +1,51 @@
+//! One Value for strings: the whole block is one repeated string.
+
+use crate::types::{StringArena, StringViews};
+use crate::writer::{Reader, WriteLe};
+use crate::Result;
+
+/// Payload: `[len: u32][bytes]`.
+pub fn compress(arena: &StringArena, out: &mut Vec<u8>) {
+    let s: &[u8] = if arena.is_empty() { b"" } else { arena.get(0) };
+    debug_assert!((0..arena.len()).all(|i| arena.get(i) == s));
+    out.put_u32(s.len() as u32);
+    out.extend_from_slice(s);
+}
+
+/// Expands the stored string `count` times (all views share one pool entry).
+pub fn decompress(r: &mut Reader<'_>, count: usize) -> Result<StringViews> {
+    let len = r.u32()? as usize;
+    let pool = r.take(len)?.to_vec();
+    let view = StringViews::pack(0, len as u32);
+    Ok(StringViews {
+        pool,
+        views: vec![view; count],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let arena = StringArena::from_strs(&["CABLE"; 100]);
+        let mut buf = Vec::new();
+        compress(&arena, &mut buf);
+        assert_eq!(buf.len(), 4 + 5);
+        let mut r = Reader::new(&buf);
+        let out = decompress(&mut r, 100).unwrap();
+        assert_eq!(out.len(), 100);
+        assert!(out.iter().all(|s| s == b"CABLE"));
+    }
+
+    #[test]
+    fn empty_string_block() {
+        let arena = StringArena::from_strs(&["", ""]);
+        let mut buf = Vec::new();
+        compress(&arena, &mut buf);
+        let mut r = Reader::new(&buf);
+        let out = decompress(&mut r, 2).unwrap();
+        assert!(out.iter().all(|s| s.is_empty()));
+    }
+}

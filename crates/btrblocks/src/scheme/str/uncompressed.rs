@@ -1,0 +1,57 @@
+//! Raw string storage: offsets + byte pool.
+
+use crate::types::{StringArena, StringViews};
+use crate::writer::{Reader, WriteLe};
+use crate::{Error, Result};
+
+/// Payload: `[pool_len: u32][pool bytes][offsets: (count + 1) × u32]`.
+pub fn compress(arena: &StringArena, out: &mut Vec<u8>) {
+    out.put_u32(arena.bytes.len() as u32);
+    out.extend_from_slice(&arena.bytes);
+    out.put_u32_slice(&arena.offsets);
+}
+
+/// Reads `count` raw strings as views over the embedded pool.
+pub fn decompress(r: &mut Reader<'_>, count: usize) -> Result<StringViews> {
+    let pool_len = r.u32()? as usize;
+    let pool = r.take(pool_len)?.to_vec();
+    let offsets = r.u32_vec(count + 1)?;
+    let mut views = Vec::with_capacity(count);
+    for w in offsets.windows(2) {
+        let (start, end) = (w[0], w[1]);
+        if end < start || end as usize > pool_len {
+            return Err(Error::Corrupt("string offsets not monotone"));
+        }
+        views.push(StringViews::pack(start, end - start));
+    }
+    Ok(StringViews { pool, views })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let arena = StringArena::from_strs(&["hello", "", "wörld"]);
+        let mut buf = Vec::new();
+        compress(&arena, &mut buf);
+        let mut r = Reader::new(&buf);
+        let out = decompress(&mut r, 3).unwrap();
+        assert_eq!(out.get(0), b"hello");
+        assert_eq!(out.get(1), b"");
+        assert_eq!(out.get(2), "wörld".as_bytes());
+    }
+
+    #[test]
+    fn corrupt_offsets_error() {
+        let arena = StringArena::from_strs(&["ab", "cd"]);
+        let mut buf = Vec::new();
+        compress(&arena, &mut buf);
+        // offsets live at the end; make them non-monotone.
+        let n = buf.len();
+        buf[n - 4..].copy_from_slice(&1u32.to_le_bytes());
+        let mut r = Reader::new(&buf);
+        assert!(decompress(&mut r, 2).is_err());
+    }
+}

@@ -1,0 +1,249 @@
+//! Per-block statistics, collected in a single pass (plus one hash map).
+//!
+//! The selection algorithm uses these to filter out non-viable schemes before
+//! any sample compression happens (paper §3, step 1–2): e.g. RLE is excluded
+//! when the average run length is below 2 and Frequency when more than half
+//! the values are unique.
+
+use crate::fxhash::FxHashMap;
+use crate::types::StringArena;
+
+/// Statistics over a block of integers.
+#[derive(Debug, Clone)]
+pub struct IntegerStats {
+    /// Number of values.
+    pub count: usize,
+    /// Minimum value (0 for empty blocks).
+    pub min: i32,
+    /// Maximum value (0 for empty blocks).
+    pub max: i32,
+    /// Number of distinct values.
+    pub unique_count: usize,
+    /// Average length of equal-value runs.
+    pub average_run_length: f64,
+    /// Most frequent value and its occurrence count.
+    pub top_value: i32,
+    /// Occurrences of `top_value`.
+    pub top_count: usize,
+}
+
+impl IntegerStats {
+    /// Collects statistics over `values`.
+    pub fn collect(values: &[i32]) -> Self {
+        let mut counts: FxHashMap<i32, usize> =
+            FxHashMap::with_capacity_and_hasher(values.len() / 4 + 1, Default::default());
+        let mut min = i32::MAX;
+        let mut max = i32::MIN;
+        let mut runs = 0usize;
+        let mut prev: Option<i32> = None;
+        for &v in values {
+            min = min.min(v);
+            max = max.max(v);
+            *counts.entry(v).or_insert(0) += 1;
+            if prev != Some(v) {
+                runs += 1;
+            }
+            prev = Some(v);
+        }
+        let (top_value, top_count) = counts
+            .iter()
+            .max_by_key(|&(_, &c)| c)
+            .map(|(&v, &c)| (v, c))
+            .unwrap_or((0, 0));
+        IntegerStats {
+            count: values.len(),
+            min: if values.is_empty() { 0 } else { min },
+            max: if values.is_empty() { 0 } else { max },
+            unique_count: counts.len(),
+            average_run_length: avg_run(values.len(), runs),
+            top_value,
+            top_count,
+        }
+    }
+
+    /// Fraction of values that are distinct (0.0 for empty blocks).
+    pub fn unique_fraction(&self) -> f64 {
+        fraction(self.unique_count, self.count)
+    }
+}
+
+/// Statistics over a block of doubles. Values are keyed by their raw bits, so
+/// `-0.0` and `0.0` count as distinct and every NaN payload is distinct —
+/// matching the bitwise-lossless contract of the format.
+#[derive(Debug, Clone)]
+pub struct DoubleStats {
+    /// Number of values.
+    pub count: usize,
+    /// Number of distinct bit patterns.
+    pub unique_count: usize,
+    /// Average length of equal-bit-pattern runs.
+    pub average_run_length: f64,
+    /// Most frequent value (by bit pattern).
+    pub top_value: f64,
+    /// Occurrences of `top_value`.
+    pub top_count: usize,
+}
+
+impl DoubleStats {
+    /// Collects statistics over `values`.
+    pub fn collect(values: &[f64]) -> Self {
+        let mut counts: FxHashMap<u64, usize> =
+            FxHashMap::with_capacity_and_hasher(values.len() / 4 + 1, Default::default());
+        let mut runs = 0usize;
+        let mut prev: Option<u64> = None;
+        for &v in values {
+            let bits = v.to_bits();
+            *counts.entry(bits).or_insert(0) += 1;
+            if prev != Some(bits) {
+                runs += 1;
+            }
+            prev = Some(bits);
+        }
+        let (top_bits, top_count) = counts
+            .iter()
+            .max_by_key(|&(_, &c)| c)
+            .map(|(&v, &c)| (v, c))
+            .unwrap_or((0, 0));
+        DoubleStats {
+            count: values.len(),
+            unique_count: counts.len(),
+            average_run_length: avg_run(values.len(), runs),
+            top_value: f64::from_bits(top_bits),
+            top_count,
+        }
+    }
+
+    /// Fraction of values that are distinct (0.0 for empty blocks).
+    pub fn unique_fraction(&self) -> f64 {
+        fraction(self.unique_count, self.count)
+    }
+}
+
+/// Statistics over a block of strings.
+#[derive(Debug, Clone)]
+pub struct StringStats {
+    /// Number of strings.
+    pub count: usize,
+    /// Number of distinct strings.
+    pub unique_count: usize,
+    /// Average length of equal-string runs.
+    pub average_run_length: f64,
+    /// Total payload bytes.
+    pub total_bytes: usize,
+    /// Total payload bytes of the distinct strings only.
+    pub unique_bytes: usize,
+    /// Index of the most frequent string.
+    pub top_index: usize,
+    /// Occurrences of the most frequent string.
+    pub top_count: usize,
+}
+
+impl StringStats {
+    /// Collects statistics over `arena`.
+    pub fn collect(arena: &StringArena) -> Self {
+        let mut counts: FxHashMap<&[u8], (usize, usize)> =
+            FxHashMap::with_capacity_and_hasher(arena.len() / 4 + 1, Default::default());
+        let mut runs = 0usize;
+        let mut prev: Option<&[u8]> = None;
+        let mut unique_bytes = 0usize;
+        for i in 0..arena.len() {
+            let s = arena.get(i);
+            let entry = counts.entry(s).or_insert_with(|| {
+                unique_bytes += s.len();
+                (0, i)
+            });
+            entry.0 += 1;
+            if prev != Some(s) {
+                runs += 1;
+            }
+            prev = Some(s);
+        }
+        let (top_index, top_count) = counts
+            .values()
+            .max_by_key(|&&(c, _)| c)
+            .map(|&(c, i)| (i, c))
+            .unwrap_or((0, 0));
+        StringStats {
+            count: arena.len(),
+            unique_count: counts.len(),
+            average_run_length: avg_run(arena.len(), runs),
+            total_bytes: arena.total_bytes(),
+            unique_bytes,
+            top_index,
+            top_count,
+        }
+    }
+
+    /// Fraction of strings that are distinct (0.0 for empty blocks).
+    pub fn unique_fraction(&self) -> f64 {
+        fraction(self.unique_count, self.count)
+    }
+}
+
+fn avg_run(count: usize, runs: usize) -> f64 {
+    if runs == 0 {
+        0.0
+    } else {
+        count as f64 / runs as f64
+    }
+}
+
+fn fraction(part: usize, whole: usize) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 / whole as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_stats_basic() {
+        let s = IntegerStats::collect(&[5, 5, 5, 1, 1, 9]);
+        assert_eq!(s.count, 6);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 9);
+        assert_eq!(s.unique_count, 3);
+        assert_eq!(s.top_value, 5);
+        assert_eq!(s.top_count, 3);
+        assert!((s.average_run_length - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integer_stats_empty() {
+        let s = IntegerStats::collect(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.unique_count, 0);
+        assert_eq!(s.average_run_length, 0.0);
+        assert_eq!(s.unique_fraction(), 0.0);
+    }
+
+    #[test]
+    fn double_stats_bitwise_uniqueness() {
+        let s = DoubleStats::collect(&[0.0, -0.0, f64::NAN, f64::NAN]);
+        // -0.0 differs from 0.0 bitwise; equal-payload NaNs are one value.
+        assert_eq!(s.unique_count, 3);
+        assert_eq!(s.top_count, 2);
+    }
+
+    #[test]
+    fn string_stats_basic() {
+        let arena = StringArena::from_strs(&["x", "x", "yy", "x", "zzz"]);
+        let s = StringStats::collect(&arena);
+        assert_eq!(s.unique_count, 3);
+        assert_eq!(s.top_count, 3);
+        assert_eq!(arena.get(s.top_index), b"x");
+        assert_eq!(s.total_bytes, 8);
+        assert_eq!(s.unique_bytes, 6);
+    }
+
+    #[test]
+    fn run_length_of_constant_column() {
+        let s = IntegerStats::collect(&[7; 1000]);
+        assert_eq!(s.average_run_length, 1000.0);
+        assert_eq!(s.unique_count, 1);
+    }
+}

@@ -1,0 +1,174 @@
+//! Little-endian byte reading/writing helpers for the block format.
+//!
+//! [`Reader`] is public because the per-scheme `decompress` entry points take
+//! it; typical users go through [`crate::decompress`] instead.
+
+use crate::{Error, Result};
+
+/// Appends primitives to a byte buffer.
+pub trait WriteLe {
+    fn put_u8(&mut self, v: u8);
+    fn put_u32(&mut self, v: u32);
+    fn put_i32(&mut self, v: i32);
+    fn put_f64(&mut self, v: f64);
+    fn put_u32_slice(&mut self, v: &[u32]);
+    fn put_i32_slice(&mut self, v: &[i32]);
+    fn put_f64_slice(&mut self, v: &[f64]);
+}
+
+impl WriteLe for Vec<u8> {
+    #[inline]
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    #[inline]
+    fn put_u32(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    #[inline]
+    fn put_i32(&mut self, v: i32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    #[inline]
+    fn put_f64(&mut self, v: f64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u32_slice(&mut self, v: &[u32]) {
+        self.reserve(v.len() * 4);
+        for &x in v {
+            self.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+
+    fn put_i32_slice(&mut self, v: &[i32]) {
+        self.reserve(v.len() * 4);
+        for &x in v {
+            self.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+
+    fn put_f64_slice(&mut self, v: &[f64]) {
+        self.reserve(v.len() * 8);
+        for &x in v {
+            self.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+}
+
+/// A cursor over encoded bytes with bounds-checked reads.
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(Error::UnexpectedEnd);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub fn i32(&mut self) -> Result<i32> {
+        let b = self.take(4)?;
+        Ok(i32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub fn f64(&mut self) -> Result<f64> {
+        let b = self.take(8)?;
+        Ok(f64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    pub fn u32_vec(&mut self, count: usize) -> Result<Vec<u32>> {
+        let raw = self.take(count * 4)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect())
+    }
+
+    pub fn i32_vec(&mut self, count: usize) -> Result<Vec<i32>> {
+        let raw = self.take(count * 4)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| i32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect())
+    }
+
+    pub fn f64_vec(&mut self, count: usize) -> Result<Vec<f64>> {
+        let raw = self.take(count * 8)?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect())
+    }
+
+    /// Remaining unread bytes.
+    pub fn rest(&self) -> &'a [u8] {
+        &self.buf[self.pos..]
+    }
+
+    /// Current read position.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Advances the cursor by `n` bytes.
+    pub fn skip(&mut self, n: usize) -> Result<()> {
+        self.take(n).map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut buf = Vec::new();
+        buf.put_u8(7);
+        buf.put_u32(123_456);
+        buf.put_i32(-99);
+        buf.put_f64(2.5);
+        buf.put_i32_slice(&[1, -2, 3]);
+        buf.put_f64_slice(&[0.5, -0.5]);
+        buf.put_u32_slice(&[10, 20]);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 123_456);
+        assert_eq!(r.i32().unwrap(), -99);
+        assert_eq!(r.f64().unwrap(), 2.5);
+        assert_eq!(r.i32_vec(3).unwrap(), vec![1, -2, 3]);
+        assert_eq!(r.f64_vec(2).unwrap(), vec![0.5, -0.5]);
+        assert_eq!(r.u32_vec(2).unwrap(), vec![10, 20]);
+        assert!(r.rest().is_empty());
+    }
+
+    #[test]
+    fn reads_past_end_error() {
+        let mut r = Reader::new(&[1, 2]);
+        assert!(r.u32().is_err());
+        assert_eq!(r.u8().unwrap(), 1);
+        assert!(r.i32_vec(1).is_err());
+    }
+}

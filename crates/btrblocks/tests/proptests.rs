@@ -1,0 +1,186 @@
+//! Property tests: the whole cascading compressor must round-trip arbitrary
+//! columns bitwise, under every scheme and both SIMD modes.
+
+use btrblocks::block::{compress_block, compress_block_with, decompress_block, BlockRef};
+use btrblocks::{
+    Column, ColumnData, ColumnType, Config, DecodedColumn, Relation, SchemeCode, SimdMode,
+    StringArena,
+};
+use proptest::prelude::*;
+
+fn small_cfg(simd: SimdMode) -> Config {
+    Config {
+        block_size: 256, // force multi-block relations even for small inputs
+        simd,
+        ..Config::default()
+    }
+}
+
+fn arb_ints() -> impl Strategy<Value = Vec<i32>> {
+    prop_oneof![
+        proptest::collection::vec(any::<i32>(), 0..1500),
+        proptest::collection::vec(-5i32..5, 0..1500),
+        // Run-heavy data.
+        (proptest::collection::vec((any::<i32>(), 1usize..40), 0..60)).prop_map(|runs| {
+            runs.into_iter().flat_map(|(v, n)| std::iter::repeat_n(v, n)).collect()
+        }),
+        // One dominant value with exceptions.
+        proptest::collection::vec(prop_oneof![9 => Just(0i32), 1 => any::<i32>()], 0..1500),
+    ]
+}
+
+fn arb_doubles() -> impl Strategy<Value = Vec<f64>> {
+    prop_oneof![
+        proptest::collection::vec(any::<u64>().prop_map(f64::from_bits), 0..1000),
+        // Price-like (PDE-friendly).
+        proptest::collection::vec((0i32..100_000).prop_map(|i| i as f64 / 100.0), 0..1000),
+        // Low cardinality.
+        proptest::collection::vec(
+            prop_oneof![Just(0.0f64), Just(83.2833), Just(3.05), Just(f64::NAN), Just(-0.0)],
+            0..1000
+        ),
+    ]
+}
+
+fn arb_strings() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    prop_oneof![
+        proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..30), 0..400),
+        // Low-cardinality words.
+        proptest::collection::vec(
+            prop_oneof![
+                Just(b"BRONX".to_vec()),
+                Just(b"QUEENS".to_vec()),
+                Just(b"".to_vec()),
+                Just("Maceió".as_bytes().to_vec())
+            ],
+            0..600
+        ),
+        // Prefix-sharing strings.
+        proptest::collection::vec(
+            (0u32..50).prop_map(|i| format!("https://example.com/page/{i}").into_bytes()),
+            0..400
+        ),
+    ]
+}
+
+fn bits_eq(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn int_blocks_roundtrip(values in arb_ints(), scalar in any::<bool>()) {
+        let cfg = small_cfg(if scalar { SimdMode::ForceScalar } else { SimdMode::Auto });
+        let (bytes, _) = compress_block(BlockRef::Int(&values), &cfg);
+        match decompress_block(&bytes, ColumnType::Integer, &cfg).unwrap() {
+            DecodedColumn::Int(out) => prop_assert_eq!(out, values),
+            _ => prop_assert!(false, "wrong decoded type"),
+        }
+    }
+
+    #[test]
+    fn double_blocks_roundtrip(values in arb_doubles(), scalar in any::<bool>()) {
+        let cfg = small_cfg(if scalar { SimdMode::ForceScalar } else { SimdMode::Auto });
+        let (bytes, _) = compress_block(BlockRef::Double(&values), &cfg);
+        match decompress_block(&bytes, ColumnType::Double, &cfg).unwrap() {
+            DecodedColumn::Double(out) => prop_assert!(bits_eq(&values, &out)),
+            _ => prop_assert!(false, "wrong decoded type"),
+        }
+    }
+
+    #[test]
+    fn string_blocks_roundtrip(strings in arb_strings(), scalar in any::<bool>()) {
+        let cfg = small_cfg(if scalar { SimdMode::ForceScalar } else { SimdMode::Auto });
+        let arena = StringArena::from_strs(&strings);
+        let (bytes, _) = compress_block(BlockRef::Str(&arena), &cfg);
+        match decompress_block(&bytes, ColumnType::String, &cfg).unwrap() {
+            DecodedColumn::Str(views) => {
+                prop_assert_eq!(views.len(), strings.len());
+                for (i, s) in strings.iter().enumerate() {
+                    prop_assert_eq!(views.get(i), s.as_slice());
+                }
+            }
+            _ => prop_assert!(false, "wrong decoded type"),
+        }
+    }
+
+    #[test]
+    fn every_int_scheme_roundtrips_when_forced(values in arb_ints()) {
+        let cfg = Config::default();
+        for code in [SchemeCode::Uncompressed, SchemeCode::Rle, SchemeCode::Dict,
+                     SchemeCode::Frequency, SchemeCode::FastPfor, SchemeCode::FastBp128] {
+            let bytes = compress_block_with(code, BlockRef::Int(&values), &cfg);
+            match decompress_block(&bytes, ColumnType::Integer, &cfg).unwrap() {
+                DecodedColumn::Int(out) => prop_assert_eq!(&out, &values, "scheme {:?}", code),
+                _ => prop_assert!(false),
+            }
+        }
+    }
+
+    #[test]
+    fn every_double_scheme_roundtrips_when_forced(values in arb_doubles()) {
+        let cfg = Config::default();
+        for code in [SchemeCode::Uncompressed, SchemeCode::Rle, SchemeCode::Dict,
+                     SchemeCode::Frequency, SchemeCode::Pseudodecimal] {
+            let bytes = compress_block_with(code, BlockRef::Double(&values), &cfg);
+            match decompress_block(&bytes, ColumnType::Double, &cfg).unwrap() {
+                DecodedColumn::Double(out) => prop_assert!(bits_eq(&values, &out), "scheme {:?}", code),
+                _ => prop_assert!(false),
+            }
+        }
+    }
+
+    #[test]
+    fn every_string_scheme_roundtrips_when_forced(strings in arb_strings()) {
+        let cfg = Config::default();
+        let arena = StringArena::from_strs(&strings);
+        for code in [SchemeCode::Uncompressed, SchemeCode::Dict, SchemeCode::DictFsst, SchemeCode::Fsst] {
+            let bytes = compress_block_with(code, BlockRef::Str(&arena), &cfg);
+            match decompress_block(&bytes, ColumnType::String, &cfg).unwrap() {
+                DecodedColumn::Str(views) => {
+                    for (i, s) in strings.iter().enumerate() {
+                        prop_assert_eq!(views.get(i), s.as_slice(), "scheme {:?}", code);
+                    }
+                }
+                _ => prop_assert!(false),
+            }
+        }
+    }
+
+    #[test]
+    fn relations_roundtrip_via_file_bytes(ints in arb_ints(), scalar in any::<bool>()) {
+        let cfg = small_cfg(if scalar { SimdMode::ForceScalar } else { SimdMode::Auto });
+        let n = ints.len();
+        let doubles: Vec<f64> = ints.iter().map(|&i| f64::from(i) * 0.5).collect();
+        let strings: Vec<String> = ints.iter().map(|&i| format!("s{}", i % 17)).collect();
+        let refs: Vec<&str> = strings.iter().map(|s| s.as_str()).collect();
+        let rel = Relation::new(vec![
+            Column::new("i", ColumnData::Int(ints.clone())),
+            Column::new("d", ColumnData::Double(doubles)),
+            Column::new("s", ColumnData::Str(StringArena::from_strs(&refs))),
+        ]);
+        prop_assert_eq!(rel.rows(), n);
+        let bytes = btrblocks::compress(&rel, &cfg).unwrap().to_bytes();
+        let restored = btrblocks::decompress(&bytes, &cfg).unwrap();
+        prop_assert_eq!(rel, restored);
+    }
+
+    #[test]
+    fn decompress_never_panics_on_corrupt_bytes(mut bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        // Fuzzing the block parser: must return Err, never panic/UB.
+        let cfg = Config::default();
+        let _ = decompress_block(&bytes, ColumnType::Integer, &cfg);
+        let _ = decompress_block(&bytes, ColumnType::Double, &cfg);
+        let _ = decompress_block(&bytes, ColumnType::String, &cfg);
+        // Also flip a valid block's bytes.
+        let (valid, _) = compress_block(BlockRef::Int(&[1, 2, 3, 4, 5, 5, 5]), &cfg);
+        for (i, b) in valid.iter().enumerate() {
+            if i < bytes.len() {
+                bytes[i] ^= b;
+            }
+        }
+        let _ = decompress_block(&bytes, ColumnType::Integer, &cfg);
+    }
+}

@@ -1,0 +1,420 @@
+//! RLEv2-style integer encoding: short-repeat, direct, fixed-delta,
+//! patched-base.
+//!
+//! The stream is a sequence of segments, each introduced by a tag byte:
+//!
+//! * `0` **SHORT_REPEAT** — `[len: u8 (3..=255)][value: zigzag varint]`.
+//! * `1` **DIRECT** — `[len: u16 LE (1..=512)][width: u8][byte-aligned
+//!   bit-packed zigzag values]`.
+//! * `2` **FIXED_DELTA** — `[len: u16 LE (4..=512)][base: zigzag varint]
+//!   [delta: zigzag varint]`, value `i` is `base + i × delta`.
+//! * `3` **PATCHED_BASE** — `[len: u16][width: u8][patch_width: u8]
+//!   [n_patches: u8][base: zigzag varint][packed low bits][patch positions:
+//!   n × u16][packed patch high bits]`: values are offsets from the segment
+//!   minimum packed at a width covering ~the 90th percentile; outliers keep
+//!   their high bits in the patch list (as in real ORC RLEv2).
+//!
+//! The headers are byte-granular and varint-heavy on purpose: that is the
+//! structural reason real ORC decodes several times slower than Parquet's
+//! word-aligned RLE/bit-packed hybrid, and this reproduction preserves it.
+
+use crate::{Error, Result};
+use btr_bitpacking::{for_delta, plain};
+
+const TAG_SHORT_REPEAT: u8 = 0;
+const TAG_DIRECT: u8 = 1;
+const TAG_FIXED_DELTA: u8 = 2;
+const TAG_PATCHED_BASE: u8 = 3;
+
+const MAX_SEGMENT: usize = 512;
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &[u8], pos: &mut usize) -> Result<u64> {
+    let mut out = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let &byte = buf.get(*pos).ok_or(Error::UnexpectedEnd)?;
+        *pos += 1;
+        out |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(out);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(Error::Corrupt("varint too long"));
+        }
+    }
+}
+
+/// Length of the fixed-delta run starting at `values[i]` (1 if none).
+fn delta_run_len(values: &[i32], i: usize) -> (usize, i64) {
+    if i + 1 >= values.len() {
+        return (1, 0);
+    }
+    let delta = i64::from(values[i + 1]) - i64::from(values[i]);
+    let mut len = 2usize;
+    while i + len < values.len()
+        && len < MAX_SEGMENT
+        && i64::from(values[i + len]) - i64::from(values[i + len - 1]) == delta
+    {
+        len += 1;
+    }
+    (len, delta)
+}
+
+/// Byte-aligned emission of bit-packed words.
+fn emit_packed(zz: &[u32], width: u8, out: &mut Vec<u8>) {
+    let packed = plain::pack(zz, width);
+    let bytes_needed = (zz.len() * width as usize).div_ceil(8);
+    let mut bytes = Vec::with_capacity(packed.len() * 4);
+    for w in &packed {
+        bytes.extend_from_slice(&w.to_le_bytes());
+    }
+    bytes.resize(bytes_needed, 0);
+    out.extend_from_slice(&bytes[..bytes_needed]);
+}
+
+/// Emits a PATCHED_BASE segment when outliers make it smaller than DIRECT;
+/// returns whether it did.
+fn emit_patched_base(chunk: &[i32], out: &mut Vec<u8>) -> bool {
+    if chunk.len() < 16 {
+        return false;
+    }
+    let base = chunk.iter().copied().min().expect("nonempty");
+    let offsets: Vec<u64> = chunk
+        .iter()
+        .map(|&v| (i64::from(v) - i64::from(base)) as u64)
+        .collect();
+    // Width covering the 90th percentile of offsets.
+    let mut widths: Vec<u8> = offsets.iter().map(|&o| (64 - o.leading_zeros()) as u8).collect();
+    widths.sort_unstable();
+    let p90 = widths[(widths.len() * 9 / 10).min(widths.len() - 1)].clamp(1, 32);
+    let max_width = *widths.last().expect("nonempty");
+    if max_width <= p90 || max_width > 32 + p90 {
+        return false; // no outliers, or high bits would not fit 32 bits
+    }
+    let patches: Vec<(usize, u32)> = offsets
+        .iter()
+        .enumerate()
+        .filter(|&(_, &o)| (64 - o.leading_zeros()) as u8 > p90)
+        .map(|(i, &o)| (i, (o >> p90) as u32))
+        .collect();
+    if patches.len() > 255 {
+        return false;
+    }
+    let patch_width = patches
+        .iter()
+        .map(|&(_, h)| (32 - h.leading_zeros()) as u8)
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    // Cost check against DIRECT.
+    let direct_cost = (chunk.len() * max_width as usize).div_ceil(8);
+    let patched_cost = (chunk.len() * p90 as usize).div_ceil(8)
+        + patches.len() * 2
+        + (patches.len() * patch_width as usize).div_ceil(8)
+        + 6;
+    if patched_cost >= direct_cost {
+        return false;
+    }
+    out.push(TAG_PATCHED_BASE);
+    out.extend_from_slice(&(chunk.len() as u16).to_le_bytes());
+    out.push(p90);
+    out.push(patch_width);
+    out.push(patches.len() as u8);
+    put_varint(out, u64::from(for_delta::zigzag_encode(base)));
+    let mask = if p90 == 32 { u64::MAX >> 32 } else { (1u64 << p90) - 1 };
+    let lows: Vec<u32> = offsets.iter().map(|&o| (o & mask) as u32).collect();
+    emit_packed(&lows, p90, out);
+    for &(pos, _) in &patches {
+        out.extend_from_slice(&(pos as u16).to_le_bytes());
+    }
+    let highs: Vec<u32> = patches.iter().map(|&(_, h)| h).collect();
+    emit_packed(&highs, patch_width, out);
+    true
+}
+
+/// Encodes `values` into an RLEv2-style stream.
+pub fn encode(values: &[i32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() + 16);
+    let mut i = 0usize;
+    let mut literals: Vec<i32> = Vec::new();
+
+    fn flush_direct(literals: &mut Vec<i32>, out: &mut Vec<u8>) {
+        for chunk in literals.chunks(MAX_SEGMENT) {
+            if !emit_patched_base(chunk, out) {
+                let zz: Vec<u32> = chunk.iter().map(|&v| for_delta::zigzag_encode(v)).collect();
+                let width = btr_bitpacking::max_bits(&zz).max(1);
+                out.push(TAG_DIRECT);
+                out.extend_from_slice(&(chunk.len() as u16).to_le_bytes());
+                out.push(width);
+                emit_packed(&zz, width, out);
+            }
+        }
+        literals.clear();
+    }
+
+    while i < values.len() {
+        let (run, delta) = delta_run_len(values, i);
+        if delta == 0 && run >= 3 {
+            flush_direct(&mut literals, &mut out);
+            let take = run.min(255);
+            out.push(TAG_SHORT_REPEAT);
+            out.push(take as u8);
+            put_varint(&mut out, u64::from(for_delta::zigzag_encode(values[i])));
+            i += take;
+        } else if run >= 4 {
+            flush_direct(&mut literals, &mut out);
+            out.push(TAG_FIXED_DELTA);
+            out.extend_from_slice(&(run as u16).to_le_bytes());
+            put_varint(&mut out, u64::from(for_delta::zigzag_encode(values[i])));
+            // Deltas of i32 sequences fit i32's doubled range; zigzag as i64->u64.
+            let zz = ((delta << 1) ^ (delta >> 63)) as u64;
+            put_varint(&mut out, zz);
+            i += run;
+        } else {
+            literals.push(values[i]);
+            i += 1;
+            if literals.len() >= MAX_SEGMENT {
+                flush_direct(&mut literals, &mut out);
+            }
+        }
+    }
+    flush_direct(&mut literals, &mut out);
+    out
+}
+
+/// Decodes exactly `count` values.
+pub fn decode(buf: &[u8], count: usize) -> Result<Vec<i32>> {
+    let mut out = Vec::with_capacity(count);
+    let mut pos = 0usize;
+    while out.len() < count {
+        let &tag = buf.get(pos).ok_or(Error::UnexpectedEnd)?;
+        pos += 1;
+        match tag {
+            TAG_SHORT_REPEAT => {
+                let &len = buf.get(pos).ok_or(Error::UnexpectedEnd)?;
+                pos += 1;
+                let v = for_delta::zigzag_decode(
+                    u32::try_from(get_varint(buf, &mut pos)?)
+                        .map_err(|_| Error::Corrupt("short-repeat value overflow"))?,
+                );
+                if out.len() + len as usize > count {
+                    return Err(Error::Corrupt("short-repeat overruns count"));
+                }
+                out.extend(std::iter::repeat_n(v, len as usize));
+            }
+            TAG_DIRECT => {
+                if pos + 3 > buf.len() {
+                    return Err(Error::UnexpectedEnd);
+                }
+                let len = u16::from_le_bytes([buf[pos], buf[pos + 1]]) as usize;
+                let width = buf[pos + 2];
+                pos += 3;
+                if width == 0 || width > 32 {
+                    return Err(Error::Corrupt("direct width out of range"));
+                }
+                let byte_len = (len * width as usize).div_ceil(8);
+                if pos + byte_len > buf.len() {
+                    return Err(Error::UnexpectedEnd);
+                }
+                let mut words = Vec::with_capacity(byte_len.div_ceil(4));
+                for c in buf[pos..pos + byte_len].chunks(4) {
+                    let mut wbuf = [0u8; 4];
+                    wbuf[..c.len()].copy_from_slice(c);
+                    words.push(u32::from_le_bytes(wbuf));
+                }
+                pos += byte_len;
+                let zz = plain::unpack(&words, len, width)?;
+                if out.len() + len > count {
+                    return Err(Error::Corrupt("direct segment overruns count"));
+                }
+                out.extend(zz.iter().map(|&z| for_delta::zigzag_decode(z)));
+            }
+            TAG_FIXED_DELTA => {
+                if pos + 2 > buf.len() {
+                    return Err(Error::UnexpectedEnd);
+                }
+                let len = u16::from_le_bytes([buf[pos], buf[pos + 1]]) as usize;
+                pos += 2;
+                let base = i64::from(for_delta::zigzag_decode(
+                    u32::try_from(get_varint(buf, &mut pos)?)
+                        .map_err(|_| Error::Corrupt("delta base overflow"))?,
+                ));
+                let zz = get_varint(buf, &mut pos)?;
+                let delta = ((zz >> 1) as i64) ^ -((zz & 1) as i64);
+                if out.len() + len > count {
+                    return Err(Error::Corrupt("delta segment overruns count"));
+                }
+                for k in 0..len as i64 {
+                    let v = base + k * delta;
+                    out.push(
+                        i32::try_from(v).map_err(|_| Error::Corrupt("delta value overflow"))?,
+                    );
+                }
+            }
+            TAG_PATCHED_BASE => {
+                if pos + 5 > buf.len() {
+                    return Err(Error::UnexpectedEnd);
+                }
+                let len = u16::from_le_bytes([buf[pos], buf[pos + 1]]) as usize;
+                let width = buf[pos + 2];
+                let patch_width = buf[pos + 3];
+                let n_patches = buf[pos + 4] as usize;
+                pos += 5;
+                if width == 0 || width > 32 || patch_width == 0 || patch_width > 32 {
+                    return Err(Error::Corrupt("patched-base widths out of range"));
+                }
+                let base = i64::from(for_delta::zigzag_decode(
+                    u32::try_from(get_varint(buf, &mut pos)?)
+                        .map_err(|_| Error::Corrupt("patched base overflow"))?,
+                ));
+                let low_bytes = (len * width as usize).div_ceil(8);
+                if pos + low_bytes > buf.len() {
+                    return Err(Error::UnexpectedEnd);
+                }
+                let mut words = Vec::with_capacity(low_bytes.div_ceil(4));
+                for c in buf[pos..pos + low_bytes].chunks(4) {
+                    let mut wbuf = [0u8; 4];
+                    wbuf[..c.len()].copy_from_slice(c);
+                    words.push(u32::from_le_bytes(wbuf));
+                }
+                pos += low_bytes;
+                let lows = plain::unpack(&words, len, width)?;
+                if pos + 2 * n_patches > buf.len() {
+                    return Err(Error::UnexpectedEnd);
+                }
+                let mut positions = Vec::with_capacity(n_patches);
+                for _ in 0..n_patches {
+                    positions.push(u16::from_le_bytes([buf[pos], buf[pos + 1]]) as usize);
+                    pos += 2;
+                }
+                let high_bytes = (n_patches * patch_width as usize).div_ceil(8);
+                if pos + high_bytes > buf.len() {
+                    return Err(Error::UnexpectedEnd);
+                }
+                let mut hwords = Vec::with_capacity(high_bytes.div_ceil(4));
+                for c in buf[pos..pos + high_bytes].chunks(4) {
+                    let mut wbuf = [0u8; 4];
+                    wbuf[..c.len()].copy_from_slice(c);
+                    hwords.push(u32::from_le_bytes(wbuf));
+                }
+                pos += high_bytes;
+                let highs = plain::unpack(&hwords, n_patches, patch_width)?;
+                let mut offsets: Vec<u64> = lows.iter().map(|&l| u64::from(l)).collect();
+                for (&p, &h) in positions.iter().zip(&highs) {
+                    if p >= offsets.len() {
+                        return Err(Error::Corrupt("patch position out of range"));
+                    }
+                    offsets[p] |= u64::from(h) << width;
+                }
+                if out.len() + len > count {
+                    return Err(Error::Corrupt("patched segment overruns count"));
+                }
+                for o in offsets {
+                    let v = base + o as i64;
+                    out.push(
+                        i32::try_from(v).map_err(|_| Error::Corrupt("patched value overflow"))?,
+                    );
+                }
+            }
+            _ => return Err(Error::Corrupt("unknown RLEv2 tag")),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(values: &[i32]) -> usize {
+        let enc = encode(values);
+        assert_eq!(decode(&enc, values.len()).unwrap(), values);
+        enc.len()
+    }
+
+    #[test]
+    fn roundtrip_repeats() {
+        let size = roundtrip(&[7; 1000]);
+        assert!(size < 30, "got {size}");
+    }
+
+    #[test]
+    fn roundtrip_monotone_sequences() {
+        let values: Vec<i32> = (0..2000).map(|i| i * 3 + 100).collect();
+        let size = roundtrip(&values);
+        assert!(size < 60, "fixed-delta should collapse this, got {size}");
+    }
+
+    #[test]
+    fn roundtrip_random_and_negatives() {
+        let values: Vec<i32> = (0..1000)
+            .map(|i| ((i * 2654435761u64) as i32).wrapping_mul(if i % 2 == 0 { 1 } else { -1 }))
+            .collect();
+        roundtrip(&values);
+    }
+
+    #[test]
+    fn roundtrip_mixed_segments() {
+        let mut values = vec![5; 50];
+        values.extend(0..17);
+        values.extend((0..600).map(|i| i * 2));
+        values.extend([9, -9, 9, -9, 9]);
+        values.extend(std::iter::repeat_n(-1, 300));
+        roundtrip(&values);
+    }
+
+    #[test]
+    fn roundtrip_extremes() {
+        roundtrip(&[i32::MIN, i32::MAX, 0, -1, 1]);
+        roundtrip(&[]);
+        roundtrip(&[42]);
+        roundtrip(&[i32::MIN; 700]);
+    }
+
+    #[test]
+    fn patched_base_chosen_for_outliers() {
+        // Small values with rare huge outliers: patched-base must beat direct.
+        // (Multiplicative scramble so no fixed-delta runs form.)
+        let mut values: Vec<i32> = (0..400).map(|i| (i * 37) % 60).collect();
+        values[7] = 1_000_000;
+        values[300] = -2_000_000; // affects base, not patches
+        values[333] = 900_000;
+        let enc = encode(&values);
+        assert!(enc.contains(&TAG_PATCHED_BASE) , "expected a patched-base tag");
+        assert_eq!(decode(&enc, values.len()).unwrap(), values);
+        // And it should be materially smaller than packing at full width.
+        assert!(enc.len() < 400 * 3, "got {}", enc.len());
+    }
+
+    #[test]
+    fn patched_base_extreme_range_falls_back() {
+        // i32::MIN..i32::MAX offsets need >32 high bits; must still round-trip
+        // via DIRECT fallback.
+        let mut values: Vec<i32> = (0..100).map(|i| i % 3).collect();
+        values[50] = i32::MAX;
+        values[51] = i32::MIN;
+        let enc = encode(&values);
+        assert_eq!(decode(&enc, values.len()).unwrap(), values);
+    }
+
+    #[test]
+    fn truncated_is_error() {
+        let enc = encode(&(0..100).collect::<Vec<_>>());
+        assert!(decode(&enc[..enc.len() - 1], 100).is_err());
+        assert!(decode(&[], 1).is_err());
+        assert!(decode(&[9, 9], 1).is_err()); // unknown tag
+    }
+}

@@ -1,0 +1,75 @@
+//! Property tests: orc-lite round-trips and RLEv2 stream integrity.
+
+use btr_lz::Codec;
+use btrblocks::{Column, ColumnData, Relation, StringArena};
+use orc_lite::{read, read_column, rle2, write, WriteOptions};
+use proptest::prelude::*;
+
+fn arb_relation() -> impl Strategy<Value = Relation> {
+    (0usize..400).prop_flat_map(|rows| {
+        (
+            proptest::collection::vec(any::<i32>(), rows..=rows),
+            proptest::collection::vec(any::<u64>().prop_map(f64::from_bits), rows..=rows),
+            proptest::collection::vec("[a-z]{0,12}", rows..=rows),
+        )
+            .prop_map(|(ints, doubles, strings)| {
+                let refs: Vec<&str> = strings.iter().map(|s| s.as_str()).collect();
+                Relation::new(vec![
+                    Column::new("i", ColumnData::Int(ints)),
+                    Column::new("d", ColumnData::Double(doubles)),
+                    Column::new("s", ColumnData::Str(StringArena::from_strs(&refs))),
+                ])
+            })
+    })
+}
+
+fn rel_bits_eq(a: &Relation, b: &Relation) -> bool {
+    a.columns.len() == b.columns.len()
+        && a.columns.iter().zip(&b.columns).all(|(x, y)| match (&x.data, &y.data) {
+            (ColumnData::Double(p), ColumnData::Double(q)) => {
+                p.len() == q.len() && p.iter().zip(q).all(|(m, n)| m.to_bits() == n.to_bits())
+            }
+            _ => x == y,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn rle2_roundtrips_any_ints(values in prop_oneof![
+        proptest::collection::vec(any::<i32>(), 0..3000),
+        // Run- and delta-heavy inputs to hit every sub-encoding.
+        proptest::collection::vec(-4i32..4, 0..3000),
+        (any::<i32>(), -100i32..100, 0usize..1500).prop_map(|(base, delta, n)| {
+            (0..n as i32).map(|i| base.wrapping_add(i.wrapping_mul(delta))).collect()
+        }),
+    ]) {
+        let enc = rle2::encode(&values);
+        prop_assert_eq!(rle2::decode(&enc, values.len()).unwrap(), values);
+    }
+
+    #[test]
+    fn roundtrips_any_relation(rel in arb_relation(),
+                               codec_pick in 0u8..3,
+                               stripe in 1usize..200,
+                               threshold in 0.0f64..1.0) {
+        let codec = [Codec::None, Codec::SnappyLike, Codec::Heavy][codec_pick as usize];
+        let bytes = write(&rel, &WriteOptions {
+            codec,
+            stripe_rows: stripe,
+            dictionary_key_size_threshold: threshold,
+        });
+        let back = read(&bytes).unwrap();
+        prop_assert!(rel_bits_eq(&rel, &back));
+        for ci in 0..rel.columns.len() {
+            prop_assert_eq!(&read_column(&bytes, ci).unwrap().name, &rel.columns[ci].name);
+        }
+    }
+
+    #[test]
+    fn read_never_panics_on_corrupt(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let _ = read(&bytes);
+        let _ = rle2::decode(&bytes, 10);
+    }
+}

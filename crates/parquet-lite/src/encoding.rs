@@ -1,0 +1,364 @@
+//! Column-chunk encodings: PLAIN and DICTIONARY with Parquet's fallback rule.
+//!
+//! Parquet's default C++ writer tries dictionary encoding first and falls
+//! back to plain if the dictionary grows too large — there is no sampling and
+//! no per-block adaptivity. This module reproduces that rule: the dictionary
+//! is built while scanning the chunk and abandoned the moment it exceeds
+//! [`DICT_SIZE_LIMIT`] entries or [`DICT_BYTES_LIMIT`] pool bytes.
+//!
+//! Chunk layout: `[encoding: u8]` then either
+//! * PLAIN — raw values (ints/doubles LE; strings as `u32 len + bytes` each),
+//! * DICT — `[dict_len: u32][dict payload][width: u8][index_len: u32][hybrid
+//!   indices]`.
+
+use crate::hybrid;
+use crate::{Error, Result};
+use btrblocks::{ColumnData, StringArena};
+use std::collections::HashMap;
+
+/// Maximum dictionary entries before falling back to plain (Parquet's
+/// default dictionary page size translated to entries at ~16 B/entry).
+pub const DICT_SIZE_LIMIT: usize = 65_536;
+
+/// Maximum dictionary pool bytes before falling back to plain (Parquet
+/// default `dictionary_pagesize_limit` = 1 MiB).
+pub const DICT_BYTES_LIMIT: usize = 1 << 20;
+
+const ENC_PLAIN: u8 = 0;
+const ENC_DICT: u8 = 1;
+
+/// Encodes one column chunk.
+pub fn encode_chunk(data: &ColumnData, out: &mut Vec<u8>) {
+    match data {
+        ColumnData::Int(values) => encode_int(values, out),
+        ColumnData::Double(values) => encode_double(values, out),
+        ColumnData::Str(arena) => encode_str(arena, out),
+    }
+}
+
+/// Decodes one column chunk of `count` values.
+pub fn decode_chunk(buf: &[u8], count: usize, ty: btrblocks::ColumnType) -> Result<ColumnData> {
+    match ty {
+        btrblocks::ColumnType::Integer => decode_int(buf, count).map(ColumnData::Int),
+        btrblocks::ColumnType::Double => decode_double(buf, count).map(ColumnData::Double),
+        btrblocks::ColumnType::String => decode_str(buf, count).map(ColumnData::Str),
+    }
+}
+
+fn try_dict<T: Copy, K: std::hash::Hash + Eq>(
+    values: &[T],
+    key: impl Fn(T) -> K,
+) -> Option<(Vec<T>, Vec<u32>)> {
+    let mut map: HashMap<K, u32> = HashMap::new();
+    let mut dict = Vec::new();
+    let mut codes = Vec::with_capacity(values.len());
+    for &v in values {
+        let next = dict.len() as u32;
+        let code = *map.entry(key(v)).or_insert_with(|| {
+            dict.push(v);
+            next
+        });
+        if dict.len() > DICT_SIZE_LIMIT {
+            return None; // fallback to plain, exactly like Parquet
+        }
+        codes.push(code);
+    }
+    Some((dict, codes))
+}
+
+fn width_for(dict_len: usize) -> u8 {
+    if dict_len <= 1 {
+        0
+    } else {
+        (usize::BITS - (dict_len - 1).leading_zeros()) as u8
+    }
+}
+
+fn write_indices(codes: &[u32], dict_len: usize, out: &mut Vec<u8>) {
+    let width = width_for(dict_len);
+    out.push(width);
+    let mut idx = Vec::new();
+    hybrid::encode(codes, width, &mut idx);
+    out.extend_from_slice(&(idx.len() as u32).to_le_bytes());
+    out.extend_from_slice(&idx);
+}
+
+fn read_indices(buf: &[u8], pos: &mut usize, count: usize, dict_len: usize) -> Result<Vec<u32>> {
+    let width = *buf.get(*pos).ok_or(Error::UnexpectedEnd)?;
+    *pos += 1;
+    if *pos + 4 > buf.len() {
+        return Err(Error::UnexpectedEnd);
+    }
+    let idx_len = u32::from_le_bytes(buf[*pos..*pos + 4].try_into().expect("4")) as usize;
+    *pos += 4;
+    if *pos + idx_len > buf.len() {
+        return Err(Error::UnexpectedEnd);
+    }
+    let codes = hybrid::decode(&buf[*pos..*pos + idx_len], count, width)?;
+    *pos += idx_len;
+    if codes.iter().any(|&c| c as usize >= dict_len.max(1)) {
+        return Err(Error::Corrupt("dict index out of range"));
+    }
+    Ok(codes)
+}
+
+fn encode_int(values: &[i32], out: &mut Vec<u8>) {
+    if let Some((dict, codes)) = try_dict(values, |v| v) {
+        if dict.len() * 2 < values.len().max(1) {
+            out.push(ENC_DICT);
+            out.extend_from_slice(&(dict.len() as u32).to_le_bytes());
+            for &v in &dict {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            write_indices(&codes, dict.len(), out);
+            return;
+        }
+    }
+    out.push(ENC_PLAIN);
+    for &v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn decode_int(buf: &[u8], count: usize) -> Result<Vec<i32>> {
+    let (&enc, rest) = buf.split_first().ok_or(Error::UnexpectedEnd)?;
+    match enc {
+        ENC_PLAIN => {
+            if rest.len() < count * 4 {
+                return Err(Error::UnexpectedEnd);
+            }
+            Ok(rest[..count * 4]
+                .chunks_exact(4)
+                .map(|c| i32::from_le_bytes(c.try_into().expect("4")))
+                .collect())
+        }
+        ENC_DICT => {
+            let mut pos = 0usize;
+            if rest.len() < 4 {
+                return Err(Error::UnexpectedEnd);
+            }
+            let dict_len = u32::from_le_bytes(rest[..4].try_into().expect("4")) as usize;
+            pos += 4;
+            if rest.len() < pos + dict_len * 4 {
+                return Err(Error::UnexpectedEnd);
+            }
+            let dict: Vec<i32> = rest[pos..pos + dict_len * 4]
+                .chunks_exact(4)
+                .map(|c| i32::from_le_bytes(c.try_into().expect("4")))
+                .collect();
+            pos += dict_len * 4;
+            let codes = read_indices(rest, &mut pos, count, dict_len)?;
+            Ok(codes.iter().map(|&c| dict[c as usize]).collect())
+        }
+        _ => Err(Error::Corrupt("unknown chunk encoding")),
+    }
+}
+
+fn encode_double(values: &[f64], out: &mut Vec<u8>) {
+    if let Some((dict, codes)) = try_dict(values, |v: f64| v.to_bits()) {
+        if dict.len() * 2 < values.len().max(1) {
+            out.push(ENC_DICT);
+            out.extend_from_slice(&(dict.len() as u32).to_le_bytes());
+            for &v in &dict {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            write_indices(&codes, dict.len(), out);
+            return;
+        }
+    }
+    out.push(ENC_PLAIN);
+    for &v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn decode_double(buf: &[u8], count: usize) -> Result<Vec<f64>> {
+    let (&enc, rest) = buf.split_first().ok_or(Error::UnexpectedEnd)?;
+    match enc {
+        ENC_PLAIN => {
+            if rest.len() < count * 8 {
+                return Err(Error::UnexpectedEnd);
+            }
+            Ok(rest[..count * 8]
+                .chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().expect("8")))
+                .collect())
+        }
+        ENC_DICT => {
+            let mut pos = 0usize;
+            if rest.len() < 4 {
+                return Err(Error::UnexpectedEnd);
+            }
+            let dict_len = u32::from_le_bytes(rest[..4].try_into().expect("4")) as usize;
+            pos += 4;
+            if rest.len() < pos + dict_len * 8 {
+                return Err(Error::UnexpectedEnd);
+            }
+            let dict: Vec<f64> = rest[pos..pos + dict_len * 8]
+                .chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().expect("8")))
+                .collect();
+            pos += dict_len * 8;
+            let codes = read_indices(rest, &mut pos, count, dict_len)?;
+            Ok(codes.iter().map(|&c| dict[c as usize]).collect())
+        }
+        _ => Err(Error::Corrupt("unknown chunk encoding")),
+    }
+}
+
+fn encode_str(arena: &StringArena, out: &mut Vec<u8>) {
+    // Dictionary attempt with both entry-count and byte limits.
+    let mut map: HashMap<&[u8], u32> = HashMap::new();
+    let mut dict = StringArena::new();
+    let mut codes = Vec::with_capacity(arena.len());
+    let mut ok = true;
+    for i in 0..arena.len() {
+        let s = arena.get(i);
+        let next = dict.len() as u32;
+        let code = *map.entry(s).or_insert_with(|| {
+            dict.push(s);
+            next
+        });
+        if dict.len() > DICT_SIZE_LIMIT || dict.total_bytes() > DICT_BYTES_LIMIT {
+            ok = false;
+            break;
+        }
+        codes.push(code);
+    }
+    if ok && dict.len() * 2 < arena.len().max(1) {
+        out.push(ENC_DICT);
+        out.extend_from_slice(&(dict.len() as u32).to_le_bytes());
+        for s in dict.iter() {
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s);
+        }
+        write_indices(&codes, dict.len(), out);
+        return;
+    }
+    out.push(ENC_PLAIN);
+    for s in arena.iter() {
+        out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+        out.extend_from_slice(s);
+    }
+}
+
+fn decode_str(buf: &[u8], count: usize) -> Result<StringArena> {
+    let (&enc, rest) = buf.split_first().ok_or(Error::UnexpectedEnd)?;
+    match enc {
+        ENC_PLAIN => {
+            let mut arena = StringArena::new();
+            let mut pos = 0usize;
+            for _ in 0..count {
+                if pos + 4 > rest.len() {
+                    return Err(Error::UnexpectedEnd);
+                }
+                let len = u32::from_le_bytes(rest[pos..pos + 4].try_into().expect("4")) as usize;
+                pos += 4;
+                if pos + len > rest.len() {
+                    return Err(Error::UnexpectedEnd);
+                }
+                arena.push(&rest[pos..pos + len]);
+                pos += len;
+            }
+            Ok(arena)
+        }
+        ENC_DICT => {
+            let mut pos = 0usize;
+            if rest.len() < 4 {
+                return Err(Error::UnexpectedEnd);
+            }
+            let dict_len = u32::from_le_bytes(rest[..4].try_into().expect("4")) as usize;
+            pos += 4;
+            let mut dict = StringArena::new();
+            for _ in 0..dict_len {
+                if pos + 4 > rest.len() {
+                    return Err(Error::UnexpectedEnd);
+                }
+                let len = u32::from_le_bytes(rest[pos..pos + 4].try_into().expect("4")) as usize;
+                pos += 4;
+                if pos + len > rest.len() {
+                    return Err(Error::UnexpectedEnd);
+                }
+                dict.push(&rest[pos..pos + len]);
+                pos += len;
+            }
+            let codes = read_indices(rest, &mut pos, count, dict_len)?;
+            let mut arena = StringArena::new();
+            for &c in &codes {
+                arena.push(dict.get(c as usize));
+            }
+            Ok(arena)
+        }
+        _ => Err(Error::Corrupt("unknown chunk encoding")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btrblocks::ColumnType;
+
+    fn roundtrip(data: ColumnData) {
+        let mut buf = Vec::new();
+        encode_chunk(&data, &mut buf);
+        let back = decode_chunk(&buf, data.len(), data.column_type()).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn int_dict_and_plain() {
+        roundtrip(ColumnData::Int((0..1000).map(|i| i % 10).collect())); // dict
+        roundtrip(ColumnData::Int((0..1000).collect())); // plain (all unique)
+        roundtrip(ColumnData::Int(vec![]));
+    }
+
+    #[test]
+    fn double_dict_and_plain_bitwise() {
+        roundtrip(ColumnData::Double((0..1000).map(|i| (i % 7) as f64).collect()));
+        let tricky = vec![0.0, -0.0, f64::NAN, 1.5];
+        let mut buf = Vec::new();
+        encode_chunk(&ColumnData::Double(tricky.clone()), &mut buf);
+        match decode_chunk(&buf, 4, ColumnType::Double).unwrap() {
+            ColumnData::Double(out) => {
+                assert!(tricky.iter().zip(&out).all(|(a, b)| a.to_bits() == b.to_bits()));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn string_dict_and_plain() {
+        let repeated: Vec<String> = (0..500).map(|i| format!("v{}", i % 5)).collect();
+        let refs: Vec<&str> = repeated.iter().map(|s| s.as_str()).collect();
+        roundtrip(ColumnData::Str(StringArena::from_strs(&refs)));
+        let unique: Vec<String> = (0..500).map(|i| format!("unique-{i}")).collect();
+        let refs: Vec<&str> = unique.iter().map(|s| s.as_str()).collect();
+        roundtrip(ColumnData::Str(StringArena::from_strs(&refs)));
+    }
+
+    #[test]
+    fn dict_fallback_on_high_cardinality() {
+        // All-unique ints must take the plain branch.
+        let values: Vec<i32> = (0..2000).collect();
+        let mut buf = Vec::new();
+        encode_chunk(&ColumnData::Int(values), &mut buf);
+        assert_eq!(buf[0], ENC_PLAIN);
+    }
+
+    #[test]
+    fn dict_used_on_low_cardinality() {
+        let values: Vec<i32> = (0..2000).map(|i| i % 4).collect();
+        let mut buf = Vec::new();
+        encode_chunk(&ColumnData::Int(values.clone()), &mut buf);
+        assert_eq!(buf[0], ENC_DICT);
+        assert!(buf.len() < values.len() * 4 / 4, "dict chunk should be small");
+    }
+
+    #[test]
+    fn truncated_chunks_error() {
+        let mut buf = Vec::new();
+        encode_chunk(&ColumnData::Int((0..100).map(|i| i % 3).collect()), &mut buf);
+        assert!(decode_chunk(&buf[..buf.len() - 1], 100, ColumnType::Integer).is_err());
+        assert!(decode_chunk(&[], 1, ColumnType::Integer).is_err());
+    }
+}

@@ -1,0 +1,310 @@
+//! File layout: row groups of column chunks, footer metadata at the end.
+//!
+//! ```text
+//! magic "PQL1"
+//! [chunk data ...]                     (encoded + optionally codec-compressed)
+//! footer:
+//!   column_count: u32
+//!   per column: name_len u16 | name | type tag u8
+//!   rowgroup_count: u32
+//!   per rowgroup: row_count u32, per column: offset u64 | compressed_len u32 | raw_len u32
+//!   codec tag: u8
+//! footer_len: u32 | magic "PQL1"
+//! ```
+//!
+//! Like real Parquet, the footer sits at the *end*: a reader wanting one
+//! column of one rowgroup must fetch the footer first (two dependent reads —
+//! the access pattern discussed in the paper's §6.7 cost analysis).
+
+use crate::encoding;
+use crate::{Error, Result};
+use btr_lz::Codec;
+use btrblocks::{Column, ColumnData, ColumnType, Relation, StringArena};
+
+const MAGIC: &[u8; 4] = b"PQL1";
+
+/// Write-time options.
+#[derive(Debug, Clone)]
+pub struct WriteOptions {
+    /// Rows per rowgroup. Default 2^17, the value the paper tuned Arrow to.
+    pub rowgroup_size: usize,
+    /// General-purpose compression applied to each encoded chunk.
+    pub codec: Codec,
+}
+
+impl Default for WriteOptions {
+    fn default() -> Self {
+        WriteOptions {
+            rowgroup_size: 1 << 17,
+            codec: Codec::None,
+        }
+    }
+}
+
+/// Parsed footer metadata.
+#[derive(Debug, Clone)]
+pub struct FileMeta {
+    /// Column names and types.
+    pub columns: Vec<(String, ColumnType)>,
+    /// Per rowgroup: row count and per-column `(offset, comp_len, raw_len)`.
+    pub rowgroups: Vec<(u32, Vec<(u64, u32, u32)>)>,
+    /// Codec used for all chunks.
+    pub codec: Codec,
+}
+
+fn codec_tag(codec: Codec) -> u8 {
+    match codec {
+        Codec::None => 0,
+        Codec::SnappyLike => 1,
+        Codec::Heavy => 2,
+    }
+}
+
+fn codec_from_tag(tag: u8) -> Result<Codec> {
+    Ok(match tag {
+        0 => Codec::None,
+        1 => Codec::SnappyLike,
+        2 => Codec::Heavy,
+        _ => return Err(Error::Corrupt("unknown codec tag")),
+    })
+}
+
+fn column_slice(data: &ColumnData, start: usize, end: usize) -> ColumnData {
+    match data {
+        ColumnData::Int(v) => ColumnData::Int(v[start..end].to_vec()),
+        ColumnData::Double(v) => ColumnData::Double(v[start..end].to_vec()),
+        ColumnData::Str(a) => ColumnData::Str(a.gather(start..end)),
+    }
+}
+
+/// Writes `rel` to a parquet-lite file.
+pub fn write(rel: &Relation, opts: &WriteOptions) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    let rows = rel.rows();
+    let rg = opts.rowgroup_size.max(1);
+    let mut rowgroups: Vec<(u32, Vec<(u64, u32, u32)>)> = Vec::new();
+    let mut start = 0usize;
+    loop {
+        let end = (start + rg).min(rows);
+        if start >= rows && !(rows == 0 && start == 0) {
+            break;
+        }
+        let mut chunk_meta = Vec::with_capacity(rel.columns.len());
+        for col in &rel.columns {
+            let slice = column_slice(&col.data, start, end);
+            let mut encoded = Vec::new();
+            encoding::encode_chunk(&slice, &mut encoded);
+            let compressed = opts.codec.compress(&encoded);
+            chunk_meta.push((out.len() as u64, compressed.len() as u32, encoded.len() as u32));
+            out.extend_from_slice(&compressed);
+        }
+        rowgroups.push(((end - start) as u32, chunk_meta));
+        start = end;
+        if start >= rows {
+            break;
+        }
+    }
+    // Footer.
+    let footer_start = out.len();
+    out.extend_from_slice(&(rel.columns.len() as u32).to_le_bytes());
+    for col in &rel.columns {
+        let name = col.name.as_bytes();
+        out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        out.extend_from_slice(name);
+        out.push(match col.data.column_type() {
+            ColumnType::Integer => 0,
+            ColumnType::Double => 1,
+            ColumnType::String => 2,
+        });
+    }
+    out.extend_from_slice(&(rowgroups.len() as u32).to_le_bytes());
+    for (count, chunks) in &rowgroups {
+        out.extend_from_slice(&count.to_le_bytes());
+        for &(off, clen, rlen) in chunks {
+            out.extend_from_slice(&off.to_le_bytes());
+            out.extend_from_slice(&clen.to_le_bytes());
+            out.extend_from_slice(&rlen.to_le_bytes());
+        }
+    }
+    out.push(codec_tag(opts.codec));
+    let footer_len = (out.len() - footer_start) as u32;
+    out.extend_from_slice(&footer_len.to_le_bytes());
+    out.extend_from_slice(MAGIC);
+    out
+}
+
+/// Parses only the footer (the metadata fetch a real reader does first).
+pub fn read_meta(bytes: &[u8]) -> Result<FileMeta> {
+    if bytes.len() < 12 || &bytes[bytes.len() - 4..] != MAGIC || &bytes[..4] != MAGIC {
+        return Err(Error::Corrupt("bad magic"));
+    }
+    let fl_pos = bytes.len() - 8;
+    let footer_len =
+        u32::from_le_bytes(bytes[fl_pos..fl_pos + 4].try_into().expect("4")) as usize;
+    if footer_len + 12 > bytes.len() {
+        return Err(Error::Corrupt("footer length out of range"));
+    }
+    let footer = &bytes[fl_pos - footer_len..fl_pos];
+    let mut pos = 0usize;
+    let need = |pos: usize, n: usize| -> Result<()> {
+        if pos + n > footer.len() {
+            Err(Error::UnexpectedEnd)
+        } else {
+            Ok(())
+        }
+    };
+    need(pos, 4)?;
+    let n_cols = u32::from_le_bytes(footer[pos..pos + 4].try_into().expect("4")) as usize;
+    pos += 4;
+    let mut columns = Vec::with_capacity(n_cols);
+    for _ in 0..n_cols {
+        need(pos, 2)?;
+        let name_len = u16::from_le_bytes([footer[pos], footer[pos + 1]]) as usize;
+        pos += 2;
+        need(pos, name_len + 1)?;
+        let name = String::from_utf8(footer[pos..pos + name_len].to_vec())
+            .map_err(|_| Error::Corrupt("column name not utf-8"))?;
+        pos += name_len;
+        let ty = match footer[pos] {
+            0 => ColumnType::Integer,
+            1 => ColumnType::Double,
+            2 => ColumnType::String,
+            _ => return Err(Error::Corrupt("bad type tag")),
+        };
+        pos += 1;
+        columns.push((name, ty));
+    }
+    need(pos, 4)?;
+    let n_rg = u32::from_le_bytes(footer[pos..pos + 4].try_into().expect("4")) as usize;
+    pos += 4;
+    let mut rowgroups = Vec::with_capacity(n_rg);
+    for _ in 0..n_rg {
+        need(pos, 4)?;
+        let count = u32::from_le_bytes(footer[pos..pos + 4].try_into().expect("4"));
+        pos += 4;
+        let mut chunks = Vec::with_capacity(n_cols);
+        for _ in 0..n_cols {
+            need(pos, 16)?;
+            let off = u64::from_le_bytes(footer[pos..pos + 8].try_into().expect("8"));
+            let clen = u32::from_le_bytes(footer[pos + 8..pos + 12].try_into().expect("4"));
+            let rlen = u32::from_le_bytes(footer[pos + 12..pos + 16].try_into().expect("4"));
+            pos += 16;
+            chunks.push((off, clen, rlen));
+        }
+        rowgroups.push((count, chunks));
+    }
+    need(pos, 1)?;
+    let codec = codec_from_tag(footer[pos])?;
+    Ok(FileMeta {
+        columns,
+        rowgroups,
+        codec,
+    })
+}
+
+/// Reads a whole file back into a relation.
+pub fn read(bytes: &[u8]) -> Result<Relation> {
+    let meta = read_meta(bytes)?;
+    let mut columns: Vec<Column> = Vec::with_capacity(meta.columns.len());
+    for (ci, (name, ty)) in meta.columns.iter().enumerate() {
+        let data = read_column_data(bytes, &meta, ci)?;
+        let _ = ty;
+        columns.push(Column::new(name.clone(), data));
+    }
+    Ok(Relation { columns })
+}
+
+/// Reads a single column by index across all rowgroups (a projection scan).
+pub fn read_column(bytes: &[u8], column_index: usize) -> Result<Column> {
+    let meta = read_meta(bytes)?;
+    if column_index >= meta.columns.len() {
+        return Err(Error::Corrupt("column index out of range"));
+    }
+    let data = read_column_data(bytes, &meta, column_index)?;
+    Ok(Column::new(meta.columns[column_index].0.clone(), data))
+}
+
+fn read_column_data(bytes: &[u8], meta: &FileMeta, ci: usize) -> Result<ColumnData> {
+    let ty = meta.columns[ci].1;
+    let mut acc: Option<ColumnData> = None;
+    for (count, chunks) in &meta.rowgroups {
+        let (off, clen, _rlen) = chunks[ci];
+        let (off, clen) = (off as usize, clen as usize);
+        if off + clen > bytes.len() {
+            return Err(Error::Corrupt("chunk offset out of range"));
+        }
+        let encoded = meta.codec.decompress(&bytes[off..off + clen])?;
+        let chunk = encoding::decode_chunk(&encoded, *count as usize, ty)?;
+        match (&mut acc, chunk) {
+            (None, c) => acc = Some(c),
+            (Some(ColumnData::Int(a)), ColumnData::Int(c)) => a.extend_from_slice(&c),
+            (Some(ColumnData::Double(a)), ColumnData::Double(c)) => a.extend_from_slice(&c),
+            (Some(ColumnData::Str(a)), ColumnData::Str(c)) => {
+                for i in 0..c.len() {
+                    a.push(c.get(i));
+                }
+            }
+            _ => return Err(Error::Corrupt("rowgroup type mismatch")),
+        }
+    }
+    Ok(acc.unwrap_or(match ty {
+        ColumnType::Integer => ColumnData::Int(Vec::new()),
+        ColumnType::Double => ColumnData::Double(Vec::new()),
+        ColumnType::String => ColumnData::Str(StringArena::new()),
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(rows: usize) -> Relation {
+        let strings: Vec<String> = (0..rows).map(|i| format!("g{}", i % 20)).collect();
+        let refs: Vec<&str> = strings.iter().map(|s| s.as_str()).collect();
+        Relation::new(vec![
+            Column::new("a", ColumnData::Int((0..rows as i32).collect())),
+            Column::new("b", ColumnData::Double((0..rows).map(|i| i as f64 * 0.5).collect())),
+            Column::new("c", ColumnData::Str(StringArena::from_strs(&refs))),
+        ])
+    }
+
+    #[test]
+    fn roundtrip_multi_rowgroup() {
+        let rel = sample(5_000);
+        let opts = WriteOptions {
+            rowgroup_size: 1_000,
+            codec: Codec::SnappyLike,
+        };
+        let bytes = write(&rel, &opts);
+        let meta = read_meta(&bytes).unwrap();
+        assert_eq!(meta.rowgroups.len(), 5);
+        assert_eq!(read(&bytes).unwrap(), rel);
+    }
+
+    #[test]
+    fn single_column_projection() {
+        let rel = sample(2_000);
+        let bytes = write(&rel, &WriteOptions::default());
+        let col = read_column(&bytes, 1).unwrap();
+        assert_eq!(col.name, "b");
+        assert_eq!(col.data, rel.columns[1].data);
+    }
+
+    #[test]
+    fn empty_relation() {
+        let rel = Relation::new(vec![Column::new("x", ColumnData::Int(Vec::new()))]);
+        let bytes = write(&rel, &WriteOptions::default());
+        assert_eq!(read(&bytes).unwrap(), rel);
+    }
+
+    #[test]
+    fn corrupt_footer_is_error() {
+        let rel = sample(100);
+        let mut bytes = write(&rel, &WriteOptions::default());
+        let n = bytes.len();
+        bytes[n - 1] = 0;
+        assert!(read(&bytes).is_err());
+        assert!(read(&[1, 2, 3]).is_err());
+    }
+}

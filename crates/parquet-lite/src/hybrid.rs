@@ -1,0 +1,223 @@
+//! Parquet's RLE / bit-packed hybrid encoding for dictionary indices.
+//!
+//! The stream is a sequence of runs. Each run starts with a ULEB128 varint
+//! header `h`:
+//! * `h & 1 == 0` — **RLE run**: `h >> 1` repetitions of one value, stored in
+//!   `ceil(width / 8)` little-endian bytes.
+//! * `h & 1 == 1` — **bit-packed run**: `h >> 1` groups of 8 values packed at
+//!   `width` bits each.
+//!
+//! This mirrors the actual Parquet specification (`RLE` encoding of
+//! `data-pages`), sized down to what the dictionary-index use case needs.
+
+use crate::{Error, Result};
+
+/// Writes a ULEB128 varint.
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads a ULEB128 varint.
+fn get_varint(buf: &[u8], pos: &mut usize) -> Result<u64> {
+    let mut out = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let &byte = buf.get(*pos).ok_or(Error::UnexpectedEnd)?;
+        *pos += 1;
+        out |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(out);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(Error::Corrupt("varint too long"));
+        }
+    }
+}
+
+const fn value_bytes(width: u8) -> usize {
+    width.div_ceil(8) as usize
+}
+
+/// Encodes `values` at the given bit width.
+///
+/// Runs of ≥ 8 equal values become RLE runs; everything else is bit-packed
+/// in groups of 8 (the padding values of a trailing partial group are zeros).
+pub fn encode(values: &[u32], width: u8, out: &mut Vec<u8>) {
+    assert!(width <= 32);
+    let vb = value_bytes(width);
+    let mut i = 0usize;
+    let mut lit_start = 0usize;
+
+    // Flushes buffered literal values [lit_start, end) as bit-packed groups.
+    fn flush_literals(values: &[u32], lit_start: usize, end: usize, width: u8, out: &mut Vec<u8>) {
+        let mut s = lit_start;
+        while s < end {
+            let n = (end - s).min(504); // keep groups bounded: 63 groups of 8
+            let groups = n.div_ceil(8);
+            put_varint(out, ((groups as u64) << 1) | 1);
+            let mut padded = Vec::with_capacity(groups * 8);
+            padded.extend_from_slice(&values[s..s + n]);
+            padded.resize(groups * 8, 0);
+            let packed = btr_bitpacking::plain::pack(&padded, width);
+            // Emit exactly groups*width bytes (the spec's byte-aligned form).
+            let bytes_needed = groups * width as usize;
+            let mut byte_buf = Vec::with_capacity(bytes_needed);
+            for w in &packed {
+                byte_buf.extend_from_slice(&w.to_le_bytes());
+            }
+            byte_buf.resize(bytes_needed, 0);
+            out.extend_from_slice(&byte_buf[..bytes_needed]);
+            s += n;
+        }
+    }
+
+    while i < values.len() {
+        // Measure the run starting at i.
+        let mut run = 1usize;
+        while i + run < values.len() && values[i + run] == values[i] {
+            run += 1;
+        }
+        // An RLE run may only start when the pending literals are a whole
+        // number of 8-value groups: bit-packed groups are zero-padded, and
+        // mid-stream padding would be misread as real values.
+        if run >= 8 && (i - lit_start).is_multiple_of(8) {
+            flush_literals(values, lit_start, i, width, out);
+            put_varint(out, (run as u64) << 1);
+            out.extend_from_slice(&values[i].to_le_bytes()[..vb.max(1).min(4)]);
+            i += run;
+            lit_start = i;
+        } else {
+            i += run;
+        }
+    }
+    flush_literals(values, lit_start, values.len(), width, out);
+}
+
+/// Decodes exactly `count` values at the given bit width.
+pub fn decode(buf: &[u8], count: usize, width: u8) -> Result<Vec<u32>> {
+    if width > 32 {
+        return Err(Error::Corrupt("hybrid width out of range"));
+    }
+    let vb = value_bytes(width).max(1).min(4);
+    let mut out = Vec::with_capacity(count);
+    let mut pos = 0usize;
+    while out.len() < count {
+        let header = get_varint(buf, &mut pos)?;
+        if header & 1 == 0 {
+            let run = (header >> 1) as usize;
+            if run == 0 {
+                return Err(Error::Corrupt("zero-length RLE run"));
+            }
+            if pos + vb > buf.len() {
+                return Err(Error::UnexpectedEnd);
+            }
+            let mut vbuf = [0u8; 4];
+            vbuf[..vb].copy_from_slice(&buf[pos..pos + vb]);
+            pos += vb;
+            let v = u32::from_le_bytes(vbuf);
+            if out.len() + run > count {
+                return Err(Error::Corrupt("RLE run overruns count"));
+            }
+            out.extend(std::iter::repeat_n(v, run));
+        } else {
+            let groups = (header >> 1) as usize;
+            if groups == 0 {
+                return Err(Error::Corrupt("zero-length bit-packed run"));
+            }
+            let byte_len = groups * width as usize;
+            if pos + byte_len > buf.len() {
+                return Err(Error::UnexpectedEnd);
+            }
+            // Rebuild u32 words from the byte-aligned stream.
+            let mut words = Vec::with_capacity(byte_len.div_ceil(4));
+            let chunk = &buf[pos..pos + byte_len];
+            for c in chunk.chunks(4) {
+                let mut wbuf = [0u8; 4];
+                wbuf[..c.len()].copy_from_slice(c);
+                words.push(u32::from_le_bytes(wbuf));
+            }
+            pos += byte_len;
+            let n_vals = groups * 8;
+            let unpacked = btr_bitpacking::plain::unpack(&words, n_vals, width)?;
+            let take = n_vals.min(count - out.len());
+            out.extend_from_slice(&unpacked[..take]);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(values: &[u32], width: u8) {
+        let mut buf = Vec::new();
+        encode(values, width, &mut buf);
+        let out = decode(&buf, values.len(), width).unwrap();
+        assert_eq!(out, values, "width {width}");
+    }
+
+    #[test]
+    fn roundtrip_mixed_runs_and_literals() {
+        let mut values = Vec::new();
+        values.extend(std::iter::repeat_n(5u32, 100)); // long run
+        values.extend(0..13); // literals
+        values.extend(std::iter::repeat_n(2u32, 8)); // exactly threshold
+        values.extend([9, 8, 7]); // trailing literals
+        roundtrip(&values, 7);
+    }
+
+    #[test]
+    fn roundtrip_all_widths() {
+        // Values must fit the width (guaranteed by the dictionary writer).
+        for width in 1..=32u8 {
+            let mask = if width == 32 { u32::MAX } else { (1u32 << width) - 1 };
+            let values: Vec<u32> = (0..200u32).map(|i| (i % 30) & mask).collect();
+            roundtrip(&values, width);
+        }
+    }
+
+    #[test]
+    fn roundtrip_empty_and_single() {
+        roundtrip(&[], 4);
+        roundtrip(&[3], 4);
+        roundtrip(&[3; 1000], 4);
+    }
+
+    #[test]
+    fn rle_run_is_compact() {
+        let values = vec![1u32; 10_000];
+        let mut buf = Vec::new();
+        encode(&values, 20, &mut buf);
+        assert!(buf.len() < 16, "one RLE run expected, got {} bytes", buf.len());
+    }
+
+    #[test]
+    fn truncated_is_error() {
+        let values: Vec<u32> = (0..100).collect();
+        let mut buf = Vec::new();
+        encode(&values, 7, &mut buf);
+        assert!(decode(&buf[..buf.len() - 1], 100, 7).is_err());
+        assert!(decode(&[], 1, 7).is_err());
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        for v in [0u64, 1, 127, 128, 300, 1 << 20, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_varint(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Property tests: parquet-lite must round-trip arbitrary relations under
+//! every codec and rowgroup size.
+
+use btr_lz::Codec;
+use btrblocks::{Column, ColumnData, Relation, StringArena};
+use parquet_lite::{read, read_column, write, WriteOptions};
+use proptest::prelude::*;
+
+fn arb_relation() -> impl Strategy<Value = Relation> {
+    (0usize..400).prop_flat_map(|rows| {
+        (
+            proptest::collection::vec(any::<i32>(), rows..=rows),
+            proptest::collection::vec(any::<u64>().prop_map(f64::from_bits), rows..=rows),
+            proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..20), rows..=rows),
+        )
+            .prop_map(|(ints, doubles, strings)| {
+                let refs: Vec<&[u8]> = strings.iter().map(|s| s.as_slice()).collect();
+                Relation::new(vec![
+                    Column::new("i", ColumnData::Int(ints)),
+                    Column::new("d", ColumnData::Double(doubles)),
+                    Column::new("s", ColumnData::Str(StringArena::from_strs(&refs))),
+                ])
+            })
+    })
+}
+
+fn rel_bits_eq(a: &Relation, b: &Relation) -> bool {
+    a.columns.len() == b.columns.len()
+        && a.columns.iter().zip(&b.columns).all(|(x, y)| match (&x.data, &y.data) {
+            (ColumnData::Double(p), ColumnData::Double(q)) => {
+                p.len() == q.len() && p.iter().zip(q).all(|(m, n)| m.to_bits() == n.to_bits())
+            }
+            _ => x == y,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn roundtrips_any_relation(rel in arb_relation(),
+                               codec_pick in 0u8..3,
+                               rowgroup in 1usize..200) {
+        let codec = [Codec::None, Codec::SnappyLike, Codec::Heavy][codec_pick as usize];
+        let bytes = write(&rel, &WriteOptions { codec, rowgroup_size: rowgroup });
+        let back = read(&bytes).unwrap();
+        prop_assert!(rel_bits_eq(&rel, &back));
+        // Column projection agrees with the full read.
+        for ci in 0..rel.columns.len() {
+            let col = read_column(&bytes, ci).unwrap();
+            prop_assert_eq!(&col.name, &rel.columns[ci].name);
+        }
+    }
+
+    #[test]
+    fn read_never_panics_on_corrupt(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let _ = read(&bytes);
+        let _ = read_column(&bytes, 0);
+    }
+
+    #[test]
+    fn hybrid_roundtrips(values in proptest::collection::vec(0u32..4096, 0..2000)) {
+        let mut buf = Vec::new();
+        parquet_lite::hybrid::encode(&values, 12, &mut buf);
+        prop_assert_eq!(parquet_lite::hybrid::decode(&buf, values.len(), 12).unwrap(), values);
+    }
+}

@@ -1,0 +1,65 @@
+//! Format showdown: the same relation through BtrBlocks, parquet-lite (plain
+//! / snappy-like / zstd-like) and orc-lite, comparing size and decode time —
+//! a miniature of the paper's Figure 8.
+//!
+//! Run with: `cargo run --release --example format_showdown`
+
+use btrblocks_repro::btrblocks::{self, Config};
+use btrblocks_repro::datagen::{dataset_relation, pbi, tpch};
+use btrblocks_repro::lz::Codec;
+use btrblocks_repro::{orc_lite, parquet_lite};
+use std::time::Instant;
+
+fn main() {
+    let rows = 64_000;
+    for (label, relation) in [
+        ("Public-BI-like", dataset_relation(pbi::registry(rows, 11))),
+        ("TPC-H-like", dataset_relation(tpch::registry(rows, 11))),
+    ] {
+        let unc = relation.heap_size();
+        println!("== {label}: {:.1} MB uncompressed ==", unc as f64 / 1e6);
+        println!("{:<16} {:>9} {:>8} {:>12}", "format", "size MB", "ratio", "decode GB/s");
+
+        let report = |name: &str, bytes: &[u8], decode: &dyn Fn(&[u8])| {
+            let start = Instant::now();
+            for _ in 0..3 {
+                decode(bytes);
+            }
+            let secs = start.elapsed().as_secs_f64() / 3.0;
+            println!(
+                "{:<16} {:>9.2} {:>8.2} {:>12.2}",
+                name,
+                bytes.len() as f64 / 1e6,
+                unc as f64 / bytes.len() as f64,
+                unc as f64 / 1e9 / secs
+            );
+        };
+
+        let cfg = Config::default();
+        let btr = btrblocks::compress(&relation, &cfg).expect("compress").to_bytes();
+        report("btrblocks", &btr, &|b| {
+            btrblocks::decompress(b, &cfg).expect("decompress");
+        });
+
+        for codec in [Codec::None, Codec::SnappyLike, Codec::Heavy] {
+            let bytes = parquet_lite::write(
+                &relation,
+                &parquet_lite::WriteOptions { codec, ..Default::default() },
+            );
+            let name = match codec {
+                Codec::None => "parquet",
+                Codec::SnappyLike => "parquet+snappy",
+                Codec::Heavy => "parquet+zstd",
+            };
+            report(name, &bytes, &|b| {
+                parquet_lite::read(b).expect("read");
+            });
+        }
+
+        let orc = orc_lite::write(&relation, &orc_lite::WriteOptions::default());
+        report("orc", &orc, &|b| {
+            orc_lite::read(b).expect("read");
+        });
+        println!();
+    }
+}
