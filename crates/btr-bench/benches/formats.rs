@@ -1,52 +1,66 @@
-//! Criterion end-to-end benchmarks: block compression/decompression per
-//! scheme, and whole-relation encode/decode per storage format — the
-//! steady-state numbers behind Figures 4 and 8.
+//! End-to-end benchmarks: block compression/decompression per scheme, and
+//! whole-relation encode/decode per storage format — the steady-state
+//! numbers behind Figures 4 and 8.
+//!
+//! Plain `main()` harness (no external bench framework): each workload is
+//! warmed up, then timed over enough iterations to fill ~200 ms, reporting
+//! ns/iter and throughput against the uncompressed byte count.
 
 use btr_bench::formats::Format;
 use btr_lz::Codec;
 use btrblocks::block::{compress_block, compress_block_with, decompress_block, BlockRef};
 use btrblocks::{ColumnType, Config, SchemeCode};
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
+use std::time::Instant;
 
 const ROWS: usize = 64_000;
 
-fn block_schemes(c: &mut Criterion) {
+fn bench(name: &str, bytes: Option<usize>, mut f: impl FnMut()) {
+    f();
+    let mut iters = 1u64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed >= 0.2 || iters >= 1 << 20 {
+            let per_iter = elapsed / iters as f64;
+            let throughput = bytes
+                .map(|b| format!("  {:8.1} MB/s", b as f64 / per_iter / 1e6))
+                .unwrap_or_default();
+            println!("{name:<32} {:>12.0} ns/iter{throughput}", per_iter * 1e9);
+            return;
+        }
+        iters = iters.saturating_mul((0.25 / elapsed.max(1e-9)).ceil() as u64).max(iters + 1);
+    }
+}
+
+fn block_schemes() {
     let cfg = Config::default();
     let runs: Vec<i32> = (0..ROWS as i32).map(|i| i / 500).collect();
     let prices: Vec<f64> = (0..ROWS).map(|i| ((i * 13) % 9_000) as f64 * 0.01).collect();
 
-    let mut group = c.benchmark_group("block_decompress");
-    group.throughput(Throughput::Bytes((ROWS * 4) as u64));
     let rle = compress_block_with(SchemeCode::Rle, BlockRef::Int(&runs), &cfg);
-    group.bench_function("int_rle_cascade", |b| {
-        b.iter(|| decompress_block(black_box(&rle), ColumnType::Integer, &cfg).unwrap())
+    bench("int_rle_cascade_decompress", Some(ROWS * 4), || {
+        black_box(decompress_block(black_box(&rle), ColumnType::Integer, &cfg).unwrap());
     });
     let pfor = compress_block_with(SchemeCode::FastPfor, BlockRef::Int(&runs), &cfg);
-    group.bench_function("int_fastpfor", |b| {
-        b.iter(|| decompress_block(black_box(&pfor), ColumnType::Integer, &cfg).unwrap())
+    bench("int_fastpfor_decompress", Some(ROWS * 4), || {
+        black_box(decompress_block(black_box(&pfor), ColumnType::Integer, &cfg).unwrap());
     });
-    group.throughput(Throughput::Bytes((ROWS * 8) as u64));
     let pde = compress_block_with(SchemeCode::Pseudodecimal, BlockRef::Double(&prices), &cfg);
-    group.bench_function("double_pseudodecimal", |b| {
-        b.iter(|| decompress_block(black_box(&pde), ColumnType::Double, &cfg).unwrap())
+    bench("double_pseudodecimal_decompress", Some(ROWS * 8), || {
+        black_box(decompress_block(black_box(&pde), ColumnType::Double, &cfg).unwrap());
     });
-    group.finish();
-
-    let mut group = c.benchmark_group("block_compress");
-    group.throughput(Throughput::Bytes((ROWS * 4) as u64));
-    group.bench_function("int_auto_selection", |b| {
-        b.iter(|| compress_block(BlockRef::Int(black_box(&runs)), &cfg))
+    bench("int_auto_selection_compress", Some(ROWS * 4), || {
+        black_box(compress_block(BlockRef::Int(black_box(&runs)), &cfg));
     });
-    group.finish();
 }
 
-fn relation_formats(c: &mut Criterion) {
+fn relation_formats() {
     let rel = btr_datagen::dataset_relation(btr_datagen::pbi::registry(16_000, 5));
-    let unc = rel.heap_size() as u64;
-    let mut group = c.benchmark_group("relation_roundtrip");
-    group.sample_size(10);
-    group.throughput(Throughput::Bytes(unc));
+    let unc = rel.heap_size();
     for fmt in [
         Format::Btr,
         Format::Parquet(Codec::None),
@@ -55,18 +69,17 @@ fn relation_formats(c: &mut Criterion) {
         Format::Orc(Codec::None),
     ] {
         let bytes = fmt.compress(&rel);
-        group.bench_function(format!("{}_compress", fmt.name()), |b| {
-            b.iter(|| fmt.compress(black_box(&rel)))
+        bench(&format!("{}_compress", fmt.name()), Some(unc), || {
+            black_box(fmt.compress(black_box(&rel)));
         });
-        group.bench_function(format!("{}_scan", fmt.name()), |b| {
-            b.iter(|| fmt.decompress_scan(black_box(&bytes)))
+        bench(&format!("{}_scan", fmt.name()), Some(unc), || {
+            black_box(fmt.decompress_scan(black_box(&bytes)));
         });
     }
-    group.finish();
 }
 
 /// Ablation: the §5 fused RLE+Dict string decode vs the two-step version.
-fn fused_rle_dict(c: &mut Criterion) {
+fn fused_rle_dict() {
     use btrblocks::StringArena;
     let strings: Vec<&str> = (0..ROWS)
         .map(|i| ["ALPHA", "BRAVO", "CHARLIE", "DELTA"][(i / 700) % 4])
@@ -74,44 +87,36 @@ fn fused_rle_dict(c: &mut Criterion) {
     let arena = StringArena::from_strs(&strings);
     let cfg = Config::default();
     let bytes = compress_block_with(SchemeCode::Dict, BlockRef::Str(&arena), &cfg);
-    let fused = Config::default();
     let unfused = Config {
         fused_rle_dict_min_run: f64::INFINITY,
         ..Config::default()
     };
-    let mut group = c.benchmark_group("fused_rle_dict");
-    group.throughput(Throughput::Bytes(arena.heap_size() as u64));
-    group.bench_function("fused", |b| {
-        b.iter(|| decompress_block(black_box(&bytes), ColumnType::String, &fused).unwrap())
+    bench("fused_rle_dict/fused", Some(arena.heap_size()), || {
+        black_box(decompress_block(black_box(&bytes), ColumnType::String, &cfg).unwrap());
     });
-    group.bench_function("two_step", |b| {
-        b.iter(|| decompress_block(black_box(&bytes), ColumnType::String, &unfused).unwrap())
+    bench("fused_rle_dict/two_step", Some(arena.heap_size()), || {
+        black_box(decompress_block(black_box(&bytes), ColumnType::String, &unfused).unwrap());
     });
-    group.finish();
 }
 
 /// Parallel vs sequential whole-relation compression (thread scaling is
 /// bounded by the host's cores; the shapes still show the overhead is small).
-fn parallel_compression(c: &mut Criterion) {
+fn parallel_compression() {
     let rel = btr_datagen::dataset_relation(btr_datagen::pbi::registry(16_000, 9));
     let cfg = Config::default();
-    let mut group = c.benchmark_group("parallel_compression");
-    group.sample_size(10);
-    group.throughput(Throughput::Bytes(rel.heap_size() as u64));
-    group.bench_function("sequential", |b| {
-        b.iter(|| btrblocks::compress(black_box(&rel), &cfg).unwrap())
+    bench("compress_sequential", Some(rel.heap_size()), || {
+        black_box(btrblocks::compress(black_box(&rel), &cfg).unwrap());
     });
     for threads in [2usize, 4] {
-        group.bench_function(format!("threads_{threads}"), |b| {
-            b.iter(|| btrblocks::compress_parallel(black_box(&rel), &cfg, threads).unwrap())
+        bench(&format!("compress_threads_{threads}"), Some(rel.heap_size()), || {
+            black_box(btrblocks::compress_parallel(black_box(&rel), &cfg, threads).unwrap());
         });
     }
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = block_schemes, relation_formats, fused_rle_dict, parallel_compression
+fn main() {
+    block_schemes();
+    relation_formats();
+    fused_rle_dict();
+    parallel_compression();
 }
-criterion_main!(benches);

@@ -1,66 +1,89 @@
-//! Criterion microbenchmarks for the decompression kernels of paper §5 and
-//! the substrate codecs: bit-packing, FastPFOR, FSST, Roaring, Pseudodecimal,
+//! Microbenchmarks for the decompression kernels of paper §5 and the
+//! substrate codecs: bit-packing, FastPFOR, FSST, Roaring, Pseudodecimal,
 //! RLE/Dict SIMD-vs-scalar, and the general-purpose byte codecs.
+//!
+//! Plain `main()` harness (no external bench framework): each workload is
+//! warmed up, then timed over enough iterations to fill ~200 ms, reporting
+//! ns/iter and throughput where a byte count is known.
 
 use btrblocks::scheme::double::decimal;
 use btrblocks::{simd, SimdMode};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
+use std::time::Instant;
 
 const N: usize = 64_000;
 
-fn bitpacking(c: &mut Criterion) {
+fn bench(name: &str, bytes: Option<usize>, mut f: impl FnMut()) {
+    for _ in 0..3 {
+        f();
+    }
+    let mut iters = 1u64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed >= 0.2 || iters >= 1 << 20 {
+            let per_iter = elapsed / iters as f64;
+            let throughput = bytes
+                .map(|b| format!("  {:8.1} MB/s", b as f64 / per_iter / 1e6))
+                .unwrap_or_default();
+            println!("{name:<32} {:>12.0} ns/iter{throughput}", per_iter * 1e9);
+            return;
+        }
+        iters = iters.saturating_mul((0.25 / elapsed.max(1e-9)).ceil() as u64).max(iters + 1);
+    }
+}
+
+fn bitpacking() {
     let values: Vec<u32> = (0..N as u32).map(|i| i % 1024).collect();
-    let mut group = c.benchmark_group("bitpacking");
-    group.throughput(Throughput::Bytes((N * 4) as u64));
     let bp = btr_bitpacking::bp128::encode(&values);
-    group.bench_function("bp128_encode", |b| {
-        b.iter(|| btr_bitpacking::bp128::encode(black_box(&values)))
+    bench("bp128_encode", Some(N * 4), || {
+        black_box(btr_bitpacking::bp128::encode(black_box(&values)));
     });
-    group.bench_function("bp128_decode", |b| {
-        b.iter(|| btr_bitpacking::bp128::decode(black_box(&bp)).unwrap())
+    bench("bp128_decode", Some(N * 4), || {
+        black_box(btr_bitpacking::bp128::decode(black_box(&bp)).unwrap());
     });
     let mut outliers = values.clone();
     for i in (0..N).step_by(128) {
         outliers[i] = u32::MAX;
     }
     let pf = btr_bitpacking::fastpfor::encode(&outliers);
-    group.bench_function("fastpfor_encode", |b| {
-        b.iter(|| btr_bitpacking::fastpfor::encode(black_box(&outliers)))
+    bench("fastpfor_encode", Some(N * 4), || {
+        black_box(btr_bitpacking::fastpfor::encode(black_box(&outliers)));
     });
-    group.bench_function("fastpfor_decode", |b| {
-        b.iter(|| btr_bitpacking::fastpfor::decode(black_box(&pf)).unwrap())
+    bench("fastpfor_decode", Some(N * 4), || {
+        black_box(btr_bitpacking::fastpfor::decode(black_box(&pf)).unwrap());
     });
-    group.finish();
 }
 
-fn rle_dict_simd(c: &mut Criterion) {
+fn rle_dict_simd() {
     // RLE decode: 64k values in runs of ~37.
     let run_values: Vec<i32> = (0..(N / 37 + 1) as i32).collect();
     let lengths: Vec<u32> = run_values.iter().map(|_| 37).collect();
     let total: usize = lengths.iter().map(|&l| l as usize).sum();
-    let mut group = c.benchmark_group("rle_decode_i32");
-    group.throughput(Throughput::Bytes((total * 4) as u64));
-    for (name, mode) in [("avx2", SimdMode::Auto), ("scalar", SimdMode::ForceScalar)] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &mode, |b, &mode| {
-            b.iter(|| simd::rle_decode_i32(black_box(&run_values), black_box(&lengths), total, mode))
+    for (name, mode) in [("rle_decode_i32/avx2", SimdMode::Auto), ("rle_decode_i32/scalar", SimdMode::ForceScalar)] {
+        bench(name, Some(total * 4), || {
+            black_box(simd::rle_decode_i32(
+                black_box(&run_values),
+                black_box(&lengths),
+                total,
+                mode,
+            ));
         });
     }
-    group.finish();
 
     let dict: Vec<i32> = (0..4_096).collect();
     let codes: Vec<u32> = (0..N as u32).map(|i| (i * 2_654_435_761) % 4_096).collect();
-    let mut group = c.benchmark_group("dict_decode_i32");
-    group.throughput(Throughput::Bytes((N * 4) as u64));
-    for (name, mode) in [("avx2", SimdMode::Auto), ("scalar", SimdMode::ForceScalar)] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &mode, |b, &mode| {
-            b.iter(|| simd::dict_decode_i32(black_box(&codes), black_box(&dict), mode))
+    for (name, mode) in [("dict_decode_i32/avx2", SimdMode::Auto), ("dict_decode_i32/scalar", SimdMode::ForceScalar)] {
+        bench(name, Some(N * 4), || {
+            black_box(simd::dict_decode_i32(black_box(&codes), black_box(&dict), mode));
         });
     }
-    group.finish();
 }
 
-fn fsst(c: &mut Criterion) {
+fn fsst() {
     let strings: Vec<String> = (0..5_000)
         .map(|i| format!("https://data.example.com/u/{}/events?page={}", i % 97, i))
         .collect();
@@ -71,63 +94,52 @@ fn fsst(c: &mut Criterion) {
     for s in &refs {
         table.compress(s, &mut compressed);
     }
-    let mut group = c.benchmark_group("fsst");
-    group.throughput(Throughput::Bytes(total as u64));
-    group.bench_function("train", |b| b.iter(|| btr_fsst::SymbolTable::train(black_box(&refs))));
-    group.bench_function("compress", |b| {
-        b.iter(|| {
-            let mut out = Vec::with_capacity(total);
-            for s in &refs {
-                table.compress(black_box(s), &mut out);
-            }
-            out
-        })
+    bench("fsst_train", Some(total), || {
+        black_box(btr_fsst::SymbolTable::train(black_box(&refs)));
     });
-    group.bench_function("decompress_block", |b| {
-        b.iter(|| {
-            let mut out = Vec::with_capacity(total + 8);
-            table.decompress(black_box(&compressed), &mut out).unwrap();
-            out
-        })
+    bench("fsst_compress", Some(total), || {
+        let mut out = Vec::with_capacity(total);
+        for s in &refs {
+            table.compress(black_box(s), &mut out);
+        }
+        black_box(out);
     });
-    group.finish();
+    bench("fsst_decompress_block", Some(total), || {
+        let mut out = Vec::with_capacity(total + 8);
+        table.decompress(black_box(&compressed), &mut out).unwrap();
+        black_box(out);
+    });
 }
 
-fn roaring(c: &mut Criterion) {
+fn roaring() {
     let sparse: Vec<u32> = (0..N as u32).filter(|i| i % 97 == 0).collect();
-    let mut group = c.benchmark_group("roaring");
-    group.bench_function("from_sorted", |b| {
-        b.iter(|| btr_roaring::RoaringBitmap::from_sorted_iter(black_box(&sparse).iter().copied()))
+    bench("roaring_from_sorted", None, || {
+        black_box(btr_roaring::RoaringBitmap::from_sorted_iter(
+            black_box(&sparse).iter().copied(),
+        ));
     });
     let bm = btr_roaring::RoaringBitmap::from_sorted_iter(sparse.iter().copied());
-    group.bench_function("contains_probe", |b| {
-        b.iter(|| {
-            let mut hits = 0u32;
-            for i in (0..N as u32).step_by(4) {
-                hits += u32::from(bm.contains(black_box(i)));
-            }
-            hits
-        })
+    bench("roaring_contains_probe", None, || {
+        let mut hits = 0u32;
+        for i in (0..N as u32).step_by(4) {
+            hits += u32::from(bm.contains(black_box(i)));
+        }
+        black_box(hits);
     });
     let bytes = bm.serialize();
-    group.bench_function("deserialize", |b| {
-        b.iter(|| btr_roaring::RoaringBitmap::deserialize(black_box(&bytes)).unwrap())
+    bench("roaring_deserialize", None, || {
+        black_box(btr_roaring::RoaringBitmap::deserialize(black_box(&bytes)).unwrap());
     });
-    group.finish();
 }
 
-fn pseudodecimal(c: &mut Criterion) {
+fn pseudodecimal() {
     let prices: Vec<f64> = (0..N).map(|i| ((i * 37) % 100_000) as f64 * 0.01).collect();
-    let mut group = c.benchmark_group("pseudodecimal");
-    group.throughput(Throughput::Bytes((N * 8) as u64));
-    group.bench_function("encode", |b| {
-        b.iter(|| {
-            let mut ok = 0usize;
-            for &v in black_box(&prices) {
-                ok += usize::from(decimal::encode_single(v).is_some());
-            }
-            ok
-        })
+    bench("pseudodecimal_encode", Some(N * 8), || {
+        let mut ok = 0usize;
+        for &v in black_box(&prices) {
+            ok += usize::from(decimal::encode_single(v).is_some());
+        }
+        black_box(ok);
     });
     let cfg = btrblocks::Config::default();
     let mut block = Vec::new();
@@ -142,49 +154,46 @@ fn pseudodecimal(c: &mut Criterion) {
         simd: SimdMode::ForceScalar,
         ..btrblocks::Config::default()
     };
-    for (name, cfg) in [("decode_avx2", &cfg), ("decode_scalar", &scalar_cfg)] {
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let mut r = btrblocks::writer::Reader::new(black_box(&block));
-                btrblocks::scheme::decompress_double(&mut r, cfg).unwrap()
-            })
+    for (name, cfg) in [
+        ("pseudodecimal_decode_avx2", &cfg),
+        ("pseudodecimal_decode_scalar", &scalar_cfg),
+    ] {
+        bench(name, Some(N * 8), || {
+            let mut r = btrblocks::writer::Reader::new(black_box(&block));
+            black_box(btrblocks::scheme::decompress_double(&mut r, cfg).unwrap());
         });
     }
-    group.finish();
 }
 
-fn byte_codecs(c: &mut Criterion) {
+fn byte_codecs() {
     let text = b"request served path=/api/v1/users status=200 latency_ms=13 ".repeat(2_000);
-    let mut group = c.benchmark_group("byte_codecs");
-    group.throughput(Throughput::Bytes(text.len() as u64));
     for codec in [btr_lz::Codec::SnappyLike, btr_lz::Codec::Heavy] {
         let compressed = codec.compress(&text);
-        group.bench_function(format!("{}_compress", codec.name()), |b| {
-            b.iter(|| codec.compress(black_box(&text)))
+        bench(&format!("{}_compress", codec.name()), Some(text.len()), || {
+            black_box(codec.compress(black_box(&text)));
         });
-        group.bench_function(format!("{}_decompress", codec.name()), |b| {
-            b.iter(|| codec.decompress(black_box(&compressed)).unwrap())
+        bench(&format!("{}_decompress", codec.name()), Some(text.len()), || {
+            black_box(codec.decompress(black_box(&compressed)).unwrap());
         });
     }
-    group.finish();
 }
 
-fn float_codecs(c: &mut Criterion) {
+fn float_codecs() {
     let values: Vec<f64> = (0..N).map(|i| 1000.0 + (i as f64) * 0.25).collect();
-    let mut group = c.benchmark_group("float_codecs");
-    group.throughput(Throughput::Bytes((N * 8) as u64));
     for codec in btr_float::FloatCodec::ALL {
         let compressed = codec.compress(&values);
-        group.bench_function(format!("{}_decompress", codec.name()), |b| {
-            b.iter(|| codec.decompress(black_box(&compressed)).unwrap())
+        bench(&format!("{}_decompress", codec.name()), Some(N * 8), || {
+            black_box(codec.decompress(black_box(&compressed)).unwrap());
         });
     }
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bitpacking, rle_dict_simd, fsst, roaring, pseudodecimal, byte_codecs, float_codecs
+fn main() {
+    bitpacking();
+    rle_dict_simd();
+    fsst();
+    roaring();
+    pseudodecimal();
+    byte_codecs();
+    float_codecs();
 }
-criterion_main!(benches);

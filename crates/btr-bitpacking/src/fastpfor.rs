@@ -158,6 +158,14 @@ pub fn decode_into(data: &[u32], out: &mut Vec<u32>) -> Result<()> {
     let &count = data.first().ok_or(Error::UnexpectedEnd)?;
     let n = count as usize;
     let full_blocks = n / BLOCK128;
+    // Every full block consumes at least its header word and a non-empty
+    // tail at least its width word: a count implying more blocks than there
+    // are words is corrupt. Reject it *before* sizing the output — a stomped
+    // count word must not turn into a multi-gigabyte zeroed allocation.
+    let min_words = full_blocks + usize::from(!n.is_multiple_of(BLOCK128));
+    if data.len().saturating_sub(1) < min_words {
+        return Err(Error::UnexpectedEnd);
+    }
     let start = out.len();
     out.resize(start + n, 0);
     let mut pos = 1usize;

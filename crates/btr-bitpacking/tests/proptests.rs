@@ -1,60 +1,118 @@
-//! Property tests: every bit-packing codec must round-trip arbitrary input.
+//! Randomized round-trip tests: every bit-packing codec must round-trip
+//! arbitrary input. Deterministic (seeded xorshift) so runs are reproducible
+//! offline; each property is exercised over a few hundred generated cases.
 
 use btr_bitpacking::{bp128, fastpfor, for_delta, plain};
-use proptest::prelude::*;
+use btr_corrupt::rng::Xorshift;
 
-proptest! {
-    #[test]
-    fn plain_roundtrips(values in proptest::collection::vec(any::<u32>(), 0..500), width in 0u8..=32) {
-        let mask = if width == 32 { u32::MAX } else { (1u32 << width).wrapping_sub(1) };
+fn vec_u32(rng: &mut Xorshift, max_len: usize) -> Vec<u32> {
+    let len = rng.gen_range(0..=max_len);
+    (0..len).map(|_| rng.next_u32()).collect()
+}
+
+#[test]
+fn plain_roundtrips() {
+    let mut rng = Xorshift::new(0x01);
+    for case in 0..300 {
+        let values = vec_u32(&mut rng, 500);
+        let width = (case % 33) as u8;
+        let mask = if width == 32 {
+            u32::MAX
+        } else {
+            (1u32 << width).wrapping_sub(1)
+        };
         let masked: Vec<u32> = values.iter().map(|&v| v & mask).collect();
         let packed = plain::pack(&masked, width);
         let unpacked = plain::unpack(&packed, masked.len(), width).unwrap();
-        prop_assert_eq!(unpacked, masked);
+        assert_eq!(unpacked, masked, "width {width}");
     }
+}
 
-    #[test]
-    fn bp128_roundtrips(values in proptest::collection::vec(any::<u32>(), 0..1200)) {
+#[test]
+fn bp128_roundtrips() {
+    let mut rng = Xorshift::new(0x02);
+    for _ in 0..300 {
+        let values = vec_u32(&mut rng, 1200);
         let enc = bp128::encode(&values);
-        prop_assert_eq!(bp128::decode(&enc).unwrap(), values);
+        assert_eq!(bp128::decode(&enc).unwrap(), values);
     }
+}
 
-    #[test]
-    fn fastpfor_roundtrips(values in proptest::collection::vec(any::<u32>(), 0..1200)) {
+#[test]
+fn fastpfor_roundtrips() {
+    let mut rng = Xorshift::new(0x03);
+    for _ in 0..300 {
+        let values = vec_u32(&mut rng, 1200);
         let enc = fastpfor::encode(&values);
-        prop_assert_eq!(fastpfor::decode(&enc).unwrap(), values);
+        assert_eq!(fastpfor::decode(&enc).unwrap(), values);
     }
+}
 
-    #[test]
-    fn fastpfor_roundtrips_skewed(values in proptest::collection::vec(
-        prop_oneof![9 => 0u32..64, 1 => any::<u32>()], 0..2000)) {
+#[test]
+fn fastpfor_roundtrips_skewed() {
+    // Mostly-small values with rare full-range outliers — the distribution
+    // FastPFOR's exception machinery exists for.
+    let mut rng = Xorshift::new(0x04);
+    for _ in 0..300 {
+        let len = rng.gen_range(0..2000usize);
+        let values: Vec<u32> = (0..len)
+            .map(|_| {
+                if rng.gen_bool(0.9) {
+                    rng.gen_range(0u32..64)
+                } else {
+                    rng.next_u32()
+                }
+            })
+            .collect();
         let enc = fastpfor::encode(&values);
-        prop_assert_eq!(fastpfor::decode(&enc).unwrap(), values);
+        assert_eq!(fastpfor::decode(&enc).unwrap(), values);
     }
+}
 
-    #[test]
-    fn zigzag_roundtrips(v in any::<i32>()) {
-        prop_assert_eq!(for_delta::zigzag_decode(for_delta::zigzag_encode(v)), v);
+#[test]
+fn zigzag_roundtrips() {
+    let mut rng = Xorshift::new(0x05);
+    for v in [i32::MIN, -1, 0, 1, i32::MAX] {
+        assert_eq!(for_delta::zigzag_decode(for_delta::zigzag_encode(v)), v);
     }
+    for _ in 0..10_000 {
+        let v = rng.next_u32() as i32;
+        assert_eq!(for_delta::zigzag_decode(for_delta::zigzag_encode(v)), v);
+    }
+}
 
-    #[test]
-    fn for_roundtrips(values in proptest::collection::vec(any::<i32>(), 0..500)) {
+#[test]
+fn for_roundtrips() {
+    let mut rng = Xorshift::new(0x06);
+    for _ in 0..300 {
+        let len = rng.gen_range(0..500usize);
+        let values: Vec<i32> = (0..len).map(|_| rng.next_u32() as i32).collect();
         let (base, offsets) = for_delta::for_encode(&values);
-        prop_assert_eq!(for_delta::for_decode(base, &offsets), values);
+        assert_eq!(for_delta::for_decode(base, &offsets), values);
     }
+}
 
-    #[test]
-    fn delta_roundtrips(values in proptest::collection::vec(any::<i32>(), 0..500)) {
+#[test]
+fn delta_roundtrips() {
+    let mut rng = Xorshift::new(0x07);
+    for _ in 0..300 {
+        let len = rng.gen_range(0..500usize);
+        let values: Vec<i32> = (0..len).map(|_| rng.next_u32() as i32).collect();
         let deltas = for_delta::delta_encode(&values);
-        prop_assert_eq!(for_delta::delta_decode(&deltas), values);
+        assert_eq!(for_delta::delta_decode(&deltas), values);
     }
+}
 
-    #[test]
-    fn for_then_fastpfor_roundtrips(values in proptest::collection::vec(any::<i32>(), 0..600)) {
-        // The cascade the core library actually uses.
+#[test]
+fn for_then_fastpfor_roundtrips() {
+    // The cascade the core library actually uses.
+    let mut rng = Xorshift::new(0x08);
+    for _ in 0..300 {
+        let len = rng.gen_range(0..600usize);
+        let values: Vec<i32> = (0..len).map(|_| rng.next_u32() as i32).collect();
         let (base, offsets) = for_delta::for_encode(&values);
         let enc = fastpfor::encode(&offsets);
         let dec = fastpfor::decode(&enc).unwrap();
-        prop_assert_eq!(for_delta::for_decode(base, &dec), values);
+        assert_eq!(for_delta::for_decode(base, &dec), values);
     }
 }

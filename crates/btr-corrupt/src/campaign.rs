@@ -1,0 +1,273 @@
+//! The campaign driver: apply every planned mutation, decode, and demand
+//! that *nothing bad ever happens*.
+//!
+//! For each mutated buffer the decode closure must do exactly one of:
+//!
+//! * return `Verdict::Error` — the decoder rejected the damage with a typed
+//!   error (the expected common case);
+//! * return `Verdict::Clean` — the mutation happened not to change decoded
+//!   output (e.g. truncating zero bytes) and the round-trip stayed correct.
+//!
+//! Everything else is a campaign failure: a panic (caught and recorded with
+//! its location), a decode that "succeeds" with *different* data
+//! (`Verdict::Divergent` — silent corruption), or heap growth beyond the
+//! allocation budget (a corrupt length field turned into a memory bomb).
+
+use crate::alloc;
+use crate::mutate::{plan_mutations, Mutation, MutationBudget};
+use std::cell::{Cell, RefCell};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::OnceLock;
+
+/// What the decode closure observed for one mutated input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Decoded successfully and matched the expected plaintext exactly.
+    Clean,
+    /// Decoder returned a typed error.
+    Error,
+    /// Decoded successfully but produced *different* data — silent
+    /// corruption, always a failure.
+    Divergent,
+}
+
+/// Campaign-level configuration.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Seed for the mutation plan.
+    pub seed: u64,
+    /// Mutation counts/windows.
+    pub budget: MutationBudget,
+    /// Maximum decode-time heap growth per attempt, in bytes. Only enforced
+    /// when the test binary installs [`crate::alloc::TrackingAllocator`].
+    pub alloc_budget: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            seed: 0xB7C0_FFEE,
+            budget: MutationBudget::default(),
+            // Campaign inputs are small (tens of KB); a sane decoder's
+            // transient allocations stay well under this, while a corrupt
+            // length field honoured as-is blows straight past it.
+            alloc_budget: 64 << 20,
+        }
+    }
+}
+
+/// One campaign failure, with the mutation that triggered it.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// The mutation applied.
+    pub mutation: Mutation,
+    /// What went wrong.
+    pub kind: FailureKind,
+}
+
+/// Classification of a campaign failure.
+#[derive(Debug, Clone)]
+pub enum FailureKind {
+    /// The decoder panicked; payload is the panic message with location.
+    Panic(String),
+    /// Decode succeeded with wrong data.
+    SilentCorruption,
+    /// Heap grew past the budget; payload is observed growth in bytes.
+    AllocBlowup(usize),
+}
+
+/// Aggregate result of one campaign run.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Mutations attempted.
+    pub runs: usize,
+    /// Mutations the decoder rejected with a typed error.
+    pub errors: usize,
+    /// Mutations that round-tripped byte-identically anyway.
+    pub clean: usize,
+    /// All failures (panics, silent corruption, allocation blow-ups).
+    pub failures: Vec<Failure>,
+}
+
+impl Report {
+    /// Merges another report into this one.
+    pub fn merge(&mut self, other: Report) {
+        self.runs += other.runs;
+        self.errors += other.errors;
+        self.clean += other.clean;
+        self.failures.extend(other.failures);
+    }
+
+    /// Panics with a readable summary if the campaign recorded any failure.
+    /// The `label` names the campaign in the failure message.
+    pub fn assert_clean(&self, label: &str) {
+        assert!(
+            self.failures.is_empty(),
+            "campaign '{label}' failed on {}/{} mutations; first failures: {:#?}",
+            self.failures.len(),
+            self.runs,
+            &self.failures[..self.failures.len().min(5)]
+        );
+    }
+}
+
+thread_local! {
+    /// True while this thread is inside a campaign decode attempt; only
+    /// then does the hook capture instead of delegating.
+    static CAPTURING: Cell<bool> = const { Cell::new(false) };
+    /// The captured panic message for this thread's in-flight attempt.
+    static MESSAGE: RefCell<String> = const { RefCell::new(String::new()) };
+}
+
+fn capture_panic_message<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    // The default panic hook prints to stderr — thousands of expected-panic
+    // lines would bury real output. While a decode attempt is in flight on
+    // this thread, capture the message (with location) into a thread-local
+    // slot instead; any other panic — a test assertion on another thread, a
+    // campaign's own report check — falls through to the previous hook so
+    // its message still reaches the terminal.
+    static HOOK: OnceLock<()> = OnceLock::new();
+    HOOK.get_or_init(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !CAPTURING.with(Cell::get) {
+                prev(info);
+                return;
+            }
+            let msg = info
+                .payload()
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| info.payload().downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "<non-string panic payload>".into());
+            let loc = info
+                .location()
+                .map(|l| format!("{}:{}:{}", l.file(), l.line(), l.column()))
+                .unwrap_or_else(|| "<unknown>".into());
+            MESSAGE.with(|m| *m.borrow_mut() = format!("{msg} at {loc}"));
+        }));
+    });
+    CAPTURING.with(|c| c.set(true));
+    let result = panic::catch_unwind(AssertUnwindSafe(f));
+    CAPTURING.with(|c| c.set(false));
+    match result {
+        Ok(v) => Ok(v),
+        Err(_) => Err(MESSAGE.with(|m| m.borrow().clone())),
+    }
+}
+
+/// Runs a full mutation campaign over `original`.
+///
+/// `decode` receives each mutated buffer and must return a [`Verdict`]:
+/// compare any successful decode against the expected plaintext and report
+/// [`Verdict::Clean`] or [`Verdict::Divergent`] accordingly, or
+/// [`Verdict::Error`] when the decoder returned a typed error. The driver
+/// additionally converts panics and allocation-budget violations into
+/// failures.
+pub fn run<F>(original: &[u8], cfg: &CampaignConfig, mut decode: F) -> Report
+where
+    F: FnMut(&[u8]) -> Verdict,
+{
+    let mut report = Report::default();
+    for mutation in plan_mutations(original.len(), cfg.seed, &cfg.budget) {
+        let mutated = mutation.apply(original);
+        report.runs += 1;
+        let (verdict, growth) = alloc::measure(|| capture_panic_message(|| decode(&mutated)));
+        if growth > cfg.alloc_budget {
+            report.failures.push(Failure {
+                mutation: mutation.clone(),
+                kind: FailureKind::AllocBlowup(growth),
+            });
+            continue;
+        }
+        match verdict {
+            Ok(Verdict::Error) => report.errors += 1,
+            Ok(Verdict::Clean) => report.clean += 1,
+            Ok(Verdict::Divergent) => report.failures.push(Failure {
+                mutation: mutation.clone(),
+                kind: FailureKind::SilentCorruption,
+            }),
+            Err(msg) => report.failures.push(Failure {
+                mutation,
+                kind: FailureKind::Panic(msg),
+            }),
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // A toy length-prefixed format: [len: u8][payload…][xor checksum: u8].
+    fn toy_encode(payload: &[u8]) -> Vec<u8> {
+        let mut out = vec![payload.len() as u8];
+        out.extend_from_slice(payload);
+        out.push(payload.iter().fold(0, |a, b| a ^ b));
+        out
+    }
+
+    fn toy_decode(bytes: &[u8]) -> Result<Vec<u8>, &'static str> {
+        let (&len, rest) = bytes.split_first().ok_or("empty")?;
+        let len = len as usize;
+        if rest.len() != len + 1 {
+            return Err("length mismatch");
+        }
+        let (payload, check) = rest.split_at(len);
+        if payload.iter().fold(0u8, |a, b| a ^ b) != check[0] {
+            return Err("checksum");
+        }
+        Ok(payload.to_vec())
+    }
+
+    #[test]
+    fn robust_decoder_passes_campaign() {
+        let plain = b"hello corruption world".to_vec();
+        let encoded = toy_encode(&plain);
+        let cfg = CampaignConfig::default();
+        let report = run(&encoded, &cfg, |mutated| match toy_decode(mutated) {
+            Ok(out) if out == plain => Verdict::Clean,
+            Ok(_) => Verdict::Divergent,
+            Err(_) => Verdict::Error,
+        });
+        report.assert_clean("toy");
+        assert!(report.runs > 500, "got {}", report.runs);
+        assert!(report.errors > 0);
+    }
+
+    #[test]
+    fn panicking_decoder_is_reported_not_fatal() {
+        let encoded = toy_encode(b"abc");
+        let cfg = CampaignConfig::default();
+        let report = run(&encoded, &cfg, |mutated| {
+            // An unhardened decoder: indexes without bounds checks.
+            let len = mutated[0] as usize;
+            let _ = &mutated[1..1 + len]; // panics on truncation
+            Verdict::Clean
+        });
+        assert!(!report.failures.is_empty());
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| matches!(f.kind, FailureKind::Panic(_))));
+    }
+
+    #[test]
+    fn silent_corruption_is_a_failure() {
+        let encoded = toy_encode(b"xyz");
+        let cfg = CampaignConfig::default();
+        // A "decoder" that accepts anything as new truth.
+        let report = run(&encoded, &cfg, |m| {
+            if m == encoded {
+                Verdict::Clean
+            } else {
+                Verdict::Divergent
+            }
+        });
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| matches!(f.kind, FailureKind::SilentCorruption)));
+    }
+}

@@ -1,0 +1,30 @@
+//! Fault-injection harness for the BtrBlocks workspace.
+//!
+//! Cloud object storage hands decoders truncated downloads, flipped bits and
+//! stale partial writes; a decoder that panics or over-allocates on such
+//! bytes is a denial-of-service waiting to happen. This crate provides the
+//! machinery to *prove* the workspace's decode paths total:
+//!
+//! * [`rng`] — a dependency-free deterministic PRNG (xorshift64*), also used
+//!   across the workspace wherever `rand` used to be;
+//! * [`mutate`] — deterministic mutation plans: truncation at every boundary,
+//!   single-bit flips, random byte stomps, and hostile length-field writes;
+//! * [`alloc`] — a tracking global allocator so tests can assert decoding a
+//!   corrupt buffer never allocates past a budget;
+//! * [`campaign`] — the driver that applies a plan, catches panics, measures
+//!   allocations, and reports: every mutation must either produce a typed
+//!   error or round-trip byte-identically.
+//!
+//! The crate deliberately has **no dependencies** — not even on the format
+//! crates it tests — so any workspace member can dev-depend on it. The
+//! 10 000+-mutation campaigns over `btrblocks`, `parquet-lite` and `orc-lite`
+//! live in this crate's integration tests.
+
+pub mod alloc;
+pub mod campaign;
+pub mod mutate;
+pub mod rng;
+
+pub use campaign::{run, CampaignConfig, Failure, FailureKind, Report, Verdict};
+pub use mutate::{plan_mutations, Mutation, MutationBudget};
+pub use rng::Xorshift;

@@ -1,0 +1,199 @@
+//! A small deterministic PRNG (xorshift64* seeded through SplitMix64).
+//!
+//! The workspace builds offline, so the `rand` crate is not resolvable; every
+//! place that needs randomness — fault-injection campaigns, synthetic data
+//! generation, randomized round-trip tests — uses this generator instead.
+//! Sequences depend only on the seed, never on platform or build flags, which
+//! is exactly what a reproducible mutation campaign needs.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic xorshift64* generator.
+#[derive(Debug, Clone)]
+pub struct Xorshift {
+    state: u64,
+}
+
+impl Xorshift {
+    /// Creates a generator from a seed. Any seed is valid; the SplitMix64
+    /// scramble maps it away from the forbidden all-zero xorshift state.
+    pub fn new(seed: u64) -> Self {
+        let mut s = splitmix64(seed);
+        if s == 0 {
+            s = 0x9E37_79B9_7F4A_7C15;
+        }
+        Xorshift { state: s }
+    }
+
+    /// Convenience alias matching the `rand::SeedableRng` spelling so call
+    /// sites read familiarly.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Xorshift::new(seed)
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Next 32-bit output (high half, which has the better-mixed bits).
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Uniform value from a range, e.g. `rng.gen_range(0..10)`,
+    /// `rng.gen_range(1..=6)`, or `rng.gen_range(0.0f64..1.0)`.
+    ///
+    /// The output is a free type parameter (as in `rand`) rather than an
+    /// associated type, so usage like `arr[rng.gen_range(0..4)]` infers
+    /// `usize` from the call site.
+    #[inline]
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// Fills a byte slice with generator output.
+    pub fn fill_bytes(&mut self, out: &mut [u8]) {
+        let mut chunks = out.chunks_exact_mut(8);
+        for c in &mut chunks {
+            c.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rest = chunks.into_remainder();
+        if !rest.is_empty() {
+            let word = self.next_u64().to_le_bytes();
+            rest.copy_from_slice(&word[..rest.len()]);
+        }
+    }
+}
+
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Ranges [`Xorshift::gen_range`] can sample from, producing a `T`.
+pub trait SampleRange<T> {
+    /// Draws one uniform value. Panics on an empty range, mirroring `rand`.
+    fn sample(self, rng: &mut Xorshift) -> T;
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample(self, rng: &mut Xorshift) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128 % span) as i128 + self.start as i128;
+                v as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample(self, rng: &mut Xorshift) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range on empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128 % span) as i128 + start as i128;
+                v as $t
+            }
+        }
+    )*};
+}
+
+int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample(self, rng: &mut Xorshift) -> f64 {
+        assert!(self.start < self.end, "gen_range on empty range");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a: Vec<u64> = (0..10).map(|_| Xorshift::new(42).next_u64()).collect();
+        let mut rng = Xorshift::new(42);
+        assert!(a.iter().all(|&v| v == a[0]));
+        let b: Vec<u64> = (0..10).map(|_| rng.next_u64()).collect();
+        assert_eq!(b.len(), 10);
+        assert!(b.windows(2).any(|w| w[0] != w[1]), "stream must vary");
+        let mut rng2 = Xorshift::new(42);
+        let c: Vec<u64> = (0..10).map(|_| rng2.next_u64()).collect();
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Xorshift::new(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-5i32..5);
+            assert!((-5..5).contains(&v));
+            let v = rng.gen_range(1usize..=6);
+            assert!((1..=6).contains(&v));
+            let f = rng.gen_range(-0.5f64..0.5);
+            assert!((-0.5..0.5).contains(&f));
+            let b = rng.gen_range(0u8..26);
+            assert!(b < 26);
+        }
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut rng = Xorshift::new(3);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..6)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_rate_is_plausible() {
+        let mut rng = Xorshift::new(11);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.1)).count();
+        assert!((8_000..12_000).contains(&hits), "got {hits}");
+        assert_eq!((0..100).filter(|_| rng.gen_bool(0.0)).count(), 0);
+        assert_eq!((0..100).filter(|_| rng.gen_bool(1.0)).count(), 100);
+    }
+
+    #[test]
+    fn fill_bytes_fills_everything() {
+        let mut rng = Xorshift::new(5);
+        let mut buf = [0u8; 37];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn zero_seed_is_fine() {
+        let mut rng = Xorshift::new(0);
+        assert_ne!(rng.next_u64(), rng.next_u64());
+    }
+}

@@ -1,0 +1,99 @@
+//! Mutation campaigns against the parquet-lite and orc-lite readers.
+//!
+//! Neither format carries checksums here, so a mutation can legitimately
+//! decode to different data — these campaigns assert the robustness floor
+//! instead: the readers must never panic and never let a corrupt length
+//! field drive an oversized allocation, for every deterministic truncation,
+//! bit flip, byte stomp and hostile length word in the plan.
+
+use btr_corrupt::alloc::TrackingAllocator;
+use btr_corrupt::campaign::{run, CampaignConfig, Verdict};
+use btr_corrupt::rng::Xorshift;
+use btr_lz::Codec;
+use btrblocks::{Column, ColumnData, Relation, StringArena};
+
+#[global_allocator]
+static ALLOC: TrackingAllocator = TrackingAllocator;
+
+fn sample_relation(rng: &mut Xorshift) -> Relation {
+    let rows = 1_200;
+    let ints: Vec<i32> = (0..rows).map(|_| rng.gen_range(-500i32..500)).collect();
+    let doubles: Vec<f64> = (0..rows).map(|i| f64::from(i % 311) * 0.25).collect();
+    let strings: Vec<String> =
+        (0..rows).map(|_| format!("city-{}", rng.gen_range(0u32..40))).collect();
+    let refs: Vec<&str> = strings.iter().map(|s| s.as_str()).collect();
+    Relation::new(vec![
+        Column::new("i", ColumnData::Int(ints)),
+        Column::new("d", ColumnData::Double(doubles)),
+        Column::new("s", ColumnData::Str(StringArena::from_strs(&refs))),
+    ])
+}
+
+fn no_panic_campaign(label: &str, bytes: &[u8], seed: u64, decode: impl FnMut(&[u8]) -> Verdict) {
+    let campaign = CampaignConfig { seed, ..CampaignConfig::default() };
+    let report = run(bytes, &campaign, decode);
+    report.assert_clean(label);
+    assert!(report.errors > 0, "campaign '{label}' never saw a rejection");
+}
+
+#[test]
+fn parquet_reader_never_panics_under_mutation() {
+    let mut rng = Xorshift::new(0x9A);
+    let rel = sample_relation(&mut rng);
+    for (i, codec) in [Codec::None, Codec::SnappyLike, Codec::Heavy].into_iter().enumerate() {
+        let bytes = parquet_lite::write(
+            &rel,
+            &parquet_lite::WriteOptions { codec, rowgroup_size: 300 },
+        );
+        no_panic_campaign(
+            &format!("parquet {codec:?}"),
+            &bytes,
+            0x6000 + i as u64,
+            |mutated| match parquet_lite::read(mutated) {
+                Ok(_) => Verdict::Clean,
+                Err(_) => Verdict::Error,
+            },
+        );
+    }
+}
+
+#[test]
+fn parquet_column_projection_never_panics_under_mutation() {
+    let mut rng = Xorshift::new(0x9B);
+    let rel = sample_relation(&mut rng);
+    let bytes = parquet_lite::write(
+        &rel,
+        &parquet_lite::WriteOptions { codec: Codec::SnappyLike, rowgroup_size: 250 },
+    );
+    no_panic_campaign("parquet read_column", &bytes, 0x6100, |mutated| {
+        match parquet_lite::read_column(mutated, 2) {
+            Ok(_) => Verdict::Clean,
+            Err(_) => Verdict::Error,
+        }
+    });
+}
+
+#[test]
+fn orc_reader_never_panics_under_mutation() {
+    let mut rng = Xorshift::new(0x9C);
+    let rel = sample_relation(&mut rng);
+    for (i, codec) in [Codec::None, Codec::SnappyLike, Codec::Heavy].into_iter().enumerate() {
+        let bytes = orc_lite::write(
+            &rel,
+            &orc_lite::WriteOptions {
+                codec,
+                stripe_rows: 400,
+                dictionary_key_size_threshold: 0.8,
+            },
+        );
+        no_panic_campaign(
+            &format!("orc {codec:?}"),
+            &bytes,
+            0x7000 + i as u64,
+            |mutated| match orc_lite::read(mutated) {
+                Ok(_) => Verdict::Clean,
+                Err(_) => Verdict::Error,
+            },
+        );
+    }
+}

@@ -7,8 +7,7 @@
 
 use crate::{words, GenColumn};
 use btrblocks::{ColumnData, StringArena};
-use rand::prelude::*;
-use rand::rngs::StdRng;
+use btr_corrupt::rng::Xorshift as StdRng;
 
 fn rng_for(seed: u64, salt: u64) -> StdRng {
     StdRng::seed_from_u64(seed ^ salt.wrapping_mul(0x9E3779B97F4A7C15))
@@ -44,7 +43,7 @@ pub fn salaries_france_libdom1(rows: usize, seed: u64) -> GenColumn {
     let mut rng = rng_for(seed, 1);
     let mut out = Vec::with_capacity(rows);
     while out.len() < rows {
-        let run = rng.gen_range(200..2000).min(rows - out.len());
+        let run = rng.gen_range(200usize..2000).min(rows - out.len());
         let s = if rng.gen_bool(0.97) {
             "null".to_string()
         } else {
@@ -61,7 +60,7 @@ pub fn mulheres_mil_ped(rows: usize, seed: u64) -> GenColumn {
     let opts = ["", "S", "N", "1"];
     let mut out = Vec::with_capacity(rows);
     while out.len() < rows {
-        let run = rng.gen_range(30..300).min(rows - out.len());
+        let run = rng.gen_range(30usize..300).min(rows - out.len());
         let s = opts[zipf(&mut rng, opts.len())].to_string();
         out.extend(std::iter::repeat_n(s, run));
     }
@@ -73,7 +72,7 @@ pub fn redfin2_property_type(rows: usize, seed: u64) -> GenColumn {
     let mut rng = rng_for(seed, 3);
     let mut out = Vec::with_capacity(rows);
     while out.len() < rows {
-        let run = rng.gen_range(100..1500).min(rows - out.len());
+        let run = rng.gen_range(100usize..1500).min(rows - out.len());
         let s = words::PROPERTY_TYPES[zipf(&mut rng, words::PROPERTY_TYPES.len())].to_string();
         out.extend(std::iter::repeat_n(s, run));
     }
@@ -108,7 +107,7 @@ pub fn pancreactomy1_street1(rows: usize, seed: u64) -> GenColumn {
             format!(
                 "{} {} {} {}",
                 rng.gen_range(100..9999),
-                ["N", "S", "E", "W"][rng.gen_range(0..4)],
+                ["N", "S", "E", "W"][rng.gen_range(0usize..4)],
                 words::STREET_NAMES[rng.gen_range(0..words::STREET_NAMES.len())],
                 words::STREET_SUFFIX[rng.gen_range(0..words::STREET_SUFFIX.len())],
             )
@@ -163,7 +162,7 @@ pub fn generico_url(rows: usize, seed: u64) -> GenColumn {
         .map(|_| {
             format!(
                 "https://www.example-shop.com/catalog/{}/item-{}?ref=email",
-                ["electronics", "garden", "toys", "office"][rng.gen_range(0..4)],
+                ["electronics", "garden", "toys", "office"][rng.gen_range(0usize..4)],
                 rng.gen_range(0..100_000)
             )
         })
@@ -178,8 +177,8 @@ pub fn trains_uk_station(rows: usize, seed: u64) -> GenColumn {
         .map(|_| {
             format!(
                 "GB-{}{}{}",
-                (b'A' + rng.gen_range(0..26)) as char,
-                (b'A' + rng.gen_range(0..26)) as char,
+                (b'A' + rng.gen_range(0u8..26)) as char,
+                (b'A' + rng.gen_range(0u8..26)) as char,
                 rng.gen_range(100..999)
             )
         })
@@ -261,7 +260,7 @@ pub fn common_government_agency_key(rows: usize, seed: u64) -> GenColumn {
     let mut values = Vec::with_capacity(rows);
     let mut key = 1000;
     while values.len() < rows {
-        let run = rng.gen_range(50..800).min(rows - values.len());
+        let run = rng.gen_range(50usize..800).min(rows - values.len());
         values.extend(std::iter::repeat_n(key, run));
         key += rng.gen_range(1..5);
     }
@@ -295,7 +294,7 @@ pub fn food_year(rows: usize, seed: u64) -> GenColumn {
     let mut values = Vec::with_capacity(rows);
     let mut year = 2005;
     while values.len() < rows {
-        let run = rng.gen_range(500..4000).min(rows - values.len());
+        let run = rng.gen_range(500usize..4000).min(rows - values.len());
         values.extend(std::iter::repeat_n(year, run));
         year += 1;
     }
@@ -437,7 +436,7 @@ pub fn common_government_26(rows: usize, seed: u64) -> GenColumn {
     // below PDE's 75x whose digit column stays integer-packable).
     while values.len() < rows {
         if rng.gen_bool(0.82) {
-            let run = rng.gen_range(1_000..3_000).min(rows - values.len());
+            let run = rng.gen_range(1_000usize..3_000).min(rows - values.len());
             values.extend(std::iter::repeat_n(0.0, run));
         } else {
             let burst = rng.gen_range(30..80);
@@ -445,7 +444,7 @@ pub fn common_government_26(rows: usize, seed: u64) -> GenColumn {
                 if values.len() >= rows {
                     break;
                 }
-                let run = rng.gen_range(2..4).min(rows - values.len());
+                let run = rng.gen_range(2usize..4).min(rows - values.len());
                 let v = amounts[zipf(&mut rng, amounts.len())];
                 values.extend(std::iter::repeat_n(v, run));
             }
@@ -460,7 +459,7 @@ pub fn common_government_30(rows: usize, seed: u64) -> GenColumn {
     let mut rng = rng_for(seed, 52);
     let mut values = Vec::with_capacity(rows);
     while values.len() < rows {
-        let run = rng.gen_range(2..12).min(rows - values.len());
+        let run = rng.gen_range(2usize..12).min(rows - values.len());
         let v = if rng.gen_bool(0.5) {
             0.0
         } else {
@@ -495,10 +494,10 @@ pub fn common_government_40(rows: usize, seed: u64) -> GenColumn {
     let mut values = Vec::with_capacity(rows);
     while values.len() < rows {
         if rng.gen_bool(0.9) {
-            let run = rng.gen_range(1_000..6_000).min(rows - values.len());
+            let run = rng.gen_range(1_000usize..6_000).min(rows - values.len());
             values.extend(std::iter::repeat_n(0.0, run));
         } else {
-            let run = rng.gen_range(50..400).min(rows - values.len());
+            let run = rng.gen_range(50usize..400).min(rows - values.len());
             let v = amounts[rng.gen_range(0..amounts.len())];
             values.extend(std::iter::repeat_n(v, run));
         }

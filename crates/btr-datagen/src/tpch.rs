@@ -8,8 +8,7 @@
 
 use crate::{words, GenColumn};
 use btrblocks::{ColumnData, StringArena};
-use rand::prelude::*;
-use rand::rngs::StdRng;
+use btr_corrupt::rng::Xorshift as StdRng;
 
 fn rng_for(seed: u64, salt: u64) -> StdRng {
     StdRng::seed_from_u64(seed ^ salt.wrapping_mul(0xD1B54A32D192ED03))
@@ -36,7 +35,7 @@ pub fn l_orderkey(rows: usize, seed: u64) -> GenColumn {
     let mut values = Vec::with_capacity(rows);
     let mut key = 1i32;
     while values.len() < rows {
-        let lines = rng.gen_range(1..=7).min(rows - values.len());
+        let lines = rng.gen_range(1usize..=7).min(rows - values.len());
         values.extend(std::iter::repeat_n(key, lines));
         key += rng.gen_range(1..=4) * 8 - 7; // dbgen's sparse key space
     }
@@ -75,7 +74,7 @@ pub fn l_linenumber(rows: usize, seed: u64) -> GenColumn {
     let mut rng = rng_for(seed, 4);
     let mut values = Vec::with_capacity(rows);
     while values.len() < rows {
-        let lines = rng.gen_range(1..=7).min(rows - values.len());
+        let lines = rng.gen_range(1usize..=7).min(rows - values.len());
         values.extend((1..=lines as i32).take(rows - values.len()));
     }
     GenColumn {
@@ -139,7 +138,7 @@ pub fn l_tax(rows: usize, seed: u64) -> GenColumn {
 pub fn l_returnflag(rows: usize, seed: u64) -> GenColumn {
     let mut rng = rng_for(seed, 9);
     let out = (0..rows)
-        .map(|_| ["R", "A", "N"][rng.gen_range(0..3)].to_string())
+        .map(|_| ["R", "A", "N"][rng.gen_range(0usize..3)].to_string())
         .collect();
     str_col("tpch", "l_returnflag", "3-value category", out)
 }
@@ -148,7 +147,7 @@ pub fn l_returnflag(rows: usize, seed: u64) -> GenColumn {
 pub fn l_linestatus(rows: usize, seed: u64) -> GenColumn {
     let mut rng = rng_for(seed, 10);
     let out = (0..rows)
-        .map(|_| ["O", "F"][rng.gen_range(0..2)].to_string())
+        .map(|_| ["O", "F"][rng.gen_range(0usize..2)].to_string())
         .collect();
     str_col("tpch", "l_linestatus", "2-value category", out)
 }
@@ -169,7 +168,7 @@ pub fn l_shipdate(rows: usize, seed: u64) -> GenColumn {
 pub fn l_shipinstruct(rows: usize, seed: u64) -> GenColumn {
     let mut rng = rng_for(seed, 12);
     let out = (0..rows)
-        .map(|_| words::SHIP_INSTRUCT[rng.gen_range(0..4)].to_string())
+        .map(|_| words::SHIP_INSTRUCT[rng.gen_range(0usize..4)].to_string())
         .collect();
     str_col("tpch", "l_shipinstruct", "4 phrases", out)
 }
@@ -178,7 +177,7 @@ pub fn l_shipinstruct(rows: usize, seed: u64) -> GenColumn {
 pub fn l_shipmode(rows: usize, seed: u64) -> GenColumn {
     let mut rng = rng_for(seed, 13);
     let out = (0..rows)
-        .map(|_| words::SHIP_MODES[rng.gen_range(0..7)].to_string())
+        .map(|_| words::SHIP_MODES[rng.gen_range(0usize..7)].to_string())
         .collect();
     str_col("tpch", "l_shipmode", "7 modes", out)
 }

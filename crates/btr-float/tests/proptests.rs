@@ -1,56 +1,71 @@
-//! Property tests: all four baseline float codecs must be bit-exact lossless
-//! on arbitrary doubles, including NaN payloads.
+//! Randomized round-trip tests: all four baseline float codecs must be
+//! bit-exact lossless on arbitrary doubles, including NaN payloads.
+//! Deterministic (seeded xorshift) so runs are reproducible offline.
 
+use btr_corrupt::rng::Xorshift;
 use btr_float::FloatCodec;
-use proptest::prelude::*;
 
-fn arb_f64() -> impl Strategy<Value = f64> {
-    // Cover both "nice" values and raw bit patterns (NaNs, denormals...).
-    prop_oneof![
-        any::<f64>(),
-        any::<u64>().prop_map(f64::from_bits),
-        (-1_000_000i64..1_000_000).prop_map(|i| i as f64 / 100.0),
-    ]
+/// Covers both "nice" values and raw bit patterns (NaNs, denormals...).
+fn arb_f64(rng: &mut Xorshift) -> f64 {
+    match rng.gen_range(0..3u32) {
+        0 => rng.next_f64() * 1e12 - 5e11,
+        1 => f64::from_bits(rng.next_u64()),
+        _ => rng.gen_range(-1_000_000i64..1_000_000) as f64 / 100.0,
+    }
 }
 
-fn assert_bits_eq(a: &[f64], b: &[f64]) -> std::result::Result<(), TestCaseError> {
-    prop_assert_eq!(a.len(), b.len());
-    for (x, y) in a.iter().zip(b) {
-        prop_assert_eq!(x.to_bits(), y.to_bits());
-    }
-    Ok(())
+fn vec_f64(rng: &mut Xorshift, max_len: usize) -> Vec<f64> {
+    let len = rng.gen_range(0..=max_len);
+    (0..len).map(|_| arb_f64(rng)).collect()
 }
 
-proptest! {
-    #[test]
-    fn fpc_roundtrips(values in proptest::collection::vec(arb_f64(), 0..500)) {
-        let out = FloatCodec::Fpc.decompress(&FloatCodec::Fpc.compress(&values)).unwrap();
-        assert_bits_eq(&values, &out)?;
+fn assert_bits_eq(a: &[f64], b: &[f64], codec: FloatCodec) {
+    assert_eq!(a.len(), b.len(), "{} length", codec.name());
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{} index {i}", codec.name());
     }
+}
 
-    #[test]
-    fn gorilla_roundtrips(values in proptest::collection::vec(arb_f64(), 0..500)) {
-        let out = FloatCodec::Gorilla.decompress(&FloatCodec::Gorilla.compress(&values)).unwrap();
-        assert_bits_eq(&values, &out)?;
+fn roundtrips(codec: FloatCodec, seed: u64) {
+    let mut rng = Xorshift::new(seed);
+    for _ in 0..200 {
+        let values = vec_f64(&mut rng, 500);
+        let out = codec.decompress(&codec.compress(&values)).unwrap();
+        assert_bits_eq(&values, &out, codec);
     }
+}
 
-    #[test]
-    fn chimp_roundtrips(values in proptest::collection::vec(arb_f64(), 0..500)) {
-        let out = FloatCodec::Chimp.decompress(&FloatCodec::Chimp.compress(&values)).unwrap();
-        assert_bits_eq(&values, &out)?;
-    }
+#[test]
+fn fpc_roundtrips() {
+    roundtrips(FloatCodec::Fpc, 0x11);
+}
 
-    #[test]
-    fn chimp128_roundtrips(values in proptest::collection::vec(arb_f64(), 0..500)) {
-        let out = FloatCodec::Chimp128.decompress(&FloatCodec::Chimp128.compress(&values)).unwrap();
-        assert_bits_eq(&values, &out)?;
-    }
+#[test]
+fn gorilla_roundtrips() {
+    roundtrips(FloatCodec::Gorilla, 0x12);
+}
 
-    #[test]
-    fn chimp128_roundtrips_low_cardinality(values in proptest::collection::vec(
-            prop_oneof![Just(0.0f64), Just(1.5), Just(-7.25), Just(99.99)], 0..800)) {
-        // Low-cardinality data exercises the exact-match (flag 00) path heavily.
-        let out = FloatCodec::Chimp128.decompress(&FloatCodec::Chimp128.compress(&values)).unwrap();
-        assert_bits_eq(&values, &out)?;
+#[test]
+fn chimp_roundtrips() {
+    roundtrips(FloatCodec::Chimp, 0x13);
+}
+
+#[test]
+fn chimp128_roundtrips() {
+    roundtrips(FloatCodec::Chimp128, 0x14);
+}
+
+#[test]
+fn chimp128_roundtrips_low_cardinality() {
+    // Low-cardinality data exercises the exact-match (flag 00) path heavily.
+    let mut rng = Xorshift::new(0x15);
+    const CHOICES: [f64; 4] = [0.0, 1.5, -7.25, 99.99];
+    for _ in 0..200 {
+        let len = rng.gen_range(0..800usize);
+        let values: Vec<f64> = (0..len).map(|_| CHOICES[rng.gen_range(0usize..4)]).collect();
+        let out = FloatCodec::Chimp128
+            .decompress(&FloatCodec::Chimp128.compress(&values))
+            .unwrap();
+        assert_bits_eq(&values, &out, FloatCodec::Chimp128);
     }
 }

@@ -145,6 +145,17 @@ impl Decoder {
         if lens.iter().any(|&l| l > MAX_CODE_LEN) {
             return Err(Error::Corrupt("huffman code length too large"));
         }
+        // A corrupt length table can over-subscribe the code space, pushing
+        // the canonical assignment past the end of the lookup table. Kraft's
+        // inequality is exactly the fits-in-the-table condition.
+        let space: u64 = lens
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 1u64 << (MAX_CODE_LEN - l))
+            .sum();
+        if space > 1u64 << MAX_CODE_LEN {
+            return Err(Error::Corrupt("huffman code lengths over-subscribed"));
+        }
         let codes = canonical_codes(lens);
         let mut lut = vec![(0u8, 0u8); 1 << MAX_CODE_LEN];
         for sym in 0..256usize {
@@ -164,6 +175,11 @@ impl Decoder {
 
     /// Decodes exactly `n` symbols from `input`.
     pub fn decode(&self, input: &[u8], n: usize) -> Result<Vec<u8>> {
+        // Every symbol consumes at least one bit, so a count beyond the
+        // input's bit length cannot be satisfied; reject it before reserving.
+        if n > input.len().saturating_mul(8) {
+            return Err(Error::UnexpectedEnd);
+        }
         let mut out = Vec::with_capacity(n);
         // Bit reservoir: `avail` valid bits in the low end of `acc`.
         let mut acc: u64 = 0;

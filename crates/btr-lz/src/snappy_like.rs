@@ -70,6 +70,12 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>> {
         return Err(Error::UnexpectedEnd);
     }
     let n = u32::from_le_bytes([input[0], input[1], input[2], input[3]]) as usize;
+    // The densest token is a 3-byte match emitting MAX_MATCH bytes, so no
+    // honest stream expands further than that ratio. A corrupt length field
+    // must be rejected here, before it becomes a multi-gigabyte reservation.
+    if n > (input.len() - 4).saturating_mul(MAX_MATCH.div_ceil(3)) {
+        return Err(Error::Corrupt("declared length exceeds maximum expansion"));
+    }
     let mut out = Vec::with_capacity(n);
     let mut pos = 4usize;
     while out.len() < n {

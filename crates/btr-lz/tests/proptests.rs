@@ -1,35 +1,62 @@
-//! Property tests: both general-purpose codecs must round-trip arbitrary
-//! bytes, including highly repetitive and incompressible inputs.
+//! Randomized round-trip tests: both general-purpose codecs must round-trip
+//! arbitrary bytes, including highly repetitive and incompressible inputs.
+//! Deterministic (seeded xorshift) so runs are reproducible offline.
 
+use btr_corrupt::rng::Xorshift;
 use btr_lz::Codec;
-use proptest::prelude::*;
 
-fn arb_bytes() -> impl Strategy<Value = Vec<u8>> {
-    prop_oneof![
-        // Arbitrary bytes.
-        proptest::collection::vec(any::<u8>(), 0..4000),
-        // Repetitive text-like data (exercises long matches).
-        ("[a-d]{1,40}", 1usize..60).prop_map(|(s, n)| s.repeat(n).into_bytes()),
-        // Low-entropy data (exercises deep Huffman codes).
-        proptest::collection::vec(prop_oneof![9 => Just(0u8), 1 => any::<u8>()], 0..4000),
-    ]
+/// Three input shapes: arbitrary bytes, repetitive text-like data (exercises
+/// long matches), and low-entropy data (exercises deep Huffman codes).
+fn arb_bytes(rng: &mut Xorshift) -> Vec<u8> {
+    match rng.gen_range(0..3u32) {
+        0 => {
+            let len = rng.gen_range(0..4000usize);
+            let mut out = vec![0u8; len];
+            rng.fill_bytes(&mut out);
+            out
+        }
+        1 => {
+            let unit_len = rng.gen_range(1..=40usize);
+            let unit: Vec<u8> = (0..unit_len).map(|_| b'a' + rng.gen_range(0u8..4)).collect();
+            let reps = rng.gen_range(1..60usize);
+            unit.repeat(reps)
+        }
+        _ => {
+            let len = rng.gen_range(0..4000usize);
+            (0..len)
+                .map(|_| if rng.gen_bool(0.9) { 0u8 } else { rng.next_u32() as u8 })
+                .collect()
+        }
+    }
 }
 
-proptest! {
-    #[test]
-    fn snappy_like_roundtrips(input in arb_bytes()) {
+#[test]
+fn snappy_like_roundtrips() {
+    let mut rng = Xorshift::new(0x31);
+    for _ in 0..300 {
+        let input = arb_bytes(&mut rng);
         let comp = Codec::SnappyLike.compress(&input);
-        prop_assert_eq!(Codec::SnappyLike.decompress(&comp).unwrap(), input);
+        assert_eq!(Codec::SnappyLike.decompress(&comp).unwrap(), input);
     }
+}
 
-    #[test]
-    fn heavy_roundtrips(input in arb_bytes()) {
+#[test]
+fn heavy_roundtrips() {
+    let mut rng = Xorshift::new(0x32);
+    for _ in 0..200 {
+        let input = arb_bytes(&mut rng);
         let comp = Codec::Heavy.compress(&input);
-        prop_assert_eq!(Codec::Heavy.decompress(&comp).unwrap(), input);
+        assert_eq!(Codec::Heavy.decompress(&comp).unwrap(), input);
     }
+}
 
-    #[test]
-    fn huffman_roundtrips(input in proptest::collection::vec(any::<u8>(), 1..3000)) {
+#[test]
+fn huffman_roundtrips() {
+    let mut rng = Xorshift::new(0x33);
+    for _ in 0..200 {
+        let len = rng.gen_range(1..3000usize);
+        let mut input = vec![0u8; len];
+        rng.fill_bytes(&mut input);
         let mut freqs = [0u64; 256];
         for &b in &input {
             freqs[usize::from(b)] += 1;
@@ -37,6 +64,6 @@ proptest! {
         let lens = btr_lz::huffman::code_lengths(&freqs);
         let enc = btr_lz::huffman::encode(&input, &lens);
         let dec = btr_lz::huffman::Decoder::new(&lens).unwrap().decode(&enc, input.len()).unwrap();
-        prop_assert_eq!(dec, input);
+        assert_eq!(dec, input);
     }
 }

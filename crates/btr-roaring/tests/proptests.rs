@@ -1,62 +1,87 @@
-//! Property tests: RoaringBitmap must behave like a `BTreeSet<u32>` model and
-//! serialization must round-trip.
+//! Randomized model tests: RoaringBitmap must behave like a `BTreeSet<u32>`
+//! model and serialization must round-trip. Deterministic (seeded xorshift)
+//! so runs are reproducible offline.
 
+use btr_corrupt::rng::Xorshift;
 use btr_roaring::RoaringBitmap;
-use proptest::prelude::*;
 use std::collections::BTreeSet;
 
-proptest! {
-    #[test]
-    fn behaves_like_btreeset(values in proptest::collection::vec(any::<u32>(), 0..300)) {
+fn vec_u32(rng: &mut Xorshift, max_len: usize, bound: u32) -> Vec<u32> {
+    let len = rng.gen_range(0..=max_len);
+    (0..len)
+        .map(|_| if bound == u32::MAX { rng.next_u32() } else { rng.gen_range(0..bound) })
+        .collect()
+}
+
+#[test]
+fn behaves_like_btreeset() {
+    let mut rng = Xorshift::new(0x41);
+    for _ in 0..200 {
+        let values = vec_u32(&mut rng, 300, u32::MAX);
         let model: BTreeSet<u32> = values.iter().copied().collect();
         let bm: RoaringBitmap = values.iter().copied().collect();
-        prop_assert_eq!(bm.cardinality() as usize, model.len());
-        prop_assert_eq!(bm.iter().collect::<Vec<_>>(), model.iter().copied().collect::<Vec<_>>());
+        assert_eq!(bm.cardinality() as usize, model.len());
+        assert_eq!(bm.iter().collect::<Vec<_>>(), model.iter().copied().collect::<Vec<_>>());
         for &v in values.iter().take(20) {
-            prop_assert!(bm.contains(v));
-            prop_assert_eq!(bm.rank(v) as usize, model.range(..v).count());
+            assert!(bm.contains(v));
+            assert_eq!(bm.rank(v) as usize, model.range(..v).count());
         }
     }
+}
 
-    #[test]
-    fn from_sorted_equals_inserted(mut values in proptest::collection::btree_set(any::<u32>(), 0..300)) {
-        let sorted: Vec<u32> = values.iter().copied().collect();
+#[test]
+fn from_sorted_equals_inserted() {
+    let mut rng = Xorshift::new(0x42);
+    for _ in 0..200 {
+        let set: BTreeSet<u32> = vec_u32(&mut rng, 300, u32::MAX).into_iter().collect();
+        let sorted: Vec<u32> = set.iter().copied().collect();
         let a = RoaringBitmap::from_sorted_iter(sorted.iter().copied());
         let b: RoaringBitmap = sorted.iter().copied().collect();
-        prop_assert_eq!(&a, &b);
-        values.clear();
+        assert_eq!(&a, &b);
     }
+}
 
-    #[test]
-    fn serialize_roundtrips(values in proptest::collection::vec(any::<u32>(), 0..300), optimize in any::<bool>()) {
+#[test]
+fn serialize_roundtrips() {
+    let mut rng = Xorshift::new(0x43);
+    for case in 0..200 {
+        let values = vec_u32(&mut rng, 300, u32::MAX);
         let mut bm: RoaringBitmap = values.iter().copied().collect();
-        if optimize {
+        if case % 2 == 0 {
             bm.run_optimize();
         }
         let bytes = bm.serialize();
         let back = RoaringBitmap::deserialize(&bytes).unwrap();
-        prop_assert_eq!(back.iter().collect::<Vec<_>>(), bm.iter().collect::<Vec<_>>());
+        assert_eq!(back.iter().collect::<Vec<_>>(), bm.iter().collect::<Vec<_>>());
     }
+}
 
-    #[test]
-    fn union_intersection_model(a in proptest::collection::btree_set(0u32..10_000, 0..200),
-                                b in proptest::collection::btree_set(0u32..10_000, 0..200)) {
+#[test]
+fn union_intersection_model() {
+    let mut rng = Xorshift::new(0x44);
+    for _ in 0..200 {
+        let a: BTreeSet<u32> = vec_u32(&mut rng, 200, 10_000).into_iter().collect();
+        let b: BTreeSet<u32> = vec_u32(&mut rng, 200, 10_000).into_iter().collect();
         let ra = RoaringBitmap::from_sorted_iter(a.iter().copied());
         let rb = RoaringBitmap::from_sorted_iter(b.iter().copied());
         let union_model: Vec<u32> = a.union(&b).copied().collect();
         let inter_model: Vec<u32> = a.intersection(&b).copied().collect();
-        prop_assert_eq!(ra.union(&rb).iter().collect::<Vec<_>>(), union_model);
-        prop_assert_eq!(ra.intersection(&rb).iter().collect::<Vec<_>>(), inter_model);
+        assert_eq!(ra.union(&rb).iter().collect::<Vec<_>>(), union_model);
+        assert_eq!(ra.intersection(&rb).iter().collect::<Vec<_>>(), inter_model);
     }
+}
 
-    #[test]
-    fn remove_matches_model(values in proptest::collection::vec(0u32..5_000, 0..200),
-                            removals in proptest::collection::vec(0u32..5_000, 0..100)) {
+#[test]
+fn remove_matches_model() {
+    let mut rng = Xorshift::new(0x45);
+    for _ in 0..200 {
+        let values = vec_u32(&mut rng, 200, 5_000);
+        let removals = vec_u32(&mut rng, 100, 5_000);
         let mut model: BTreeSet<u32> = values.iter().copied().collect();
         let mut bm: RoaringBitmap = values.iter().copied().collect();
         for &r in &removals {
-            prop_assert_eq!(bm.remove(r), model.remove(&r));
+            assert_eq!(bm.remove(r), model.remove(&r));
         }
-        prop_assert_eq!(bm.iter().collect::<Vec<_>>(), model.into_iter().collect::<Vec<_>>());
+        assert_eq!(bm.iter().collect::<Vec<_>>(), model.into_iter().collect::<Vec<_>>());
     }
 }

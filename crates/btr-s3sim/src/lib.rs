@@ -1,4 +1,5 @@
-//! A simulated cloud object store with the paper's cost model (§6.7).
+//! A simulated cloud object store with the paper's cost model (§6.7) and
+//! deterministic fault injection.
 //!
 //! The end-to-end experiments (Figure 1, Table 5) ran on a c5n.18xlarge
 //! instance scanning S3 over 100 Gbit/s networking. This crate substitutes a
@@ -7,6 +8,10 @@
 //! * [`ObjectStore`] — an in-memory keyed blob store with ranged GETs and a
 //!   16 MB chunking helper (the request size AWS' performance guidelines
 //!   recommend and the paper uses).
+//! * [`FaultPlan`] — deterministic injected failures: transient GET errors,
+//!   truncated responses, and corrupted payloads, all decided by a seeded
+//!   hash of `(key, attempt)` so every run of a simulation sees the same
+//!   faults.
 //! * [`CostModel`] — the paper's pricing: $3.89/h for the instance,
 //!   $0.0004 per 1 000 GET requests, 100 Gbit/s of aggregate network
 //!   bandwidth, and a per-request first-byte latency hidden by concurrency.
@@ -15,16 +20,22 @@
 //!   it to the simulated core count (the paper's 36 cores, perfect-scaling
 //!   assumption documented in `DESIGN.md`), overlaps it with the simulated
 //!   network timeline, and reports duration, throughputs and dollars.
+//! * [`Simulator::scan_with_retries`] — the same scan under a fault plan:
+//!   bounded retries with exponential backoff on transient errors, plus
+//!   re-fetch when the decompression callback rejects a payload (e.g. a
+//!   BtrBlocks v2 checksum mismatch). Retry counts and the added backoff
+//!   latency are surfaced in [`ScanStats`], so the cost model can price
+//!   degraded object storage.
 //!
 //! The simulation preserves exactly the trade-off the paper measures: a
 //! denser format moves fewer bytes (less network time) but may burn more CPU
 //! per byte; scans are network-bound only while `T_c` — decompression
 //! throughput in *compressed* bytes — exceeds the wire speed.
 
-use parking_lot::RwLock;
+use btr_corrupt::rng::Xorshift;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::time::Instant;
 
 /// Default chunk size for multi-part objects: 16 MB (paper §6.7).
@@ -60,56 +71,112 @@ impl Default for CostModel {
     }
 }
 
-/// Outcome of one simulated scan.
-#[derive(Debug, Clone, Default)]
-pub struct ScanStats {
-    /// Number of GET requests issued.
-    pub requests: u64,
-    /// Compressed bytes moved over the simulated network.
-    pub compressed_bytes: u64,
-    /// Uncompressed bytes produced by decompression.
-    pub uncompressed_bytes: u64,
-    /// Simulated seconds the network was the constraint.
-    pub network_seconds: f64,
-    /// Simulated seconds of (scaled) decompression CPU.
-    pub cpu_seconds: f64,
-    /// Simulated scan duration (network and CPU overlap).
-    pub duration_seconds: f64,
+/// What the fault plan decided for one GET attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fault {
+    /// The request succeeds untouched.
+    None,
+    /// The request fails outright (HTTP 5xx / connection reset).
+    Transient,
+    /// The response body is cut short at the given byte length.
+    Truncate(usize),
+    /// One bit of the response body is flipped at the given byte offset.
+    CorruptBit { offset: usize, bit: u8 },
 }
 
-impl ScanStats {
-    /// Decompression throughput in uncompressed bytes — the paper's `T_r`.
-    pub fn t_r_gb_per_s(&self) -> f64 {
-        self.uncompressed_bytes as f64 / 1e9 / self.duration_seconds.max(1e-12)
-    }
+/// Deterministic fault injection for an [`ObjectStore`].
+///
+/// Each GET attempt for a key draws once from a seeded hash of
+/// `(seed, key, attempt)`; rerunning the same simulation reproduces the same
+/// faults. After `max_faults_per_key` attempts a key always succeeds, so any
+/// retry policy allowing that many attempts is guaranteed to converge —
+/// the deterministic analogue of "transient" faults.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Seed for the per-attempt fault draw.
+    pub seed: u64,
+    /// Probability a GET fails outright.
+    pub transient_rate: f64,
+    /// Probability a GET returns a truncated body.
+    pub truncate_rate: f64,
+    /// Probability a GET returns a body with one bit flipped.
+    pub corrupt_rate: f64,
+    /// Attempts per key after which GETs are always clean.
+    pub max_faults_per_key: u32,
+}
 
-    /// Throughput in *compressed* bits over the wire — the paper's `T_c`.
-    pub fn t_c_gbit_per_s(&self) -> f64 {
-        self.compressed_bytes as f64 * 8.0 / 1e9 / self.duration_seconds.max(1e-12)
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0x5EED,
+            transient_rate: 0.0,
+            truncate_rate: 0.0,
+            corrupt_rate: 0.0,
+            max_faults_per_key: 3,
+        }
     }
 }
 
-impl CostModel {
-    /// Simulated network time for moving `bytes` in `requests` GETs.
-    pub fn network_seconds(&self, bytes: u64, requests: u64) -> f64 {
-        let transfer = bytes as f64 * 8.0 / (self.network_gbps * 1e9);
-        let latency =
-            requests as f64 * self.first_byte_latency_ms / 1e3 / self.concurrent_requests.max(1) as f64;
-        transfer + latency
+impl FaultPlan {
+    /// A plan injecting only transient GET failures at `rate`.
+    pub fn transient(rate: f64, seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            transient_rate: rate,
+            ..FaultPlan::default()
+        }
     }
 
-    /// Dollar cost of a scan (instance time + request charges), the paper's
-    /// two cost components.
-    pub fn scan_cost_usd(&self, stats: &ScanStats) -> f64 {
-        stats.duration_seconds / 3600.0 * self.instance_usd_per_hour
-            + stats.requests as f64 / 1000.0 * self.usd_per_1000_gets
+    fn draw(&self, key: &str, attempt: u32, body_len: usize) -> Fault {
+        if attempt >= self.max_faults_per_key {
+            return Fault::None;
+        }
+        let mut h = self.seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(attempt) + 1);
+        for b in key.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
+        }
+        let mut rng = Xorshift::new(h);
+        let roll = rng.next_f64();
+        if roll < self.transient_rate {
+            Fault::Transient
+        } else if roll < self.transient_rate + self.truncate_rate && body_len > 0 {
+            Fault::Truncate(rng.gen_range(0..body_len))
+        } else if roll < self.transient_rate + self.truncate_rate + self.corrupt_rate && body_len > 0
+        {
+            Fault::CorruptBit {
+                offset: rng.gen_range(0..body_len),
+                bit: rng.gen_range(0u8..8),
+            }
+        } else {
+            Fault::None
+        }
     }
+}
+
+/// Error from a faulted GET.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GetError {
+    /// No object under that key.
+    NotFound,
+    /// Injected transient failure; retrying may succeed.
+    Transient,
 }
 
 /// An in-memory object store.
 #[derive(Default)]
 pub struct ObjectStore {
     objects: RwLock<HashMap<String, Arc<Vec<u8>>>>,
+    fault_plan: RwLock<Option<FaultPlan>>,
+}
+
+/// Recovers the map even if a writer panicked mid-insert; the map itself is
+/// never left half-modified by our operations.
+fn read_lock<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn write_lock<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(|e| e.into_inner())
 }
 
 impl ObjectStore {
@@ -118,9 +185,15 @@ impl ObjectStore {
         Self::default()
     }
 
+    /// Installs (or clears) the fault plan consulted by
+    /// [`ObjectStore::get_with_attempt`].
+    pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
+        *write_lock(&self.fault_plan) = plan;
+    }
+
     /// Stores one object.
     pub fn put(&self, key: impl Into<String>, bytes: Vec<u8>) {
-        self.objects.write().insert(key.into(), Arc::new(bytes));
+        write_lock(&self.objects).insert(key.into(), Arc::new(bytes));
     }
 
     /// Splits `bytes` into `chunk_size` parts stored as `key/part-N`,
@@ -142,18 +215,42 @@ impl ObjectStore {
         keys
     }
 
-    /// Fetches a whole object.
+    /// Fetches a whole object, bypassing fault injection.
     pub fn get(&self, key: &str) -> Option<Arc<Vec<u8>>> {
-        self.objects.read().get(key).cloned()
+        read_lock(&self.objects).get(key).cloned()
+    }
+
+    /// Fetches a whole object through the fault plan. `attempt` is the
+    /// zero-based retry counter; the same `(key, attempt)` pair always
+    /// produces the same outcome. Without a plan this is a clean copy.
+    pub fn get_with_attempt(&self, key: &str, attempt: u32) -> Result<Vec<u8>, GetError> {
+        let obj = self.get(key).ok_or(GetError::NotFound)?;
+        let plan = read_lock(&self.fault_plan);
+        let fault = plan
+            .as_ref()
+            .map_or(Fault::None, |p| p.draw(key, attempt, obj.len()));
+        match fault {
+            Fault::None => Ok(obj.as_ref().clone()),
+            Fault::Transient => Err(GetError::Transient),
+            Fault::Truncate(len) => Ok(obj[..len.min(obj.len())].to_vec()),
+            Fault::CorruptBit { offset, bit } => {
+                let mut body = obj.as_ref().clone();
+                if let Some(b) = body.get_mut(offset) {
+                    *b ^= 1 << (bit & 7);
+                }
+                Ok(body)
+            }
+        }
     }
 
     /// Fetches a byte range of an object (an HTTP range GET).
     pub fn get_range(&self, key: &str, start: usize, len: usize) -> Option<Vec<u8>> {
         let obj = self.get(key)?;
-        if start + len > obj.len() {
+        let end = start.checked_add(len)?;
+        if end > obj.len() {
             return None;
         }
-        Some(obj[start..start + len].to_vec())
+        Some(obj[start..end].to_vec())
     }
 
     /// Size of an object.
@@ -163,9 +260,7 @@ impl ObjectStore {
 
     /// Lists keys with a prefix, sorted.
     pub fn list(&self, prefix: &str) -> Vec<String> {
-        let mut keys: Vec<String> = self
-            .objects
-            .read()
+        let mut keys: Vec<String> = read_lock(&self.objects)
             .keys()
             .filter(|k| k.starts_with(prefix))
             .cloned()
@@ -174,6 +269,121 @@ impl ObjectStore {
         keys
     }
 }
+
+/// Outcome of one simulated scan.
+#[derive(Debug, Clone, Default)]
+pub struct ScanStats {
+    /// Number of GET requests issued (including failed and retried ones).
+    pub requests: u64,
+    /// Compressed bytes moved over the simulated network.
+    pub compressed_bytes: u64,
+    /// Uncompressed bytes produced by decompression.
+    pub uncompressed_bytes: u64,
+    /// Simulated seconds the network was the constraint.
+    pub network_seconds: f64,
+    /// Simulated seconds of (scaled) decompression CPU.
+    pub cpu_seconds: f64,
+    /// Simulated scan duration (network and CPU overlap, plus backoff).
+    pub duration_seconds: f64,
+    /// Retried GETs (transient failures plus checksum-triggered re-fetches).
+    pub retries: u64,
+    /// Retries caused by injected transient GET failures.
+    pub transient_failures: u64,
+    /// Re-fetches triggered by the payload failing verification
+    /// (truncated/corrupted body rejected by a checksum).
+    pub checksum_refetches: u64,
+    /// Simulated seconds spent in exponential backoff before retries.
+    pub retry_backoff_seconds: f64,
+}
+
+impl ScanStats {
+    /// Decompression throughput in uncompressed bytes — the paper's `T_r`.
+    pub fn t_r_gb_per_s(&self) -> f64 {
+        self.uncompressed_bytes as f64 / 1e9 / self.duration_seconds.max(1e-12)
+    }
+
+    /// Throughput in *compressed* bits over the wire — the paper's `T_c`.
+    pub fn t_c_gbit_per_s(&self) -> f64 {
+        self.compressed_bytes as f64 * 8.0 / 1e9 / self.duration_seconds.max(1e-12)
+    }
+}
+
+impl CostModel {
+    /// Simulated network time for moving `bytes` in `requests` GETs.
+    pub fn network_seconds(&self, bytes: u64, requests: u64) -> f64 {
+        let transfer = bytes as f64 * 8.0 / (self.network_gbps * 1e9);
+        let latency = requests as f64 * self.first_byte_latency_ms
+            / 1e3
+            / self.concurrent_requests.max(1) as f64;
+        transfer + latency
+    }
+
+    /// Dollar cost of a scan (instance time + request charges), the paper's
+    /// two cost components.
+    pub fn scan_cost_usd(&self, stats: &ScanStats) -> f64 {
+        stats.duration_seconds / 3600.0 * self.instance_usd_per_hour
+            + stats.requests as f64 / 1000.0 * self.usd_per_1000_gets
+    }
+}
+
+/// Retry/backoff policy for [`Simulator::scan_with_retries`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Maximum GET attempts per key (first try included).
+    pub max_attempts: u32,
+    /// Simulated backoff before the first retry, in seconds.
+    pub base_backoff_seconds: f64,
+    /// Backoff multiplier per further retry (exponential).
+    pub backoff_multiplier: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            base_backoff_seconds: 0.05,
+            backoff_multiplier: 2.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Simulated backoff before retry number `retry` (zero-based).
+    pub fn backoff_seconds(&self, retry: u32) -> f64 {
+        self.base_backoff_seconds * self.backoff_multiplier.powi(retry as i32)
+    }
+}
+
+/// Terminal failure of a retried scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScanError {
+    /// A key had no object behind it.
+    MissingObject {
+        /// The missing key.
+        key: String,
+    },
+    /// All attempts for a key failed (transient faults and/or rejected
+    /// payloads).
+    RetriesExhausted {
+        /// The failing key.
+        key: String,
+        /// Attempts made.
+        attempts: u32,
+    },
+}
+
+impl std::fmt::Display for ScanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScanError::MissingObject { key } => write!(f, "object '{key}' not found"),
+            ScanError::RetriesExhausted { key, attempts } => {
+                write!(f, "object '{key}' still failing after {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScanError {}
 
 /// Drives scans against an [`ObjectStore`] under a [`CostModel`].
 pub struct Simulator {
@@ -199,15 +409,15 @@ impl Simulator {
     /// divided by the simulated core count (chunks are independent, so the
     /// paper's thread-per-chunk scaling applies). The simulated duration is
     /// `max(network, cpu)` — fetch and decode pipelines overlap.
+    ///
+    /// This path bypasses fault injection; use
+    /// [`Simulator::scan_with_retries`] to scan under a [`FaultPlan`].
     pub fn scan<F>(&self, keys: &[String], decompress: F) -> ScanStats
     where
         F: Fn(&[u8]) -> usize + Sync,
     {
         let mut stats = ScanStats::default();
-        let chunks: Vec<Arc<Vec<u8>>> = keys
-            .iter()
-            .filter_map(|k| self.store.get(k))
-            .collect();
+        let chunks: Vec<Arc<Vec<u8>>> = keys.iter().filter_map(|k| self.store.get(k)).collect();
         stats.requests = chunks.len() as u64;
         stats.compressed_bytes = chunks.iter().map(|c| c.len() as u64).sum();
 
@@ -226,6 +436,80 @@ impl Simulator {
             .network_seconds(stats.compressed_bytes, stats.requests);
         stats.duration_seconds = stats.network_seconds.max(stats.cpu_seconds);
         stats
+    }
+
+    /// Scans `keys` through the store's [`FaultPlan`] with bounded retries
+    /// and exponential backoff.
+    ///
+    /// `decompress` verifies *and* decodes one payload: return
+    /// `Ok(uncompressed_bytes)` to accept it, or `Err(reason)` to reject it —
+    /// a rejected payload (e.g. a BtrBlocks v2 checksum mismatch on a
+    /// truncated or bit-flipped body) triggers a re-fetch, exactly like a
+    /// transient network failure, and is counted in
+    /// [`ScanStats::checksum_refetches`].
+    ///
+    /// Every attempt is billed as a GET request; backoff time is added to
+    /// the simulated duration on top of the overlapped network/CPU time.
+    pub fn scan_with_retries<F>(
+        &self,
+        keys: &[String],
+        policy: &RetryPolicy,
+        mut decompress: F,
+    ) -> Result<ScanStats, ScanError>
+    where
+        F: FnMut(&[u8]) -> Result<usize, String>,
+    {
+        let mut stats = ScanStats::default();
+        let mut cpu = 0.0f64;
+        for key in keys {
+            let mut done = false;
+            for attempt in 0..policy.max_attempts.max(1) {
+                if attempt > 0 {
+                    stats.retries += 1;
+                    stats.retry_backoff_seconds += policy.backoff_seconds(attempt - 1);
+                }
+                stats.requests += 1;
+                match self.store.get_with_attempt(key, attempt) {
+                    Err(GetError::NotFound) => {
+                        return Err(ScanError::MissingObject { key: key.clone() })
+                    }
+                    Err(GetError::Transient) => {
+                        stats.transient_failures += 1;
+                        continue;
+                    }
+                    Ok(body) => {
+                        stats.compressed_bytes += body.len() as u64;
+                        let started = Instant::now();
+                        let verdict = decompress(&body);
+                        cpu += started.elapsed().as_secs_f64();
+                        match verdict {
+                            Ok(produced) => {
+                                stats.uncompressed_bytes += produced as u64;
+                                done = true;
+                                break;
+                            }
+                            Err(_) => {
+                                stats.checksum_refetches += 1;
+                                continue;
+                            }
+                        }
+                    }
+                }
+            }
+            if !done {
+                return Err(ScanError::RetriesExhausted {
+                    key: key.clone(),
+                    attempts: policy.max_attempts.max(1),
+                });
+            }
+        }
+        stats.cpu_seconds = cpu / self.model.cores.max(1) as f64;
+        stats.network_seconds = self
+            .model
+            .network_seconds(stats.compressed_bytes, stats.requests);
+        stats.duration_seconds =
+            stats.network_seconds.max(stats.cpu_seconds) + stats.retry_backoff_seconds;
+        Ok(stats)
     }
 
     /// Dollar cost of the scan under this simulator's model.
@@ -311,8 +595,131 @@ mod tests {
             network_seconds: 1.0,
             cpu_seconds: 0.5,
             duration_seconds: 1.0,
+            ..ScanStats::default()
         };
         assert!((stats.t_r_gb_per_s() - 4.0).abs() < 1e-9);
         assert!((stats.t_c_gbit_per_s() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fault_draws_are_deterministic() {
+        let plan = FaultPlan {
+            transient_rate: 0.5,
+            ..FaultPlan::default()
+        };
+        for attempt in 0..5 {
+            assert_eq!(
+                plan.draw("some/key", attempt, 100),
+                plan.draw("some/key", attempt, 100)
+            );
+        }
+        // Past the fault window everything is clean.
+        assert_eq!(plan.draw("some/key", 3, 100), Fault::None);
+    }
+
+    #[test]
+    fn get_with_attempt_applies_faults() {
+        let store = ObjectStore::new();
+        store.put("k", vec![0xAB; 64]);
+        // No plan: always clean.
+        assert_eq!(store.get_with_attempt("k", 0).unwrap(), vec![0xAB; 64]);
+        assert_eq!(store.get_with_attempt("missing", 0), Err(GetError::NotFound));
+        // Plan with certain truncation: body is shorter.
+        store.set_fault_plan(Some(FaultPlan {
+            truncate_rate: 1.0,
+            ..FaultPlan::default()
+        }));
+        assert!(store.get_with_attempt("k", 0).unwrap().len() < 64);
+        // Certain corruption: same length, one bit differs.
+        store.set_fault_plan(Some(FaultPlan {
+            corrupt_rate: 1.0,
+            ..FaultPlan::default()
+        }));
+        let body = store.get_with_attempt("k", 0).unwrap();
+        assert_eq!(body.len(), 64);
+        let flipped: u32 = body.iter().map(|b| (b ^ 0xAB).count_ones()).sum();
+        assert_eq!(flipped, 1);
+    }
+
+    #[test]
+    fn retries_recover_from_transient_plan() {
+        let sim = Simulator::new();
+        let keys = sim.store.put_chunked("d", &vec![3u8; 10_000], 500);
+        assert_eq!(keys.len(), 20);
+        // 10% transient failures — several keys will need retries.
+        sim.store.set_fault_plan(Some(FaultPlan::transient(0.10, 42)));
+        let clean = sim.scan(&keys, |c| c.len());
+        let stats = sim
+            .scan_with_retries(&keys, &RetryPolicy::default(), |c| Ok(c.len()))
+            .expect("must converge under bounded faults");
+        assert_eq!(stats.uncompressed_bytes, 10_000);
+        assert!(stats.retries > 0, "a 10% plan over 20 keys should retry");
+        assert_eq!(stats.transient_failures, stats.retries);
+        assert!(stats.retry_backoff_seconds > 0.0);
+        assert!(stats.duration_seconds > clean.duration_seconds);
+        assert_eq!(stats.requests, 20 + stats.retries);
+    }
+
+    #[test]
+    fn rejected_payloads_trigger_refetch() {
+        let sim = Simulator::new();
+        sim.store.put("obj", vec![9u8; 256]);
+        sim.store.set_fault_plan(Some(FaultPlan {
+            corrupt_rate: 1.0,
+            max_faults_per_key: 2,
+            ..FaultPlan::default()
+        }));
+        // "Checksum": reject any body that differs from all-nines.
+        let stats = sim
+            .scan_with_retries(&["obj".to_string()], &RetryPolicy::default(), |c| {
+                if c.iter().all(|&b| b == 9) {
+                    Ok(c.len())
+                } else {
+                    Err("checksum mismatch".into())
+                }
+            })
+            .unwrap();
+        assert_eq!(stats.checksum_refetches, 2);
+        assert_eq!(stats.uncompressed_bytes, 256);
+        assert_eq!(stats.requests, 3);
+    }
+
+    #[test]
+    fn exhausted_retries_error() {
+        let sim = Simulator::new();
+        sim.store.put("obj", vec![1u8; 16]);
+        sim.store.set_fault_plan(Some(FaultPlan {
+            transient_rate: 1.0,
+            max_faults_per_key: 100,
+            ..FaultPlan::default()
+        }));
+        let err = sim
+            .scan_with_retries(
+                &["obj".to_string()],
+                &RetryPolicy {
+                    max_attempts: 4,
+                    ..RetryPolicy::default()
+                },
+                |c| Ok(c.len()),
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ScanError::RetriesExhausted {
+                key: "obj".into(),
+                attempts: 4
+            }
+        );
+        let missing = sim
+            .scan_with_retries(&["nope".to_string()], &RetryPolicy::default(), |c| Ok(c.len()))
+            .unwrap_err();
+        assert_eq!(missing, ScanError::MissingObject { key: "nope".into() });
+    }
+
+    #[test]
+    fn backoff_grows_exponentially() {
+        let p = RetryPolicy::default();
+        assert!((p.backoff_seconds(0) - 0.05).abs() < 1e-12);
+        assert!((p.backoff_seconds(2) - 0.2).abs() < 1e-12);
     }
 }

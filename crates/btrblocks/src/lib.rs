@@ -35,6 +35,7 @@
 
 pub mod block;
 pub mod config;
+pub mod crc32c;
 pub mod fxhash;
 pub mod metadata;
 pub mod parallel;
@@ -62,8 +63,24 @@ pub enum Error {
     InvalidScheme(u8),
     /// Structural corruption in the encoded data.
     Corrupt(&'static str),
-    /// Error from a substrate codec (bit-packing, FSST, Roaring).
-    Substrate(&'static str),
+    /// A length or count field in the encoded data exceeds what the
+    /// surrounding container can possibly hold — rejected before any
+    /// allocation is attempted.
+    LimitExceeded(&'static str),
+    /// Error from a substrate codec (bit-packing, FSST, Roaring), with the
+    /// underlying error's own message preserved.
+    Substrate {
+        codec: &'static str,
+        detail: String,
+    },
+    /// A column part's CRC32C did not match its stored checksum (format v2).
+    /// Reported before any scheme decoding is attempted on the part.
+    ChecksumMismatch {
+        column: u32,
+        part: u32,
+    },
+    /// The whole-file footer CRC32C did not match (format v2).
+    FileChecksumMismatch,
 }
 
 impl std::fmt::Display for Error {
@@ -72,7 +89,14 @@ impl std::fmt::Display for Error {
             Error::UnexpectedEnd => write!(f, "compressed data ended unexpectedly"),
             Error::InvalidScheme(c) => write!(f, "invalid scheme code {c}"),
             Error::Corrupt(m) => write!(f, "corrupt compressed data: {m}"),
-            Error::Substrate(m) => write!(f, "substrate codec error: {m}"),
+            Error::LimitExceeded(m) => write!(f, "length field exceeds container: {m}"),
+            Error::Substrate { codec, detail } => {
+                write!(f, "substrate codec error ({codec}): {detail}")
+            }
+            Error::ChecksumMismatch { column, part } => {
+                write!(f, "checksum mismatch in column {column}, part {part}")
+            }
+            Error::FileChecksumMismatch => write!(f, "file footer checksum mismatch"),
         }
     }
 }
@@ -80,20 +104,20 @@ impl std::fmt::Display for Error {
 impl std::error::Error for Error {}
 
 impl From<btr_bitpacking::Error> for Error {
-    fn from(_: btr_bitpacking::Error) -> Self {
-        Error::Substrate("bitpacking")
+    fn from(e: btr_bitpacking::Error) -> Self {
+        Error::Substrate { codec: "bitpacking", detail: e.to_string() }
     }
 }
 
 impl From<btr_fsst::Error> for Error {
-    fn from(_: btr_fsst::Error) -> Self {
-        Error::Substrate("fsst")
+    fn from(e: btr_fsst::Error) -> Self {
+        Error::Substrate { codec: "fsst", detail: e.to_string() }
     }
 }
 
 impl From<btr_roaring::RoaringError> for Error {
-    fn from(_: btr_roaring::RoaringError) -> Self {
-        Error::Substrate("roaring")
+    fn from(e: btr_roaring::RoaringError) -> Self {
+        Error::Substrate { codec: "roaring", detail: e.to_string() }
     }
 }
 

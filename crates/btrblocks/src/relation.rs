@@ -5,17 +5,43 @@
 //! find them. Statistics, zone maps and indexes are orthogonal concerns that
 //! belong outside the data file.
 //!
+//! # Format v2 (current) — checksummed
+//!
+//! Data-lake files live on object stores and cross many networks and disks;
+//! v2 adds end-to-end corruption detection so a flipped bit is reported as a
+//! checksum error *before* any scheme decoder runs on the damaged bytes.
+//!
 //! File layout (little-endian):
 //! ```text
-//! magic "BTRB" | version: u32 | row_count: u64 | column_count: u32
+//! magic "BTRB" | version: u32 = 2 | row_count: u64 | column_count: u32
 //! per column:
 //!   name_len: u16 | name bytes | type tag: u8
 //!   null_len: u32 | roaring NULL bitmap (0 length = no NULLs)
-//!   block_count: u32 | per block: byte_len: u32 | block bytes
+//!   block_count: u32
+//!   per block: byte_len: u32 | crc32c: u32 | block bytes
+//! footer: crc32c: u32   (CRC32C of every byte before the footer)
 //! ```
+//!
+//! Two checksum layers, both CRC32C ([`crate::crc32c`]):
+//!
+//! - **per column part**: each block carries the CRC of its payload. On
+//!   read it is verified before the block's scheme byte is even inspected;
+//!   a mismatch is reported as [`Error::ChecksumMismatch`] with the column
+//!   and part index, which lets a reader re-fetch just that part.
+//! - **whole file**: the footer CRC covers the complete file body. It
+//!   catches corruption in the framing itself (names, counts, lengths, the
+//!   NULL bitmaps) and any trailing garbage; a mismatch that cannot be
+//!   localized to a part is [`Error::FileChecksumMismatch`].
+//!
+//! Version-1 files (no checksums, `byte_len | block bytes`, no footer) are
+//! still read transparently; [`CompressedRelation::to_bytes_v1`] writes the
+//! legacy layout for interop. All length/count fields parsed from the wire
+//! are capped against the bytes actually remaining, so a corrupt count can
+//! never trigger an oversized allocation.
 
 use crate::block::{self, BlockRef};
 use crate::config::Config;
+use crate::crc32c::crc32c;
 use crate::scheme::SchemeCode;
 use crate::types::{ColumnData, ColumnType, DecodedColumn, StringArena};
 use crate::writer::{Reader, WriteLe};
@@ -23,7 +49,8 @@ use crate::{Error, Result};
 use btr_roaring::RoaringBitmap;
 
 const MAGIC: &[u8; 4] = b"BTRB";
-const VERSION: u32 = 1;
+const VERSION_V1: u32 = 1;
+const VERSION: u32 = 2;
 
 /// A named, typed column with optional NULLs.
 ///
@@ -171,9 +198,10 @@ pub struct CompressedColumn {
 }
 
 impl CompressedColumn {
-    /// Compressed size in bytes (blocks + null bitmap + framing).
+    /// Compressed size in bytes (blocks + per-part checksums + null bitmap
+    /// + framing), matching the v2 on-disk layout.
     pub fn compressed_size(&self) -> usize {
-        self.blocks.iter().map(|b| b.len() + 4).sum::<usize>() + self.nulls.len() + 16
+        self.blocks.iter().map(|b| b.len() + 8).sum::<usize>() + self.nulls.len() + 16
     }
 }
 
@@ -187,16 +215,45 @@ pub struct CompressedRelation {
 }
 
 impl CompressedRelation {
-    /// Total compressed size in bytes, including framing.
+    /// Total compressed size in bytes, including framing and the footer.
     pub fn compressed_size(&self) -> usize {
-        self.columns.iter().map(|c| c.compressed_size()).sum::<usize>() + 16
+        self.columns.iter().map(|c| c.compressed_size()).sum::<usize>() + 16 + 4
     }
 
-    /// Serializes to the single-file layout described in the module docs.
+    /// Serializes to the checksummed v2 layout described in the module docs.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.compressed_size() + 64);
         out.extend_from_slice(MAGIC);
         out.put_u32(VERSION);
+        out.extend_from_slice(&self.rows.to_le_bytes());
+        out.put_u32(self.columns.len() as u32);
+        for col in &self.columns {
+            let name = col.name.as_bytes();
+            out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            out.extend_from_slice(name);
+            out.put_u8(col.column_type.tag());
+            out.put_u32(col.nulls.len() as u32);
+            out.extend_from_slice(&col.nulls);
+            out.put_u32(col.blocks.len() as u32);
+            for b in &col.blocks {
+                out.put_u32(b.len() as u32);
+                out.put_u32(crc32c(b));
+                out.extend_from_slice(b);
+            }
+        }
+        let footer = crc32c(&out);
+        out.put_u32(footer);
+        out
+    }
+
+    /// Serializes to the legacy v1 layout (no checksums). For interop with
+    /// readers that predate format v2; new files should use [`to_bytes`].
+    ///
+    /// [`to_bytes`]: CompressedRelation::to_bytes
+    pub fn to_bytes_v1(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.compressed_size() + 64);
+        out.extend_from_slice(MAGIC);
+        out.put_u32(VERSION_V1);
         out.extend_from_slice(&self.rows.to_le_bytes());
         out.put_u32(self.columns.len() as u32);
         for col in &self.columns {
@@ -215,35 +272,110 @@ impl CompressedRelation {
         out
     }
 
-    /// Parses the single-file layout.
+    /// Parses the single-file layout (v1 or v2).
+    ///
+    /// For v2 the whole-file footer CRC is computed up front, then every
+    /// column part's CRC is verified before its scheme byte is inspected.
+    /// The most localized error wins: a part mismatch is reported as
+    /// [`Error::ChecksumMismatch`]; corruption that only the footer catches
+    /// (framing bytes, trailing garbage) as [`Error::FileChecksumMismatch`].
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
         let mut r = Reader::new(bytes);
         if r.take(4)? != MAGIC {
             return Err(Error::Corrupt("bad magic"));
         }
-        if r.u32()? != VERSION {
-            return Err(Error::Corrupt("unsupported version"));
+        match r.u32()? {
+            VERSION_V1 => Self::parse_columns(&mut r, None),
+            VERSION => {
+                // The footer is the last 4 bytes; everything before it is
+                // covered by the file CRC. Verify the footer first so the
+                // outcome is decided before any parsing of corrupt framing.
+                let body_len = bytes
+                    .len()
+                    .checked_sub(4)
+                    .filter(|&l| l >= r.position())
+                    .ok_or(Error::UnexpectedEnd)?;
+                let footer = u32::from_le_bytes([
+                    bytes[body_len],
+                    bytes[body_len + 1],
+                    bytes[body_len + 2],
+                    bytes[body_len + 3],
+                ]);
+                let footer_ok = crc32c(&bytes[..body_len]) == footer;
+                let parsed = Self::parse_columns(&mut r, Some(body_len));
+                match parsed {
+                    // A localized part checksum failure beats the footer.
+                    Err(e @ Error::ChecksumMismatch { .. }) => Err(e),
+                    // Structural damage the part CRCs couldn't localize.
+                    Err(e) => Err(if footer_ok { e } else { Error::FileChecksumMismatch }),
+                    Ok(_) if !footer_ok => Err(Error::FileChecksumMismatch),
+                    Ok(rel) => Ok(rel),
+                }
+            }
+            _ => Err(Error::Corrupt("unsupported version")),
         }
-        let rows = u64::from_le_bytes(r.take(8)?.try_into().expect("8 bytes"));
+    }
+
+    /// Parses the column table. `checksummed_until` is `Some(body_len)` for
+    /// v2 (per-part CRCs present, parsing must stop exactly at `body_len`)
+    /// and `None` for v1 (no CRCs, no footer).
+    fn parse_columns(r: &mut Reader<'_>, checksummed_until: Option<usize>) -> Result<Self> {
+        let v2 = checksummed_until.is_some();
+        // In v2, never read framing out of the footer's bytes.
+        let limit = |r: &Reader<'_>| match checksummed_until {
+            Some(body_len) => body_len - r.position().min(body_len),
+            None => r.remaining(),
+        };
+        let rows = r.u64()?;
         let n_cols = r.u32()? as usize;
+        // A column needs at least name_len + tag + null_len + block_count
+        // bytes; cap the count so a corrupt field can't reserve gigabytes.
+        if n_cols > limit(r) / 11 {
+            return Err(Error::LimitExceeded("column count"));
+        }
         let mut columns = Vec::with_capacity(n_cols);
-        for _ in 0..n_cols {
+        for col_idx in 0..n_cols {
             let name_len = {
                 let b = r.take(2)?;
                 u16::from_le_bytes([b[0], b[1]]) as usize
             };
+            if name_len > limit(r) {
+                return Err(Error::UnexpectedEnd);
+            }
             let name = String::from_utf8(r.take(name_len)?.to_vec())
                 .map_err(|_| Error::Corrupt("column name not utf-8"))?;
             let column_type =
                 ColumnType::from_tag(r.u8()?).ok_or(Error::Corrupt("bad column type tag"))?;
             let null_len = r.u32()? as usize;
+            if null_len > limit(r) {
+                return Err(Error::UnexpectedEnd);
+            }
             let nulls = r.take(null_len)?.to_vec();
             let n_blocks = r.u32()? as usize;
+            // Each block occupies at least its length field (+ CRC in v2).
+            if n_blocks > limit(r) / if v2 { 8 } else { 4 } {
+                return Err(Error::LimitExceeded("block count"));
+            }
             let mut blocks = Vec::with_capacity(n_blocks);
             let mut schemes = Vec::with_capacity(n_blocks);
-            for _ in 0..n_blocks {
+            for part_idx in 0..n_blocks {
                 let len = r.u32()? as usize;
-                let b = r.take(len)?.to_vec();
+                let stored_crc = if v2 { Some(r.u32()?) } else { None };
+                if len > limit(r) {
+                    return Err(Error::UnexpectedEnd);
+                }
+                let raw = r.take(len)?;
+                if let Some(crc) = stored_crc {
+                    // Verified before the scheme byte is even peeked at:
+                    // damaged parts never reach a decoder.
+                    if crc32c(raw) != crc {
+                        return Err(Error::ChecksumMismatch {
+                            column: col_idx as u32,
+                            part: part_idx as u32,
+                        });
+                    }
+                }
+                let b = raw.to_vec();
                 schemes.push(block::peek_scheme(&b)?);
                 blocks.push(b);
             }
@@ -254,6 +386,11 @@ impl CompressedRelation {
                 blocks,
                 schemes,
             });
+        }
+        if let Some(body_len) = checksummed_until {
+            if r.position() != body_len {
+                return Err(Error::Corrupt("trailing bytes before footer"));
+            }
         }
         Ok(CompressedRelation { rows, columns })
     }
@@ -494,6 +631,103 @@ mod tests {
         for (i, v) in values.iter().enumerate() {
             assert_eq!(restored.columns[0].is_null(i), v.is_none());
         }
+    }
+
+    #[test]
+    fn v1_files_still_decompress() {
+        let cfg = Config::default();
+        let rel = sample_relation(2_000);
+        let compressed = compress(&rel, &cfg).unwrap();
+        let v1 = compressed.to_bytes_v1();
+        let v2 = compressed.to_bytes();
+        assert_eq!(decompress(&v1, &cfg).unwrap(), rel);
+        // v1 is smaller (no checksums), v2 carries 8 bytes/block + footer.
+        assert!(v1.len() < v2.len());
+        let extra: usize =
+            compressed.columns.iter().map(|c| 4 * c.blocks.len()).sum::<usize>() + 4;
+        assert_eq!(v1.len() + extra, v2.len());
+    }
+
+    #[test]
+    fn flipped_block_bit_is_a_part_checksum_mismatch() {
+        let cfg = Config {
+            block_size: 500,
+            ..Config::default()
+        };
+        let rel = sample_relation(2_000);
+        let compressed = compress(&rel, &cfg).unwrap();
+        let bytes = compressed.to_bytes();
+        // Locate the last block of the last column inside the file: its
+        // bytes are the `block.len()` bytes just before the footer.
+        let last = compressed.columns.last().unwrap().blocks.last().unwrap();
+        let part = compressed.columns.last().unwrap().blocks.len() as u32 - 1;
+        let col = compressed.columns.len() as u32 - 1;
+        let start = bytes.len() - 4 - last.len();
+        for offset in [0, last.len() / 2, last.len() - 1] {
+            let mut corrupt = bytes.clone();
+            corrupt[start + offset] ^= 0x10;
+            assert_eq!(
+                CompressedRelation::from_bytes(&corrupt).unwrap_err(),
+                Error::ChecksumMismatch { column: col, part },
+                "flip at block offset {offset}"
+            );
+        }
+    }
+
+    #[test]
+    fn framing_corruption_is_a_file_checksum_mismatch() {
+        let cfg = Config::default();
+        let rel = sample_relation(500);
+        let bytes = compress(&rel, &cfg).unwrap().to_bytes();
+        // Flip a bit in the column name (byte after the header + name_len).
+        let mut corrupt = bytes.clone();
+        corrupt[22] ^= 0x01; // first byte of the first column name "id"
+        assert_eq!(
+            CompressedRelation::from_bytes(&corrupt).unwrap_err(),
+            Error::FileChecksumMismatch
+        );
+        // Flip the footer itself.
+        let mut corrupt = bytes.clone();
+        let n = corrupt.len();
+        corrupt[n - 1] ^= 0x80;
+        assert_eq!(
+            CompressedRelation::from_bytes(&corrupt).unwrap_err(),
+            Error::FileChecksumMismatch
+        );
+        // Trailing garbage is also caught.
+        let mut corrupt = bytes.clone();
+        corrupt.push(0xAB);
+        assert!(CompressedRelation::from_bytes(&corrupt).is_err());
+    }
+
+    #[test]
+    fn truncations_error_cleanly() {
+        let cfg = Config::default();
+        let rel = sample_relation(300);
+        let bytes = compress(&rel, &cfg).unwrap().to_bytes();
+        for len in 0..bytes.len() {
+            assert!(
+                CompressedRelation::from_bytes(&bytes[..len]).is_err(),
+                "truncation to {len} bytes must not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_counts_do_not_allocate() {
+        // A file claiming 4 billion columns must be rejected by the limit
+        // check, not by attempting the reservation.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.put_u32(VERSION);
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.put_u32(u32::MAX);
+        let footer = crc32c(&bytes);
+        bytes.put_u32(footer);
+        assert_eq!(
+            CompressedRelation::from_bytes(&bytes).unwrap_err(),
+            Error::LimitExceeded("column count")
+        );
     }
 
     #[test]

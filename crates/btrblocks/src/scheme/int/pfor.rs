@@ -23,6 +23,11 @@ pub fn decompress(r: &mut Reader<'_>, count: usize) -> Result<Vec<i32>> {
     let base = r.i32()?;
     let word_count = r.u32()? as usize;
     let words = r.u32_vec(word_count)?;
+    // The stream's internal count must agree with the frame count (already
+    // capped by `max_block_values`) before the codec sizes its output.
+    if words.first().map(|&c| c as usize) != Some(count) && count > 0 {
+        return Err(Error::Corrupt("FastPFOR count mismatch"));
+    }
     let offsets = fastpfor::decode(&words)?;
     if offsets.len() != count {
         return Err(Error::Corrupt("FastPFOR count mismatch"));

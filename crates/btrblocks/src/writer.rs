@@ -72,12 +72,20 @@ impl<'a> Reader<'a> {
     }
 
     pub fn take(&mut self, n: usize) -> Result<&'a [u8]> {
-        if self.pos + n > self.buf.len() {
+        // Checked add: a hostile length close to usize::MAX must not wrap
+        // around and alias an in-bounds range.
+        let end = self.pos.checked_add(n).ok_or(Error::UnexpectedEnd)?;
+        if end > self.buf.len() {
             return Err(Error::UnexpectedEnd);
         }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
         Ok(s)
+    }
+
+    /// Bytes left between the cursor and the end of the buffer.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
     }
 
     pub fn u8(&mut self) -> Result<u8> {
@@ -94,13 +102,20 @@ impl<'a> Reader<'a> {
         Ok(i32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
-    pub fn f64(&mut self) -> Result<f64> {
+    pub fn u64(&mut self) -> Result<u64> {
         let b = self.take(8)?;
-        Ok(f64::from_le_bytes(b.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    pub fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
     }
 
     pub fn u32_vec(&mut self, count: usize) -> Result<Vec<u32>> {
-        let raw = self.take(count * 4)?;
+        let bytes = count.checked_mul(4).ok_or(Error::UnexpectedEnd)?;
+        let raw = self.take(bytes)?;
         Ok(raw
             .chunks_exact(4)
             .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
@@ -108,7 +123,8 @@ impl<'a> Reader<'a> {
     }
 
     pub fn i32_vec(&mut self, count: usize) -> Result<Vec<i32>> {
-        let raw = self.take(count * 4)?;
+        let bytes = count.checked_mul(4).ok_or(Error::UnexpectedEnd)?;
+        let raw = self.take(bytes)?;
         Ok(raw
             .chunks_exact(4)
             .map(|c| i32::from_le_bytes([c[0], c[1], c[2], c[3]]))
@@ -116,10 +132,13 @@ impl<'a> Reader<'a> {
     }
 
     pub fn f64_vec(&mut self, count: usize) -> Result<Vec<f64>> {
-        let raw = self.take(count * 8)?;
+        let bytes = count.checked_mul(8).ok_or(Error::UnexpectedEnd)?;
+        let raw = self.take(bytes)?;
         Ok(raw
             .chunks_exact(8)
-            .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .map(|c| {
+                f64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]])
+            })
             .collect())
     }
 

@@ -1,0 +1,215 @@
+//! Regression corpus: hand-crafted corrupt inputs asserting *exact* error
+//! variants from the decode path.
+//!
+//! The mutation campaigns in `btr-corrupt` prove nothing bad happens for
+//! thousands of random corruptions; this corpus pins down the specific
+//! error each *class* of damage must produce, so a refactor that silently
+//! downgrades (say) a checksum mismatch to a generic parse error fails here
+//! rather than in a consumer.
+
+use btrblocks::{compress, decompress, Column, ColumnData, Config, Error, Relation};
+
+fn small_cfg() -> Config {
+    Config {
+        block_size: 512,
+        max_cascade_depth: 3,
+        max_block_values: 4_096,
+        ..Config::default()
+    }
+}
+
+/// A run-heavy two-block integer column: enough structure to cascade.
+fn sample() -> Relation {
+    let mut values = Vec::new();
+    for i in 0..1_200i32 {
+        values.extend(std::iter::repeat_n(i % 7, 3));
+    }
+    Relation::new(vec![Column::new("i", ColumnData::Int(values))])
+}
+
+/// Byte offset of the first block's payload, derived from the layout:
+/// `magic | version | rows | n_cols | name_len u16 | name | tag | null_len
+/// u32 | nulls | block_count u32 | byte_len u32 [| crc u32]`.
+fn first_payload_offset(name_len: usize, nulls_len: usize, v2: bool) -> usize {
+    4 + 4 + 8 + 4 + 2 + name_len + 1 + 4 + nulls_len + 4 + 4 + if v2 { 4 } else { 0 }
+}
+
+fn v2_bytes() -> Vec<u8> {
+    compress(&sample(), &small_cfg()).unwrap().to_bytes()
+}
+
+fn v1_bytes() -> Vec<u8> {
+    compress(&sample(), &small_cfg()).unwrap().to_bytes_v1()
+}
+
+#[test]
+fn truncated_header_is_unexpected_end() {
+    let bytes = v2_bytes();
+    for cut in [0, 3, 5, 7, 9, 11] {
+        assert_eq!(
+            decompress(&bytes[..cut], &small_cfg()).unwrap_err(),
+            Error::UnexpectedEnd,
+            "cut at {cut}"
+        );
+    }
+}
+
+#[test]
+fn bad_magic_and_unknown_version_are_corrupt() {
+    let mut bytes = v2_bytes();
+    bytes[0] = b'X';
+    assert_eq!(
+        decompress(&bytes, &small_cfg()).unwrap_err(),
+        Error::Corrupt("bad magic")
+    );
+    let mut bytes = v2_bytes();
+    bytes[4..8].copy_from_slice(&99u32.to_le_bytes());
+    assert_eq!(
+        decompress(&bytes, &small_cfg()).unwrap_err(),
+        Error::Corrupt("unsupported version")
+    );
+}
+
+#[test]
+fn flipped_payload_bit_is_a_part_checksum_mismatch() {
+    let mut bytes = v2_bytes();
+    let payload = first_payload_offset(1, 0, true);
+    bytes[payload + 3] ^= 0x10;
+    assert_eq!(
+        decompress(&bytes, &small_cfg()).unwrap_err(),
+        Error::ChecksumMismatch { column: 0, part: 0 }
+    );
+}
+
+#[test]
+fn flipped_stored_crc_is_a_part_checksum_mismatch() {
+    let mut bytes = v2_bytes();
+    // The CRC field sits 4 bytes before the payload.
+    let crc_at = first_payload_offset(1, 0, true) - 4;
+    bytes[crc_at] ^= 0x01;
+    assert_eq!(
+        decompress(&bytes, &small_cfg()).unwrap_err(),
+        Error::ChecksumMismatch { column: 0, part: 0 }
+    );
+}
+
+#[test]
+fn flipped_footer_is_a_file_checksum_mismatch() {
+    let mut bytes = v2_bytes();
+    let n = bytes.len();
+    bytes[n - 2] ^= 0x40;
+    assert_eq!(
+        decompress(&bytes, &small_cfg()).unwrap_err(),
+        Error::FileChecksumMismatch
+    );
+}
+
+#[test]
+fn trailing_garbage_is_a_file_checksum_mismatch() {
+    let mut bytes = v2_bytes();
+    bytes.extend_from_slice(&[0xDE, 0xAD, 0xBE, 0xEF]);
+    assert_eq!(
+        decompress(&bytes, &small_cfg()).unwrap_err(),
+        Error::FileChecksumMismatch
+    );
+}
+
+#[test]
+fn corrupt_row_count_is_a_file_checksum_mismatch() {
+    // The rows field is framing, not part payload: only the footer CRC
+    // covers it, and it must — a v1 reader would silently return a relation
+    // with the wrong row count here.
+    let mut bytes = v2_bytes();
+    bytes[8] ^= 0x01;
+    assert_eq!(
+        decompress(&bytes, &small_cfg()).unwrap_err(),
+        Error::FileChecksumMismatch
+    );
+}
+
+// The v1 cases pin the *structural* errors: with no checksums in the way,
+// hostile fields must be caught by the typed limit/bounds checks that also
+// serve as the v2 defense-in-depth layer.
+
+#[test]
+fn v1_hostile_column_count_is_limit_exceeded() {
+    let mut bytes = v1_bytes();
+    bytes[16..20].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert_eq!(
+        decompress(&bytes, &small_cfg()).unwrap_err(),
+        Error::LimitExceeded("column count")
+    );
+}
+
+#[test]
+fn v1_hostile_block_count_is_limit_exceeded() {
+    let mut bytes = v1_bytes();
+    // block_count u32 sits 8 bytes before the first payload (count + len).
+    let at = first_payload_offset(1, 0, false) - 8;
+    bytes[at..at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert_eq!(
+        decompress(&bytes, &small_cfg()).unwrap_err(),
+        Error::LimitExceeded("block count")
+    );
+}
+
+#[test]
+fn v1_oversized_block_length_is_unexpected_end() {
+    let mut bytes = v1_bytes();
+    let at = first_payload_offset(1, 0, false) - 4;
+    bytes[at..at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert_eq!(
+        decompress(&bytes, &small_cfg()).unwrap_err(),
+        Error::UnexpectedEnd
+    );
+}
+
+#[test]
+fn v1_bad_scheme_code_is_invalid_scheme() {
+    let mut bytes = v1_bytes();
+    let payload = first_payload_offset(1, 0, false);
+    bytes[payload] = 0xEE; // scheme byte: no such code
+    assert_eq!(
+        decompress(&bytes, &small_cfg()).unwrap_err(),
+        Error::InvalidScheme(0xEE)
+    );
+}
+
+#[test]
+fn v1_mid_cascade_truncation_errors_cleanly() {
+    let bytes = v1_bytes();
+    let payload = first_payload_offset(1, 0, false);
+    // Cut inside the first block's payload: the cascade decoder must come
+    // back with a typed error, never a panic.
+    let err = decompress(&bytes[..payload + 16], &small_cfg()).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            Error::UnexpectedEnd
+                | Error::Corrupt(_)
+                | Error::Substrate { .. }
+                | Error::LimitExceeded(_)
+        ),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn every_error_variant_displays() {
+    // Display is part of the contract (callers log these); keep each
+    // variant's message stable and non-empty.
+    for (err, needle) in [
+        (Error::UnexpectedEnd, "unexpectedly"),
+        (Error::InvalidScheme(7), "scheme code 7"),
+        (Error::Corrupt("x"), "x"),
+        (Error::LimitExceeded("block count"), "block count"),
+        (
+            Error::Substrate { codec: "fsst", detail: "boom".into() },
+            "fsst",
+        ),
+        (Error::ChecksumMismatch { column: 2, part: 9 }, "column 2"),
+        (Error::FileChecksumMismatch, "footer"),
+    ] {
+        assert!(err.to_string().contains(needle), "{err:?}");
+    }
+}

@@ -1,12 +1,15 @@
-//! Property tests: the whole cascading compressor must round-trip arbitrary
-//! columns bitwise, under every scheme and both SIMD modes.
+//! Randomized round-trip tests: the whole cascading compressor must
+//! round-trip arbitrary columns bitwise, under every scheme and both SIMD
+//! modes. Deterministic (seeded xorshift) so runs are reproducible offline.
 
+use btr_corrupt::rng::Xorshift;
 use btrblocks::block::{compress_block, compress_block_with, decompress_block, BlockRef};
 use btrblocks::{
     Column, ColumnData, ColumnType, Config, DecodedColumn, Relation, SchemeCode, SimdMode,
     StringArena,
 };
-use proptest::prelude::*;
+
+const CASES: usize = 64;
 
 fn small_cfg(simd: SimdMode) -> Config {
     Config {
@@ -16,142 +19,229 @@ fn small_cfg(simd: SimdMode) -> Config {
     }
 }
 
-fn arb_ints() -> impl Strategy<Value = Vec<i32>> {
-    prop_oneof![
-        proptest::collection::vec(any::<i32>(), 0..1500),
-        proptest::collection::vec(-5i32..5, 0..1500),
-        // Run-heavy data.
-        (proptest::collection::vec((any::<i32>(), 1usize..40), 0..60)).prop_map(|runs| {
-            runs.into_iter().flat_map(|(v, n)| std::iter::repeat_n(v, n)).collect()
-        }),
-        // One dominant value with exceptions.
-        proptest::collection::vec(prop_oneof![9 => Just(0i32), 1 => any::<i32>()], 0..1500),
-    ]
+fn simd_mode(case: usize) -> SimdMode {
+    if case % 2 == 0 {
+        SimdMode::Auto
+    } else {
+        SimdMode::ForceScalar
+    }
 }
 
-fn arb_doubles() -> impl Strategy<Value = Vec<f64>> {
-    prop_oneof![
-        proptest::collection::vec(any::<u64>().prop_map(f64::from_bits), 0..1000),
-        // Price-like (PDE-friendly).
-        proptest::collection::vec((0i32..100_000).prop_map(|i| i as f64 / 100.0), 0..1000),
-        // Low cardinality.
-        proptest::collection::vec(
-            prop_oneof![Just(0.0f64), Just(83.2833), Just(3.05), Just(f64::NAN), Just(-0.0)],
-            0..1000
-        ),
-    ]
+/// Four integer shapes: arbitrary, tiny-range, run-heavy, dominant-with-
+/// exceptions — the distributions the int schemes are specialized for.
+fn arb_ints(rng: &mut Xorshift) -> Vec<i32> {
+    match rng.gen_range(0..4u32) {
+        0 => {
+            let len = rng.gen_range(0..1500usize);
+            (0..len).map(|_| rng.next_u32() as i32).collect()
+        }
+        1 => {
+            let len = rng.gen_range(0..1500usize);
+            (0..len).map(|_| rng.gen_range(-5i32..5)).collect()
+        }
+        2 => {
+            let runs = rng.gen_range(0..60usize);
+            let mut out = Vec::new();
+            for _ in 0..runs {
+                let v = rng.next_u32() as i32;
+                let n = rng.gen_range(1..40usize);
+                out.extend(std::iter::repeat_n(v, n));
+            }
+            out
+        }
+        _ => {
+            let len = rng.gen_range(0..1500usize);
+            (0..len)
+                .map(|_| if rng.gen_bool(0.9) { 0 } else { rng.next_u32() as i32 })
+                .collect()
+        }
+    }
 }
 
-fn arb_strings() -> impl Strategy<Value = Vec<Vec<u8>>> {
-    prop_oneof![
-        proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..30), 0..400),
-        // Low-cardinality words.
-        proptest::collection::vec(
-            prop_oneof![
-                Just(b"BRONX".to_vec()),
-                Just(b"QUEENS".to_vec()),
-                Just(b"".to_vec()),
-                Just("Maceió".as_bytes().to_vec())
-            ],
-            0..600
-        ),
-        // Prefix-sharing strings.
-        proptest::collection::vec(
-            (0u32..50).prop_map(|i| format!("https://example.com/page/{i}").into_bytes()),
-            0..400
-        ),
-    ]
+/// Three double shapes: raw bit patterns (incl. NaN payloads), price-like
+/// (PDE-friendly), low-cardinality.
+fn arb_doubles(rng: &mut Xorshift) -> Vec<f64> {
+    match rng.gen_range(0..3u32) {
+        0 => {
+            let len = rng.gen_range(0..1000usize);
+            (0..len).map(|_| f64::from_bits(rng.next_u64())).collect()
+        }
+        1 => {
+            let len = rng.gen_range(0..1000usize);
+            (0..len)
+                .map(|_| rng.gen_range(0i32..100_000) as f64 / 100.0)
+                .collect()
+        }
+        _ => {
+            const CHOICES: [f64; 5] = [0.0, 83.2833, 3.05, f64::NAN, -0.0];
+            let len = rng.gen_range(0..1000usize);
+            (0..len).map(|_| CHOICES[rng.gen_range(0usize..5)]).collect()
+        }
+    }
+}
+
+/// Three string shapes: arbitrary bytes, low-cardinality words, and
+/// prefix-sharing URLs.
+fn arb_strings(rng: &mut Xorshift) -> Vec<Vec<u8>> {
+    match rng.gen_range(0..3u32) {
+        0 => {
+            let count = rng.gen_range(0..400usize);
+            (0..count)
+                .map(|_| {
+                    let len = rng.gen_range(0..30usize);
+                    let mut s = vec![0u8; len];
+                    rng.fill_bytes(&mut s);
+                    s
+                })
+                .collect()
+        }
+        1 => {
+            const WORDS: [&[u8]; 4] = [b"BRONX", b"QUEENS", b"", "Maceió".as_bytes()];
+            let count = rng.gen_range(0..600usize);
+            (0..count).map(|_| WORDS[rng.gen_range(0usize..4)].to_vec()).collect()
+        }
+        _ => {
+            let count = rng.gen_range(0..400usize);
+            (0..count)
+                .map(|_| {
+                    format!("https://example.com/page/{}", rng.gen_range(0u32..50)).into_bytes()
+                })
+                .collect()
+        }
+    }
 }
 
 fn bits_eq(a: &[f64], b: &[f64]) -> bool {
     a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn int_blocks_roundtrip(values in arb_ints(), scalar in any::<bool>()) {
-        let cfg = small_cfg(if scalar { SimdMode::ForceScalar } else { SimdMode::Auto });
+#[test]
+fn int_blocks_roundtrip() {
+    let mut rng = Xorshift::new(0x51);
+    for case in 0..CASES {
+        let values = arb_ints(&mut rng);
+        let cfg = small_cfg(simd_mode(case));
         let (bytes, _) = compress_block(BlockRef::Int(&values), &cfg);
         match decompress_block(&bytes, ColumnType::Integer, &cfg).unwrap() {
-            DecodedColumn::Int(out) => prop_assert_eq!(out, values),
-            _ => prop_assert!(false, "wrong decoded type"),
+            DecodedColumn::Int(out) => assert_eq!(out, values),
+            _ => panic!("wrong decoded type"),
         }
     }
+}
 
-    #[test]
-    fn double_blocks_roundtrip(values in arb_doubles(), scalar in any::<bool>()) {
-        let cfg = small_cfg(if scalar { SimdMode::ForceScalar } else { SimdMode::Auto });
+#[test]
+fn double_blocks_roundtrip() {
+    let mut rng = Xorshift::new(0x52);
+    for case in 0..CASES {
+        let values = arb_doubles(&mut rng);
+        let cfg = small_cfg(simd_mode(case));
         let (bytes, _) = compress_block(BlockRef::Double(&values), &cfg);
         match decompress_block(&bytes, ColumnType::Double, &cfg).unwrap() {
-            DecodedColumn::Double(out) => prop_assert!(bits_eq(&values, &out)),
-            _ => prop_assert!(false, "wrong decoded type"),
+            DecodedColumn::Double(out) => assert!(bits_eq(&values, &out)),
+            _ => panic!("wrong decoded type"),
         }
     }
+}
 
-    #[test]
-    fn string_blocks_roundtrip(strings in arb_strings(), scalar in any::<bool>()) {
-        let cfg = small_cfg(if scalar { SimdMode::ForceScalar } else { SimdMode::Auto });
+#[test]
+fn string_blocks_roundtrip() {
+    let mut rng = Xorshift::new(0x53);
+    for case in 0..CASES {
+        let strings = arb_strings(&mut rng);
+        let cfg = small_cfg(simd_mode(case));
         let arena = StringArena::from_strs(&strings);
         let (bytes, _) = compress_block(BlockRef::Str(&arena), &cfg);
         match decompress_block(&bytes, ColumnType::String, &cfg).unwrap() {
             DecodedColumn::Str(views) => {
-                prop_assert_eq!(views.len(), strings.len());
+                assert_eq!(views.len(), strings.len());
                 for (i, s) in strings.iter().enumerate() {
-                    prop_assert_eq!(views.get(i), s.as_slice());
+                    assert_eq!(views.get(i), s.as_slice());
                 }
             }
-            _ => prop_assert!(false, "wrong decoded type"),
+            _ => panic!("wrong decoded type"),
         }
     }
+}
 
-    #[test]
-    fn every_int_scheme_roundtrips_when_forced(values in arb_ints()) {
+#[test]
+fn every_int_scheme_roundtrips_when_forced() {
+    let mut rng = Xorshift::new(0x54);
+    for _ in 0..CASES {
+        let values = arb_ints(&mut rng);
         let cfg = Config::default();
-        for code in [SchemeCode::Uncompressed, SchemeCode::Rle, SchemeCode::Dict,
-                     SchemeCode::Frequency, SchemeCode::FastPfor, SchemeCode::FastBp128] {
+        for code in [
+            SchemeCode::Uncompressed,
+            SchemeCode::Rle,
+            SchemeCode::Dict,
+            SchemeCode::Frequency,
+            SchemeCode::FastPfor,
+            SchemeCode::FastBp128,
+        ] {
             let bytes = compress_block_with(code, BlockRef::Int(&values), &cfg);
             match decompress_block(&bytes, ColumnType::Integer, &cfg).unwrap() {
-                DecodedColumn::Int(out) => prop_assert_eq!(&out, &values, "scheme {:?}", code),
-                _ => prop_assert!(false),
+                DecodedColumn::Int(out) => assert_eq!(&out, &values, "scheme {code:?}"),
+                _ => panic!("wrong decoded type for {code:?}"),
             }
         }
     }
+}
 
-    #[test]
-    fn every_double_scheme_roundtrips_when_forced(values in arb_doubles()) {
+#[test]
+fn every_double_scheme_roundtrips_when_forced() {
+    let mut rng = Xorshift::new(0x55);
+    for _ in 0..CASES {
+        let values = arb_doubles(&mut rng);
         let cfg = Config::default();
-        for code in [SchemeCode::Uncompressed, SchemeCode::Rle, SchemeCode::Dict,
-                     SchemeCode::Frequency, SchemeCode::Pseudodecimal] {
+        for code in [
+            SchemeCode::Uncompressed,
+            SchemeCode::Rle,
+            SchemeCode::Dict,
+            SchemeCode::Frequency,
+            SchemeCode::Pseudodecimal,
+        ] {
             let bytes = compress_block_with(code, BlockRef::Double(&values), &cfg);
             match decompress_block(&bytes, ColumnType::Double, &cfg).unwrap() {
-                DecodedColumn::Double(out) => prop_assert!(bits_eq(&values, &out), "scheme {:?}", code),
-                _ => prop_assert!(false),
+                DecodedColumn::Double(out) => {
+                    assert!(bits_eq(&values, &out), "scheme {code:?}")
+                }
+                _ => panic!("wrong decoded type for {code:?}"),
             }
         }
     }
+}
 
-    #[test]
-    fn every_string_scheme_roundtrips_when_forced(strings in arb_strings()) {
+#[test]
+fn every_string_scheme_roundtrips_when_forced() {
+    let mut rng = Xorshift::new(0x56);
+    for _ in 0..CASES {
+        let strings = arb_strings(&mut rng);
         let cfg = Config::default();
         let arena = StringArena::from_strs(&strings);
-        for code in [SchemeCode::Uncompressed, SchemeCode::Dict, SchemeCode::DictFsst, SchemeCode::Fsst] {
+        for code in [
+            SchemeCode::Uncompressed,
+            SchemeCode::Dict,
+            SchemeCode::DictFsst,
+            SchemeCode::Fsst,
+        ] {
             let bytes = compress_block_with(code, BlockRef::Str(&arena), &cfg);
             match decompress_block(&bytes, ColumnType::String, &cfg).unwrap() {
                 DecodedColumn::Str(views) => {
                     for (i, s) in strings.iter().enumerate() {
-                        prop_assert_eq!(views.get(i), s.as_slice(), "scheme {:?}", code);
+                        assert_eq!(views.get(i), s.as_slice(), "scheme {code:?}");
                     }
                 }
-                _ => prop_assert!(false),
+                _ => panic!("wrong decoded type for {code:?}"),
             }
         }
     }
+}
 
-    #[test]
-    fn relations_roundtrip_via_file_bytes(ints in arb_ints(), scalar in any::<bool>()) {
-        let cfg = small_cfg(if scalar { SimdMode::ForceScalar } else { SimdMode::Auto });
+#[test]
+fn relations_roundtrip_via_file_bytes() {
+    let mut rng = Xorshift::new(0x57);
+    for case in 0..CASES {
+        let ints = arb_ints(&mut rng);
+        let cfg = small_cfg(simd_mode(case));
         let n = ints.len();
         let doubles: Vec<f64> = ints.iter().map(|&i| f64::from(i) * 0.5).collect();
         let strings: Vec<String> = ints.iter().map(|&i| format!("s{}", i % 17)).collect();
@@ -161,16 +251,23 @@ proptest! {
             Column::new("d", ColumnData::Double(doubles)),
             Column::new("s", ColumnData::Str(StringArena::from_strs(&refs))),
         ]);
-        prop_assert_eq!(rel.rows(), n);
+        assert_eq!(rel.rows(), n);
         let bytes = btrblocks::compress(&rel, &cfg).unwrap().to_bytes();
         let restored = btrblocks::decompress(&bytes, &cfg).unwrap();
-        prop_assert_eq!(rel, restored);
+        assert_eq!(rel, restored);
     }
+}
 
-    #[test]
-    fn decompress_never_panics_on_corrupt_bytes(mut bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
-        // Fuzzing the block parser: must return Err, never panic/UB.
-        let cfg = Config::default();
+#[test]
+fn decompress_never_panics_on_corrupt_bytes() {
+    // Fuzzing the block parser: must return Err, never panic/UB. (The full
+    // 10k-mutation campaigns live in btr-corrupt's integration tests.)
+    let mut rng = Xorshift::new(0x58);
+    let cfg = Config::default();
+    for _ in 0..CASES {
+        let len = rng.gen_range(0..300usize);
+        let mut bytes = vec![0u8; len];
+        rng.fill_bytes(&mut bytes);
         let _ = decompress_block(&bytes, ColumnType::Integer, &cfg);
         let _ = decompress_block(&bytes, ColumnType::Double, &cfg);
         let _ = decompress_block(&bytes, ColumnType::String, &cfg);

@@ -1,14 +1,16 @@
-//! Property tests for predicate pushdown and zone-map pruning: the compressed
-//! evaluation must agree with decompress-then-filter for every scheme, every
-//! operator, and arbitrary data; pruning must never drop a matching block.
+//! Randomized tests for predicate pushdown and zone-map pruning: the
+//! compressed evaluation must agree with decompress-then-filter for every
+//! scheme, every operator, and arbitrary data; pruning must never drop a
+//! matching block. Deterministic (seeded xorshift) so runs reproduce offline.
 
+use btr_corrupt::rng::Xorshift;
 use btrblocks::block::{compress_block_with, BlockRef};
 use btrblocks::metadata::{pruned_filter, Sidecar};
 use btrblocks::query::{filter_block, CmpOp, Literal};
 use btrblocks::{Column, ColumnData, Config, Relation, SchemeCode, StringArena};
-use proptest::prelude::*;
 
 const OPS: [CmpOp; 5] = [CmpOp::Eq, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+const CASES: usize = 48;
 
 fn cmp<T: PartialOrd>(op: CmpOp, v: &T, l: &T) -> bool {
     match op {
@@ -20,70 +22,125 @@ fn cmp<T: PartialOrd>(op: CmpOp, v: &T, l: &T) -> bool {
     }
 }
 
-fn arb_ints() -> impl Strategy<Value = Vec<i32>> {
-    prop_oneof![
-        proptest::collection::vec(-20i32..20, 0..800),
-        proptest::collection::vec(any::<i32>(), 0..400),
-        // Run-heavy.
-        (proptest::collection::vec((-5i32..5, 1usize..50), 0..40)).prop_map(|runs| {
-            runs.into_iter().flat_map(|(v, n)| std::iter::repeat_n(v, n)).collect()
-        }),
-    ]
+/// Three shapes: tiny-range, arbitrary, and run-heavy integers.
+fn arb_ints(rng: &mut Xorshift) -> Vec<i32> {
+    match rng.gen_range(0..3u32) {
+        0 => {
+            let len = rng.gen_range(0..800usize);
+            (0..len).map(|_| rng.gen_range(-20i32..20)).collect()
+        }
+        1 => {
+            let len = rng.gen_range(0..400usize);
+            (0..len).map(|_| rng.next_u32() as i32).collect()
+        }
+        _ => {
+            let runs = rng.gen_range(0..40usize);
+            let mut out = Vec::new();
+            for _ in 0..runs {
+                let v = rng.gen_range(-5i32..5);
+                let n = rng.gen_range(1..50usize);
+                out.extend(std::iter::repeat_n(v, n));
+            }
+            out
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn word(rng: &mut Xorshift) -> String {
+    let len = rng.gen_range(0..=4usize);
+    (0..len).map(|_| (b'a' + rng.gen_range(0u8..3)) as char).collect()
+}
 
-    #[test]
-    fn int_pushdown_matches_reference(values in arb_ints(), lit in -20i32..20, op_idx in 0usize..5) {
+#[test]
+fn int_pushdown_matches_reference() {
+    let mut rng = Xorshift::new(0x61);
+    for case in 0..CASES {
+        let values = arb_ints(&mut rng);
+        let lit = rng.gen_range(-20i32..20);
+        let op = OPS[case % OPS.len()];
         let cfg = Config::default();
-        let op = OPS[op_idx];
         let expected: Vec<u32> = values
             .iter()
             .enumerate()
             .filter_map(|(i, v)| cmp(op, v, &lit).then_some(i as u32))
             .collect();
-        for code in [SchemeCode::Uncompressed, SchemeCode::Rle, SchemeCode::Dict,
-                     SchemeCode::Frequency, SchemeCode::FastPfor, SchemeCode::FastBp128] {
+        for code in [
+            SchemeCode::Uncompressed,
+            SchemeCode::Rle,
+            SchemeCode::Dict,
+            SchemeCode::Frequency,
+            SchemeCode::FastPfor,
+            SchemeCode::FastBp128,
+        ] {
             let bytes = compress_block_with(code, BlockRef::Int(&values), &cfg);
-            let got = filter_block(&bytes, btrblocks::ColumnType::Integer, op, &Literal::Int(lit), &cfg)
-                .unwrap();
-            prop_assert_eq!(got.iter().collect::<Vec<_>>(), expected.clone(), "scheme {:?} op {:?}", code, op);
+            let got =
+                filter_block(&bytes, btrblocks::ColumnType::Integer, op, &Literal::Int(lit), &cfg)
+                    .unwrap();
+            assert_eq!(
+                got.iter().collect::<Vec<_>>(),
+                expected,
+                "scheme {code:?} op {op:?}"
+            );
         }
     }
+}
 
-    #[test]
-    fn double_pushdown_matches_reference(
-        values in proptest::collection::vec(
-            prop_oneof![( -50i32..50).prop_map(|i| f64::from(i) * 0.25), Just(f64::NAN)], 0..600),
-        lit in -50i32..50,
-        op_idx in 0usize..5,
-    ) {
+#[test]
+fn double_pushdown_matches_reference() {
+    let mut rng = Xorshift::new(0x62);
+    for case in 0..CASES {
+        let len = rng.gen_range(0..600usize);
+        let values: Vec<f64> = (0..len)
+            .map(|_| {
+                if rng.gen_bool(0.1) {
+                    f64::NAN
+                } else {
+                    f64::from(rng.gen_range(-50i32..50)) * 0.25
+                }
+            })
+            .collect();
+        let op = OPS[case % OPS.len()];
+        let lit = f64::from(rng.gen_range(-50i32..50)) * 0.25;
         let cfg = Config::default();
-        let op = OPS[op_idx];
-        let lit = f64::from(lit) * 0.25;
         let expected: Vec<u32> = values
             .iter()
             .enumerate()
             .filter_map(|(i, v)| cmp(op, v, &lit).then_some(i as u32))
             .collect();
-        for code in [SchemeCode::Uncompressed, SchemeCode::Rle, SchemeCode::Dict,
-                     SchemeCode::Frequency, SchemeCode::Pseudodecimal] {
+        for code in [
+            SchemeCode::Uncompressed,
+            SchemeCode::Rle,
+            SchemeCode::Dict,
+            SchemeCode::Frequency,
+            SchemeCode::Pseudodecimal,
+        ] {
             let bytes = compress_block_with(code, BlockRef::Double(&values), &cfg);
-            let got = filter_block(&bytes, btrblocks::ColumnType::Double, op, &Literal::Double(lit), &cfg)
-                .unwrap();
-            prop_assert_eq!(got.iter().collect::<Vec<_>>(), expected.clone(), "scheme {:?} op {:?}", code, op);
+            let got = filter_block(
+                &bytes,
+                btrblocks::ColumnType::Double,
+                op,
+                &Literal::Double(lit),
+                &cfg,
+            )
+            .unwrap();
+            assert_eq!(
+                got.iter().collect::<Vec<_>>(),
+                expected,
+                "scheme {code:?} op {op:?}"
+            );
         }
     }
+}
 
-    #[test]
-    fn string_pushdown_matches_reference(
-        words in proptest::collection::vec("[a-c]{0,4}", 0..400),
-        lit in "[a-c]{0,4}",
-        op_idx in 0usize..5,
-    ) {
+#[test]
+fn string_pushdown_matches_reference() {
+    let mut rng = Xorshift::new(0x63);
+    for case in 0..CASES {
+        let count = rng.gen_range(0..400usize);
+        let words: Vec<String> = (0..count).map(|_| word(&mut rng)).collect();
+        let lit = word(&mut rng);
+        let op = OPS[case % OPS.len()];
         let cfg = Config::default();
-        let op = OPS[op_idx];
         let refs: Vec<&str> = words.iter().map(|s| s.as_str()).collect();
         let arena = StringArena::from_strs(&refs);
         let lit_b = lit.as_bytes();
@@ -92,7 +149,12 @@ proptest! {
             .enumerate()
             .filter_map(|(i, s)| cmp(op, &s.as_bytes(), &lit_b).then_some(i as u32))
             .collect();
-        for code in [SchemeCode::Uncompressed, SchemeCode::Dict, SchemeCode::DictFsst, SchemeCode::Fsst] {
+        for code in [
+            SchemeCode::Uncompressed,
+            SchemeCode::Dict,
+            SchemeCode::DictFsst,
+            SchemeCode::Fsst,
+        ] {
             let bytes = compress_block_with(code, BlockRef::Str(&arena), &cfg);
             let got = filter_block(
                 &bytes,
@@ -102,19 +164,25 @@ proptest! {
                 &cfg,
             )
             .unwrap();
-            prop_assert_eq!(got.iter().collect::<Vec<_>>(), expected.clone(), "scheme {:?} op {:?}", code, op);
+            assert_eq!(
+                got.iter().collect::<Vec<_>>(),
+                expected,
+                "scheme {code:?} op {op:?}"
+            );
         }
     }
+}
 
-    #[test]
-    fn pruned_filter_never_loses_matches(
-        values in proptest::collection::vec(-1000i32..1000, 1..2000),
-        lit in -1000i32..1000,
-        op_idx in 0usize..5,
-        block_size in 50usize..500,
-    ) {
+#[test]
+fn pruned_filter_never_loses_matches() {
+    let mut rng = Xorshift::new(0x64);
+    for case in 0..CASES {
+        let len = rng.gen_range(1..2000usize);
+        let values: Vec<i32> = (0..len).map(|_| rng.gen_range(-1000i32..1000)).collect();
+        let lit = rng.gen_range(-1000i32..1000);
+        let op = OPS[case % OPS.len()];
+        let block_size = rng.gen_range(50..500usize);
         let cfg = Config { block_size, ..Config::default() };
-        let op = OPS[op_idx];
         let rel = Relation::new(vec![Column::new("x", ColumnData::Int(values.clone()))]);
         let compressed = btrblocks::compress(&rel, &cfg).unwrap();
         let sidecar = Sidecar::build(&rel, cfg.block_size);
@@ -125,24 +193,26 @@ proptest! {
             .enumerate()
             .filter_map(|(i, v)| cmp(op, v, &lit).then_some(i as u32))
             .collect();
-        prop_assert_eq!(matches.iter().collect::<Vec<_>>(), expected);
-        prop_assert!(decoded <= compressed.columns[0].blocks.len());
+        assert_eq!(matches.iter().collect::<Vec<_>>(), expected);
+        assert!(decoded <= compressed.columns[0].blocks.len());
     }
+}
 
-    #[test]
-    fn sidecar_serialization_roundtrips(
-        ints in proptest::collection::vec(any::<i32>(), 0..500),
-        doubles in proptest::collection::vec(any::<u64>().prop_map(f64::from_bits), 0..500),
-        block_size in 10usize..200,
-    ) {
-        let n = ints.len().min(doubles.len());
+#[test]
+fn sidecar_serialization_roundtrips() {
+    let mut rng = Xorshift::new(0x65);
+    for _ in 0..CASES {
+        let n = rng.gen_range(0..500usize);
+        let ints: Vec<i32> = (0..n).map(|_| rng.next_u32() as i32).collect();
+        let doubles: Vec<f64> = (0..n).map(|_| f64::from_bits(rng.next_u64())).collect();
+        let block_size = rng.gen_range(10..200usize);
         let rel = Relation::new(vec![
-            Column::new("i", ColumnData::Int(ints[..n].to_vec())),
-            Column::new("d", ColumnData::Double(doubles[..n].to_vec())),
+            Column::new("i", ColumnData::Int(ints)),
+            Column::new("d", ColumnData::Double(doubles)),
         ]);
         let sidecar = Sidecar::build(&rel, block_size);
         let back = Sidecar::from_bytes(&sidecar.to_bytes()).unwrap();
         // NaN-bearing zones break Eq; compare through re-serialization.
-        prop_assert_eq!(back.to_bytes(), sidecar.to_bytes());
+        assert_eq!(back.to_bytes(), sidecar.to_bytes());
     }
 }

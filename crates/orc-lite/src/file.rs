@@ -271,6 +271,11 @@ pub fn read_meta(bytes: &[u8]) -> Result<FileMeta> {
     need(pos, 4)?;
     let n_cols = u32::from_le_bytes(footer[..4].try_into().expect("4")) as usize;
     pos += 4;
+    // Each column takes at least 3 footer bytes (name_len + type tag), so a
+    // count past that bound is corrupt — reject before reserving for it.
+    if n_cols > footer.len() / 3 {
+        return Err(Error::Corrupt("column count exceeds footer"));
+    }
     let mut columns = Vec::with_capacity(n_cols);
     for _ in 0..n_cols {
         need(pos, 2)?;
@@ -292,6 +297,10 @@ pub fn read_meta(bytes: &[u8]) -> Result<FileMeta> {
     need(pos, 4)?;
     let n_stripes = u32::from_le_bytes(footer[pos..pos + 4].try_into().expect("4")) as usize;
     pos += 4;
+    // Each stripe needs a 4-byte row count at minimum.
+    if n_stripes > footer.len() / 4 {
+        return Err(Error::Corrupt("stripe count exceeds footer"));
+    }
     let mut stripes = Vec::with_capacity(n_stripes);
     for _ in 0..n_stripes {
         need(pos, 4)?;

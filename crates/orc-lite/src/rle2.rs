@@ -197,6 +197,13 @@ pub fn encode(values: &[i32]) -> Vec<u8> {
 
 /// Decodes exactly `count` values.
 pub fn decode(buf: &[u8], count: usize) -> Result<Vec<i32>> {
+    // The densest segment is FIXED_DELTA: 512 values from a 5-byte header
+    // (~103 values/byte). A count the stream cannot possibly produce is
+    // corrupt; rejecting it here keeps a stomped row count from turning
+    // into a huge reservation before the first segment is even parsed.
+    if count > buf.len().saturating_mul(128) {
+        return Err(Error::Corrupt("count exceeds stream capacity"));
+    }
     let mut out = Vec::with_capacity(count);
     let mut pos = 0usize;
     while out.len() < count {

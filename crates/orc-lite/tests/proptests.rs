@@ -1,26 +1,27 @@
-//! Property tests: orc-lite round-trips and RLEv2 stream integrity.
+//! Randomized tests: orc-lite round-trips and RLEv2 stream integrity.
+//! Deterministic (seeded xorshift) so runs are reproducible offline.
 
+use btr_corrupt::rng::Xorshift;
 use btr_lz::Codec;
 use btrblocks::{Column, ColumnData, Relation, StringArena};
 use orc_lite::{read, read_column, rle2, write, WriteOptions};
-use proptest::prelude::*;
 
-fn arb_relation() -> impl Strategy<Value = Relation> {
-    (0usize..400).prop_flat_map(|rows| {
-        (
-            proptest::collection::vec(any::<i32>(), rows..=rows),
-            proptest::collection::vec(any::<u64>().prop_map(f64::from_bits), rows..=rows),
-            proptest::collection::vec("[a-z]{0,12}", rows..=rows),
-        )
-            .prop_map(|(ints, doubles, strings)| {
-                let refs: Vec<&str> = strings.iter().map(|s| s.as_str()).collect();
-                Relation::new(vec![
-                    Column::new("i", ColumnData::Int(ints)),
-                    Column::new("d", ColumnData::Double(doubles)),
-                    Column::new("s", ColumnData::Str(StringArena::from_strs(&refs))),
-                ])
-            })
-    })
+fn arb_relation(rng: &mut Xorshift) -> Relation {
+    let rows = rng.gen_range(0..400usize);
+    let ints: Vec<i32> = (0..rows).map(|_| rng.next_u32() as i32).collect();
+    let doubles: Vec<f64> = (0..rows).map(|_| f64::from_bits(rng.next_u64())).collect();
+    let strings: Vec<String> = (0..rows)
+        .map(|_| {
+            let len = rng.gen_range(0..=12usize);
+            (0..len).map(|_| (b'a' + rng.gen_range(0u8..26)) as char).collect()
+        })
+        .collect();
+    let refs: Vec<&str> = strings.iter().map(|s| s.as_str()).collect();
+    Relation::new(vec![
+        Column::new("i", ColumnData::Int(ints)),
+        Column::new("d", ColumnData::Double(doubles)),
+        Column::new("s", ColumnData::Str(StringArena::from_strs(&refs))),
+    ])
 }
 
 fn rel_bits_eq(a: &Relation, b: &Relation) -> bool {
@@ -33,42 +34,66 @@ fn rel_bits_eq(a: &Relation, b: &Relation) -> bool {
         })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn rle2_roundtrips_any_ints(values in prop_oneof![
-        proptest::collection::vec(any::<i32>(), 0..3000),
-        // Run- and delta-heavy inputs to hit every sub-encoding.
-        proptest::collection::vec(-4i32..4, 0..3000),
-        (any::<i32>(), -100i32..100, 0usize..1500).prop_map(|(base, delta, n)| {
-            (0..n as i32).map(|i| base.wrapping_add(i.wrapping_mul(delta))).collect()
-        }),
-    ]) {
-        let enc = rle2::encode(&values);
-        prop_assert_eq!(rle2::decode(&enc, values.len()).unwrap(), values);
-    }
-
-    #[test]
-    fn roundtrips_any_relation(rel in arb_relation(),
-                               codec_pick in 0u8..3,
-                               stripe in 1usize..200,
-                               threshold in 0.0f64..1.0) {
-        let codec = [Codec::None, Codec::SnappyLike, Codec::Heavy][codec_pick as usize];
-        let bytes = write(&rel, &WriteOptions {
-            codec,
-            stripe_rows: stripe,
-            dictionary_key_size_threshold: threshold,
-        });
-        let back = read(&bytes).unwrap();
-        prop_assert!(rel_bits_eq(&rel, &back));
-        for ci in 0..rel.columns.len() {
-            prop_assert_eq!(&read_column(&bytes, ci).unwrap().name, &rel.columns[ci].name);
+#[test]
+fn rle2_roundtrips_any_ints() {
+    // Arbitrary, run-heavy, and delta-heavy inputs to hit every sub-encoding.
+    let mut rng = Xorshift::new(0x81);
+    for shape in 0..3u32 {
+        for _ in 0..48 {
+            let values: Vec<i32> = match shape {
+                0 => {
+                    let len = rng.gen_range(0..3000usize);
+                    (0..len).map(|_| rng.next_u32() as i32).collect()
+                }
+                1 => {
+                    let len = rng.gen_range(0..3000usize);
+                    (0..len).map(|_| rng.gen_range(-4i32..4)).collect()
+                }
+                _ => {
+                    let base = rng.next_u32() as i32;
+                    let delta = rng.gen_range(-100i32..100);
+                    let n = rng.gen_range(0..1500usize);
+                    (0..n as i32).map(|i| base.wrapping_add(i.wrapping_mul(delta))).collect()
+                }
+            };
+            let enc = rle2::encode(&values);
+            assert_eq!(rle2::decode(&enc, values.len()).unwrap(), values, "shape {shape}");
         }
     }
+}
 
-    #[test]
-    fn read_never_panics_on_corrupt(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+#[test]
+fn roundtrips_any_relation() {
+    let mut rng = Xorshift::new(0x82);
+    for case in 0..48 {
+        let rel = arb_relation(&mut rng);
+        let codec = [Codec::None, Codec::SnappyLike, Codec::Heavy][case % 3];
+        let stripe = rng.gen_range(1..200usize);
+        let threshold = rng.gen_range(0.0f64..1.0);
+        let bytes = write(
+            &rel,
+            &WriteOptions {
+                codec,
+                stripe_rows: stripe,
+                dictionary_key_size_threshold: threshold,
+            },
+        );
+        let back = read(&bytes).unwrap();
+        assert!(rel_bits_eq(&rel, &back), "codec {codec:?} stripe {stripe}");
+        for ci in 0..rel.columns.len() {
+            assert_eq!(&read_column(&bytes, ci).unwrap().name, &rel.columns[ci].name);
+        }
+    }
+}
+
+#[test]
+fn read_never_panics_on_corrupt() {
+    // Smoke fuzz; the full mutation campaign lives in btr-corrupt's tests.
+    let mut rng = Xorshift::new(0x83);
+    for _ in 0..100 {
+        let len = rng.gen_range(0..200usize);
+        let mut bytes = vec![0u8; len];
+        rng.fill_bytes(&mut bytes);
         let _ = read(&bytes);
         let _ = rle2::decode(&bytes, 10);
     }

@@ -157,6 +157,11 @@ pub fn read_meta(bytes: &[u8]) -> Result<FileMeta> {
     need(pos, 4)?;
     let n_cols = u32::from_le_bytes(footer[pos..pos + 4].try_into().expect("4")) as usize;
     pos += 4;
+    // Each column takes at least 3 footer bytes (name_len + type tag), so a
+    // count past that bound is corrupt — reject before reserving for it.
+    if n_cols > footer.len() / 3 {
+        return Err(Error::Corrupt("column count exceeds footer"));
+    }
     let mut columns = Vec::with_capacity(n_cols);
     for _ in 0..n_cols {
         need(pos, 2)?;
@@ -178,6 +183,10 @@ pub fn read_meta(bytes: &[u8]) -> Result<FileMeta> {
     need(pos, 4)?;
     let n_rg = u32::from_le_bytes(footer[pos..pos + 4].try_into().expect("4")) as usize;
     pos += 4;
+    // Each rowgroup needs a 4-byte row count at minimum.
+    if n_rg > footer.len() / 4 {
+        return Err(Error::Corrupt("rowgroup count exceeds footer"));
+    }
     let mut rowgroups = Vec::with_capacity(n_rg);
     for _ in 0..n_rg {
         need(pos, 4)?;

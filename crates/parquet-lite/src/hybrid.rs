@@ -108,7 +108,10 @@ pub fn decode(buf: &[u8], count: usize, width: u8) -> Result<Vec<u32>> {
         return Err(Error::Corrupt("hybrid width out of range"));
     }
     let vb = value_bytes(width).max(1).min(4);
-    let mut out = Vec::with_capacity(count);
+    // `count` comes from the (unchecksummed) footer: reserve only a bounded
+    // hint up front and let the vector grow with actually-decoded runs, so a
+    // stomped row count cannot become a gigabyte reservation.
+    let mut out = Vec::with_capacity(count.min(1 << 16));
     let mut pos = 0usize;
     while out.len() < count {
         let header = get_varint(buf, &mut pos)?;
@@ -132,6 +135,14 @@ pub fn decode(buf: &[u8], count: usize, width: u8) -> Result<Vec<u32>> {
             let groups = (header >> 1) as usize;
             if groups == 0 {
                 return Err(Error::Corrupt("zero-length bit-packed run"));
+            }
+            // The writer emits only the groups needed to cover the remaining
+            // values (the last one zero-padded), so any excess — including a
+            // width-0 run, which occupies no bytes at all — is corrupt. This
+            // also keeps `n_vals` small enough that the multiplications
+            // below cannot overflow.
+            if groups > (count - out.len()).div_ceil(8) {
+                return Err(Error::Corrupt("bit-packed run overruns count"));
             }
             let byte_len = groups * width as usize;
             if pos + byte_len > buf.len() {

@@ -1,27 +1,30 @@
-//! Property tests: parquet-lite must round-trip arbitrary relations under
-//! every codec and rowgroup size.
+//! Randomized tests: parquet-lite must round-trip arbitrary relations under
+//! every codec and rowgroup size. Deterministic (seeded xorshift) so runs
+//! are reproducible offline.
 
+use btr_corrupt::rng::Xorshift;
 use btr_lz::Codec;
 use btrblocks::{Column, ColumnData, Relation, StringArena};
 use parquet_lite::{read, read_column, write, WriteOptions};
-use proptest::prelude::*;
 
-fn arb_relation() -> impl Strategy<Value = Relation> {
-    (0usize..400).prop_flat_map(|rows| {
-        (
-            proptest::collection::vec(any::<i32>(), rows..=rows),
-            proptest::collection::vec(any::<u64>().prop_map(f64::from_bits), rows..=rows),
-            proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..20), rows..=rows),
-        )
-            .prop_map(|(ints, doubles, strings)| {
-                let refs: Vec<&[u8]> = strings.iter().map(|s| s.as_slice()).collect();
-                Relation::new(vec![
-                    Column::new("i", ColumnData::Int(ints)),
-                    Column::new("d", ColumnData::Double(doubles)),
-                    Column::new("s", ColumnData::Str(StringArena::from_strs(&refs))),
-                ])
-            })
-    })
+fn arb_relation(rng: &mut Xorshift) -> Relation {
+    let rows = rng.gen_range(0..400usize);
+    let ints: Vec<i32> = (0..rows).map(|_| rng.next_u32() as i32).collect();
+    let doubles: Vec<f64> = (0..rows).map(|_| f64::from_bits(rng.next_u64())).collect();
+    let strings: Vec<Vec<u8>> = (0..rows)
+        .map(|_| {
+            let len = rng.gen_range(0..20usize);
+            let mut s = vec![0u8; len];
+            rng.fill_bytes(&mut s);
+            s
+        })
+        .collect();
+    let refs: Vec<&[u8]> = strings.iter().map(|s| s.as_slice()).collect();
+    Relation::new(vec![
+        Column::new("i", ColumnData::Int(ints)),
+        Column::new("d", ColumnData::Double(doubles)),
+        Column::new("s", ColumnData::Str(StringArena::from_strs(&refs))),
+    ])
 }
 
 fn rel_bits_eq(a: &Relation, b: &Relation) -> bool {
@@ -34,34 +37,45 @@ fn rel_bits_eq(a: &Relation, b: &Relation) -> bool {
         })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn roundtrips_any_relation(rel in arb_relation(),
-                               codec_pick in 0u8..3,
-                               rowgroup in 1usize..200) {
-        let codec = [Codec::None, Codec::SnappyLike, Codec::Heavy][codec_pick as usize];
+#[test]
+fn roundtrips_any_relation() {
+    let mut rng = Xorshift::new(0x71);
+    for case in 0..48 {
+        let rel = arb_relation(&mut rng);
+        let codec = [Codec::None, Codec::SnappyLike, Codec::Heavy][case % 3];
+        let rowgroup = rng.gen_range(1..200usize);
         let bytes = write(&rel, &WriteOptions { codec, rowgroup_size: rowgroup });
         let back = read(&bytes).unwrap();
-        prop_assert!(rel_bits_eq(&rel, &back));
+        assert!(rel_bits_eq(&rel, &back), "codec {codec:?} rowgroup {rowgroup}");
         // Column projection agrees with the full read.
         for ci in 0..rel.columns.len() {
             let col = read_column(&bytes, ci).unwrap();
-            prop_assert_eq!(&col.name, &rel.columns[ci].name);
+            assert_eq!(&col.name, &rel.columns[ci].name);
         }
     }
+}
 
-    #[test]
-    fn read_never_panics_on_corrupt(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+#[test]
+fn read_never_panics_on_corrupt() {
+    // Smoke fuzz; the full mutation campaign lives in btr-corrupt's tests.
+    let mut rng = Xorshift::new(0x72);
+    for _ in 0..100 {
+        let len = rng.gen_range(0..200usize);
+        let mut bytes = vec![0u8; len];
+        rng.fill_bytes(&mut bytes);
         let _ = read(&bytes);
         let _ = read_column(&bytes, 0);
     }
+}
 
-    #[test]
-    fn hybrid_roundtrips(values in proptest::collection::vec(0u32..4096, 0..2000)) {
+#[test]
+fn hybrid_roundtrips() {
+    let mut rng = Xorshift::new(0x73);
+    for _ in 0..100 {
+        let len = rng.gen_range(0..2000usize);
+        let values: Vec<u32> = (0..len).map(|_| rng.gen_range(0u32..4096)).collect();
         let mut buf = Vec::new();
         parquet_lite::hybrid::encode(&values, 12, &mut buf);
-        prop_assert_eq!(parquet_lite::hybrid::decode(&buf, values.len(), 12).unwrap(), values);
+        assert_eq!(parquet_lite::hybrid::decode(&buf, values.len(), 12).unwrap(), values);
     }
 }

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Repo-wide check: build, tests, and the decode-path panic gate.
+#
+# The panic gate runs clippy with `unwrap_used` and `panic` promoted to
+# errors on every crate that sits on the decode path (the corruption
+# hardening contract: corrupt bytes must surface as typed errors, never as
+# panics). It lints library targets only — test code and the writers are
+# free to unwrap, and `#[allow(clippy::unwrap_used, clippy::panic)]` on an
+# encode-side item is the documented escape hatch if one ever needs it.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release)"
+cargo build --release --quiet
+
+echo "== tier-1 tests"
+cargo test --quiet
+
+echo "== workspace tests (fault-injection campaigns included)"
+cargo test --workspace --quiet
+
+echo "== decode-path panic gate"
+DECODE_CRATES=(
+  btrblocks
+  btr-bitpacking
+  btr-fsst
+  btr-roaring
+  btr-float
+  btr-lz
+  parquet-lite
+  orc-lite
+)
+for crate in "${DECODE_CRATES[@]}"; do
+  echo "   clippy -p ${crate}"
+  cargo clippy -p "${crate}" --lib --quiet -- \
+    -D clippy::unwrap_used \
+    -D clippy::panic
+done
+
+echo "ok"
