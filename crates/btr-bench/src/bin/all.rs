@@ -15,6 +15,7 @@ fn main() {
         ("figure8", e::figure8::run),
         ("table4", e::table4::run),
         ("scan_cost", e::scan_cost::run),
+        ("scan_pipeline", e::scan_pipeline::run),
         ("column_scan", e::column_scan::run),
         ("compression_speed", e::compression_speed::run),
         ("scalar_ablation", e::scalar_ablation::run),

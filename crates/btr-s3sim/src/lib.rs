@@ -162,11 +162,39 @@ pub enum GetError {
     Transient,
 }
 
+/// Request accounting for an [`ObjectStore`] — how many GETs of each kind
+/// were served and how many body bytes went over the (simulated) wire.
+///
+/// Whole-object and ranged GETs are counted separately because they are
+/// priced identically per request but move very different byte volumes: a
+/// selective scan that prunes most blocks should show many small ranged GETs
+/// and a fraction of the object's bytes, which is exactly what
+/// [`CostModel::network_seconds`] needs to price it correctly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GetStats {
+    /// Whole-object GET requests served (including faulted attempts).
+    pub get_requests: u64,
+    /// Ranged GET requests served (including faulted attempts).
+    pub ranged_get_requests: u64,
+    /// Body bytes served across all requests (after truncation faults).
+    pub bytes_served: u64,
+}
+
+impl GetStats {
+    /// Total requests of both kinds.
+    pub fn requests(&self) -> u64 {
+        self.get_requests + self.ranged_get_requests
+    }
+}
+
 /// An in-memory object store.
 #[derive(Default)]
 pub struct ObjectStore {
     objects: RwLock<HashMap<String, Arc<Vec<u8>>>>,
     fault_plan: RwLock<Option<FaultPlan>>,
+    get_requests: std::sync::atomic::AtomicU64,
+    ranged_get_requests: std::sync::atomic::AtomicU64,
+    bytes_served: std::sync::atomic::AtomicU64,
 }
 
 /// Recovers the map even if a writer panicked mid-insert; the map itself is
@@ -215,47 +243,119 @@ impl ObjectStore {
         keys
     }
 
+    /// Looks an object up without touching the request counters.
+    fn lookup(&self, key: &str) -> Option<Arc<Vec<u8>>> {
+        read_lock(&self.objects).get(key).cloned()
+    }
+
+    /// Applies `fault` to a clean body.
+    fn apply_fault(body: &[u8], fault: Fault) -> Result<Vec<u8>, GetError> {
+        match fault {
+            Fault::None => Ok(body.to_vec()),
+            Fault::Transient => Err(GetError::Transient),
+            Fault::Truncate(len) => Ok(body[..len.min(body.len())].to_vec()),
+            Fault::CorruptBit { offset, bit } => {
+                let mut out = body.to_vec();
+                if let Some(b) = out.get_mut(offset) {
+                    *b ^= 1 << (bit & 7);
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    fn account(&self, ranged: bool, bytes: usize) {
+        use std::sync::atomic::Ordering::Relaxed;
+        if ranged {
+            self.ranged_get_requests.fetch_add(1, Relaxed);
+        } else {
+            self.get_requests.fetch_add(1, Relaxed);
+        }
+        self.bytes_served.fetch_add(bytes as u64, Relaxed);
+    }
+
+    /// Request counters accumulated since creation (or the last
+    /// [`ObjectStore::reset_counters`]).
+    pub fn counters(&self) -> GetStats {
+        use std::sync::atomic::Ordering::Relaxed;
+        GetStats {
+            get_requests: self.get_requests.load(Relaxed),
+            ranged_get_requests: self.ranged_get_requests.load(Relaxed),
+            bytes_served: self.bytes_served.load(Relaxed),
+        }
+    }
+
+    /// Zeroes the request counters.
+    pub fn reset_counters(&self) {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.get_requests.store(0, Relaxed);
+        self.ranged_get_requests.store(0, Relaxed);
+        self.bytes_served.store(0, Relaxed);
+    }
+
     /// Fetches a whole object, bypassing fault injection.
     pub fn get(&self, key: &str) -> Option<Arc<Vec<u8>>> {
-        read_lock(&self.objects).get(key).cloned()
+        let obj = self.lookup(key)?;
+        self.account(false, obj.len());
+        Some(obj)
     }
 
     /// Fetches a whole object through the fault plan. `attempt` is the
     /// zero-based retry counter; the same `(key, attempt)` pair always
     /// produces the same outcome. Without a plan this is a clean copy.
     pub fn get_with_attempt(&self, key: &str, attempt: u32) -> Result<Vec<u8>, GetError> {
-        let obj = self.get(key).ok_or(GetError::NotFound)?;
+        let obj = self.lookup(key).ok_or(GetError::NotFound)?;
         let plan = read_lock(&self.fault_plan);
         let fault = plan
             .as_ref()
             .map_or(Fault::None, |p| p.draw(key, attempt, obj.len()));
-        match fault {
-            Fault::None => Ok(obj.as_ref().clone()),
-            Fault::Transient => Err(GetError::Transient),
-            Fault::Truncate(len) => Ok(obj[..len.min(obj.len())].to_vec()),
-            Fault::CorruptBit { offset, bit } => {
-                let mut body = obj.as_ref().clone();
-                if let Some(b) = body.get_mut(offset) {
-                    *b ^= 1 << (bit & 7);
-                }
-                Ok(body)
-            }
-        }
+        drop(plan);
+        let body = Self::apply_fault(&obj, fault);
+        self.account(false, body.as_ref().map_or(0, Vec::len));
+        body
     }
 
     /// Fetches a byte range of an object (an HTTP range GET).
     pub fn get_range(&self, key: &str, start: usize, len: usize) -> Option<Vec<u8>> {
-        let obj = self.get(key)?;
+        let obj = self.lookup(key)?;
         let end = start.checked_add(len)?;
         if end > obj.len() {
             return None;
         }
+        self.account(true, len);
         Some(obj[start..end].to_vec())
     }
 
-    /// Size of an object.
+    /// Fetches a byte range through the fault plan, the ranged-GET analogue
+    /// of [`ObjectStore::get_with_attempt`]. Faults draw on
+    /// `(key, range, attempt)`, so different ranges of one object fail
+    /// independently — exactly how real per-request faults behave — and
+    /// truncation/corruption apply within the returned range body.
+    pub fn get_range_with_attempt(
+        &self,
+        key: &str,
+        start: usize,
+        len: usize,
+        attempt: u32,
+    ) -> Result<Vec<u8>, GetError> {
+        let obj = self.lookup(key).ok_or(GetError::NotFound)?;
+        let end = start.checked_add(len).ok_or(GetError::NotFound)?;
+        if end > obj.len() {
+            return Err(GetError::NotFound);
+        }
+        let plan = read_lock(&self.fault_plan);
+        let fault = plan.as_ref().map_or(Fault::None, |p| {
+            p.draw(&format!("{key}[{start}+{len}]"), attempt, len)
+        });
+        drop(plan);
+        let body = Self::apply_fault(&obj[start..end], fault);
+        self.account(true, body.as_ref().map_or(0, Vec::len));
+        body
+    }
+
+    /// Size of an object (a HEAD request; not counted as a GET).
     pub fn size_of(&self, key: &str) -> Option<usize> {
-        self.get(key).map(|o| o.len())
+        self.lookup(key).map(|o| o.len())
     }
 
     /// Lists keys with a prefix, sorted.
@@ -438,6 +538,43 @@ impl Simulator {
         stats
     }
 
+    /// Scans selected byte ranges of one object — the selective-scan
+    /// counterpart of [`Simulator::scan`]. Each `(start, len)` range is one
+    /// ranged GET: it is billed as a request, only its bytes cross the
+    /// simulated network, and `decompress` runs per range body. A scan that
+    /// prunes most blocks therefore prices as many small requests and few
+    /// bytes instead of a whole-object download, which is what the
+    /// [`CostModel`] needs to compare full and selective scans honestly.
+    ///
+    /// Ranges that fall outside the object are skipped (not billed).
+    pub fn scan_ranges<F>(&self, key: &str, ranges: &[(usize, usize)], decompress: F) -> ScanStats
+    where
+        F: Fn(&[u8]) -> usize + Sync,
+    {
+        let mut stats = ScanStats::default();
+        let bodies: Vec<Vec<u8>> = ranges
+            .iter()
+            .filter_map(|&(start, len)| self.store.get_range(key, start, len))
+            .collect();
+        stats.requests = bodies.len() as u64;
+        stats.compressed_bytes = bodies.iter().map(|b| b.len() as u64).sum();
+
+        let produced = AtomicUsize::new(0);
+        let started = Instant::now();
+        for body in &bodies {
+            produced.fetch_add(decompress(body), Ordering::Relaxed);
+        }
+        let cpu_single_thread = started.elapsed().as_secs_f64();
+
+        stats.uncompressed_bytes = produced.load(Ordering::Relaxed) as u64;
+        stats.cpu_seconds = cpu_single_thread / self.model.cores.max(1) as f64;
+        stats.network_seconds = self
+            .model
+            .network_seconds(stats.compressed_bytes, stats.requests);
+        stats.duration_seconds = stats.network_seconds.max(stats.cpu_seconds);
+        stats
+    }
+
     /// Scans `keys` through the store's [`FaultPlan`] with bounded retries
     /// and exponential backoff.
     ///
@@ -599,6 +736,92 @@ mod tests {
         };
         assert!((stats.t_r_gb_per_s() - 4.0).abs() < 1e-9);
         assert!((stats.t_c_gbit_per_s() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ranged_gets_are_accounted_separately() {
+        let store = ObjectStore::new();
+        store.put("a", (0u8..200).collect());
+        assert_eq!(store.counters(), GetStats::default());
+        store.get("a");
+        store.get_range("a", 10, 50);
+        store.get_range("a", 100, 25);
+        // Out-of-bounds range: no request served, nothing billed.
+        assert!(store.get_range("a", 190, 50).is_none());
+        // HEAD-style size probe: not a GET.
+        store.size_of("a");
+        let stats = store.counters();
+        assert_eq!(stats.get_requests, 1);
+        assert_eq!(stats.ranged_get_requests, 2);
+        assert_eq!(stats.bytes_served, 200 + 50 + 25);
+        assert_eq!(stats.requests(), 3);
+        store.reset_counters();
+        assert_eq!(store.counters(), GetStats::default());
+    }
+
+    #[test]
+    fn scan_ranges_prices_selective_scans() {
+        let sim = Simulator::new();
+        sim.store.put("obj", vec![5u8; 100_000]);
+        let full = sim.scan(&["obj".to_string()], |c| c.len());
+        // Fetch only 3 of ~100 1 kB blocks.
+        let selective =
+            sim.scan_ranges("obj", &[(0, 1_000), (50_000, 1_000), (99_000, 1_000)], |c| {
+                c.len()
+            });
+        assert_eq!(selective.requests, 3);
+        assert_eq!(selective.compressed_bytes, 3_000);
+        assert_eq!(selective.uncompressed_bytes, 3_000);
+        assert!(selective.compressed_bytes < full.compressed_bytes);
+        // Fewer bytes at more requests: the cost model still sees both.
+        assert!(sim.cost_usd(&selective) < sim.cost_usd(&full) * 3.5);
+        let counters = sim.store.counters();
+        assert_eq!(counters.ranged_get_requests, 3);
+        assert_eq!(counters.get_requests, 1);
+    }
+
+    #[test]
+    fn ranged_get_with_attempt_applies_faults_per_range() {
+        let store = ObjectStore::new();
+        store.put("k", vec![0xCD; 1_000]);
+        // No plan: clean range.
+        assert_eq!(
+            store.get_range_with_attempt("k", 100, 16, 0).unwrap(),
+            vec![0xCD; 16]
+        );
+        assert_eq!(
+            store.get_range_with_attempt("missing", 0, 4, 0),
+            Err(GetError::NotFound)
+        );
+        assert_eq!(
+            store.get_range_with_attempt("k", 990, 100, 0),
+            Err(GetError::NotFound),
+            "out-of-bounds range"
+        );
+        // Deterministic: the same (key, range, attempt) repeats its outcome,
+        // and different ranges draw independently.
+        store.set_fault_plan(Some(FaultPlan {
+            transient_rate: 0.5,
+            max_faults_per_key: 10,
+            ..FaultPlan::default()
+        }));
+        let outcomes: Vec<bool> = (0..20)
+            .map(|i| store.get_range_with_attempt("k", i * 16, 16, 0).is_ok())
+            .collect();
+        let repeat: Vec<bool> = (0..20)
+            .map(|i| store.get_range_with_attempt("k", i * 16, 16, 0).is_ok())
+            .collect();
+        assert_eq!(outcomes, repeat);
+        assert!(outcomes.iter().any(|&ok| ok) && outcomes.iter().any(|&ok| !ok));
+        // Corruption stays inside the requested range.
+        store.set_fault_plan(Some(FaultPlan {
+            corrupt_rate: 1.0,
+            ..FaultPlan::default()
+        }));
+        let body = store.get_range_with_attempt("k", 200, 64, 0).unwrap();
+        assert_eq!(body.len(), 64);
+        let flipped: u32 = body.iter().map(|b| (b ^ 0xCD).count_ones()).sum();
+        assert_eq!(flipped, 1);
     }
 
     #[test]

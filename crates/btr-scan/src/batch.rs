@@ -1,0 +1,181 @@
+//! Materialized scan output: fixed-size record batches.
+//!
+//! The engine decodes whole blocks but hands results to the consumer in
+//! batches of `EngineOptions::batch_rows` rows, so downstream operators see a
+//! steady granularity regardless of how the relation was blocked. This
+//! module holds the batch type plus the gather/append/split plumbing the
+//! iterator uses to re-chunk decoded blocks.
+
+use crate::{Result, ScanError};
+use btr_roaring::RoaringBitmap;
+use btrblocks::{ColumnData, ColumnType, DecodedColumn, StringArena};
+
+/// A horizontal slice of scan output: equal-length columns, in projection
+/// order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordBatch {
+    /// `(column name, values)` pairs in projection order.
+    pub columns: Vec<(String, ColumnData)>,
+}
+
+impl RecordBatch {
+    /// Number of rows in the batch.
+    pub fn rows(&self) -> usize {
+        self.columns.first().map_or(0, |(_, data)| data.len())
+    }
+
+    /// Looks up a column's values by name.
+    pub fn column(&self, name: &str) -> Option<&ColumnData> {
+        self.columns
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, data)| data)
+    }
+}
+
+/// An empty buffer of the given type, used to seed per-column accumulators.
+pub(crate) fn empty_like(ty: ColumnType) -> ColumnData {
+    match ty {
+        ColumnType::Integer => ColumnData::Int(Vec::new()),
+        ColumnType::Double => ColumnData::Double(Vec::new()),
+        ColumnType::String => ColumnData::Str(StringArena::new()),
+    }
+}
+
+/// Materializes the selected rows of a decoded block. `selection == None`
+/// means "all rows" (no predicate, or a fast path that matched everything).
+pub(crate) fn gather(decoded: &DecodedColumn, selection: Option<&RoaringBitmap>) -> ColumnData {
+    match (decoded, selection) {
+        (DecodedColumn::Int(v), None) => ColumnData::Int(v.clone()),
+        (DecodedColumn::Int(v), Some(sel)) => {
+            ColumnData::Int(sel.iter().map(|i| v[i as usize]).collect())
+        }
+        (DecodedColumn::Double(v), None) => ColumnData::Double(v.clone()),
+        (DecodedColumn::Double(v), Some(sel)) => {
+            ColumnData::Double(sel.iter().map(|i| v[i as usize]).collect())
+        }
+        (DecodedColumn::Str(views), None) => ColumnData::Str(views.to_arena()),
+        (DecodedColumn::Str(views), Some(sel)) => {
+            let total: usize = sel.iter().map(|i| views.get(i as usize).len()).sum();
+            let mut arena = StringArena::with_capacity(sel.cardinality() as usize, total);
+            for i in sel.iter() {
+                arena.push(views.get(i as usize));
+            }
+            ColumnData::Str(arena)
+        }
+    }
+}
+
+/// Appends `src` onto `dst`; both must share a type (the planner guarantees
+/// this, so a mismatch is reported as corruption rather than panicking).
+pub(crate) fn append(dst: &mut ColumnData, src: &ColumnData) -> Result<()> {
+    match (dst, src) {
+        (ColumnData::Int(d), ColumnData::Int(s)) => d.extend_from_slice(s),
+        (ColumnData::Double(d), ColumnData::Double(s)) => d.extend_from_slice(s),
+        (ColumnData::Str(d), ColumnData::Str(s)) => {
+            for i in 0..s.len() {
+                d.push(s.get(i));
+            }
+        }
+        _ => {
+            return Err(ScanError::Decode(btrblocks::Error::Corrupt(
+                "column type changed between blocks",
+            )))
+        }
+    }
+    Ok(())
+}
+
+/// Removes and returns the first `k` rows of `data` (`k <= data.len()`).
+pub(crate) fn split_front(data: &mut ColumnData, k: usize) -> ColumnData {
+    match data {
+        ColumnData::Int(v) => {
+            let tail = v.split_off(k);
+            ColumnData::Int(std::mem::replace(v, tail))
+        }
+        ColumnData::Double(v) => {
+            let tail = v.split_off(k);
+            ColumnData::Double(std::mem::replace(v, tail))
+        }
+        ColumnData::Str(arena) => {
+            let n = arena.len();
+            let front_bytes: usize = (0..k).map(|i| arena.str_len(i)).sum();
+            let mut front = StringArena::with_capacity(k, front_bytes);
+            for i in 0..k {
+                front.push(arena.get(i));
+            }
+            let mut tail = StringArena::with_capacity(n - k, arena.total_bytes() - front_bytes);
+            for i in k..n {
+                tail.push(arena.get(i));
+            }
+            *arena = tail;
+            ColumnData::Str(front)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btrblocks::StringViews;
+
+    #[test]
+    fn gather_with_and_without_selection() {
+        let col = DecodedColumn::Int(vec![10, 20, 30, 40]);
+        assert_eq!(gather(&col, None), ColumnData::Int(vec![10, 20, 30, 40]));
+        let sel = RoaringBitmap::from_sorted_iter([1u32, 3]);
+        assert_eq!(gather(&col, Some(&sel)), ColumnData::Int(vec![20, 40]));
+
+        let arena = StringArena::from_strs(&["aa", "b", "ccc"]);
+        let views = StringViews::from_arena(&arena);
+        let col = DecodedColumn::Str(views);
+        let sel = RoaringBitmap::from_sorted_iter([0u32, 2]);
+        assert_eq!(
+            gather(&col, Some(&sel)),
+            ColumnData::Str(StringArena::from_strs(&["aa", "ccc"]))
+        );
+    }
+
+    #[test]
+    fn append_and_split_front_rechunk_all_types() {
+        let mut acc = empty_like(ColumnType::String);
+        append(
+            &mut acc,
+            &ColumnData::Str(StringArena::from_strs(&["x", "yy"])),
+        )
+        .unwrap();
+        append(
+            &mut acc,
+            &ColumnData::Str(StringArena::from_strs(&["zzz"])),
+        )
+        .unwrap();
+        let front = split_front(&mut acc, 2);
+        assert_eq!(front, ColumnData::Str(StringArena::from_strs(&["x", "yy"])));
+        assert_eq!(acc, ColumnData::Str(StringArena::from_strs(&["zzz"])));
+
+        let mut acc = empty_like(ColumnType::Double);
+        append(&mut acc, &ColumnData::Double(vec![1.5, 2.5, 3.5])).unwrap();
+        let front = split_front(&mut acc, 1);
+        assert_eq!(front, ColumnData::Double(vec![1.5]));
+        assert_eq!(acc.len(), 2);
+    }
+
+    #[test]
+    fn append_rejects_type_mismatch() {
+        let mut acc = empty_like(ColumnType::Integer);
+        assert!(append(&mut acc, &ColumnData::Double(vec![1.0])).is_err());
+    }
+
+    #[test]
+    fn batch_accessors() {
+        let batch = RecordBatch {
+            columns: vec![
+                ("a".into(), ColumnData::Int(vec![1, 2])),
+                ("b".into(), ColumnData::Double(vec![0.5, 1.5])),
+            ],
+        };
+        assert_eq!(batch.rows(), 2);
+        assert!(matches!(batch.column("b"), Some(ColumnData::Double(_))));
+        assert!(batch.column("c").is_none());
+    }
+}

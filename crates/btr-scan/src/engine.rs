@@ -1,0 +1,792 @@
+//! The scan pipeline: bounded prefetch, parallel decode, ordered emission.
+//!
+//! A scan spawns a small worker pool over the planner's surviving row
+//! groups. Workers claim groups in block order but only within a bounded
+//! look-ahead window (`EngineOptions::prefetch`) past the consumer — that is
+//! the prefetch pipeline: fetches and decodes for group `i + k` overlap with
+//! the consumer draining group `i`, while the window bounds how much decoded
+//! data can pile up ahead of the consumer. Results re-sequence through an
+//! ordered buffer, so batches come out in row order regardless of which
+//! worker finished first.
+//!
+//! Per row group, a worker:
+//! 1. resolves the predicate block through the decoded-block cache,
+//! 2. on a miss, fetches the payload and — when the scheme supports it —
+//!    evaluates the predicate **in the compressed domain**
+//!    ([`btrblocks::filter_block`]) without decoding,
+//! 3. decodes and caches only blocks whose values are actually needed,
+//! 4. gathers selected rows into output buffers.
+//!
+//! NULL semantics follow [`btrblocks::metadata::pruned_filter`]: NULL
+//! positions hold neutral values and participate in predicates like any
+//! other value (SQL three-valued logic is future work).
+
+use crate::batch::{append, empty_like, gather, split_front, RecordBatch};
+use crate::cache::{BlockCache, BlockKey};
+use crate::plan::{plan_scan, RowGroup, ScanSpec};
+use crate::source::{BlockSource, FetchStats};
+use crate::{Result, ScanError};
+use btr_roaring::RoaringBitmap;
+use btrblocks::{
+    decompress_block, filter_block, filter_decoded, has_fast_path, peek_scheme, CmpOp,
+    ColumnData, ColumnType, Config, DecodedColumn, Literal, Sidecar,
+};
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// Tuning knobs for [`ScanEngine`].
+#[derive(Debug, Clone)]
+pub struct EngineOptions {
+    /// Decode worker threads per scan.
+    pub workers: usize,
+    /// Bounded look-ahead: how many row groups may be in flight past the
+    /// consumer's position.
+    pub prefetch: usize,
+    /// Rows per emitted [`RecordBatch`].
+    pub batch_rows: usize,
+    /// Byte budget of the decoded-block cache (used by
+    /// [`ScanEngine::new`]; ignored when a cache is shared via
+    /// [`ScanEngine::with_cache`]).
+    pub cache_bytes: usize,
+    /// Codec configuration; `block_size` must match how relations were
+    /// compressed.
+    pub config: Config,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            workers: 4,
+            prefetch: 8,
+            batch_rows: 4096,
+            cache_bytes: 64 << 20,
+            config: Config::default(),
+        }
+    }
+}
+
+/// What a scan did, quantifying the paper's fetch-vs-decode trade-off.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ScanReport {
+    /// Row groups in the relation.
+    pub blocks_total: u64,
+    /// Row groups the zone maps eliminated before any fetch.
+    pub blocks_pruned: u64,
+    /// Predicate blocks evaluated in the compressed domain (no decode).
+    pub blocks_pushdown_fast_path: u64,
+    /// Blocks decompressed.
+    pub blocks_decoded: u64,
+    /// Blocks fetched from the source (cache hits fetch nothing).
+    pub blocks_fetched: u64,
+    /// Decoded-block cache hits.
+    pub cache_hits: u64,
+    /// Decoded-block cache misses.
+    pub cache_misses: u64,
+    /// Compressed bytes pulled from the source.
+    pub bytes_fetched: u64,
+    /// Fetch requests issued (every retry attempt counts).
+    pub fetch_requests: u64,
+    /// Fetch retries after transient faults or checksum mismatches.
+    pub fetch_retries: u64,
+    /// Rows in the relation.
+    pub rows_total: u64,
+    /// Rows that matched the predicate (all rows when there is none).
+    pub rows_matched: u64,
+    /// Record batches emitted.
+    pub batches: u64,
+    /// CPU time spent in `decompress_block`, summed across workers.
+    pub decode_seconds: f64,
+    /// Wall-clock time from scan start to exhaustion (or to now, if the scan
+    /// is still running).
+    pub wall_seconds: f64,
+}
+
+struct Counters {
+    pushdown: AtomicU64,
+    decoded: AtomicU64,
+    fetched: AtomicU64,
+    decode_nanos: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+impl Counters {
+    fn new() -> Counters {
+        Counters {
+            pushdown: AtomicU64::new(0),
+            decoded: AtomicU64::new(0),
+            fetched: AtomicU64::new(0),
+            decode_nanos: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Per-scan context shared by the workers.
+struct Ctx {
+    source: Arc<dyn BlockSource>,
+    cache: Arc<BlockCache>,
+    relation: Arc<str>,
+    config: Config,
+    projection: Vec<usize>,
+    column_types: Vec<ColumnType>,
+    predicate: Option<(usize, CmpOp, Literal)>,
+    counters: Counters,
+}
+
+impl Ctx {
+    /// Cache lookup with per-scan hit/miss accounting.
+    fn cache_get(&self, key: &BlockKey) -> Option<Arc<DecodedColumn>> {
+        let hit = self.cache.get(key);
+        if hit.is_some() {
+            self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    fn fetch(&self, column: u32, block: u32) -> Result<Vec<u8>> {
+        let bytes = self.source.fetch(column, block)?;
+        self.counters.fetched.fetch_add(1, Ordering::Relaxed);
+        Ok(bytes)
+    }
+
+    /// Timed decode; the caller decides whether to cache the result.
+    fn decode(&self, bytes: &[u8], ty: ColumnType) -> Result<Arc<DecodedColumn>> {
+        let t0 = Instant::now();
+        let decoded = decompress_block(bytes, ty, &self.config)?;
+        self.counters
+            .decode_nanos
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.counters.decoded.fetch_add(1, Ordering::Relaxed);
+        Ok(Arc::new(decoded))
+    }
+
+    fn key(&self, column: usize, block: u32) -> BlockKey {
+        BlockKey {
+            relation: self.relation.clone(),
+            column: column as u32,
+            block,
+        }
+    }
+}
+
+/// One processed row group: selected rows of every projected column.
+struct BlockOut {
+    rows_matched: u64,
+    columns: Vec<ColumnData>,
+}
+
+fn process_row_group(ctx: &Ctx, group: RowGroup) -> Result<BlockOut> {
+    // Predicate first: it decides whether projection blocks are needed at
+    // all. `pred_decoded` keeps a decoded predicate block around so a
+    // projection of the same column doesn't re-resolve it; `pred_bytes`
+    // keeps fetched-but-not-decoded payloads from the fast path.
+    let mut pred_decoded: Option<(usize, Arc<DecodedColumn>)> = None;
+    let mut pred_bytes: Option<(usize, Vec<u8>)> = None;
+    let mut selection: Option<RoaringBitmap> = None;
+
+    if let Some((pidx, op, literal)) = &ctx.predicate {
+        let key = ctx.key(*pidx, group.block);
+        if let Some(decoded) = ctx.cache_get(&key) {
+            selection = Some(filter_decoded(&decoded, *op, literal)?);
+            pred_decoded = Some((*pidx, decoded));
+        } else {
+            let bytes = ctx.fetch(*pidx as u32, group.block)?;
+            let ty = ctx.column_types[*pidx];
+            if has_fast_path(ty, peek_scheme(&bytes)?) {
+                selection = Some(filter_block(&bytes, ty, *op, literal, &ctx.config)?);
+                ctx.counters.pushdown.fetch_add(1, Ordering::Relaxed);
+                pred_bytes = Some((*pidx, bytes));
+            } else {
+                let decoded = ctx.decode(&bytes, ty)?;
+                ctx.cache.insert(key, decoded.clone());
+                selection = Some(filter_decoded(&decoded, *op, literal)?);
+                pred_decoded = Some((*pidx, decoded));
+            }
+        }
+    }
+
+    let rows_matched = match &selection {
+        Some(sel) => sel.cardinality(),
+        None => u64::from(group.rows),
+    };
+    if rows_matched == 0 {
+        // Nothing survives: emit empty columns without touching the
+        // projection blocks — pushdown's payoff.
+        let columns = ctx
+            .projection
+            .iter()
+            .map(|&idx| empty_like(ctx.column_types[idx]))
+            .collect();
+        return Ok(BlockOut {
+            rows_matched,
+            columns,
+        });
+    }
+
+    let mut columns = Vec::with_capacity(ctx.projection.len());
+    for &idx in &ctx.projection {
+        let reused = match &pred_decoded {
+            Some((pidx, decoded)) if *pidx == idx => Some(decoded.clone()),
+            _ => None,
+        };
+        let decoded = if let Some(d) = reused {
+            d
+        } else if matches!(&pred_bytes, Some((pidx, _)) if *pidx == idx) {
+            // The fast path already fetched (and counted a miss for) this
+            // block; decode the payload we have instead of re-fetching.
+            let (_, bytes) = pred_bytes.take().unwrap_or((0, Vec::new()));
+            let key = ctx.key(idx, group.block);
+            let d = ctx.decode(&bytes, ctx.column_types[idx])?;
+            ctx.cache.insert(key, d.clone());
+            pred_decoded = Some((idx, d.clone()));
+            d
+        } else {
+            let key = ctx.key(idx, group.block);
+            match ctx.cache_get(&key) {
+                Some(d) => d,
+                None => {
+                    let bytes = ctx.fetch(idx as u32, group.block)?;
+                    let d = ctx.decode(&bytes, ctx.column_types[idx])?;
+                    ctx.cache.insert(key, d.clone());
+                    d
+                }
+            }
+        };
+        columns.push(gather(&decoded, selection.as_ref()));
+    }
+    Ok(BlockOut {
+        rows_matched,
+        columns,
+    })
+}
+
+/// Reorder/backpressure state of one scan's pipeline.
+struct PipeState {
+    /// Next row-group index a worker may claim.
+    next_task: usize,
+    /// Next row-group index the consumer will emit.
+    next_emit: usize,
+    /// Finished groups waiting for their turn, by index.
+    ready: BTreeMap<usize, Result<BlockOut>>,
+    /// Set when the consumer goes away or errors out.
+    cancelled: bool,
+}
+
+struct Shared {
+    state: Mutex<PipeState>,
+    /// Signals workers that the window moved (or the scan was cancelled).
+    task_free: Condvar,
+    /// Signals the consumer that a result landed.
+    out_ready: Condvar,
+}
+
+fn lock(shared: &Shared) -> MutexGuard<'_, PipeState> {
+    shared.state.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn worker_loop(
+    shared: &Shared,
+    ctx: &Ctx,
+    groups: &[RowGroup],
+    capacity: usize,
+) {
+    loop {
+        let i = {
+            let mut st = lock(shared);
+            loop {
+                if st.cancelled || st.next_task >= groups.len() {
+                    return;
+                }
+                if st.next_task < st.next_emit + capacity {
+                    break;
+                }
+                st = shared
+                    .task_free
+                    .wait(st)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+            let i = st.next_task;
+            st.next_task += 1;
+            i
+        };
+        let group = groups[i];
+        let result = catch_unwind(AssertUnwindSafe(|| process_row_group(ctx, group)))
+            .unwrap_or_else(|payload| {
+                Err(ScanError::Worker(format!(
+                    "row group {} (block {}): {}",
+                    i,
+                    group.block,
+                    panic_text(payload.as_ref())
+                )))
+            });
+        let mut st = lock(shared);
+        st.ready.insert(i, result);
+        shared.out_ready.notify_all();
+    }
+}
+
+/// Executes scans; owns (or shares) the decoded-block cache so repeated
+/// scans benefit from each other.
+pub struct ScanEngine {
+    options: EngineOptions,
+    cache: Arc<BlockCache>,
+}
+
+impl ScanEngine {
+    /// An engine with its own cache of `options.cache_bytes` bytes.
+    pub fn new(options: EngineOptions) -> ScanEngine {
+        let cache = Arc::new(BlockCache::new(options.cache_bytes));
+        ScanEngine { options, cache }
+    }
+
+    /// An engine sharing an existing cache (e.g. across engines or tests).
+    pub fn with_cache(options: EngineOptions, cache: Arc<BlockCache>) -> ScanEngine {
+        ScanEngine { options, cache }
+    }
+
+    /// The engine's decoded-block cache.
+    pub fn cache(&self) -> &Arc<BlockCache> {
+        &self.cache
+    }
+
+    /// Plans and starts a scan. Workers begin prefetching immediately; pull
+    /// batches from the returned [`Scan`] to drain it.
+    pub fn scan(
+        &self,
+        source: Arc<dyn BlockSource>,
+        sidecar: &Sidecar,
+        spec: &ScanSpec,
+    ) -> Result<Scan> {
+        let plan = plan_scan(source.as_ref(), sidecar, spec)?;
+        let columns = source.columns();
+        let ctx = Arc::new(Ctx {
+            source: source.clone(),
+            cache: self.cache.clone(),
+            relation: source.relation_id(),
+            config: self.options.config.clone(),
+            projection: plan.projection.clone(),
+            column_types: columns.iter().map(|c| c.column_type).collect(),
+            predicate: spec
+                .predicate
+                .as_ref()
+                .zip(plan.predicate_column)
+                .map(|(p, idx)| (idx, p.op, p.literal.clone())),
+            counters: Counters::new(),
+        });
+        let groups: Arc<[RowGroup]> = plan.row_groups.clone().into();
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PipeState {
+                next_task: 0,
+                next_emit: 0,
+                ready: BTreeMap::new(),
+                cancelled: false,
+            }),
+            task_free: Condvar::new(),
+            out_ready: Condvar::new(),
+        });
+        let capacity = self.options.prefetch.max(1);
+        let n_workers = self.options.workers.max(1).min(groups.len().max(1));
+        // Snapshot before spawning: workers may finish fetching before this
+        // function returns, and the report must see those bytes as deltas.
+        let fetch_base = source.stats();
+        let handles = (0..n_workers)
+            .map(|_| {
+                let shared = shared.clone();
+                let ctx = ctx.clone();
+                let groups = groups.clone();
+                std::thread::spawn(move || worker_loop(&shared, &ctx, &groups, capacity))
+            })
+            .collect();
+        let buffers = plan
+            .projection
+            .iter()
+            .map(|&idx| empty_like(columns[idx].column_type))
+            .collect();
+        Ok(Scan {
+            shared,
+            handles,
+            ctx,
+            total: groups.len(),
+            names: spec.projection.clone(),
+            buffers,
+            buffered_rows: 0,
+            batch_rows: self.options.batch_rows.max(1),
+            blocks_total: plan.blocks_total as u64,
+            blocks_pruned: plan.blocks_pruned as u64,
+            rows_total: plan.rows_total,
+            rows_matched: 0,
+            batches: 0,
+            source,
+            fetch_base,
+            started: Instant::now(),
+            wall_seconds: None,
+            failed: false,
+        })
+    }
+}
+
+/// A running scan: an iterator of [`RecordBatch`]es plus a [`ScanReport`].
+///
+/// Dropping a scan early cancels the pipeline and joins the workers.
+pub struct Scan {
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    ctx: Arc<Ctx>,
+    total: usize,
+    names: Vec<String>,
+    buffers: Vec<ColumnData>,
+    buffered_rows: usize,
+    batch_rows: usize,
+    blocks_total: u64,
+    blocks_pruned: u64,
+    rows_total: u64,
+    rows_matched: u64,
+    batches: u64,
+    source: Arc<dyn BlockSource>,
+    fetch_base: FetchStats,
+    started: Instant,
+    wall_seconds: Option<f64>,
+    failed: bool,
+}
+
+impl Scan {
+    fn next_block(&mut self) -> Option<Result<BlockOut>> {
+        let mut st = lock(&self.shared);
+        loop {
+            if st.next_emit >= self.total || st.cancelled {
+                return None;
+            }
+            let emit = st.next_emit;
+            if let Some(result) = st.ready.remove(&emit) {
+                st.next_emit += 1;
+                drop(st);
+                self.shared.task_free.notify_all();
+                return Some(result);
+            }
+            st = self
+                .shared
+                .out_ready
+                .wait(st)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn cut(&mut self, n: usize) -> RecordBatch {
+        let columns = self
+            .names
+            .iter()
+            .zip(self.buffers.iter_mut())
+            .map(|(name, buf)| (name.clone(), split_front(buf, n)))
+            .collect();
+        self.buffered_rows -= n;
+        self.batches += 1;
+        RecordBatch { columns }
+    }
+
+    /// Marks the scan finished (idempotent): freezes wall time and joins the
+    /// worker pool.
+    fn finish(&mut self) {
+        if self.wall_seconds.is_none() {
+            self.wall_seconds = Some(self.started.elapsed().as_secs_f64());
+        }
+        {
+            let mut st = lock(&self.shared);
+            st.cancelled = true;
+        }
+        self.shared.task_free.notify_all();
+        self.shared.out_ready.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    /// Execution statistics so far; final once the iterator is exhausted.
+    pub fn report(&self) -> ScanReport {
+        let fetch = self.source.stats();
+        let c = &self.ctx.counters;
+        ScanReport {
+            blocks_total: self.blocks_total,
+            blocks_pruned: self.blocks_pruned,
+            blocks_pushdown_fast_path: c.pushdown.load(Ordering::Relaxed),
+            blocks_decoded: c.decoded.load(Ordering::Relaxed),
+            blocks_fetched: c.fetched.load(Ordering::Relaxed),
+            cache_hits: c.cache_hits.load(Ordering::Relaxed),
+            cache_misses: c.cache_misses.load(Ordering::Relaxed),
+            bytes_fetched: fetch.bytes_fetched - self.fetch_base.bytes_fetched,
+            fetch_requests: fetch.requests - self.fetch_base.requests,
+            fetch_retries: fetch.retries - self.fetch_base.retries,
+            rows_total: self.rows_total,
+            rows_matched: self.rows_matched,
+            batches: self.batches,
+            decode_seconds: c.decode_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+            wall_seconds: self
+                .wall_seconds
+                .unwrap_or_else(|| self.started.elapsed().as_secs_f64()),
+        }
+    }
+}
+
+impl Iterator for Scan {
+    type Item = Result<RecordBatch>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        loop {
+            if self.buffered_rows >= self.batch_rows {
+                return Some(Ok(self.cut(self.batch_rows)));
+            }
+            match self.next_block() {
+                Some(Ok(block)) => {
+                    self.rows_matched += block.rows_matched;
+                    self.buffered_rows += block.rows_matched as usize;
+                    for (buf, col) in self.buffers.iter_mut().zip(&block.columns) {
+                        if let Err(e) = append(buf, col) {
+                            self.failed = true;
+                            self.finish();
+                            return Some(Err(e));
+                        }
+                    }
+                }
+                Some(Err(e)) => {
+                    self.failed = true;
+                    self.finish();
+                    return Some(Err(e));
+                }
+                None => {
+                    if self.buffered_rows > 0 {
+                        return Some(Ok(self.cut(self.buffered_rows)));
+                    }
+                    self.finish();
+                    return None;
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Scan {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::MemorySource;
+    use btrblocks::{Column, Relation, StringArena};
+
+    fn options(block_size: usize, batch_rows: usize) -> EngineOptions {
+        EngineOptions {
+            batch_rows,
+            config: Config {
+                block_size,
+                ..Config::default()
+            },
+            ..EngineOptions::default()
+        }
+    }
+
+    fn source_of(rel: &Relation, cfg: &Config, id: &str) -> Arc<MemorySource> {
+        let compressed = Arc::new(btrblocks::compress(rel, cfg).unwrap());
+        Arc::new(MemorySource::new(id.to_string(), compressed))
+    }
+
+    #[test]
+    fn full_scan_rechunks_into_fixed_batches() {
+        let engine = ScanEngine::new(options(1_000, 700));
+        let rel = Relation::new(vec![Column::new(
+            "id",
+            ColumnData::Int((0..4_500).collect()),
+        )]);
+        let sidecar = Sidecar::build(&rel, 1_000);
+        let source = source_of(&rel, &engine.options.config, "full");
+        let scan = engine
+            .scan(source, &sidecar, &ScanSpec::project(["id"]))
+            .unwrap();
+        let batches: Vec<_> = scan.map(|b| b.unwrap()).collect();
+        // 4500 rows in 700-row batches: 6 full + one 300-row remainder.
+        assert_eq!(batches.len(), 7);
+        assert!(batches[..6].iter().all(|b| b.rows() == 700));
+        assert_eq!(batches[6].rows(), 300);
+        let all: Vec<i32> = batches
+            .iter()
+            .flat_map(|b| match b.column("id").unwrap() {
+                ColumnData::Int(v) => v.clone(),
+                _ => unreachable!("projected an int column"),
+            })
+            .collect();
+        assert_eq!(all, (0..4_500).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pushdown_fast_path_skips_decoding_filtered_out_blocks() {
+        let engine = ScanEngine::new(options(1_000, 4_096));
+        // Low-cardinality ints compress to Dict/RLE/OneValue — all fast-path
+        // schemes — and the value 7 never occurs.
+        let rel = Relation::new(vec![Column::new(
+            "k",
+            ColumnData::Int((0..4_000).map(|i| i % 3).collect()),
+        )]);
+        let sidecar = Sidecar::build(&rel, 1_000);
+        let source = source_of(&rel, &engine.options.config, "pushdown");
+        let spec = ScanSpec::project(["k"]).with_predicate(crate::plan::Predicate {
+            column: "k".into(),
+            op: CmpOp::Eq,
+            literal: Literal::Int(7),
+        });
+        let mut scan = engine.scan(source, &sidecar, &spec).unwrap();
+        assert_eq!(scan.by_ref().count(), 0);
+        let report = scan.report();
+        // Zones are (0,2) so Eq(7) prunes everything before any fetch...
+        assert_eq!(report.blocks_pruned, 4);
+        assert_eq!(report.blocks_fetched, 0);
+
+        // ...so force fetches with a predicate inside the zone range but
+        // absent from the data (i % 3 != 1 on even-only values).
+        let rel = Relation::new(vec![Column::new(
+            "k",
+            ColumnData::Int((0..4_000).map(|i| (i % 3) * 2).collect()),
+        )]);
+        let sidecar = Sidecar::build(&rel, 1_000);
+        let source = source_of(&rel, &engine.options.config, "pushdown2");
+        let spec = ScanSpec::project(["k"]).with_predicate(crate::plan::Predicate {
+            column: "k".into(),
+            op: CmpOp::Eq,
+            literal: Literal::Int(3),
+        });
+        let mut scan = engine.scan(source, &sidecar, &spec).unwrap();
+        assert_eq!(scan.by_ref().count(), 0);
+        let report = scan.report();
+        assert_eq!(report.blocks_pruned, 0);
+        assert_eq!(report.blocks_pushdown_fast_path, 4);
+        assert_eq!(report.blocks_decoded, 0, "no rows matched, nothing decoded");
+        assert_eq!(report.rows_matched, 0);
+    }
+
+    #[test]
+    fn predicate_column_decode_is_reused_for_projection() {
+        let engine = ScanEngine::new(options(1_000, 4_096));
+        let rel = Relation::new(vec![Column::new(
+            "id",
+            ColumnData::Int((0..2_000).collect()),
+        )]);
+        let sidecar = Sidecar::build(&rel, 1_000);
+        let source = source_of(&rel, &engine.options.config, "reuse");
+        let spec = ScanSpec::project(["id"]).with_predicate(crate::plan::Predicate {
+            column: "id".into(),
+            op: CmpOp::Ge,
+            literal: Literal::Int(0),
+        });
+        let mut scan = engine.scan(source, &sidecar, &spec).unwrap();
+        let rows: usize = scan.by_ref().map(|b| b.unwrap().rows()).sum();
+        assert_eq!(rows, 2_000);
+        let report = scan.report();
+        // Whatever path the predicate took, each block is fetched at most
+        // once and decoded at most once.
+        assert!(report.blocks_fetched <= 2);
+        assert!(report.blocks_decoded <= 2);
+    }
+
+    #[test]
+    fn warm_cache_skips_fetch_and_decode() {
+        let engine = ScanEngine::new(options(1_000, 4_096));
+        let strings: Vec<String> = (0..3_000).map(|i| format!("v{}", i % 17)).collect();
+        let refs: Vec<&str> = strings.iter().map(|s| s.as_str()).collect();
+        let rel = Relation::new(vec![
+            Column::new("id", ColumnData::Int((0..3_000).collect())),
+            Column::new("tag", ColumnData::Str(StringArena::from_strs(&refs))),
+        ]);
+        let sidecar = Sidecar::build(&rel, 1_000);
+        let source = source_of(&rel, &engine.options.config, "warm");
+        let spec = ScanSpec::project(["id", "tag"]);
+
+        let mut cold = engine.scan(source.clone(), &sidecar, &spec).unwrap();
+        let cold_rows: usize = cold.by_ref().map(|b| b.unwrap().rows()).sum();
+        let cold_report = cold.report();
+        assert_eq!(cold_rows, 3_000);
+        assert!(cold_report.blocks_decoded > 0);
+
+        let mut warm = engine.scan(source, &sidecar, &spec).unwrap();
+        let warm_rows: usize = warm.by_ref().map(|b| b.unwrap().rows()).sum();
+        let warm_report = warm.report();
+        assert_eq!(warm_rows, 3_000);
+        assert_eq!(warm_report.cache_hits, 6, "both columns, all blocks");
+        assert_eq!(warm_report.blocks_fetched, 0);
+        assert_eq!(warm_report.blocks_decoded, 0);
+        assert_eq!(warm_report.bytes_fetched, 0);
+    }
+
+    #[test]
+    fn type_mismatched_predicate_surfaces_as_error() {
+        let engine = ScanEngine::new(options(1_000, 4_096));
+        let rel = Relation::new(vec![Column::new(
+            "id",
+            ColumnData::Int((0..2_000).collect()),
+        )]);
+        let sidecar = Sidecar::build(&rel, 1_000);
+        let source = source_of(&rel, &engine.options.config, "mismatch");
+        let spec = ScanSpec::project(["id"]).with_predicate(crate::plan::Predicate {
+            column: "id".into(),
+            op: CmpOp::Eq,
+            literal: Literal::Double(1.0),
+        });
+        let mut scan = engine.scan(source, &sidecar, &spec).unwrap();
+        let first = scan.next();
+        assert!(matches!(first, Some(Err(ScanError::Decode(_)))));
+        assert!(scan.next().is_none(), "scan fuses after an error");
+    }
+
+    #[test]
+    fn dropping_a_scan_early_does_not_hang() {
+        let engine = ScanEngine::new(EngineOptions {
+            prefetch: 2,
+            ..options(500, 100)
+        });
+        let rel = Relation::new(vec![Column::new(
+            "id",
+            ColumnData::Int((0..50_000).collect()),
+        )]);
+        let sidecar = Sidecar::build(&rel, 500);
+        let source = source_of(&rel, &engine.options.config, "drop-early");
+        let mut scan = engine
+            .scan(source, &sidecar, &ScanSpec::project(["id"]))
+            .unwrap();
+        let first = scan.next().unwrap().unwrap();
+        assert_eq!(first.rows(), 100);
+        drop(scan); // must cancel + join without deadlock
+    }
+
+    #[test]
+    fn empty_relation_scans_cleanly() {
+        let engine = ScanEngine::new(options(1_000, 4_096));
+        let rel = Relation::new(vec![Column::new("id", ColumnData::Int(Vec::new()))]);
+        let sidecar = Sidecar::build(&rel, 1_000);
+        let source = source_of(&rel, &engine.options.config, "empty");
+        let mut scan = engine
+            .scan(source, &sidecar, &ScanSpec::project(["id"]))
+            .unwrap();
+        let rows: usize = scan.by_ref().map(|b| b.unwrap().rows()).sum();
+        assert_eq!(rows, 0);
+        assert_eq!(scan.report().batches, 0);
+    }
+}

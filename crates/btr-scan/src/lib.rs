@@ -1,0 +1,166 @@
+//! btr-scan: a pipelined scan engine over BtrBlocks relations.
+//!
+//! The paper's economics (§6.7) hinge on scans of cloud-resident data being
+//! network-bound: decompression must keep up with the wire, and "metadata,
+//! statistics and indices … may be added on top" (§2.1) to avoid moving
+//! bytes at all. This crate is that serving layer. It composes pieces that
+//! already exist in the workspace — zone-map sidecars
+//! ([`btrblocks::Sidecar`]), compressed-domain predicate evaluation
+//! ([`btrblocks::filter_block`]), per-block decode
+//! ([`btrblocks::decompress_block`]) and the costed object store
+//! ([`btr_s3sim::ObjectStore`]) — into one pull-based pipeline:
+//!
+//! ```text
+//! planner ──> prefetch (ranged GETs, bounded in-flight, retries)
+//!        \        │
+//!         \       ▼
+//!          decode workers ──(in block order)──> BatchIterator ──> RecordBatch
+//!               │   ▲
+//!               ▼   │ hits skip fetch + decode entirely
+//!          decoded-block cache (sharded LRU, byte budget)
+//! ```
+//!
+//! * **Planner** ([`plan`]): resolves the projection and predicate against
+//!   the source schema and consults the zone-map sidecar; blocks whose zones
+//!   cannot match are pruned before any byte is fetched.
+//! * **Prefetch + decode** ([`engine`]): a worker pool claims surviving row
+//!   groups with a bounded look-ahead window, fetches block payloads
+//!   (ranged GETs with retry/backoff against an object store, or slices of
+//!   an in-memory relation), evaluates the predicate in the compressed
+//!   domain when the scheme has a fast path, and decodes only what survives.
+//! * **Cache** ([`cache`]): a sharded LRU of *decoded* blocks keyed by
+//!   `(relation, column, block)` under a byte budget — repeated scans of hot
+//!   columns skip decompression entirely.
+//! * **Batches** ([`batch`]): results materialize as fixed-size
+//!   [`RecordBatch`]es pulled from a [`Scan`] iterator; every scan yields a
+//!   [`ScanReport`] quantifying the fetch-vs-decode trade-off the paper
+//!   measures.
+//!
+//! # Quick start
+//!
+//! ```
+//! use btrblocks::{Column, ColumnData, Config, Relation, Sidecar, CmpOp, Literal};
+//! use btr_scan::{EngineOptions, MemorySource, Predicate, ScanEngine, ScanSpec};
+//! use std::sync::Arc;
+//!
+//! let cfg = Config { block_size: 1_000, ..Config::default() };
+//! let rel = Relation::new(vec![Column::new("id", ColumnData::Int((0..10_000).collect()))]);
+//! let sidecar = Sidecar::build(&rel, cfg.block_size);
+//! let compressed = Arc::new(btrblocks::compress(&rel, &cfg).unwrap());
+//!
+//! let engine = ScanEngine::new(EngineOptions { config: cfg, ..EngineOptions::default() });
+//! let source = Arc::new(MemorySource::new("rel", compressed));
+//! let spec = ScanSpec::project(["id"]).with_predicate(Predicate {
+//!     column: "id".into(),
+//!     op: CmpOp::Lt,
+//!     literal: Literal::Int(1_500),
+//! });
+//! let mut scan = engine.scan(source, &sidecar, &spec).unwrap();
+//! let rows: usize = scan.by_ref().map(|b| b.unwrap().rows()).sum();
+//! assert_eq!(rows, 1_500);
+//! assert!(scan.report().blocks_pruned > 0);
+//! ```
+
+pub mod batch;
+pub mod cache;
+pub mod engine;
+pub mod layout;
+pub mod plan;
+pub mod source;
+
+pub use batch::RecordBatch;
+pub use cache::{BlockCache, BlockKey, CacheStats};
+pub use engine::{EngineOptions, Scan, ScanEngine, ScanReport};
+pub use layout::{ColumnLayout, RelationLayout};
+pub use plan::{plan_scan, Predicate, RowGroup, ScanPlan, ScanSpec};
+pub use source::{BlockSource, FetchStats, MemorySource, ObjectStoreSource, SourceColumn};
+
+/// Errors produced while planning or executing a scan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScanError {
+    /// A projected or predicated column does not exist in the source.
+    UnknownColumn(String),
+    /// The scan projects no columns.
+    EmptyProjection,
+    /// Columns involved in the scan disagree on block count, so there is no
+    /// consistent row-group structure to iterate.
+    RaggedBlocks {
+        /// The offending column.
+        column: String,
+        /// Block count of the first involved column.
+        expected: usize,
+        /// Block count actually found.
+        got: usize,
+    },
+    /// The zone-map sidecar does not describe the relation being scanned.
+    SidecarMismatch(&'static str),
+    /// A block index outside the column's range was requested.
+    BlockOutOfRange {
+        /// Column index.
+        column: u32,
+        /// Requested block index.
+        block: u32,
+    },
+    /// Decode-side failure from the block codecs.
+    Decode(btrblocks::Error),
+    /// The object behind the scan is missing from the store.
+    MissingObject(String),
+    /// A block fetch kept failing (transient faults and/or checksum
+    /// mismatches) until the retry budget ran out.
+    FetchFailed {
+        /// Column index.
+        column: u32,
+        /// Block index.
+        block: u32,
+        /// Attempts made.
+        attempts: u32,
+    },
+    /// A serialized [`RelationLayout`] could not be parsed.
+    CorruptLayout(&'static str),
+    /// A scan worker panicked; the message names the row group.
+    Worker(String),
+}
+
+impl std::fmt::Display for ScanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScanError::UnknownColumn(name) => write!(f, "unknown column '{name}'"),
+            ScanError::EmptyProjection => write!(f, "scan projects no columns"),
+            ScanError::RaggedBlocks {
+                column,
+                expected,
+                got,
+            } => write!(
+                f,
+                "column '{column}' has {got} blocks, expected {expected}"
+            ),
+            ScanError::SidecarMismatch(m) => write!(f, "sidecar mismatch: {m}"),
+            ScanError::BlockOutOfRange { column, block } => {
+                write!(f, "block {block} out of range for column {column}")
+            }
+            ScanError::Decode(e) => write!(f, "decode error: {e}"),
+            ScanError::MissingObject(key) => write!(f, "object '{key}' not found"),
+            ScanError::FetchFailed {
+                column,
+                block,
+                attempts,
+            } => write!(
+                f,
+                "fetch of column {column} block {block} still failing after {attempts} attempts"
+            ),
+            ScanError::CorruptLayout(m) => write!(f, "corrupt relation layout: {m}"),
+            ScanError::Worker(m) => write!(f, "scan worker panicked: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ScanError {}
+
+impl From<btrblocks::Error> for ScanError {
+    fn from(e: btrblocks::Error) -> Self {
+        ScanError::Decode(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, ScanError>;

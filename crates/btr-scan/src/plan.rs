@@ -1,0 +1,321 @@
+//! Scan planning: resolve names, validate block structure, prune row groups.
+//!
+//! Every column of a relation is chunked with the same `block_size`, so block
+//! `i` of each column covers the same row range — a row group. The planner
+//! resolves the projection and predicate against the source schema, checks
+//! that the involved columns agree on that structure, and consults the
+//! zone-map sidecar ([`btrblocks::Sidecar`]) to drop row groups whose
+//! predicate-column zones cannot match. Pruned groups are never fetched; the
+//! paper's "prune before accessing a file through a high-latency network"
+//! (§2.1) happens here.
+
+use crate::source::BlockSource;
+use crate::{Result, ScanError};
+use btrblocks::{CmpOp, Literal, Sidecar};
+
+/// A pushed-down comparison against one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Predicate {
+    /// Column the predicate applies to.
+    pub column: String,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Literal to compare against (must match the column's type).
+    pub literal: Literal,
+}
+
+/// What to scan: a projection plus an optional predicate.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ScanSpec {
+    /// Columns to return, in output order.
+    pub projection: Vec<String>,
+    /// Optional filter.
+    pub predicate: Option<Predicate>,
+}
+
+impl ScanSpec {
+    /// A spec projecting the given columns.
+    pub fn project<I>(columns: I) -> ScanSpec
+    where
+        I: IntoIterator,
+        I::Item: Into<String>,
+    {
+        ScanSpec {
+            projection: columns.into_iter().map(Into::into).collect(),
+            predicate: None,
+        }
+    }
+
+    /// Adds a predicate.
+    pub fn with_predicate(mut self, predicate: Predicate) -> ScanSpec {
+        self.predicate = Some(predicate);
+        self
+    }
+}
+
+/// One surviving row group: a block index plus its row extent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowGroup {
+    /// Block index (same across all involved columns).
+    pub block: u32,
+    /// Rows in this group.
+    pub rows: u32,
+    /// Absolute row offset of the group's first row.
+    pub base_row: u64,
+}
+
+/// A validated, pruned plan ready for execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanPlan {
+    /// Source column indices to project, in output order.
+    pub projection: Vec<usize>,
+    /// Source column index of the predicate column, if any.
+    pub predicate_column: Option<usize>,
+    /// Row groups that survived pruning, in block order.
+    pub row_groups: Vec<RowGroup>,
+    /// Row groups before pruning.
+    pub blocks_total: usize,
+    /// Row groups the sidecar eliminated.
+    pub blocks_pruned: usize,
+    /// Total rows in the relation.
+    pub rows_total: u64,
+}
+
+/// Plans a scan of `spec` over `source`, pruning with `sidecar`.
+pub fn plan_scan(
+    source: &dyn BlockSource,
+    sidecar: &Sidecar,
+    spec: &ScanSpec,
+) -> Result<ScanPlan> {
+    if spec.projection.is_empty() {
+        return Err(ScanError::EmptyProjection);
+    }
+    let columns = source.columns();
+    let resolve = |name: &str| -> Result<usize> {
+        columns
+            .iter()
+            .position(|c| c.name == name)
+            .ok_or_else(|| ScanError::UnknownColumn(name.to_string()))
+    };
+    let projection: Vec<usize> = spec
+        .projection
+        .iter()
+        .map(|name| resolve(name))
+        .collect::<Result<_>>()?;
+    let predicate_column = spec
+        .predicate
+        .as_ref()
+        .map(|p| resolve(&p.column))
+        .transpose()?;
+
+    // All involved columns must agree on block count, or there is no row
+    // group structure to iterate.
+    let mut involved: Vec<usize> = projection.clone();
+    involved.extend(predicate_column);
+    let first = &columns[involved[0]];
+    for &idx in &involved {
+        let col = &columns[idx];
+        if col.blocks != first.blocks {
+            return Err(ScanError::RaggedBlocks {
+                column: col.name.clone(),
+                expected: first.blocks,
+                got: col.blocks,
+            });
+        }
+    }
+
+    // Row counts per group come from the sidecar; any involved column's meta
+    // works since they all chunk identically. Validate it describes this
+    // relation before trusting it.
+    let meta_col = &columns[involved[0]];
+    if meta_col.blocks == 0 {
+        // Empty columns compress to zero blocks while `Sidecar::build` emits
+        // one empty zone; accept the mismatch iff the relation is empty.
+        if source.rows() != 0 {
+            return Err(ScanError::SidecarMismatch("relation has rows but no blocks"));
+        }
+        return Ok(ScanPlan {
+            projection,
+            predicate_column,
+            row_groups: Vec::new(),
+            blocks_total: 0,
+            blocks_pruned: 0,
+            rows_total: 0,
+        });
+    }
+    let meta = sidecar
+        .column(&meta_col.name)
+        .ok_or(ScanError::SidecarMismatch("column missing from sidecar"))?;
+    if meta.block_rows.len() != meta_col.blocks {
+        return Err(ScanError::SidecarMismatch(
+            "sidecar block count disagrees with source",
+        ));
+    }
+    let sidecar_rows: u64 = meta.block_rows.iter().map(|&r| u64::from(r)).sum();
+    if sidecar_rows != source.rows() {
+        return Err(ScanError::SidecarMismatch(
+            "sidecar row count disagrees with source",
+        ));
+    }
+
+    let pred_meta = match (&spec.predicate, predicate_column) {
+        (Some(p), Some(idx)) => {
+            let meta = sidecar
+                .column(&columns[idx].name)
+                .ok_or(ScanError::SidecarMismatch("column missing from sidecar"))?;
+            Some((p, meta))
+        }
+        _ => None,
+    };
+
+    let blocks_total = meta_col.blocks;
+    let mut row_groups = Vec::with_capacity(blocks_total);
+    let mut base_row = 0u64;
+    for block in 0..blocks_total {
+        let rows = meta.block_rows[block];
+        let survives = match &pred_meta {
+            Some((p, pmeta)) => pmeta
+                .zones
+                .get(block)
+                .is_none_or(|zone| zone.may_match(p.op, &p.literal)),
+            None => true,
+        };
+        if survives {
+            row_groups.push(RowGroup {
+                block: block as u32,
+                rows,
+                base_row,
+            });
+        }
+        base_row += u64::from(rows);
+    }
+    let blocks_pruned = blocks_total - row_groups.len();
+    Ok(ScanPlan {
+        projection,
+        predicate_column,
+        row_groups,
+        blocks_total,
+        blocks_pruned,
+        rows_total: source.rows(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::MemorySource;
+    use btrblocks::{Column, ColumnData, Config, Relation, StringArena};
+    use std::sync::Arc;
+
+    fn setup() -> (MemorySource, Sidecar) {
+        let cfg = Config {
+            block_size: 1_000,
+            ..Config::default()
+        };
+        let strings: Vec<String> = (0..4_500).map(|i| format!("s{}", i % 11)).collect();
+        let refs: Vec<&str> = strings.iter().map(|s| s.as_str()).collect();
+        let rel = Relation::new(vec![
+            Column::new("id", ColumnData::Int((0..4_500).collect())),
+            Column::new("val", ColumnData::Double((0..4_500).map(f64::from).collect())),
+            Column::new("tag", ColumnData::Str(StringArena::from_strs(&refs))),
+        ]);
+        let sidecar = Sidecar::build(&rel, cfg.block_size);
+        let compressed = Arc::new(btrblocks::compress(&rel, &cfg).unwrap());
+        (MemorySource::new("rel", compressed), sidecar)
+    }
+
+    #[test]
+    fn prunes_non_matching_groups_and_keeps_row_offsets() {
+        let (source, sidecar) = setup();
+        let spec = ScanSpec::project(["id", "tag"]).with_predicate(Predicate {
+            column: "id".into(),
+            op: CmpOp::Lt,
+            literal: Literal::Int(1_500),
+        });
+        let plan = plan_scan(&source, &sidecar, &spec).unwrap();
+        assert_eq!(plan.projection, vec![0, 2]);
+        assert_eq!(plan.predicate_column, Some(0));
+        assert_eq!(plan.blocks_total, 5);
+        assert_eq!(plan.blocks_pruned, 3);
+        assert_eq!(
+            plan.row_groups,
+            vec![
+                RowGroup { block: 0, rows: 1_000, base_row: 0 },
+                RowGroup { block: 1, rows: 1_000, base_row: 1_000 },
+            ]
+        );
+        assert_eq!(plan.rows_total, 4_500);
+    }
+
+    #[test]
+    fn no_predicate_keeps_every_group() {
+        let (source, sidecar) = setup();
+        let plan = plan_scan(&source, &sidecar, &ScanSpec::project(["val"])).unwrap();
+        assert_eq!(plan.blocks_pruned, 0);
+        assert_eq!(plan.row_groups.len(), 5);
+        // Last group is the 500-row remainder.
+        assert_eq!(plan.row_groups[4].rows, 500);
+        assert_eq!(plan.row_groups[4].base_row, 4_000);
+    }
+
+    #[test]
+    fn string_predicates_never_prune() {
+        let (source, sidecar) = setup();
+        let spec = ScanSpec::project(["id"]).with_predicate(Predicate {
+            column: "tag".into(),
+            op: CmpOp::Eq,
+            literal: Literal::Str(b"s3".to_vec()),
+        });
+        let plan = plan_scan(&source, &sidecar, &spec).unwrap();
+        assert_eq!(plan.blocks_pruned, 0);
+        assert_eq!(plan.predicate_column, Some(2));
+    }
+
+    #[test]
+    fn validation_errors() {
+        let (source, sidecar) = setup();
+        assert_eq!(
+            plan_scan(&source, &sidecar, &ScanSpec::default()).unwrap_err(),
+            ScanError::EmptyProjection
+        );
+        assert_eq!(
+            plan_scan(&source, &sidecar, &ScanSpec::project(["ghost"])).unwrap_err(),
+            ScanError::UnknownColumn("ghost".into())
+        );
+        let spec = ScanSpec::project(["id"]).with_predicate(Predicate {
+            column: "ghost".into(),
+            op: CmpOp::Eq,
+            literal: Literal::Int(0),
+        });
+        assert_eq!(
+            plan_scan(&source, &sidecar, &spec).unwrap_err(),
+            ScanError::UnknownColumn("ghost".into())
+        );
+    }
+
+    #[test]
+    fn sidecar_mismatches_are_rejected() {
+        let (source, sidecar) = setup();
+        let mut missing = sidecar.clone();
+        missing.columns.remove(0);
+        assert!(matches!(
+            plan_scan(&source, &missing, &ScanSpec::project(["id"])).unwrap_err(),
+            ScanError::SidecarMismatch(_)
+        ));
+
+        let mut short = sidecar.clone();
+        short.columns[0].block_rows.pop();
+        short.columns[0].zones.pop();
+        assert!(matches!(
+            plan_scan(&source, &short, &ScanSpec::project(["id"])).unwrap_err(),
+            ScanError::SidecarMismatch(_)
+        ));
+
+        let mut wrong_rows = sidecar;
+        wrong_rows.columns[0].block_rows[0] -= 1;
+        assert!(matches!(
+            plan_scan(&source, &wrong_rows, &ScanSpec::project(["id"])).unwrap_err(),
+            ScanError::SidecarMismatch(_)
+        ));
+    }
+}

@@ -1,0 +1,199 @@
+//! End-to-end scan over a simulated object store.
+//!
+//! The acceptance scenario for the scan engine: a multi-block relation
+//! behind `btr-s3sim`, a selective predicate, and three claims to prove —
+//! pruned blocks are never fetched, results are byte-identical to
+//! decompress-then-filter over the full relation, and a repeat scan is
+//! served from the decoded-block cache.
+
+use btr_s3sim::{FaultPlan, ObjectStore, RetryPolicy};
+use btr_scan::{
+    BlockSource, EngineOptions, ObjectStoreSource, Predicate, RecordBatch, RelationLayout,
+    ScanEngine, ScanSpec,
+};
+use btrblocks::{
+    CmpOp, Column, ColumnData, Config, Literal, Relation, Sidecar, StringArena,
+};
+use std::sync::Arc;
+
+const BLOCK_SIZE: usize = 1_000;
+const ROWS: i32 = 20_000;
+const CUTOFF: i32 = 3_000;
+
+fn config() -> Config {
+    Config {
+        block_size: BLOCK_SIZE,
+        ..Config::default()
+    }
+}
+
+fn build_relation() -> Relation {
+    let ids: Vec<i32> = (0..ROWS).collect();
+    let vals: Vec<f64> = (0..ROWS).map(|i| f64::from(i) * 0.25).collect();
+    let tags: Vec<String> = (0..ROWS).map(|i| format!("tag-{:02}", i % 37)).collect();
+    let refs: Vec<&str> = tags.iter().map(|s| s.as_str()).collect();
+    Relation::new(vec![
+        Column::new("id", ColumnData::Int(ids)),
+        Column::new("val", ColumnData::Double(vals)),
+        Column::new("tag", ColumnData::Str(StringArena::from_strs(&refs))),
+    ])
+}
+
+/// Reference result: decompress the *entire* relation, then filter row by
+/// row — the baseline the scan engine must match byte for byte.
+fn decompress_then_filter(file: &[u8], cfg: &Config) -> (ColumnData, ColumnData) {
+    let full = btrblocks::decompress(file, cfg).expect("reference decode");
+    let ids = match &full.columns[0].data {
+        ColumnData::Int(v) => v,
+        other => panic!("id decoded as {other:?}"),
+    };
+    let keep: Vec<usize> = (0..ids.len()).filter(|&i| ids[i] < CUTOFF).collect();
+    let id_out = ColumnData::Int(keep.iter().map(|&i| ids[i]).collect());
+    let tag_out = match &full.columns[2].data {
+        ColumnData::Str(arena) => ColumnData::Str(arena.gather(keep.iter().copied())),
+        other => panic!("tag decoded as {other:?}"),
+    };
+    (id_out, tag_out)
+}
+
+fn concat(batches: &[RecordBatch], column: &str) -> ColumnData {
+    let mut iter = batches.iter().filter(|b| b.rows() > 0);
+    let first = iter
+        .next()
+        .and_then(|b| b.column(column).cloned())
+        .expect("at least one non-empty batch");
+    iter.fold(first, |mut acc, b| {
+        let src = b.column(column).expect("column present in every batch");
+        match (&mut acc, src) {
+            (ColumnData::Int(d), ColumnData::Int(s)) => d.extend_from_slice(s),
+            (ColumnData::Double(d), ColumnData::Double(s)) => d.extend_from_slice(s),
+            (ColumnData::Str(d), ColumnData::Str(s)) => {
+                for i in 0..s.len() {
+                    d.push(s.get(i));
+                }
+            }
+            _ => panic!("column type changed between batches"),
+        }
+        acc
+    })
+}
+
+fn spec() -> ScanSpec {
+    ScanSpec::project(["id", "tag"]).with_predicate(Predicate {
+        column: "id".into(),
+        op: CmpOp::Lt,
+        literal: Literal::Int(CUTOFF),
+    })
+}
+
+#[test]
+fn selective_scan_over_object_store_prunes_matches_and_caches() {
+    let cfg = config();
+    let rel = build_relation();
+    let sidecar = Sidecar::build(&rel, BLOCK_SIZE);
+    let compressed = btrblocks::compress(&rel, &cfg).expect("compress");
+    let layout = RelationLayout::of(&compressed);
+    let file = compressed.to_bytes();
+    let file_len = file.len() as u64;
+    assert_eq!(layout.file_len, file_len);
+
+    let store = Arc::new(ObjectStore::new());
+    store.put("lake/rel.btr", file.clone());
+    let source = Arc::new(ObjectStoreSource::new(
+        store.clone(),
+        "lake/rel.btr",
+        layout,
+        RetryPolicy::default(),
+    ));
+
+    let engine = ScanEngine::new(EngineOptions {
+        config: cfg.clone(),
+        batch_rows: 700,
+        ..EngineOptions::default()
+    });
+
+    // --- Cold scan ---------------------------------------------------------
+    let mut scan = engine.scan(source.clone(), &sidecar, &spec()).expect("plan");
+    let batches: Vec<RecordBatch> = scan.by_ref().map(|b| b.expect("batch")).collect();
+    let cold = scan.report();
+
+    // (a) Pruning is visible on the wire: 17 of 20 row groups never leave
+    // the store, so the scan moves a fraction of the object.
+    assert_eq!(cold.blocks_total, 20);
+    assert_eq!(cold.blocks_pruned, 17);
+    assert!(
+        cold.bytes_fetched < file_len / 2,
+        "selective scan fetched {} of {} bytes",
+        cold.bytes_fetched,
+        file_len
+    );
+    assert_eq!(cold.bytes_fetched, source.stats().bytes_fetched);
+    let counters = store.counters();
+    assert_eq!(counters.get_requests, 0, "only ranged GETs expected");
+    assert!(counters.ranged_get_requests >= 6, "id + tag per surviving group");
+
+    // (b) Byte-identical to decompress-then-filter over the full relation.
+    let (want_ids, want_tags) = decompress_then_filter(&file, &cfg);
+    assert_eq!(concat(&batches, "id"), want_ids);
+    assert_eq!(concat(&batches, "tag"), want_tags);
+    assert_eq!(cold.rows_matched, CUTOFF as u64);
+    assert_eq!(cold.rows_total, ROWS as u64);
+    assert!(cold.blocks_decoded > 0);
+
+    // --- Warm scan ---------------------------------------------------------
+    let mut scan = engine.scan(source.clone(), &sidecar, &spec()).expect("plan");
+    let warm_batches: Vec<RecordBatch> = scan.by_ref().map(|b| b.expect("batch")).collect();
+    let warm = scan.report();
+
+    // (c) The repeat scan is served from the decoded-block cache: no new
+    // fetches, no new decodes, strictly less decode time.
+    assert!(warm.cache_hits > 0);
+    assert_eq!(warm.blocks_decoded, 0);
+    assert_eq!(warm.blocks_fetched, 0);
+    assert_eq!(warm.bytes_fetched, 0);
+    assert!(warm.decode_seconds <= cold.decode_seconds);
+    assert_eq!(concat(&warm_batches, "id"), want_ids);
+    assert_eq!(concat(&warm_batches, "tag"), want_tags);
+}
+
+#[test]
+fn scan_survives_transient_store_faults() {
+    let cfg = config();
+    let rel = build_relation();
+    let sidecar = Sidecar::build(&rel, BLOCK_SIZE);
+    let compressed = btrblocks::compress(&rel, &cfg).expect("compress");
+    let layout = RelationLayout::of(&compressed);
+    let file = compressed.to_bytes();
+
+    let store = Arc::new(ObjectStore::new());
+    store.put("lake/rel.btr", file.clone());
+    // Half the GET attempts fail; the per-(range, attempt) draw is
+    // deterministic, so this test is stable.
+    store.set_fault_plan(Some(FaultPlan::transient(0.5, 20_230_613)));
+    let source = Arc::new(ObjectStoreSource::new(
+        store,
+        "lake/rel.btr",
+        layout,
+        RetryPolicy {
+            max_attempts: 16,
+            ..RetryPolicy::default()
+        },
+    ));
+
+    let engine = ScanEngine::new(EngineOptions {
+        config: cfg.clone(),
+        ..EngineOptions::default()
+    });
+    let mut scan = engine.scan(source, &sidecar, &spec()).expect("plan");
+    let batches: Vec<RecordBatch> = scan.by_ref().map(|b| b.expect("batch")).collect();
+    let report = scan.report();
+
+    assert!(
+        report.fetch_retries > 0,
+        "a 50% fault rate must force retries"
+    );
+    assert!(report.fetch_requests > report.fetch_retries);
+    let (want_ids, want_tags) = decompress_then_filter(&file, &cfg);
+    assert_eq!(concat(&batches, "id"), want_ids);
+    assert_eq!(concat(&batches, "tag"), want_tags);
+}

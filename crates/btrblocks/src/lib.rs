@@ -48,9 +48,14 @@ pub mod stats;
 pub mod types;
 pub mod writer;
 
+pub use block::{compress_block, decompress_block, peek_scheme, BlockRef};
 pub use config::{Config, SimdMode};
+pub use metadata::{BlockZone, ColumnMeta, Sidecar};
 pub use parallel::{compress_parallel, decompress_parallel};
-pub use relation::{compress, decompress, Column, CompressedColumn, CompressedRelation, Relation};
+pub use query::{filter_block, filter_decoded, has_fast_path, CmpOp, Literal};
+pub use relation::{
+    compress, decompress, BlockRange, Column, CompressedColumn, CompressedRelation, Relation,
+};
 pub use scheme::SchemeCode;
 pub use types::{ColumnData, ColumnType, DecodedColumn, StringArena, StringViews};
 

@@ -372,4 +372,158 @@ mod tests {
         let zone = BlockZone::Str;
         assert!(zone.may_match(CmpOp::Eq, &Literal::Str(b"x".to_vec())));
     }
+
+    /// Reference implementation: decompress everything, filter row by row.
+    /// Pruning is only correct if it never loses a row this scan finds.
+    fn reference_double_filter(values: &[f64], op: CmpOp, lit: f64) -> Vec<u32> {
+        values
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| op.matches(v, &lit).then_some(i as u32))
+            .collect()
+    }
+
+    #[test]
+    fn all_nan_blocks_prune_safely() {
+        let cfg = Config {
+            block_size: 100,
+            ..Config::default()
+        };
+        // Block 0: plain values. Block 1: all NaN. Block 2: plain values.
+        let mut values = vec![0.0f64; 300];
+        for (i, v) in values.iter_mut().enumerate() {
+            *v = match i / 100 {
+                0 => i as f64,
+                1 => f64::NAN,
+                _ => i as f64 - 200.0,
+            };
+        }
+        let rel = Relation::new(vec![Column::new(
+            "d",
+            ColumnData::Double(values.clone()),
+        )]);
+        let sidecar = Sidecar::build(&rel, cfg.block_size);
+        // The all-NaN block's zone collapses to (0.0, 0.0) + has_nan.
+        match sidecar.columns[0].zones[1] {
+            BlockZone::Double { min, max, has_nan } => {
+                assert_eq!((min, max), (0.0, 0.0));
+                assert!(has_nan);
+            }
+            ref other => panic!("unexpected zone {other:?}"),
+        }
+        let compressed = compress(&rel, &cfg).unwrap();
+        for (op, lit) in [
+            (CmpOp::Eq, 0.0),
+            (CmpOp::Eq, 50.0),
+            (CmpOp::Lt, 10.0),
+            (CmpOp::Ge, 0.0),
+            (CmpOp::Gt, 98.5),
+            (CmpOp::Eq, f64::NAN),
+        ] {
+            let (matches, _) = pruned_filter(
+                &compressed,
+                &sidecar,
+                "d",
+                op,
+                &Literal::Double(lit),
+                &cfg,
+            )
+            .unwrap();
+            assert_eq!(
+                matches.iter().collect::<Vec<_>>(),
+                reference_double_filter(&values, op, lit),
+                "op {op:?} lit {lit}"
+            );
+        }
+        // A NaN literal prunes everything outright: NaN matches no comparison.
+        let (matches, decoded) = pruned_filter(
+            &compressed,
+            &sidecar,
+            "d",
+            CmpOp::Eq,
+            &Literal::Double(f64::NAN),
+            &cfg,
+        )
+        .unwrap();
+        assert!(matches.is_empty());
+        assert_eq!(decoded, 0);
+    }
+
+    #[test]
+    fn has_nan_does_not_widen_range_pruning() {
+        // NaN values in a block must not stop range predicates from pruning
+        // on the non-NaN min/max — NaN can never satisfy the predicate.
+        let cfg = Config {
+            block_size: 4,
+            ..Config::default()
+        };
+        let values = vec![1.0, 2.0, f64::NAN, 3.0, 10.0, f64::NAN, 11.0, 12.0];
+        let rel = Relation::new(vec![Column::new(
+            "d",
+            ColumnData::Double(values.clone()),
+        )]);
+        let sidecar = Sidecar::build(&rel, cfg.block_size);
+        let compressed = compress(&rel, &cfg).unwrap();
+        // Gt(5): block 0 (max 3) prunes even though it contains NaN.
+        let (matches, decoded) =
+            pruned_filter(&compressed, &sidecar, "d", CmpOp::Gt, &Literal::Double(5.0), &cfg)
+                .unwrap();
+        assert_eq!(matches.iter().collect::<Vec<_>>(), vec![4, 6, 7]);
+        assert_eq!(decoded, 1, "only the high block decodes");
+        // Le(3): block 1 (min 10) prunes.
+        let (matches, decoded) =
+            pruned_filter(&compressed, &sidecar, "d", CmpOp::Le, &Literal::Double(3.0), &cfg)
+                .unwrap();
+        assert_eq!(matches.iter().collect::<Vec<_>>(), vec![0, 1, 3]);
+        assert_eq!(decoded, 1, "only the low block decodes");
+        // Boundary checks on the zone itself: max is 3.0 (not NaN-poisoned).
+        match sidecar.columns[0].zones[0] {
+            BlockZone::Double { min, max, has_nan } => {
+                assert_eq!((min, max), (1.0, 3.0));
+                assert!(has_nan);
+            }
+            ref other => panic!("unexpected zone {other:?}"),
+        }
+    }
+
+    #[test]
+    fn string_columns_are_never_pruned_incorrectly() {
+        // String zones carry no min/max, so every block must be consulted
+        // and every matching row found, block boundaries notwithstanding.
+        let cfg = Config {
+            block_size: 50,
+            ..Config::default()
+        };
+        let strings: Vec<String> = (0..250).map(|i| format!("k-{:03}", i % 60)).collect();
+        let refs: Vec<&str> = strings.iter().map(|s| s.as_str()).collect();
+        let rel = Relation::new(vec![Column::new(
+            "s",
+            ColumnData::Str(crate::types::StringArena::from_strs(&refs)),
+        )]);
+        let sidecar = Sidecar::build(&rel, cfg.block_size);
+        assert!(sidecar.columns[0]
+            .zones
+            .iter()
+            .all(|z| matches!(z, BlockZone::Str)));
+        let compressed = compress(&rel, &cfg).unwrap();
+        let lit = Literal::Str(b"k-007".to_vec());
+        let (matches, decoded) =
+            pruned_filter(&compressed, &sidecar, "s", CmpOp::Eq, &lit, &cfg).unwrap();
+        let expected: Vec<u32> = (0..250u32).filter(|i| i % 60 == 7).collect();
+        assert_eq!(matches.iter().collect::<Vec<_>>(), expected);
+        assert_eq!(decoded, 5, "no string block may be pruned");
+        // Range predicates on strings: still exhaustive, still correct.
+        let (matches, decoded) = pruned_filter(
+            &compressed,
+            &sidecar,
+            "s",
+            CmpOp::Lt,
+            &Literal::Str(b"k-002".to_vec()),
+            &cfg,
+        )
+        .unwrap();
+        let expected: Vec<u32> = (0..250u32).filter(|i| i % 60 < 2).collect();
+        assert_eq!(matches.iter().collect::<Vec<_>>(), expected);
+        assert_eq!(decoded, 5);
+    }
 }

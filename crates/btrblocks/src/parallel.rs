@@ -11,11 +11,29 @@ use crate::relation::{
     compress_column, decompress_column, Column, CompressedColumn, CompressedRelation, Relation,
 };
 use crate::Result;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+/// Renders a caught panic payload (the `&str`/`String` cases `panic!`
+/// produces; anything else becomes a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Runs `work(i)` for every `i in 0..n` on up to `threads` workers, storing
 /// results in order.
+///
+/// A panicking `work(i)` is caught on the worker (so it neither poisons the
+/// result slots nor kills the thread mid-queue — the remaining indices still
+/// run) and resurfaced on the calling thread as a panic naming the failing
+/// column index. When several workers panic, the lowest index wins.
 fn for_each_indexed<T: Send>(
     n: usize,
     threads: usize,
@@ -23,7 +41,8 @@ fn for_each_indexed<T: Send>(
 ) -> Vec<T> {
     let threads = threads.max(1).min(n.max(1));
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<std::thread::Result<T>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
@@ -31,14 +50,27 @@ fn for_each_indexed<T: Send>(
                 if i >= n {
                     break;
                 }
-                let out = work(i);
-                *slots[i].lock().expect("result slot") = Some(out);
+                let out = catch_unwind(AssertUnwindSafe(|| work(i)));
+                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
             });
         }
     });
     slots
         .into_iter()
-        .map(|s| s.into_inner().expect("poisoned slot").expect("worker filled slot"))
+        .enumerate()
+        .map(|(i, s)| {
+            let filled = s
+                .into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("worker filled slot");
+            match filled {
+                Ok(out) => out,
+                Err(payload) => std::panic::resume_unwind(Box::new(format!(
+                    "worker for column {i} panicked: {}",
+                    panic_message(payload.as_ref())
+                ))),
+            }
+        })
         .collect()
 }
 
@@ -103,6 +135,44 @@ mod tests {
         let rel = Relation::new(vec![]);
         let compressed = compress_parallel(&rel, &cfg, 4).unwrap();
         assert_eq!(decompress_parallel(&compressed, &cfg, 4).unwrap(), rel);
+    }
+
+    #[test]
+    fn worker_panic_resurfaces_with_column_index() {
+        let caught = std::panic::catch_unwind(|| {
+            for_each_indexed(6, 3, |i| {
+                if i == 4 {
+                    panic!("boom in column four");
+                }
+                i * 2
+            })
+        })
+        .expect_err("the worker panic must propagate to the caller");
+        let msg = caught
+            .downcast_ref::<String>()
+            .expect("panic payload carries the formatted message");
+        assert!(msg.contains("column 4"), "got: {msg}");
+        assert!(msg.contains("boom in column four"), "got: {msg}");
+    }
+
+    #[test]
+    fn panic_in_one_slot_does_not_lose_other_results() {
+        // The panicking index must not prevent later indices assigned to the
+        // same worker from completing (the old behaviour killed the thread).
+        let completed = std::sync::atomic::AtomicUsize::new(0);
+        let caught = std::panic::catch_unwind(|| {
+            for_each_indexed(8, 1, |i| {
+                assert!(i != 0, "index 0 panics first on the only worker");
+                completed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                i
+            })
+        });
+        assert!(caught.is_err());
+        assert_eq!(
+            completed.load(std::sync::atomic::Ordering::Relaxed),
+            7,
+            "the single worker must survive the panic and finish the queue"
+        );
     }
 
     #[test]

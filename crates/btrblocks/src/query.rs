@@ -21,10 +21,45 @@
 
 use crate::config::Config;
 use crate::scheme::{self, SchemeCode};
-use crate::types::ColumnType;
+use crate::types::{ColumnType, DecodedColumn};
 use crate::writer::Reader;
 use crate::{Error, Result};
 use btr_roaring::RoaringBitmap;
+
+/// Whether [`filter_block`] has a compressed-domain fast path for this
+/// `(type, scheme)` pair, i.e. evaluates the predicate without materializing
+/// the full block. Scan planners use this to report how much of a scan ran
+/// on compressed data versus the decompress-then-filter fallback.
+pub fn has_fast_path(ty: ColumnType, code: SchemeCode) -> bool {
+    match ty {
+        ColumnType::Integer | ColumnType::Double => matches!(
+            code,
+            SchemeCode::OneValue | SchemeCode::Rle | SchemeCode::Dict | SchemeCode::Frequency
+        ),
+        ColumnType::String => matches!(
+            code,
+            SchemeCode::OneValue | SchemeCode::Dict | SchemeCode::DictFsst
+        ),
+    }
+}
+
+/// Evaluates `op(literal)` over an already-decoded block (e.g. one served
+/// from a decoded-block cache), returning matching block-relative positions.
+/// The decoded-data counterpart of [`filter_block`].
+pub fn filter_decoded(col: &DecodedColumn, op: CmpOp, literal: &Literal) -> Result<RoaringBitmap> {
+    match (col, literal) {
+        (DecodedColumn::Int(v), Literal::Int(l)) => {
+            Ok(positions_where(v.iter().map(|x| op.matches(x, l))))
+        }
+        (DecodedColumn::Double(v), Literal::Double(l)) => {
+            Ok(positions_where(v.iter().map(|x| op.matches(x, l))))
+        }
+        (DecodedColumn::Str(views), Literal::Str(l)) => Ok(positions_where(
+            (0..views.len()).map(|i| op.matches(&views.get(i), &l.as_slice())),
+        )),
+        _ => Err(Error::Corrupt("predicate literal type mismatch")),
+    }
+}
 
 /// Comparison operator of a pushed-down predicate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,8 +77,9 @@ pub enum CmpOp {
 }
 
 impl CmpOp {
+    /// Whether `value op literal` holds (`PartialOrd`; NaN never matches).
     #[inline]
-    fn matches<T: PartialOrd>(self, value: &T, literal: &T) -> bool {
+    pub fn matches<T: PartialOrd>(self, value: &T, literal: &T) -> bool {
         match self {
             CmpOp::Eq => value == literal,
             CmpOp::Lt => value < literal,
@@ -430,6 +466,40 @@ mod tests {
         let cfg = Config::default();
         let bytes = compress_block_with(SchemeCode::Uncompressed, BlockRef::Int(&[1, 2]), &cfg);
         assert!(filter_block(&bytes, ColumnType::Integer, CmpOp::Eq, &Literal::Double(1.0), &cfg).is_err());
+    }
+
+    #[test]
+    fn filter_decoded_matches_filter_block() {
+        use crate::block::decompress_block;
+        let cfg = Config::default();
+        let values: Vec<i32> = (0..3_000).map(|i| (i * 7) % 40).collect();
+        let bytes =
+            compress_block_with(SchemeCode::Uncompressed, BlockRef::Int(&values), &cfg);
+        let decoded = decompress_block(&bytes, ColumnType::Integer, &cfg).unwrap();
+        for op in [CmpOp::Eq, CmpOp::Lt, CmpOp::Ge] {
+            let via_block =
+                filter_block(&bytes, ColumnType::Integer, op, &Literal::Int(13), &cfg).unwrap();
+            let via_decoded = filter_decoded(&decoded, op, &Literal::Int(13)).unwrap();
+            assert_eq!(
+                via_block.iter().collect::<Vec<_>>(),
+                via_decoded.iter().collect::<Vec<_>>()
+            );
+        }
+        // Type mismatch is a typed error, not a panic.
+        assert!(filter_decoded(&decoded, CmpOp::Eq, &Literal::Double(1.0)).is_err());
+    }
+
+    #[test]
+    fn fast_path_table_matches_module_contract() {
+        // The module docs promise compressed-domain evaluation for exactly
+        // these scheme/type pairs.
+        assert!(has_fast_path(ColumnType::Integer, SchemeCode::Rle));
+        assert!(has_fast_path(ColumnType::Integer, SchemeCode::Frequency));
+        assert!(has_fast_path(ColumnType::Double, SchemeCode::Dict));
+        assert!(has_fast_path(ColumnType::String, SchemeCode::DictFsst));
+        assert!(!has_fast_path(ColumnType::Integer, SchemeCode::FastPfor));
+        assert!(!has_fast_path(ColumnType::String, SchemeCode::Fsst));
+        assert!(!has_fast_path(ColumnType::Double, SchemeCode::Pseudodecimal));
     }
 
     #[test]

@@ -19,6 +19,9 @@ cargo test --quiet
 echo "== workspace tests (fault-injection campaigns included)"
 cargo test --workspace --quiet
 
+echo "== scan-engine suite (incl. object-store e2e)"
+cargo test -p btr-scan --quiet
+
 echo "== decode-path panic gate"
 DECODE_CRATES=(
   btrblocks
@@ -27,6 +30,7 @@ DECODE_CRATES=(
   btr-roaring
   btr-float
   btr-lz
+  btr-scan
   parquet-lite
   orc-lite
 )
@@ -36,5 +40,10 @@ for crate in "${DECODE_CRATES[@]}"; do
     -D clippy::unwrap_used \
     -D clippy::panic
 done
+
+echo "== scan-engine smoke benchmark (BENCH_scan.json)"
+BENCH_ROWS="${BENCH_ROWS:-64000}" BENCH_SCAN_JSON="BENCH_scan.json" \
+  cargo run --release --quiet -p btr-bench --bin scan_pipeline > /dev/null
+grep -q '"cache_hit_rate"' BENCH_scan.json
 
 echo "ok"
