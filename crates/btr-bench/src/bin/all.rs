@@ -2,9 +2,11 @@
 
 use btr_bench::{bench_rows, bench_seed, experiments as e};
 
+type Experiment = fn(usize, u64) -> String;
+
 fn main() {
     let (rows, seed) = (bench_rows(), bench_seed());
-    let suite: Vec<(&str, fn(usize, u64) -> String)> = vec![
+    let suite: Vec<(&str, Experiment)> = vec![
         ("table2", e::table2::run),
         ("figure4", e::figure4::run),
         ("figure5", e::figure5::run),

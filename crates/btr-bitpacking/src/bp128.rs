@@ -16,12 +16,18 @@ use crate::{plain, Error, Result, BLOCK128};
 
 type Lanes = [u32; 4];
 
+/// Callers pass a full 128-value block (asserted in [`pack_block`]) and
+/// `row < 32`, so every lane index is in bounds.
 #[inline(always)]
 fn lanes_at(values: &[u32], row: usize) -> Lanes {
     [
+        // lint: allow(indexing) row < 32 and values.len() == 128 (caller-asserted)
         values[row],
+        // lint: allow(indexing) row < 32 and values.len() == 128 (caller-asserted)
         values[row + 32],
+        // lint: allow(indexing) row < 32 and values.len() == 128 (caller-asserted)
         values[row + 64],
+        // lint: allow(indexing) row < 32 and values.len() == 128 (caller-asserted)
         values[row + 96],
     ]
 }
@@ -34,7 +40,7 @@ pub fn pack_block(values: &[u32], width: u8, out: &mut Vec<u32>) {
     if width == 0 {
         return;
     }
-    let w = width as u32;
+    let w = u32::from(width);
     let mask: u32 = if width == 32 { u32::MAX } else { (1u32 << width) - 1 };
     let mut acc: Lanes = [0; 4];
     let mut filled: u32 = 0;
@@ -42,6 +48,7 @@ pub fn pack_block(values: &[u32], width: u8, out: &mut Vec<u32>) {
         let lanes = lanes_at(values, row);
         if filled + w <= 32 {
             for l in 0..4 {
+                // lint: allow(indexing) l < 4 over [u32; 4] arrays
                 acc[l] |= (lanes[l] & mask) << filled;
             }
             filled += w;
@@ -53,10 +60,12 @@ pub fn pack_block(values: &[u32], width: u8, out: &mut Vec<u32>) {
         } else {
             let lo = 32 - filled;
             for l in 0..4 {
+                // lint: allow(indexing) l < 4 over [u32; 4] arrays
                 acc[l] |= (lanes[l] & mask) << filled;
             }
             out.extend_from_slice(&acc);
             for l in 0..4 {
+                // lint: allow(indexing) l < 4 over [u32; 4] arrays
                 acc[l] = (lanes[l] & mask) >> lo;
             }
             filled = w - lo;
@@ -75,6 +84,7 @@ pub fn unpack_block(packed: &[u32], width: u8, out: &mut [u32]) -> Result<usize>
         return Err(Error::InvalidBitWidth(width));
     }
     if width == 0 {
+        // lint: allow(indexing) out.len() >= BLOCK128 asserted at entry
         out[..BLOCK128].fill(0);
         return Ok(0);
     }
@@ -82,9 +92,10 @@ pub fn unpack_block(packed: &[u32], width: u8, out: &mut [u32]) -> Result<usize>
     if packed.len() < words {
         return Err(Error::UnexpectedEnd);
     }
-    let w = width as u32;
+    let w = u32::from(width);
     let mask: u32 = if width == 32 { u32::MAX } else { (1u32 << width) - 1 };
     let mut idx = 0usize;
+    // lint: allow(indexing) packed.len() >= 4 * width >= 4 was checked above
     let mut cur: Lanes = [packed[0], packed[1], packed[2], packed[3]];
     idx += 4;
     let mut consumed: u32 = 0;
@@ -92,27 +103,35 @@ pub fn unpack_block(packed: &[u32], width: u8, out: &mut [u32]) -> Result<usize>
         let mut lanes: Lanes = [0; 4];
         if consumed + w <= 32 {
             for l in 0..4 {
+                // lint: allow(indexing) l < 4 over [u32; 4] arrays
                 lanes[l] = (cur[l] >> consumed) & mask;
             }
             consumed += w;
             if consumed == 32 && row != 31 {
+                // lint: allow(indexing) the stream holds exactly 4 * width words (checked at entry)
                 cur = [packed[idx], packed[idx + 1], packed[idx + 2], packed[idx + 3]];
                 idx += 4;
                 consumed = 0;
             }
         } else {
             let lo = 32 - consumed;
+            // lint: allow(indexing) the stream holds exactly 4 * width words (checked at entry)
             let next: Lanes = [packed[idx], packed[idx + 1], packed[idx + 2], packed[idx + 3]];
             idx += 4;
             for l in 0..4 {
+                // lint: allow(indexing) l < 4 over [u32; 4] arrays
                 lanes[l] = ((cur[l] >> consumed) | (next[l] << lo)) & mask;
             }
             cur = next;
             consumed = w - lo;
         }
+        // lint: allow(indexing) row < 32 and out.len() >= 128 (asserted at entry)
         out[row] = lanes[0];
+        // lint: allow(indexing) row < 32 and out.len() >= 128 (asserted at entry)
         out[row + 32] = lanes[1];
+        // lint: allow(indexing) row < 32 and out.len() >= 128 (asserted at entry)
         out[row + 64] = lanes[2];
+        // lint: allow(indexing) row < 32 and out.len() >= 128 (asserted at entry)
         out[row + 96] = lanes[3];
     }
     Ok(words)
@@ -130,11 +149,14 @@ pub fn encode(values: &[u32]) -> Vec<u32> {
     let tail = n % BLOCK128;
     let mut widths = Vec::with_capacity(full_blocks);
     for b in 0..full_blocks {
+        // lint: allow(indexing) b < full_blocks = values.len() / 128
         widths.push(crate::max_bits(&values[b * BLOCK128..(b + 1) * BLOCK128]));
     }
+    // lint: allow(indexing) full_blocks * 128 <= values.len() by construction
     let tail_width = crate::max_bits(&values[full_blocks * BLOCK128..]);
 
     let mut out = Vec::with_capacity(2 + n / 2);
+    // lint: allow(cast) encode side: block value count fits u32
     out.push(n as u32);
     // Pack widths 4-per-word.
     let mut wword = 0u32;
@@ -149,10 +171,12 @@ pub fn encode(values: &[u32]) -> Vec<u32> {
         out.push(wword);
     }
     for (b, &w) in widths.iter().enumerate() {
+        // lint: allow(indexing) b < full_blocks = values.len() / 128
         pack_block(&values[b * BLOCK128..(b + 1) * BLOCK128], w, &mut out);
     }
     if tail > 0 {
         out.push(u32::from(tail_width));
+        // lint: allow(indexing) full_blocks * 128 <= values.len() by construction
         out.extend_from_slice(&plain::pack(&values[full_blocks * BLOCK128..], tail_width));
     }
     out
@@ -179,8 +203,11 @@ pub fn decode_into(data: &[u32], out: &mut Vec<u32>) -> Result<()> {
     out.resize(start + n, 0);
     let mut pos = 1 + width_words;
     for b in 0..full_blocks {
+        // lint: allow(indexing) 1 + b/4 < 1 + width_words, checked against data.len() above
+        // lint: allow(cast) masked to 8 bits
         let w = ((data[1 + b / 4] >> ((b % 4) * 8)) & 0xFF) as u8;
         let consumed =
+            // lint: allow(indexing) pos <= data.len() inductively; out was resized to start + n
             unpack_block(&data[pos..], w, &mut out[start + b * BLOCK128..start + (b + 1) * BLOCK128])?;
         pos += consumed;
     }
@@ -188,11 +215,14 @@ pub fn decode_into(data: &[u32], out: &mut Vec<u32>) -> Result<()> {
         if data.len() < pos + 1 {
             return Err(Error::UnexpectedEnd);
         }
+        // lint: allow(indexing) pos < data.len() was checked above
         let tw = data[pos];
         if tw > 32 {
             return Err(Error::Corrupt("tail width out of range"));
         }
         pos += 1;
+        // lint: allow(indexing) pos <= data.len(); tw was range-checked; out holds start + n values
+        // lint: allow(cast) tw was range-checked <= 32 above
         plain::unpack_into(&data[pos..], tw as u8, &mut out[start + full_blocks * BLOCK128..])?;
     }
     Ok(())

@@ -32,8 +32,11 @@ impl BlockHeader {
 
     fn from_word(w: u32) -> Self {
         BlockHeader {
+            // lint: allow(cast) masked to 8 bits
             width: (w & 0xFF) as u8,
+            // lint: allow(cast) masked to 8 bits
             max_width: ((w >> 8) & 0xFF) as u8,
+            // lint: allow(cast) masked to 8 bits
             exceptions: ((w >> 16) & 0xFF) as u8,
         }
     }
@@ -42,16 +45,20 @@ impl BlockHeader {
 /// Chooses the cost-optimal packing width for one block given its bit-width
 /// histogram. Returns `(width, exception_count)`.
 fn best_width(hist: &[u32; 33]) -> (u8, u32) {
+    // lint: allow(indexing) w ranges over 0..=32 against a [u32; 33] array
     let max_width = (0..=32).rev().find(|&w| hist[w] > 0).unwrap_or(0);
     let mut best_w = max_width;
     let mut exceptions_at_best = 0u32;
     // Cost in bits of packing everything at max_width, no exceptions.
+    // lint: allow(cast) 128 * 32 fits u32 comfortably
     let mut best_cost = (BLOCK128 * max_width) as u32;
     let mut exc = 0u32;
     for w in (0..max_width).rev() {
+        // lint: allow(indexing) w < max_width <= 32 against a [u32; 33] array
         exc += hist[w + 1];
         // Each exception costs its 8-bit position plus the packed high bits;
         // 32 bits of fixed overhead approximates the side-array alignment.
+        // lint: allow(cast) widths are <= 32, so all terms fit u32
         let cost = (BLOCK128 * w) as u32 + exc * (8 + (max_width - w) as u32) + 32;
         if cost < best_cost {
             best_cost = cost;
@@ -59,6 +66,7 @@ fn best_width(hist: &[u32; 33]) -> (u8, u32) {
             exceptions_at_best = exc;
         }
     }
+    // lint: allow(cast) best_w <= 32
     (best_w as u8, exceptions_at_best)
 }
 
@@ -66,6 +74,7 @@ fn encode_block(values: &[u32], out: &mut Vec<u32>) {
     debug_assert_eq!(values.len(), BLOCK128);
     let mut hist = [0u32; 33];
     for &v in values {
+        // lint: allow(indexing) bits_needed returns 0..=32 against a [u32; 33] array
         hist[crate::bits_needed(v) as usize] += 1;
     }
     let (width, _) = best_width(&hist);
@@ -75,6 +84,7 @@ fn encode_block(values: &[u32], out: &mut Vec<u32>) {
     if width < max_width {
         for (i, &v) in values.iter().enumerate() {
             if crate::bits_needed(v) > width {
+                // lint: allow(cast) encode side: block-relative position < 128
                 positions.push(i as u32);
                 high_bits.push(v >> width);
             }
@@ -84,6 +94,7 @@ fn encode_block(values: &[u32], out: &mut Vec<u32>) {
     let header = BlockHeader {
         width,
         max_width,
+        // lint: allow(cast) at most 128 exceptions per block (debug-asserted above)
         exceptions: positions.len() as u8,
     };
     out.push(header.to_word());
@@ -101,6 +112,7 @@ fn decode_block(data: &[u32], out: &mut [u32]) -> Result<usize> {
         return Err(Error::Corrupt("bad FastPFOR block header"));
     }
     let mut pos = 1usize;
+    // lint: allow(indexing) pos == 1 <= data.len() (non-emptiness checked above)
     pos += bp128::unpack_block(&data[pos..], header.width, out)?;
     let n_exc = header.exceptions as usize;
     if n_exc > 0 {
@@ -110,8 +122,10 @@ fn decode_block(data: &[u32], out: &mut [u32]) -> Result<usize> {
         if data.len() < pos + pos_words + high_words {
             return Err(Error::UnexpectedEnd);
         }
+        // lint: allow(indexing) pos + pos_words + high_words <= data.len() was checked above
         let positions = plain::unpack(&data[pos..pos + pos_words], n_exc, 7)?;
         pos += pos_words;
+        // lint: allow(indexing) pos + high_words <= data.len() was checked above
         let highs = plain::unpack(&data[pos..pos + high_words], n_exc, high_width)?;
         pos += high_words;
         for (&p, &h) in positions.iter().zip(&highs) {
@@ -119,6 +133,7 @@ fn decode_block(data: &[u32], out: &mut [u32]) -> Result<usize> {
             if p >= BLOCK128 {
                 return Err(Error::Corrupt("exception position out of range"));
             }
+            // lint: allow(indexing) p was range-checked against BLOCK128; out holds a full block
             out[p] |= h << header.width;
         }
     }
@@ -133,10 +148,13 @@ pub fn encode(values: &[u32]) -> Vec<u32> {
     let n = values.len();
     let full_blocks = n / BLOCK128;
     let mut out = Vec::with_capacity(2 + n / 2);
+    // lint: allow(cast) encode side: value count fits u32
     out.push(n as u32);
     for b in 0..full_blocks {
+        // lint: allow(indexing) b < full_blocks = values.len() / 128
         encode_block(&values[b * BLOCK128..(b + 1) * BLOCK128], &mut out);
     }
+    // lint: allow(indexing) full_blocks * 128 <= values.len() by construction
     let tail = &values[full_blocks * BLOCK128..];
     if !tail.is_empty() {
         let tw = crate::max_bits(tail);
@@ -171,7 +189,9 @@ pub fn decode_into(data: &[u32], out: &mut Vec<u32>) -> Result<()> {
     let mut pos = 1usize;
     for b in 0..full_blocks {
         let consumed = decode_block(
+            // lint: allow(indexing) pos <= data.len() inductively (decode_block consumes checked words)
             &data[pos..],
+            // lint: allow(indexing) out was resized to start + n and b < full_blocks
             &mut out[start + b * BLOCK128..start + (b + 1) * BLOCK128],
         )?;
         pos += consumed;
@@ -181,11 +201,14 @@ pub fn decode_into(data: &[u32], out: &mut Vec<u32>) -> Result<()> {
         if data.len() <= pos {
             return Err(Error::UnexpectedEnd);
         }
+        // lint: allow(indexing) pos < data.len() was checked above
         let tw = data[pos];
         if tw > 32 {
             return Err(Error::Corrupt("tail width out of range"));
         }
         pos += 1;
+        // lint: allow(indexing) pos <= data.len(); out holds start + n values
+        // lint: allow(cast) tw was range-checked <= 32 above
         plain::unpack_into(&data[pos..], tw as u8, &mut out[start + full_blocks * BLOCK128..])?;
     }
     Ok(())

@@ -8,12 +8,14 @@
 /// Folds an `i32` into a `u32` such that small-magnitude values stay small.
 #[inline]
 pub fn zigzag_encode(v: i32) -> u32 {
+    // lint: allow(cast) bit-reinterpretation i32 -> u32, not a narrowing
     ((v << 1) ^ (v >> 31)) as u32
 }
 
 /// Inverse of [`zigzag_encode`].
 #[inline]
 pub fn zigzag_decode(v: u32) -> i32 {
+    // lint: allow(cast) bit-reinterpretation u32 -> i32, not a narrowing
     ((v >> 1) as i32) ^ -((v & 1) as i32)
 }
 
@@ -26,6 +28,7 @@ pub fn for_encode(values: &[i32]) -> (i32, Vec<u32>) {
     let base = values.iter().copied().min().unwrap_or(0);
     let offsets = values
         .iter()
+        // lint: allow(cast) base is the minimum, so the difference is in 0..=u32::MAX
         .map(|&v| (i64::from(v) - i64::from(base)) as u32)
         .collect();
     (base, offsets)
@@ -35,6 +38,7 @@ pub fn for_encode(values: &[i32]) -> (i32, Vec<u32>) {
 pub fn for_decode(base: i32, offsets: &[u32]) -> Vec<i32> {
     offsets
         .iter()
+        // lint: allow(cast) inverse of for_encode: base + offset round-trips into i32 range
         .map(|&o| (i64::from(base) + i64::from(o)) as i32)
         .collect()
 }
@@ -44,6 +48,7 @@ pub fn for_decode_into(base: i32, offsets: &[u32], out: &mut [i32]) {
     debug_assert_eq!(offsets.len(), out.len());
     let base = i64::from(base);
     for (slot, &o) in out.iter_mut().zip(offsets) {
+        // lint: allow(cast) inverse of for_encode: base + offset round-trips into i32 range
         *slot = (base + i64::from(o)) as i32;
     }
 }

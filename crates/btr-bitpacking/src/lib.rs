@@ -59,6 +59,7 @@ pub type Result<T> = std::result::Result<T, Error>;
 /// Returns the number of bits needed to represent `v` (0 for 0).
 #[inline]
 pub fn bits_needed(v: u32) -> u8 {
+    // lint: allow(cast) leading_zeros is at most 32, so the result is 0..=32
     (32 - v.leading_zeros()) as u8
 }
 

@@ -27,8 +27,12 @@ pub fn pack(values: &[u32], width: u8) -> Vec<u32> {
         let v = u64::from(v) & mask;
         let word = bitpos / 32;
         let off = bitpos % 32;
+        // lint: allow(indexing) out was sized to ceil(len * w / 32) words
+        // lint: allow(cast) truncating u64 -> u32 keeps the in-word low bits by design
         out[word] |= (v << off) as u32;
         if off + w > 32 {
+            // lint: allow(indexing) a value straddling words implies word + 1 < words
+            // lint: allow(cast) truncating u64 -> u32 keeps the carry bits by design
             out[word + 1] |= (v >> (32 - off)) as u32;
         }
         bitpos += w;
@@ -62,10 +66,13 @@ pub fn unpack_into(packed: &[u32], width: u8, out: &mut [u32]) -> Result<()> {
     for slot in out.iter_mut() {
         let word = bitpos / 32;
         let off = bitpos % 32;
+        // lint: allow(indexing) packed.len() >= needed words was checked above
         let mut v = u64::from(packed[word]) >> off;
         if off + w > 32 {
+            // lint: allow(indexing) a straddling value implies word + 1 < needed
             v |= u64::from(packed[word + 1]) << (32 - off);
         }
+        // lint: allow(cast) masked to the packing width (<= 32 bits)
         *slot = (v & mask) as u32;
         bitpos += w;
     }

@@ -34,6 +34,8 @@ impl TrackingAllocator {
 // SAFETY: delegates all allocation to `System`; the bookkeeping never touches
 // the returned memory.
 unsafe impl GlobalAlloc for TrackingAllocator {
+    // SAFETY: forwards `layout` unchanged to `System.alloc`, inheriting its
+    // contract; the counter update happens only after a non-null return.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         let p = System.alloc(layout);
         if !p.is_null() {
@@ -42,11 +44,15 @@ unsafe impl GlobalAlloc for TrackingAllocator {
         p
     }
 
+    // SAFETY: `ptr`/`layout` come from a prior `alloc` with this allocator
+    // (GlobalAlloc contract) and are forwarded unchanged to `System.dealloc`.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout);
         Self::on_dealloc(layout.size());
     }
 
+    // SAFETY: forwards `layout` unchanged to `System.alloc_zeroed`; the
+    // zeroed guarantee and the returned pointer are System's.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         let p = System.alloc_zeroed(layout);
         if !p.is_null() {
@@ -55,6 +61,8 @@ unsafe impl GlobalAlloc for TrackingAllocator {
         p
     }
 
+    // SAFETY: `ptr`/`layout` satisfy the GlobalAlloc realloc contract and
+    // are forwarded unchanged; counters are adjusted only on success.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         let p = System.realloc(ptr, layout, new_size);
         if !p.is_null() {

@@ -37,8 +37,10 @@ impl BitWriter {
             let take = free.min(left);
             let shift = left - take;
             // take <= 8, so the mask fits comfortably in u16.
+            // lint: allow(cast) deliberate truncation to the low byte; mask fits u8 for take <= 8
             let bits = (value >> shift) as u8 & (((1u16 << take) - 1) as u8);
             let last = self.buf.len() - 1;
+            // lint: allow(indexing) buf is non-empty: a byte is pushed when used == 0
             self.buf[last] |= bits << (free - take);
             self.used = (self.used + take) % 8;
             left -= take;
@@ -89,7 +91,9 @@ impl<'a> BitReader<'a> {
         let mut out: u64 = 0;
         let mut left = n;
         while left > 0 {
+            // lint: allow(indexing) pos_bits + n was bounds-checked against buf.len() * 8 at entry
             let byte = self.buf[self.pos_bits / 8];
+            // lint: allow(cast) pos_bits % 8 < 8
             let off = (self.pos_bits % 8) as u8;
             let avail = 8 - off;
             let take = avail.min(left);

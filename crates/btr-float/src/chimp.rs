@@ -25,6 +25,7 @@ const LEADING_ROUND: [u8; 65] = {
     let mut t = [0u8; 65];
     let mut i = 0;
     while i <= 64 {
+        // lint: allow(indexing) i <= 64 over a 65-entry table
         t[i] = match i {
             0..=7 => 0,
             8..=11 => 8,
@@ -60,6 +61,7 @@ const LEAD_FROM_CODE: [u8; 8] = [0, 8, 12, 16, 18, 20, 22, 24];
 
 fn header(values: &[f64]) -> Vec<u8> {
     let mut out = Vec::with_capacity(values.len() * 5 + 12);
+    // lint: allow(cast) encode side: block value counts are far smaller than 4 GiB
     out.extend_from_slice(&(values.len() as u32).to_le_bytes());
     out
 }
@@ -71,9 +73,11 @@ pub fn compress(values: &[f64]) -> Vec<u8> {
         return out;
     }
     let mut w = BitWriter::with_capacity(values.len() * 5);
+    // lint: allow(indexing) values is non-empty (checked above)
     let mut prev = values[0].to_bits();
     w.write_bits(prev, 64);
     let mut stored_lead: Option<u8> = None;
+    // lint: allow(indexing) values is non-empty, so 1.. is in bounds
     for &v in &values[1..] {
         let bits = v.to_bits();
         let xor = bits ^ prev;
@@ -83,7 +87,9 @@ pub fn compress(values: &[f64]) -> Vec<u8> {
             stored_lead = None;
             continue;
         }
+        // lint: allow(indexing) leading_zeros is at most 64 over a 65-entry table
         let lead = LEADING_ROUND[xor.leading_zeros() as usize];
+        // lint: allow(cast) trailing_zeros is at most 64
         let trail = xor.trailing_zeros() as u8;
         if trail > 6 {
             let sig = 64 - lead - trail;
@@ -111,11 +117,13 @@ pub fn decompress(data: &[u8]) -> Result<Vec<f64>> {
     if data.len() < 4 {
         return Err(Error::UnexpectedEnd);
     }
+    // lint: allow(indexing) data.len() >= 4 was checked above
     let count = u32::from_le_bytes([data[0], data[1], data[2], data[3]]) as usize;
     let mut out = Vec::with_capacity(count);
     if count == 0 {
         return Ok(out);
     }
+    // lint: allow(indexing) data.len() >= 4 was checked above
     let mut r = BitReader::new(&data[4..]);
     let mut prev = r.read_bits(64)?;
     out.push(f64::from_bits(prev));
@@ -124,7 +132,9 @@ pub fn decompress(data: &[u8]) -> Result<Vec<f64>> {
         match r.read_bits(2)? {
             0b00 => {}
             0b01 => {
+                // lint: allow(indexing) read_bits(3) returns at most 7 over an 8-entry table
                 let lead = LEAD_FROM_CODE[r.read_bits(3)? as usize];
+                // lint: allow(cast) read_bits(6) returns at most 63
                 let sig = r.read_bits(6)? as u8;
                 if u16::from(lead) + u16::from(sig) > 64 {
                     return Err(Error::Corrupt("chimp center exceeds 64 bits"));
@@ -136,6 +146,7 @@ pub fn decompress(data: &[u8]) -> Result<Vec<f64>> {
                 prev ^= r.read_bits(64 - stored_lead)?;
             }
             _ => {
+                // lint: allow(indexing) read_bits(3) returns at most 7 over an 8-entry table
                 stored_lead = LEAD_FROM_CODE[r.read_bits(3)? as usize];
                 prev ^= r.read_bits(64 - stored_lead)?;
             }
@@ -151,6 +162,7 @@ const N_LOG2: u8 = 7;
 /// Trailing-zero threshold for referencing an older value.
 const THRESHOLD: u8 = 6 + N_LOG2;
 /// Hash key: low `THRESHOLD + 1` bits of the representation.
+// lint: allow(cast) widening u8 -> u32 (const context, From is unavailable)
 const KEY_BITS: u32 = THRESHOLD as u32 + 1;
 const KEY_MASK: u64 = (1u64 << KEY_BITS) - 1;
 
@@ -165,19 +177,24 @@ pub fn compress128(values: &[f64]) -> Vec<u8> {
     // indices[key] = absolute position (1-based; 0 = unset) of the latest
     // value whose low KEY_BITS equal `key`.
     let mut indices = vec![0usize; 1 << KEY_BITS];
+    // lint: allow(indexing) values is non-empty (checked above)
     let first = values[0].to_bits();
     w.write_bits(first, 64);
+    // lint: allow(indexing) N > 0
     stored[0] = first;
+    // lint: allow(indexing) key is masked with KEY_MASK over a 1 << KEY_BITS table
     indices[(first & KEY_MASK) as usize] = 1;
     let mut stored_lead: Option<u8> = None;
     for (i, &v) in values.iter().enumerate().skip(1) {
         let bits = v.to_bits();
         let pos = i; // absolute position of this value
         let key = (bits & KEY_MASK) as usize;
+        // lint: allow(indexing) key is masked with KEY_MASK over a 1 << KEY_BITS table
         let cand_abs = indices[key];
         let mut handled = false;
         if cand_abs > 0 && pos - (cand_abs - 1) <= N {
             let cand_idx = (cand_abs - 1) % N;
+            // lint: allow(indexing) cand_idx is reduced mod N
             let cand = stored[cand_idx];
             let xor = bits ^ cand;
             if xor == 0 {
@@ -185,8 +202,11 @@ pub fn compress128(values: &[f64]) -> Vec<u8> {
                 w.write_bits(cand_idx as u64, N_LOG2);
                 stored_lead = None;
                 handled = true;
+            // lint: allow(cast) trailing_zeros is at most 64
             } else if xor.trailing_zeros() as u8 > THRESHOLD {
+                // lint: allow(cast) trailing_zeros is at most 64
                 let trail = xor.trailing_zeros() as u8;
+                // lint: allow(indexing) leading_zeros is at most 64 over a 65-entry table
                 let lead = LEADING_ROUND[xor.leading_zeros() as usize];
                 let sig = 64 - lead - trail;
                 w.write_bits(0b01, 2);
@@ -200,8 +220,10 @@ pub fn compress128(values: &[f64]) -> Vec<u8> {
         }
         if !handled {
             // Fall back to plain Chimp against the immediately previous value.
+            // lint: allow(indexing) index is reduced mod N
             let prev = stored[(pos - 1) % N];
             let xor = bits ^ prev;
+            // lint: allow(indexing) leading_zeros is at most 64 over a 65-entry table
             let lead = LEADING_ROUND[xor.leading_zeros() as usize];
             if Some(lead) == stored_lead && xor != 0 {
                 w.write_bits(0b10, 2);
@@ -213,7 +235,9 @@ pub fn compress128(values: &[f64]) -> Vec<u8> {
                 stored_lead = Some(lead);
             }
         }
+        // lint: allow(indexing) index is reduced mod N
         stored[pos % N] = bits;
+        // lint: allow(indexing) key is masked with KEY_MASK over a 1 << KEY_BITS table
         indices[key] = pos + 1;
     }
     out.extend_from_slice(&w.into_bytes());
@@ -225,15 +249,18 @@ pub fn decompress128(data: &[u8]) -> Result<Vec<f64>> {
     if data.len() < 4 {
         return Err(Error::UnexpectedEnd);
     }
+    // lint: allow(indexing) data.len() >= 4 was checked above
     let count = u32::from_le_bytes([data[0], data[1], data[2], data[3]]) as usize;
     let mut out = Vec::with_capacity(count);
     if count == 0 {
         return Ok(out);
     }
+    // lint: allow(indexing) data.len() >= 4 was checked above
     let mut r = BitReader::new(&data[4..]);
     let mut stored = [0u64; N];
     let first = r.read_bits(64)?;
     out.push(f64::from_bits(first));
+    // lint: allow(indexing) N > 0
     stored[0] = first;
     let mut stored_lead: u8 = 0;
     while out.len() < count {
@@ -241,28 +268,36 @@ pub fn decompress128(data: &[u8]) -> Result<Vec<f64>> {
         let bits = match r.read_bits(2)? {
             0b00 => {
                 let idx = r.read_bits(N_LOG2)? as usize;
+                // lint: allow(indexing) read_bits(7) returns at most 127 = N - 1
                 stored[idx]
             }
             0b01 => {
                 let idx = r.read_bits(N_LOG2)? as usize;
+                // lint: allow(indexing) read_bits(3) returns at most 7 over an 8-entry table
                 let lead = LEAD_FROM_CODE[r.read_bits(3)? as usize];
+                // lint: allow(cast) read_bits(6) returns at most 63
                 let sig = r.read_bits(6)? as u8;
                 if u16::from(lead) + u16::from(sig) > 64 {
                     return Err(Error::Corrupt("chimp128 center exceeds 64 bits"));
                 }
                 let trail = 64 - lead - sig;
+                // lint: allow(indexing) read_bits(7) returns at most 127 = N - 1
                 stored[idx] ^ (r.read_bits(sig)? << trail)
             }
             0b10 => {
+                // lint: allow(indexing) index is reduced mod N
                 let prev = stored[(pos - 1) % N];
                 prev ^ r.read_bits(64 - stored_lead)?
             }
             _ => {
+                // lint: allow(indexing) read_bits(3) returns at most 7 over an 8-entry table
                 stored_lead = LEAD_FROM_CODE[r.read_bits(3)? as usize];
+                // lint: allow(indexing) index is reduced mod N
                 let prev = stored[(pos - 1) % N];
                 prev ^ r.read_bits(64 - stored_lead)?
             }
         };
+        // lint: allow(indexing) index is reduced mod N
         stored[pos % N] = bits;
         out.push(f64::from_bits(bits));
     }

@@ -37,7 +37,9 @@ impl Predictors {
     #[inline]
     fn predict(&self) -> (u64, u64) {
         (
+            // lint: allow(indexing) hashes are masked with TABLE_SIZE - 1
             self.fcm[self.fcm_hash],
+            // lint: allow(indexing) hashes are masked with TABLE_SIZE - 1
             self.dfcm[self.dfcm_hash].wrapping_add(self.last),
         )
     }
@@ -45,9 +47,11 @@ impl Predictors {
     /// Updates both predictors with the actual value.
     #[inline]
     fn update(&mut self, actual: u64) {
+        // lint: allow(indexing) hashes are masked with TABLE_SIZE - 1
         self.fcm[self.fcm_hash] = actual;
         self.fcm_hash = (((self.fcm_hash as u64) << 6) ^ (actual >> 48)) as usize & (TABLE_SIZE - 1);
         let delta = actual.wrapping_sub(self.last);
+        // lint: allow(indexing) hashes are masked with TABLE_SIZE - 1
         self.dfcm[self.dfcm_hash] = delta;
         self.dfcm_hash = (((self.dfcm_hash as u64) << 2) ^ (delta >> 40)) as usize & (TABLE_SIZE - 1);
         self.last = actual;
@@ -59,6 +63,7 @@ impl Predictors {
 /// capping at 7 keeps the header a clean 3 bits at negligible cost).
 #[inline]
 fn leading_zero_bytes(x: u64) -> u8 {
+    // lint: allow(cast) leading_zeros / 8 is at most 8
     ((x.leading_zeros() / 8) as u8).min(7)
 }
 
@@ -88,12 +93,14 @@ pub fn compress(values: &[f64]) -> Vec<u8> {
             headers.push((half << 4) | nibble);
         }
         let keep = 8 - lzb as usize;
+        // lint: allow(indexing) keep = 8 - lzb <= 8 over an 8-byte array
         payload.extend_from_slice(&xor.to_le_bytes()[..keep]);
     }
     if n % 2 == 1 {
         headers.push(half << 4);
     }
     let mut out = Vec::with_capacity(8 + headers.len() + payload.len());
+    // lint: allow(cast) encode side: block value counts are far smaller than 4 GiB
     out.extend_from_slice(&(n as u32).to_le_bytes());
     out.extend_from_slice(&headers);
     out.extend_from_slice(&payload);
@@ -105,16 +112,20 @@ pub fn decompress(data: &[u8]) -> Result<Vec<f64>> {
     if data.len() < 4 {
         return Err(Error::UnexpectedEnd);
     }
+    // lint: allow(indexing) data.len() >= 4 was checked above
     let n = u32::from_le_bytes([data[0], data[1], data[2], data[3]]) as usize;
     let header_bytes = n.div_ceil(2);
     if data.len() < 4 + header_bytes {
         return Err(Error::UnexpectedEnd);
     }
+    // lint: allow(indexing) data.len() >= 4 + header_bytes was checked above
     let headers = &data[4..4 + header_bytes];
+    // lint: allow(indexing) data.len() >= 4 + header_bytes was checked above
     let mut payload = &data[4 + header_bytes..];
     let mut out = Vec::with_capacity(n);
     let mut pred = Predictors::new();
     for i in 0..n {
+        // lint: allow(indexing) i < n and headers holds ceil(n / 2) bytes
         let byte = headers[i / 2];
         let nibble = if i % 2 == 0 { byte >> 4 } else { byte & 0x0F };
         let sel = nibble >> 3;
@@ -124,7 +135,9 @@ pub fn decompress(data: &[u8]) -> Result<Vec<f64>> {
             return Err(Error::UnexpectedEnd);
         }
         let mut buf = [0u8; 8];
+        // lint: allow(indexing) keep <= 8 and payload.len() >= keep was checked above
         buf[..keep].copy_from_slice(&payload[..keep]);
+        // lint: allow(indexing) payload.len() >= keep was checked above
         payload = &payload[keep..];
         let xor = u64::from_le_bytes(buf);
         let (p_fcm, p_dfcm) = pred.predict();

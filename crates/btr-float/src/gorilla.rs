@@ -16,15 +16,18 @@ use crate::{Error, Result};
 /// Compresses `values` into a Gorilla XOR stream.
 pub fn compress(values: &[f64]) -> Vec<u8> {
     let mut out = Vec::with_capacity(values.len() + 8);
+    // lint: allow(cast) encode side: block value counts are far smaller than 4 GiB
     out.extend_from_slice(&(values.len() as u32).to_le_bytes());
     if values.is_empty() {
         return out;
     }
     let mut w = BitWriter::with_capacity(values.len() * 5);
+    // lint: allow(indexing) values is non-empty (checked above)
     let mut prev = values[0].to_bits();
     w.write_bits(prev, 64);
     let mut prev_lead: u8 = 65; // sentinel: no window yet
     let mut prev_meaning: u8 = 0;
+    // lint: allow(indexing) values is non-empty, so 1.. is in bounds
     for &v in &values[1..] {
         let bits = v.to_bits();
         let xor = bits ^ prev;
@@ -34,7 +37,9 @@ pub fn compress(values: &[f64]) -> Vec<u8> {
             continue;
         }
         w.write_bit(true);
+        // lint: allow(cast) leading_zeros is at most 64
         let lead = (xor.leading_zeros() as u8).min(31);
+        // lint: allow(cast) trailing_zeros is at most 64
         let trail = xor.trailing_zeros() as u8;
         let meaning = 64 - lead - trail;
         let prev_trail = 64u8.saturating_sub(prev_lead).saturating_sub(prev_meaning);
@@ -61,11 +66,13 @@ pub fn decompress(data: &[u8]) -> Result<Vec<f64>> {
     if data.len() < 4 {
         return Err(Error::UnexpectedEnd);
     }
+    // lint: allow(indexing) data.len() >= 4 was checked above
     let count = u32::from_le_bytes([data[0], data[1], data[2], data[3]]) as usize;
     let mut out = Vec::with_capacity(count);
     if count == 0 {
         return Ok(out);
     }
+    // lint: allow(indexing) data.len() >= 4 was checked above
     let mut r = BitReader::new(&data[4..]);
     let mut prev = r.read_bits(64)?;
     out.push(f64::from_bits(prev));
@@ -77,7 +84,9 @@ pub fn decompress(data: &[u8]) -> Result<Vec<f64>> {
             continue;
         }
         if r.read_bit()? {
+            // lint: allow(cast) read_bits(5) returns at most 31
             lead = r.read_bits(5)? as u8;
+            // lint: allow(cast) read_bits(6) returns at most 63
             let m = r.read_bits(6)? as u8;
             meaning = if m == 0 { 64 } else { m };
             if u16::from(lead) + u16::from(meaning) > 64 {

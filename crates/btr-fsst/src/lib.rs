@@ -62,6 +62,7 @@ pub fn compress_strings(strings: &[&[u8]]) -> (SymbolTable, Vec<u8>, Vec<u32>) {
     let mut offsets = Vec::with_capacity(strings.len());
     for s in strings {
         table.compress(s, &mut out);
+        // lint: allow(cast) encode side: compressed output is far smaller than 4 GiB
         offsets.push(out.len() as u32);
     }
     (table, out, offsets)

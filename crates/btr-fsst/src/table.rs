@@ -26,6 +26,7 @@ impl Symbol {
 
     #[inline]
     pub fn first_byte(&self) -> u8 {
+        // lint: allow(cast) masked to 8 bits
         (self.bytes & 0xFF) as u8
     }
 
@@ -39,6 +40,7 @@ impl Symbol {
         // Load up to 8 input bytes and compare the masked prefix.
         let mut buf = [0u8; 8];
         let take = input.len().min(8);
+        // lint: allow(indexing) take <= 8 over an 8-byte array and take <= input.len()
         buf[..take].copy_from_slice(&input[..take]);
         let word = u64::from_le_bytes(buf);
         let mask = if len == 8 { u64::MAX } else { (1u64 << (len * 8)) - 1 };
@@ -62,9 +64,12 @@ impl SymbolTable {
         let mut buckets: Vec<Vec<u8>> = vec![Vec::new(); 256];
         for (code, sym) in symbols.iter().enumerate() {
             debug_assert!(sym.len >= 1 && sym.len as usize <= MAX_SYMBOL_LEN);
+            // lint: allow(indexing) u8 index into a 256-entry bucket table
+            // lint: allow(cast) code < symbols.len() <= MAX_SYMBOLS = 255
             buckets[usize::from(sym.first_byte())].push(code as u8);
         }
         for bucket in &mut buckets {
+            // lint: allow(indexing) bucket codes were pushed from symbols indices above
             bucket.sort_by_key(|&c| std::cmp::Reverse(symbols[usize::from(c)].len));
         }
         SymbolTable { symbols, buckets }
@@ -93,10 +98,13 @@ impl SymbolTable {
         out.reserve(input.len() + input.len() / 2);
         let mut pos = 0usize;
         while pos < input.len() {
+            // lint: allow(indexing) pos < input.len() by the loop condition
             let rest = &input[pos..];
+            // lint: allow(indexing) rest is non-empty; u8 indexes a 256-entry bucket table
             let bucket = &self.buckets[usize::from(rest[0])];
             let mut matched = false;
             for &code in bucket {
+                // lint: allow(indexing) bucket codes are valid symbol indices by construction
                 let sym = &self.symbols[usize::from(code)];
                 if sym.matches(rest) {
                     out.push(code);
@@ -107,6 +115,7 @@ impl SymbolTable {
             }
             if !matched {
                 out.push(ESCAPE);
+                // lint: allow(indexing) rest is non-empty (pos < input.len())
                 out.push(rest[0]);
                 pos += 1;
             }
@@ -118,10 +127,13 @@ impl SymbolTable {
         let mut size = 0usize;
         let mut pos = 0usize;
         while pos < input.len() {
+            // lint: allow(indexing) pos < input.len() by the loop condition
             let rest = &input[pos..];
+            // lint: allow(indexing) rest is non-empty; u8 indexes a 256-entry bucket table
             let bucket = &self.buckets[usize::from(rest[0])];
             let mut matched = false;
             for &code in bucket {
+                // lint: allow(indexing) bucket codes are valid symbol indices by construction
                 let sym = &self.symbols[usize::from(code)];
                 if sym.matches(rest) {
                     size += 1;
@@ -146,20 +158,24 @@ impl SymbolTable {
     /// over-reserved by 8 bytes to make the trailing store safe.
     pub fn decompress(&self, input: &[u8], out: &mut Vec<u8>) -> Result<()> {
         out.reserve(input.len() * MAX_SYMBOL_LEN + 8);
+        // lint: allow(cast) symbols.len() <= MAX_SYMBOLS = 255
         let n_symbols = self.symbols.len() as u8;
         let mut i = 0usize;
         while i < input.len() {
+            // lint: allow(indexing) i < input.len() by the loop condition
             let code = input[i];
             if code == ESCAPE {
                 if i + 1 >= input.len() {
                     return Err(Error::TruncatedEscape);
                 }
+                // lint: allow(indexing) i + 1 < input.len() was checked above
                 out.push(input[i + 1]);
                 i += 2;
             } else {
                 if code >= n_symbols {
                     return Err(Error::UnknownCode(code));
                 }
+                // lint: allow(indexing) code < n_symbols was checked above
                 let sym = self.symbols[usize::from(code)];
                 let old_len = out.len();
                 // SAFETY: `reserve` above guarantees at least 8 spare bytes
@@ -182,11 +198,13 @@ impl SymbolTable {
     /// Serializes the table: `[n][len_0..len_n-1][bytes...]`.
     pub fn serialize(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(1 + self.symbols.len() * 9);
+        // lint: allow(cast) symbols.len() <= MAX_SYMBOLS = 255
         out.push(self.symbols.len() as u8);
         for s in &self.symbols {
             out.push(s.len);
         }
         for s in &self.symbols {
+            // lint: allow(indexing) s.len <= MAX_SYMBOL_LEN = 8 over an 8-byte array
             out.extend_from_slice(&s.as_slice()[..s.len as usize]);
         }
         out
@@ -223,7 +241,9 @@ impl SymbolTable {
                 return Err(Error::CorruptTable("missing symbol bytes"));
             }
             let mut buf = [0u8; 8];
+            // lint: allow(indexing) len_us <= 8 and data.len() >= len_us were checked above
             buf[..len_us].copy_from_slice(&data[..len_us]);
+            // lint: allow(indexing) data.len() >= len_us was checked above
             data = &data[len_us..];
             symbols.push(Symbol {
                 bytes: u64::from_le_bytes(buf),
@@ -240,11 +260,13 @@ impl SymbolTable {
 
     /// Crate-internal access to the first-byte buckets (used by training).
     pub(crate) fn bucket(&self, first: u8) -> &[u8] {
+        // lint: allow(indexing) u8 index into a 256-entry bucket table
         &self.buckets[usize::from(first)]
     }
 
     /// Whether `input` starts with symbol `code`'s bytes (used by training).
     pub(crate) fn symbol_matches(&self, code: u8, input: &[u8]) -> bool {
+        // lint: allow(indexing) caller passes codes obtained from this table's buckets
         self.symbols[usize::from(code)].matches(input)
     }
 
@@ -256,6 +278,7 @@ impl SymbolTable {
         if rest.len() < n {
             return Err(Error::CorruptTable("missing length array"));
         }
+        // lint: allow(indexing) rest.len() >= n was checked above
         let body: usize = rest[..n].iter().map(|&l| usize::from(l)).sum();
         Ok(1 + n + body)
     }

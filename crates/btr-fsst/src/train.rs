@@ -39,14 +39,18 @@ fn parse<'a>(table: &'a SymbolTable, text: &'a [u8]) -> impl Iterator<Item = Can
         if pos >= text.len() {
             return None;
         }
+        // lint: allow(indexing) pos < text.len() was checked above
         let rest = &text[pos..];
+        // lint: allow(indexing) rest is non-empty (pos < text.len())
         for &code in table.bucket(rest[0]) {
             if table.symbol_matches(code, rest) {
+                // lint: allow(indexing) bucket codes are valid symbol indices by construction
                 let sym = table.symbols()[usize::from(code)];
                 pos += usize::from(sym.len);
                 return Some((sym.bytes, sym.len));
             }
         }
+        // lint: allow(indexing) rest is non-empty (pos < text.len())
         let b = rest[0];
         pos += 1;
         Some((u64::from(b), 1u8))
@@ -67,6 +71,7 @@ pub(crate) fn train(sample: &[&[u8]]) -> SymbolTable {
         if take == 0 {
             continue;
         }
+        // lint: allow(indexing) take <= s.len() by the min above
         texts.push(&s[..take]);
         budget = budget.saturating_sub(take);
     }

@@ -1,0 +1,297 @@
+//! Configuration (`btr-lint.toml`) and ratchet (`lint-ratchet.toml`) files.
+//!
+//! Both are parsed by a tiny hand-rolled reader for the TOML subset the tool
+//! actually writes: `[section]` headers, `key = "string"`, `key = 123`, and
+//! `key = [ "a", "b" ]` arrays (single- or multi-line). Keeping the parser
+//! in-tree preserves the crate's hermeticity guarantee — `btr-lint` has zero
+//! dependencies, so it can never be broken by (or lie about) the workspace
+//! it audits.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Tool configuration, from `btr-lint.toml` at the workspace root.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Files (workspace-relative, `/`-separated) allowed to contain
+    /// `unsafe` (rule U2).
+    pub unsafe_allow: Vec<String>,
+    /// Crates whose lib targets sit on the decode path (rules P1/P2).
+    pub decode_path_crates: Vec<String>,
+}
+
+impl Config {
+    /// Parses `btr-lint.toml` content.
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let doc = parse_toml(text)?;
+        Ok(Config {
+            unsafe_allow: doc.string_array("unsafe", "allow"),
+            decode_path_crates: doc.string_array("decode_path", "crates"),
+        })
+    }
+}
+
+/// Ratchet state: allowed violation count per `(crate, rule)` pair.
+/// Entries absent from the file default to zero.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Ratchet {
+    /// `crate name → rule key → allowed count`.
+    pub counts: BTreeMap<String, BTreeMap<String, u64>>,
+}
+
+impl Ratchet {
+    /// Parses `lint-ratchet.toml` content.
+    pub fn parse(text: &str) -> Result<Ratchet, String> {
+        let doc = parse_toml(text)?;
+        let mut counts = BTreeMap::new();
+        for (section, entries) in doc.sections {
+            if section.is_empty() {
+                continue;
+            }
+            let mut per_rule = BTreeMap::new();
+            for (key, value) in entries {
+                match value {
+                    Value::Int(n) => {
+                        per_rule.insert(key, n);
+                    }
+                    _ => {
+                        return Err(format!(
+                            "ratchet entry [{section}] {key} must be an integer"
+                        ))
+                    }
+                }
+            }
+            counts.insert(section, per_rule);
+        }
+        Ok(Ratchet { counts })
+    }
+
+    /// Allowed count for a `(crate, rule)` pair (absent ⇒ 0).
+    pub fn allowed(&self, krate: &str, rule: &str) -> u64 {
+        self.counts
+            .get(krate)
+            .and_then(|m| m.get(rule))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Serializes in canonical form (sorted, zero entries kept explicit so
+    /// the burn-down state is visible in the diff).
+    pub fn to_toml(&self) -> String {
+        let mut out = String::from(
+            "# Lint debt ratchet — maintained by `cargo run -p btr-lint -- --update-ratchet`.\n\
+             # `--check` fails when any (crate, rule) count rises above the value here;\n\
+             # lowering a value (burning down debt) requires updating this file.\n",
+        );
+        for (krate, rules) in &self.counts {
+            let _ = write!(out, "\n[{krate}]\n");
+            for (rule, n) in rules {
+                let _ = writeln!(out, "{rule} = {n}");
+            }
+        }
+        out
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Str(String),
+    Int(u64),
+    Array(Vec<String>),
+}
+
+#[derive(Debug, Default)]
+struct Doc {
+    /// Section name → (key → value), in file order.
+    sections: Vec<(String, Vec<(String, Value)>)>,
+}
+
+impl Doc {
+    fn string_array(&self, section: &str, key: &str) -> Vec<String> {
+        self.sections
+            .iter()
+            .filter(|(s, _)| s == section)
+            .flat_map(|(_, kv)| kv.iter())
+            .find_map(|(k, v)| match (k == key, v) {
+                (true, Value::Array(a)) => Some(a.clone()),
+                _ => None,
+            })
+            .unwrap_or_default()
+    }
+}
+
+/// Parses the supported TOML subset. Errors carry a line number.
+fn parse_toml(text: &str) -> Result<Doc, String> {
+    let mut doc = Doc::default();
+    let mut current = String::new();
+    doc.sections.push((current.clone(), Vec::new()));
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((ln, raw)) = lines.next() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let name = rest
+                .strip_suffix(']')
+                .ok_or_else(|| format!("line {}: unterminated section header", ln + 1))?
+                .trim();
+            current = name.to_string();
+            doc.sections.push((current.clone(), Vec::new()));
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("line {}: expected `key = value`", ln + 1))?;
+        let key = key.trim().to_string();
+        let mut value = value.trim().to_string();
+        // Multi-line array: keep consuming until the closing bracket.
+        if value.starts_with('[') && !balanced_array(&value) {
+            for (_, cont) in lines.by_ref() {
+                value.push(' ');
+                value.push_str(strip_comment(cont).trim());
+                if balanced_array(&value) {
+                    break;
+                }
+            }
+        }
+        let parsed = parse_value(value.trim())
+            .map_err(|e| format!("line {}: {e}", ln + 1))?;
+        let section = doc
+            .sections
+            .iter_mut()
+            .rev()
+            .find(|(s, _)| *s == current)
+            .ok_or_else(|| format!("line {}: no open section", ln + 1))?;
+        section.1.push((key, parsed));
+    }
+    Ok(doc)
+}
+
+/// Strips a `#` comment that is not inside a quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn balanced_array(v: &str) -> bool {
+    let mut depth = 0i32;
+    let mut in_str = false;
+    for c in v.chars() {
+        match c {
+            '"' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    depth == 0
+}
+
+fn parse_value(v: &str) -> Result<Value, String> {
+    if let Some(stripped) = v.strip_prefix('[') {
+        let inner = stripped
+            .strip_suffix(']')
+            .ok_or("unterminated array")?;
+        let mut items = Vec::new();
+        for item in split_top_level(inner) {
+            let item = item.trim();
+            if item.is_empty() {
+                continue;
+            }
+            match parse_value(item)? {
+                Value::Str(s) => items.push(s),
+                _ => return Err("only string arrays are supported".into()),
+            }
+        }
+        return Ok(Value::Array(items));
+    }
+    if let Some(stripped) = v.strip_prefix('"') {
+        let inner = stripped.strip_suffix('"').ok_or("unterminated string")?;
+        return Ok(Value::Str(inner.to_string()));
+    }
+    v.parse::<u64>()
+        .map(Value::Int)
+        .map_err(|_| format!("unsupported value `{v}`"))
+}
+
+/// Splits on commas outside quotes.
+fn split_top_level(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    for c in s.chars() {
+        match c {
+            '"' => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            ',' if !in_str => {
+                out.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_config_with_multiline_array() {
+        let cfg = Config::parse(
+            "# top comment\n\
+             [unsafe]\n\
+             allow = [\n  \"a/b.rs\", # why\n  \"c/d.rs\",\n]\n\
+             [decode_path]\n\
+             crates = [\"x\", \"y\"]\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.unsafe_allow, vec!["a/b.rs", "c/d.rs"]);
+        assert_eq!(cfg.decode_path_crates, vec!["x", "y"]);
+    }
+
+    #[test]
+    fn ratchet_roundtrips_canonically() {
+        let mut r = Ratchet::default();
+        r.counts
+            .entry("btrblocks".into())
+            .or_default()
+            .insert("indexing".into(), 3);
+        r.counts
+            .entry("btr-lz".into())
+            .or_default()
+            .insert("cast".into(), 0);
+        let text = r.to_toml();
+        let back = Ratchet::parse(&text).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.allowed("btrblocks", "indexing"), 3);
+        assert_eq!(back.allowed("btrblocks", "cast"), 0, "absent defaults to 0");
+        assert_eq!(back.allowed("nope", "indexing"), 0);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(Ratchet::parse("[x]\nfoo = \"bar\"\n").is_err());
+        assert!(Config::parse("[unsafe\nallow = []\n").is_err());
+        assert!(Config::parse("[unsafe]\nallow [\"x\"]\n").is_err());
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let cfg = Config::parse("[unsafe]\nallow = [\"weird#name.rs\"]\n").unwrap();
+        assert_eq!(cfg.unsafe_allow, vec!["weird#name.rs"]);
+    }
+}

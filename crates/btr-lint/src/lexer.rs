@@ -1,0 +1,392 @@
+//! A hand-rolled Rust lexer — just enough fidelity for lint rules.
+//!
+//! The tokenizer understands everything that can *hide* tokens from a naive
+//! text scan: line and (nested) block comments, string literals, raw string
+//! literals with arbitrary `#` fences, byte strings, char literals (including
+//! escapes), and lifetimes (so `'a` is not mistaken for an unterminated char
+//! literal). Everything else becomes identifiers, numbers, or single-char
+//! punctuation. That is all the rule engine needs: rules never look *inside*
+//! literals, they only need to know that `"unsafe"` in a string is not the
+//! keyword `unsafe` and that a brace inside a char literal does not change
+//! block depth.
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (the rule engine distinguishes via text).
+    Ident,
+    /// Lifetime such as `'a` (including the quote).
+    Lifetime,
+    /// Numeric literal (integer or float, any base, with suffix).
+    Number,
+    /// String, byte-string, raw-string, or C-string literal.
+    Str,
+    /// Char or byte literal such as `'x'` or `b'\n'`.
+    Char,
+    /// `// …` comment (text includes the slashes; doc comments too).
+    LineComment,
+    /// `/* … */` comment, nesting handled (text includes delimiters).
+    BlockComment,
+    /// Any single punctuation character (`{`, `[`, `+`, `#`, …).
+    Punct(char),
+}
+
+/// One token with its position. `text` borrows from the source.
+#[derive(Debug, Clone)]
+pub struct Token<'a> {
+    pub kind: TokKind,
+    pub text: &'a str,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Token<'_> {
+    /// Whether this token is a comment of either flavour.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// Tokenizes `src`. The lexer is total: malformed input (unterminated
+/// literal, stray byte) never panics, it degrades to best-effort tokens so
+/// the linter can still scan the rest of the file.
+pub fn lex(src: &str) -> Vec<Token<'_>> {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token<'a>> {
+        let mut out = Vec::new();
+        while let Some(&c) = self.bytes.get(self.pos) {
+            let start = self.pos;
+            let line = self.line;
+            let kind = match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                    continue;
+                }
+                c if c.is_ascii_whitespace() => {
+                    self.pos += 1;
+                    continue;
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'r' if self.is_raw_string_start(0) => self.raw_string(0),
+                b'b' if self.peek(1) == Some(b'\'') => self.char_lit(1),
+                b'b' if self.peek(1) == Some(b'"') => self.string(1),
+                b'b' if self.peek(1) == Some(b'r') && self.is_raw_string_start(1) => {
+                    self.raw_string(1)
+                }
+                b'c' if self.peek(1) == Some(b'"') => self.string(1),
+                b'"' => self.string(0),
+                b'\'' => self.char_or_lifetime(),
+                c if c.is_ascii_digit() => self.number(),
+                c if c == b'_' || c.is_ascii_alphabetic() || c >= 0x80 => self.ident(),
+                _ => {
+                    self.pos += 1;
+                    TokKind::Punct(c as char)
+                }
+            };
+            out.push(Token {
+                kind,
+                text: self.src.get(start..self.pos).unwrap_or(""),
+                line,
+            });
+        }
+        out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// `r"` / `r#"` / `r##"` … starting `off` bytes after `self.pos` (so a
+    /// `br` prefix can share the check). Requires the quote to follow the
+    /// fence — `r#foo` (raw identifier) has no quote and lexes as an ident.
+    fn is_raw_string_start(&self, off: usize) -> bool {
+        let mut i = self.pos + off + 1;
+        while self.bytes.get(i) == Some(&b'#') {
+            i += 1;
+        }
+        self.bytes.get(i) == Some(&b'"')
+    }
+
+    fn bump_line(&mut self, c: u8) {
+        if c == b'\n' {
+            self.line += 1;
+        }
+    }
+
+    fn line_comment(&mut self) -> TokKind {
+        while let Some(&c) = self.bytes.get(self.pos) {
+            if c == b'\n' {
+                break;
+            }
+            self.pos += 1;
+        }
+        TokKind::LineComment
+    }
+
+    fn block_comment(&mut self) -> TokKind {
+        self.pos += 2;
+        let mut depth = 1u32;
+        while let Some(&c) = self.bytes.get(self.pos) {
+            if c == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if c == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                self.bump_line(c);
+                self.pos += 1;
+            }
+        }
+        TokKind::BlockComment
+    }
+
+    /// Raw string with `prefix_len` bytes before the `r` (0 for `r"…"`,
+    /// 1 for `br"…"`). No escapes; terminated by `"` plus the same fence.
+    fn raw_string(&mut self, prefix_len: usize) -> TokKind {
+        self.pos += prefix_len + 1; // past prefix and 'r'
+        let mut fence = 0usize;
+        while self.peek(0) == Some(b'#') {
+            fence += 1;
+            self.pos += 1;
+        }
+        self.pos += 1; // opening quote
+        while let Some(&c) = self.bytes.get(self.pos) {
+            if c == b'"' {
+                let closes = (1..=fence).all(|k| self.peek(k) == Some(b'#'));
+                if closes {
+                    self.pos += 1 + fence;
+                    return TokKind::Str;
+                }
+            }
+            self.bump_line(c);
+            self.pos += 1;
+        }
+        TokKind::Str // unterminated: consume to EOF
+    }
+
+    /// Regular (escaped) string; `prefix_len` covers `b"`/`c"` prefixes.
+    fn string(&mut self, prefix_len: usize) -> TokKind {
+        self.pos += prefix_len + 1;
+        while let Some(&c) = self.bytes.get(self.pos) {
+            match c {
+                b'\\' => self.pos += 2,
+                b'"' => {
+                    self.pos += 1;
+                    return TokKind::Str;
+                }
+                _ => {
+                    self.bump_line(c);
+                    self.pos += 1;
+                }
+            }
+        }
+        TokKind::Str
+    }
+
+    /// Char literal starting at a `b` prefix (`off == 1`) or bare quote.
+    fn char_lit(&mut self, off: usize) -> TokKind {
+        self.pos += off + 1;
+        while let Some(&c) = self.bytes.get(self.pos) {
+            match c {
+                b'\\' => self.pos += 2,
+                b'\'' => {
+                    self.pos += 1;
+                    return TokKind::Char;
+                }
+                b'\n' => break, // malformed; don't eat the rest of the file
+                _ => self.pos += 1,
+            }
+        }
+        TokKind::Char
+    }
+
+    /// Disambiguates `'a'` (char) from `'a` (lifetime): a quote two chars
+    /// ahead of an identifier-start means char literal, otherwise lifetime.
+    /// Escapes (`'\n'`) are always char literals.
+    fn char_or_lifetime(&mut self) -> TokKind {
+        match self.peek(1) {
+            Some(c) if c == b'_' || c.is_ascii_alphabetic() => {
+                if self.peek(2) == Some(b'\'') {
+                    self.char_lit(0)
+                } else {
+                    // Lifetime: consume quote + identifier.
+                    self.pos += 2;
+                    while let Some(&c) = self.bytes.get(self.pos) {
+                        if c == b'_' || c.is_ascii_alphanumeric() {
+                            self.pos += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    TokKind::Lifetime
+                }
+            }
+            _ => self.char_lit(0),
+        }
+    }
+
+    fn number(&mut self) -> TokKind {
+        // Consume [0-9a-zA-Z_] (covers hex/oct/bin digits and suffixes like
+        // u32), a `.` only when followed by a digit (so `0..n` stays a range
+        // expression), and an exponent sign directly after e/E.
+        self.pos += 1;
+        while let Some(&c) = self.bytes.get(self.pos) {
+            let continues = c == b'_'
+                || c.is_ascii_alphanumeric()
+                || (c == b'.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()))
+                || ((c == b'+' || c == b'-')
+                    && matches!(self.bytes.get(self.pos - 1), Some(b'e' | b'E'))
+                    && self.peek(1).is_some_and(|d| d.is_ascii_digit()));
+            if !continues {
+                break;
+            }
+            self.pos += 1;
+        }
+        TokKind::Number
+    }
+
+    fn ident(&mut self) -> TokKind {
+        self.pos += 1;
+        while let Some(&c) = self.bytes.get(self.pos) {
+            if c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80 {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        TokKind::Ident
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, &str)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn strings_hide_keywords() {
+        let toks = kinds(r#"let s = "unsafe { }";"#);
+        assert!(toks
+            .iter()
+            .all(|(k, t)| *k != TokKind::Ident || *t != "unsafe"));
+        assert!(toks.iter().any(|(k, _)| *k == TokKind::Str));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let src = "let s = r##\"unsafe \" quote # \"# still\"##; x";
+        let toks = kinds(src);
+        let s = toks.iter().find(|(k, _)| *k == TokKind::Str).unwrap();
+        assert!(s.1.contains("still"));
+        assert_eq!(toks.last().unwrap().1, "x");
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let toks = kinds(r###"let a = b"ab\""; let b = br#"un{safe"#; done"###);
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Str).count(),
+            2
+        );
+        assert_eq!(toks.last().unwrap().1, "done");
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = kinds("fn f<'a>(x: &'a u8) { let c = 'b'; let n = '\\n'; let brace = '{'; }");
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Char).count(),
+            3
+        );
+        // The brace inside the char literal must not appear as punctuation.
+        let braces = toks
+            .iter()
+            .filter(|(k, _)| matches!(k, TokKind::Punct('{')))
+            .count();
+        assert_eq!(braces, 1);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still comment */ after");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].0, TokKind::BlockComment);
+        assert_eq!(toks[1].1, "after");
+    }
+
+    #[test]
+    fn line_numbers_accumulate() {
+        let toks = lex("a\nb\n\n  c /* x\ny */ d");
+        let find = |name: &str| toks.iter().find(|t| t.text == name).unwrap().line;
+        assert_eq!(find("a"), 1);
+        assert_eq!(find("b"), 2);
+        assert_eq!(find("c"), 4);
+        assert_eq!(find("d"), 5);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let toks = kinds("for i in 0..10 { a[i] }");
+        assert!(toks.iter().any(|(_, t)| *t == "0"));
+        assert!(toks.iter().any(|(_, t)| *t == "10"));
+        let dots = toks
+            .iter()
+            .filter(|(k, _)| matches!(k, TokKind::Punct('.')))
+            .count();
+        assert_eq!(dots, 2);
+    }
+
+    #[test]
+    fn float_literals_and_suffixes() {
+        let toks = kinds("let x = 1.5e-3; let y = 0xFFu32; let z = 1_000;");
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Number)
+            .map(|(_, t)| *t)
+            .collect();
+        assert_eq!(nums, vec!["1.5e-3", "0xFFu32", "1_000"]);
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_panic() {
+        lex("let s = \"never closed");
+        lex("let s = r#\"never closed");
+        lex("let c = '");
+        lex("/* never closed");
+    }
+
+    #[test]
+    fn raw_identifier_is_not_a_raw_string() {
+        let toks = kinds("let r#type = 1; r#fn");
+        assert!(toks.iter().all(|(k, _)| *k != TokKind::Str));
+    }
+}

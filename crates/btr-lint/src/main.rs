@@ -1,0 +1,132 @@
+//! CLI driver. See the crate docs for the rule set.
+//!
+//! ```text
+//! cargo run -p btr-lint                  # report + LINT_report.json, exit 0
+//! cargo run -p btr-lint -- --check      # fail on any violation above ratchet
+//! cargo run -p btr-lint -- --update-ratchet   # rewrite lint-ratchet.toml
+//! cargo run -p btr-lint -- --root DIR --report FILE
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut check = false;
+    let mut update_ratchet = false;
+    let mut root = PathBuf::from(".");
+    let mut report_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--update-ratchet" => update_ratchet = true,
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => return usage("--root needs a path"),
+            },
+            "--report" => match args.next() {
+                Some(p) => report_path = Some(PathBuf::from(p)),
+                None => return usage("--report needs a path"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "btr-lint — decode-path safety-contract checker\n\n\
+                     USAGE: btr-lint [--check] [--update-ratchet] [--root DIR] [--report FILE]\n\n\
+                     --check           exit 1 if any (crate, rule) count exceeds lint-ratchet.toml\n\
+                     --update-ratchet  rewrite lint-ratchet.toml with the current counts\n\
+                     --root DIR        workspace root (default: current directory)\n\
+                     --report FILE     where to write the JSON report (default: LINT_report.json)"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    // When invoked via `cargo run -p btr-lint` the working directory is the
+    // workspace root already; a nested invocation can climb via --root.
+    if !root.join(btr_lint::CONFIG_FILE).is_file() && root.join("..").join("..").join(btr_lint::CONFIG_FILE).is_file() {
+        root = root.join("..").join("..");
+    }
+
+    let (run, ratchet) = match btr_lint::run_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("btr-lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let report = btr_lint::report::render_json(&run);
+    let report_path = report_path.unwrap_or_else(|| root.join("LINT_report.json"));
+    if let Err(e) = std::fs::write(&report_path, report) {
+        eprintln!("btr-lint: writing {}: {e}", report_path.display());
+        return ExitCode::FAILURE;
+    }
+
+    let unsafe_total = run.unsafe_inventory.len();
+    let safety_ok = run
+        .unsafe_inventory
+        .iter()
+        .filter(|s| s.site.has_safety_comment)
+        .count();
+    println!(
+        "btr-lint: scanned {} files — {} violations, {} suppressed by annotation, {} unsafe sites ({} with SAFETY comments)",
+        run.files_scanned,
+        run.violations.len(),
+        run.suppressed,
+        unsafe_total,
+        safety_ok
+    );
+
+    if update_ratchet {
+        let path = root.join(btr_lint::RATCHET_FILE);
+        if let Err(e) = std::fs::write(&path, run.to_ratchet().to_toml()) {
+            eprintln!("btr-lint: writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("btr-lint: wrote {}", path.display());
+        return ExitCode::SUCCESS;
+    }
+
+    let (regressions, improvements) = run.diff_ratchet(&ratchet);
+    for (krate, rule, cur, allowed) in &improvements {
+        println!(
+            "note: [{krate}] {rule}: {cur} < ratchet {allowed} — tighten with --update-ratchet"
+        );
+    }
+    if !regressions.is_empty() {
+        for (krate, rule, cur, allowed) in &regressions {
+            eprintln!("RATCHET VIOLATION: [{krate}] {rule}: {cur} > allowed {allowed}");
+        }
+        for v in &run.violations {
+            let over = regressions
+                .iter()
+                .any(|(k, r, _, _)| *k == v.krate && r == v.violation.rule.key());
+            if over {
+                eprintln!(
+                    "  {}:{}: [{}] {}",
+                    v.file,
+                    v.violation.line,
+                    v.violation.rule.key(),
+                    v.violation.what
+                );
+            }
+        }
+        if check {
+            eprintln!(
+                "btr-lint: FAILED — new violations above the committed ratchet ({})",
+                btr_lint::RATCHET_FILE
+            );
+            return ExitCode::FAILURE;
+        }
+    } else if check {
+        println!("btr-lint: clean against {}", btr_lint::RATCHET_FILE);
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("btr-lint: {msg} (try --help)");
+    ExitCode::FAILURE
+}

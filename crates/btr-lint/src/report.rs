@@ -1,0 +1,143 @@
+//! `LINT_report.json` emission (hand-rolled JSON, no dependencies).
+
+use crate::workspace::LintRun;
+use std::fmt::Write as _;
+
+/// Renders the machine-readable report: per-crate rule counts, the unsafe
+/// inventory (file:line + SAFETY status), and totals for trend tracking.
+pub fn render_json(run: &LintRun) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"tool\": \"btr-lint\",");
+    let _ = writeln!(out, "  \"files_scanned\": {},", run.files_scanned);
+    let _ = writeln!(out, "  \"suppressed_by_annotation\": {},", run.suppressed);
+    let _ = writeln!(out, "  \"total_violations\": {},", run.violations.len());
+
+    out.push_str("  \"crates\": {\n");
+    let mut first_crate = true;
+    for (krate, rules) in &run.counts {
+        if !first_crate {
+            out.push_str(",\n");
+        }
+        first_crate = false;
+        let _ = write!(out, "    {}: {{", quote(krate));
+        let mut first_rule = true;
+        for (rule, n) in rules {
+            if !first_rule {
+                out.push_str(", ");
+            }
+            first_rule = false;
+            let _ = write!(out, "{}: {}", quote(rule), n);
+        }
+        out.push('}');
+    }
+    out.push_str("\n  },\n");
+
+    out.push_str("  \"unsafe_inventory\": [\n");
+    for (i, s) in run.unsafe_inventory.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"file\": {}, \"line\": {}, \"kind\": {}, \"safety_comment\": {}, \"allowlisted\": {}}}",
+            quote(&s.file),
+            s.site.line,
+            quote(s.site.kind),
+            s.site.has_safety_comment,
+            s.allowlisted
+        );
+        out.push_str(if i + 1 == run.unsafe_inventory.len() {
+            "\n"
+        } else {
+            ",\n"
+        });
+    }
+    out.push_str("  ],\n");
+
+    out.push_str("  \"violations\": [\n");
+    for (i, v) in run.violations.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"crate\": {}, \"file\": {}, \"line\": {}, \"rule\": {}, \"what\": {}}}",
+            quote(&v.krate),
+            quote(&v.file),
+            v.violation.line,
+            quote(v.violation.rule.key()),
+            quote(&v.violation.what)
+        );
+        out.push_str(if i + 1 == run.violations.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// JSON string escaping for the characters that can occur in paths,
+/// messages, and code excerpts.
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{Rule, UnsafeSite, Violation};
+    use crate::workspace::{LintRun, SitedUnsafe, SitedViolation};
+
+    #[test]
+    fn report_is_valid_enough_json() {
+        let mut run = LintRun {
+            files_scanned: 2,
+            ..LintRun::default()
+        };
+        run.counts
+            .entry("x".into())
+            .or_default()
+            .insert("indexing".into(), 1);
+        run.violations.push(SitedViolation {
+            krate: "x".into(),
+            file: "crates/x/src/lib.rs".into(),
+            violation: Violation {
+                rule: Rule::Indexing,
+                line: 7,
+                what: "direct indexing `v[…]`\"quoted\"".into(),
+            },
+        });
+        run.unsafe_inventory.push(SitedUnsafe {
+            krate: "x".into(),
+            file: "crates/x/src/simd.rs".into(),
+            site: UnsafeSite {
+                line: 3,
+                kind: "block",
+                has_safety_comment: true,
+            },
+            allowlisted: true,
+        });
+        let json = render_json(&run);
+        assert!(json.contains("\"files_scanned\": 2"));
+        assert!(json.contains("\"indexing\": 1"));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"safety_comment\": true"));
+        // Balanced braces/brackets (cheap structural sanity check).
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count()
+        );
+        assert_eq!(
+            json.matches('[').count() - json.matches("[…]").count(),
+            json.matches(']').count() - json.matches("[…]").count()
+        );
+    }
+}

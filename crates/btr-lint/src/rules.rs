@@ -1,0 +1,704 @@
+//! The lint rules, run over one file's token stream.
+//!
+//! | Rule | Key                        | Scope                               |
+//! |------|----------------------------|-------------------------------------|
+//! | U1   | `unsafe_no_safety`         | every target, whole workspace       |
+//! | U2   | `unsafe_outside_allowlist` | every target, whole workspace       |
+//! | P1   | `indexing`                 | lib targets of decode-path crates   |
+//! | P2   | `cast`                     | lib targets of decode-path crates   |
+//! | P3   | `banned_macro`             | lib targets of every crate          |
+//! |      | `bad_annotation`           | wherever an escape hatch is used    |
+//!
+//! Escape hatches: `// lint: allow(indexing) <reason>` and
+//! `// lint: allow(cast) <reason>`. A whole-line annotation suppresses the
+//! next code line; a trailing annotation suppresses its own line. The reason
+//! is mandatory — a bare annotation is itself reported (`bad_annotation`)
+//! and suppresses nothing, so the hatch cannot be used silently.
+//!
+//! Test code (a `#[cfg(test)]` module, a `#[test]` fn, or any item under a
+//! test-gated brace region) is exempt from P1/P2/P3 but not from U1/U2:
+//! an unsound `unsafe` block is no more acceptable in a test.
+
+use crate::lexer::{lex, TokKind, Token};
+
+/// Stable machine-readable rule identifiers (ratchet and report keys).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// U1: `unsafe` without an immediately-preceding `// SAFETY:` comment.
+    UnsafeNoSafety,
+    /// U2: `unsafe` in a file missing from the `btr-lint.toml` allowlist.
+    UnsafeOutsideAllowlist,
+    /// P1: direct slice/array indexing `expr[idx]` on a decode path.
+    Indexing,
+    /// P2: `as` cast to a ≤32-bit integer type on a decode path.
+    Cast,
+    /// P3: `todo!`/`unimplemented!`/`dbg!`/`println!` in a library target.
+    BannedMacro,
+    /// An allow-annotation with no reason or an unknown kind.
+    BadAnnotation,
+}
+
+impl Rule {
+    /// Ratchet/report key.
+    pub fn key(self) -> &'static str {
+        match self {
+            Rule::UnsafeNoSafety => "unsafe_no_safety",
+            Rule::UnsafeOutsideAllowlist => "unsafe_outside_allowlist",
+            Rule::Indexing => "indexing",
+            Rule::Cast => "cast",
+            Rule::BannedMacro => "banned_macro",
+            Rule::BadAnnotation => "bad_annotation",
+        }
+    }
+
+    /// All rules, in report order.
+    pub const ALL: [Rule; 6] = [
+        Rule::UnsafeNoSafety,
+        Rule::UnsafeOutsideAllowlist,
+        Rule::Indexing,
+        Rule::Cast,
+        Rule::BannedMacro,
+        Rule::BadAnnotation,
+    ];
+}
+
+/// One rule violation at a source position.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub rule: Rule,
+    pub line: u32,
+    /// Short human-readable context (token text, never a full line).
+    pub what: String,
+}
+
+/// Inventory entry for one `unsafe` occurrence (report output).
+#[derive(Debug, Clone)]
+pub struct UnsafeSite {
+    pub line: u32,
+    /// `block`, `fn`, `impl`, `trait` or `extern`.
+    pub kind: &'static str,
+    pub has_safety_comment: bool,
+}
+
+/// Per-file rule toggles, derived from crate + target kind by the driver.
+#[derive(Debug, Clone, Copy)]
+pub struct FileRules {
+    /// File appears in the `[unsafe] allow` list (U2).
+    pub unsafe_allowed: bool,
+    /// P1/P2 apply (lib target of a decode-path crate).
+    pub decode_path: bool,
+    /// P3 applies (lib target of any crate).
+    pub lib_target: bool,
+}
+
+/// Everything the analysis found in one file.
+#[derive(Debug, Default)]
+pub struct FileAnalysis {
+    pub violations: Vec<Violation>,
+    pub unsafe_sites: Vec<UnsafeSite>,
+    /// Count of correctly-used escape hatches (for the report).
+    pub suppressed: usize,
+}
+
+/// Keywords that can directly precede `[` without forming an index
+/// expression (`&mut [0u8; 4]`, `if let [a, b] = …`, `x as [u8; 4]`, …).
+/// `self` is deliberately *not* here: `self[i]` is real indexing.
+const NON_INDEXING_KEYWORDS: &[&str] = &[
+    "as", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod",
+    "move", "mut", "pub", "ref", "return", "static", "struct", "trait",
+    "type", "unsafe", "use", "where", "while", "yield", "Self",
+];
+
+/// Integer types an `as` cast can silently truncate into on a 64-bit
+/// target. Widening casts to `u64`/`i64`/`usize` are not flagged; a cast to
+/// anything here either truncates or should be written as `From`/`TryFrom`.
+const NARROW_INT_TYPES: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Macros banned from library targets (P3).
+const BANNED_MACROS: &[&str] = &["todo", "unimplemented", "dbg", "println"];
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AllowKind {
+    Indexing,
+    Cast,
+}
+
+/// Runs every applicable rule over `src` and returns the findings.
+pub fn analyze(src: &str, rules: FileRules) -> FileAnalysis {
+    let tokens = lex(src);
+    let mut out = FileAnalysis::default();
+    let allows = collect_allows(&tokens, &mut out);
+    let lines = LineMap::build(&tokens);
+    let test_lines = test_region_lines(&tokens);
+
+    let in_test =
+        |line: u32| test_lines.binary_search_by(|r| cmp_range(r, line)).is_ok();
+    let mut suppressed_hits = 0usize;
+
+    // Significant (non-comment) token indices for prev/next lookups.
+    let sig: Vec<usize> = (0..tokens.len())
+        .filter(|&i| !tokens[i].is_comment())
+        .collect();
+
+    for (si, &ti) in sig.iter().enumerate() {
+        let tok = &tokens[ti];
+        let prev = si.checked_sub(1).map(|p| &tokens[sig[p]]);
+        let next = sig.get(si + 1).map(|&n| &tokens[n]);
+
+        match tok.kind {
+            TokKind::Ident if tok.text == "unsafe" => {
+                let kind = match next.map(|t| (t.kind, t.text)) {
+                    Some((TokKind::Punct('{'), _)) => "block",
+                    Some((TokKind::Ident, "fn")) => "fn",
+                    Some((TokKind::Ident, "impl")) => "impl",
+                    Some((TokKind::Ident, "trait")) => "trait",
+                    Some((TokKind::Ident, "extern")) => "extern",
+                    // `pub unsafe fn` handled above; anything else (e.g. a
+                    // macro fragment) still counts as an unsafe site.
+                    _ => "other",
+                };
+                let has_safety = lines.has_safety_near(tok.line);
+                out.unsafe_sites.push(UnsafeSite {
+                    line: tok.line,
+                    kind,
+                    has_safety_comment: has_safety,
+                });
+                if !has_safety {
+                    out.violations.push(Violation {
+                        rule: Rule::UnsafeNoSafety,
+                        line: tok.line,
+                        what: format!("unsafe {kind} without a `// SAFETY:` comment"),
+                    });
+                }
+                if !rules.unsafe_allowed {
+                    out.violations.push(Violation {
+                        rule: Rule::UnsafeOutsideAllowlist,
+                        line: tok.line,
+                        what: format!("unsafe {kind} outside the allowlisted module set"),
+                    });
+                }
+            }
+            TokKind::Punct('[')
+                if rules.decode_path && !in_test(tok.line) && is_indexing(prev) =>
+            {
+                if allows.covers(tok.line, AllowKind::Indexing) {
+                    suppressed_hits += 1;
+                } else {
+                    let on = prev.map(|p| p.text).unwrap_or("");
+                    out.violations.push(Violation {
+                        rule: Rule::Indexing,
+                        line: tok.line,
+                        what: format!("direct indexing `{on}[…]` (use .get()/typed error)"),
+                    });
+                }
+            }
+            TokKind::Ident
+                if tok.text == "as" && rules.decode_path && !in_test(tok.line) =>
+            {
+                if let Some(n) = next {
+                    if n.kind == TokKind::Ident && NARROW_INT_TYPES.contains(&n.text) {
+                        if allows.covers(tok.line, AllowKind::Cast) {
+                            suppressed_hits += 1;
+                        } else {
+                            out.violations.push(Violation {
+                                rule: Rule::Cast,
+                                line: tok.line,
+                                what: format!(
+                                    "possibly-truncating cast `as {}` (use From/TryFrom)",
+                                    n.text
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+            TokKind::Ident
+                if rules.lib_target
+                    && !in_test(tok.line)
+                    && BANNED_MACROS.contains(&tok.text)
+                    && matches!(next.map(|t| t.kind), Some(TokKind::Punct('!'))) =>
+            {
+                out.violations.push(Violation {
+                    rule: Rule::BannedMacro,
+                    line: tok.line,
+                    what: format!("`{}!` in a library target", tok.text),
+                });
+            }
+            _ => {}
+        }
+    }
+    out.suppressed = suppressed_hits;
+    out
+}
+
+/// Whether a `[` forms an index expression, judged by the preceding
+/// significant token: an identifier (that is not a keyword), a closing
+/// `)`/`]`, a `?`, or a literal can all be indexed into; everything else
+/// (`&`, `=`, `:`, `,`, `<`, `#`, `!`, a lifetime, …) introduces a slice
+/// type, array literal, attribute, or pattern.
+fn is_indexing(prev: Option<&Token<'_>>) -> bool {
+    match prev {
+        Some(t) => match t.kind {
+            TokKind::Ident => !NON_INDEXING_KEYWORDS.contains(&t.text),
+            TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('?') => true,
+            TokKind::Str | TokKind::Number => true,
+            _ => false,
+        },
+        None => false,
+    }
+}
+
+/// Escape-hatch annotations, resolved to the lines they cover.
+struct Allows {
+    /// Sorted `(line, kind)` pairs.
+    entries: Vec<(u32, AllowKind)>,
+}
+
+impl Allows {
+    fn covers(&self, line: u32, kind: AllowKind) -> bool {
+        self.entries.iter().any(|&(l, k)| l == line && k == kind)
+    }
+}
+
+/// Parses allow-annotation comments. A comment that is the only
+/// token on its line covers the next line holding a non-comment token; a
+/// trailing comment covers its own line. Unknown kinds and missing reasons
+/// are reported and ignored.
+fn collect_allows(tokens: &[Token<'_>], out: &mut FileAnalysis) -> Allows {
+    // Lines that hold at least one non-comment token, sorted (tokens are in
+    // source order, so pushes arrive sorted; dedup adjacent).
+    let mut code_lines: Vec<u32> = Vec::new();
+    let mut comment_only: Vec<bool> = Vec::new(); // parallel to tokens: token starts its line?
+    let mut last_line = 0u32;
+    for t in tokens {
+        comment_only.push(t.line != last_line);
+        if !t.is_comment() && code_lines.last() != Some(&t.line) {
+            code_lines.push(t.line);
+        }
+        let end = t.line + t.text.matches('\n').count() as u32;
+        last_line = end.max(last_line);
+    }
+
+    let mut entries = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if !t.is_comment() {
+            continue;
+        }
+        let Some(rest) = t.text.find("lint:").map(|p| &t.text[p + 5..]) else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(args) = rest.strip_prefix("allow(") else {
+            continue;
+        };
+        let Some(close) = args.find(')') else {
+            out.violations.push(Violation {
+                rule: Rule::BadAnnotation,
+                line: t.line,
+                what: "malformed `lint: allow(...)` annotation".into(),
+            });
+            continue;
+        };
+        let kind = match args[..close].trim() {
+            "indexing" => AllowKind::Indexing,
+            "cast" => AllowKind::Cast,
+            other => {
+                out.violations.push(Violation {
+                    rule: Rule::BadAnnotation,
+                    line: t.line,
+                    what: format!("unknown lint allow kind `{other}`"),
+                });
+                continue;
+            }
+        };
+        let reason = args[close + 1..].trim_matches(|c: char| {
+            c.is_whitespace() || c == '*' || c == '/'
+        });
+        if reason.is_empty() {
+            out.violations.push(Violation {
+                rule: Rule::BadAnnotation,
+                line: t.line,
+                what: "lint allow annotation requires a reason".into(),
+            });
+            continue;
+        }
+        // Whole-line comment → covers the next code line; trailing → its own.
+        let starts_line = comment_only.get(i).copied().unwrap_or(true);
+        let own_line_has_code = code_lines.binary_search(&t.line).is_ok();
+        let target = if starts_line && !own_line_has_code {
+            match code_lines.binary_search(&t.line) {
+                Ok(_) => Some(t.line),
+                Err(pos) => code_lines.get(pos).copied(),
+            }
+        } else {
+            Some(t.line)
+        };
+        if let Some(line) = target {
+            entries.push((line, kind));
+        }
+    }
+    Allows { entries }
+}
+
+/// Per-line comment facts used by the U1 SAFETY search.
+struct LineMap {
+    /// Sorted list of lines fully or partially covered by a comment.
+    comment_lines: Vec<u32>,
+    /// Subset of `comment_lines` whose comment text contains `SAFETY:`.
+    safety_lines: Vec<u32>,
+    /// Lines holding at least one non-comment token.
+    code_lines: Vec<u32>,
+}
+
+impl LineMap {
+    fn build(tokens: &[Token<'_>]) -> LineMap {
+        let mut comment_lines = Vec::new();
+        let mut safety_lines = Vec::new();
+        let mut code_lines = Vec::new();
+        for t in tokens {
+            if t.is_comment() {
+                let span = t.text.matches('\n').count() as u32;
+                for l in t.line..=t.line + span {
+                    push_sorted(&mut comment_lines, l);
+                    if t.text.contains("SAFETY:") {
+                        push_sorted(&mut safety_lines, l);
+                    }
+                }
+            } else {
+                push_sorted(&mut code_lines, t.line);
+            }
+        }
+        LineMap {
+            comment_lines,
+            safety_lines,
+            code_lines,
+        }
+    }
+
+    /// U1 acceptance: a `SAFETY:` comment on the `unsafe` line itself, or on
+    /// the contiguous run of comment-only lines directly above it.
+    fn has_safety_near(&self, line: u32) -> bool {
+        if self.safety_lines.binary_search(&line).is_ok() {
+            return true;
+        }
+        let mut l = line;
+        while l > 1 {
+            l -= 1;
+            let is_comment = self.comment_lines.binary_search(&l).is_ok();
+            let is_code = self.code_lines.binary_search(&l).is_ok();
+            if is_comment && !is_code {
+                if self.safety_lines.binary_search(&l).is_ok() {
+                    return true;
+                }
+                continue; // keep walking up the comment block
+            }
+            // First non-comment line above (code or blank) ends the search,
+            // except a trailing comment on a code line directly above.
+            return l == line - 1 && is_comment && self.safety_lines.binary_search(&l).is_ok();
+        }
+        false
+    }
+}
+
+fn push_sorted(v: &mut Vec<u32>, x: u32) {
+    if v.last() != Some(&x) {
+        v.push(x);
+    }
+}
+
+/// Computes the line ranges belonging to test-gated code: any brace region
+/// whose governing item carries `#[test]`, `#[cfg(test)]`, or a `cfg`
+/// attribute mentioning `test` (e.g. `#[cfg(any(test, fuzzing))]`).
+/// Returns disjoint sorted `(start, end)` inclusive line ranges.
+fn test_region_lines(tokens: &[Token<'_>]) -> Vec<(u32, u32)> {
+    let sig: Vec<&Token<'_>> = tokens.iter().filter(|t| !t.is_comment()).collect();
+    let mut ranges: Vec<(u32, u32)> = Vec::new();
+    let mut stack: Vec<bool> = Vec::new(); // test flag per open brace
+    let mut region_start: Vec<u32> = Vec::new();
+    let mut pending_test = false;
+    let mut i = 0usize;
+    while i < sig.len() {
+        let t = sig[i];
+        match t.kind {
+            TokKind::Punct('#') => {
+                // Attribute: `#` (`!`)? `[` … `]` with nested brackets.
+                let mut j = i + 1;
+                if matches!(sig.get(j).map(|t| t.kind), Some(TokKind::Punct('!'))) {
+                    j += 1;
+                }
+                if matches!(sig.get(j).map(|t| t.kind), Some(TokKind::Punct('['))) {
+                    let mut depth = 0i32;
+                    let mut attr_tokens: Vec<&Token<'_>> = Vec::new();
+                    while j < sig.len() {
+                        match sig[j].kind {
+                            TokKind::Punct('[') => depth += 1,
+                            TokKind::Punct(']') => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        attr_tokens.push(sig[j]);
+                        j += 1;
+                    }
+                    if attr_is_test_marker(&attr_tokens) {
+                        pending_test = true;
+                    }
+                    i = j + 1;
+                    continue;
+                }
+            }
+            TokKind::Punct('{') => {
+                let parent_test = stack.iter().any(|&b| b);
+                let test = pending_test || parent_test;
+                if test && !parent_test {
+                    region_start.push(t.line);
+                }
+                stack.push(pending_test || parent_test);
+                pending_test = false;
+            }
+            TokKind::Punct('}') => {
+                let was_test = stack.pop().unwrap_or(false);
+                let still_test = stack.iter().any(|&b| b);
+                if was_test && !still_test {
+                    if let Some(start) = region_start.pop() {
+                        ranges.push((start, t.line));
+                    }
+                }
+            }
+            TokKind::Punct(';') => {
+                // `#[cfg(test)] use foo;` — attribute consumed by the item.
+                pending_test = false;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    ranges.sort_unstable();
+    ranges
+}
+
+/// Whether an attribute's inner tokens mark test-only code: the attribute
+/// path is exactly `test`, or exactly `cfg` with `test` appearing anywhere
+/// in its arguments. (`cfg_attr` does *not* gate the item out of non-test
+/// builds, so it is not a marker.)
+fn attr_is_test_marker(inner: &[&Token<'_>]) -> bool {
+    // `inner` starts at the opening `[`.
+    let first_ident = inner.iter().find(|t| t.kind == TokKind::Ident);
+    match first_ident.map(|t| t.text) {
+        Some("test") => true,
+        Some("cfg") => inner
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "test"),
+        _ => false,
+    }
+}
+
+fn cmp_range(r: &(u32, u32), line: u32) -> std::cmp::Ordering {
+    if line < r.0 {
+        std::cmp::Ordering::Greater
+    } else if line > r.1 {
+        std::cmp::Ordering::Less
+    } else {
+        std::cmp::Ordering::Equal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DECODE: FileRules = FileRules {
+        unsafe_allowed: false,
+        decode_path: true,
+        lib_target: true,
+    };
+
+    fn rule_count(a: &FileAnalysis, rule: Rule) -> usize {
+        a.violations.iter().filter(|v| v.rule == rule).count()
+    }
+
+    #[test]
+    fn unsafe_needs_safety_comment() {
+        let bare = analyze("fn f() { unsafe { g() } }", DECODE);
+        assert_eq!(rule_count(&bare, Rule::UnsafeNoSafety), 1);
+        assert_eq!(rule_count(&bare, Rule::UnsafeOutsideAllowlist), 1);
+        assert_eq!(bare.unsafe_sites.len(), 1);
+        assert_eq!(bare.unsafe_sites[0].kind, "block");
+
+        let documented = analyze(
+            "fn f() {\n    // SAFETY: g has no preconditions\n    unsafe { g() }\n}",
+            DECODE,
+        );
+        assert_eq!(rule_count(&documented, Rule::UnsafeNoSafety), 0);
+        // U2 still applies: the file is not on the allowlist.
+        assert_eq!(rule_count(&documented, Rule::UnsafeOutsideAllowlist), 1);
+
+        let allowed = analyze(
+            "// SAFETY: fine\nunsafe fn f() {}",
+            FileRules {
+                unsafe_allowed: true,
+                ..DECODE
+            },
+        );
+        assert!(allowed.violations.is_empty());
+        assert_eq!(allowed.unsafe_sites[0].kind, "fn");
+    }
+
+    #[test]
+    fn safety_comment_block_above_is_accepted() {
+        // A multi-line comment block directly above, with SAFETY on its
+        // first line, still counts.
+        let src = "fn f() {\n    // SAFETY: the buffer outlives the call\n    // and the length was validated.\n    unsafe { g() }\n}";
+        let a = analyze(src, DECODE);
+        assert_eq!(rule_count(&a, Rule::UnsafeNoSafety), 0);
+        // A blank line between the comment and the `unsafe` breaks the run.
+        let gap = "fn f() {\n    // SAFETY: stale\n\n    unsafe { g() }\n}";
+        let b = analyze(gap, DECODE);
+        assert_eq!(rule_count(&b, Rule::UnsafeNoSafety), 1);
+    }
+
+    #[test]
+    fn unsafe_in_string_literals_is_invisible() {
+        let src =
+            r##"fn f() { let a = "unsafe { }"; let b = r#"unsafe fn"#; let c = b"unsafe"; }"##;
+        let a = analyze(src, DECODE);
+        assert!(a.unsafe_sites.is_empty());
+        assert!(a.violations.is_empty());
+    }
+
+    #[test]
+    fn test_gated_code_skips_p_rules_but_not_u_rules() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f(v: &Vec<u8>) -> u8 {\n        println!(\"{}\", v[0]);\n        v[1] as u8\n    }\n    fn g() { unsafe { h() } }\n}\n";
+        let a = analyze(src, DECODE);
+        assert_eq!(rule_count(&a, Rule::Indexing), 0);
+        assert_eq!(rule_count(&a, Rule::Cast), 0);
+        assert_eq!(rule_count(&a, Rule::BannedMacro), 0);
+        // `unsafe` in tests still needs SAFETY and allowlisting.
+        assert_eq!(rule_count(&a, Rule::UnsafeNoSafety), 1);
+        assert_eq!(rule_count(&a, Rule::UnsafeOutsideAllowlist), 1);
+    }
+
+    #[test]
+    fn braces_in_literals_do_not_distort_test_regions() {
+        let src = "#[cfg(test)]\nmod t {\n    const S: &str = \"}\";\n    const C: char = '{';\n    fn f(v: &Vec<u8>) -> u8 { v[0] as u8 }\n}\nfn g(v: &Vec<u8>) -> u8 { v[1] as u8 }\n";
+        let a = analyze(src, DECODE);
+        // Only g(), outside the test module, is flagged.
+        assert_eq!(rule_count(&a, Rule::Indexing), 1);
+        assert_eq!(rule_count(&a, Rule::Cast), 1);
+        assert!(a.violations.iter().all(|v| v.line == 7), "{:?}", a.violations);
+    }
+
+    #[test]
+    fn indexing_only_flags_index_expressions() {
+        for (src, expect) in [
+            ("v[i]", 1),
+            ("f()[0]", 1),
+            ("x?[0]", 1),
+            ("m[k][j]", 2),
+            ("let [a, b] = p;", 0),  // pattern
+            ("fn t(x: &[u8]) {}", 0), // slice type
+            ("let a = [0u8; 4];", 0), // array literal
+            ("x as [u8; 4]", 0),      // cast to array type
+            ("#[derive(Debug)]", 0),  // attribute
+        ] {
+            let a = analyze(src, DECODE);
+            assert_eq!(rule_count(&a, Rule::Indexing), expect, "{src}");
+        }
+        // Outside decode-path lib targets the rule is off entirely.
+        let off = analyze(
+            "v[i]",
+            FileRules {
+                decode_path: false,
+                ..DECODE
+            },
+        );
+        assert!(off.violations.is_empty());
+    }
+
+    #[test]
+    fn cast_flags_narrow_integer_targets_only() {
+        for (src, expect) in [
+            ("x as u8", 1),
+            ("x as u16", 1),
+            ("x as i32", 1),
+            ("x as usize", 0),
+            ("x as u64", 0),
+            ("x as i64", 0),
+            ("x as f64", 0),
+        ] {
+            let a = analyze(src, DECODE);
+            assert_eq!(rule_count(&a, Rule::Cast), expect, "{src}");
+        }
+    }
+
+    #[test]
+    fn banned_macros_in_lib_targets() {
+        let a = analyze(
+            "fn f() { todo!() }\nfn g() { dbg!(1); println!(\"x\"); }",
+            DECODE,
+        );
+        assert_eq!(rule_count(&a, Rule::BannedMacro), 3);
+        // Non-lib targets (bins, tests/, benches/) may print.
+        let bin = analyze(
+            "fn main() { println!(\"x\"); }",
+            FileRules {
+                decode_path: false,
+                lib_target: false,
+                ..DECODE
+            },
+        );
+        assert_eq!(rule_count(&bin, Rule::BannedMacro), 0);
+        // `println` as a plain identifier (no `!`) is fine.
+        let ident = analyze("fn println() {}", DECODE);
+        assert_eq!(rule_count(&ident, Rule::BannedMacro), 0);
+    }
+
+    #[test]
+    fn whole_line_annotation_covers_next_code_line_only() {
+        let src = "fn f(v: &Vec<u8>) -> u8 {\n    // lint: allow(indexing) checked by caller\n    let a = v[0] + v[1];\n    let b = v[2];\n    a + b\n}\n";
+        let a = analyze(src, DECODE);
+        assert_eq!(a.suppressed, 2, "both hits on the covered line");
+        assert_eq!(rule_count(&a, Rule::Indexing), 1, "the line after is not covered");
+        assert_eq!(rule_count(&a, Rule::BadAnnotation), 0);
+    }
+
+    #[test]
+    fn trailing_annotation_covers_its_own_line() {
+        let src = "fn f(v: &Vec<u8>) -> u8 { v[0] } // lint: allow(indexing) fixture\n";
+        let a = analyze(src, DECODE);
+        assert!(a.violations.is_empty());
+        assert_eq!(a.suppressed, 1);
+    }
+
+    #[test]
+    fn annotation_without_reason_is_reported_and_suppresses_nothing() {
+        let src = "fn f(v: &Vec<u8>) -> u8 {\n    // lint: allow(indexing)\n    v[0]\n}\n";
+        let a = analyze(src, DECODE);
+        assert_eq!(rule_count(&a, Rule::BadAnnotation), 1);
+        assert_eq!(rule_count(&a, Rule::Indexing), 1);
+        assert_eq!(a.suppressed, 0);
+    }
+
+    #[test]
+    fn unknown_or_mismatched_annotation_kinds() {
+        let unknown = analyze("// lint: allow(unwrap) because\nlet x = v[0];", DECODE);
+        assert_eq!(rule_count(&unknown, Rule::BadAnnotation), 1);
+        assert_eq!(rule_count(&unknown, Rule::Indexing), 1);
+        // allow(cast) does not excuse indexing.
+        let mismatch = analyze("// lint: allow(cast) wrong kind\nlet x = v[0];", DECODE);
+        assert_eq!(rule_count(&mismatch, Rule::Indexing), 1);
+        assert_eq!(mismatch.suppressed, 0);
+    }
+
+    #[test]
+    fn annotation_inside_string_is_not_an_annotation() {
+        let src = "fn f(v: &Vec<u8>) -> u8 {\n    let s = \"// lint: allow(indexing) nope\";\n    v[0]\n}\n";
+        let a = analyze(src, DECODE);
+        assert_eq!(rule_count(&a, Rule::Indexing), 1);
+        assert_eq!(a.suppressed, 0);
+    }
+}

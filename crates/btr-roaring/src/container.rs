@@ -20,12 +20,14 @@ pub enum Container {
 impl Container {
     /// Builds the best container for a sorted, deduplicated slice of lows.
     pub fn from_sorted_lows(lows: &[u16]) -> Container {
+        // lint: allow(indexing) windows(2) yields exactly 2 elements
         debug_assert!(lows.windows(2).all(|w| w[0] < w[1]));
         if lows.len() <= ARRAY_MAX {
             Container::Array(lows.to_vec())
         } else {
             let mut words = Box::new([0u64; BITMAP_WORDS]);
             for &low in lows {
+                // lint: allow(indexing) low / 64 < 1024 for any u16 low
                 words[usize::from(low) / 64] |= 1u64 << (low % 64);
             }
             Container::Bitmap(words)
@@ -45,11 +47,13 @@ impl Container {
     pub fn contains(&self, low: u16) -> bool {
         match self {
             Container::Array(a) => a.binary_search(&low).is_ok(),
+            // lint: allow(indexing) low / 64 < 1024 for any u16 low
             Container::Bitmap(b) => b[usize::from(low) / 64] & (1u64 << (low % 64)) != 0,
             Container::Run(runs) => match runs.binary_search_by_key(&low, |&(s, _)| s) {
                 Ok(_) => true,
                 Err(0) => false,
                 Err(i) => {
+                    // lint: allow(indexing) binary_search returned Err(i) with i > 0
                     let (start, len) = runs[i - 1];
                     u32::from(low) <= u32::from(start) + u32::from(len)
                 }
@@ -72,6 +76,7 @@ impl Container {
                 }
             },
             Container::Bitmap(b) => {
+                // lint: allow(indexing) low / 64 < 1024 for any u16 low
                 let word = &mut b[usize::from(low) / 64];
                 let bit = 1u64 << (low % 64);
                 let was = *word & bit != 0;
@@ -96,6 +101,7 @@ impl Container {
                 Err(_) => false,
             },
             Container::Bitmap(b) => {
+                // lint: allow(indexing) low / 64 < 1024 for any u16 low
                 let word = &mut b[usize::from(low) / 64];
                 let bit = 1u64 << (low % 64);
                 let was = *word & bit != 0;
@@ -112,6 +118,7 @@ impl Container {
             if a.len() > ARRAY_MAX {
                 let mut words = Box::new([0u64; BITMAP_WORDS]);
                 for &low in a.iter() {
+                    // lint: allow(indexing) low / 64 < 1024 for any u16 low
                     words[usize::from(low) / 64] |= 1u64 << (low % 64);
                 }
                 *self = Container::Bitmap(words);
@@ -127,9 +134,11 @@ impl Container {
             },
             Container::Bitmap(b) => {
                 let word_idx = usize::from(low) / 64;
+                // lint: allow(indexing) low / 64 < 1024 for any u16 low
                 let mut count: usize = b[..word_idx].iter().map(|w| w.count_ones() as usize).sum();
                 let rem = low % 64;
                 if rem > 0 {
+                    // lint: allow(indexing) low / 64 < 1024 for any u16 low
                     count += (b[word_idx] & ((1u64 << rem) - 1)).count_ones() as usize;
                 }
                 count
@@ -158,10 +167,12 @@ impl Container {
         match self {
             Container::Array(a) => Box::new(a.iter().copied()),
             Container::Bitmap(b) => Box::new(b.iter().enumerate().flat_map(|(wi, &w)| {
+                // lint: allow(cast) wi * 64 < 65536
                 let base = (wi * 64) as u32;
                 BitIter { word: w, base }
             })),
             Container::Run(runs) => Box::new(runs.iter().flat_map(|&(start, len)| {
+                // lint: allow(cast) start + len <= u16::MAX by the run invariant
                 (u32::from(start)..=u32::from(start) + u32::from(len)).map(|v| v as u16)
             })),
         }
@@ -273,6 +284,7 @@ impl Iterator for BitIter {
         }
         let tz = self.word.trailing_zeros();
         self.word &= self.word - 1;
+        // lint: allow(cast) base + tz < 65536 for a 1024-word bitmap
         Some((self.base + tz) as u16)
     }
 }

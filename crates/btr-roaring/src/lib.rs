@@ -47,7 +47,9 @@ impl RoaringBitmap {
         let mut cur_key: Option<u16> = None;
         let mut lows: Vec<u16> = Vec::new();
         for v in iter {
+            // lint: allow(cast) high half of a u32 fits u16
             let key = (v >> 16) as u16;
+            // lint: allow(cast) masked to 16 bits
             let low = (v & 0xFFFF) as u16;
             match cur_key {
                 Some(k) if k == key => lows.push(low),
@@ -66,6 +68,7 @@ impl RoaringBitmap {
         if let Some(k) = cur_key {
             bm.chunks.push((k, Container::from_sorted_lows(&lows)));
         }
+        // lint: allow(indexing) windows(2) yields exactly 2 elements
         debug_assert!(bm.chunks.windows(2).all(|w| w[0].0 < w[1].0));
         bm
     }
@@ -105,9 +108,11 @@ impl RoaringBitmap {
             }
             let (mut start, end) = (range.start, range.end - 1); // inclusive
             loop {
+                // lint: allow(cast) high half of a u32 fits u16
                 let key = (start >> 16) as u16;
                 let chunk_end = (u32::from(key) << 16) | 0xFFFF;
                 let run_end = end.min(chunk_end);
+                // lint: allow(cast) masked to 16 bits
                 push_run(key, (start & 0xFFFF) as u16, (run_end & 0xFFFF) as u16);
                 if run_end == end {
                     break;
@@ -115,18 +120,23 @@ impl RoaringBitmap {
                 start = run_end + 1;
             }
         }
+        // lint: allow(indexing) windows(2) yields exactly 2 elements
         debug_assert!(chunks.windows(2).all(|w| w[0].0 <= w[1].0));
         RoaringBitmap { chunks }
     }
 
     /// Inserts `value`; returns `true` if it was not already present.
     pub fn insert(&mut self, value: u32) -> bool {
+        // lint: allow(cast) high half of a u32 fits u16
         let key = (value >> 16) as u16;
+        // lint: allow(cast) masked to 16 bits
         let low = (value & 0xFFFF) as u16;
         match self.chunks.binary_search_by_key(&key, |(k, _)| *k) {
             Ok(i) => {
+                // lint: allow(indexing) binary_search returned Ok(i), an in-bounds index
                 let inserted = self.chunks[i].1.insert(low);
                 if inserted {
+                    // lint: allow(indexing) binary_search returned Ok(i), an in-bounds index
                     self.chunks[i].1.maybe_convert_on_insert();
                 }
                 inserted
@@ -140,10 +150,14 @@ impl RoaringBitmap {
 
     /// Removes `value`; returns `true` if it was present.
     pub fn remove(&mut self, value: u32) -> bool {
+        // lint: allow(cast) high half of a u32 fits u16
         let key = (value >> 16) as u16;
+        // lint: allow(cast) masked to 16 bits
         let low = (value & 0xFFFF) as u16;
         if let Ok(i) = self.chunks.binary_search_by_key(&key, |(k, _)| *k) {
+            // lint: allow(indexing) binary_search returned Ok(i), an in-bounds index
             let removed = self.chunks[i].1.remove(low);
+            // lint: allow(indexing) binary_search returned Ok(i), an in-bounds index
             if removed && self.chunks[i].1.cardinality() == 0 {
                 self.chunks.remove(i);
             }
@@ -155,9 +169,12 @@ impl RoaringBitmap {
 
     /// Membership test.
     pub fn contains(&self, value: u32) -> bool {
+        // lint: allow(cast) high half of a u32 fits u16
         let key = (value >> 16) as u16;
+        // lint: allow(cast) masked to 16 bits
         let low = (value & 0xFFFF) as u16;
         match self.chunks.binary_search_by_key(&key, |(k, _)| *k) {
+            // lint: allow(indexing) binary_search returned Ok(i), an in-bounds index
             Ok(i) => self.chunks[i].1.contains(low),
             Err(_) => false,
         }
@@ -175,7 +192,9 @@ impl RoaringBitmap {
 
     /// Number of set bits strictly below `value`.
     pub fn rank(&self, value: u32) -> u64 {
+        // lint: allow(cast) high half of a u32 fits u16
         let key = (value >> 16) as u16;
+        // lint: allow(cast) masked to 16 bits
         let low = (value & 0xFFFF) as u16;
         let mut total = 0u64;
         for (k, c) in &self.chunks {
@@ -219,7 +238,9 @@ impl RoaringBitmap {
         let mut out = Vec::with_capacity(self.chunks.len().max(other.chunks.len()));
         let (mut i, mut j) = (0, 0);
         while i < self.chunks.len() && j < other.chunks.len() {
+            // lint: allow(indexing) i < chunks.len() by the loop condition
             let (ka, ca) = &self.chunks[i];
+            // lint: allow(indexing) j < chunks.len() by the loop condition
             let (kb, cb) = &other.chunks[j];
             match ka.cmp(kb) {
                 std::cmp::Ordering::Less => {
@@ -237,7 +258,9 @@ impl RoaringBitmap {
                 }
             }
         }
+        // lint: allow(indexing) i never exceeds chunks.len()
         out.extend_from_slice(&self.chunks[i..]);
+        // lint: allow(indexing) j never exceeds chunks.len()
         out.extend_from_slice(&other.chunks[j..]);
         RoaringBitmap { chunks: out }
     }
@@ -247,7 +270,9 @@ impl RoaringBitmap {
         let mut out = Vec::new();
         let (mut i, mut j) = (0, 0);
         while i < self.chunks.len() && j < other.chunks.len() {
+            // lint: allow(indexing) i < chunks.len() by the loop condition
             let (ka, ca) = &self.chunks[i];
+            // lint: allow(indexing) j < chunks.len() by the loop condition
             let (kb, cb) = &other.chunks[j];
             match ka.cmp(kb) {
                 std::cmp::Ordering::Less => i += 1,
@@ -422,7 +447,7 @@ mod tests {
     #[test]
     fn from_sorted_ranges_huge_range_is_cheap() {
         // One 10M-wide range: must build run containers, not 10M bits.
-        let bm = RoaringBitmap::from_sorted_ranges([0u32..10_000_000]);
+        let bm = RoaringBitmap::from_sorted_ranges(std::iter::once(0u32..10_000_000));
         assert_eq!(bm.cardinality(), 10_000_000);
         assert!(bm.contains(9_999_999));
         assert!(!bm.contains(10_000_000));

@@ -33,12 +33,14 @@ pub(crate) fn serialized_size(bm: &RoaringBitmap) -> usize {
 
 pub(crate) fn serialize(bm: &RoaringBitmap) -> Vec<u8> {
     let mut out = Vec::with_capacity(serialized_size(bm));
+    // lint: allow(cast) at most 65536 chunks exist (one per u16 key)
     out.extend_from_slice(&(bm.chunks().len() as u32).to_le_bytes());
     for (key, c) in bm.chunks() {
         out.extend_from_slice(&key.to_le_bytes());
         match c {
             Container::Array(a) => {
                 out.push(KIND_ARRAY);
+                // lint: allow(cast) array containers hold at most 4096 values
                 out.extend_from_slice(&(a.len() as u32).to_le_bytes());
                 for &v in a {
                     out.extend_from_slice(&v.to_le_bytes());
@@ -46,6 +48,7 @@ pub(crate) fn serialize(bm: &RoaringBitmap) -> Vec<u8> {
             }
             Container::Bitmap(b) => {
                 out.push(KIND_BITMAP);
+                // lint: allow(cast) a container's cardinality is at most 65536
                 out.extend_from_slice(&(c.cardinality() as u32).to_le_bytes());
                 for &w in b.iter() {
                     out.extend_from_slice(&w.to_le_bytes());
@@ -53,6 +56,7 @@ pub(crate) fn serialize(bm: &RoaringBitmap) -> Vec<u8> {
             }
             Container::Run(runs) => {
                 out.push(KIND_RUN);
+                // lint: allow(cast) run containers hold at most 32768 runs
                 out.extend_from_slice(&(runs.len() as u32).to_le_bytes());
                 for &(s, l) in runs {
                     out.extend_from_slice(&s.to_le_bytes());
@@ -71,25 +75,32 @@ struct Reader<'a> {
 
 impl<'a> Reader<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8], RoaringError> {
-        if self.pos + n > self.buf.len() {
+        // Checked add: a hostile length close to usize::MAX must not wrap
+        // around and alias an in-bounds range.
+        let end = self.pos.checked_add(n).ok_or(RoaringError::UnexpectedEnd)?;
+        if end > self.buf.len() {
             return Err(RoaringError::UnexpectedEnd);
         }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        // lint: allow(indexing) end was bounds-checked against buf.len() above
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
         Ok(s)
     }
 
     fn u8(&mut self) -> Result<u8, RoaringError> {
+        // lint: allow(indexing) take(1) returns exactly 1 byte
         Ok(self.take(1)?[0])
     }
 
     fn u16(&mut self) -> Result<u16, RoaringError> {
         let b = self.take(2)?;
+        // lint: allow(indexing) take(2) returns exactly 2 bytes
         Ok(u16::from_le_bytes([b[0], b[1]]))
     }
 
     fn u32(&mut self) -> Result<u32, RoaringError> {
         let b = self.take(4)?;
+        // lint: allow(indexing) take(4) returns exactly 4 bytes
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 }
@@ -114,8 +125,10 @@ pub(crate) fn deserialize(bytes: &[u8]) -> Result<RoaringBitmap, RoaringError> {
                 let raw = r.take(2 * n)?;
                 let mut vals = Vec::with_capacity(n);
                 for c in raw.chunks_exact(2) {
+                    // lint: allow(indexing) chunks_exact(2) yields exactly 2 bytes
                     vals.push(u16::from_le_bytes([c[0], c[1]]));
                 }
+                // lint: allow(indexing) windows(2) yields exactly 2 elements
                 if vals.windows(2).any(|w| w[0] >= w[1]) {
                     return Err(RoaringError::Corrupt("array container not sorted"));
                 }
@@ -125,7 +138,8 @@ pub(crate) fn deserialize(bytes: &[u8]) -> Result<RoaringBitmap, RoaringError> {
                 let raw = r.take(8 * 1024)?;
                 let mut words = Box::new([0u64; 1024]);
                 for (i, c) in raw.chunks_exact(8).enumerate() {
-                    words[i] = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+                    // lint: allow(indexing) 8192 bytes yield exactly 1024 chunks
+                    words[i] = u64::from_le_bytes(c.try_into().unwrap_or_default());
                 }
                 Container::Bitmap(words)
             }
@@ -134,7 +148,9 @@ pub(crate) fn deserialize(bytes: &[u8]) -> Result<RoaringBitmap, RoaringError> {
                 let mut runs = Vec::with_capacity(n);
                 for c in raw.chunks_exact(4) {
                     runs.push((
+                        // lint: allow(indexing) chunks_exact(4) yields exactly 4 bytes
                         u16::from_le_bytes([c[0], c[1]]),
+                        // lint: allow(indexing) chunks_exact(4) yields exactly 4 bytes
                         u16::from_le_bytes([c[2], c[3]]),
                     ));
                 }

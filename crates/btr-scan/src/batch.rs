@@ -48,10 +48,12 @@ pub(crate) fn gather(decoded: &DecodedColumn, selection: Option<&RoaringBitmap>)
     match (decoded, selection) {
         (DecodedColumn::Int(v), None) => ColumnData::Int(v.clone()),
         (DecodedColumn::Int(v), Some(sel)) => {
+// lint: allow(indexing) selection indices were produced from this block's own rows
             ColumnData::Int(sel.iter().map(|i| v[i as usize]).collect())
         }
         (DecodedColumn::Double(v), None) => ColumnData::Double(v.clone()),
         (DecodedColumn::Double(v), Some(sel)) => {
+// lint: allow(indexing) selection indices were produced from this block's own rows
             ColumnData::Double(sel.iter().map(|i| v[i as usize]).collect())
         }
         (DecodedColumn::Str(views), None) => ColumnData::Str(views.to_arena()),

@@ -123,6 +123,7 @@ impl BlockCache {
     fn shard_of(&self, key: &BlockKey) -> &Mutex<Shard> {
         let mut h = std::collections::hash_map::DefaultHasher::new();
         key.hash(&mut h);
+        // lint: allow(indexing) index is reduced mod SHARDS
         &self.shards[(h.finish() as usize) % SHARDS]
     }
 

@@ -170,6 +170,7 @@ impl Ctx {
     fn key(&self, column: usize, block: u32) -> BlockKey {
         BlockKey {
             relation: self.relation.clone(),
+            // lint: allow(cast) column count is far smaller than 4 GiB
             column: column as u32,
             block,
         }
@@ -197,7 +198,9 @@ fn process_row_group(ctx: &Ctx, group: RowGroup) -> Result<BlockOut> {
             selection = Some(filter_decoded(&decoded, *op, literal)?);
             pred_decoded = Some((*pidx, decoded));
         } else {
+            // lint: allow(cast) column count is far smaller than 4 GiB
             let bytes = ctx.fetch(*pidx as u32, group.block)?;
+            // lint: allow(indexing) predicate indices were resolved against columns at plan time
             let ty = ctx.column_types[*pidx];
             if has_fast_path(ty, peek_scheme(&bytes)?) {
                 selection = Some(filter_block(&bytes, ty, *op, literal, &ctx.config)?);
@@ -222,6 +225,7 @@ fn process_row_group(ctx: &Ctx, group: RowGroup) -> Result<BlockOut> {
         let columns = ctx
             .projection
             .iter()
+            // lint: allow(indexing) projection indices were resolved against columns at plan time
             .map(|&idx| empty_like(ctx.column_types[idx]))
             .collect();
         return Ok(BlockOut {
@@ -243,6 +247,7 @@ fn process_row_group(ctx: &Ctx, group: RowGroup) -> Result<BlockOut> {
             // block; decode the payload we have instead of re-fetching.
             let (_, bytes) = pred_bytes.take().unwrap_or((0, Vec::new()));
             let key = ctx.key(idx, group.block);
+            // lint: allow(indexing) projection indices were resolved against columns at plan time
             let d = ctx.decode(&bytes, ctx.column_types[idx])?;
             ctx.cache.insert(key, d.clone());
             pred_decoded = Some((idx, d.clone()));
@@ -252,7 +257,9 @@ fn process_row_group(ctx: &Ctx, group: RowGroup) -> Result<BlockOut> {
             match ctx.cache_get(&key) {
                 Some(d) => d,
                 None => {
+                    // lint: allow(cast) column count is far smaller than 4 GiB
                     let bytes = ctx.fetch(idx as u32, group.block)?;
+                    // lint: allow(indexing) projection indices were resolved against columns at plan time
                     let d = ctx.decode(&bytes, ctx.column_types[idx])?;
                     ctx.cache.insert(key, d.clone());
                     d
@@ -326,6 +333,7 @@ fn worker_loop(
             st.next_task += 1;
             i
         };
+        // lint: allow(indexing) i < groups.len() was checked before leaving the lock
         let group = groups[i];
         let result = catch_unwind(AssertUnwindSafe(|| process_row_group(ctx, group)))
             .unwrap_or_else(|payload| {
@@ -417,6 +425,7 @@ impl ScanEngine {
         let buffers = plan
             .projection
             .iter()
+            // lint: allow(indexing) plan indices were resolved against these columns
             .map(|&idx| empty_like(columns[idx].column_type))
             .collect();
         Ok(Scan {

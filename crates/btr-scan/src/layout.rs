@@ -87,12 +87,15 @@ impl RelationLayout {
         out.put_u32(VERSION);
         out.extend_from_slice(&self.rows.to_le_bytes());
         out.extend_from_slice(&self.file_len.to_le_bytes());
+        // lint: allow(cast) encode side: column count is far smaller than 4 GiB
         out.put_u32(self.columns.len() as u32);
         for col in &self.columns {
             let name = col.name.as_bytes();
+            // lint: allow(cast) encode side: column names are far shorter than 64 KiB
             out.extend_from_slice(&(name.len() as u16).to_le_bytes());
             out.extend_from_slice(name);
             out.put_u8(type_tag(col.column_type));
+            // lint: allow(cast) encode side: block count is far smaller than 4 GiB
             out.put_u32(col.blocks.len() as u32);
             for b in &col.blocks {
                 out.extend_from_slice(&b.offset.to_le_bytes());
@@ -125,6 +128,7 @@ impl RelationLayout {
         for _ in 0..n_cols {
             let name_len = {
                 let b = r.take(2)?;
+                // lint: allow(indexing) take(2) returns exactly 2 bytes
                 u16::from_le_bytes([b[0], b[1]]) as usize
             };
             if name_len > r.remaining() {

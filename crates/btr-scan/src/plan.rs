@@ -112,8 +112,10 @@ pub fn plan_scan(
     // group structure to iterate.
     let mut involved: Vec<usize> = projection.clone();
     involved.extend(predicate_column);
+    // lint: allow(indexing) projection is non-empty, so involved is too; indices came from resolve
     let first = &columns[involved[0]];
     for &idx in &involved {
+        // lint: allow(indexing) involved indices came from resolve
         let col = &columns[idx];
         if col.blocks != first.blocks {
             return Err(ScanError::RaggedBlocks {
@@ -127,6 +129,7 @@ pub fn plan_scan(
     // Row counts per group come from the sidecar; any involved column's meta
     // works since they all chunk identically. Validate it describes this
     // relation before trusting it.
+    // lint: allow(indexing) projection is non-empty, so involved is too; indices came from resolve
     let meta_col = &columns[involved[0]];
     if meta_col.blocks == 0 {
         // Empty columns compress to zero blocks while `Sidecar::build` emits
@@ -161,6 +164,7 @@ pub fn plan_scan(
     let pred_meta = match (&spec.predicate, predicate_column) {
         (Some(p), Some(idx)) => {
             let meta = sidecar
+                // lint: allow(indexing) predicate index came from resolve
                 .column(&columns[idx].name)
                 .ok_or(ScanError::SidecarMismatch("column missing from sidecar"))?;
             Some((p, meta))
@@ -172,6 +176,7 @@ pub fn plan_scan(
     let mut row_groups = Vec::with_capacity(blocks_total);
     let mut base_row = 0u64;
     for block in 0..blocks_total {
+        // lint: allow(indexing) block < blocks_total == block_rows.len() (validated above)
         let rows = meta.block_rows[block];
         let survives = match &pred_meta {
             Some((p, pmeta)) => pmeta
@@ -182,6 +187,7 @@ pub fn plan_scan(
         };
         if survives {
             row_groups.push(RowGroup {
+                // lint: allow(cast) block count is far smaller than 4 GiB
                 block: block as u32,
                 rows,
                 base_row,

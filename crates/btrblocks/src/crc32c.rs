@@ -13,12 +13,14 @@ const fn build_table() -> [u32; 256] {
     let mut table = [0u32; 256];
     let mut i = 0;
     while i < 256 {
+        // lint: allow(cast) const table builder: i < 256
         let mut crc = i as u32;
         let mut bit = 0;
         while bit < 8 {
             crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
             bit += 1;
         }
+        // lint: allow(indexing) const table builder: i < 256
         table[i] = crc;
         i += 1;
     }
@@ -35,6 +37,8 @@ pub fn crc32c(bytes: &[u8]) -> u32 {
 pub fn extend(state: u32, bytes: &[u8]) -> u32 {
     let mut crc = state;
     for &b in bytes {
+        // lint: allow(cast) widening u8 -> u32; index is masked to 0..256
+        // lint: allow(indexing) index is masked to 0..256
         crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
     }
     crc

@@ -32,6 +32,7 @@ impl Hasher for FxHasher {
         let rest = chunks.remainder();
         if !rest.is_empty() {
             let mut buf = [0u8; 8];
+            // lint: allow(indexing) rest is a chunks_exact(8) remainder, so < 8 bytes
             buf[..rest.len()].copy_from_slice(rest);
             self.add_to_hash(u64::from_le_bytes(buf) | ((rest.len() as u64) << 56));
         }
@@ -49,6 +50,7 @@ impl Hasher for FxHasher {
 
     #[inline]
     fn write_i32(&mut self, v: i32) {
+        // lint: allow(cast) bit-reinterpretation of i32 for hashing, not a narrowing
         self.add_to_hash(v as u32 as u64);
     }
 

@@ -99,10 +99,13 @@ impl Sidecar {
                 loop {
                     let end = (start + bs).min(n);
                     let chunk = match &col.data {
+                        // lint: allow(indexing) start..end is clamped to v.len() above
                         ColumnData::Int(v) => ColumnData::Int(v[start..end].to_vec()),
+                        // lint: allow(indexing) start..end is clamped to v.len() above
                         ColumnData::Double(v) => ColumnData::Double(v[start..end].to_vec()),
                         ColumnData::Str(a) => ColumnData::Str(a.gather(start..end)),
                     };
+                    // lint: allow(cast) end - start is at most block_size
                     block_rows.push((end - start) as u32);
                     zones.push(zone_of(&chunk));
                     start = end;
@@ -130,12 +133,15 @@ impl Sidecar {
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
         out.extend_from_slice(b"BTRM");
+        // lint: allow(cast) encode side: in-memory field sizes fit the wire widths
         out.put_u32(self.columns.len() as u32);
         for col in &self.columns {
             let name = col.name.as_bytes();
+            // lint: allow(cast) encode side: column names are short identifiers
             out.extend_from_slice(&(name.len() as u16).to_le_bytes());
             out.extend_from_slice(name);
             out.put_u8(col.column_type.tag());
+            // lint: allow(cast) encode side: zone count fits u32
             out.put_u32(col.zones.len() as u32);
             for (rows, zone) in col.block_rows.iter().zip(&col.zones) {
                 out.put_u32(*rows);
@@ -167,10 +173,7 @@ impl Sidecar {
         let n_cols = r.u32()? as usize;
         let mut columns = Vec::with_capacity(n_cols);
         for _ in 0..n_cols {
-            let name_len = {
-                let b = r.take(2)?;
-                u16::from_le_bytes([b[0], b[1]]) as usize
-            };
+            let name_len = r.u16()? as usize;
             let name = String::from_utf8(r.take(name_len)?.to_vec())
                 .map_err(|_| Error::Corrupt("sidecar name not utf-8"))?;
             let column_type =

@@ -51,6 +51,7 @@ fn for_each_indexed<T: Send>(
                     break;
                 }
                 let out = catch_unwind(AssertUnwindSafe(|| work(i)));
+                // lint: allow(indexing) i < n was checked by the break above; slots has n entries
                 *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
             });
         }
@@ -77,6 +78,7 @@ fn for_each_indexed<T: Send>(
 /// Compresses a relation with one worker per column, `threads`-wide.
 pub fn compress_parallel(rel: &Relation, cfg: &Config, threads: usize) -> Result<CompressedRelation> {
     let columns: Vec<CompressedColumn> =
+        // lint: allow(indexing) for_each_indexed only passes i < columns.len()
         for_each_indexed(rel.columns.len(), threads, |i| compress_column(&rel.columns[i], cfg));
     Ok(CompressedRelation {
         rows: rel.rows() as u64,
@@ -91,6 +93,7 @@ pub fn decompress_parallel(
     threads: usize,
 ) -> Result<Relation> {
     let results: Vec<Result<Column>> = for_each_indexed(compressed.columns.len(), threads, |i| {
+        // lint: allow(indexing) for_each_indexed only passes i < columns.len()
         decompress_column(&compressed.columns[i], cfg)
     });
     let mut columns = Vec::with_capacity(results.len());

@@ -127,12 +127,14 @@ fn positions_where(verdicts: impl Iterator<Item = bool>) -> RoaringBitmap {
     RoaringBitmap::from_sorted_iter(
         verdicts
             .enumerate()
+            // lint: allow(cast) row positions are < count, which came off a u32 frame header
             .filter_map(|(i, m)| m.then_some(i as u32)),
     )
 }
 
 fn all_or_none(count: usize, matched: bool) -> RoaringBitmap {
     if matched {
+        // lint: allow(cast) count came off a u32 frame header and is capped by max_block_values
         RoaringBitmap::from_sorted_iter(0..count as u32)
     } else {
         RoaringBitmap::new()
@@ -142,13 +144,23 @@ fn all_or_none(count: usize, matched: bool) -> RoaringBitmap {
 /// Expands per-run verdicts to per-row positions in O(runs): matching runs
 /// become Roaring run-container ranges directly — the whole point of
 /// evaluating on compressed data.
-fn expand_runs(verdicts: &[bool], lengths: &[i32]) -> RoaringBitmap {
+///
+/// Run lengths are decoded from untrusted bytes: a negative length or a total
+/// exceeding `u32::MAX` is a corruption, not a wrap-around.
+fn expand_runs(verdicts: &[bool], lengths: &[i32]) -> Result<RoaringBitmap> {
     let mut pos = 0u32;
-    RoaringBitmap::from_sorted_ranges(verdicts.iter().zip(lengths).filter_map(|(&v, &l)| {
-        let start = pos;
-        pos += l as u32;
-        v.then_some(start..pos)
-    }))
+    let mut ranges = Vec::new();
+    for (&v, &l) in verdicts.iter().zip(lengths) {
+        let len = u32::try_from(l).map_err(|_| Error::Corrupt("negative RLE run length"))?;
+        let end = pos
+            .checked_add(len)
+            .ok_or(Error::Corrupt("RLE run lengths overflow the row space"))?;
+        if v {
+            ranges.push(pos..end);
+        }
+        pos = end;
+    }
+    Ok(RoaringBitmap::from_sorted_ranges(ranges))
 }
 
 fn filter_int(
@@ -169,7 +181,7 @@ fn filter_int(
             let values = scheme::decompress_int(r, cfg)?;
             let lengths = scheme::decompress_int(r, cfg)?;
             let verdicts: Vec<bool> = values.iter().map(|v| op.matches(v, &lit)).collect();
-            Ok(expand_runs(&verdicts, &lengths))
+            expand_runs(&verdicts, &lengths)
         }
         SchemeCode::Dict => {
             let dict_len = r.u32()? as usize;
@@ -188,6 +200,7 @@ fn filter_int(
             let top_matches = op.matches(&top, &lit);
             let mut out = if top_matches {
                 // Everything matches except exceptions that fail.
+                // lint: allow(cast) count came off a u32 frame header
                 let mut out = RoaringBitmap::from_sorted_iter(0..count as u32);
                 for (pos, v) in bitmap.iter().zip(&exceptions) {
                     if !op.matches(v, &lit) {
@@ -226,7 +239,7 @@ fn dispatch_int(
         SchemeCode::Uncompressed => int::uncompressed::decompress(r, count),
         SchemeCode::FastPfor => int::pfor::decompress(r, count),
         SchemeCode::FastBp128 => int::bp::decompress(r, count),
-        other => Err(Error::InvalidScheme(other as u8)),
+        other => Err(Error::InvalidScheme(other.as_u8())),
     }
 }
 
@@ -248,7 +261,7 @@ fn filter_double(
             let values = scheme::decompress_double(r, cfg)?;
             let lengths = scheme::decompress_int(r, cfg)?;
             let verdicts: Vec<bool> = values.iter().map(|v| op.matches(v, &lit)).collect();
-            Ok(expand_runs(&verdicts, &lengths))
+            expand_runs(&verdicts, &lengths)
         }
         SchemeCode::Dict => {
             let dict_len = r.u32()? as usize;
@@ -283,7 +296,7 @@ fn filter_double(
             let values = match other {
                 SchemeCode::Uncompressed => double::uncompressed::decompress(r, count)?,
                 SchemeCode::Pseudodecimal => double::decimal::decompress(r, count, cfg)?,
-                other => return Err(Error::InvalidScheme(other as u8)),
+                other => return Err(Error::InvalidScheme(other.as_u8())),
             };
             Ok(positions_where(values.iter().map(|v| op.matches(v, &lit))))
         }
@@ -328,7 +341,7 @@ fn filter_str(
                 (0..views.len()).map(|i| op.matches(&views.get(i), &lit)),
             ))
         }
-        other => Err(Error::InvalidScheme(other as u8)),
+        other => Err(Error::InvalidScheme(other.as_u8())),
     }
 }
 

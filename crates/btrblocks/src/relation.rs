@@ -94,6 +94,7 @@ impl Column {
             values
                 .iter()
                 .enumerate()
+                // lint: allow(cast) row index: columns are in-memory Vecs well under u32::MAX rows
                 .filter_map(|(i, v)| v.is_none().then_some(i as u32)),
         );
         let data = ColumnData::Int(values.iter().map(|v| v.unwrap_or(0)).collect());
@@ -110,6 +111,7 @@ impl Column {
             values
                 .iter()
                 .enumerate()
+                // lint: allow(cast) row index: columns are in-memory Vecs well under u32::MAX rows
                 .filter_map(|(i, v)| v.is_none().then_some(i as u32)),
         );
         let data = ColumnData::Double(values.iter().map(|v| v.unwrap_or(0.0)).collect());
@@ -126,6 +128,7 @@ impl Column {
             values
                 .iter()
                 .enumerate()
+                // lint: allow(cast) row index: columns are in-memory Vecs well under u32::MAX rows
                 .filter_map(|(i, v)| v.is_none().then_some(i as u32)),
         );
         let mut arena = StringArena::new();
@@ -142,6 +145,7 @@ impl Column {
 
     /// Returns `true` when row `i` is NULL.
     pub fn is_null(&self, i: usize) -> bool {
+        // lint: allow(cast) row index: columns are in-memory Vecs well under u32::MAX rows
         self.nulls.as_ref().is_some_and(|b| b.contains(i as u32))
     }
 
@@ -263,6 +267,7 @@ impl CompressedRelation {
                         pos += 8; // byte_len u32 | crc32c u32
                         let r = BlockRange {
                             offset: pos,
+                            // lint: allow(cast) encode side: a block is far smaller than 4 GiB
                             len: b.len() as u32,
                             crc32c: crc32c(b),
                         };
@@ -280,16 +285,21 @@ impl CompressedRelation {
         out.extend_from_slice(MAGIC);
         out.put_u32(VERSION);
         out.extend_from_slice(&self.rows.to_le_bytes());
+        // lint: allow(cast) encode side: in-memory field sizes fit the wire widths
         out.put_u32(self.columns.len() as u32);
         for col in &self.columns {
             let name = col.name.as_bytes();
+            // lint: allow(cast) encode side: column names are short identifiers
             out.extend_from_slice(&(name.len() as u16).to_le_bytes());
             out.extend_from_slice(name);
             out.put_u8(col.column_type.tag());
+            // lint: allow(cast) encode side: serialized bitmap is far smaller than 4 GiB
             out.put_u32(col.nulls.len() as u32);
             out.extend_from_slice(&col.nulls);
+            // lint: allow(cast) encode side: block count fits u32
             out.put_u32(col.blocks.len() as u32);
             for b in &col.blocks {
+                // lint: allow(cast) encode side: a block is far smaller than 4 GiB
                 out.put_u32(b.len() as u32);
                 out.put_u32(crc32c(b));
                 out.extend_from_slice(b);
@@ -309,16 +319,21 @@ impl CompressedRelation {
         out.extend_from_slice(MAGIC);
         out.put_u32(VERSION_V1);
         out.extend_from_slice(&self.rows.to_le_bytes());
+        // lint: allow(cast) encode side: in-memory field sizes fit the wire widths
         out.put_u32(self.columns.len() as u32);
         for col in &self.columns {
             let name = col.name.as_bytes();
+            // lint: allow(cast) encode side: column names are short identifiers
             out.extend_from_slice(&(name.len() as u16).to_le_bytes());
             out.extend_from_slice(name);
             out.put_u8(col.column_type.tag());
+            // lint: allow(cast) encode side: serialized bitmap is far smaller than 4 GiB
             out.put_u32(col.nulls.len() as u32);
             out.extend_from_slice(&col.nulls);
+            // lint: allow(cast) encode side: block count fits u32
             out.put_u32(col.blocks.len() as u32);
             for b in &col.blocks {
+                // lint: allow(cast) encode side: a block is far smaller than 4 GiB
                 out.put_u32(b.len() as u32);
                 out.extend_from_slice(b);
             }
@@ -349,13 +364,13 @@ impl CompressedRelation {
                     .checked_sub(4)
                     .filter(|&l| l >= r.position())
                     .ok_or(Error::UnexpectedEnd)?;
-                let footer = u32::from_le_bytes([
-                    bytes[body_len],
-                    bytes[body_len + 1],
-                    bytes[body_len + 2],
-                    bytes[body_len + 3],
-                ]);
-                let footer_ok = crc32c(&bytes[..body_len]) == footer;
+                let body = bytes.get(..body_len).ok_or(Error::UnexpectedEnd)?;
+                let footer_bytes: [u8; 4] = bytes
+                    .get(body_len..)
+                    .and_then(|s| s.try_into().ok())
+                    .ok_or(Error::UnexpectedEnd)?;
+                let footer = u32::from_le_bytes(footer_bytes);
+                let footer_ok = crc32c(body) == footer;
                 let parsed = Self::parse_columns(&mut r, Some(body_len));
                 match parsed {
                     // A localized part checksum failure beats the footer.
@@ -389,10 +404,7 @@ impl CompressedRelation {
         }
         let mut columns = Vec::with_capacity(n_cols);
         for col_idx in 0..n_cols {
-            let name_len = {
-                let b = r.take(2)?;
-                u16::from_le_bytes([b[0], b[1]]) as usize
-            };
+            let name_len = r.u16()? as usize;
             if name_len > limit(r) {
                 return Err(Error::UnexpectedEnd);
             }
@@ -424,7 +436,9 @@ impl CompressedRelation {
                     // damaged parts never reach a decoder.
                     if crc32c(raw) != crc {
                         return Err(Error::ChecksumMismatch {
+                            // lint: allow(cast) bounded by a count read from a u32 field
                             column: col_idx as u32,
+                            // lint: allow(cast) bounded by a count read from a u32 field
                             part: part_idx as u32,
                         });
                     }

@@ -51,14 +51,17 @@ pub fn encode_single(input: f64) -> Option<(i32, u8)> {
         return None; // ±Inf, NaN
     }
     for exp in 0..=MAX_EXPONENT {
+        // lint: allow(indexing) exp <= MAX_EXPONENT = 22 < FRAC10.len() = 23
         let cd = input / FRAC10[exp as usize];
         let digits = cd.round();
         if digits.abs() > i32::MAX as f64 {
             // Larger exponents only grow the digits further.
             return None;
         }
+        // lint: allow(indexing) exp <= MAX_EXPONENT = 22 < FRAC10.len() = 23
         let orig = digits * FRAC10[exp as usize];
         if orig.to_bits() == input.to_bits() {
+            // lint: allow(cast) digits.abs() <= i32::MAX checked above; exp <= 22 fits u8
             return Some((digits as i32, exp as u8));
         }
     }
@@ -68,6 +71,7 @@ pub fn encode_single(input: f64) -> Option<(i32, u8)> {
 /// Reconstructs a double from `(digits, exponent)`.
 #[inline]
 pub fn decode_single(digits: i32, exp: u8) -> f64 {
+    // lint: allow(indexing) all callers validate exp <= 22 before decoding
     f64::from(digits) * FRAC10[usize::from(exp)]
 }
 
@@ -87,15 +91,18 @@ pub fn compress(values: &[f64], child_depth: u8, cfg: &Config, out: &mut Vec<u8>
                 digits.push(0);
                 exponents.push(EXCEPTION_EXPONENT);
                 patches.push(v);
+                // lint: allow(cast) encode side; block row counts are bounded far below u32::MAX
                 Some(i as u32)
             }
         }
     }));
     let bitmap_bytes = bitmap.serialize();
+    // lint: allow(cast) encode side; serialized bitmap of one block fits u32
     out.put_u32(bitmap_bytes.len() as u32);
     out.extend_from_slice(&bitmap_bytes);
     scheme::compress_int(&digits, child_depth, cfg, out);
     scheme::compress_int(&exponents, child_depth, cfg, out);
+    // lint: allow(cast) encode side; patches.len() <= block row count
     out.put_u32(patches.len() as u32);
     out.put_f64_slice(&patches);
 }
@@ -161,10 +168,12 @@ fn decode_with_patches(
     let _ = cfg;
     while i < count {
         let window = (count - i).min(4);
+        // lint: allow(cast) i < count = digits.len(), which decompress capped to the block size
         if vectorize && window == 4 && !bitmap.intersects_range(i as u32, 4) {
             #[cfg(target_arch = "x86_64")]
             // SAFETY: window bounds checked; capacity reserved with slack.
             unsafe {
+                // lint: allow(indexing) i + 4 <= count = digits.len() = exponents.len(), window == 4
                 decode4_avx2(&digits[i..i + 4], &exponents[i..i + 4], out.as_mut_ptr().add(i));
                 out.set_len(i + 4);
             }
@@ -172,15 +181,19 @@ fn decode_with_patches(
             continue;
         }
         for j in i..i + window {
+            // lint: allow(cast) j < count, bounded by the block size
             if bitmap.contains(j as u32) {
                 let &p = patch_iter
                     .next()
                     .ok_or(Error::Corrupt("pseudodecimal ran out of patches"))?;
                 out.push(p);
             } else {
+                // lint: allow(indexing) j < i + window <= count = exponents.len()
                 if exponents[j] == EXCEPTION_EXPONENT {
                     return Err(Error::Corrupt("pseudodecimal placeholder outside patch bitmap"));
                 }
+                // lint: allow(indexing) j < count = digits.len() = exponents.len()
+                // lint: allow(cast) exponent range-checked to 0..=23 by decompress
                 out.push(decode_single(digits[j], exponents[j] as u8));
             }
         }
@@ -196,6 +209,7 @@ static FRAC10_PADDED: [f64; 24] = {
     let mut t = [0.0; 24];
     let mut i = 0;
     while i < 23 {
+        // lint: allow(indexing) i < 23 <= both table lengths (const-evaluated anyway)
         t[i] = FRAC10[i];
         i += 1;
     }
@@ -204,14 +218,20 @@ static FRAC10_PADDED: [f64; 24] = {
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
+// SAFETY: caller must ensure AVX2 is available, `digits.len() ==
+// exponents.len()`, every exponent is in 0..=23 (the gather table is padded
+// to 24 entries), and `out` has capacity for `digits.len()` doubles.
 unsafe fn decode_avx2(digits: &[i32], exponents: &[i32], out: *mut f64) {
     let n = digits.len();
     let mut i = 0usize;
     while i + 4 <= n {
+        // lint: allow(indexing) i + 4 <= n = digits.len() = exponents.len()
         decode4_avx2(&digits[i..i + 4], &exponents[i..i + 4], out.add(i));
         i += 4;
     }
     while i < n {
+        // lint: allow(indexing) i < n = digits.len() = exponents.len()
+        // lint: allow(cast) exponent range-checked to 0..=23 by decompress
         *out.add(i) = decode_single(digits[i], exponents[i] as u8);
         i += 1;
     }
@@ -221,6 +241,9 @@ unsafe fn decode_avx2(digits: &[i32], exponents: &[i32], out: *mut f64) {
 /// inverse powers of ten — the vectorization described in §5.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
+// SAFETY: caller must ensure AVX2 is available, both slices hold at least 4
+// values, exponents are in 0..=23 (FRAC10_PADDED has 24 entries), and `out`
+// has room for 4 doubles.
 unsafe fn decode4_avx2(digits: &[i32], exponents: &[i32], out: *mut f64) {
     use std::arch::x86_64::*;
     let d = _mm_loadu_si128(digits.as_ptr() as *const __m128i);

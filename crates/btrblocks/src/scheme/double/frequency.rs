@@ -17,6 +17,7 @@ pub fn compress(values: &[f64], child_depth: u8, cfg: &Config, out: &mut Vec<u8>
     let bitmap = RoaringBitmap::from_sorted_iter(values.iter().enumerate().filter_map(|(i, &v)| {
         if v.to_bits() != top_bits {
             exceptions.push(v);
+            // lint: allow(cast) encode side: block row index fits u32
             Some(i as u32)
         } else {
             None
@@ -24,6 +25,7 @@ pub fn compress(values: &[f64], child_depth: u8, cfg: &Config, out: &mut Vec<u8>
     }));
     let bitmap_bytes = bitmap.serialize();
     out.put_f64(stats.top_value);
+    // lint: allow(cast) encode side: serialized bitmap is far smaller than 4 GiB
     out.put_u32(bitmap_bytes.len() as u32);
     out.extend_from_slice(&bitmap_bytes);
     scheme::compress_double(&exceptions, child_depth, cfg, out);
@@ -44,6 +46,7 @@ pub fn decompress(r: &mut Reader<'_>, count: usize, cfg: &Config) -> Result<Vec<
         if pos >= count {
             return Err(Error::Corrupt("double frequency position out of range"));
         }
+        // lint: allow(indexing) pos was range-checked against count above
         out[pos] = val;
     }
     Ok(out)

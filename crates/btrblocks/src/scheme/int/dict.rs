@@ -21,6 +21,7 @@ pub fn encode_dict(values: &[i32]) -> (Vec<i32>, Vec<i32>) {
     for &v in values {
         let code = *map.entry(v).or_insert_with(|| {
             dict.push(v);
+            // lint: allow(cast) encode side: dictionary sizes fit i32
             (dict.len() - 1) as i32
         });
         codes.push(code);
@@ -31,6 +32,7 @@ pub fn encode_dict(values: &[i32]) -> (Vec<i32>, Vec<i32>) {
 /// Compresses `values` as a dictionary with a cascaded code sequence.
 pub fn compress(values: &[i32], child_depth: u8, cfg: &Config, out: &mut Vec<u8>) {
     let (dict, codes) = encode_dict(values);
+    // lint: allow(cast) encode side: dictionary entry count fits u32
     out.put_u32(dict.len() as u32);
     out.put_i32_slice(&dict);
     scheme::compress_int_excluding(&codes, child_depth, cfg, out, Some(crate::scheme::SchemeCode::Dict));
@@ -49,6 +51,7 @@ pub fn decompress(r: &mut Reader<'_>, count: usize, cfg: &Config) -> Result<Vec<
         if c < 0 || c as usize >= dict_len {
             return Err(Error::Corrupt("dict code out of range"));
         }
+        // lint: allow(cast) c was range-checked non-negative and < dict len above
         codes_u32.push(c as u32);
     }
     Ok(simd::dict_decode_i32(&codes_u32, &dict, cfg.simd))

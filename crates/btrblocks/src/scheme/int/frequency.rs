@@ -23,6 +23,7 @@ pub fn compress(values: &[i32], child_depth: u8, cfg: &Config, out: &mut Vec<u8>
     let bitmap = RoaringBitmap::from_sorted_iter(values.iter().enumerate().filter_map(|(i, &v)| {
         if v != top {
             exceptions.push(v);
+            // lint: allow(cast) encode side: block row index fits u32
             Some(i as u32)
         } else {
             None
@@ -30,6 +31,7 @@ pub fn compress(values: &[i32], child_depth: u8, cfg: &Config, out: &mut Vec<u8>
     }));
     let bitmap_bytes = bitmap.serialize();
     out.put_i32(top);
+    // lint: allow(cast) encode side: serialized bitmap is far smaller than 4 GiB
     out.put_u32(bitmap_bytes.len() as u32);
     out.extend_from_slice(&bitmap_bytes);
     scheme::compress_int(&exceptions, child_depth, cfg, out);
@@ -50,6 +52,7 @@ pub fn decompress(r: &mut Reader<'_>, count: usize, cfg: &Config) -> Result<Vec<
         if pos >= count {
             return Err(Error::Corrupt("frequency exception position out of range"));
         }
+        // lint: allow(indexing) pos was range-checked against count above
         out[pos] = val;
     }
     Ok(out)

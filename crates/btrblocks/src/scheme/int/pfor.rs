@@ -14,6 +14,7 @@ pub fn compress(values: &[i32], out: &mut Vec<u8>) {
     let (base, offsets) = for_delta::for_encode(values);
     let words = fastpfor::encode(&offsets);
     out.put_i32(base);
+    // lint: allow(cast) encode side: packed word count fits u32
     out.put_u32(words.len() as u32);
     out.put_u32_slice(&words);
 }

@@ -30,6 +30,7 @@ pub fn runs_of(values: &[i32]) -> (Vec<i32>, Vec<i32>) {
 /// Compresses `values` as RLE with cascaded children.
 pub fn compress(values: &[i32], child_depth: u8, cfg: &Config, out: &mut Vec<u8>) {
     let (run_values, run_lengths) = runs_of(values);
+    // lint: allow(cast) encode side: run count fits u32
     out.put_u32(run_values.len() as u32);
     scheme::compress_int(&run_values, child_depth, cfg, out);
     scheme::compress_int(&run_lengths, child_depth, cfg, out);
@@ -50,6 +51,7 @@ pub fn decompress(r: &mut Reader<'_>, count: usize, cfg: &Config) -> Result<Vec<
             return Err(Error::Corrupt("negative RLE run length"));
         }
         total += l as usize;
+        // lint: allow(cast) l was checked non-negative above
         lengths.push(l as u32);
     }
     if total != count {

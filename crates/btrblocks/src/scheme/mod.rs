@@ -70,6 +70,13 @@ impl SchemeCode {
         })
     }
 
+    /// The wire byte for this scheme (inverse of [`SchemeCode::from_u8`]).
+    #[inline]
+    pub fn as_u8(self) -> u8 {
+        // lint: allow(cast) repr(u8) enum with explicit discriminants
+        self as u8
+    }
+
     /// Short name for reports (matches the paper's labels).
     pub fn name(self) -> &'static str {
         match self {
@@ -233,7 +240,8 @@ pub fn pick_int_excluding(values: &[i32], depth: u8, cfg: &Config, exclude: Opti
 /// itself, by ablation benchmarks, and by the Figure 5/6 harnesses).
 pub fn compress_int_with(code: SchemeCode, values: &[i32], depth: u8, cfg: &Config, out: &mut Vec<u8>) {
     let code = if depth == 0 || values.is_empty() { SchemeCode::Uncompressed } else { code };
-    out.put_u8(code as u8);
+    out.put_u8(code.as_u8());
+    // lint: allow(cast) encode side: block length is capped at max_block_values
     out.put_u32(values.len() as u32);
     let child_depth = depth.saturating_sub(1);
     match code {
@@ -263,7 +271,7 @@ pub fn decompress_int(r: &mut Reader<'_>, cfg: &Config) -> Result<Vec<i32>> {
         SchemeCode::Frequency => int::frequency::decompress(r, count, cfg),
         SchemeCode::FastPfor => int::pfor::decompress(r, count),
         SchemeCode::FastBp128 => int::bp::decompress(r, count),
-        other => Err(Error::InvalidScheme(other as u8)),
+        other => Err(Error::InvalidScheme(other.as_u8())),
     }
 }
 
@@ -340,7 +348,8 @@ pub fn pick_double_excluding(values: &[f64], depth: u8, cfg: &Config, exclude: O
 /// Compresses a double block with a forced root scheme.
 pub fn compress_double_with(code: SchemeCode, values: &[f64], depth: u8, cfg: &Config, out: &mut Vec<u8>) {
     let code = if depth == 0 || values.is_empty() { SchemeCode::Uncompressed } else { code };
-    out.put_u8(code as u8);
+    out.put_u8(code.as_u8());
+    // lint: allow(cast) encode side: block length is capped at max_block_values
     out.put_u32(values.len() as u32);
     let child_depth = depth.saturating_sub(1);
     match code {
@@ -368,7 +377,7 @@ pub fn decompress_double(r: &mut Reader<'_>, cfg: &Config) -> Result<Vec<f64>> {
         SchemeCode::Dict => double::dict::decompress(r, count, cfg),
         SchemeCode::Frequency => double::frequency::decompress(r, count, cfg),
         SchemeCode::Pseudodecimal => double::decimal::decompress(r, count, cfg),
-        other => Err(Error::InvalidScheme(other as u8)),
+        other => Err(Error::InvalidScheme(other.as_u8())),
     }
 }
 
@@ -451,7 +460,8 @@ pub fn pick_str(arena: &StringArena, depth: u8, cfg: &Config) -> Selection {
 /// Compresses a string block with a forced root scheme.
 pub fn compress_str_with(code: SchemeCode, arena: &StringArena, depth: u8, cfg: &Config, out: &mut Vec<u8>) {
     let code = if depth == 0 || arena.is_empty() { SchemeCode::Uncompressed } else { code };
-    out.put_u8(code as u8);
+    out.put_u8(code.as_u8());
+    // lint: allow(cast) encode side: block length is capped at max_block_values
     out.put_u32(arena.len() as u32);
     let child_depth = depth.saturating_sub(1);
     match code {
@@ -477,7 +487,7 @@ pub fn decompress_str(r: &mut Reader<'_>, cfg: &Config) -> Result<StringViews> {
         SchemeCode::Dict => str::dict::decompress(r, count, cfg),
         SchemeCode::DictFsst => str::dict_fsst::decompress(r, count, cfg),
         SchemeCode::Fsst => str::fsst::decompress(r, count, cfg),
-        other => Err(Error::InvalidScheme(other as u8)),
+        other => Err(Error::InvalidScheme(other.as_u8())),
     }
 }
 

@@ -29,6 +29,7 @@ pub fn encode_dict(arena: &StringArena) -> (StringArena, Vec<i32>) {
         let s = arena.get(i);
         let code = *map.entry(s).or_insert_with(|| {
             dict.push(s);
+            // lint: allow(cast) encode side: dictionary sizes fit i32
             (dict.len() - 1) as i32
         });
         codes.push(code);
@@ -44,7 +45,9 @@ pub fn compress(arena: &StringArena, child_depth: u8, cfg: &Config, out: &mut Ve
 }
 
 pub(crate) fn write_dict(dict: &StringArena, out: &mut Vec<u8>) {
+    // lint: allow(cast) encode side: dictionary entry count fits u32
     out.put_u32(dict.len() as u32);
+    // lint: allow(cast) encode side: dictionary pool is far smaller than 4 GiB
     out.put_u32(dict.bytes.len() as u32);
     out.extend_from_slice(&dict.bytes);
     out.put_u32_slice(&dict.offsets);
@@ -57,9 +60,11 @@ pub(crate) fn read_dict(r: &mut Reader<'_>) -> Result<(Vec<u8>, Vec<u64>)> {
     let offsets = r.u32_vec(dict_n + 1)?;
     let mut views = Vec::with_capacity(dict_n);
     for w in offsets.windows(2) {
+        // lint: allow(indexing) windows(2) yields exactly 2 elements
         if w[1] < w[0] || w[1] as usize > pool_len {
             return Err(Error::Corrupt("dict offsets not monotone"));
         }
+        // lint: allow(indexing) windows(2) yields exactly 2 elements
         views.push(StringViews::pack(w[0], w[1] - w[0]));
     }
     Ok((pool, views))
@@ -96,7 +101,9 @@ pub(crate) fn decode_codes_to_views(
                 if code < 0 || code as usize >= dict_views.len() || len < 0 {
                     return Err(Error::Corrupt("fused RLE dict code out of range"));
                 }
+                // lint: allow(indexing) code was range-checked against dict_views.len() above
                 run_views.push(dict_views[code as usize]);
+                // lint: allow(cast) len was checked non-negative above
                 lengths.push(len as u32);
                 total += len as usize;
             }
@@ -117,6 +124,7 @@ pub(crate) fn decode_codes_to_views(
         if c < 0 || c as usize >= dict_views.len() {
             return Err(Error::Corrupt("string dict code out of range"));
         }
+        // lint: allow(cast) c was range-checked non-negative and < dict len above
         codes_u32.push(c as u32);
     }
     Ok(simd::dict_decode_u64(&codes_u32, dict_views, cfg.simd))

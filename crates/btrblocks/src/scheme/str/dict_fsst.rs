@@ -28,11 +28,15 @@ pub fn compress(arena: &StringArena, child_depth: u8, cfg: &Config, out: &mut Ve
     let mut lengths = Vec::with_capacity(dict.len());
     for s in &dict_strings {
         table.compress(s, &mut compressed);
+        // lint: allow(cast) encode side: a single string is far smaller than 4 GiB
         lengths.push(s.len() as u32);
     }
+    // lint: allow(cast) encode side: dictionary entry count fits u32
     out.put_u32(dict.len() as u32);
+    // lint: allow(cast) encode side: symbol table serialization is small
     out.put_u32(table_bytes.len() as u32);
     out.extend_from_slice(&table_bytes);
+    // lint: allow(cast) encode side: compressed pool is far smaller than 4 GiB
     out.put_u32(compressed.len() as u32);
     out.extend_from_slice(&compressed);
     out.put_u32_slice(&lengths);
@@ -51,12 +55,16 @@ pub fn decompress(r: &mut Reader<'_>, count: usize, cfg: &Config) -> Result<Stri
     let mut pool = Vec::new();
     table.decompress(compressed, &mut pool)?;
     let mut dict_views = Vec::with_capacity(dict_n);
-    let mut off = 0u64;
+    // Accumulate in u32 with checked adds: hostile lengths summing past
+    // u32::MAX must be a corruption error, not a silently truncated view.
+    let mut off = 0u32;
     for &l in &lengths {
-        dict_views.push(StringViews::pack(off as u32, l));
-        off += u64::from(l);
+        dict_views.push(StringViews::pack(off, l));
+        off = off
+            .checked_add(l)
+            .ok_or(Error::Corrupt("dict+fsst pool length overflow"))?;
     }
-    if off != pool.len() as u64 {
+    if off as usize != pool.len() {
         return Err(Error::Corrupt("dict+fsst pool length mismatch"));
     }
     let views = super::dict::decode_codes_to_views(r, count, cfg, &dict_views)?;

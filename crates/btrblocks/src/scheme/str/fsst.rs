@@ -26,10 +26,13 @@ pub fn compress(arena: &StringArena, child_depth: u8, cfg: &Config, out: &mut Ve
     let mut lengths = Vec::with_capacity(arena.len());
     for s in &strings {
         table.compress(s, &mut compressed);
+        // lint: allow(cast) encode side: a single string is far smaller than 2 GiB
         lengths.push(s.len() as i32);
     }
+    // lint: allow(cast) encode side: symbol table serialization is small
     out.put_u32(table_bytes.len() as u32);
     out.extend_from_slice(&table_bytes);
+    // lint: allow(cast) encode side: compressed pool is far smaller than 4 GiB
     out.put_u32(compressed.len() as u32);
     out.extend_from_slice(&compressed);
     scheme::compress_int(&lengths, child_depth, cfg, out);
@@ -48,17 +51,18 @@ pub fn decompress(r: &mut Reader<'_>, count: usize, cfg: &Config) -> Result<Stri
     // One decompression call for the whole block.
     let mut pool = Vec::new();
     table.decompress(compressed, &mut pool)?;
-    let total: usize = pool.len();
     let mut views = Vec::with_capacity(count);
-    let mut off = 0u64;
+    // Accumulate in u32 with checked adds: hostile lengths summing past
+    // u32::MAX must be a corruption error, not a silently truncated view.
+    let mut off = 0u32;
     for &l in &lengths {
-        if l < 0 {
-            return Err(Error::Corrupt("negative fsst string length"));
-        }
-        views.push(StringViews::pack(off as u32, l as u32));
-        off += l as u64;
+        let len = u32::try_from(l).map_err(|_| Error::Corrupt("negative fsst string length"))?;
+        views.push(StringViews::pack(off, len));
+        off = off
+            .checked_add(len)
+            .ok_or(Error::Corrupt("fsst pool length overflow"))?;
     }
-    if off != total as u64 {
+    if off as usize != pool.len() {
         return Err(Error::Corrupt("fsst pool length mismatch"));
     }
     Ok(StringViews { pool, views })

@@ -8,15 +8,16 @@ use crate::Result;
 pub fn compress(arena: &StringArena, out: &mut Vec<u8>) {
     let s: &[u8] = if arena.is_empty() { b"" } else { arena.get(0) };
     debug_assert!((0..arena.len()).all(|i| arena.get(i) == s));
+    // lint: allow(cast) encode side: a single string is far smaller than 4 GiB
     out.put_u32(s.len() as u32);
     out.extend_from_slice(s);
 }
 
 /// Expands the stored string `count` times (all views share one pool entry).
 pub fn decompress(r: &mut Reader<'_>, count: usize) -> Result<StringViews> {
-    let len = r.u32()? as usize;
-    let pool = r.take(len)?.to_vec();
-    let view = StringViews::pack(0, len as u32);
+    let len = r.u32()?;
+    let pool = r.take(len as usize)?.to_vec();
+    let view = StringViews::pack(0, len);
     Ok(StringViews {
         pool,
         views: vec![view; count],

@@ -6,6 +6,7 @@ use crate::{Error, Result};
 
 /// Payload: `[pool_len: u32][pool bytes][offsets: (count + 1) × u32]`.
 pub fn compress(arena: &StringArena, out: &mut Vec<u8>) {
+    // lint: allow(cast) encode side: arena pools are far smaller than 4 GiB
     out.put_u32(arena.bytes.len() as u32);
     out.extend_from_slice(&arena.bytes);
     out.put_u32_slice(&arena.offsets);
@@ -18,6 +19,7 @@ pub fn decompress(r: &mut Reader<'_>, count: usize) -> Result<StringViews> {
     let offsets = r.u32_vec(count + 1)?;
     let mut views = Vec::with_capacity(count);
     for w in offsets.windows(2) {
+        // lint: allow(indexing) windows(2) yields exactly 2 elements
         let (start, end) = (w[0], w[1]);
         if end < start || end as usize > pool_len {
             return Err(Error::Corrupt("string offsets not monotone"));

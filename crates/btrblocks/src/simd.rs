@@ -106,6 +106,10 @@ pub fn rle_decode_u64(values: &[u64], lengths: &[u32], total: usize, mode: SimdM
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
+// SAFETY: caller must ensure AVX2 is available, that `values.len() ==
+// lengths.len()`, and that `out` has capacity for the sum of `lengths` plus
+// DECODE_SLACK elements — each splat store may overshoot a run end by up to
+// one full vector, and the final run's overshoot lands in the slack.
 unsafe fn rle_decode_i32_avx2(values: &[i32], lengths: &[u32], out: *mut i32) {
     use std::arch::x86_64::*;
     let mut dst = out;
@@ -123,6 +127,8 @@ unsafe fn rle_decode_i32_avx2(values: &[i32], lengths: &[u32], out: *mut i32) {
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
+// SAFETY: same contract as `rle_decode_i32_avx2` (AVX2 present; `out` holds
+// sum(lengths) + DECODE_SLACK elements), with 4-wide f64 stores.
 unsafe fn rle_decode_f64_avx2(values: &[f64], lengths: &[u32], out: *mut f64) {
     use std::arch::x86_64::*;
     let mut dst = out;
@@ -139,6 +145,8 @@ unsafe fn rle_decode_f64_avx2(values: &[f64], lengths: &[u32], out: *mut f64) {
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
+// SAFETY: same contract as `rle_decode_i32_avx2` (AVX2 present; `out` holds
+// sum(lengths) + DECODE_SLACK elements), with 4-wide u64 stores.
 unsafe fn rle_decode_u64_avx2(values: &[u64], lengths: &[u32], out: *mut u64) {
     use std::arch::x86_64::*;
     let mut dst = out;
@@ -168,6 +176,7 @@ pub fn dict_decode_i32(codes: &[u32], dict: &[i32], mode: SimdMode) -> Vec<i32> 
         return out;
     }
     let _ = mode;
+    // lint: allow(indexing) hot path; codes validated < dict.len() by the block decoder
     out.extend(codes.iter().map(|&c| dict[c as usize]));
     out
 }
@@ -185,6 +194,7 @@ pub fn dict_decode_f64(codes: &[u32], dict: &[f64], mode: SimdMode) -> Vec<f64> 
         return out;
     }
     let _ = mode;
+    // lint: allow(indexing) hot path; codes validated < dict.len() by the block decoder
     out.extend(codes.iter().map(|&c| dict[c as usize]));
     out
 }
@@ -203,12 +213,16 @@ pub fn dict_decode_u64(codes: &[u32], dict: &[u64], mode: SimdMode) -> Vec<u64> 
         return out;
     }
     let _ = mode;
+    // lint: allow(indexing) hot path; codes validated < dict.len() by the block decoder
     out.extend(codes.iter().map(|&c| dict[c as usize]));
     out
 }
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
+// SAFETY: caller must ensure AVX2 is available, every code in `codes` is
+// `< dict.len()` (gathers read `dict[code]` unmasked), and `out` has
+// capacity for `codes.len()` elements; stores stay within that bound.
 unsafe fn dict_decode_i32_avx2(codes: &[u32], dict: &[i32], out: *mut i32) {
     use std::arch::x86_64::*;
     let n = codes.len();
@@ -229,6 +243,7 @@ unsafe fn dict_decode_i32_avx2(codes: &[u32], dict: &[i32], out: *mut i32) {
         i += 8;
     }
     while i < n {
+        // lint: allow(indexing) i < n = codes.len(); codes validated < dict.len() by caller
         *out.add(i) = dict[codes[i] as usize];
         i += 1;
     }
@@ -236,6 +251,8 @@ unsafe fn dict_decode_i32_avx2(codes: &[u32], dict: &[i32], out: *mut i32) {
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
+// SAFETY: same contract as `dict_decode_i32_avx2` (AVX2 present; codes in
+// range; `out` holds `codes.len()` elements), 8-byte gather stride.
 unsafe fn dict_decode_f64_avx2(codes: &[u32], dict: &[f64], out: *mut f64) {
     use std::arch::x86_64::*;
     let n = codes.len();
@@ -255,6 +272,7 @@ unsafe fn dict_decode_f64_avx2(codes: &[u32], dict: &[f64], out: *mut f64) {
         i += 4;
     }
     while i < n {
+        // lint: allow(indexing) i < n = codes.len(); codes validated < dict.len() by caller
         *out.add(i) = dict[codes[i] as usize];
         i += 1;
     }
@@ -262,6 +280,8 @@ unsafe fn dict_decode_f64_avx2(codes: &[u32], dict: &[f64], out: *mut f64) {
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
+// SAFETY: same contract as `dict_decode_i32_avx2` (AVX2 present; codes in
+// range; `out` holds `codes.len()` elements), 8-byte gather stride.
 unsafe fn dict_decode_u64_avx2(codes: &[u32], dict: &[u64], out: *mut u64) {
     use std::arch::x86_64::*;
     let n = codes.len();
@@ -273,6 +293,7 @@ unsafe fn dict_decode_u64_avx2(codes: &[u32], dict: &[u64], out: *mut u64) {
         i += 4;
     }
     while i < n {
+        // lint: allow(indexing) i < n = codes.len(); codes validated < dict.len() by caller
         *out.add(i) = dict[codes[i] as usize];
         i += 1;
     }

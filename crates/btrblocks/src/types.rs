@@ -80,6 +80,7 @@ impl StringArena {
     /// Appends one string.
     pub fn push(&mut self, s: &[u8]) {
         self.bytes.extend_from_slice(s);
+        // lint: allow(cast) encode side: arena pools are far smaller than 4 GiB
         self.offsets.push(self.bytes.len() as u32);
     }
 
@@ -96,12 +97,14 @@ impl StringArena {
     /// Returns string `i` as a byte slice.
     #[inline]
     pub fn get(&self, i: usize) -> &[u8] {
+        // lint: allow(indexing) arena invariant: offsets are monotone and end at bytes.len()
         &self.bytes[self.offsets[i] as usize..self.offsets[i + 1] as usize]
     }
 
     /// Length in bytes of string `i`.
     #[inline]
     pub fn str_len(&self, i: usize) -> usize {
+        // lint: allow(indexing) arena invariant: offsets has len()+1 entries
         (self.offsets[i + 1] - self.offsets[i]) as usize
     }
 
@@ -210,9 +213,11 @@ impl StringViews {
     /// Returns string `i` as a byte slice.
     #[inline]
     pub fn get(&self, i: usize) -> &[u8] {
+        // lint: allow(indexing) views invariant: every view was validated against the pool at decode time
         let v = self.views[i];
         let off = (v >> 32) as usize;
         let len = (v & 0xFFFF_FFFF) as usize;
+        // lint: allow(indexing) views invariant: every view was validated against the pool at decode time
         &self.pool[off..off + len]
     }
 
@@ -238,6 +243,7 @@ impl StringViews {
     /// Builds views over an arena's pool (sequential layout).
     pub fn from_arena(arena: &StringArena) -> StringViews {
         let views = (0..arena.len())
+            // lint: allow(indexing) arena invariant: offsets has len()+1 entries
             .map(|i| StringViews::pack(arena.offsets[i], arena.offsets[i + 1] - arena.offsets[i]))
             .collect();
         StringViews {

@@ -78,9 +78,16 @@ impl<'a> Reader<'a> {
         if end > self.buf.len() {
             return Err(Error::UnexpectedEnd);
         }
+        // lint: allow(indexing) end was bounds-checked against buf.len() above
         let s = &self.buf[self.pos..end];
         self.pos = end;
         Ok(s)
+    }
+
+    /// Reads a fixed-size array; length mismatch is impossible after `take`.
+    #[inline]
+    fn array<const N: usize>(&mut self) -> Result<[u8; N]> {
+        self.take(N)?.try_into().map_err(|_| Error::UnexpectedEnd)
     }
 
     /// Bytes left between the cursor and the end of the buffer.
@@ -89,24 +96,23 @@ impl<'a> Reader<'a> {
     }
 
     pub fn u8(&mut self) -> Result<u8> {
-        Ok(self.take(1)?[0])
+        Ok(u8::from_le_bytes(self.array::<1>()?))
+    }
+
+    pub fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.array::<2>()?))
     }
 
     pub fn u32(&mut self) -> Result<u32> {
-        let b = self.take(4)?;
-        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        Ok(u32::from_le_bytes(self.array::<4>()?))
     }
 
     pub fn i32(&mut self) -> Result<i32> {
-        let b = self.take(4)?;
-        Ok(i32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        Ok(i32::from_le_bytes(self.array::<4>()?))
     }
 
     pub fn u64(&mut self) -> Result<u64> {
-        let b = self.take(8)?;
-        Ok(u64::from_le_bytes([
-            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
-        ]))
+        Ok(u64::from_le_bytes(self.array::<8>()?))
     }
 
     pub fn f64(&mut self) -> Result<f64> {
@@ -118,7 +124,7 @@ impl<'a> Reader<'a> {
         let raw = self.take(bytes)?;
         Ok(raw
             .chunks_exact(4)
-            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap_or_default()))
             .collect())
     }
 
@@ -127,7 +133,7 @@ impl<'a> Reader<'a> {
         let raw = self.take(bytes)?;
         Ok(raw
             .chunks_exact(4)
-            .map(|c| i32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .map(|c| i32::from_le_bytes(c.try_into().unwrap_or_default()))
             .collect())
     }
 
@@ -136,14 +142,13 @@ impl<'a> Reader<'a> {
         let raw = self.take(bytes)?;
         Ok(raw
             .chunks_exact(8)
-            .map(|c| {
-                f64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]])
-            })
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap_or_default()))
             .collect())
     }
 
     /// Remaining unread bytes.
     pub fn rest(&self) -> &'a [u8] {
+        // lint: allow(indexing) pos never exceeds buf.len() (see take)
         &self.buf[self.pos..]
     }
 

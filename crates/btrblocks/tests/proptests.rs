@@ -20,7 +20,7 @@ fn small_cfg(simd: SimdMode) -> Config {
 }
 
 fn simd_mode(case: usize) -> SimdMode {
-    if case % 2 == 0 {
+    if case.is_multiple_of(2) {
         SimdMode::Auto
     } else {
         SimdMode::ForceScalar

@@ -63,6 +63,7 @@ fn encode_stream(data: &ColumnData, opts: &WriteOptions) -> Vec<u8> {
                 let s = arena.get(i);
                 let code = *map.entry(s).or_insert_with(|| {
                     dict.push(s);
+                    // lint: allow(cast) encode side: dict sizes are far smaller than 2 GiB
                     (dict.len() - 1) as i32
                 });
                 codes.push(code);
@@ -71,17 +72,22 @@ fn encode_stream(data: &ColumnData, opts: &WriteOptions) -> Vec<u8> {
                 && (dict.len() as f64 / arena.len() as f64) <= opts.dictionary_key_size_threshold;
             if use_dict {
                 out.push(1);
+                // lint: allow(cast) encode side: dict sizes are far smaller than 4 GiB
                 out.extend_from_slice(&(dict.len() as u32).to_le_bytes());
+                // lint: allow(cast) encode side: strings are far shorter than 2 GiB
                 let lengths: Vec<i32> = (0..dict.len()).map(|i| dict.str_len(i) as i32).collect();
                 let len_stream = rle2::encode(&lengths);
+                // lint: allow(cast) encode side: length streams are far smaller than 4 GiB
                 out.extend_from_slice(&(len_stream.len() as u32).to_le_bytes());
                 out.extend_from_slice(&len_stream);
                 out.extend_from_slice(&dict.bytes);
                 out.extend_from_slice(&rle2::encode(&codes));
             } else {
                 out.push(0);
+                // lint: allow(cast) encode side: strings are far shorter than 2 GiB
                 let lengths: Vec<i32> = (0..arena.len()).map(|i| arena.str_len(i) as i32).collect();
                 let len_stream = rle2::encode(&lengths);
+                // lint: allow(cast) encode side: length streams are far smaller than 4 GiB
                 out.extend_from_slice(&(len_stream.len() as u32).to_le_bytes());
                 out.extend_from_slice(&len_stream);
                 out.extend_from_slice(&arena.bytes);
@@ -99,6 +105,7 @@ fn decode_stream(buf: &[u8], count: usize, ty: ColumnType) -> Result<ColumnData>
                 return Err(Error::UnexpectedEnd);
             }
             Ok(ColumnData::Double(
+                // lint: allow(indexing) buf.len() >= count * 8 was checked above
                 buf[..count * 8]
                     .chunks_exact(8)
                     .map(|c| f64::from_le_bytes(c.try_into().expect("8")))
@@ -112,13 +119,16 @@ fn decode_stream(buf: &[u8], count: usize, ty: ColumnType) -> Result<ColumnData>
                     if rest.len() < 8 {
                         return Err(Error::UnexpectedEnd);
                     }
+                    // lint: allow(indexing) rest.len() >= 8 was checked above
                     let dict_n = u32::from_le_bytes(rest[..4].try_into().expect("4")) as usize;
                     let len_stream_len =
+                        // lint: allow(indexing) rest.len() >= 8 was checked above
                         u32::from_le_bytes(rest[4..8].try_into().expect("4")) as usize;
                     let mut pos = 8usize;
                     if rest.len() < pos + len_stream_len {
                         return Err(Error::UnexpectedEnd);
                     }
+                    // lint: allow(indexing) rest.len() >= pos + len_stream_len was checked above
                     let lengths = rle2::decode(&rest[pos..pos + len_stream_len], dict_n)?;
                     pos += len_stream_len;
                     let total: usize = lengths.iter().map(|&l| l.max(0) as usize).sum();
@@ -131,9 +141,11 @@ fn decode_stream(buf: &[u8], count: usize, ty: ColumnType) -> Result<ColumnData>
                         if l < 0 {
                             return Err(Error::Corrupt("negative dict string length"));
                         }
+                        // lint: allow(indexing) off + len stays within pos + total, which was bounds-checked above
                         dict.push(&rest[off..off + l as usize]);
                         off += l as usize;
                     }
+                    // lint: allow(indexing) off never exceeds pos + total <= rest.len()
                     let codes = rle2::decode(&rest[off..], count)?;
                     let mut arena = StringArena::new();
                     for &c in &codes {
@@ -149,11 +161,13 @@ fn decode_stream(buf: &[u8], count: usize, ty: ColumnType) -> Result<ColumnData>
                         return Err(Error::UnexpectedEnd);
                     }
                     let len_stream_len =
+                        // lint: allow(indexing) rest.len() >= 4 was checked above
                         u32::from_le_bytes(rest[..4].try_into().expect("4")) as usize;
                     let mut pos = 4usize;
                     if rest.len() < pos + len_stream_len {
                         return Err(Error::UnexpectedEnd);
                     }
+                    // lint: allow(indexing) rest.len() >= pos + len_stream_len was checked above
                     let lengths = rle2::decode(&rest[pos..pos + len_stream_len], count)?;
                     pos += len_stream_len;
                     let mut arena = StringArena::new();
@@ -164,6 +178,7 @@ fn decode_stream(buf: &[u8], count: usize, ty: ColumnType) -> Result<ColumnData>
                         if rest.len() < pos + l as usize {
                             return Err(Error::UnexpectedEnd);
                         }
+                        // lint: allow(indexing) rest.len() >= pos + l was checked above
                         arena.push(&rest[pos..pos + l as usize]);
                         pos += l as usize;
                     }
@@ -177,7 +192,9 @@ fn decode_stream(buf: &[u8], count: usize, ty: ColumnType) -> Result<ColumnData>
 
 fn column_slice(data: &ColumnData, start: usize, end: usize) -> ColumnData {
     match data {
+        // lint: allow(indexing) start..end is clamped to the row count by the caller
         ColumnData::Int(v) => ColumnData::Int(v[start..end].to_vec()),
+        // lint: allow(indexing) start..end is clamped to the row count by the caller
         ColumnData::Double(v) => ColumnData::Double(v[start..end].to_vec()),
         ColumnData::Str(a) => ColumnData::Str(a.gather(start..end)),
     }
@@ -198,9 +215,11 @@ pub fn write(rel: &Relation, opts: &WriteOptions) -> Vec<u8> {
             let slice = column_slice(&col.data, start, end);
             let encoded = encode_stream(&slice, opts);
             let compressed = opts.codec.compress(&encoded);
+            // lint: allow(cast) encode side: streams are far smaller than 4 GiB
             streams.push((out.len() as u64, compressed.len() as u32));
             out.extend_from_slice(&compressed);
         }
+        // lint: allow(cast) encode side: stripe row counts are far smaller than 4 GiB
         stripes.push(((end - start) as u32, streams));
         start = end;
         if start >= rows {
@@ -208,9 +227,11 @@ pub fn write(rel: &Relation, opts: &WriteOptions) -> Vec<u8> {
         }
     }
     let footer_start = out.len();
+    // lint: allow(cast) encode side: column count is far smaller than 4 GiB
     out.extend_from_slice(&(rel.columns.len() as u32).to_le_bytes());
     for col in &rel.columns {
         let name = col.name.as_bytes();
+        // lint: allow(cast) encode side: column names are far shorter than 64 KiB
         out.extend_from_slice(&(name.len() as u16).to_le_bytes());
         out.extend_from_slice(name);
         out.push(match col.data.column_type() {
@@ -219,6 +240,7 @@ pub fn write(rel: &Relation, opts: &WriteOptions) -> Vec<u8> {
             ColumnType::String => 2,
         });
     }
+    // lint: allow(cast) encode side: stripe count is far smaller than 4 GiB
     out.extend_from_slice(&(stripes.len() as u32).to_le_bytes());
     for (count, streams) in &stripes {
         out.extend_from_slice(&count.to_le_bytes());
@@ -232,6 +254,7 @@ pub fn write(rel: &Relation, opts: &WriteOptions) -> Vec<u8> {
         Codec::SnappyLike => 1,
         Codec::Heavy => 2,
     });
+    // lint: allow(cast) encode side: the footer is far smaller than 4 GiB
     let footer_len = (out.len() - footer_start) as u32;
     out.extend_from_slice(&footer_len.to_le_bytes());
     out.extend_from_slice(MAGIC);
@@ -251,14 +274,17 @@ pub struct FileMeta {
 
 /// Parses the footer.
 pub fn read_meta(bytes: &[u8]) -> Result<FileMeta> {
+    // lint: allow(indexing) bytes.len() >= 12 is checked first in the condition
     if bytes.len() < 12 || &bytes[bytes.len() - 4..] != MAGIC || &bytes[..4] != MAGIC {
         return Err(Error::Corrupt("bad magic"));
     }
     let fl_pos = bytes.len() - 8;
+    // lint: allow(indexing) fl_pos + 4 = bytes.len() - 4 and bytes.len() >= 12
     let footer_len = u32::from_le_bytes(bytes[fl_pos..fl_pos + 4].try_into().expect("4")) as usize;
     if footer_len + 12 > bytes.len() {
         return Err(Error::Corrupt("footer length out of range"));
     }
+    // lint: allow(indexing) footer_len + 12 <= bytes.len() was checked above
     let footer = &bytes[fl_pos - footer_len..fl_pos];
     let mut pos = 0usize;
     let need = |pos: usize, n: usize| -> Result<()> {
@@ -269,6 +295,7 @@ pub fn read_meta(bytes: &[u8]) -> Result<FileMeta> {
         }
     };
     need(pos, 4)?;
+    // lint: allow(indexing) need(pos, 4) bounds-checked this range
     let n_cols = u32::from_le_bytes(footer[..4].try_into().expect("4")) as usize;
     pos += 4;
     // Each column takes at least 3 footer bytes (name_len + type tag), so a
@@ -279,12 +306,15 @@ pub fn read_meta(bytes: &[u8]) -> Result<FileMeta> {
     let mut columns = Vec::with_capacity(n_cols);
     for _ in 0..n_cols {
         need(pos, 2)?;
+        // lint: allow(indexing) need(pos, 2) bounds-checked this range
         let name_len = u16::from_le_bytes([footer[pos], footer[pos + 1]]) as usize;
         pos += 2;
         need(pos, name_len + 1)?;
+        // lint: allow(indexing) need(pos, name_len + 1) bounds-checked this range
         let name = String::from_utf8(footer[pos..pos + name_len].to_vec())
             .map_err(|_| Error::Corrupt("column name not utf-8"))?;
         pos += name_len;
+        // lint: allow(indexing) need(pos, name_len + 1) bounds-checked this range
         let ty = match footer[pos] {
             0 => ColumnType::Integer,
             1 => ColumnType::Double,
@@ -295,6 +325,7 @@ pub fn read_meta(bytes: &[u8]) -> Result<FileMeta> {
         columns.push((name, ty));
     }
     need(pos, 4)?;
+    // lint: allow(indexing) need(pos, 4) bounds-checked this range
     let n_stripes = u32::from_le_bytes(footer[pos..pos + 4].try_into().expect("4")) as usize;
     pos += 4;
     // Each stripe needs a 4-byte row count at minimum.
@@ -304,12 +335,15 @@ pub fn read_meta(bytes: &[u8]) -> Result<FileMeta> {
     let mut stripes = Vec::with_capacity(n_stripes);
     for _ in 0..n_stripes {
         need(pos, 4)?;
+        // lint: allow(indexing) need(pos, 4) bounds-checked this range
         let count = u32::from_le_bytes(footer[pos..pos + 4].try_into().expect("4"));
         pos += 4;
         let mut streams = Vec::with_capacity(n_cols);
         for _ in 0..n_cols {
             need(pos, 12)?;
+            // lint: allow(indexing) need(pos, 12) bounds-checked this range
             let off = u64::from_le_bytes(footer[pos..pos + 8].try_into().expect("8"));
+            // lint: allow(indexing) need(pos, 12) bounds-checked this range
             let len = u32::from_le_bytes(footer[pos + 8..pos + 12].try_into().expect("4"));
             pos += 12;
             streams.push((off, len));
@@ -317,6 +351,7 @@ pub fn read_meta(bytes: &[u8]) -> Result<FileMeta> {
         stripes.push((count, streams));
     }
     need(pos, 1)?;
+    // lint: allow(indexing) need(pos, 1) bounds-checked this range
     let codec = match footer[pos] {
         0 => Codec::None,
         1 => Codec::SnappyLike,
@@ -350,14 +385,17 @@ pub fn read_column(bytes: &[u8], column_index: usize) -> Result<Column> {
 }
 
 fn read_column_inner(bytes: &[u8], meta: &FileMeta, ci: usize) -> Result<Column> {
+    // lint: allow(indexing) callers range-check ci against meta.columns
     let (name, ty) = &meta.columns[ci];
     let mut acc: Option<ColumnData> = None;
     for (count, streams) in &meta.stripes {
+        // lint: allow(indexing) every stripe stores one stream per column; ci < n_cols
         let (off, len) = streams[ci];
         let (off, len) = (off as usize, len as usize);
         if off + len > bytes.len() {
             return Err(Error::Corrupt("stream offset out of range"));
         }
+        // lint: allow(indexing) off + len <= bytes.len() was checked above
         let encoded = meta.codec.decompress(&bytes[off..off + len])?;
         let chunk = decode_stream(&encoded, *count as usize, *ty)?;
         match (&mut acc, chunk) {

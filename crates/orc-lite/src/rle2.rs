@@ -30,6 +30,7 @@ const MAX_SEGMENT: usize = 512;
 
 fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     loop {
+        // lint: allow(cast) masked to 7 bits
         let byte = (v & 0x7F) as u8;
         v >>= 7;
         if v == 0 {
@@ -62,10 +63,12 @@ fn delta_run_len(values: &[i32], i: usize) -> (usize, i64) {
     if i + 1 >= values.len() {
         return (1, 0);
     }
+    // lint: allow(indexing) i + 1 < values.len() was checked above
     let delta = i64::from(values[i + 1]) - i64::from(values[i]);
     let mut len = 2usize;
     while i + len < values.len()
         && len < MAX_SEGMENT
+        // lint: allow(indexing) i + len < values.len() by the loop condition
         && i64::from(values[i + len]) - i64::from(values[i + len - 1]) == delta
     {
         len += 1;
@@ -82,6 +85,7 @@ fn emit_packed(zz: &[u32], width: u8, out: &mut Vec<u8>) {
         bytes.extend_from_slice(&w.to_le_bytes());
     }
     bytes.resize(bytes_needed, 0);
+    // lint: allow(indexing) bytes was resized to bytes_needed above
     out.extend_from_slice(&bytes[..bytes_needed]);
 }
 
@@ -97,8 +101,10 @@ fn emit_patched_base(chunk: &[i32], out: &mut Vec<u8>) -> bool {
         .map(|&v| (i64::from(v) - i64::from(base)) as u64)
         .collect();
     // Width covering the 90th percentile of offsets.
+    // lint: allow(cast) 64 - leading_zeros is at most 64
     let mut widths: Vec<u8> = offsets.iter().map(|&o| (64 - o.leading_zeros()) as u8).collect();
     widths.sort_unstable();
+    // lint: allow(indexing) index is clamped to widths.len() - 1; widths is non-empty
     let p90 = widths[(widths.len() * 9 / 10).min(widths.len() - 1)].clamp(1, 32);
     let max_width = *widths.last().expect("nonempty");
     if max_width <= p90 || max_width > 32 + p90 {
@@ -107,7 +113,9 @@ fn emit_patched_base(chunk: &[i32], out: &mut Vec<u8>) -> bool {
     let patches: Vec<(usize, u32)> = offsets
         .iter()
         .enumerate()
+        // lint: allow(cast) 64 - leading_zeros is at most 64
         .filter(|&(_, &o)| (64 - o.leading_zeros()) as u8 > p90)
+        // lint: allow(cast) max_width <= 32 + p90 was checked, so the high bits fit u32
         .map(|(i, &o)| (i, (o >> p90) as u32))
         .collect();
     if patches.len() > 255 {
@@ -115,6 +123,7 @@ fn emit_patched_base(chunk: &[i32], out: &mut Vec<u8>) -> bool {
     }
     let patch_width = patches
         .iter()
+        // lint: allow(cast) 32 - leading_zeros is at most 32
         .map(|&(_, h)| (32 - h.leading_zeros()) as u8)
         .max()
         .unwrap_or(1)
@@ -129,15 +138,19 @@ fn emit_patched_base(chunk: &[i32], out: &mut Vec<u8>) -> bool {
         return false;
     }
     out.push(TAG_PATCHED_BASE);
+    // lint: allow(cast) chunks are at most MAX_SEGMENT = 512 values
     out.extend_from_slice(&(chunk.len() as u16).to_le_bytes());
     out.push(p90);
     out.push(patch_width);
+    // lint: allow(cast) patches.len() <= 255 was checked above
     out.push(patches.len() as u8);
     put_varint(out, u64::from(for_delta::zigzag_encode(base)));
     let mask = if p90 == 32 { u64::MAX >> 32 } else { (1u64 << p90) - 1 };
+    // lint: allow(cast) masked to at most 32 bits
     let lows: Vec<u32> = offsets.iter().map(|&o| (o & mask) as u32).collect();
     emit_packed(&lows, p90, out);
     for &(pos, _) in &patches {
+        // lint: allow(cast) positions index a chunk of at most MAX_SEGMENT = 512 values
         out.extend_from_slice(&(pos as u16).to_le_bytes());
     }
     let highs: Vec<u32> = patches.iter().map(|&(_, h)| h).collect();
@@ -157,6 +170,7 @@ pub fn encode(values: &[i32]) -> Vec<u8> {
                 let zz: Vec<u32> = chunk.iter().map(|&v| for_delta::zigzag_encode(v)).collect();
                 let width = btr_bitpacking::max_bits(&zz).max(1);
                 out.push(TAG_DIRECT);
+                // lint: allow(cast) chunks are at most MAX_SEGMENT = 512 values
                 out.extend_from_slice(&(chunk.len() as u16).to_le_bytes());
                 out.push(width);
                 emit_packed(&zz, width, out);
@@ -171,19 +185,24 @@ pub fn encode(values: &[i32]) -> Vec<u8> {
             flush_direct(&mut literals, &mut out);
             let take = run.min(255);
             out.push(TAG_SHORT_REPEAT);
+            // lint: allow(cast) take <= 255 by the min above
             out.push(take as u8);
+            // lint: allow(indexing) i < values.len() by the loop condition
             put_varint(&mut out, u64::from(for_delta::zigzag_encode(values[i])));
             i += take;
         } else if run >= 4 {
             flush_direct(&mut literals, &mut out);
             out.push(TAG_FIXED_DELTA);
+            // lint: allow(cast) run <= MAX_SEGMENT = 512
             out.extend_from_slice(&(run as u16).to_le_bytes());
+            // lint: allow(indexing) i < values.len() by the loop condition
             put_varint(&mut out, u64::from(for_delta::zigzag_encode(values[i])));
             // Deltas of i32 sequences fit i32's doubled range; zigzag as i64->u64.
             let zz = ((delta << 1) ^ (delta >> 63)) as u64;
             put_varint(&mut out, zz);
             i += run;
         } else {
+            // lint: allow(indexing) i < values.len() by the loop condition
             literals.push(values[i]);
             i += 1;
             if literals.len() >= MAX_SEGMENT {
@@ -226,7 +245,9 @@ pub fn decode(buf: &[u8], count: usize) -> Result<Vec<i32>> {
                 if pos + 3 > buf.len() {
                     return Err(Error::UnexpectedEnd);
                 }
+                // lint: allow(indexing) pos + 3 <= buf.len() was checked above
                 let len = u16::from_le_bytes([buf[pos], buf[pos + 1]]) as usize;
+                // lint: allow(indexing) pos + 3 <= buf.len() was checked above
                 let width = buf[pos + 2];
                 pos += 3;
                 if width == 0 || width > 32 {
@@ -237,8 +258,10 @@ pub fn decode(buf: &[u8], count: usize) -> Result<Vec<i32>> {
                     return Err(Error::UnexpectedEnd);
                 }
                 let mut words = Vec::with_capacity(byte_len.div_ceil(4));
+                // lint: allow(indexing) pos + byte_len <= buf.len() was checked above
                 for c in buf[pos..pos + byte_len].chunks(4) {
                     let mut wbuf = [0u8; 4];
+                    // lint: allow(indexing) chunks(4) yields at most 4 bytes
                     wbuf[..c.len()].copy_from_slice(c);
                     words.push(u32::from_le_bytes(wbuf));
                 }
@@ -253,6 +276,7 @@ pub fn decode(buf: &[u8], count: usize) -> Result<Vec<i32>> {
                 if pos + 2 > buf.len() {
                     return Err(Error::UnexpectedEnd);
                 }
+                // lint: allow(indexing) pos + 2 <= buf.len() was checked above
                 let len = u16::from_le_bytes([buf[pos], buf[pos + 1]]) as usize;
                 pos += 2;
                 let base = i64::from(for_delta::zigzag_decode(
@@ -275,9 +299,13 @@ pub fn decode(buf: &[u8], count: usize) -> Result<Vec<i32>> {
                 if pos + 5 > buf.len() {
                     return Err(Error::UnexpectedEnd);
                 }
+                // lint: allow(indexing) pos + 5 <= buf.len() was checked above
                 let len = u16::from_le_bytes([buf[pos], buf[pos + 1]]) as usize;
+                // lint: allow(indexing) pos + 5 <= buf.len() was checked above
                 let width = buf[pos + 2];
+                // lint: allow(indexing) pos + 5 <= buf.len() was checked above
                 let patch_width = buf[pos + 3];
+                // lint: allow(indexing) pos + 5 <= buf.len() was checked above
                 let n_patches = buf[pos + 4] as usize;
                 pos += 5;
                 if width == 0 || width > 32 || patch_width == 0 || patch_width > 32 {
@@ -292,8 +320,10 @@ pub fn decode(buf: &[u8], count: usize) -> Result<Vec<i32>> {
                     return Err(Error::UnexpectedEnd);
                 }
                 let mut words = Vec::with_capacity(low_bytes.div_ceil(4));
+                // lint: allow(indexing) pos + low_bytes <= buf.len() was checked above
                 for c in buf[pos..pos + low_bytes].chunks(4) {
                     let mut wbuf = [0u8; 4];
+                    // lint: allow(indexing) chunks(4) yields at most 4 bytes
                     wbuf[..c.len()].copy_from_slice(c);
                     words.push(u32::from_le_bytes(wbuf));
                 }
@@ -304,6 +334,7 @@ pub fn decode(buf: &[u8], count: usize) -> Result<Vec<i32>> {
                 }
                 let mut positions = Vec::with_capacity(n_patches);
                 for _ in 0..n_patches {
+                    // lint: allow(indexing) pos + 2 * n_patches <= buf.len() was checked above
                     positions.push(u16::from_le_bytes([buf[pos], buf[pos + 1]]) as usize);
                     pos += 2;
                 }
@@ -312,8 +343,10 @@ pub fn decode(buf: &[u8], count: usize) -> Result<Vec<i32>> {
                     return Err(Error::UnexpectedEnd);
                 }
                 let mut hwords = Vec::with_capacity(high_bytes.div_ceil(4));
+                // lint: allow(indexing) pos + high_bytes <= buf.len() was checked above
                 for c in buf[pos..pos + high_bytes].chunks(4) {
                     let mut wbuf = [0u8; 4];
+                    // lint: allow(indexing) chunks(4) yields at most 4 bytes
                     wbuf[..c.len()].copy_from_slice(c);
                     hwords.push(u32::from_le_bytes(wbuf));
                 }
@@ -324,6 +357,7 @@ pub fn decode(buf: &[u8], count: usize) -> Result<Vec<i32>> {
                     if p >= offsets.len() {
                         return Err(Error::Corrupt("patch position out of range"));
                     }
+                    // lint: allow(indexing) p < offsets.len() was checked above
                     offsets[p] |= u64::from(h) << width;
                 }
                 if out.len() + len > count {

@@ -53,6 +53,7 @@ fn try_dict<T: Copy, K: std::hash::Hash + Eq>(
     let mut dict = Vec::new();
     let mut codes = Vec::with_capacity(values.len());
     for &v in values {
+        // lint: allow(cast) dict size is capped at DICT_SIZE_LIMIT = 65536
         let next = dict.len() as u32;
         let code = *map.entry(key(v)).or_insert_with(|| {
             dict.push(v);
@@ -70,6 +71,7 @@ fn width_for(dict_len: usize) -> u8 {
     if dict_len <= 1 {
         0
     } else {
+        // lint: allow(cast) bit width of a usize is at most 64
         (usize::BITS - (dict_len - 1).leading_zeros()) as u8
     }
 }
@@ -79,6 +81,7 @@ fn write_indices(codes: &[u32], dict_len: usize, out: &mut Vec<u8>) {
     out.push(width);
     let mut idx = Vec::new();
     hybrid::encode(codes, width, &mut idx);
+    // lint: allow(cast) encode side: index stream is far smaller than 4 GiB
     out.extend_from_slice(&(idx.len() as u32).to_le_bytes());
     out.extend_from_slice(&idx);
 }
@@ -89,11 +92,13 @@ fn read_indices(buf: &[u8], pos: &mut usize, count: usize, dict_len: usize) -> R
     if *pos + 4 > buf.len() {
         return Err(Error::UnexpectedEnd);
     }
+    // lint: allow(indexing) pos + 4 <= buf.len() was checked above
     let idx_len = u32::from_le_bytes(buf[*pos..*pos + 4].try_into().expect("4")) as usize;
     *pos += 4;
     if *pos + idx_len > buf.len() {
         return Err(Error::UnexpectedEnd);
     }
+    // lint: allow(indexing) pos + idx_len <= buf.len() was checked above
     let codes = hybrid::decode(&buf[*pos..*pos + idx_len], count, width)?;
     *pos += idx_len;
     if codes.iter().any(|&c| c as usize >= dict_len.max(1)) {
@@ -106,6 +111,7 @@ fn encode_int(values: &[i32], out: &mut Vec<u8>) {
     if let Some((dict, codes)) = try_dict(values, |v| v) {
         if dict.len() * 2 < values.len().max(1) {
             out.push(ENC_DICT);
+            // lint: allow(cast) dict size is capped at DICT_SIZE_LIMIT = 65536
             out.extend_from_slice(&(dict.len() as u32).to_le_bytes());
             for &v in &dict {
                 out.extend_from_slice(&v.to_le_bytes());
@@ -127,6 +133,7 @@ fn decode_int(buf: &[u8], count: usize) -> Result<Vec<i32>> {
             if rest.len() < count * 4 {
                 return Err(Error::UnexpectedEnd);
             }
+            // lint: allow(indexing) rest.len() >= count * 4 was checked above
             Ok(rest[..count * 4]
                 .chunks_exact(4)
                 .map(|c| i32::from_le_bytes(c.try_into().expect("4")))
@@ -137,17 +144,20 @@ fn decode_int(buf: &[u8], count: usize) -> Result<Vec<i32>> {
             if rest.len() < 4 {
                 return Err(Error::UnexpectedEnd);
             }
+            // lint: allow(indexing) rest.len() >= 4 was checked above
             let dict_len = u32::from_le_bytes(rest[..4].try_into().expect("4")) as usize;
             pos += 4;
             if rest.len() < pos + dict_len * 4 {
                 return Err(Error::UnexpectedEnd);
             }
+            // lint: allow(indexing) rest.len() >= pos + dict_len * 4 was checked above
             let dict: Vec<i32> = rest[pos..pos + dict_len * 4]
                 .chunks_exact(4)
                 .map(|c| i32::from_le_bytes(c.try_into().expect("4")))
                 .collect();
             pos += dict_len * 4;
             let codes = read_indices(rest, &mut pos, count, dict_len)?;
+            // lint: allow(indexing) codes were range-checked against dict_len in read_indices
             Ok(codes.iter().map(|&c| dict[c as usize]).collect())
         }
         _ => Err(Error::Corrupt("unknown chunk encoding")),
@@ -158,6 +168,7 @@ fn encode_double(values: &[f64], out: &mut Vec<u8>) {
     if let Some((dict, codes)) = try_dict(values, |v: f64| v.to_bits()) {
         if dict.len() * 2 < values.len().max(1) {
             out.push(ENC_DICT);
+            // lint: allow(cast) dict size is capped at DICT_SIZE_LIMIT = 65536
             out.extend_from_slice(&(dict.len() as u32).to_le_bytes());
             for &v in &dict {
                 out.extend_from_slice(&v.to_le_bytes());
@@ -179,6 +190,7 @@ fn decode_double(buf: &[u8], count: usize) -> Result<Vec<f64>> {
             if rest.len() < count * 8 {
                 return Err(Error::UnexpectedEnd);
             }
+            // lint: allow(indexing) rest.len() >= count * 8 was checked above
             Ok(rest[..count * 8]
                 .chunks_exact(8)
                 .map(|c| f64::from_le_bytes(c.try_into().expect("8")))
@@ -189,17 +201,20 @@ fn decode_double(buf: &[u8], count: usize) -> Result<Vec<f64>> {
             if rest.len() < 4 {
                 return Err(Error::UnexpectedEnd);
             }
+            // lint: allow(indexing) rest.len() >= 4 was checked above
             let dict_len = u32::from_le_bytes(rest[..4].try_into().expect("4")) as usize;
             pos += 4;
             if rest.len() < pos + dict_len * 8 {
                 return Err(Error::UnexpectedEnd);
             }
+            // lint: allow(indexing) rest.len() >= pos + dict_len * 8 was checked above
             let dict: Vec<f64> = rest[pos..pos + dict_len * 8]
                 .chunks_exact(8)
                 .map(|c| f64::from_le_bytes(c.try_into().expect("8")))
                 .collect();
             pos += dict_len * 8;
             let codes = read_indices(rest, &mut pos, count, dict_len)?;
+            // lint: allow(indexing) codes were range-checked against dict_len in read_indices
             Ok(codes.iter().map(|&c| dict[c as usize]).collect())
         }
         _ => Err(Error::Corrupt("unknown chunk encoding")),
@@ -214,6 +229,7 @@ fn encode_str(arena: &StringArena, out: &mut Vec<u8>) {
     let mut ok = true;
     for i in 0..arena.len() {
         let s = arena.get(i);
+        // lint: allow(cast) dict size is capped at DICT_SIZE_LIMIT = 65536
         let next = dict.len() as u32;
         let code = *map.entry(s).or_insert_with(|| {
             dict.push(s);
@@ -227,8 +243,10 @@ fn encode_str(arena: &StringArena, out: &mut Vec<u8>) {
     }
     if ok && dict.len() * 2 < arena.len().max(1) {
         out.push(ENC_DICT);
+        // lint: allow(cast) dict size is capped at DICT_SIZE_LIMIT = 65536
         out.extend_from_slice(&(dict.len() as u32).to_le_bytes());
         for s in dict.iter() {
+            // lint: allow(cast) encode side: strings are far shorter than 4 GiB
             out.extend_from_slice(&(s.len() as u32).to_le_bytes());
             out.extend_from_slice(s);
         }
@@ -237,6 +255,7 @@ fn encode_str(arena: &StringArena, out: &mut Vec<u8>) {
     }
     out.push(ENC_PLAIN);
     for s in arena.iter() {
+        // lint: allow(cast) encode side: strings are far shorter than 4 GiB
         out.extend_from_slice(&(s.len() as u32).to_le_bytes());
         out.extend_from_slice(s);
     }
@@ -252,11 +271,13 @@ fn decode_str(buf: &[u8], count: usize) -> Result<StringArena> {
                 if pos + 4 > rest.len() {
                     return Err(Error::UnexpectedEnd);
                 }
+                // lint: allow(indexing) pos + 4 <= rest.len() was checked above
                 let len = u32::from_le_bytes(rest[pos..pos + 4].try_into().expect("4")) as usize;
                 pos += 4;
                 if pos + len > rest.len() {
                     return Err(Error::UnexpectedEnd);
                 }
+                // lint: allow(indexing) pos + len <= rest.len() was checked above
                 arena.push(&rest[pos..pos + len]);
                 pos += len;
             }
@@ -267,6 +288,7 @@ fn decode_str(buf: &[u8], count: usize) -> Result<StringArena> {
             if rest.len() < 4 {
                 return Err(Error::UnexpectedEnd);
             }
+            // lint: allow(indexing) rest.len() >= 4 was checked above
             let dict_len = u32::from_le_bytes(rest[..4].try_into().expect("4")) as usize;
             pos += 4;
             let mut dict = StringArena::new();
@@ -274,11 +296,13 @@ fn decode_str(buf: &[u8], count: usize) -> Result<StringArena> {
                 if pos + 4 > rest.len() {
                     return Err(Error::UnexpectedEnd);
                 }
+                // lint: allow(indexing) pos + 4 <= rest.len() was checked above
                 let len = u32::from_le_bytes(rest[pos..pos + 4].try_into().expect("4")) as usize;
                 pos += 4;
                 if pos + len > rest.len() {
                     return Err(Error::UnexpectedEnd);
                 }
+                // lint: allow(indexing) pos + len <= rest.len() was checked above
                 dict.push(&rest[pos..pos + len]);
                 pos += len;
             }

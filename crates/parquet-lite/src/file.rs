@@ -41,13 +41,18 @@ impl Default for WriteOptions {
     }
 }
 
+/// Per-column chunk location: `(offset, comp_len, raw_len)`.
+pub type ChunkMeta = (u64, u32, u32);
+/// One rowgroup: row count plus one [`ChunkMeta`] per column.
+pub type RowGroupMeta = (u32, Vec<ChunkMeta>);
+
 /// Parsed footer metadata.
 #[derive(Debug, Clone)]
 pub struct FileMeta {
     /// Column names and types.
     pub columns: Vec<(String, ColumnType)>,
     /// Per rowgroup: row count and per-column `(offset, comp_len, raw_len)`.
-    pub rowgroups: Vec<(u32, Vec<(u64, u32, u32)>)>,
+    pub rowgroups: Vec<RowGroupMeta>,
     /// Codec used for all chunks.
     pub codec: Codec,
 }
@@ -71,7 +76,9 @@ fn codec_from_tag(tag: u8) -> Result<Codec> {
 
 fn column_slice(data: &ColumnData, start: usize, end: usize) -> ColumnData {
     match data {
+        // lint: allow(indexing) start..end is clamped to the row count by the caller
         ColumnData::Int(v) => ColumnData::Int(v[start..end].to_vec()),
+        // lint: allow(indexing) start..end is clamped to the row count by the caller
         ColumnData::Double(v) => ColumnData::Double(v[start..end].to_vec()),
         ColumnData::Str(a) => ColumnData::Str(a.gather(start..end)),
     }
@@ -83,7 +90,7 @@ pub fn write(rel: &Relation, opts: &WriteOptions) -> Vec<u8> {
     out.extend_from_slice(MAGIC);
     let rows = rel.rows();
     let rg = opts.rowgroup_size.max(1);
-    let mut rowgroups: Vec<(u32, Vec<(u64, u32, u32)>)> = Vec::new();
+    let mut rowgroups: Vec<RowGroupMeta> = Vec::new();
     let mut start = 0usize;
     loop {
         let end = (start + rg).min(rows);
@@ -96,9 +103,11 @@ pub fn write(rel: &Relation, opts: &WriteOptions) -> Vec<u8> {
             let mut encoded = Vec::new();
             encoding::encode_chunk(&slice, &mut encoded);
             let compressed = opts.codec.compress(&encoded);
+            // lint: allow(cast) encode side: chunk sizes are far smaller than 4 GiB
             chunk_meta.push((out.len() as u64, compressed.len() as u32, encoded.len() as u32));
             out.extend_from_slice(&compressed);
         }
+        // lint: allow(cast) end - start <= rowgroup_size, far smaller than 4 GiB
         rowgroups.push(((end - start) as u32, chunk_meta));
         start = end;
         if start >= rows {
@@ -107,9 +116,11 @@ pub fn write(rel: &Relation, opts: &WriteOptions) -> Vec<u8> {
     }
     // Footer.
     let footer_start = out.len();
+    // lint: allow(cast) encode side: column count is far smaller than 4 GiB
     out.extend_from_slice(&(rel.columns.len() as u32).to_le_bytes());
     for col in &rel.columns {
         let name = col.name.as_bytes();
+        // lint: allow(cast) encode side: column names are far shorter than 64 KiB
         out.extend_from_slice(&(name.len() as u16).to_le_bytes());
         out.extend_from_slice(name);
         out.push(match col.data.column_type() {
@@ -118,6 +129,7 @@ pub fn write(rel: &Relation, opts: &WriteOptions) -> Vec<u8> {
             ColumnType::String => 2,
         });
     }
+    // lint: allow(cast) encode side: rowgroup count is far smaller than 4 GiB
     out.extend_from_slice(&(rowgroups.len() as u32).to_le_bytes());
     for (count, chunks) in &rowgroups {
         out.extend_from_slice(&count.to_le_bytes());
@@ -128,6 +140,7 @@ pub fn write(rel: &Relation, opts: &WriteOptions) -> Vec<u8> {
         }
     }
     out.push(codec_tag(opts.codec));
+    // lint: allow(cast) encode side: the footer is far smaller than 4 GiB
     let footer_len = (out.len() - footer_start) as u32;
     out.extend_from_slice(&footer_len.to_le_bytes());
     out.extend_from_slice(MAGIC);
@@ -136,15 +149,18 @@ pub fn write(rel: &Relation, opts: &WriteOptions) -> Vec<u8> {
 
 /// Parses only the footer (the metadata fetch a real reader does first).
 pub fn read_meta(bytes: &[u8]) -> Result<FileMeta> {
+    // lint: allow(indexing) bytes.len() >= 12 is checked first in the condition
     if bytes.len() < 12 || &bytes[bytes.len() - 4..] != MAGIC || &bytes[..4] != MAGIC {
         return Err(Error::Corrupt("bad magic"));
     }
     let fl_pos = bytes.len() - 8;
     let footer_len =
+        // lint: allow(indexing) fl_pos + 4 = bytes.len() - 4 and bytes.len() >= 12
         u32::from_le_bytes(bytes[fl_pos..fl_pos + 4].try_into().expect("4")) as usize;
     if footer_len + 12 > bytes.len() {
         return Err(Error::Corrupt("footer length out of range"));
     }
+    // lint: allow(indexing) footer_len + 12 <= bytes.len() was checked above
     let footer = &bytes[fl_pos - footer_len..fl_pos];
     let mut pos = 0usize;
     let need = |pos: usize, n: usize| -> Result<()> {
@@ -155,6 +171,7 @@ pub fn read_meta(bytes: &[u8]) -> Result<FileMeta> {
         }
     };
     need(pos, 4)?;
+    // lint: allow(indexing) need(pos, 4) bounds-checked this range
     let n_cols = u32::from_le_bytes(footer[pos..pos + 4].try_into().expect("4")) as usize;
     pos += 4;
     // Each column takes at least 3 footer bytes (name_len + type tag), so a
@@ -165,12 +182,15 @@ pub fn read_meta(bytes: &[u8]) -> Result<FileMeta> {
     let mut columns = Vec::with_capacity(n_cols);
     for _ in 0..n_cols {
         need(pos, 2)?;
+        // lint: allow(indexing) need(pos, 2) bounds-checked these bytes
         let name_len = u16::from_le_bytes([footer[pos], footer[pos + 1]]) as usize;
         pos += 2;
         need(pos, name_len + 1)?;
+        // lint: allow(indexing) need(pos, name_len + 1) bounds-checked this range
         let name = String::from_utf8(footer[pos..pos + name_len].to_vec())
             .map_err(|_| Error::Corrupt("column name not utf-8"))?;
         pos += name_len;
+        // lint: allow(indexing) need(pos, name_len + 1) covered the tag byte too
         let ty = match footer[pos] {
             0 => ColumnType::Integer,
             1 => ColumnType::Double,
@@ -181,6 +201,7 @@ pub fn read_meta(bytes: &[u8]) -> Result<FileMeta> {
         columns.push((name, ty));
     }
     need(pos, 4)?;
+    // lint: allow(indexing) need(pos, 4) bounds-checked this range
     let n_rg = u32::from_le_bytes(footer[pos..pos + 4].try_into().expect("4")) as usize;
     pos += 4;
     // Each rowgroup needs a 4-byte row count at minimum.
@@ -190,13 +211,17 @@ pub fn read_meta(bytes: &[u8]) -> Result<FileMeta> {
     let mut rowgroups = Vec::with_capacity(n_rg);
     for _ in 0..n_rg {
         need(pos, 4)?;
+        // lint: allow(indexing) need(pos, 4) bounds-checked this range
         let count = u32::from_le_bytes(footer[pos..pos + 4].try_into().expect("4"));
         pos += 4;
         let mut chunks = Vec::with_capacity(n_cols);
         for _ in 0..n_cols {
             need(pos, 16)?;
+            // lint: allow(indexing) need(pos, 16) bounds-checked this range
             let off = u64::from_le_bytes(footer[pos..pos + 8].try_into().expect("8"));
+            // lint: allow(indexing) need(pos, 16) bounds-checked this range
             let clen = u32::from_le_bytes(footer[pos + 8..pos + 12].try_into().expect("4"));
+            // lint: allow(indexing) need(pos, 16) bounds-checked this range
             let rlen = u32::from_le_bytes(footer[pos + 12..pos + 16].try_into().expect("4"));
             pos += 16;
             chunks.push((off, clen, rlen));
@@ -204,6 +229,7 @@ pub fn read_meta(bytes: &[u8]) -> Result<FileMeta> {
         rowgroups.push((count, chunks));
     }
     need(pos, 1)?;
+    // lint: allow(indexing) need(pos, 1) bounds-checked this byte
     let codec = codec_from_tag(footer[pos])?;
     Ok(FileMeta {
         columns,
@@ -231,18 +257,22 @@ pub fn read_column(bytes: &[u8], column_index: usize) -> Result<Column> {
         return Err(Error::Corrupt("column index out of range"));
     }
     let data = read_column_data(bytes, &meta, column_index)?;
+    // lint: allow(indexing) column_index was range-checked above
     Ok(Column::new(meta.columns[column_index].0.clone(), data))
 }
 
 fn read_column_data(bytes: &[u8], meta: &FileMeta, ci: usize) -> Result<ColumnData> {
+    // lint: allow(indexing) callers range-check ci against meta.columns
     let ty = meta.columns[ci].1;
     let mut acc: Option<ColumnData> = None;
     for (count, chunks) in &meta.rowgroups {
+        // lint: allow(indexing) every rowgroup stores one chunk per column; ci < n_cols
         let (off, clen, _rlen) = chunks[ci];
         let (off, clen) = (off as usize, clen as usize);
         if off + clen > bytes.len() {
             return Err(Error::Corrupt("chunk offset out of range"));
         }
+        // lint: allow(indexing) off + clen <= bytes.len() was checked above
         let encoded = meta.codec.decompress(&bytes[off..off + clen])?;
         let chunk = encoding::decode_chunk(&encoded, *count as usize, ty)?;
         match (&mut acc, chunk) {

@@ -15,6 +15,7 @@ use crate::{Error, Result};
 /// Writes a ULEB128 varint.
 fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     loop {
+        // lint: allow(cast) masked to 7 bits
         let byte = (v & 0x7F) as u8;
         v >>= 7;
         if v == 0 {
@@ -65,6 +66,7 @@ pub fn encode(values: &[u32], width: u8, out: &mut Vec<u8>) {
             let groups = n.div_ceil(8);
             put_varint(out, ((groups as u64) << 1) | 1);
             let mut padded = Vec::with_capacity(groups * 8);
+            // lint: allow(indexing) s + n <= end <= values.len()
             padded.extend_from_slice(&values[s..s + n]);
             padded.resize(groups * 8, 0);
             let packed = btr_bitpacking::plain::pack(&padded, width);
@@ -75,6 +77,7 @@ pub fn encode(values: &[u32], width: u8, out: &mut Vec<u8>) {
                 byte_buf.extend_from_slice(&w.to_le_bytes());
             }
             byte_buf.resize(bytes_needed, 0);
+            // lint: allow(indexing) byte_buf was resized to bytes_needed above
             out.extend_from_slice(&byte_buf[..bytes_needed]);
             s += n;
         }
@@ -83,6 +86,7 @@ pub fn encode(values: &[u32], width: u8, out: &mut Vec<u8>) {
     while i < values.len() {
         // Measure the run starting at i.
         let mut run = 1usize;
+        // lint: allow(indexing) i + run < values.len() by the loop condition
         while i + run < values.len() && values[i + run] == values[i] {
             run += 1;
         }
@@ -92,7 +96,8 @@ pub fn encode(values: &[u32], width: u8, out: &mut Vec<u8>) {
         if run >= 8 && (i - lit_start).is_multiple_of(8) {
             flush_literals(values, lit_start, i, width, out);
             put_varint(out, (run as u64) << 1);
-            out.extend_from_slice(&values[i].to_le_bytes()[..vb.max(1).min(4)]);
+            // lint: allow(indexing) i < values.len() by the outer loop; slice end is clamped to 4
+            out.extend_from_slice(&values[i].to_le_bytes()[..vb.clamp(1, 4)]);
             i += run;
             lit_start = i;
         } else {
@@ -107,7 +112,7 @@ pub fn decode(buf: &[u8], count: usize, width: u8) -> Result<Vec<u32>> {
     if width > 32 {
         return Err(Error::Corrupt("hybrid width out of range"));
     }
-    let vb = value_bytes(width).max(1).min(4);
+    let vb = value_bytes(width).clamp(1, 4);
     // `count` comes from the (unchecksummed) footer: reserve only a bounded
     // hint up front and let the vector grow with actually-decoded runs, so a
     // stomped row count cannot become a gigabyte reservation.
@@ -124,6 +129,7 @@ pub fn decode(buf: &[u8], count: usize, width: u8) -> Result<Vec<u32>> {
                 return Err(Error::UnexpectedEnd);
             }
             let mut vbuf = [0u8; 4];
+            // lint: allow(indexing) vb <= 4 and pos + vb <= buf.len() was checked above
             vbuf[..vb].copy_from_slice(&buf[pos..pos + vb]);
             pos += vb;
             let v = u32::from_le_bytes(vbuf);
@@ -150,9 +156,11 @@ pub fn decode(buf: &[u8], count: usize, width: u8) -> Result<Vec<u32>> {
             }
             // Rebuild u32 words from the byte-aligned stream.
             let mut words = Vec::with_capacity(byte_len.div_ceil(4));
+            // lint: allow(indexing) pos + byte_len <= buf.len() was checked above
             let chunk = &buf[pos..pos + byte_len];
             for c in chunk.chunks(4) {
                 let mut wbuf = [0u8; 4];
+                // lint: allow(indexing) chunks(4) yields at most 4 bytes
                 wbuf[..c.len()].copy_from_slice(c);
                 words.push(u32::from_le_bytes(wbuf));
             }
@@ -160,6 +168,7 @@ pub fn decode(buf: &[u8], count: usize, width: u8) -> Result<Vec<u32>> {
             let n_vals = groups * 8;
             let unpacked = btr_bitpacking::plain::unpack(&words, n_vals, width)?;
             let take = n_vals.min(count - out.len());
+            // lint: allow(indexing) take <= n_vals == unpacked.len()
             out.extend_from_slice(&unpacked[..take]);
         }
     }

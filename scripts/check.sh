@@ -41,6 +41,12 @@ for crate in "${DECODE_CRATES[@]}"; do
     -D clippy::panic
 done
 
+echo "== static analysis (btr-lint --check against lint-ratchet.toml)"
+cargo run --release --quiet -p btr-lint -- --check
+
+echo "== clippy (workspace, all targets, warnings are errors)"
+cargo clippy --workspace --all-targets --quiet -- -D warnings
+
 echo "== scan-engine smoke benchmark (BENCH_scan.json)"
 BENCH_ROWS="${BENCH_ROWS:-64000}" BENCH_SCAN_JSON="BENCH_scan.json" \
   cargo run --release --quiet -p btr-bench --bin scan_pipeline > /dev/null
