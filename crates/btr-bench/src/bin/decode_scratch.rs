@@ -1,0 +1,26 @@
+//! Decode-scratch benchmark; see `btr_bench::experiments::decode_scratch`.
+//!
+//! Installs the tracking allocator so the heap-growth columns are real, then
+//! prints the table and, when `BENCH_DECODE_JSON` is set, writes the
+//! machine-readable metrics (cold vs warm throughput, allocations per block)
+//! to that path — CI points it at `BENCH_decode.json`.
+
+use btr_bench::experiments::decode_scratch;
+use btr_corrupt::alloc::TrackingAllocator;
+
+#[global_allocator]
+static ALLOCATOR: TrackingAllocator = TrackingAllocator;
+
+fn main() {
+    let (rows, seed) = (btr_bench::bench_rows(), btr_bench::bench_seed());
+    let bench = decode_scratch::measure(rows, seed);
+    if let Ok(path) = std::env::var("BENCH_DECODE_JSON") {
+        let json = decode_scratch::json(&bench, rows, seed);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("could not write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
+    println!("{}", decode_scratch::render(&bench));
+}

@@ -1,0 +1,258 @@
+//! Decode-scratch benchmark: allocation cost of the decode path.
+//!
+//! Decodes the same multi-block relation three ways — the allocate-fresh
+//! legacy API (`decompress_block`), a cold `decompress_block_into` pass that
+//! populates a [`DecodeScratch`] pool, and a warm pass reusing it — and
+//! reports throughput plus heap growth per pass and per block.
+//!
+//! Heap growth is read from btr-corrupt's tracking allocator, so the numbers
+//! are only non-zero when the running binary installs it as the global
+//! allocator (the `decode_scratch` binary does; library tests read zero).
+//! The headline row is the warm pass: zero bytes allocated per block.
+
+use crate::{time_it, Table};
+use btrblocks::{
+    decompress_block_into, Column, ColumnData, Config, DecodeScratch, Relation, SchemeCode,
+    StringArena,
+};
+
+/// One decode variant's metrics.
+#[derive(Debug, Clone)]
+pub struct DecodeRun {
+    /// Variant label (`fresh`, `cold-scratch`, `warm-scratch`).
+    pub name: &'static str,
+    /// Wall-clock seconds for the full pass.
+    pub seconds: f64,
+    /// Decoded rows (values summed over columns) per second.
+    pub rows_per_s: f64,
+    /// Peak heap growth during the pass, in bytes (0 without the tracker).
+    pub heap_growth_bytes: usize,
+    /// Heap growth divided by the number of blocks decoded.
+    pub bytes_per_block: f64,
+    /// Scratch-pool hits during the pass (0 for the fresh variant).
+    pub scratch_hits: u64,
+    /// Scratch-pool misses during the pass (0 for the fresh variant).
+    pub scratch_misses: u64,
+}
+
+/// All three variants plus the workload shape.
+#[derive(Debug, Clone)]
+pub struct DecodeBench {
+    /// Blocks decoded per pass.
+    pub blocks: usize,
+    /// Rows decoded per pass (summed over columns).
+    pub rows: u64,
+    /// Bytes of pooled capacity the scratch holds after the warm pass.
+    pub scratch_held_bytes: usize,
+    /// Fresh, cold-scratch, warm-scratch.
+    pub runs: Vec<DecodeRun>,
+}
+
+/// The alloc-regression test's scheme pool: every scheme whose decode path
+/// is fully scratch-leased, so the warm pass can be allocation-free.
+fn scratch_pool_config() -> Config {
+    Config {
+        block_size: 16_000,
+        ..Config::default()
+    }
+    .with_pool(&[
+        SchemeCode::Uncompressed,
+        SchemeCode::OneValue,
+        SchemeCode::Rle,
+        SchemeCode::Dict,
+        SchemeCode::FastPfor,
+        SchemeCode::FastBp128,
+    ])
+}
+
+fn build_relation(rows: usize, seed: u64) -> Relation {
+    let ids: Vec<i32> = (0..rows as i32).collect();
+    let vals: Vec<f64> = (0..rows)
+        .map(|i| ((i as u64).wrapping_mul(seed | 1) % 10_000) as f64 / 100.0)
+        .collect();
+    let tags: Vec<String> = (0..rows)
+        .map(|i| format!("tag-{:03}", (i as u64).wrapping_mul(2_654_435_761) % 211))
+        .collect();
+    let refs: Vec<&str> = tags.iter().map(|s| s.as_str()).collect();
+    Relation::new(vec![
+        Column::new("id", ColumnData::Int(ids)),
+        Column::new("val", ColumnData::Double(vals)),
+        Column::new("tag", ColumnData::Str(StringArena::from_strs(&refs))),
+    ])
+}
+
+/// Decodes every block of every column through the scratch-reusing path.
+fn decode_with_scratch(
+    compressed: &btrblocks::CompressedRelation,
+    cfg: &Config,
+    scratch: &mut DecodeScratch,
+) -> u64 {
+    let mut rows = 0u64;
+    for col in &compressed.columns {
+        let mut out = scratch.lease_decoded(col.column_type);
+        for block in &col.blocks {
+            decompress_block_into(block, col.column_type, cfg, scratch, &mut out)
+                .expect("bench relation decodes");
+            rows += out.len() as u64;
+        }
+        scratch.recycle(out);
+    }
+    rows
+}
+
+/// Decodes every block through the allocate-fresh legacy API.
+fn decode_fresh(compressed: &btrblocks::CompressedRelation, cfg: &Config) -> u64 {
+    let mut rows = 0u64;
+    for col in &compressed.columns {
+        for block in &col.blocks {
+            let out = btrblocks::decompress_block(block, col.column_type, cfg)
+                .expect("bench relation decodes");
+            rows += out.len() as u64;
+        }
+    }
+    rows
+}
+
+/// Runs the three decode variants and returns their metrics.
+pub fn measure(rows: usize, seed: u64) -> DecodeBench {
+    let cfg = scratch_pool_config();
+    let rel = build_relation(rows, seed);
+    let compressed = btrblocks::compress(&rel, &cfg).expect("compress");
+    let blocks: usize = compressed.columns.iter().map(|c| c.blocks.len()).sum();
+
+    let run = |name: &'static str, rows_out: u64, secs: f64, growth: usize, hits, misses| DecodeRun {
+        name,
+        seconds: secs,
+        rows_per_s: if secs > 0.0 { rows_out as f64 / secs } else { 0.0 },
+        heap_growth_bytes: growth,
+        bytes_per_block: growth as f64 / blocks.max(1) as f64,
+        scratch_hits: hits,
+        scratch_misses: misses,
+    };
+
+    let ((fresh_rows, fresh_growth), fresh_secs) =
+        time_it(|| btr_corrupt::alloc::measure(|| decode_fresh(&compressed, &cfg)));
+
+    let mut scratch = DecodeScratch::new();
+    let ((cold_rows, cold_growth), cold_secs) =
+        time_it(|| btr_corrupt::alloc::measure(|| decode_with_scratch(&compressed, &cfg, &mut scratch)));
+    let cold_stats = scratch.stats();
+
+    let ((warm_rows, warm_growth), warm_secs) =
+        time_it(|| btr_corrupt::alloc::measure(|| decode_with_scratch(&compressed, &cfg, &mut scratch)));
+    let warm_stats = scratch.stats();
+
+    assert_eq!(fresh_rows, cold_rows);
+    assert_eq!(cold_rows, warm_rows);
+
+    DecodeBench {
+        blocks,
+        rows: warm_rows,
+        scratch_held_bytes: warm_stats.held_bytes,
+        runs: vec![
+            run("fresh", fresh_rows, fresh_secs, fresh_growth, 0, 0),
+            run("cold-scratch", cold_rows, cold_secs, cold_growth, cold_stats.hits, cold_stats.misses),
+            run(
+                "warm-scratch",
+                warm_rows,
+                warm_secs,
+                warm_growth,
+                warm_stats.hits - cold_stats.hits,
+                warm_stats.misses - cold_stats.misses,
+            ),
+        ],
+    }
+}
+
+/// Renders `measure` as JSON for `BENCH_decode.json` (hand-rolled — the
+/// workspace is hermetic, no serde).
+pub fn json(bench: &DecodeBench, rows: usize, seed: u64) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"rows\": {rows},\n  \"seed\": {seed},\n"));
+    out.push_str(&format!(
+        "  \"blocks\": {},\n  \"decoded_rows\": {},\n  \"scratch_held_bytes\": {},\n  \"runs\": [\n",
+        bench.blocks, bench.rows, bench.scratch_held_bytes
+    ));
+    for (i, run) in bench.runs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"seconds\": {:.6}, \"rows_per_s\": {:.0}, \
+             \"heap_growth_bytes\": {}, \"bytes_per_block\": {:.1}, \
+             \"scratch_hits\": {}, \"scratch_misses\": {}}}{}\n",
+            run.name,
+            run.seconds,
+            run.rows_per_s,
+            run.heap_growth_bytes,
+            run.bytes_per_block,
+            run.scratch_hits,
+            run.scratch_misses,
+            if i + 1 == bench.runs.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders the decode-scratch table.
+pub fn run(rows: usize, seed: u64) -> String {
+    render(&measure(rows, seed))
+}
+
+/// Renders an already-measured bench.
+pub fn render(bench: &DecodeBench) -> String {
+    let mut table = Table::new(&[
+        "decode",
+        "Mrows/s",
+        "alloc bytes",
+        "bytes/block",
+        "pool hits",
+        "pool misses",
+    ]);
+    for run in &bench.runs {
+        table.row(vec![
+            run.name.to_string(),
+            format!("{:.2}", run.rows_per_s / 1e6),
+            run.heap_growth_bytes.to_string(),
+            format!("{:.1}", run.bytes_per_block),
+            run.scratch_hits.to_string(),
+            run.scratch_misses.to_string(),
+        ]);
+    }
+    format!(
+        "Decode allocation cost ({} blocks, {} rows decoded per pass; \
+         scratch holds {} pooled bytes after warm pass)\n\
+         allocate-fresh API vs cold/warm DecodeScratch reuse \
+         (heap growth needs the tracking allocator — see the decode_scratch binary)\n\n{}",
+        bench.blocks,
+        bench.rows,
+        bench.scratch_held_bytes,
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // This test binary does not install the tracking allocator, so heap
+    // growth reads zero here; the scratch counters and row totals still
+    // pin the bench's shape. The real allocation numbers are exercised by
+    // the `decode_scratch` binary (scripts/check.sh smokes it).
+    #[test]
+    fn smoke_bench_shapes_hold() {
+        let bench = measure(20_000, 7);
+        assert_eq!(bench.runs.len(), 3);
+        let fresh = &bench.runs[0];
+        let cold = &bench.runs[1];
+        let warm = &bench.runs[2];
+        assert_eq!(bench.rows, 3 * 20_000);
+        assert!(bench.blocks >= 6, "multi-block per column");
+        assert_eq!(fresh.scratch_hits + fresh.scratch_misses, 0);
+        assert!(cold.scratch_misses > 0, "cold pass populates the pool");
+        assert_eq!(warm.scratch_misses, 0, "warm pass is all hits");
+        assert!(warm.scratch_hits > 0);
+        let json = json(&bench, 20_000, 7);
+        assert!(json.contains("\"warm-scratch\""));
+        assert!(json.contains("\"bytes_per_block\""));
+    }
+}

@@ -6,6 +6,7 @@
 
 pub mod column_scan;
 pub mod compression_speed;
+pub mod decode_scratch;
 pub mod figure4;
 pub mod figure5;
 pub mod figure6;

@@ -122,13 +122,18 @@ fn decode_block(data: &[u32], out: &mut [u32]) -> Result<usize> {
         if data.len() < pos + pos_words + high_words {
             return Err(Error::UnexpectedEnd);
         }
-        // lint: allow(indexing) pos + pos_words + high_words <= data.len() was checked above
-        let positions = plain::unpack(&data[pos..pos + pos_words], n_exc, 7)?;
+        // Stack buffers: `exceptions` is a u8, so n_exc <= 255 always fits.
+        // Keeping the side arrays off the heap makes decode allocation-free.
+        let mut positions = [0u32; 256];
+        let mut highs = [0u32; 256];
+        // lint: allow(indexing) n_exc <= 255 < 256; pos + pos_words <= data.len() was checked above
+        plain::unpack_into(&data[pos..pos + pos_words], 7, &mut positions[..n_exc])?;
         pos += pos_words;
-        // lint: allow(indexing) pos + high_words <= data.len() was checked above
-        let highs = plain::unpack(&data[pos..pos + high_words], n_exc, high_width)?;
+        // lint: allow(indexing) n_exc <= 255 < 256; pos + high_words <= data.len() was checked above
+        plain::unpack_into(&data[pos..pos + high_words], high_width, &mut highs[..n_exc])?;
         pos += high_words;
-        for (&p, &h) in positions.iter().zip(&highs) {
+        // lint: allow(indexing) n_exc <= 255 < 256 bounds both slices
+        for (&p, &h) in positions[..n_exc].iter().zip(&highs[..n_exc]) {
             let p = p as usize;
             if p >= BLOCK128 {
                 return Err(Error::Corrupt("exception position out of range"));

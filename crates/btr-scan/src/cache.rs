@@ -155,11 +155,17 @@ impl BlockCache {
     /// the shard fits its budget. Values larger than a whole shard's budget
     /// are refused (caching them would evict everything for one scan's
     /// transient block).
-    pub fn insert(&self, key: BlockKey, value: Arc<DecodedColumn>) {
+    ///
+    /// Returns every value the cache no longer holds — LRU victims, a
+    /// replaced entry for the same key, or the refused oversized value
+    /// itself — so callers can recycle their buffers into a decode arena
+    /// instead of freeing them.
+    pub fn insert(&self, key: BlockKey, value: Arc<DecodedColumn>) -> Vec<Arc<DecodedColumn>> {
         let bytes = decoded_bytes(&value);
         if bytes > self.shard_budget {
-            return;
+            return vec![value];
         }
+        let mut displaced = Vec::new();
         let mut evicted = 0u64;
         {
             let mut shard = lock(self.shard_of(&key));
@@ -168,6 +174,7 @@ impl BlockCache {
             if let Some(old) = shard.map.remove(&key) {
                 shard.lru.remove(&old.tick);
                 shard.bytes -= old.bytes;
+                displaced.push(old.value);
             }
             shard.bytes += bytes;
             shard.map.insert(key.clone(), Entry { value, bytes, tick });
@@ -182,11 +189,13 @@ impl BlockCache {
                 if let Some(victim) = shard.map.remove(&victim_key) {
                     shard.bytes -= victim.bytes;
                     evicted += 1;
+                    displaced.push(victim.value);
                 }
             }
         }
         self.insertions.fetch_add(1, Ordering::Relaxed);
         self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        displaced
     }
 
     /// Snapshot of the counters.
@@ -293,10 +302,32 @@ mod tests {
     fn oversized_values_are_refused() {
         let cache = BlockCache::new(8 * 100);
         let rel: Arc<str> = Arc::from("r");
-        cache.insert(key(&rel, 0, 0), int_block(1000, 1)); // 4000 B > 100 B shard
+        let refused = cache.insert(key(&rel, 0, 0), int_block(1000, 1)); // 4000 B > 100 B shard
         let stats = cache.stats();
         assert_eq!(stats.entries, 0);
         assert_eq!(stats.insertions, 0);
+        assert_eq!(refused.len(), 1, "refused value handed back for recycling");
+    }
+
+    #[test]
+    fn insert_returns_displaced_values_for_recycling() {
+        let cache = BlockCache::new(1 << 20);
+        let rel: Arc<str> = Arc::from("r");
+        let k = key(&rel, 0, 0);
+        assert!(cache.insert(k.clone(), int_block(10, 1)).is_empty());
+        // Replacing the same key hands the old value back.
+        let displaced = cache.insert(k.clone(), int_block(10, 2));
+        assert_eq!(displaced.len(), 1);
+        assert_eq!(*displaced[0], DecodedColumn::Int(vec![1; 10]));
+        // LRU victims come back too: overflow one shard and collect them.
+        let small = BlockCache::new(8 * 900); // shard budget 900 B = 2×400B
+        let mut displaced_total = 0;
+        for i in 0..64 {
+            displaced_total += small.insert(key(&rel, 0, i), int_block(100, i as i32)).len();
+        }
+        let stats = small.stats();
+        assert_eq!(displaced_total as u64, stats.evictions);
+        assert!(displaced_total > 0);
     }
 
     #[test]

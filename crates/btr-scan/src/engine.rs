@@ -28,8 +28,8 @@ use crate::source::{BlockSource, FetchStats};
 use crate::{Result, ScanError};
 use btr_roaring::RoaringBitmap;
 use btrblocks::{
-    decompress_block, filter_block, filter_decoded, has_fast_path, peek_scheme, CmpOp,
-    ColumnData, ColumnType, Config, DecodedColumn, Literal, Sidecar,
+    decompress_block_into, filter_block, filter_decoded, has_fast_path, peek_scheme, CmpOp,
+    ColumnData, ColumnType, Config, DecodeScratch, DecodedColumn, Literal, Sidecar,
 };
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -156,15 +156,41 @@ impl Ctx {
         Ok(bytes)
     }
 
-    /// Timed decode; the caller decides whether to cache the result.
-    fn decode(&self, bytes: &[u8], ty: ColumnType) -> Result<Arc<DecodedColumn>> {
+    /// Timed decode into worker-leased buffers; the caller decides whether
+    /// to cache the result.
+    fn decode(
+        &self,
+        bytes: &[u8],
+        ty: ColumnType,
+        scratch: &mut DecodeScratch,
+    ) -> Result<Arc<DecodedColumn>> {
         let t0 = Instant::now();
-        let decoded = decompress_block(bytes, ty, &self.config)?;
+        let mut decoded = scratch.lease_decoded(ty);
+        if let Err(e) = decompress_block_into(bytes, ty, &self.config, scratch, &mut decoded) {
+            scratch.recycle(decoded);
+            return Err(e.into());
+        }
         self.counters
             .decode_nanos
             .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         self.counters.decoded.fetch_add(1, Ordering::Relaxed);
         Ok(Arc::new(decoded))
+    }
+
+    /// Caches a decoded block and recycles whatever the insert displaced
+    /// (LRU victims, replaced entries, refused oversized values) into the
+    /// worker's scratch arena — unless another scan still holds a reference.
+    fn cache_insert(
+        &self,
+        key: BlockKey,
+        value: Arc<DecodedColumn>,
+        scratch: &mut DecodeScratch,
+    ) {
+        for displaced in self.cache.insert(key, value) {
+            if let Ok(col) = Arc::try_unwrap(displaced) {
+                scratch.recycle(col);
+            }
+        }
     }
 
     fn key(&self, column: usize, block: u32) -> BlockKey {
@@ -183,7 +209,11 @@ struct BlockOut {
     columns: Vec<ColumnData>,
 }
 
-fn process_row_group(ctx: &Ctx, group: RowGroup) -> Result<BlockOut> {
+fn process_row_group(
+    ctx: &Ctx,
+    group: RowGroup,
+    scratch: &mut DecodeScratch,
+) -> Result<BlockOut> {
     // Predicate first: it decides whether projection blocks are needed at
     // all. `pred_decoded` keeps a decoded predicate block around so a
     // projection of the same column doesn't re-resolve it; `pred_bytes`
@@ -207,8 +237,8 @@ fn process_row_group(ctx: &Ctx, group: RowGroup) -> Result<BlockOut> {
                 ctx.counters.pushdown.fetch_add(1, Ordering::Relaxed);
                 pred_bytes = Some((*pidx, bytes));
             } else {
-                let decoded = ctx.decode(&bytes, ty)?;
-                ctx.cache.insert(key, decoded.clone());
+                let decoded = ctx.decode(&bytes, ty, scratch)?;
+                ctx.cache_insert(key, decoded.clone(), scratch);
                 selection = Some(filter_decoded(&decoded, *op, literal)?);
                 pred_decoded = Some((*pidx, decoded));
             }
@@ -248,8 +278,8 @@ fn process_row_group(ctx: &Ctx, group: RowGroup) -> Result<BlockOut> {
             let (_, bytes) = pred_bytes.take().unwrap_or((0, Vec::new()));
             let key = ctx.key(idx, group.block);
             // lint: allow(indexing) projection indices were resolved against columns at plan time
-            let d = ctx.decode(&bytes, ctx.column_types[idx])?;
-            ctx.cache.insert(key, d.clone());
+            let d = ctx.decode(&bytes, ctx.column_types[idx], scratch)?;
+            ctx.cache_insert(key, d.clone(), scratch);
             pred_decoded = Some((idx, d.clone()));
             d
         } else {
@@ -260,8 +290,8 @@ fn process_row_group(ctx: &Ctx, group: RowGroup) -> Result<BlockOut> {
                     // lint: allow(cast) column count is far smaller than 4 GiB
                     let bytes = ctx.fetch(idx as u32, group.block)?;
                     // lint: allow(indexing) projection indices were resolved against columns at plan time
-                    let d = ctx.decode(&bytes, ctx.column_types[idx])?;
-                    ctx.cache.insert(key, d.clone());
+                    let d = ctx.decode(&bytes, ctx.column_types[idx], scratch)?;
+                    ctx.cache_insert(key, d.clone(), scratch);
                     d
                 }
             }
@@ -314,6 +344,10 @@ fn worker_loop(
     groups: &[RowGroup],
     capacity: usize,
 ) {
+    // One decode arena per worker, living for the whole scan: buffers leased
+    // while decoding block i are pooled and reused for block i + workers,
+    // so a steady-state scan decodes without heap allocation.
+    let mut scratch = DecodeScratch::new();
     loop {
         let i = {
             let mut st = lock(shared);
@@ -335,7 +369,7 @@ fn worker_loop(
         };
         // lint: allow(indexing) i < groups.len() was checked before leaving the lock
         let group = groups[i];
-        let result = catch_unwind(AssertUnwindSafe(|| process_row_group(ctx, group)))
+        let result = catch_unwind(AssertUnwindSafe(|| process_row_group(ctx, group, &mut scratch)))
             .unwrap_or_else(|payload| {
                 Err(ScanError::Worker(format!(
                     "row group {} (block {}): {}",

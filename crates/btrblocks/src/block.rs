@@ -8,6 +8,7 @@
 
 use crate::config::Config;
 use crate::scheme::{self, SchemeCode};
+use crate::scratch::DecodeScratch;
 use crate::types::{ColumnType, DecodedColumn, StringArena};
 use crate::writer::Reader;
 use crate::{Error, Result};
@@ -83,16 +84,40 @@ pub fn compress_block_with(code: SchemeCode, data: BlockRef<'_>, cfg: &Config) -
 
 /// Decompresses one block of the given type.
 pub fn decompress_block(bytes: &[u8], ty: ColumnType, cfg: &Config) -> Result<DecodedColumn> {
+    let mut scratch = DecodeScratch::new();
+    let mut out = scratch.lease_decoded(ty);
+    decompress_block_into(bytes, ty, cfg, &mut scratch, &mut out)?;
+    Ok(out)
+}
+
+/// Decompresses one block of the given type into `out`, reusing its buffers
+/// and leasing all decode temporaries from `scratch`.
+///
+/// If `out` holds a different variant than `ty` asks for, its buffers are
+/// recycled into `scratch` and a matching variant is leased back out, so a
+/// caller decoding a mixed-type column stream still allocates nothing once
+/// the pool is warm.
+pub fn decompress_block_into(
+    bytes: &[u8],
+    ty: ColumnType,
+    cfg: &Config,
+    scratch: &mut DecodeScratch,
+    out: &mut DecodedColumn,
+) -> Result<()> {
+    if out.column_type() != ty {
+        let old = std::mem::replace(out, scratch.lease_decoded(ty));
+        scratch.recycle(old);
+    }
     let mut r = Reader::new(bytes);
-    let out = match ty {
-        ColumnType::Integer => DecodedColumn::Int(scheme::decompress_int(&mut r, cfg)?),
-        ColumnType::Double => DecodedColumn::Double(scheme::decompress_double(&mut r, cfg)?),
-        ColumnType::String => DecodedColumn::Str(scheme::decompress_str(&mut r, cfg)?),
-    };
+    match out {
+        DecodedColumn::Int(v) => scheme::decompress_int_into(&mut r, cfg, scratch, v)?,
+        DecodedColumn::Double(v) => scheme::decompress_double_into(&mut r, cfg, scratch, v)?,
+        DecodedColumn::Str(s) => scheme::decompress_str_into(&mut r, cfg, scratch, s)?,
+    }
     if !r.rest().is_empty() {
         return Err(Error::Corrupt("trailing bytes after block"));
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Reads the root scheme code of a compressed block without decoding it.

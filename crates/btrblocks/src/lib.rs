@@ -43,20 +43,23 @@ pub mod query;
 pub mod relation;
 pub mod sampling;
 pub mod scheme;
+pub mod scratch;
 pub mod simd;
 pub mod stats;
 pub mod types;
 pub mod writer;
 
-pub use block::{compress_block, decompress_block, peek_scheme, BlockRef};
+pub use block::{compress_block, decompress_block, decompress_block_into, peek_scheme, BlockRef};
 pub use config::{Config, SimdMode};
 pub use metadata::{BlockZone, ColumnMeta, Sidecar};
 pub use parallel::{compress_parallel, decompress_parallel};
 pub use query::{filter_block, filter_decoded, has_fast_path, CmpOp, Literal};
 pub use relation::{
-    compress, decompress, BlockRange, Column, CompressedColumn, CompressedRelation, Relation,
+    compress, decompress, decompress_column_with_scratch, BlockRange, Column, CompressedColumn,
+    CompressedRelation, Relation,
 };
 pub use scheme::SchemeCode;
+pub use scratch::{DecodeScratch, ScratchStats};
 pub use types::{ColumnData, ColumnType, DecodedColumn, StringArena, StringViews};
 
 /// Errors produced by compression and decompression.

@@ -8,12 +8,22 @@
 
 use crate::config::Config;
 use crate::relation::{
-    compress_column, decompress_column, Column, CompressedColumn, CompressedRelation, Relation,
+    compress_column, decompress_column_with_scratch, Column, CompressedColumn, CompressedRelation,
+    Relation,
 };
+use crate::scratch::DecodeScratch;
 use crate::Result;
+use std::cell::RefCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+thread_local! {
+    /// Per-worker decode arena: buffers leased while decoding one column are
+    /// pooled on the worker thread and reused for every later block it
+    /// decodes, so steady-state parallel decompression allocates nothing.
+    static DECODE_SCRATCH: RefCell<DecodeScratch> = RefCell::new(DecodeScratch::new());
+}
 
 /// Renders a caught panic payload (the `&str`/`String` cases `panic!`
 /// produces; anything else becomes a placeholder).
@@ -93,8 +103,10 @@ pub fn decompress_parallel(
     threads: usize,
 ) -> Result<Relation> {
     let results: Vec<Result<Column>> = for_each_indexed(compressed.columns.len(), threads, |i| {
-        // lint: allow(indexing) for_each_indexed only passes i < columns.len()
-        decompress_column(&compressed.columns[i], cfg)
+        DECODE_SCRATCH.with(|scratch| {
+            // lint: allow(indexing) for_each_indexed only passes i < columns.len()
+            decompress_column_with_scratch(&compressed.columns[i], cfg, &mut scratch.borrow_mut())
+        })
     });
     let mut columns = Vec::with_capacity(results.len());
     for r in results {
@@ -176,6 +188,56 @@ mod tests {
             7,
             "the single worker must survive the panic and finish the queue"
         );
+    }
+
+    #[test]
+    fn parallel_scratch_decode_is_byte_identical_to_serial() {
+        // Worker-local scratch reuse must not perturb a single decoded bit,
+        // including NaN payloads and signed zeros that `==` would gloss over.
+        let cfg = Config {
+            block_size: 512,
+            ..Config::default()
+        };
+        let doubles: Vec<f64> = (0..4_000)
+            .map(|i| match i % 5 {
+                0 => f64::NAN,
+                1 => -0.0,
+                2 => i as f64 * 0.125,
+                3 => f64::INFINITY,
+                _ => -(i as f64),
+            })
+            .collect();
+        let strings: Vec<String> = (0..4_000).map(|i| format!("row-{}", i % 97)).collect();
+        let refs: Vec<&str> = strings.iter().map(|s| s.as_str()).collect();
+        let rel = Relation::new(vec![
+            Column::new("i", ColumnData::Int((0..4_000).map(|i| i % 300).collect())),
+            Column::new("d", ColumnData::Double(doubles)),
+            Column::new("s", ColumnData::Str(StringArena::from_strs(&refs))),
+        ]);
+        let compressed = crate::relation::compress(&rel, &cfg).unwrap();
+        let serial = crate::relation::decompress_relation(&compressed, &cfg).unwrap();
+        for threads in [1, 3, 8] {
+            let parallel = decompress_parallel(&compressed, &cfg, threads).unwrap();
+            for (a, b) in serial.columns.iter().zip(&parallel.columns) {
+                assert_eq!(a.name, b.name);
+                match (&a.data, &b.data) {
+                    (ColumnData::Int(x), ColumnData::Int(y)) => assert_eq!(x, y),
+                    (ColumnData::Double(x), ColumnData::Double(y)) => {
+                        assert_eq!(x.len(), y.len());
+                        for (u, v) in x.iter().zip(y) {
+                            assert_eq!(u.to_bits(), v.to_bits(), "threads = {threads}");
+                        }
+                    }
+                    (ColumnData::Str(x), ColumnData::Str(y)) => {
+                        assert_eq!(x.len(), y.len());
+                        for i in 0..x.len() {
+                            assert_eq!(x.get(i), y.get(i), "threads = {threads}");
+                        }
+                    }
+                    _ => panic!("column type changed between serial and parallel"),
+                }
+            }
+        }
     }
 
     #[test]

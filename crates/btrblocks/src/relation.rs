@@ -43,6 +43,7 @@ use crate::block::{self, BlockRef};
 use crate::config::Config;
 use crate::crc32c::crc32c;
 use crate::scheme::SchemeCode;
+use crate::scratch::DecodeScratch;
 use crate::types::{ColumnData, ColumnType, DecodedColumn, StringArena};
 use crate::writer::{Reader, WriteLe};
 use crate::{Error, Result};
@@ -544,35 +545,52 @@ pub fn decompress(bytes: &[u8], cfg: &Config) -> Result<Relation> {
 
 /// Decompresses an in-memory [`CompressedRelation`].
 pub fn decompress_relation(compressed: &CompressedRelation, cfg: &Config) -> Result<Relation> {
+    let mut scratch = DecodeScratch::new();
     let mut columns = Vec::with_capacity(compressed.columns.len());
     for col in &compressed.columns {
-        columns.push(decompress_column(col, cfg)?);
+        columns.push(decompress_column_with_scratch(col, cfg, &mut scratch)?);
     }
     Ok(Relation { columns })
 }
 
 /// Decompresses a single column (all blocks, concatenated).
 pub fn decompress_column(col: &CompressedColumn, cfg: &Config) -> Result<Column> {
-    let mut data: Option<ColumnData> = None;
-    for b in &col.blocks {
-        let decoded = block::decompress_block(b, col.column_type, cfg)?;
-        match (&mut data, decoded) {
-            (None, d) => data = Some(d.into_column_data()),
-            (Some(ColumnData::Int(acc)), DecodedColumn::Int(v)) => acc.extend_from_slice(&v),
-            (Some(ColumnData::Double(acc)), DecodedColumn::Double(v)) => acc.extend_from_slice(&v),
-            (Some(ColumnData::Str(acc)), DecodedColumn::Str(v)) => {
-                for i in 0..v.len() {
-                    acc.push(v.get(i));
-                }
-            }
-            _ => return Err(Error::Corrupt("mixed block types in column")),
-        }
-    }
-    let data = data.unwrap_or(match col.column_type {
+    let mut scratch = DecodeScratch::new();
+    decompress_column_with_scratch(col, cfg, &mut scratch)
+}
+
+/// [`decompress_column`] with a caller-provided scratch arena: one leased
+/// block buffer is reused across all of the column's blocks and returned to
+/// the pool at the end, so a warm pool makes per-block decode allocation-free.
+pub fn decompress_column_with_scratch(
+    col: &CompressedColumn,
+    cfg: &Config,
+    scratch: &mut DecodeScratch,
+) -> Result<Column> {
+    let mut data = match col.column_type {
         ColumnType::Integer => ColumnData::Int(Vec::new()),
         ColumnType::Double => ColumnData::Double(Vec::new()),
         ColumnType::String => ColumnData::Str(StringArena::new()),
-    });
+    };
+    let mut decoded = scratch.lease_decoded(col.column_type);
+    let result = (|| -> Result<()> {
+        for b in &col.blocks {
+            block::decompress_block_into(b, col.column_type, cfg, scratch, &mut decoded)?;
+            match (&mut data, &decoded) {
+                (ColumnData::Int(acc), DecodedColumn::Int(v)) => acc.extend_from_slice(v),
+                (ColumnData::Double(acc), DecodedColumn::Double(v)) => acc.extend_from_slice(v),
+                (ColumnData::Str(acc), DecodedColumn::Str(v)) => {
+                    for i in 0..v.len() {
+                        acc.push(v.get(i));
+                    }
+                }
+                _ => return Err(Error::Corrupt("mixed block types in column")),
+            }
+        }
+        Ok(())
+    })();
+    scratch.recycle(decoded);
+    result?;
     let nulls = if col.nulls.is_empty() {
         None
     } else {

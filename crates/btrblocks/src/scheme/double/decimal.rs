@@ -23,6 +23,7 @@
 
 use crate::config::Config;
 use crate::scheme;
+use crate::scratch::DecodeScratch;
 use crate::writer::{Reader, WriteLe};
 use crate::{Error, Result};
 use btr_roaring::RoaringBitmap;
@@ -109,44 +110,71 @@ pub fn compress(values: &[f64], child_depth: u8, cfg: &Config, out: &mut Vec<u8>
 
 /// Decompresses a Pseudodecimal block of `count` doubles.
 pub fn decompress(r: &mut Reader<'_>, count: usize, cfg: &Config) -> Result<Vec<f64>> {
+    let mut scratch = DecodeScratch::new();
+    let mut out = Vec::new();
+    decompress_into(r, count, cfg, &mut scratch, &mut out)?;
+    Ok(out)
+}
+
+/// Decompresses a Pseudodecimal block of `count` doubles into `out`, leasing
+/// the digit/exponent/patch buffers from `scratch`. The Roaring patch bitmap
+/// still deserializes into fresh containers — the one allocation this scheme
+/// keeps.
+pub fn decompress_into(
+    r: &mut Reader<'_>,
+    count: usize,
+    cfg: &Config,
+    scratch: &mut DecodeScratch,
+    out: &mut Vec<f64>,
+) -> Result<()> {
     let bitmap_len = r.u32()? as usize;
     let bitmap = RoaringBitmap::deserialize(r.take(bitmap_len)?)?;
-    let digits = scheme::decompress_int(r, cfg)?;
-    let exponents = scheme::decompress_int(r, cfg)?;
-    let patch_count = r.u32()? as usize;
-    let patches = r.f64_vec(patch_count)?;
-    if digits.len() != count || exponents.len() != count {
-        return Err(Error::Corrupt("pseudodecimal column length mismatch"));
-    }
-    if bitmap.cardinality() as usize != patch_count {
-        return Err(Error::Corrupt("pseudodecimal patch count mismatch"));
-    }
-    let mut placeholder_count = 0usize;
-    for &e in &exponents {
-        if !(0..=EXCEPTION_EXPONENT).contains(&e) {
-            return Err(Error::Corrupt("pseudodecimal exponent out of range"));
+    let mut digits = scratch.lease_i32(count);
+    let mut exponents = scratch.lease_i32(count);
+    let mut patches = scratch.lease_f64(0);
+    let result = (|| -> Result<()> {
+        scheme::decompress_int_into(r, cfg, scratch, &mut digits)?;
+        scheme::decompress_int_into(r, cfg, scratch, &mut exponents)?;
+        let patch_count = r.u32()? as usize;
+        r.f64_vec_into(patch_count, &mut patches)?;
+        if digits.len() != count || exponents.len() != count {
+            return Err(Error::Corrupt("pseudodecimal column length mismatch"));
         }
-        if e == EXCEPTION_EXPONENT {
-            placeholder_count += 1;
+        if bitmap.cardinality() as usize != patch_count {
+            return Err(Error::Corrupt("pseudodecimal patch count mismatch"));
         }
-    }
-    if placeholder_count != patch_count {
-        return Err(Error::Corrupt("pseudodecimal placeholder/patch mismatch"));
-    }
-    let mut out: Vec<f64> = Vec::with_capacity(count + crate::simd::DECODE_SLACK);
-    #[cfg(target_arch = "x86_64")]
-    if crate::simd::use_avx2(cfg.simd) && patch_count == 0 {
-        // Fast path: no patches anywhere, vectorize the whole block.
-        // SAFETY: exponents validated to 0..=23 above; FRAC10 is padded via
-        // the gather table below; capacity reserved.
-        unsafe {
-            decode_avx2(&digits, &exponents, out.as_mut_ptr());
-            out.set_len(count);
+        let mut placeholder_count = 0usize;
+        for &e in exponents.iter() {
+            if !(0..=EXCEPTION_EXPONENT).contains(&e) {
+                return Err(Error::Corrupt("pseudodecimal exponent out of range"));
+            }
+            if e == EXCEPTION_EXPONENT {
+                placeholder_count += 1;
+            }
         }
-        return Ok(out);
-    }
-    decode_with_patches(&digits, &exponents, &bitmap, &patches, cfg, &mut out)?;
-    Ok(out)
+        if placeholder_count != patch_count {
+            return Err(Error::Corrupt("pseudodecimal placeholder/patch mismatch"));
+        }
+        out.clear();
+        out.reserve(count + crate::simd::DECODE_SLACK);
+        #[cfg(target_arch = "x86_64")]
+        if crate::simd::use_avx2(cfg.simd) && patch_count == 0 {
+            // Fast path: no patches anywhere, vectorize the whole block.
+            // SAFETY: exponents validated to 0..=23 above; FRAC10 is padded
+            // via the gather table below; capacity reserved.
+            unsafe {
+                decode_avx2(&digits, &exponents, out.as_mut_ptr());
+                out.set_len(count);
+            }
+            return Ok(());
+        }
+        decode_with_patches(&digits, &exponents, &bitmap, &patches, cfg, out)?;
+        Ok(())
+    })();
+    scratch.release_i32(digits);
+    scratch.release_i32(exponents);
+    scratch.release_f64(patches);
+    result
 }
 
 /// Mixed path: vectorize 4-windows without patches, scalar for the rest.

@@ -5,6 +5,7 @@
 
 use crate::config::Config;
 use crate::scheme;
+use crate::scratch::DecodeScratch;
 use crate::simd;
 use crate::writer::{Reader, WriteLe};
 use crate::{Error, Result};
@@ -38,21 +39,46 @@ pub fn compress(values: &[f64], child_depth: u8, cfg: &Config, out: &mut Vec<u8>
 
 /// Decompresses a dictionary block of `count` doubles.
 pub fn decompress(r: &mut Reader<'_>, count: usize, cfg: &Config) -> Result<Vec<f64>> {
+    let mut scratch = DecodeScratch::new();
+    let mut out = Vec::new();
+    decompress_into(r, count, cfg, &mut scratch, &mut out)?;
+    Ok(out)
+}
+
+/// Decompresses a dictionary block of `count` doubles into `out`, leasing
+/// the dictionary and code buffers from `scratch`.
+pub fn decompress_into(
+    r: &mut Reader<'_>,
+    count: usize,
+    cfg: &Config,
+    scratch: &mut DecodeScratch,
+    out: &mut Vec<f64>,
+) -> Result<()> {
     let dict_len = r.u32()? as usize;
-    let dict = r.f64_vec(dict_len)?;
-    let codes = scheme::decompress_int(r, cfg)?;
-    if codes.len() != count {
-        return Err(Error::Corrupt("double dict code count mismatch"));
-    }
-    let mut codes_u32 = Vec::with_capacity(codes.len());
-    for &c in &codes {
-        if c < 0 || c as usize >= dict_len {
-            return Err(Error::Corrupt("double dict code out of range"));
+    let mut dict = scratch.lease_f64(dict_len.min(cfg.max_block_values));
+    let mut codes = scratch.lease_i32(count);
+    let mut codes_u32 = scratch.lease_u32(count);
+    let result = (|| -> Result<()> {
+        r.f64_vec_into(dict_len, &mut dict)?;
+        scheme::decompress_int_into(r, cfg, scratch, &mut codes)?;
+        if codes.len() != count {
+            return Err(Error::Corrupt("double dict code count mismatch"));
         }
-        // lint: allow(cast) c was range-checked non-negative and < dict len above
-        codes_u32.push(c as u32);
-    }
-    Ok(simd::dict_decode_f64(&codes_u32, &dict, cfg.simd))
+        codes_u32.clear();
+        for &c in codes.iter() {
+            if c < 0 || c as usize >= dict_len {
+                return Err(Error::Corrupt("double dict code out of range"));
+            }
+            // lint: allow(cast) c was range-checked non-negative and < dict len above
+            codes_u32.push(c as u32);
+        }
+        simd::dict_decode_f64_into(&codes_u32, &dict, cfg.simd, out);
+        Ok(())
+    })();
+    scratch.release_f64(dict);
+    scratch.release_i32(codes);
+    scratch.release_u32(codes_u32);
+    result
 }
 
 #[cfg(test)]

@@ -1,5 +1,7 @@
 //! One Value for doubles: the whole block is a single bit pattern.
 
+use crate::config::Config;
+use crate::scratch::DecodeScratch;
 use crate::writer::{Reader, WriteLe};
 use crate::Result;
 
@@ -14,6 +16,20 @@ pub fn compress(values: &[f64], out: &mut Vec<u8>) {
 pub fn decompress(r: &mut Reader<'_>, count: usize) -> Result<Vec<f64>> {
     let v = r.f64()?;
     Ok(vec![v; count])
+}
+
+/// Expands the stored value `count` times into `out`, reusing its capacity.
+pub fn decompress_into(
+    r: &mut Reader<'_>,
+    count: usize,
+    _cfg: &Config,
+    _scratch: &mut DecodeScratch,
+    out: &mut Vec<f64>,
+) -> Result<()> {
+    let v = r.f64()?;
+    out.clear();
+    out.resize(count, v);
+    Ok(())
 }
 
 #[cfg(test)]

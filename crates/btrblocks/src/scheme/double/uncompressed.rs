@@ -1,5 +1,7 @@
 //! Raw double storage — the depth-0 fallback.
 
+use crate::config::Config;
+use crate::scratch::DecodeScratch;
 use crate::writer::{Reader, WriteLe};
 use crate::Result;
 
@@ -11,6 +13,17 @@ pub fn compress(values: &[f64], out: &mut Vec<u8>) {
 /// Reads `count` raw doubles.
 pub fn decompress(r: &mut Reader<'_>, count: usize) -> Result<Vec<f64>> {
     r.f64_vec(count)
+}
+
+/// Reads `count` raw doubles into `out`, reusing its capacity.
+pub fn decompress_into(
+    r: &mut Reader<'_>,
+    count: usize,
+    _cfg: &Config,
+    _scratch: &mut DecodeScratch,
+    out: &mut Vec<f64>,
+) -> Result<()> {
+    r.f64_vec_into(count, out)
 }
 
 #[cfg(test)]

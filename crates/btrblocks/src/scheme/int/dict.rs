@@ -7,6 +7,7 @@
 
 use crate::config::Config;
 use crate::scheme;
+use crate::scratch::DecodeScratch;
 use crate::simd;
 use crate::writer::{Reader, WriteLe};
 use crate::{Error, Result};
@@ -40,21 +41,46 @@ pub fn compress(values: &[i32], child_depth: u8, cfg: &Config, out: &mut Vec<u8>
 
 /// Decompresses a dictionary block of `count` values.
 pub fn decompress(r: &mut Reader<'_>, count: usize, cfg: &Config) -> Result<Vec<i32>> {
+    let mut scratch = DecodeScratch::new();
+    let mut out = Vec::new();
+    decompress_into(r, count, cfg, &mut scratch, &mut out)?;
+    Ok(out)
+}
+
+/// Decompresses a dictionary block of `count` values into `out`, leasing the
+/// dictionary and code buffers from `scratch`.
+pub fn decompress_into(
+    r: &mut Reader<'_>,
+    count: usize,
+    cfg: &Config,
+    scratch: &mut DecodeScratch,
+    out: &mut Vec<i32>,
+) -> Result<()> {
     let dict_len = r.u32()? as usize;
-    let dict = r.i32_vec(dict_len)?;
-    let codes = scheme::decompress_int(r, cfg)?;
-    if codes.len() != count {
-        return Err(Error::Corrupt("dict code count mismatch"));
-    }
-    let mut codes_u32 = Vec::with_capacity(codes.len());
-    for &c in &codes {
-        if c < 0 || c as usize >= dict_len {
-            return Err(Error::Corrupt("dict code out of range"));
+    let mut dict = scratch.lease_i32(dict_len.min(cfg.max_block_values));
+    let mut codes = scratch.lease_i32(count);
+    let mut codes_u32 = scratch.lease_u32(count);
+    let result = (|| -> Result<()> {
+        r.i32_vec_into(dict_len, &mut dict)?;
+        scheme::decompress_int_into(r, cfg, scratch, &mut codes)?;
+        if codes.len() != count {
+            return Err(Error::Corrupt("dict code count mismatch"));
         }
-        // lint: allow(cast) c was range-checked non-negative and < dict len above
-        codes_u32.push(c as u32);
-    }
-    Ok(simd::dict_decode_i32(&codes_u32, &dict, cfg.simd))
+        codes_u32.clear();
+        for &c in codes.iter() {
+            if c < 0 || c as usize >= dict_len {
+                return Err(Error::Corrupt("dict code out of range"));
+            }
+            // lint: allow(cast) c was range-checked non-negative and < dict len above
+            codes_u32.push(c as u32);
+        }
+        simd::dict_decode_i32_into(&codes_u32, &dict, cfg.simd, out);
+        Ok(())
+    })();
+    scratch.release_i32(dict);
+    scratch.release_i32(codes);
+    scratch.release_u32(codes_u32);
+    result
 }
 
 #[cfg(test)]

@@ -10,6 +10,7 @@
 
 use crate::config::Config;
 use crate::scheme;
+use crate::scratch::DecodeScratch;
 use crate::writer::{Reader, WriteLe};
 use crate::{Error, Result};
 use btr_roaring::RoaringBitmap;
@@ -39,23 +40,45 @@ pub fn compress(values: &[i32], child_depth: u8, cfg: &Config, out: &mut Vec<u8>
 
 /// Decompresses a Frequency block of `count` values.
 pub fn decompress(r: &mut Reader<'_>, count: usize, cfg: &Config) -> Result<Vec<i32>> {
+    let mut scratch = DecodeScratch::new();
+    let mut out = Vec::new();
+    decompress_into(r, count, cfg, &mut scratch, &mut out)?;
+    Ok(out)
+}
+
+/// Decompresses a Frequency block of `count` values into `out`, leasing the
+/// exception buffer from `scratch`. The Roaring bitmap itself still
+/// deserializes into fresh containers — the one allocation this scheme keeps.
+pub fn decompress_into(
+    r: &mut Reader<'_>,
+    count: usize,
+    cfg: &Config,
+    scratch: &mut DecodeScratch,
+    out: &mut Vec<i32>,
+) -> Result<()> {
     let top = r.i32()?;
     let bitmap_len = r.u32()? as usize;
     let bitmap = RoaringBitmap::deserialize(r.take(bitmap_len)?)?;
-    let exceptions = scheme::decompress_int(r, cfg)?;
-    if bitmap.cardinality() as usize != exceptions.len() {
-        return Err(Error::Corrupt("frequency exception count mismatch"));
-    }
-    let mut out = vec![top; count];
-    for (pos, &val) in bitmap.iter().zip(&exceptions) {
-        let pos = pos as usize;
-        if pos >= count {
-            return Err(Error::Corrupt("frequency exception position out of range"));
+    let mut exceptions = scratch.lease_i32(0);
+    let result = (|| -> Result<()> {
+        scheme::decompress_int_into(r, cfg, scratch, &mut exceptions)?;
+        if bitmap.cardinality() as usize != exceptions.len() {
+            return Err(Error::Corrupt("frequency exception count mismatch"));
         }
-        // lint: allow(indexing) pos was range-checked against count above
-        out[pos] = val;
-    }
-    Ok(out)
+        out.clear();
+        out.resize(count, top);
+        for (pos, &val) in bitmap.iter().zip(exceptions.iter()) {
+            let pos = pos as usize;
+            if pos >= count {
+                return Err(Error::Corrupt("frequency exception position out of range"));
+            }
+            // lint: allow(indexing) pos was range-checked against count above
+            out[pos] = val;
+        }
+        Ok(())
+    })();
+    scratch.release_i32(exceptions);
+    result
 }
 
 #[cfg(test)]

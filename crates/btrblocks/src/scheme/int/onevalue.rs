@@ -1,5 +1,7 @@
 //! One Value: a block whose values are all identical stores just that value.
 
+use crate::config::Config;
+use crate::scratch::DecodeScratch;
 use crate::writer::{Reader, WriteLe};
 use crate::Result;
 
@@ -14,6 +16,20 @@ pub fn compress(values: &[i32], out: &mut Vec<u8>) {
 pub fn decompress(r: &mut Reader<'_>, count: usize) -> Result<Vec<i32>> {
     let v = r.i32()?;
     Ok(vec![v; count])
+}
+
+/// Expands the stored value `count` times into `out`, reusing its capacity.
+pub fn decompress_into(
+    r: &mut Reader<'_>,
+    count: usize,
+    _cfg: &Config,
+    _scratch: &mut DecodeScratch,
+    out: &mut Vec<i32>,
+) -> Result<()> {
+    let v = r.i32()?;
+    out.clear();
+    out.resize(count, v);
+    Ok(())
 }
 
 #[cfg(test)]

@@ -5,6 +5,8 @@
 //! `u32` offsets; the offsets go through the FastPFOR codec of
 //! `btr-bitpacking`, whose per-128-block exception patching absorbs outliers.
 
+use crate::config::Config;
+use crate::scratch::DecodeScratch;
 use crate::writer::{Reader, WriteLe};
 use crate::{Error, Result};
 use btr_bitpacking::{fastpfor, for_delta};
@@ -21,19 +23,48 @@ pub fn compress(values: &[i32], out: &mut Vec<u8>) {
 
 /// Decompresses a FastPFOR block of `count` values.
 pub fn decompress(r: &mut Reader<'_>, count: usize) -> Result<Vec<i32>> {
+    let mut scratch = DecodeScratch::new();
+    let mut out = Vec::new();
+    decompress_into(r, count, &Config::default(), &mut scratch, &mut out)?;
+    Ok(out)
+}
+
+/// Decompresses a FastPFOR block of `count` values into `out`, leasing the
+/// packed-word and offset buffers from `scratch`.
+pub fn decompress_into(
+    r: &mut Reader<'_>,
+    count: usize,
+    _cfg: &Config,
+    scratch: &mut DecodeScratch,
+    out: &mut Vec<i32>,
+) -> Result<()> {
     let base = r.i32()?;
     let word_count = r.u32()? as usize;
-    let words = r.u32_vec(word_count)?;
-    // The stream's internal count must agree with the frame count (already
-    // capped by `max_block_values`) before the codec sizes its output.
-    if words.first().map(|&c| c as usize) != Some(count) && count > 0 {
-        return Err(Error::Corrupt("FastPFOR count mismatch"));
-    }
-    let offsets = fastpfor::decode(&words)?;
-    if offsets.len() != count {
-        return Err(Error::Corrupt("FastPFOR count mismatch"));
-    }
-    Ok(for_delta::for_decode(base, &offsets))
+    // Capacity hint clamped to what the stream can actually supply, so a
+    // hostile word_count can't force a huge lease before `take` rejects it.
+    let mut words = scratch.lease_u32(word_count.min(r.remaining() / 4 + 1));
+    let mut offsets = scratch.lease_u32(count);
+    let result = (|| -> Result<()> {
+        r.u32_vec_into(word_count, &mut words)?;
+        // The stream's internal count must agree with the frame count
+        // (already capped by `max_block_values`) before the codec sizes its
+        // output.
+        if words.first().map(|&c| c as usize) != Some(count) && count > 0 {
+            return Err(Error::Corrupt("FastPFOR count mismatch"));
+        }
+        offsets.clear();
+        fastpfor::decode_into(&words, &mut offsets)?;
+        if offsets.len() != count {
+            return Err(Error::Corrupt("FastPFOR count mismatch"));
+        }
+        out.clear();
+        out.resize(count, 0);
+        for_delta::for_decode_into(base, &offsets, out);
+        Ok(())
+    })();
+    scratch.release_u32(words);
+    scratch.release_u32(offsets);
+    result
 }
 
 #[cfg(test)]

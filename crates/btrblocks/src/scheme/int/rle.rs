@@ -7,6 +7,7 @@
 
 use crate::config::Config;
 use crate::scheme;
+use crate::scratch::DecodeScratch;
 use crate::simd;
 use crate::writer::{Reader, WriteLe};
 use crate::{Error, Result};
@@ -38,26 +39,54 @@ pub fn compress(values: &[i32], child_depth: u8, cfg: &Config, out: &mut Vec<u8>
 
 /// Decompresses an RLE block of `count` values.
 pub fn decompress(r: &mut Reader<'_>, count: usize, cfg: &Config) -> Result<Vec<i32>> {
+    let mut scratch = DecodeScratch::new();
+    let mut out = Vec::new();
+    decompress_into(r, count, cfg, &mut scratch, &mut out)?;
+    Ok(out)
+}
+
+/// Decompresses an RLE block of `count` values into `out`, leasing the run
+/// arrays from `scratch` and returning them on every exit path.
+pub fn decompress_into(
+    r: &mut Reader<'_>,
+    count: usize,
+    cfg: &Config,
+    scratch: &mut DecodeScratch,
+    out: &mut Vec<i32>,
+) -> Result<()> {
     let run_count = r.u32()? as usize;
-    let run_values = scheme::decompress_int(r, cfg)?;
-    let run_lengths = scheme::decompress_int(r, cfg)?;
-    if run_values.len() != run_count || run_lengths.len() != run_count {
-        return Err(Error::Corrupt("RLE run array length mismatch"));
-    }
-    let mut total = 0usize;
-    let mut lengths = Vec::with_capacity(run_count);
-    for &l in &run_lengths {
-        if l < 0 {
-            return Err(Error::Corrupt("negative RLE run length"));
+    // Capacity hints only — the cascade fills to whatever the child frames
+    // say. Clamp so a hostile run_count can't force a huge lease.
+    let hint = run_count.min(count);
+    let mut run_values = scratch.lease_i32(hint);
+    let mut run_lengths = scratch.lease_i32(hint);
+    let mut lengths = scratch.lease_u32(hint);
+    let result = (|| -> Result<()> {
+        scheme::decompress_int_into(r, cfg, scratch, &mut run_values)?;
+        scheme::decompress_int_into(r, cfg, scratch, &mut run_lengths)?;
+        if run_values.len() != run_count || run_lengths.len() != run_count {
+            return Err(Error::Corrupt("RLE run array length mismatch"));
         }
-        total += l as usize;
-        // lint: allow(cast) l was checked non-negative above
-        lengths.push(l as u32);
-    }
-    if total != count {
-        return Err(Error::Corrupt("RLE total length mismatch"));
-    }
-    Ok(simd::rle_decode_i32(&run_values, &lengths, total, cfg.simd))
+        let mut total = 0usize;
+        lengths.clear();
+        for &l in run_lengths.iter() {
+            if l < 0 {
+                return Err(Error::Corrupt("negative RLE run length"));
+            }
+            total += l as usize;
+            // lint: allow(cast) l was checked non-negative above
+            lengths.push(l as u32);
+        }
+        if total != count {
+            return Err(Error::Corrupt("RLE total length mismatch"));
+        }
+        simd::rle_decode_i32_into(&run_values, &lengths, total, cfg.simd, out);
+        Ok(())
+    })();
+    scratch.release_i32(run_values);
+    scratch.release_i32(run_lengths);
+    scratch.release_u32(lengths);
+    result
 }
 
 #[cfg(test)]

@@ -1,5 +1,7 @@
 //! Raw integer storage — the depth-0 fallback and last-resort scheme.
 
+use crate::config::Config;
+use crate::scratch::DecodeScratch;
 use crate::writer::{Reader, WriteLe};
 use crate::Result;
 
@@ -11,6 +13,17 @@ pub fn compress(values: &[i32], out: &mut Vec<u8>) {
 /// Reads `count` raw integers.
 pub fn decompress(r: &mut Reader<'_>, count: usize) -> Result<Vec<i32>> {
     r.i32_vec(count)
+}
+
+/// Reads `count` raw integers into `out`, reusing its capacity.
+pub fn decompress_into(
+    r: &mut Reader<'_>,
+    count: usize,
+    _cfg: &Config,
+    _scratch: &mut DecodeScratch,
+    out: &mut Vec<i32>,
+) -> Result<()> {
+    r.i32_vec_into(count, out)
 }
 
 #[cfg(test)]

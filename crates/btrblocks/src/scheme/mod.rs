@@ -19,10 +19,25 @@ pub mod str;
 
 use crate::config::Config;
 use crate::sampling;
+use crate::scratch::DecodeScratch;
 use crate::stats::{DoubleStats, IntegerStats, StringStats};
 use crate::types::{ColumnType, StringArena, StringViews};
 use crate::writer::{Reader, WriteLe};
 use crate::{Error, Result};
+
+/// Reads and validates one framed block header: `[scheme code: u8][count: u32]`.
+///
+/// Centralizes the `count > cfg.max_block_values` cap check that every
+/// cascade level must apply before trusting a length field enough to size
+/// buffers from it.
+pub fn read_frame_header(r: &mut Reader<'_>, cfg: &Config) -> Result<(SchemeCode, usize)> {
+    let code = SchemeCode::from_u8(r.u8()?)?;
+    let count = r.u32()? as usize;
+    if count > cfg.max_block_values {
+        return Err(Error::Corrupt("block claims more values than max_block_values"));
+    }
+    Ok((code, count))
+}
 
 /// Identifies an encoding scheme in the serialized format.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -256,21 +271,31 @@ pub fn compress_int_with(code: SchemeCode, values: &[i32], depth: u8, cfg: &Conf
     }
 }
 
-/// Decompresses one framed integer block from `r`.
+/// Decompresses one framed integer block from `r` into a fresh vector.
 pub fn decompress_int(r: &mut Reader<'_>, cfg: &Config) -> Result<Vec<i32>> {
-    let code = SchemeCode::from_u8(r.u8()?)?;
-    let count = r.u32()? as usize;
-    if count > cfg.max_block_values {
-        return Err(Error::Corrupt("block claims more values than max_block_values"));
-    }
+    let mut scratch = DecodeScratch::new();
+    let mut out = Vec::new();
+    decompress_int_into(r, cfg, &mut scratch, &mut out)?;
+    Ok(out)
+}
+
+/// Decompresses one framed integer block from `r` into `out` (cleared
+/// first), leasing cascade temporaries from `scratch` instead of allocating.
+pub fn decompress_int_into(
+    r: &mut Reader<'_>,
+    cfg: &Config,
+    scratch: &mut DecodeScratch,
+    out: &mut Vec<i32>,
+) -> Result<()> {
+    let (code, count) = read_frame_header(r, cfg)?;
     match code {
-        SchemeCode::Uncompressed => int::uncompressed::decompress(r, count),
-        SchemeCode::OneValue => int::onevalue::decompress(r, count),
-        SchemeCode::Rle => int::rle::decompress(r, count, cfg),
-        SchemeCode::Dict => int::dict::decompress(r, count, cfg),
-        SchemeCode::Frequency => int::frequency::decompress(r, count, cfg),
-        SchemeCode::FastPfor => int::pfor::decompress(r, count),
-        SchemeCode::FastBp128 => int::bp::decompress(r, count),
+        SchemeCode::Uncompressed => int::uncompressed::decompress_into(r, count, cfg, scratch, out),
+        SchemeCode::OneValue => int::onevalue::decompress_into(r, count, cfg, scratch, out),
+        SchemeCode::Rle => int::rle::decompress_into(r, count, cfg, scratch, out),
+        SchemeCode::Dict => int::dict::decompress_into(r, count, cfg, scratch, out),
+        SchemeCode::Frequency => int::frequency::decompress_into(r, count, cfg, scratch, out),
+        SchemeCode::FastPfor => int::pfor::decompress_into(r, count, cfg, scratch, out),
+        SchemeCode::FastBp128 => int::bp::decompress_into(r, count, cfg, scratch, out),
         other => Err(Error::InvalidScheme(other.as_u8())),
     }
 }
@@ -363,20 +388,30 @@ pub fn compress_double_with(code: SchemeCode, values: &[f64], depth: u8, cfg: &C
     }
 }
 
-/// Decompresses one framed double block from `r`.
+/// Decompresses one framed double block from `r` into a fresh vector.
 pub fn decompress_double(r: &mut Reader<'_>, cfg: &Config) -> Result<Vec<f64>> {
-    let code = SchemeCode::from_u8(r.u8()?)?;
-    let count = r.u32()? as usize;
-    if count > cfg.max_block_values {
-        return Err(Error::Corrupt("block claims more values than max_block_values"));
-    }
+    let mut scratch = DecodeScratch::new();
+    let mut out = Vec::new();
+    decompress_double_into(r, cfg, &mut scratch, &mut out)?;
+    Ok(out)
+}
+
+/// Decompresses one framed double block from `r` into `out` (cleared first),
+/// leasing cascade temporaries from `scratch` instead of allocating.
+pub fn decompress_double_into(
+    r: &mut Reader<'_>,
+    cfg: &Config,
+    scratch: &mut DecodeScratch,
+    out: &mut Vec<f64>,
+) -> Result<()> {
+    let (code, count) = read_frame_header(r, cfg)?;
     match code {
-        SchemeCode::Uncompressed => double::uncompressed::decompress(r, count),
-        SchemeCode::OneValue => double::onevalue::decompress(r, count),
-        SchemeCode::Rle => double::rle::decompress(r, count, cfg),
-        SchemeCode::Dict => double::dict::decompress(r, count, cfg),
-        SchemeCode::Frequency => double::frequency::decompress(r, count, cfg),
-        SchemeCode::Pseudodecimal => double::decimal::decompress(r, count, cfg),
+        SchemeCode::Uncompressed => double::uncompressed::decompress_into(r, count, cfg, scratch, out),
+        SchemeCode::OneValue => double::onevalue::decompress_into(r, count, cfg, scratch, out),
+        SchemeCode::Rle => double::rle::decompress_into(r, count, cfg, scratch, out),
+        SchemeCode::Dict => double::dict::decompress_into(r, count, cfg, scratch, out),
+        SchemeCode::Frequency => double::frequency::decompress_into(r, count, cfg, scratch, out),
+        SchemeCode::Pseudodecimal => double::decimal::decompress_into(r, count, cfg, scratch, out),
         other => Err(Error::InvalidScheme(other.as_u8())),
     }
 }
@@ -474,19 +509,29 @@ pub fn compress_str_with(code: SchemeCode, arena: &StringArena, depth: u8, cfg: 
     }
 }
 
-/// Decompresses one framed string block from `r`.
+/// Decompresses one framed string block from `r` into fresh views.
 pub fn decompress_str(r: &mut Reader<'_>, cfg: &Config) -> Result<StringViews> {
-    let code = SchemeCode::from_u8(r.u8()?)?;
-    let count = r.u32()? as usize;
-    if count > cfg.max_block_values {
-        return Err(Error::Corrupt("block claims more values than max_block_values"));
-    }
+    let mut scratch = DecodeScratch::new();
+    let mut out = StringViews::default();
+    decompress_str_into(r, cfg, &mut scratch, &mut out)?;
+    Ok(out)
+}
+
+/// Decompresses one framed string block from `r` into `out` (its pool and
+/// views are cleared first), leasing cascade temporaries from `scratch`.
+pub fn decompress_str_into(
+    r: &mut Reader<'_>,
+    cfg: &Config,
+    scratch: &mut DecodeScratch,
+    out: &mut StringViews,
+) -> Result<()> {
+    let (code, count) = read_frame_header(r, cfg)?;
     match code {
-        SchemeCode::Uncompressed => str::uncompressed::decompress(r, count),
-        SchemeCode::OneValue => str::onevalue::decompress(r, count),
-        SchemeCode::Dict => str::dict::decompress(r, count, cfg),
-        SchemeCode::DictFsst => str::dict_fsst::decompress(r, count, cfg),
-        SchemeCode::Fsst => str::fsst::decompress(r, count, cfg),
+        SchemeCode::Uncompressed => str::uncompressed::decompress_into(r, count, cfg, scratch, out),
+        SchemeCode::OneValue => str::onevalue::decompress_into(r, count, cfg, scratch, out),
+        SchemeCode::Dict => str::dict::decompress_into(r, count, cfg, scratch, out),
+        SchemeCode::DictFsst => str::dict_fsst::decompress_into(r, count, cfg, scratch, out),
+        SchemeCode::Fsst => str::fsst::decompress_into(r, count, cfg, scratch, out),
         other => Err(Error::InvalidScheme(other.as_u8())),
     }
 }

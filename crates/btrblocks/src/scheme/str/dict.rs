@@ -13,6 +13,7 @@
 
 use crate::config::Config;
 use crate::scheme::{self, SchemeCode};
+use crate::scratch::DecodeScratch;
 use crate::simd;
 use crate::types::{StringArena, StringViews};
 use crate::writer::{Reader, WriteLe};
@@ -54,20 +55,43 @@ pub(crate) fn write_dict(dict: &StringArena, out: &mut Vec<u8>) {
 }
 
 pub(crate) fn read_dict(r: &mut Reader<'_>) -> Result<(Vec<u8>, Vec<u64>)> {
+    let mut scratch = DecodeScratch::new();
+    let mut pool = Vec::new();
+    let mut views = Vec::new();
+    read_dict_into(r, &mut scratch, &mut pool, &mut views)?;
+    Ok((pool, views))
+}
+
+/// Reads a serialized dictionary into reusable `pool`/`views` buffers,
+/// leasing the offset temporary from `scratch`.
+pub(crate) fn read_dict_into(
+    r: &mut Reader<'_>,
+    scratch: &mut DecodeScratch,
+    pool: &mut Vec<u8>,
+    views: &mut Vec<u64>,
+) -> Result<()> {
     let dict_n = r.u32()? as usize;
     let pool_len = r.u32()? as usize;
-    let pool = r.take(pool_len)?.to_vec();
-    let offsets = r.u32_vec(dict_n + 1)?;
-    let mut views = Vec::with_capacity(dict_n);
-    for w in offsets.windows(2) {
-        // lint: allow(indexing) windows(2) yields exactly 2 elements
-        if w[1] < w[0] || w[1] as usize > pool_len {
-            return Err(Error::Corrupt("dict offsets not monotone"));
+    let pool_bytes = r.take(pool_len)?;
+    pool.clear();
+    pool.extend_from_slice(pool_bytes);
+    let mut offsets = scratch.lease_u32(dict_n.min(r.remaining() / 4) + 1);
+    let result = (|| -> Result<()> {
+        r.u32_vec_into(dict_n + 1, &mut offsets)?;
+        views.clear();
+        views.reserve(dict_n);
+        for w in offsets.windows(2) {
+            // lint: allow(indexing) windows(2) yields exactly 2 elements
+            if w[1] < w[0] || w[1] as usize > pool_len {
+                return Err(Error::Corrupt("dict offsets not monotone"));
+            }
+            // lint: allow(indexing) windows(2) yields exactly 2 elements
+            views.push(StringViews::pack(w[0], w[1] - w[0]));
         }
-        // lint: allow(indexing) windows(2) yields exactly 2 elements
-        views.push(StringViews::pack(w[0], w[1] - w[0]));
-    }
-    Ok((pool, views))
+        Ok(())
+    })();
+    scratch.release_u32(offsets);
+    result
 }
 
 /// Decodes a cascaded code sequence into views, fusing RLE+Dict when the
@@ -78,56 +102,92 @@ pub(crate) fn decode_codes_to_views(
     cfg: &Config,
     dict_views: &[u64],
 ) -> Result<Vec<u64>> {
+    let mut scratch = DecodeScratch::new();
+    let mut out = Vec::new();
+    decode_codes_to_views_into(r, count, cfg, dict_views, &mut scratch, &mut out)?;
+    Ok(out)
+}
+
+/// [`decode_codes_to_views`] decoding into `out` with scratch-leased
+/// temporaries (the fused path's run arrays, the generic path's code arrays).
+pub(crate) fn decode_codes_to_views_into(
+    r: &mut Reader<'_>,
+    count: usize,
+    cfg: &Config,
+    dict_views: &[u64],
+    scratch: &mut DecodeScratch,
+    out: &mut Vec<u64>,
+) -> Result<()> {
     // Peek the child frame to detect the RLE fusion opportunity.
     let mut peek = r.clone();
-    let child_code = SchemeCode::from_u8(peek.u8()?)?;
+    let (child_code, child_count) = scheme::read_frame_header(&mut peek, cfg)?;
     if child_code == SchemeCode::Rle {
-        let child_count = peek.u32()? as usize;
         let run_count = peek.u32()? as usize;
         if child_count == count
             && run_count > 0
             && count as f64 / run_count as f64 > cfg.fused_rle_dict_min_run
         {
-            let run_values = scheme::decompress_int(&mut peek, cfg)?;
-            let run_lengths = scheme::decompress_int(&mut peek, cfg)?;
-            if run_values.len() != run_count || run_lengths.len() != run_count {
-                return Err(Error::Corrupt("fused RLE run array mismatch"));
-            }
-            // Dictionary lookup per run, then splat-store the views.
-            let mut total = 0usize;
-            let mut run_views = Vec::with_capacity(run_count);
-            let mut lengths = Vec::with_capacity(run_count);
-            for (&code, &len) in run_values.iter().zip(&run_lengths) {
-                if code < 0 || code as usize >= dict_views.len() || len < 0 {
-                    return Err(Error::Corrupt("fused RLE dict code out of range"));
+            let hint = run_count.min(count);
+            let mut run_values = scratch.lease_i32(hint);
+            let mut run_lengths = scratch.lease_i32(hint);
+            let mut run_views = scratch.lease_u64(hint);
+            let mut lengths = scratch.lease_u32(hint);
+            let result = (|| -> Result<()> {
+                scheme::decompress_int_into(&mut peek, cfg, scratch, &mut run_values)?;
+                scheme::decompress_int_into(&mut peek, cfg, scratch, &mut run_lengths)?;
+                if run_values.len() != run_count || run_lengths.len() != run_count {
+                    return Err(Error::Corrupt("fused RLE run array mismatch"));
                 }
-                // lint: allow(indexing) code was range-checked against dict_views.len() above
-                run_views.push(dict_views[code as usize]);
-                // lint: allow(cast) len was checked non-negative above
-                lengths.push(len as u32);
-                total += len as usize;
-            }
-            if total != count {
-                return Err(Error::Corrupt("fused RLE total mismatch"));
-            }
-            *r = peek;
-            return Ok(simd::rle_decode_u64(&run_views, &lengths, total, cfg.simd));
+                // Dictionary lookup per run, then splat-store the views.
+                let mut total = 0usize;
+                run_views.clear();
+                lengths.clear();
+                for (&code, &len) in run_values.iter().zip(run_lengths.iter()) {
+                    if code < 0 || code as usize >= dict_views.len() || len < 0 {
+                        return Err(Error::Corrupt("fused RLE dict code out of range"));
+                    }
+                    // lint: allow(indexing) code was range-checked against dict_views.len() above
+                    run_views.push(dict_views[code as usize]);
+                    // lint: allow(cast) len was checked non-negative above
+                    lengths.push(len as u32);
+                    total += len as usize;
+                }
+                if total != count {
+                    return Err(Error::Corrupt("fused RLE total mismatch"));
+                }
+                *r = peek;
+                simd::rle_decode_u64_into(&run_views, &lengths, total, cfg.simd, out);
+                Ok(())
+            })();
+            scratch.release_i32(run_values);
+            scratch.release_i32(run_lengths);
+            scratch.release_u64(run_views);
+            scratch.release_u32(lengths);
+            return result;
         }
     }
     // Generic path: decode codes, then gather views.
-    let codes = scheme::decompress_int(r, cfg)?;
-    if codes.len() != count {
-        return Err(Error::Corrupt("string dict code count mismatch"));
-    }
-    let mut codes_u32 = Vec::with_capacity(codes.len());
-    for &c in &codes {
-        if c < 0 || c as usize >= dict_views.len() {
-            return Err(Error::Corrupt("string dict code out of range"));
+    let mut codes = scratch.lease_i32(count);
+    let mut codes_u32 = scratch.lease_u32(count);
+    let result = (|| -> Result<()> {
+        scheme::decompress_int_into(r, cfg, scratch, &mut codes)?;
+        if codes.len() != count {
+            return Err(Error::Corrupt("string dict code count mismatch"));
         }
-        // lint: allow(cast) c was range-checked non-negative and < dict len above
-        codes_u32.push(c as u32);
-    }
-    Ok(simd::dict_decode_u64(&codes_u32, dict_views, cfg.simd))
+        codes_u32.clear();
+        for &c in codes.iter() {
+            if c < 0 || c as usize >= dict_views.len() {
+                return Err(Error::Corrupt("string dict code out of range"));
+            }
+            // lint: allow(cast) c was range-checked non-negative and < dict len above
+            codes_u32.push(c as u32);
+        }
+        simd::dict_decode_u64_into(&codes_u32, dict_views, cfg.simd, out);
+        Ok(())
+    })();
+    scratch.release_i32(codes);
+    scratch.release_u32(codes_u32);
+    result
 }
 
 /// Decompresses a dictionary block of `count` strings.
@@ -135,6 +195,27 @@ pub fn decompress(r: &mut Reader<'_>, count: usize, cfg: &Config) -> Result<Stri
     let (pool, dict_views) = read_dict(r)?;
     let views = decode_codes_to_views(r, count, cfg, &dict_views)?;
     Ok(StringViews { pool, views })
+}
+
+/// Decompresses a dictionary block of `count` strings into `out`, reusing
+/// its pool/view buffers and leasing the dictionary views from `scratch`.
+pub fn decompress_into(
+    r: &mut Reader<'_>,
+    count: usize,
+    cfg: &Config,
+    scratch: &mut DecodeScratch,
+    out: &mut StringViews,
+) -> Result<()> {
+    // Peek the entry count for a sized lease (a 0-cap lease would grab the
+    // largest pooled u64 buffer, starving the fused path's run views).
+    let dict_n = r.clone().u32()? as usize;
+    let mut dict_views = scratch.lease_u64(dict_n.min(r.remaining() / 4));
+    let result = (|| -> Result<()> {
+        read_dict_into(r, scratch, &mut out.pool, &mut dict_views)?;
+        decode_codes_to_views_into(r, count, cfg, &dict_views, scratch, &mut out.views)
+    })();
+    scratch.release_u64(dict_views);
+    result
 }
 
 #[cfg(test)]

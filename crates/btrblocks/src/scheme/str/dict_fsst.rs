@@ -13,6 +13,7 @@
 
 use crate::config::Config;
 use crate::scheme;
+use crate::scratch::DecodeScratch;
 use crate::types::{StringArena, StringViews};
 use crate::writer::{Reader, WriteLe};
 use crate::{Error, Result};
@@ -45,30 +46,57 @@ pub fn compress(arena: &StringArena, child_depth: u8, cfg: &Config, out: &mut Ve
 
 /// Decompresses a Dict+FSST block of `count` strings.
 pub fn decompress(r: &mut Reader<'_>, count: usize, cfg: &Config) -> Result<StringViews> {
+    let mut scratch = DecodeScratch::new();
+    let mut out = StringViews::default();
+    decompress_into(r, count, cfg, &mut scratch, &mut out)?;
+    Ok(out)
+}
+
+/// Decompresses a Dict+FSST block of `count` strings into `out`, reusing its
+/// pool/view buffers and leasing the length and dictionary-view temporaries
+/// from `scratch`. The symbol table itself still deserializes into fresh
+/// storage — the one allocation this scheme keeps.
+pub fn decompress_into(
+    r: &mut Reader<'_>,
+    count: usize,
+    cfg: &Config,
+    scratch: &mut DecodeScratch,
+    out: &mut StringViews,
+) -> Result<()> {
     let dict_n = r.u32()? as usize;
     let table_len = r.u32()? as usize;
     let table = SymbolTable::deserialize(r.take(table_len)?)?;
     let comp_len = r.u32()? as usize;
     let compressed = r.take(comp_len)?;
-    let lengths = r.u32_vec(dict_n)?;
-    // Single FSST call for the whole dictionary pool.
-    let mut pool = Vec::new();
-    table.decompress(compressed, &mut pool)?;
-    let mut dict_views = Vec::with_capacity(dict_n);
-    // Accumulate in u32 with checked adds: hostile lengths summing past
-    // u32::MAX must be a corruption error, not a silently truncated view.
-    let mut off = 0u32;
-    for &l in &lengths {
-        dict_views.push(StringViews::pack(off, l));
-        off = off
-            .checked_add(l)
-            .ok_or(Error::Corrupt("dict+fsst pool length overflow"))?;
-    }
-    if off as usize != pool.len() {
-        return Err(Error::Corrupt("dict+fsst pool length mismatch"));
-    }
-    let views = super::dict::decode_codes_to_views(r, count, cfg, &dict_views)?;
-    Ok(StringViews { pool, views })
+    // Capacity hints only — clamp so a hostile dict_n can't force a huge
+    // lease before `take` inside `u32_vec_into` rejects the stream.
+    let hint = dict_n.min(r.remaining() / 4);
+    let mut lengths = scratch.lease_u32(hint);
+    let mut dict_views = scratch.lease_u64(hint);
+    let result = (|| -> Result<()> {
+        r.u32_vec_into(dict_n, &mut lengths)?;
+        // Single FSST call for the whole dictionary pool (decompress appends).
+        out.pool.clear();
+        table.decompress(compressed, &mut out.pool)?;
+        dict_views.clear();
+        dict_views.reserve(dict_n);
+        // Accumulate in u32 with checked adds: hostile lengths summing past
+        // u32::MAX must be a corruption error, not a silently truncated view.
+        let mut off = 0u32;
+        for &l in lengths.iter() {
+            dict_views.push(StringViews::pack(off, l));
+            off = off
+                .checked_add(l)
+                .ok_or(Error::Corrupt("dict+fsst pool length overflow"))?;
+        }
+        if off as usize != out.pool.len() {
+            return Err(Error::Corrupt("dict+fsst pool length mismatch"));
+        }
+        super::dict::decode_codes_to_views_into(r, count, cfg, &dict_views, scratch, &mut out.views)
+    })();
+    scratch.release_u32(lengths);
+    scratch.release_u64(dict_views);
+    result
 }
 
 #[cfg(test)]

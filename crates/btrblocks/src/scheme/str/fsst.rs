@@ -12,6 +12,7 @@
 
 use crate::config::Config;
 use crate::scheme;
+use crate::scratch::DecodeScratch;
 use crate::types::{StringArena, StringViews};
 use crate::writer::{Reader, WriteLe};
 use crate::{Error, Result};
@@ -40,32 +41,56 @@ pub fn compress(arena: &StringArena, child_depth: u8, cfg: &Config, out: &mut Ve
 
 /// Decompresses an FSST block of `count` strings.
 pub fn decompress(r: &mut Reader<'_>, count: usize, cfg: &Config) -> Result<StringViews> {
+    let mut scratch = DecodeScratch::new();
+    let mut out = StringViews::default();
+    decompress_into(r, count, cfg, &mut scratch, &mut out)?;
+    Ok(out)
+}
+
+/// Decompresses an FSST block of `count` strings into `out`, reusing its
+/// pool/view buffers and leasing the length temporary from `scratch`. The
+/// symbol table itself still deserializes into fresh storage — the one
+/// allocation this scheme keeps.
+pub fn decompress_into(
+    r: &mut Reader<'_>,
+    count: usize,
+    cfg: &Config,
+    scratch: &mut DecodeScratch,
+    out: &mut StringViews,
+) -> Result<()> {
     let table_len = r.u32()? as usize;
     let table = SymbolTable::deserialize(r.take(table_len)?)?;
     let comp_len = r.u32()? as usize;
     let compressed = r.take(comp_len)?;
-    let lengths = scheme::decompress_int(r, cfg)?;
-    if lengths.len() != count {
-        return Err(Error::Corrupt("fsst length count mismatch"));
-    }
-    // One decompression call for the whole block.
-    let mut pool = Vec::new();
-    table.decompress(compressed, &mut pool)?;
-    let mut views = Vec::with_capacity(count);
-    // Accumulate in u32 with checked adds: hostile lengths summing past
-    // u32::MAX must be a corruption error, not a silently truncated view.
-    let mut off = 0u32;
-    for &l in &lengths {
-        let len = u32::try_from(l).map_err(|_| Error::Corrupt("negative fsst string length"))?;
-        views.push(StringViews::pack(off, len));
-        off = off
-            .checked_add(len)
-            .ok_or(Error::Corrupt("fsst pool length overflow"))?;
-    }
-    if off as usize != pool.len() {
-        return Err(Error::Corrupt("fsst pool length mismatch"));
-    }
-    Ok(StringViews { pool, views })
+    let mut lengths = scratch.lease_i32(count);
+    let result = (|| -> Result<()> {
+        scheme::decompress_int_into(r, cfg, scratch, &mut lengths)?;
+        if lengths.len() != count {
+            return Err(Error::Corrupt("fsst length count mismatch"));
+        }
+        // One decompression call for the whole block (decompress appends).
+        out.pool.clear();
+        table.decompress(compressed, &mut out.pool)?;
+        out.views.clear();
+        out.views.reserve(count);
+        // Accumulate in u32 with checked adds: hostile lengths summing past
+        // u32::MAX must be a corruption error, not a silently truncated view.
+        let mut off = 0u32;
+        for &l in lengths.iter() {
+            let len =
+                u32::try_from(l).map_err(|_| Error::Corrupt("negative fsst string length"))?;
+            out.views.push(StringViews::pack(off, len));
+            off = off
+                .checked_add(len)
+                .ok_or(Error::Corrupt("fsst pool length overflow"))?;
+        }
+        if off as usize != out.pool.len() {
+            return Err(Error::Corrupt("fsst pool length mismatch"));
+        }
+        Ok(())
+    })();
+    scratch.release_i32(lengths);
+    result
 }
 
 #[cfg(test)]

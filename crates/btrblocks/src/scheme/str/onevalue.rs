@@ -1,5 +1,7 @@
 //! One Value for strings: the whole block is one repeated string.
 
+use crate::config::Config;
+use crate::scratch::DecodeScratch;
 use crate::types::{StringArena, StringViews};
 use crate::writer::{Reader, WriteLe};
 use crate::Result;
@@ -15,13 +17,27 @@ pub fn compress(arena: &StringArena, out: &mut Vec<u8>) {
 
 /// Expands the stored string `count` times (all views share one pool entry).
 pub fn decompress(r: &mut Reader<'_>, count: usize) -> Result<StringViews> {
+    let mut scratch = DecodeScratch::new();
+    let mut out = StringViews::default();
+    decompress_into(r, count, &Config::default(), &mut scratch, &mut out)?;
+    Ok(out)
+}
+
+/// Expands the stored string `count` times into `out`, reusing its buffers.
+pub fn decompress_into(
+    r: &mut Reader<'_>,
+    count: usize,
+    _cfg: &Config,
+    _scratch: &mut DecodeScratch,
+    out: &mut StringViews,
+) -> Result<()> {
     let len = r.u32()?;
-    let pool = r.take(len as usize)?.to_vec();
-    let view = StringViews::pack(0, len);
-    Ok(StringViews {
-        pool,
-        views: vec![view; count],
-    })
+    let bytes = r.take(len as usize)?;
+    out.pool.clear();
+    out.pool.extend_from_slice(bytes);
+    out.views.clear();
+    out.views.resize(count, StringViews::pack(0, len));
+    Ok(())
 }
 
 #[cfg(test)]

@@ -1,5 +1,7 @@
 //! Raw string storage: offsets + byte pool.
 
+use crate::config::Config;
+use crate::scratch::DecodeScratch;
 use crate::types::{StringArena, StringViews};
 use crate::writer::{Reader, WriteLe};
 use crate::{Error, Result};
@@ -14,19 +16,42 @@ pub fn compress(arena: &StringArena, out: &mut Vec<u8>) {
 
 /// Reads `count` raw strings as views over the embedded pool.
 pub fn decompress(r: &mut Reader<'_>, count: usize) -> Result<StringViews> {
+    let mut scratch = DecodeScratch::new();
+    let mut out = StringViews::default();
+    decompress_into(r, count, &Config::default(), &mut scratch, &mut out)?;
+    Ok(out)
+}
+
+/// Reads `count` raw strings into `out`, reusing its pool and view buffers
+/// and leasing the offset temporary from `scratch`.
+pub fn decompress_into(
+    r: &mut Reader<'_>,
+    count: usize,
+    _cfg: &Config,
+    scratch: &mut DecodeScratch,
+    out: &mut StringViews,
+) -> Result<()> {
     let pool_len = r.u32()? as usize;
-    let pool = r.take(pool_len)?.to_vec();
-    let offsets = r.u32_vec(count + 1)?;
-    let mut views = Vec::with_capacity(count);
-    for w in offsets.windows(2) {
-        // lint: allow(indexing) windows(2) yields exactly 2 elements
-        let (start, end) = (w[0], w[1]);
-        if end < start || end as usize > pool_len {
-            return Err(Error::Corrupt("string offsets not monotone"));
+    let pool_bytes = r.take(pool_len)?;
+    out.pool.clear();
+    out.pool.extend_from_slice(pool_bytes);
+    let mut offsets = scratch.lease_u32(count + 1);
+    let result = (|| -> Result<()> {
+        r.u32_vec_into(count + 1, &mut offsets)?;
+        out.views.clear();
+        out.views.reserve(count);
+        for w in offsets.windows(2) {
+            // lint: allow(indexing) windows(2) yields exactly 2 elements
+            let (start, end) = (w[0], w[1]);
+            if end < start || end as usize > pool_len {
+                return Err(Error::Corrupt("string offsets not monotone"));
+            }
+            out.views.push(StringViews::pack(start, end - start));
         }
-        views.push(StringViews::pack(start, end - start));
-    }
-    Ok(StringViews { pool, views })
+        Ok(())
+    })();
+    scratch.release_u32(offsets);
+    result
 }
 
 #[cfg(test)]

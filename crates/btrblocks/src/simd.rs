@@ -42,8 +42,23 @@ pub fn avx2_available() -> bool {
 
 /// Decodes RLE runs of i32 into a fresh vector of `total` values.
 pub fn rle_decode_i32(values: &[i32], lengths: &[u32], total: usize, mode: SimdMode) -> Vec<i32> {
+    let mut out = Vec::new();
+    rle_decode_i32_into(values, lengths, total, mode, &mut out);
+    out
+}
+
+/// Decodes RLE runs of i32 into `out`, clearing it first and reusing its
+/// capacity (plus [`DECODE_SLACK`] for the splat-store overshoot).
+pub fn rle_decode_i32_into(
+    values: &[i32],
+    lengths: &[u32],
+    total: usize,
+    mode: SimdMode,
+    out: &mut Vec<i32>,
+) {
     debug_assert_eq!(values.len(), lengths.len());
-    let mut out: Vec<i32> = Vec::with_capacity(total + DECODE_SLACK);
+    out.clear();
+    out.reserve(total + DECODE_SLACK);
     #[cfg(target_arch = "x86_64")]
     if use_avx2(mode) {
         // SAFETY: capacity reserved above includes DECODE_SLACK; lengths sum
@@ -52,20 +67,33 @@ pub fn rle_decode_i32(values: &[i32], lengths: &[u32], total: usize, mode: SimdM
             rle_decode_i32_avx2(values, lengths, out.as_mut_ptr());
             out.set_len(total);
         }
-        return out;
+        return;
     }
     let _ = mode;
     for (&v, &l) in values.iter().zip(lengths) {
         out.extend(std::iter::repeat_n(v, l as usize));
     }
     debug_assert_eq!(out.len(), total);
-    out
 }
 
 /// Decodes RLE runs of f64 into a fresh vector of `total` values.
 pub fn rle_decode_f64(values: &[f64], lengths: &[u32], total: usize, mode: SimdMode) -> Vec<f64> {
+    let mut out = Vec::new();
+    rle_decode_f64_into(values, lengths, total, mode, &mut out);
+    out
+}
+
+/// Decodes RLE runs of f64 into `out`; see [`rle_decode_i32_into`].
+pub fn rle_decode_f64_into(
+    values: &[f64],
+    lengths: &[u32],
+    total: usize,
+    mode: SimdMode,
+    out: &mut Vec<f64>,
+) {
     debug_assert_eq!(values.len(), lengths.len());
-    let mut out: Vec<f64> = Vec::with_capacity(total + DECODE_SLACK);
+    out.clear();
+    out.reserve(total + DECODE_SLACK);
     #[cfg(target_arch = "x86_64")]
     if use_avx2(mode) {
         // SAFETY: as above.
@@ -73,20 +101,33 @@ pub fn rle_decode_f64(values: &[f64], lengths: &[u32], total: usize, mode: SimdM
             rle_decode_f64_avx2(values, lengths, out.as_mut_ptr());
             out.set_len(total);
         }
-        return out;
+        return;
     }
     let _ = mode;
     for (&v, &l) in values.iter().zip(lengths) {
         out.extend(std::iter::repeat_n(v, l as usize));
     }
     debug_assert_eq!(out.len(), total);
-    out
 }
 
 /// Decodes RLE runs of u64 (used for fused RLE+Dict string views).
 pub fn rle_decode_u64(values: &[u64], lengths: &[u32], total: usize, mode: SimdMode) -> Vec<u64> {
+    let mut out = Vec::new();
+    rle_decode_u64_into(values, lengths, total, mode, &mut out);
+    out
+}
+
+/// Decodes RLE runs of u64 into `out`; see [`rle_decode_i32_into`].
+pub fn rle_decode_u64_into(
+    values: &[u64],
+    lengths: &[u32],
+    total: usize,
+    mode: SimdMode,
+    out: &mut Vec<u64>,
+) {
     debug_assert_eq!(values.len(), lengths.len());
-    let mut out: Vec<u64> = Vec::with_capacity(total + DECODE_SLACK);
+    out.clear();
+    out.reserve(total + DECODE_SLACK);
     #[cfg(target_arch = "x86_64")]
     if use_avx2(mode) {
         // SAFETY: as above.
@@ -94,14 +135,13 @@ pub fn rle_decode_u64(values: &[u64], lengths: &[u32], total: usize, mode: SimdM
             rle_decode_u64_avx2(values, lengths, out.as_mut_ptr());
             out.set_len(total);
         }
-        return out;
+        return;
     }
     let _ = mode;
     for (&v, &l) in values.iter().zip(lengths) {
         out.extend(std::iter::repeat_n(v, l as usize));
     }
     debug_assert_eq!(out.len(), total);
-    out
 }
 
 #[cfg(target_arch = "x86_64")]
@@ -165,7 +205,16 @@ unsafe fn rle_decode_u64_avx2(values: &[u64], lengths: &[u32], out: *mut u64) {
 
 /// Decodes dictionary codes to i32 values: `out[i] = dict[codes[i]]`.
 pub fn dict_decode_i32(codes: &[u32], dict: &[i32], mode: SimdMode) -> Vec<i32> {
-    let mut out: Vec<i32> = Vec::with_capacity(codes.len() + DECODE_SLACK);
+    let mut out = Vec::new();
+    dict_decode_i32_into(codes, dict, mode, &mut out);
+    out
+}
+
+/// Decodes dictionary codes to i32 values into `out`, clearing it first and
+/// reusing its capacity.
+pub fn dict_decode_i32_into(codes: &[u32], dict: &[i32], mode: SimdMode, out: &mut Vec<i32>) {
+    out.clear();
+    out.reserve(codes.len() + DECODE_SLACK);
     #[cfg(target_arch = "x86_64")]
     if use_avx2(mode) {
         // SAFETY: codes are validated against dict length by the caller.
@@ -173,17 +222,25 @@ pub fn dict_decode_i32(codes: &[u32], dict: &[i32], mode: SimdMode) -> Vec<i32> 
             dict_decode_i32_avx2(codes, dict, out.as_mut_ptr());
             out.set_len(codes.len());
         }
-        return out;
+        return;
     }
     let _ = mode;
     // lint: allow(indexing) hot path; codes validated < dict.len() by the block decoder
     out.extend(codes.iter().map(|&c| dict[c as usize]));
-    out
 }
 
 /// Decodes dictionary codes to f64 values.
 pub fn dict_decode_f64(codes: &[u32], dict: &[f64], mode: SimdMode) -> Vec<f64> {
-    let mut out: Vec<f64> = Vec::with_capacity(codes.len() + DECODE_SLACK);
+    let mut out = Vec::new();
+    dict_decode_f64_into(codes, dict, mode, &mut out);
+    out
+}
+
+/// Decodes dictionary codes to f64 values into `out`; see
+/// [`dict_decode_i32_into`].
+pub fn dict_decode_f64_into(codes: &[u32], dict: &[f64], mode: SimdMode, out: &mut Vec<f64>) {
+    out.clear();
+    out.reserve(codes.len() + DECODE_SLACK);
     #[cfg(target_arch = "x86_64")]
     if use_avx2(mode) {
         // SAFETY: as above.
@@ -191,18 +248,26 @@ pub fn dict_decode_f64(codes: &[u32], dict: &[f64], mode: SimdMode) -> Vec<f64> 
             dict_decode_f64_avx2(codes, dict, out.as_mut_ptr());
             out.set_len(codes.len());
         }
-        return out;
+        return;
     }
     let _ = mode;
     // lint: allow(indexing) hot path; codes validated < dict.len() by the block decoder
     out.extend(codes.iter().map(|&c| dict[c as usize]));
-    out
 }
 
 /// Decodes dictionary codes to u64 values (string `(offset, len)` views —
 /// the paper's copy-free string dictionary decode).
 pub fn dict_decode_u64(codes: &[u32], dict: &[u64], mode: SimdMode) -> Vec<u64> {
-    let mut out: Vec<u64> = Vec::with_capacity(codes.len() + DECODE_SLACK);
+    let mut out = Vec::new();
+    dict_decode_u64_into(codes, dict, mode, &mut out);
+    out
+}
+
+/// Decodes dictionary codes to u64 string views into `out`; see
+/// [`dict_decode_i32_into`].
+pub fn dict_decode_u64_into(codes: &[u32], dict: &[u64], mode: SimdMode, out: &mut Vec<u64>) {
+    out.clear();
+    out.reserve(codes.len() + DECODE_SLACK);
     #[cfg(target_arch = "x86_64")]
     if use_avx2(mode) {
         // SAFETY: as above.
@@ -210,12 +275,11 @@ pub fn dict_decode_u64(codes: &[u32], dict: &[u64], mode: SimdMode) -> Vec<u64> 
             dict_decode_u64_avx2(codes, dict, out.as_mut_ptr());
             out.set_len(codes.len());
         }
-        return out;
+        return;
     }
     let _ = mode;
     // lint: allow(indexing) hot path; codes validated < dict.len() by the block decoder
     out.extend(codes.iter().map(|&c| dict[c as usize]));
-    out
 }
 
 #[cfg(target_arch = "x86_64")]
@@ -371,6 +435,22 @@ mod tests {
                 assert_eq!(out.len(), n);
                 assert!(codes.iter().zip(&out).all(|(&c, &o)| dict[c as usize] == o));
             }
+        }
+    }
+
+    #[test]
+    fn into_variants_clear_dirty_buffers() {
+        let values = vec![5, -3];
+        let lengths = vec![3u32, 2];
+        let dict: Vec<i32> = (0..8).collect();
+        let codes = vec![3u32, 0, 7];
+        for mode in both_modes() {
+            let mut out = vec![42; 17];
+            rle_decode_i32_into(&values, &lengths, 5, mode, &mut out);
+            assert_eq!(out, vec![5, 5, 5, -3, -3]);
+            let mut out = vec![-1; 100];
+            dict_decode_i32_into(&codes, &dict, mode, &mut out);
+            assert_eq!(out, vec![3, 0, 7]);
         }
     }
 

@@ -282,6 +282,15 @@ impl DecodedColumn {
         self.len() == 0
     }
 
+    /// The column type this decoded block holds.
+    pub fn column_type(&self) -> ColumnType {
+        match self {
+            DecodedColumn::Int(_) => ColumnType::Integer,
+            DecodedColumn::Double(_) => ColumnType::Double,
+            DecodedColumn::Str(_) => ColumnType::String,
+        }
+    }
+
     /// Converts into owned [`ColumnData`] (materializes string views).
     pub fn into_column_data(self) -> ColumnData {
         match self {

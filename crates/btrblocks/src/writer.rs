@@ -120,30 +120,62 @@ impl<'a> Reader<'a> {
     }
 
     pub fn u32_vec(&mut self, count: usize) -> Result<Vec<u32>> {
-        let bytes = count.checked_mul(4).ok_or(Error::UnexpectedEnd)?;
-        let raw = self.take(bytes)?;
-        Ok(raw
-            .chunks_exact(4)
-            .map(|c| u32::from_le_bytes(c.try_into().unwrap_or_default()))
-            .collect())
+        let mut out = Vec::new();
+        self.u32_vec_into(count, &mut out)?;
+        Ok(out)
     }
 
     pub fn i32_vec(&mut self, count: usize) -> Result<Vec<i32>> {
-        let bytes = count.checked_mul(4).ok_or(Error::UnexpectedEnd)?;
-        let raw = self.take(bytes)?;
-        Ok(raw
-            .chunks_exact(4)
-            .map(|c| i32::from_le_bytes(c.try_into().unwrap_or_default()))
-            .collect())
+        let mut out = Vec::new();
+        self.i32_vec_into(count, &mut out)?;
+        Ok(out)
     }
 
     pub fn f64_vec(&mut self, count: usize) -> Result<Vec<f64>> {
+        let mut out = Vec::new();
+        self.f64_vec_into(count, &mut out)?;
+        Ok(out)
+    }
+
+    /// Reads `count` little-endian u32s into `out`, clearing it first.
+    /// Reuses `out`'s existing capacity — the zero-allocation decode path's
+    /// primitive reader. `out` is left empty on error.
+    pub fn u32_vec_into(&mut self, count: usize, out: &mut Vec<u32>) -> Result<()> {
+        out.clear();
+        let bytes = count.checked_mul(4).ok_or(Error::UnexpectedEnd)?;
+        let raw = self.take(bytes)?;
+        out.reserve(count);
+        out.extend(
+            raw.chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().unwrap_or_default())),
+        );
+        Ok(())
+    }
+
+    /// Reads `count` little-endian i32s into `out`; see [`Self::u32_vec_into`].
+    pub fn i32_vec_into(&mut self, count: usize, out: &mut Vec<i32>) -> Result<()> {
+        out.clear();
+        let bytes = count.checked_mul(4).ok_or(Error::UnexpectedEnd)?;
+        let raw = self.take(bytes)?;
+        out.reserve(count);
+        out.extend(
+            raw.chunks_exact(4)
+                .map(|c| i32::from_le_bytes(c.try_into().unwrap_or_default())),
+        );
+        Ok(())
+    }
+
+    /// Reads `count` little-endian f64s into `out`; see [`Self::u32_vec_into`].
+    pub fn f64_vec_into(&mut self, count: usize, out: &mut Vec<f64>) -> Result<()> {
+        out.clear();
         let bytes = count.checked_mul(8).ok_or(Error::UnexpectedEnd)?;
         let raw = self.take(bytes)?;
-        Ok(raw
-            .chunks_exact(8)
-            .map(|c| f64::from_le_bytes(c.try_into().unwrap_or_default()))
-            .collect())
+        out.reserve(count);
+        out.extend(
+            raw.chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().unwrap_or_default())),
+        );
+        Ok(())
     }
 
     /// Remaining unread bytes.
@@ -186,6 +218,21 @@ mod tests {
         assert_eq!(r.f64_vec(2).unwrap(), vec![0.5, -0.5]);
         assert_eq!(r.u32_vec(2).unwrap(), vec![10, 20]);
         assert!(r.rest().is_empty());
+    }
+
+    #[test]
+    fn vec_into_clears_dirty_buffers() {
+        let mut buf = Vec::new();
+        buf.put_i32_slice(&[4, 5]);
+        let mut out = vec![9, 9, 9, 9];
+        let mut r = Reader::new(&buf);
+        r.i32_vec_into(2, &mut out).unwrap();
+        assert_eq!(out, vec![4, 5]);
+        // Error paths leave the buffer empty, never with stale garbage.
+        let mut r = Reader::new(&buf);
+        let mut out = vec![9, 9];
+        assert!(r.i32_vec_into(3, &mut out).is_err());
+        assert!(out.is_empty());
     }
 
     #[test]

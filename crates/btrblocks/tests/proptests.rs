@@ -5,8 +5,8 @@
 use btr_corrupt::rng::Xorshift;
 use btrblocks::block::{compress_block, compress_block_with, decompress_block, BlockRef};
 use btrblocks::{
-    Column, ColumnData, ColumnType, Config, DecodedColumn, Relation, SchemeCode, SimdMode,
-    StringArena,
+    decompress_block_into, Column, ColumnData, ColumnType, Config, DecodeScratch, DecodedColumn,
+    Relation, SchemeCode, SimdMode, StringArena, StringViews,
 };
 
 const CASES: usize = 64;
@@ -255,6 +255,125 @@ fn relations_roundtrip_via_file_bytes() {
         let bytes = btrblocks::compress(&rel, &cfg).unwrap().to_bytes();
         let restored = btrblocks::decompress(&bytes, &cfg).unwrap();
         assert_eq!(rel, restored);
+    }
+}
+
+/// A deliberately filthy out-buffer of the right type: stale contents and
+/// odd capacities that `decompress_block_into` must fully overwrite.
+fn dirty_decoded(ty: ColumnType, rng: &mut Xorshift) -> DecodedColumn {
+    let junk = rng.gen_range(1..500usize);
+    match ty {
+        ColumnType::Integer => {
+            DecodedColumn::Int((0..junk).map(|_| rng.next_u32() as i32).collect())
+        }
+        ColumnType::Double => {
+            DecodedColumn::Double((0..junk).map(|_| f64::from_bits(rng.next_u64())).collect())
+        }
+        ColumnType::String => {
+            let mut pool = vec![0u8; junk];
+            rng.fill_bytes(&mut pool);
+            let views = (0..junk / 8).map(|_| rng.next_u64()).collect();
+            DecodedColumn::Str(StringViews { pool, views })
+        }
+    }
+}
+
+fn assert_decoded_bits_eq(fresh: &DecodedColumn, reused: &DecodedColumn, label: &str) {
+    match (fresh, reused) {
+        (DecodedColumn::Int(a), DecodedColumn::Int(b)) => assert_eq!(a, b, "{label}"),
+        (DecodedColumn::Double(a), DecodedColumn::Double(b)) => {
+            assert!(bits_eq(a, b), "{label}")
+        }
+        (DecodedColumn::Str(a), DecodedColumn::Str(b)) => {
+            assert_eq!(a.len(), b.len(), "{label}");
+            for i in 0..a.len() {
+                assert_eq!(a.get(i), b.get(i), "{label} string {i}");
+            }
+        }
+        _ => panic!("{label}: decoded type mismatch"),
+    }
+}
+
+// `decompress_block_into` with a garbage-filled out-buffer and a dirty,
+// reused scratch arena must match the allocate-fresh decode bitwise, for
+// every scheme. This is the correctness half of the zero-allocation
+// guarantee: buffer reuse must never leak stale state into results.
+#[test]
+fn dirty_scratch_decode_matches_fresh_for_every_scheme() {
+    let mut rng = Xorshift::new(0x59);
+    // One scratch across all cases and schemes: its pool carries buffers
+    // (and their stale capacities) from every previous decode.
+    let mut scratch = DecodeScratch::new();
+    for case in 0..CASES {
+        let cfg = small_cfg(simd_mode(case));
+        let ints = arb_ints(&mut rng);
+        let doubles = arb_doubles(&mut rng);
+        let strings = arb_strings(&mut rng);
+        let arena = StringArena::from_strs(&strings);
+
+        let mut jobs: Vec<(ColumnType, SchemeCode, Vec<u8>)> = Vec::new();
+        for code in [
+            SchemeCode::Uncompressed,
+            SchemeCode::OneValue,
+            SchemeCode::Rle,
+            SchemeCode::Dict,
+            SchemeCode::Frequency,
+            SchemeCode::FastPfor,
+            SchemeCode::FastBp128,
+        ] {
+            // OneValue only encodes constant blocks; use a constant column.
+            let constant = vec![ints.first().copied().unwrap_or(7); ints.len()];
+            let vals = if code == SchemeCode::OneValue { &constant } else { &ints };
+            jobs.push((
+                ColumnType::Integer,
+                code,
+                compress_block_with(code, BlockRef::Int(vals), &cfg),
+            ));
+        }
+        for code in [
+            SchemeCode::Uncompressed,
+            SchemeCode::OneValue,
+            SchemeCode::Rle,
+            SchemeCode::Dict,
+            SchemeCode::Frequency,
+            SchemeCode::Pseudodecimal,
+        ] {
+            let constant = vec![doubles.first().copied().unwrap_or(1.5); doubles.len()];
+            let vals = if code == SchemeCode::OneValue { &constant } else { &doubles };
+            jobs.push((
+                ColumnType::Double,
+                code,
+                compress_block_with(code, BlockRef::Double(vals), &cfg),
+            ));
+        }
+        for code in [
+            SchemeCode::Uncompressed,
+            SchemeCode::OneValue,
+            SchemeCode::Dict,
+            SchemeCode::Fsst,
+            SchemeCode::DictFsst,
+        ] {
+            let constant: Vec<&[u8]> = strings
+                .iter()
+                .map(|_| strings.first().map(|s| s.as_slice()).unwrap_or(b"x"))
+                .collect();
+            let ca = StringArena::from_strs(&constant);
+            let a = if code == SchemeCode::OneValue { &ca } else { &arena };
+            jobs.push((
+                ColumnType::String,
+                code,
+                compress_block_with(code, BlockRef::Str(a), &cfg),
+            ));
+        }
+
+        for (ty, code, bytes) in jobs {
+            let fresh = decompress_block(&bytes, ty, &cfg).unwrap();
+            let mut out = dirty_decoded(ty, &mut rng);
+            decompress_block_into(&bytes, ty, &cfg, &mut scratch, &mut out)
+                .unwrap_or_else(|e| panic!("scheme {code:?} case {case}: {e}"));
+            assert_decoded_bits_eq(&fresh, &out, &format!("scheme {code:?} case {case}"));
+            scratch.recycle(out);
+        }
     }
 }
 

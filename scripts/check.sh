@@ -52,4 +52,12 @@ BENCH_ROWS="${BENCH_ROWS:-64000}" BENCH_SCAN_JSON="BENCH_scan.json" \
   cargo run --release --quiet -p btr-bench --bin scan_pipeline > /dev/null
 grep -q '"cache_hit_rate"' BENCH_scan.json
 
+echo "== decode-scratch smoke benchmark (BENCH_decode.json)"
+BENCH_ROWS="${BENCH_ROWS:-64000}" BENCH_DECODE_JSON="BENCH_decode.json" \
+  cargo run --release --quiet -p btr-bench --bin decode_scratch > /dev/null
+grep -q '"warm-scratch"' BENCH_decode.json
+# The warm pass must stay allocation-free (tracked by the bench binary's
+# global allocator): its heap_growth_bytes field is the last run's.
+grep -q '"name": "warm-scratch", "seconds": [0-9.]*, "rows_per_s": [0-9]*, "heap_growth_bytes": 0,' BENCH_decode.json
+
 echo "ok"
