@@ -144,25 +144,28 @@ pub fn unpack_block(packed: &[u32], width: u8, out: &mut [u32]) -> Result<usize>
 /// [count][n_full_blocks bytes of widths, padded to words][block data...][tail width][tail data]
 /// ```
 pub fn encode(values: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(2 + values.len() / 2);
+    encode_into(values, &mut out);
+    out
+}
+
+/// [`encode`] appending into a caller-owned word buffer (not cleared) so the
+/// encode path can lease and reuse it across blocks. Block widths are
+/// computed in a first pass (the widths precede the packed data on the wire)
+/// and recomputed per block in the second, avoiding a widths side-array.
+pub fn encode_into(values: &[u32], out: &mut Vec<u32>) {
     let n = values.len();
     let full_blocks = n / BLOCK128;
     let tail = n % BLOCK128;
-    let mut widths = Vec::with_capacity(full_blocks);
-    for b in 0..full_blocks {
-        // lint: allow(indexing) b < full_blocks = values.len() / 128
-        widths.push(crate::max_bits(&values[b * BLOCK128..(b + 1) * BLOCK128]));
-    }
-    // lint: allow(indexing) full_blocks * 128 <= values.len() by construction
-    let tail_width = crate::max_bits(&values[full_blocks * BLOCK128..]);
-
-    let mut out = Vec::with_capacity(2 + n / 2);
     // lint: allow(cast) encode side: block value count fits u32
     out.push(n as u32);
     // Pack widths 4-per-word.
     let mut wword = 0u32;
-    for (i, &w) in widths.iter().enumerate() {
-        wword |= u32::from(w) << ((i % 4) * 8);
-        if i % 4 == 3 {
+    for b in 0..full_blocks {
+        // lint: allow(indexing) b < full_blocks = values.len() / 128
+        let w = crate::max_bits(&values[b * BLOCK128..(b + 1) * BLOCK128]);
+        wword |= u32::from(w) << ((b % 4) * 8);
+        if b % 4 == 3 {
             out.push(wword);
             wword = 0;
         }
@@ -170,16 +173,17 @@ pub fn encode(values: &[u32]) -> Vec<u32> {
     if !full_blocks.is_multiple_of(4) {
         out.push(wword);
     }
-    for (b, &w) in widths.iter().enumerate() {
+    for b in 0..full_blocks {
         // lint: allow(indexing) b < full_blocks = values.len() / 128
-        pack_block(&values[b * BLOCK128..(b + 1) * BLOCK128], w, &mut out);
+        let block = &values[b * BLOCK128..(b + 1) * BLOCK128];
+        pack_block(block, crate::max_bits(block), out);
     }
     if tail > 0 {
-        out.push(u32::from(tail_width));
         // lint: allow(indexing) full_blocks * 128 <= values.len() by construction
-        out.extend_from_slice(&plain::pack(&values[full_blocks * BLOCK128..], tail_width));
+        let tail_values = &values[full_blocks * BLOCK128..];
+        out.push(u32::from(crate::max_bits(tail_values)));
+        plain::pack_into(tail_values, crate::max_bits(tail_values), out);
     }
-    out
 }
 
 /// Decodes a stream produced by [`encode`].

@@ -79,29 +79,38 @@ fn encode_block(values: &[u32], out: &mut Vec<u32>) {
     }
     let (width, _) = best_width(&hist);
     let max_width = crate::max_bits(values);
-    let mut positions: Vec<u32> = Vec::new();
-    let mut high_bits: Vec<u32> = Vec::new();
+    // Stack buffers: a block holds 128 values, so there are at most 128
+    // exceptions. Keeping the side arrays off the heap makes encode
+    // allocation-free (mirrors decode_block's stack side arrays).
+    let mut positions = [0u32; BLOCK128];
+    let mut high_bits = [0u32; BLOCK128];
+    let mut n_exc = 0usize;
     if width < max_width {
         for (i, &v) in values.iter().enumerate() {
             if crate::bits_needed(v) > width {
+                // lint: allow(indexing) n_exc < 128 = values.len() bounds both stack arrays
                 // lint: allow(cast) encode side: block-relative position < 128
-                positions.push(i as u32);
-                high_bits.push(v >> width);
+                positions[n_exc] = i as u32;
+                // lint: allow(indexing) n_exc < 128 = values.len() bounds both stack arrays
+                high_bits[n_exc] = v >> width;
+                n_exc += 1;
             }
         }
     }
-    debug_assert!(positions.len() < 256, "at most 128 exceptions per block");
+    debug_assert!(n_exc < 256, "at most 128 exceptions per block");
     let header = BlockHeader {
         width,
         max_width,
         // lint: allow(cast) at most 128 exceptions per block (debug-asserted above)
-        exceptions: positions.len() as u8,
+        exceptions: n_exc as u8,
     };
     out.push(header.to_word());
     bp128::pack_block(values, width, out);
-    if !positions.is_empty() {
-        out.extend_from_slice(&plain::pack(&positions, 7));
-        out.extend_from_slice(&plain::pack(&high_bits, max_width - width));
+    if n_exc > 0 {
+        // lint: allow(indexing) n_exc <= 128 bounds both stack arrays
+        plain::pack_into(&positions[..n_exc], 7, out);
+        // lint: allow(indexing) n_exc <= 128 bounds both stack arrays
+        plain::pack_into(&high_bits[..n_exc], max_width - width, out);
     }
 }
 
@@ -150,23 +159,29 @@ fn decode_block(data: &[u32], out: &mut [u32]) -> Result<usize> {
 /// Layout: `[count][block0][block1]...[tail width][tail plain-packed]` where
 /// each block is `[header][4*width words][exception side arrays]`.
 pub fn encode(values: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(2 + values.len() / 2);
+    encode_into(values, &mut out);
+    out
+}
+
+/// [`encode`] appending into a caller-owned word buffer (not cleared) so the
+/// encode path can lease and reuse it across blocks.
+pub fn encode_into(values: &[u32], out: &mut Vec<u32>) {
     let n = values.len();
     let full_blocks = n / BLOCK128;
-    let mut out = Vec::with_capacity(2 + n / 2);
     // lint: allow(cast) encode side: value count fits u32
     out.push(n as u32);
     for b in 0..full_blocks {
         // lint: allow(indexing) b < full_blocks = values.len() / 128
-        encode_block(&values[b * BLOCK128..(b + 1) * BLOCK128], &mut out);
+        encode_block(&values[b * BLOCK128..(b + 1) * BLOCK128], out);
     }
     // lint: allow(indexing) full_blocks * 128 <= values.len() by construction
     let tail = &values[full_blocks * BLOCK128..];
     if !tail.is_empty() {
         let tw = crate::max_bits(tail);
         out.push(u32::from(tw));
-        out.extend_from_slice(&plain::pack(tail, tw));
+        plain::pack_into(tail, tw, out);
     }
-    out
 }
 
 /// Decodes a stream produced by [`encode`].

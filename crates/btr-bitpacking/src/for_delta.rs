@@ -25,13 +25,23 @@ pub fn zigzag_decode(v: u32) -> i32 {
 /// The base is the minimum, so every offset is non-negative and the full
 /// `i32` range is representable because the span of `i32` fits in `u32`.
 pub fn for_encode(values: &[i32]) -> (i32, Vec<u32>) {
-    let base = values.iter().copied().min().unwrap_or(0);
-    let offsets = values
-        .iter()
-        // lint: allow(cast) base is the minimum, so the difference is in 0..=u32::MAX
-        .map(|&v| (i64::from(v) - i64::from(base)) as u32)
-        .collect();
+    let mut offsets = Vec::with_capacity(values.len());
+    let base = for_encode_into(values, &mut offsets);
     (base, offsets)
+}
+
+/// [`for_encode`] writing the offsets into a caller-owned buffer (cleared
+/// first) so the encode path can lease and reuse it. Returns the base.
+pub fn for_encode_into(values: &[i32], offsets: &mut Vec<u32>) -> i32 {
+    offsets.clear();
+    let base = values.iter().copied().min().unwrap_or(0);
+    offsets.extend(
+        values
+            .iter()
+            // lint: allow(cast) base is the minimum, so the difference is in 0..=u32::MAX
+            .map(|&v| (i64::from(v) - i64::from(base)) as u32),
+    );
+    base
 }
 
 /// Inverse of [`for_encode`].

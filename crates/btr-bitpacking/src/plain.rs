@@ -13,31 +13,39 @@ use crate::{Error, Result};
 /// partial group is zero-padded, so the caller must remember the original
 /// count to decode.
 pub fn pack(values: &[u32], width: u8) -> Vec<u32> {
+    let mut out = Vec::new();
+    pack_into(values, width, &mut out);
+    out
+}
+
+/// [`pack`] appending into `out` instead of allocating a fresh vector — the
+/// encode path leases one word buffer and reuses it across blocks.
+pub fn pack_into(values: &[u32], width: u8, out: &mut Vec<u32>) {
     assert!(width <= 32, "bit width must be <= 32");
     if width == 0 || values.is_empty() {
-        return Vec::new();
+        return;
     }
+    let start = out.len();
     let w = width as usize;
     let total_bits = values.len() * w;
     let words = total_bits.div_ceil(32);
-    let mut out = vec![0u32; words];
+    out.resize(start + words, 0);
     let mask: u64 = if width == 32 { u64::from(u32::MAX) } else { (1u64 << width) - 1 };
     let mut bitpos = 0usize;
     for &v in values {
         let v = u64::from(v) & mask;
-        let word = bitpos / 32;
+        let word = start + bitpos / 32;
         let off = bitpos % 32;
-        // lint: allow(indexing) out was sized to ceil(len * w / 32) words
+        // lint: allow(indexing) out was resized to start + ceil(len * w / 32) words
         // lint: allow(cast) truncating u64 -> u32 keeps the in-word low bits by design
         out[word] |= (v << off) as u32;
         if off + w > 32 {
-            // lint: allow(indexing) a value straddling words implies word + 1 < words
+            // lint: allow(indexing) a value straddling words implies word + 1 < start + words
             // lint: allow(cast) truncating u64 -> u32 keeps the carry bits by design
             out[word + 1] |= (v >> (32 - off)) as u32;
         }
         bitpos += w;
     }
-    out
 }
 
 /// Unpacks `count` values at bit width `width` from `packed`.

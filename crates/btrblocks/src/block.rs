@@ -8,7 +8,7 @@
 
 use crate::config::Config;
 use crate::scheme::{self, SchemeCode};
-use crate::scratch::DecodeScratch;
+use crate::scratch::{DecodeScratch, EncodeScratch};
 use crate::types::{ColumnType, DecodedColumn, StringArena};
 use crate::writer::Reader;
 use crate::{Error, Result};
@@ -60,26 +60,61 @@ impl BlockRef<'_> {
 
 /// Compresses one block, returning its bytes and the root scheme chosen.
 pub fn compress_block(data: BlockRef<'_>, cfg: &Config) -> (Vec<u8>, SchemeCode) {
+    let mut scratch = EncodeScratch::new();
     let mut out = Vec::with_capacity(data.heap_size() / 4 + 64);
-    let code = match data {
-        BlockRef::Int(v) => scheme::compress_int(v, cfg.max_cascade_depth, cfg, &mut out),
-        BlockRef::Double(v) => scheme::compress_double(v, cfg.max_cascade_depth, cfg, &mut out),
-        BlockRef::Str(a) => scheme::compress_str(a, cfg.max_cascade_depth, cfg, &mut out),
-    };
+    let code = compress_block_into(data, cfg, &mut scratch, &mut out);
     (out, code)
+}
+
+/// [`compress_block`] appending into a caller-owned buffer (cleared first)
+/// and leasing all encode temporaries from `scratch`. This is what the
+/// block-parallel workers call: one scratch + one output buffer per worker,
+/// zero allocations once both are warm.
+pub fn compress_block_into(
+    data: BlockRef<'_>,
+    cfg: &Config,
+    scratch: &mut EncodeScratch,
+    out: &mut Vec<u8>,
+) -> SchemeCode {
+    out.clear();
+    match data {
+        BlockRef::Int(v) => scheme::compress_int_into(v, cfg.max_cascade_depth, cfg, scratch, out),
+        BlockRef::Double(v) => {
+            scheme::compress_double_into(v, cfg.max_cascade_depth, cfg, scratch, out)
+        }
+        BlockRef::Str(a) => scheme::compress_str_into(a, cfg.max_cascade_depth, cfg, scratch, out),
+    }
 }
 
 /// Compresses one block with a forced root scheme (ablation harnesses).
 pub fn compress_block_with(code: SchemeCode, data: BlockRef<'_>, cfg: &Config) -> Vec<u8> {
+    let mut scratch = EncodeScratch::new();
     let mut out = Vec::with_capacity(data.heap_size() / 4 + 64);
-    match data {
-        BlockRef::Int(v) => scheme::compress_int_with(code, v, cfg.max_cascade_depth, cfg, &mut out),
-        BlockRef::Double(v) => {
-            scheme::compress_double_with(code, v, cfg.max_cascade_depth, cfg, &mut out)
-        }
-        BlockRef::Str(a) => scheme::compress_str_with(code, a, cfg.max_cascade_depth, cfg, &mut out),
-    }
+    compress_block_with_into(code, data, cfg, &mut scratch, &mut out);
     out
+}
+
+/// [`compress_block_with`] appending into a caller-owned buffer (cleared
+/// first) and leasing all encode temporaries from `scratch`.
+pub fn compress_block_with_into(
+    code: SchemeCode,
+    data: BlockRef<'_>,
+    cfg: &Config,
+    scratch: &mut EncodeScratch,
+    out: &mut Vec<u8>,
+) {
+    out.clear();
+    match data {
+        BlockRef::Int(v) => {
+            scheme::compress_int_with_into(code, v, cfg.max_cascade_depth, cfg, scratch, out)
+        }
+        BlockRef::Double(v) => {
+            scheme::compress_double_with_into(code, v, cfg.max_cascade_depth, cfg, scratch, out)
+        }
+        BlockRef::Str(a) => {
+            scheme::compress_str_with_into(code, a, cfg.max_cascade_depth, cfg, scratch, out)
+        }
+    }
 }
 
 /// Decompresses one block of the given type.

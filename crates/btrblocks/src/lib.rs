@@ -49,17 +49,21 @@ pub mod stats;
 pub mod types;
 pub mod writer;
 
-pub use block::{compress_block, decompress_block, decompress_block_into, peek_scheme, BlockRef};
+pub use block::{
+    compress_block, compress_block_into, decompress_block, decompress_block_into, peek_scheme,
+    BlockRef,
+};
 pub use config::{Config, SimdMode};
 pub use metadata::{BlockZone, ColumnMeta, Sidecar};
 pub use parallel::{compress_parallel, decompress_parallel};
 pub use query::{filter_block, filter_decoded, has_fast_path, CmpOp, Literal};
 pub use relation::{
-    compress, decompress, decompress_column_with_scratch, BlockRange, Column, CompressedColumn,
-    CompressedRelation, Relation,
+    compress, compress_column, compress_column_into, compress_column_with_scratch, decompress,
+    decompress_column_with_scratch, BlockRange, Column, CompressedColumn, CompressedRelation,
+    Relation,
 };
 pub use scheme::SchemeCode;
-pub use scratch::{DecodeScratch, ScratchStats};
+pub use scratch::{DecodeScratch, EncodeScratch, ScratchStats};
 pub use types::{ColumnData, ColumnType, DecodedColumn, StringArena, StringViews};
 
 /// Errors produced by compression and decompression.

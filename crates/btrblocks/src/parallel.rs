@@ -2,16 +2,21 @@
 //!
 //! Blocks are self-contained, which is exactly what makes BtrBlocks easy to
 //! parallelize (paper §2.2: "Blocks also facilitate parallelizing compression
-//! and decompression"). These helpers fan columns out over a scoped thread
-//! pool; results are returned in the original column order regardless of
-//! completion order.
+//! and decompression"). Compression fans out at *block* granularity: the
+//! relation is flattened into (column, block-range) work items consumed from
+//! an atomic work queue, so a relation with one huge column scales with
+//! cores just as well as a wide one. Decompression fans out per column.
+//! Results are returned in the original order regardless of completion
+//! order, and parallel output is byte-identical to the serial path.
 
+use crate::block::{self, BlockRef};
 use crate::config::Config;
 use crate::relation::{
-    compress_column, decompress_column_with_scratch, Column, CompressedColumn, CompressedRelation,
-    Relation,
+    decompress_column_with_scratch, Column, CompressedColumn, CompressedRelation, Relation,
 };
-use crate::scratch::DecodeScratch;
+use crate::scheme::SchemeCode;
+use crate::scratch::{DecodeScratch, EncodeScratch};
+use crate::types::ColumnData;
 use crate::Result;
 use std::cell::RefCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -23,6 +28,11 @@ thread_local! {
     /// pooled on the worker thread and reused for every later block it
     /// decodes, so steady-state parallel decompression allocates nothing.
     static DECODE_SCRATCH: RefCell<DecodeScratch> = RefCell::new(DecodeScratch::new());
+
+    /// Per-worker encode arena: the first block a worker compresses warms the
+    /// sample/trial/side-array pools for every later block it pulls from the
+    /// queue, mirroring the shared scratch of the serial path.
+    static ENCODE_SCRATCH: RefCell<EncodeScratch> = RefCell::new(EncodeScratch::new());
 }
 
 /// Renders a caught panic payload (the `&str`/`String` cases `panic!`
@@ -38,16 +48,18 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 }
 
 /// Runs `work(i)` for every `i in 0..n` on up to `threads` workers, storing
-/// results in order.
+/// results in order. `describe(i)` names the unit of work in the panic
+/// message (only evaluated when a worker actually panicked).
 ///
 /// A panicking `work(i)` is caught on the worker (so it neither poisons the
 /// result slots nor kills the thread mid-queue — the remaining indices still
 /// run) and resurfaced on the calling thread as a panic naming the failing
-/// column index. When several workers panic, the lowest index wins.
-fn for_each_indexed<T: Send>(
+/// work item. When several workers panic, the lowest index wins.
+fn for_each_labeled<T: Send>(
     n: usize,
     threads: usize,
     work: impl Fn(usize) -> T + Sync,
+    describe: impl Fn(usize) -> String,
 ) -> Vec<T> {
     let threads = threads.max(1).min(n.max(1));
     let next = AtomicUsize::new(0);
@@ -77,7 +89,8 @@ fn for_each_indexed<T: Send>(
             match filled {
                 Ok(out) => out,
                 Err(payload) => std::panic::resume_unwind(Box::new(format!(
-                    "worker for column {i} panicked: {}",
+                    "worker for {} panicked: {}",
+                    describe(i),
                     panic_message(payload.as_ref())
                 ))),
             }
@@ -85,11 +98,113 @@ fn for_each_indexed<T: Send>(
         .collect()
 }
 
-/// Compresses a relation with one worker per column, `threads`-wide.
+/// [`for_each_labeled`] with the classic per-column labelling.
+fn for_each_indexed<T: Send>(
+    n: usize,
+    threads: usize,
+    work: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
+    for_each_labeled(n, threads, work, |i| format!("column {i}"))
+}
+
+/// One unit of compression work: a block-sized slice of one column.
+/// An empty column contributes a single `start == end == 0` item so its
+/// explicit empty block is still produced (mirroring the serial path).
+struct EncodeItem {
+    col: usize,
+    blk: usize,
+    start: usize,
+    end: usize,
+}
+
+/// Flattens a relation into block-granular work items, column-major, so the
+/// per-column results can be reassembled by pushing in item order.
+fn encode_items(rel: &Relation, cfg: &Config) -> Vec<EncodeItem> {
+    let bs = cfg.block_size.max(1);
+    let mut items = Vec::new();
+    for (c, col) in rel.columns.iter().enumerate() {
+        let n = col.data.len();
+        if n == 0 {
+            items.push(EncodeItem { col: c, blk: 0, start: 0, end: 0 });
+            continue;
+        }
+        let mut start = 0;
+        let mut blk = 0;
+        while start < n {
+            let end = (start + bs).min(n);
+            items.push(EncodeItem { col: c, blk, start, end });
+            start = end;
+            blk += 1;
+        }
+    }
+    items
+}
+
+/// Compresses one work item on a worker thread, leasing every encode
+/// temporary from the worker's thread-local [`EncodeScratch`].
+fn compress_item(rel: &Relation, cfg: &Config, item: &EncodeItem) -> (Vec<u8>, SchemeCode) {
+    let col = rel.columns.get(item.col).expect("items index existing columns");
+    ENCODE_SCRATCH.with(|cell| {
+        let scratch = &mut *cell.borrow_mut();
+        let mut buf = Vec::new();
+        let code = match &col.data {
+            ColumnData::Int(v) => {
+                let chunk = v.get(item.start..item.end).expect("item range within column");
+                block::compress_block_into(BlockRef::Int(chunk), cfg, scratch, &mut buf)
+            }
+            ColumnData::Double(v) => {
+                let chunk = v.get(item.start..item.end).expect("item range within column");
+                block::compress_block_into(BlockRef::Double(chunk), cfg, scratch, &mut buf)
+            }
+            ColumnData::Str(arena) => {
+                let mut sub = scratch.lease_arena();
+                arena.gather_into(item.start..item.end, &mut sub);
+                let code = block::compress_block_into(BlockRef::Str(&sub), cfg, scratch, &mut buf);
+                scratch.release_arena(sub);
+                code
+            }
+        };
+        (buf, code)
+    })
+}
+
+/// Compresses a relation `threads`-wide at block granularity.
+///
+/// The relation is flattened into (column, block-range) items consumed from
+/// an atomic work queue by `threads` workers, each owning a thread-local
+/// [`EncodeScratch`]. A single-column relation therefore still saturates
+/// every worker. Output is byte-identical to [`crate::relation::compress`]
+/// for every thread count — scheme selection is deterministic and blocks are
+/// reassembled in their original order.
 pub fn compress_parallel(rel: &Relation, cfg: &Config, threads: usize) -> Result<CompressedRelation> {
-    let columns: Vec<CompressedColumn> =
-        // lint: allow(indexing) for_each_indexed only passes i < columns.len()
-        for_each_indexed(rel.columns.len(), threads, |i| compress_column(&rel.columns[i], cfg));
+    let items = encode_items(rel, cfg);
+    let results: Vec<(Vec<u8>, SchemeCode)> = for_each_labeled(
+        items.len(),
+        threads,
+        // lint: allow(indexing) for_each_labeled only passes i < items.len()
+        |i| compress_item(rel, cfg, &items[i]),
+        |i| match items.get(i) {
+            Some(it) => format!("column {} block {}", it.col, it.blk),
+            None => format!("work item {i}"),
+        },
+    );
+    let mut columns: Vec<CompressedColumn> = rel
+        .columns
+        .iter()
+        .map(|col| CompressedColumn {
+            name: col.name.clone(),
+            column_type: col.data.column_type(),
+            nulls: col.nulls.as_ref().map(|b| b.serialize()).unwrap_or_default(),
+            blocks: Vec::new(),
+            schemes: Vec::new(),
+        })
+        .collect();
+    // Items are column-major, so pushing in item order restores block order.
+    for (item, (bytes, code)) in items.iter().zip(results) {
+        let col = columns.get_mut(item.col).expect("items index existing columns");
+        col.blocks.push(bytes);
+        col.schemes.push(code);
+    }
     Ok(CompressedRelation {
         rows: rel.rows() as u64,
         columns,
@@ -238,6 +353,84 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn single_column_relation_fans_out_over_blocks() {
+        // The whole point of block granularity: one column, many workers.
+        // Output must stay byte-identical to serial for every thread count.
+        let cfg = Config {
+            block_size: 512,
+            ..Config::default()
+        };
+        let rel = Relation::new(vec![Column::new(
+            "only",
+            ColumnData::Int((0..20_000).map(|i| (i * 37) % 1000).collect()),
+        )]);
+        let seq = crate::relation::compress(&rel, &cfg).unwrap();
+        assert!(seq.columns[0].blocks.len() > 30, "needs many blocks to parallelize");
+        for threads in [1, 2, 3, 8] {
+            let par = compress_parallel(&rel, &cfg, threads).unwrap();
+            assert_eq!(par, seq, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn mixed_relation_block_parallel_is_byte_identical() {
+        // Uneven column lengths + all three types + an empty column, with a
+        // block size that leaves ragged final blocks.
+        let cfg = Config {
+            block_size: 300,
+            ..Config::default()
+        };
+        let strings: Vec<String> = (0..2_750).map(|i| format!("city-{}", i % 41)).collect();
+        let refs: Vec<&str> = strings.iter().map(|s| s.as_str()).collect();
+        let rel = Relation::new(vec![
+            Column::new("i", ColumnData::Int((0..2_750).map(|i| i % 17).collect())),
+            Column::new(
+                "d",
+                ColumnData::Double((0..2_750).map(|i| (i % 251) as f64 * 0.125).collect()),
+            ),
+            Column::new("s", ColumnData::Str(StringArena::from_strs(&refs))),
+        ]);
+        let seq = crate::relation::compress(&rel, &cfg).unwrap();
+        for threads in [1, 2, 3, 8] {
+            let par = compress_parallel(&rel, &cfg, threads).unwrap();
+            assert_eq!(par, seq, "threads = {threads}");
+            assert_eq!(par.to_bytes(), seq.to_bytes(), "threads = {threads}");
+        }
+        // Empty columns keep their explicit empty block in parallel too.
+        let empty = Relation::new(vec![
+            Column::new("a", ColumnData::Int(Vec::new())),
+            Column::new("b", ColumnData::Str(StringArena::new())),
+        ]);
+        let seq = crate::relation::compress(&empty, &cfg).unwrap();
+        let par = compress_parallel(&empty, &cfg, 4).unwrap();
+        assert_eq!(par, seq);
+        assert_eq!(par.columns[0].blocks.len(), 1);
+    }
+
+    #[test]
+    fn block_panic_names_column_and_block() {
+        let caught = std::panic::catch_unwind(|| {
+            for_each_labeled(
+                6,
+                2,
+                |i| {
+                    if i == 3 {
+                        panic!("bad block");
+                    }
+                    i
+                },
+                |i| format!("column 9 block {i}"),
+            )
+        })
+        .expect_err("the worker panic must propagate to the caller");
+        let msg = caught
+            .downcast_ref::<String>()
+            .expect("panic payload carries the formatted message");
+        assert!(msg.contains("column 9 block 3"), "got: {msg}");
+        assert!(msg.contains("bad block"), "got: {msg}");
     }
 
     #[test]

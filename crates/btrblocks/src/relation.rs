@@ -43,7 +43,7 @@ use crate::block::{self, BlockRef};
 use crate::config::Config;
 use crate::crc32c::crc32c;
 use crate::scheme::SchemeCode;
-use crate::scratch::DecodeScratch;
+use crate::scratch::{DecodeScratch, EncodeScratch};
 use crate::types::{ColumnData, ColumnType, DecodedColumn, StringArena};
 use crate::writer::{Reader, WriteLe};
 use crate::{Error, Result};
@@ -466,10 +466,15 @@ impl CompressedRelation {
 }
 
 /// Compresses every column of `rel` into independent blocks.
+///
+/// One [`EncodeScratch`] is shared across all columns, so the sample, trial,
+/// and side-array buffers warmed up by the first block serve every block of
+/// every column after it.
 pub fn compress(rel: &Relation, cfg: &Config) -> Result<CompressedRelation> {
+    let mut scratch = EncodeScratch::new();
     let mut columns = Vec::with_capacity(rel.columns.len());
     for col in &rel.columns {
-        columns.push(compress_column(col, cfg));
+        columns.push(compress_column_with_scratch(col, cfg, &mut scratch));
     }
     Ok(CompressedRelation {
         rows: rel.rows() as u64,
@@ -479,61 +484,113 @@ pub fn compress(rel: &Relation, cfg: &Config) -> Result<CompressedRelation> {
 
 /// Compresses a single column.
 pub fn compress_column(col: &Column, cfg: &Config) -> CompressedColumn {
-    let mut blocks = Vec::new();
-    let mut schemes = Vec::new();
+    let mut scratch = EncodeScratch::new();
+    compress_column_with_scratch(col, cfg, &mut scratch)
+}
+
+/// [`compress_column`] with a caller-provided scratch arena: every encode
+/// temporary (sample gathers, candidate trial buffers, scheme side-arrays,
+/// cascade recursion) is leased from `scratch` instead of allocated fresh.
+pub fn compress_column_with_scratch(
+    col: &Column,
+    cfg: &Config,
+    scratch: &mut EncodeScratch,
+) -> CompressedColumn {
+    let mut out = CompressedColumn {
+        name: String::new(),
+        column_type: col.data.column_type(),
+        nulls: Vec::new(),
+        blocks: Vec::new(),
+        schemes: Vec::new(),
+    };
+    compress_column_into(col, cfg, scratch, &mut out);
+    out
+}
+
+/// Compresses `col` into an existing [`CompressedColumn`] shell, reusing its
+/// name/nulls/blocks/schemes buffers in place.
+///
+/// With a warm `scratch` *and* a warm `out` (both already used for a column
+/// of similar shape), recompressing an integer or double column performs
+/// zero heap allocations for the pooled scheme set — the property the
+/// `alloc_regression_encode` test pins down. String columns still allocate
+/// in borrowed-key stats maps and FSST symbol-table training (DESIGN.md §12).
+pub fn compress_column_into(
+    col: &Column,
+    cfg: &Config,
+    scratch: &mut EncodeScratch,
+    out: &mut CompressedColumn,
+) {
     let n = col.data.len();
     let bs = cfg.block_size.max(1);
+    let n_blocks = if n == 0 { 1 } else { n.div_ceil(bs) };
+    // Reuse the shell's block buffers: trim extras into the scratch pool so
+    // a shrinking recompression feeds later leases; grow with empty vectors
+    // that size themselves on first write.
+    while out.blocks.len() > n_blocks {
+        if let Some(b) = out.blocks.pop() {
+            scratch.release_u8(b);
+        }
+    }
+    while out.blocks.len() < n_blocks {
+        out.blocks.push(Vec::new());
+    }
+    out.schemes.clear();
+    out.name.clear();
+    out.name.push_str(&col.name);
+    out.column_type = col.data.column_type();
+    out.nulls.clear();
+    if let Some(b) = col.nulls.as_ref() {
+        out.nulls.extend_from_slice(&b.serialize());
+    }
+    let mut blocks = out.blocks.iter_mut();
     match &col.data {
         ColumnData::Int(values) => {
             for chunk in values.chunks(bs) {
-                let (bytes, code) = block::compress_block(BlockRef::Int(chunk), cfg);
-                blocks.push(bytes);
-                schemes.push(code);
+                let buf = blocks.next().expect("shell sized to n_blocks above");
+                out.schemes
+                    .push(block::compress_block_into(BlockRef::Int(chunk), cfg, scratch, buf));
             }
         }
         ColumnData::Double(values) => {
             for chunk in values.chunks(bs) {
-                let (bytes, code) = block::compress_block(BlockRef::Double(chunk), cfg);
-                blocks.push(bytes);
-                schemes.push(code);
+                let buf = blocks.next().expect("shell sized to n_blocks above");
+                out.schemes
+                    .push(block::compress_block_into(BlockRef::Double(chunk), cfg, scratch, buf));
             }
         }
         ColumnData::Str(arena) => {
+            let mut sub = scratch.lease_arena();
             let mut start = 0;
             while start < n {
                 let end = (start + bs).min(n);
-                let sub = arena.gather(start..end);
-                let (bytes, code) = block::compress_block(BlockRef::Str(&sub), cfg);
-                blocks.push(bytes);
-                schemes.push(code);
+                arena.gather_into(start..end, &mut sub);
+                let buf = blocks.next().expect("shell sized to n_blocks above");
+                out.schemes
+                    .push(block::compress_block_into(BlockRef::Str(&sub), cfg, scratch, buf));
                 start = end;
             }
+            scratch.release_arena(sub);
         }
     }
     if n == 0 {
         // Keep an explicit empty block so decompression restores the column.
-        let (bytes, code) = match col.data.column_type() {
-            ColumnType::Integer => block::compress_block(BlockRef::Int(&[]), cfg),
-            ColumnType::Double => block::compress_block(BlockRef::Double(&[]), cfg),
+        let buf = blocks.next().expect("empty column shell holds one block");
+        let code = match col.data.column_type() {
+            ColumnType::Integer => {
+                block::compress_block_into(BlockRef::Int(&[]), cfg, scratch, buf)
+            }
+            ColumnType::Double => {
+                block::compress_block_into(BlockRef::Double(&[]), cfg, scratch, buf)
+            }
             ColumnType::String => {
-                let empty = StringArena::new();
-                let (b, c) = block::compress_block(BlockRef::Str(&empty), cfg);
-                (b, c)
+                let empty = scratch.lease_arena();
+                let code = block::compress_block_into(BlockRef::Str(&empty), cfg, scratch, buf);
+                scratch.release_arena(empty);
+                code
             }
         };
-        blocks.push(bytes);
-        schemes.push(code);
-    }
-    CompressedColumn {
-        name: col.name.clone(),
-        column_type: col.data.column_type(),
-        nulls: col
-            .nulls
-            .as_ref()
-            .map(|b| b.serialize())
-            .unwrap_or_default(),
-        blocks,
-        schemes,
+        out.schemes.push(code);
     }
 }
 

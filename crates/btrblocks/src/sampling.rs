@@ -51,16 +51,32 @@ impl XorShift {
 /// gracefully: if `n` is at most the total sample size, the entire block is
 /// returned as a single window (sampling would not save any work).
 pub fn sample_ranges(n: usize, runs: usize, run_len: usize, seed: u64) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    sample_ranges_into(n, runs, run_len, seed, &mut out);
+    out
+}
+
+/// [`sample_ranges`] writing into a caller-owned vector (cleared first) so
+/// the selection loop can reuse one ranges buffer across candidate trials
+/// and cascade levels.
+pub fn sample_ranges_into(
+    n: usize,
+    runs: usize,
+    run_len: usize,
+    seed: u64,
+    out: &mut Vec<(usize, usize)>,
+) {
+    out.clear();
     let total = runs * run_len;
     if n == 0 {
-        return Vec::new();
+        return;
     }
     if n <= total || runs == 0 || run_len == 0 {
-        return vec![(0, n)];
+        out.push((0, n));
+        return;
     }
     let part = n / runs;
     let mut rng = XorShift::new(seed ^ n as u64);
-    let mut out = Vec::with_capacity(runs);
     for r in 0..runs {
         let part_start = r * part;
         let part_len = if r == runs - 1 { n - part_start } else { part };
@@ -68,36 +84,57 @@ pub fn sample_ranges(n: usize, runs: usize, run_len: usize, seed: u64) -> Vec<(u
         let off = rng.below(max_off + 1);
         out.push((part_start + off, run_len));
     }
-    out
 }
 
 /// Gathers sampled integers.
 pub fn gather_int(values: &[i32], ranges: &[(usize, usize)]) -> Vec<i32> {
     let mut out = Vec::with_capacity(ranges.iter().map(|&(_, l)| l).sum());
+    gather_int_into(values, ranges, &mut out);
+    out
+}
+
+/// [`gather_int`] into a caller-owned buffer (cleared first).
+pub fn gather_int_into(values: &[i32], ranges: &[(usize, usize)], out: &mut Vec<i32>) {
+    out.clear();
     for &(start, len) in ranges {
         // lint: allow(indexing) sample_ranges only yields in-bounds ranges
         out.extend_from_slice(&values[start..start + len]);
     }
-    out
 }
 
 /// Gathers sampled doubles.
 pub fn gather_double(values: &[f64], ranges: &[(usize, usize)]) -> Vec<f64> {
     let mut out = Vec::with_capacity(ranges.iter().map(|&(_, l)| l).sum());
+    gather_double_into(values, ranges, &mut out);
+    out
+}
+
+/// [`gather_double`] into a caller-owned buffer (cleared first).
+pub fn gather_double_into(values: &[f64], ranges: &[(usize, usize)], out: &mut Vec<f64>) {
+    out.clear();
     for &(start, len) in ranges {
         // lint: allow(indexing) sample_ranges only yields in-bounds ranges
         out.extend_from_slice(&values[start..start + len]);
     }
-    out
 }
 
 /// Gathers sampled strings.
 pub fn gather_str(arena: &StringArena, ranges: &[(usize, usize)]) -> StringArena {
-    arena.gather(
+    let mut out = StringArena::new();
+    gather_str_into(arena, ranges, &mut out);
+    out
+}
+
+/// [`gather_str`] into a caller-owned arena (cleared first) — the encode
+/// path leases one arena per worker instead of allocating a fresh
+/// [`StringArena`] for every block's sample.
+pub fn gather_str_into(arena: &StringArena, ranges: &[(usize, usize)], out: &mut StringArena) {
+    arena.gather_into(
         ranges
             .iter()
             .flat_map(|&(start, len)| start..start + len),
-    )
+        out,
+    );
 }
 
 #[cfg(test)]

@@ -23,7 +23,7 @@
 
 use crate::config::Config;
 use crate::scheme;
-use crate::scratch::DecodeScratch;
+use crate::scratch::{DecodeScratch, EncodeScratch};
 use crate::writer::{Reader, WriteLe};
 use crate::{Error, Result};
 use btr_roaring::RoaringBitmap;
@@ -76,11 +76,18 @@ pub fn decode_single(digits: i32, exp: u8) -> f64 {
     f64::from(digits) * FRAC10[usize::from(exp)]
 }
 
-/// Compresses `values` with Pseudodecimal Encoding.
-pub fn compress(values: &[f64], child_depth: u8, cfg: &Config, out: &mut Vec<u8>) {
-    let mut digits = Vec::with_capacity(values.len());
-    let mut exponents = Vec::with_capacity(values.len());
-    let mut patches = Vec::new();
+/// Compresses `values` with Pseudodecimal Encoding, leasing the digit,
+/// exponent, and patch arrays from `scratch`.
+pub fn compress(
+    values: &[f64],
+    child_depth: u8,
+    cfg: &Config,
+    scratch: &mut EncodeScratch,
+    out: &mut Vec<u8>,
+) {
+    let mut digits = scratch.lease_i32(values.len());
+    let mut exponents = scratch.lease_i32(values.len());
+    let mut patches = scratch.lease_f64(values.len());
     let bitmap = RoaringBitmap::from_sorted_iter(values.iter().enumerate().filter_map(|(i, &v)| {
         match encode_single(v) {
             Some((d, e)) => {
@@ -101,11 +108,14 @@ pub fn compress(values: &[f64], child_depth: u8, cfg: &Config, out: &mut Vec<u8>
     // lint: allow(cast) encode side; serialized bitmap of one block fits u32
     out.put_u32(bitmap_bytes.len() as u32);
     out.extend_from_slice(&bitmap_bytes);
-    scheme::compress_int(&digits, child_depth, cfg, out);
-    scheme::compress_int(&exponents, child_depth, cfg, out);
+    scheme::compress_int_into(&digits, child_depth, cfg, scratch, out);
+    scheme::compress_int_into(&exponents, child_depth, cfg, scratch, out);
     // lint: allow(cast) encode side; patches.len() <= block row count
     out.put_u32(patches.len() as u32);
     out.put_f64_slice(&patches);
+    scratch.release_i32(digits);
+    scratch.release_i32(exponents);
+    scratch.release_f64(patches);
 }
 
 /// Decompresses a Pseudodecimal block of `count` doubles.

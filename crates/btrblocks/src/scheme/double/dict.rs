@@ -5,7 +5,7 @@
 
 use crate::config::Config;
 use crate::scheme;
-use crate::scratch::DecodeScratch;
+use crate::scratch::{DecodeScratch, EncodeScratch};
 use crate::simd;
 use crate::writer::{Reader, WriteLe};
 use crate::{Error, Result};
@@ -13,28 +13,61 @@ use crate::fxhash::FxHashMap;
 
 /// Builds `(dictionary, codes)` in first-occurrence order, keyed by bits.
 pub fn encode_dict(values: &[f64]) -> (Vec<f64>, Vec<i32>) {
-    let mut map: FxHashMap<u64, i32> =
-        FxHashMap::with_capacity_and_hasher(values.len() / 4 + 1, Default::default());
+    let mut map = FxHashMap::with_capacity_and_hasher(values.len() / 4 + 1, Default::default());
     let mut dict = Vec::new();
     let mut codes = Vec::with_capacity(values.len());
-    for &v in values {
-        let code = *map.entry(v.to_bits()).or_insert_with(|| {
-            dict.push(v);
-            // lint: allow(cast) encode side: dictionary sizes fit i32
-            (dict.len() - 1) as i32
-        });
-        codes.push(code);
-    }
+    encode_dict_into(values, &mut map, &mut dict, &mut codes);
     (dict, codes)
 }
 
-/// Compresses `values` as a dictionary with a cascaded code sequence.
-pub fn compress(values: &[f64], child_depth: u8, cfg: &Config, out: &mut Vec<u8>) {
-    let (dict, codes) = encode_dict(values);
+/// [`encode_dict`] into caller-owned buffers (all cleared first), so the
+/// encode path can lease the map and both arrays instead of allocating.
+pub fn encode_dict_into(
+    values: &[f64],
+    map: &mut FxHashMap<u64, usize>,
+    dict: &mut Vec<f64>,
+    codes: &mut Vec<i32>,
+) {
+    map.clear();
+    dict.clear();
+    codes.clear();
+    for &v in values {
+        let idx = *map.entry(v.to_bits()).or_insert_with(|| {
+            dict.push(v);
+            dict.len() - 1
+        });
+        // lint: allow(cast) encode side: dictionary sizes fit i32
+        codes.push(idx as i32);
+    }
+}
+
+/// Compresses `values` as a dictionary with a cascaded code sequence,
+/// leasing the dictionary map and side-arrays from `scratch`.
+pub fn compress(
+    values: &[f64],
+    child_depth: u8,
+    cfg: &Config,
+    scratch: &mut EncodeScratch,
+    out: &mut Vec<u8>,
+) {
+    let mut map = scratch.lease_bits_map();
+    let mut dict = scratch.lease_f64(values.len());
+    let mut codes = scratch.lease_i32(values.len());
+    encode_dict_into(values, &mut map, &mut dict, &mut codes);
+    scratch.release_bits_map(map);
     // lint: allow(cast) encode side: dictionary entry count fits u32
     out.put_u32(dict.len() as u32);
     out.put_f64_slice(&dict);
-    scheme::compress_int_excluding(&codes, child_depth, cfg, out, Some(crate::scheme::SchemeCode::Dict));
+    scheme::compress_int_excluding_into(
+        &codes,
+        child_depth,
+        cfg,
+        scratch,
+        out,
+        Some(crate::scheme::SchemeCode::Dict),
+    );
+    scratch.release_f64(dict);
+    scratch.release_i32(codes);
 }
 
 /// Decompresses a dictionary block of `count` doubles.

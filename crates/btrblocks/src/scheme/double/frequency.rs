@@ -5,16 +5,27 @@
 
 use crate::config::Config;
 use crate::scheme;
-use crate::scratch::DecodeScratch;
+use crate::scratch::{DecodeScratch, EncodeScratch};
+use crate::stats::DoubleStats;
 use crate::writer::{Reader, WriteLe};
 use crate::{Error, Result};
 use btr_roaring::RoaringBitmap;
 
 /// Compresses `values` as Frequency encoding.
-pub fn compress(values: &[f64], child_depth: u8, cfg: &Config, out: &mut Vec<u8>) {
-    let stats = crate::stats::DoubleStats::collect(values);
+///
+/// Takes the selection layer's one-pass `stats` by reference (the dominant
+/// value was already found there) instead of re-collecting them, and leases
+/// the exception array from `scratch`.
+pub fn compress(
+    values: &[f64],
+    stats: &DoubleStats,
+    child_depth: u8,
+    cfg: &Config,
+    scratch: &mut EncodeScratch,
+    out: &mut Vec<u8>,
+) {
     let top_bits = stats.top_value.to_bits();
-    let mut exceptions = Vec::new();
+    let mut exceptions = scratch.lease_f64(values.len().saturating_sub(stats.top_count));
     let bitmap = RoaringBitmap::from_sorted_iter(values.iter().enumerate().filter_map(|(i, &v)| {
         if v.to_bits() != top_bits {
             exceptions.push(v);
@@ -29,7 +40,8 @@ pub fn compress(values: &[f64], child_depth: u8, cfg: &Config, out: &mut Vec<u8>
     // lint: allow(cast) encode side: serialized bitmap is far smaller than 4 GiB
     out.put_u32(bitmap_bytes.len() as u32);
     out.extend_from_slice(&bitmap_bytes);
-    scheme::compress_double(&exceptions, child_depth, cfg, out);
+    scheme::compress_double_into(&exceptions, child_depth, cfg, scratch, out);
+    scratch.release_f64(exceptions);
 }
 
 /// Decompresses a Frequency block of `count` doubles.

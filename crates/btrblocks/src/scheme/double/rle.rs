@@ -6,7 +6,7 @@
 
 use crate::config::Config;
 use crate::scheme;
-use crate::scratch::DecodeScratch;
+use crate::scratch::{DecodeScratch, EncodeScratch};
 use crate::simd;
 use crate::writer::{Reader, WriteLe};
 use crate::{Error, Result};
@@ -14,8 +14,17 @@ use crate::{Error, Result};
 /// Splits `values` into `(run_values, run_lengths)` comparing bit patterns,
 /// so NaN runs and `-0.0` vs `0.0` behave losslessly.
 pub fn runs_of(values: &[f64]) -> (Vec<f64>, Vec<i32>) {
-    let mut run_values: Vec<f64> = Vec::new();
-    let mut run_lengths: Vec<i32> = Vec::new();
+    let mut run_values = Vec::new();
+    let mut run_lengths = Vec::new();
+    runs_of_into(values, &mut run_values, &mut run_lengths);
+    (run_values, run_lengths)
+}
+
+/// [`runs_of`] into caller-owned buffers (cleared first), so the encode path
+/// can lease the run arrays instead of allocating per block.
+pub fn runs_of_into(values: &[f64], run_values: &mut Vec<f64>, run_lengths: &mut Vec<i32>) {
+    run_values.clear();
+    run_lengths.clear();
     for &v in values {
         match run_values.last() {
             Some(last) if last.to_bits() == v.to_bits() => {
@@ -27,16 +36,26 @@ pub fn runs_of(values: &[f64]) -> (Vec<f64>, Vec<i32>) {
             }
         }
     }
-    (run_values, run_lengths)
 }
 
-/// Compresses `values` as RLE with cascaded children.
-pub fn compress(values: &[f64], child_depth: u8, cfg: &Config, out: &mut Vec<u8>) {
-    let (run_values, run_lengths) = runs_of(values);
+/// Compresses `values` as RLE with cascaded children, leasing the run arrays
+/// from `scratch`.
+pub fn compress(
+    values: &[f64],
+    child_depth: u8,
+    cfg: &Config,
+    scratch: &mut EncodeScratch,
+    out: &mut Vec<u8>,
+) {
+    let mut run_values = scratch.lease_f64(values.len());
+    let mut run_lengths = scratch.lease_i32(values.len());
+    runs_of_into(values, &mut run_values, &mut run_lengths);
     // lint: allow(cast) encode side: run count fits u32
     out.put_u32(run_values.len() as u32);
-    scheme::compress_double(&run_values, child_depth, cfg, out);
-    scheme::compress_int(&run_lengths, child_depth, cfg, out);
+    scheme::compress_double_into(&run_values, child_depth, cfg, scratch, out);
+    scheme::compress_int_into(&run_lengths, child_depth, cfg, scratch, out);
+    scratch.release_f64(run_values);
+    scratch.release_i32(run_lengths);
 }
 
 /// Decompresses an RLE block of `count` doubles.

@@ -7,19 +7,29 @@
 //! exploits by offering both).
 
 use crate::config::Config;
-use crate::scratch::DecodeScratch;
+use crate::scratch::{DecodeScratch, EncodeScratch};
 use crate::writer::{Reader, WriteLe};
 use crate::{Error, Result};
 use btr_bitpacking::{bp128, for_delta};
 
 /// Compresses `values` as FOR + FastBP128.
 pub fn compress(values: &[i32], out: &mut Vec<u8>) {
-    let (base, offsets) = for_delta::for_encode(values);
-    let words = bp128::encode(&offsets);
+    let mut scratch = EncodeScratch::new();
+    compress_into(values, &mut scratch, out);
+}
+
+/// [`compress`] leasing the offset and packed-word buffers from `scratch`.
+pub fn compress_into(values: &[i32], scratch: &mut EncodeScratch, out: &mut Vec<u8>) {
+    let mut offsets = scratch.lease_u32(values.len());
+    let base = for_delta::for_encode_into(values, &mut offsets);
+    let mut words = scratch.lease_u32(2 + values.len() / 2);
+    bp128::encode_into(&offsets, &mut words);
     out.put_i32(base);
     // lint: allow(cast) encode side: packed word count fits u32
     out.put_u32(words.len() as u32);
     out.put_u32_slice(&words);
+    scratch.release_u32(words);
+    scratch.release_u32(offsets);
 }
 
 /// Decompresses a FastBP128 block of `count` values.

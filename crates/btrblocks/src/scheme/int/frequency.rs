@@ -10,17 +10,27 @@
 
 use crate::config::Config;
 use crate::scheme;
-use crate::scratch::DecodeScratch;
+use crate::scratch::{DecodeScratch, EncodeScratch};
+use crate::stats::IntegerStats;
 use crate::writer::{Reader, WriteLe};
 use crate::{Error, Result};
 use btr_roaring::RoaringBitmap;
 
 /// Compresses `values` as Frequency encoding.
-pub fn compress(values: &[i32], child_depth: u8, cfg: &Config, out: &mut Vec<u8>) {
-    // Find the dominant value (selection already verified dominance).
-    let stats = crate::stats::IntegerStats::collect(values);
+///
+/// Takes the selection layer's one-pass `stats` by reference (the dominant
+/// value was already found there) instead of re-collecting them, and leases
+/// the exception array from `scratch`.
+pub fn compress(
+    values: &[i32],
+    stats: &IntegerStats,
+    child_depth: u8,
+    cfg: &Config,
+    scratch: &mut EncodeScratch,
+    out: &mut Vec<u8>,
+) {
     let top = stats.top_value;
-    let mut exceptions = Vec::new();
+    let mut exceptions = scratch.lease_i32(values.len().saturating_sub(stats.top_count));
     let bitmap = RoaringBitmap::from_sorted_iter(values.iter().enumerate().filter_map(|(i, &v)| {
         if v != top {
             exceptions.push(v);
@@ -35,7 +45,8 @@ pub fn compress(values: &[i32], child_depth: u8, cfg: &Config, out: &mut Vec<u8>
     // lint: allow(cast) encode side: serialized bitmap is far smaller than 4 GiB
     out.put_u32(bitmap_bytes.len() as u32);
     out.extend_from_slice(&bitmap_bytes);
-    scheme::compress_int(&exceptions, child_depth, cfg, out);
+    scheme::compress_int_into(&exceptions, child_depth, cfg, scratch, out);
+    scratch.release_i32(exceptions);
 }
 
 /// Decompresses a Frequency block of `count` values.

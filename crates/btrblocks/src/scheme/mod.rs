@@ -11,7 +11,15 @@
 //! Scheme *selection* (paper Listing 1) lives in [`pick_int`]/[`pick_double`]/
 //! [`pick_str`]: collect full-block statistics, filter non-viable schemes,
 //! compress a small sample with each survivor, and keep the best observed
-//! ratio.
+//! ratio. All three selection paths share one generic candidate loop
+//! ([`run_selection`]); statistics are collected **once** per (values,
+//! cascade level) and passed by reference into viability checks, analytic
+//! estimates, and the chosen scheme's compressor.
+//!
+//! The `*_into` entry points thread an [`EncodeScratch`] arena through the
+//! whole pipeline so sample gathers, candidate trial buffers, and scheme
+//! side-arrays are leased rather than allocated; the legacy allocate-fresh
+//! signatures remain as thin wrappers.
 
 pub mod double;
 pub mod int;
@@ -19,7 +27,7 @@ pub mod str;
 
 use crate::config::Config;
 use crate::sampling;
-use crate::scratch::DecodeScratch;
+use crate::scratch::{DecodeScratch, EncodeScratch};
 use crate::stats::{DoubleStats, IntegerStats, StringStats};
 use crate::types::{ColumnType, StringArena, StringViews};
 use crate::writer::{Reader, WriteLe};
@@ -173,12 +181,66 @@ pub struct Selection {
     pub estimates: Vec<Estimate>,
 }
 
+/// The shared candidate loop of scheme selection (paper Listing 1's outer
+/// loop), generic over the per-type work: iterate the type's applicable
+/// schemes in their fixed order, skip `Uncompressed`, disallowed, and
+/// excluded codes, ask `ratio_of` for an estimate (`None` = not viable), and
+/// keep the best ratio above `Uncompressed`'s baseline of 1.0.
+///
+/// `estimates` is only populated for the public `pick_*` API; the internal
+/// cascade paths pass `None` and skip the bookkeeping entirely.
+fn run_selection(
+    ty: ColumnType,
+    cfg: &Config,
+    exclude: Option<SchemeCode>,
+    mut ratio_of: impl FnMut(SchemeCode) -> Option<f64>,
+    mut estimates: Option<&mut Vec<Estimate>>,
+) -> SchemeCode {
+    let mut best = Estimate { code: SchemeCode::Uncompressed, ratio: 1.0 };
+    for &code in SchemeCode::applicable(ty) {
+        if code == SchemeCode::Uncompressed || !cfg.allows(code) || Some(code) == exclude {
+            continue;
+        }
+        let Some(ratio) = ratio_of(code) else { continue };
+        if let Some(list) = estimates.as_deref_mut() {
+            list.push(Estimate { code, ratio });
+        }
+        if ratio > best.ratio {
+            best = Estimate { code, ratio };
+        }
+    }
+    best.code
+}
+
+/// Capacity hint for a sample gather: the whole block when it is small
+/// enough to be returned as a single window, else the configured sample size.
+fn sample_cap(n: usize, cfg: &Config) -> usize {
+    let total = cfg.sample_runs * cfg.sample_run_len;
+    if total == 0 {
+        n
+    } else {
+        n.min(total)
+    }
+}
+
 // ------------------------------------------------------------------ integers
 
 /// Compresses an integer block with automatic scheme selection, appending a
 /// framed block to `out`. Returns the root scheme chosen.
 pub fn compress_int(values: &[i32], depth: u8, cfg: &Config, out: &mut Vec<u8>) -> SchemeCode {
-    compress_int_excluding(values, depth, cfg, out, None)
+    let mut scratch = EncodeScratch::new();
+    compress_int_excluding_into(values, depth, cfg, &mut scratch, out, None)
+}
+
+/// [`compress_int`] leasing all temporaries from `scratch`.
+pub fn compress_int_into(
+    values: &[i32],
+    depth: u8,
+    cfg: &Config,
+    scratch: &mut EncodeScratch,
+    out: &mut Vec<u8>,
+) -> SchemeCode {
+    compress_int_excluding_into(values, depth, cfg, scratch, out, None)
 }
 
 /// Like [`compress_int`], but bans one scheme from the *root* choice. Used by
@@ -192,8 +254,30 @@ pub fn compress_int_excluding(
     out: &mut Vec<u8>,
     exclude: Option<SchemeCode>,
 ) -> SchemeCode {
-    let code = pick_int_excluding(values, depth, cfg, exclude).code;
-    compress_int_with(code, values, depth, cfg, out);
+    let mut scratch = EncodeScratch::new();
+    compress_int_excluding_into(values, depth, cfg, &mut scratch, out, exclude)
+}
+
+/// [`compress_int_excluding`] leasing all temporaries from `scratch`. This
+/// is the cascade's workhorse: statistics are collected once (into a pooled
+/// map) and shared by selection and the chosen scheme's compressor.
+pub fn compress_int_excluding_into(
+    values: &[i32],
+    depth: u8,
+    cfg: &Config,
+    scratch: &mut EncodeScratch,
+    out: &mut Vec<u8>,
+    exclude: Option<SchemeCode>,
+) -> SchemeCode {
+    if depth == 0 || values.is_empty() {
+        emit_int(SchemeCode::Uncompressed, values, None, depth, cfg, scratch, out);
+        return SchemeCode::Uncompressed;
+    }
+    let mut counts = scratch.lease_int_map();
+    let stats = IntegerStats::collect_with_map(values, &mut counts);
+    scratch.release_int_map(counts);
+    let code = select_int(values, depth, cfg, exclude, &stats, scratch, None);
+    emit_int(code, values, Some(&stats), depth, cfg, scratch, out);
     code
 }
 
@@ -208,52 +292,104 @@ pub fn pick_int_excluding(values: &[i32], depth: u8, cfg: &Config, exclude: Opti
         return trivial_selection();
     }
     let stats = IntegerStats::collect(values);
+    let mut scratch = EncodeScratch::new();
+    let mut estimates = Vec::new();
+    let code = select_int(values, depth, cfg, exclude, &stats, &mut scratch, Some(&mut estimates));
+    Selection { code, estimates }
+}
+
+/// Selection body shared by [`pick_int_excluding`] (which records estimates)
+/// and [`compress_int_excluding_into`] (which does not): OneValue shortcut,
+/// sample gather into leased buffers, then the generic candidate loop with
+/// trial compressions reusing one leased output buffer.
+fn select_int(
+    values: &[i32],
+    depth: u8,
+    cfg: &Config,
+    exclude: Option<SchemeCode>,
+    stats: &IntegerStats,
+    scratch: &mut EncodeScratch,
+    mut estimates: Option<&mut Vec<Estimate>>,
+) -> SchemeCode {
     if stats.unique_count == 1 && cfg.allows(SchemeCode::OneValue) {
         // Guaranteed optimal; skip sampling entirely.
-        return Selection {
-            code: SchemeCode::OneValue,
-            estimates: vec![Estimate { code: SchemeCode::OneValue, ratio: values.len() as f64 }],
-        };
+        if let Some(list) = estimates.as_deref_mut() {
+            list.push(Estimate { code: SchemeCode::OneValue, ratio: values.len() as f64 });
+        }
+        return SchemeCode::OneValue;
     }
-    let ranges = sampling::sample_ranges(values.len(), cfg.sample_runs, cfg.sample_run_len, depth as u64);
-    let sample = sampling::gather_int(values, &ranges);
+    let mut ranges = scratch.lease_ranges(cfg.sample_runs);
+    sampling::sample_ranges_into(values.len(), cfg.sample_runs, cfg.sample_run_len, depth as u64, &mut ranges);
+    let mut sample = scratch.lease_i32(sample_cap(values.len(), cfg));
+    sampling::gather_int_into(values, &ranges, &mut sample);
     let sample_bytes = (sample.len() * 4) as f64;
-    let mut estimates = Vec::new();
-    let mut best = Estimate { code: SchemeCode::Uncompressed, ratio: 1.0 };
-    for &code in SchemeCode::applicable(ColumnType::Integer) {
-        if code == SchemeCode::Uncompressed || !cfg.allows(code) || Some(code) == exclude {
-            continue;
-        }
-        if !int::viable(code, &stats, cfg) {
-            continue;
-        }
-        let ratio = if code == SchemeCode::Dict && cfg.analytic_estimates {
-            dict_ratio(values.len(), stats.unique_count, values.len() * 4, stats.unique_count * 4)
-        } else {
-            let mut scratch = Vec::with_capacity(sample.len() * 4 + 64);
-            compress_int_with(code, &sample, depth, cfg, &mut scratch);
-            let sampled = sample_bytes / scratch.len() as f64;
-            if code == SchemeCode::Rle && cfg.analytic_estimates {
-                // Sample runs are at most `sample_run_len` values long, so the
-                // sample systematically underestimates RLE on extreme-run
-                // data; the full-block run count gives a conservative floor
-                // (it ignores cascade gains on the run arrays).
-                sampled.max(rle_floor(values.len(), stats.average_run_length, 4))
-            } else {
-                sampled
+    let mut trial = scratch.lease_u8(sample.len() * 4 + 64);
+    let code = run_selection(
+        ColumnType::Integer,
+        cfg,
+        exclude,
+        |code| {
+            if !int::viable(code, stats, cfg) {
+                return None;
             }
-        };
-        estimates.push(Estimate { code, ratio });
-        if ratio > best.ratio {
-            best = Estimate { code, ratio };
-        }
-    }
-    Selection { code: best.code, estimates }
+            Some(if code == SchemeCode::Dict && cfg.analytic_estimates {
+                dict_ratio(values.len(), stats.unique_count, values.len() * 4, stats.unique_count * 4)
+            } else {
+                trial.clear();
+                emit_int(code, &sample, None, depth, cfg, scratch, &mut trial);
+                let sampled = sample_bytes / trial.len() as f64;
+                if code == SchemeCode::Rle && cfg.analytic_estimates {
+                    // Sample runs are at most `sample_run_len` values long, so the
+                    // sample systematically underestimates RLE on extreme-run
+                    // data; the full-block run count gives a conservative floor
+                    // (it ignores cascade gains on the run arrays).
+                    sampled.max(rle_floor(values.len(), stats.average_run_length, 4))
+                } else {
+                    sampled
+                }
+            })
+        },
+        estimates,
+    );
+    scratch.release_u8(trial);
+    scratch.release_i32(sample);
+    scratch.release_ranges(ranges);
+    code
 }
 
 /// Compresses an integer block with a forced root scheme (used by selection
 /// itself, by ablation benchmarks, and by the Figure 5/6 harnesses).
 pub fn compress_int_with(code: SchemeCode, values: &[i32], depth: u8, cfg: &Config, out: &mut Vec<u8>) {
+    let mut scratch = EncodeScratch::new();
+    compress_int_with_into(code, values, depth, cfg, &mut scratch, out);
+}
+
+/// [`compress_int_with`] leasing all temporaries from `scratch`.
+pub fn compress_int_with_into(
+    code: SchemeCode,
+    values: &[i32],
+    depth: u8,
+    cfg: &Config,
+    scratch: &mut EncodeScratch,
+    out: &mut Vec<u8>,
+) {
+    emit_int(code, values, None, depth, cfg, scratch, out);
+}
+
+/// Writes the frame header and dispatches to the scheme compressor.
+///
+/// `stats` carries the selection layer's one-pass statistics into schemes
+/// that need them (Frequency's top value); a forced compression without
+/// prior selection passes `None` and Frequency re-collects for itself.
+fn emit_int(
+    code: SchemeCode,
+    values: &[i32],
+    stats: Option<&IntegerStats>,
+    depth: u8,
+    cfg: &Config,
+    scratch: &mut EncodeScratch,
+    out: &mut Vec<u8>,
+) {
     let code = if depth == 0 || values.is_empty() { SchemeCode::Uncompressed } else { code };
     out.put_u8(code.as_u8());
     // lint: allow(cast) encode side: block length is capped at max_block_values
@@ -262,11 +398,19 @@ pub fn compress_int_with(code: SchemeCode, values: &[i32], depth: u8, cfg: &Conf
     match code {
         SchemeCode::Uncompressed => int::uncompressed::compress(values, out),
         SchemeCode::OneValue => int::onevalue::compress(values, out),
-        SchemeCode::Rle => int::rle::compress(values, child_depth, cfg, out),
-        SchemeCode::Dict => int::dict::compress(values, child_depth, cfg, out),
-        SchemeCode::Frequency => int::frequency::compress(values, child_depth, cfg, out),
-        SchemeCode::FastPfor => int::pfor::compress(values, out),
-        SchemeCode::FastBp128 => int::bp::compress(values, out),
+        SchemeCode::Rle => int::rle::compress(values, child_depth, cfg, scratch, out),
+        SchemeCode::Dict => int::dict::compress(values, child_depth, cfg, scratch, out),
+        SchemeCode::Frequency => match stats {
+            Some(stats) => int::frequency::compress(values, stats, child_depth, cfg, scratch, out),
+            None => {
+                let mut counts = scratch.lease_int_map();
+                let stats = IntegerStats::collect_with_map(values, &mut counts);
+                scratch.release_int_map(counts);
+                int::frequency::compress(values, &stats, child_depth, cfg, scratch, out)
+            }
+        },
+        SchemeCode::FastPfor => int::pfor::compress_into(values, scratch, out),
+        SchemeCode::FastBp128 => int::bp::compress_into(values, scratch, out),
         _ => unreachable!("scheme {code:?} is not an integer scheme"),
     }
 }
@@ -304,7 +448,19 @@ pub fn decompress_int_into(
 
 /// Compresses a double block with automatic scheme selection.
 pub fn compress_double(values: &[f64], depth: u8, cfg: &Config, out: &mut Vec<u8>) -> SchemeCode {
-    compress_double_excluding(values, depth, cfg, out, None)
+    let mut scratch = EncodeScratch::new();
+    compress_double_excluding_into(values, depth, cfg, &mut scratch, out, None)
+}
+
+/// [`compress_double`] leasing all temporaries from `scratch`.
+pub fn compress_double_into(
+    values: &[f64],
+    depth: u8,
+    cfg: &Config,
+    scratch: &mut EncodeScratch,
+    out: &mut Vec<u8>,
+) -> SchemeCode {
+    compress_double_excluding_into(values, depth, cfg, scratch, out, None)
 }
 
 /// Like [`compress_double`], but bans one scheme from the root choice (see
@@ -316,8 +472,30 @@ pub fn compress_double_excluding(
     out: &mut Vec<u8>,
     exclude: Option<SchemeCode>,
 ) -> SchemeCode {
-    let code = pick_double_excluding(values, depth, cfg, exclude).code;
-    compress_double_with(code, values, depth, cfg, out);
+    let mut scratch = EncodeScratch::new();
+    compress_double_excluding_into(values, depth, cfg, &mut scratch, out, exclude)
+}
+
+/// [`compress_double_excluding`] leasing all temporaries from `scratch`,
+/// with statistics collected once and shared (see
+/// [`compress_int_excluding_into`]).
+pub fn compress_double_excluding_into(
+    values: &[f64],
+    depth: u8,
+    cfg: &Config,
+    scratch: &mut EncodeScratch,
+    out: &mut Vec<u8>,
+    exclude: Option<SchemeCode>,
+) -> SchemeCode {
+    if depth == 0 || values.is_empty() {
+        emit_double(SchemeCode::Uncompressed, values, None, depth, cfg, scratch, out);
+        return SchemeCode::Uncompressed;
+    }
+    let mut counts = scratch.lease_bits_map();
+    let stats = DoubleStats::collect_with_map(values, &mut counts);
+    scratch.release_bits_map(counts);
+    let code = select_double(values, depth, cfg, exclude, &stats, scratch, None);
+    emit_double(code, values, Some(&stats), depth, cfg, scratch, out);
     code
 }
 
@@ -332,46 +510,92 @@ pub fn pick_double_excluding(values: &[f64], depth: u8, cfg: &Config, exclude: O
         return trivial_selection();
     }
     let stats = DoubleStats::collect(values);
-    if stats.unique_count == 1 && cfg.allows(SchemeCode::OneValue) {
-        return Selection {
-            code: SchemeCode::OneValue,
-            estimates: vec![Estimate { code: SchemeCode::OneValue, ratio: values.len() as f64 }],
-        };
-    }
-    let ranges = sampling::sample_ranges(values.len(), cfg.sample_runs, cfg.sample_run_len, depth as u64);
-    let sample = sampling::gather_double(values, &ranges);
-    let sample_bytes = (sample.len() * 8) as f64;
+    let mut scratch = EncodeScratch::new();
     let mut estimates = Vec::new();
-    let mut best = Estimate { code: SchemeCode::Uncompressed, ratio: 1.0 };
-    for &code in SchemeCode::applicable(ColumnType::Double) {
-        if code == SchemeCode::Uncompressed || !cfg.allows(code) || Some(code) == exclude {
-            continue;
+    let code = select_double(values, depth, cfg, exclude, &stats, &mut scratch, Some(&mut estimates));
+    Selection { code, estimates }
+}
+
+/// Selection body for doubles (see [`select_int`]).
+fn select_double(
+    values: &[f64],
+    depth: u8,
+    cfg: &Config,
+    exclude: Option<SchemeCode>,
+    stats: &DoubleStats,
+    scratch: &mut EncodeScratch,
+    mut estimates: Option<&mut Vec<Estimate>>,
+) -> SchemeCode {
+    if stats.unique_count == 1 && cfg.allows(SchemeCode::OneValue) {
+        if let Some(list) = estimates.as_deref_mut() {
+            list.push(Estimate { code: SchemeCode::OneValue, ratio: values.len() as f64 });
         }
-        if !double::viable(code, &stats, &sample, cfg) {
-            continue;
-        }
-        let ratio = if code == SchemeCode::Dict && cfg.analytic_estimates {
-            dict_ratio(values.len(), stats.unique_count, values.len() * 8, stats.unique_count * 8)
-        } else {
-            let mut scratch = Vec::with_capacity(sample.len() * 8 + 64);
-            compress_double_with(code, &sample, depth, cfg, &mut scratch);
-            let sampled = sample_bytes / scratch.len() as f64;
-            if code == SchemeCode::Rle && cfg.analytic_estimates {
-                sampled.max(rle_floor(values.len(), stats.average_run_length, 8))
-            } else {
-                sampled
-            }
-        };
-        estimates.push(Estimate { code, ratio });
-        if ratio > best.ratio {
-            best = Estimate { code, ratio };
-        }
+        return SchemeCode::OneValue;
     }
-    Selection { code: best.code, estimates }
+    let mut ranges = scratch.lease_ranges(cfg.sample_runs);
+    sampling::sample_ranges_into(values.len(), cfg.sample_runs, cfg.sample_run_len, depth as u64, &mut ranges);
+    let mut sample = scratch.lease_f64(sample_cap(values.len(), cfg));
+    sampling::gather_double_into(values, &ranges, &mut sample);
+    let sample_bytes = (sample.len() * 8) as f64;
+    let mut trial = scratch.lease_u8(sample.len() * 8 + 64);
+    let code = run_selection(
+        ColumnType::Double,
+        cfg,
+        exclude,
+        |code| {
+            if !double::viable(code, stats, &sample, cfg) {
+                return None;
+            }
+            Some(if code == SchemeCode::Dict && cfg.analytic_estimates {
+                dict_ratio(values.len(), stats.unique_count, values.len() * 8, stats.unique_count * 8)
+            } else {
+                trial.clear();
+                emit_double(code, &sample, None, depth, cfg, scratch, &mut trial);
+                let sampled = sample_bytes / trial.len() as f64;
+                if code == SchemeCode::Rle && cfg.analytic_estimates {
+                    sampled.max(rle_floor(values.len(), stats.average_run_length, 8))
+                } else {
+                    sampled
+                }
+            })
+        },
+        estimates,
+    );
+    scratch.release_u8(trial);
+    scratch.release_f64(sample);
+    scratch.release_ranges(ranges);
+    code
 }
 
 /// Compresses a double block with a forced root scheme.
 pub fn compress_double_with(code: SchemeCode, values: &[f64], depth: u8, cfg: &Config, out: &mut Vec<u8>) {
+    let mut scratch = EncodeScratch::new();
+    compress_double_with_into(code, values, depth, cfg, &mut scratch, out);
+}
+
+/// [`compress_double_with`] leasing all temporaries from `scratch`.
+pub fn compress_double_with_into(
+    code: SchemeCode,
+    values: &[f64],
+    depth: u8,
+    cfg: &Config,
+    scratch: &mut EncodeScratch,
+    out: &mut Vec<u8>,
+) {
+    emit_double(code, values, None, depth, cfg, scratch, out);
+}
+
+/// Writes the frame header and dispatches to the scheme compressor (see
+/// [`emit_int`] for the `stats` contract).
+fn emit_double(
+    code: SchemeCode,
+    values: &[f64],
+    stats: Option<&DoubleStats>,
+    depth: u8,
+    cfg: &Config,
+    scratch: &mut EncodeScratch,
+    out: &mut Vec<u8>,
+) {
     let code = if depth == 0 || values.is_empty() { SchemeCode::Uncompressed } else { code };
     out.put_u8(code.as_u8());
     // lint: allow(cast) encode side: block length is capped at max_block_values
@@ -380,10 +604,18 @@ pub fn compress_double_with(code: SchemeCode, values: &[f64], depth: u8, cfg: &C
     match code {
         SchemeCode::Uncompressed => double::uncompressed::compress(values, out),
         SchemeCode::OneValue => double::onevalue::compress(values, out),
-        SchemeCode::Rle => double::rle::compress(values, child_depth, cfg, out),
-        SchemeCode::Dict => double::dict::compress(values, child_depth, cfg, out),
-        SchemeCode::Frequency => double::frequency::compress(values, child_depth, cfg, out),
-        SchemeCode::Pseudodecimal => double::decimal::compress(values, child_depth, cfg, out),
+        SchemeCode::Rle => double::rle::compress(values, child_depth, cfg, scratch, out),
+        SchemeCode::Dict => double::dict::compress(values, child_depth, cfg, scratch, out),
+        SchemeCode::Frequency => match stats {
+            Some(stats) => double::frequency::compress(values, stats, child_depth, cfg, scratch, out),
+            None => {
+                let mut counts = scratch.lease_bits_map();
+                let stats = DoubleStats::collect_with_map(values, &mut counts);
+                scratch.release_bits_map(counts);
+                double::frequency::compress(values, &stats, child_depth, cfg, scratch, out)
+            }
+        },
+        SchemeCode::Pseudodecimal => double::decimal::compress(values, child_depth, cfg, scratch, out),
         _ => unreachable!("scheme {code:?} is not a double scheme"),
     }
 }
@@ -420,8 +652,28 @@ pub fn decompress_double_into(
 
 /// Compresses a string block with automatic scheme selection.
 pub fn compress_str(arena: &StringArena, depth: u8, cfg: &Config, out: &mut Vec<u8>) -> SchemeCode {
-    let code = pick_str(arena, depth, cfg).code;
-    compress_str_with(code, arena, depth, cfg, out);
+    let mut scratch = EncodeScratch::new();
+    compress_str_into(arena, depth, cfg, &mut scratch, out)
+}
+
+/// [`compress_str`] leasing temporaries from `scratch`, with statistics
+/// collected once and shared. (String stats key a map by borrowed string
+/// slices, whose lifetime ties it to `arena` — that map still allocates; the
+/// sample arena, trial buffer, and scheme side-arrays are pooled.)
+pub fn compress_str_into(
+    arena: &StringArena,
+    depth: u8,
+    cfg: &Config,
+    scratch: &mut EncodeScratch,
+    out: &mut Vec<u8>,
+) -> SchemeCode {
+    if depth == 0 || arena.is_empty() {
+        emit_str(SchemeCode::Uncompressed, arena, depth, cfg, scratch, out);
+        return SchemeCode::Uncompressed;
+    }
+    let stats = StringStats::collect(arena);
+    let code = select_str(arena, depth, cfg, &stats, scratch, None);
+    emit_str(code, arena, depth, cfg, scratch, out);
     code
 }
 
@@ -431,69 +683,112 @@ pub fn pick_str(arena: &StringArena, depth: u8, cfg: &Config) -> Selection {
         return trivial_selection();
     }
     let stats = StringStats::collect(arena);
-    if stats.unique_count == 1 && cfg.allows(SchemeCode::OneValue) {
-        return Selection {
-            code: SchemeCode::OneValue,
-            estimates: vec![Estimate { code: SchemeCode::OneValue, ratio: arena.len() as f64 }],
-        };
-    }
-    let ranges = sampling::sample_ranges(arena.len(), cfg.sample_runs, cfg.sample_run_len, depth as u64);
-    let sample = sampling::gather_str(arena, &ranges);
-    let sample_bytes = sample.heap_size() as f64;
+    let mut scratch = EncodeScratch::new();
     let mut estimates = Vec::new();
-    let mut best = Estimate { code: SchemeCode::Uncompressed, ratio: 1.0 };
-    for &code in SchemeCode::applicable(ColumnType::String) {
-        if code == SchemeCode::Uncompressed || !cfg.allows(code) {
-            continue;
+    let code = select_str(arena, depth, cfg, &stats, &mut scratch, Some(&mut estimates));
+    Selection { code, estimates }
+}
+
+/// Selection body for strings (see [`select_int`]).
+fn select_str(
+    arena: &StringArena,
+    depth: u8,
+    cfg: &Config,
+    stats: &StringStats,
+    scratch: &mut EncodeScratch,
+    mut estimates: Option<&mut Vec<Estimate>>,
+) -> SchemeCode {
+    if stats.unique_count == 1 && cfg.allows(SchemeCode::OneValue) {
+        if let Some(list) = estimates.as_deref_mut() {
+            list.push(Estimate { code: SchemeCode::OneValue, ratio: arena.len() as f64 });
         }
-        if !str::viable(code, &stats, cfg) {
-            continue;
-        }
-        let ratio = if code == SchemeCode::Dict && cfg.analytic_estimates {
-            dict_ratio(
-                arena.len(),
-                stats.unique_count,
-                stats.total_bytes + 4 * (arena.len() + 1),
-                stats.unique_bytes + 4 * (stats.unique_count + 1),
-            )
-        } else if code == SchemeCode::DictFsst && cfg.analytic_estimates {
-            // Analytic dictionary estimate with an FSST factor measured on
-            // the sample's distinct strings; a dictionary built from the
-            // sample alone would be dominated by symbol-table overhead.
-            let mut seen = std::collections::HashSet::new();
-            let distinct: Vec<&[u8]> = sample.iter().filter(|s| seen.insert(*s)).collect();
-            let table = btr_fsst::SymbolTable::train(&distinct);
-            let distinct_bytes: usize = distinct.iter().map(|s| s.len()).sum();
-            let compressed_bytes: usize = distinct.iter().map(|s| table.compressed_size(s)).sum();
-            let factor = if distinct_bytes == 0 {
-                1.0
-            } else {
-                compressed_bytes as f64 / distinct_bytes as f64
-            };
-            let pool = (stats.unique_bytes as f64 * factor) as usize
-                + table.serialized_size()
-                + 4 * (stats.unique_count + 1);
-            dict_ratio(
-                arena.len(),
-                stats.unique_count,
-                stats.total_bytes + 4 * (arena.len() + 1),
-                pool,
-            )
-        } else {
-            let mut scratch = Vec::with_capacity(sample.heap_size() + 64);
-            compress_str_with(code, &sample, depth, cfg, &mut scratch);
-            sample_bytes / scratch.len() as f64
-        };
-        estimates.push(Estimate { code, ratio });
-        if ratio > best.ratio {
-            best = Estimate { code, ratio };
-        }
+        return SchemeCode::OneValue;
     }
-    Selection { code: best.code, estimates }
+    let mut ranges = scratch.lease_ranges(cfg.sample_runs);
+    sampling::sample_ranges_into(arena.len(), cfg.sample_runs, cfg.sample_run_len, depth as u64, &mut ranges);
+    let mut sample = scratch.lease_arena();
+    sampling::gather_str_into(arena, &ranges, &mut sample);
+    let sample_bytes = sample.heap_size() as f64;
+    let mut trial = scratch.lease_u8(sample.heap_size() + 64);
+    let code = run_selection(
+        ColumnType::String,
+        cfg,
+        None,
+        |code| {
+            if !str::viable(code, stats, cfg) {
+                return None;
+            }
+            Some(if code == SchemeCode::Dict && cfg.analytic_estimates {
+                dict_ratio(
+                    arena.len(),
+                    stats.unique_count,
+                    stats.total_bytes + 4 * (arena.len() + 1),
+                    stats.unique_bytes + 4 * (stats.unique_count + 1),
+                )
+            } else if code == SchemeCode::DictFsst && cfg.analytic_estimates {
+                // Analytic dictionary estimate with an FSST factor measured on
+                // the sample's distinct strings; a dictionary built from the
+                // sample alone would be dominated by symbol-table overhead.
+                let mut seen = std::collections::HashSet::new();
+                let distinct: Vec<&[u8]> = sample.iter().filter(|s| seen.insert(*s)).collect();
+                let table = btr_fsst::SymbolTable::train(&distinct);
+                let distinct_bytes: usize = distinct.iter().map(|s| s.len()).sum();
+                let compressed_bytes: usize = distinct.iter().map(|s| table.compressed_size(s)).sum();
+                let factor = if distinct_bytes == 0 {
+                    1.0
+                } else {
+                    compressed_bytes as f64 / distinct_bytes as f64
+                };
+                let pool = (stats.unique_bytes as f64 * factor) as usize
+                    + table.serialized_size()
+                    + 4 * (stats.unique_count + 1);
+                dict_ratio(
+                    arena.len(),
+                    stats.unique_count,
+                    stats.total_bytes + 4 * (arena.len() + 1),
+                    pool,
+                )
+            } else {
+                trial.clear();
+                emit_str(code, &sample, depth, cfg, scratch, &mut trial);
+                sample_bytes / trial.len() as f64
+            })
+        },
+        estimates,
+    );
+    scratch.release_u8(trial);
+    scratch.release_arena(sample);
+    scratch.release_ranges(ranges);
+    code
 }
 
 /// Compresses a string block with a forced root scheme.
 pub fn compress_str_with(code: SchemeCode, arena: &StringArena, depth: u8, cfg: &Config, out: &mut Vec<u8>) {
+    let mut scratch = EncodeScratch::new();
+    compress_str_with_into(code, arena, depth, cfg, &mut scratch, out);
+}
+
+/// [`compress_str_with`] leasing all temporaries from `scratch`.
+pub fn compress_str_with_into(
+    code: SchemeCode,
+    arena: &StringArena,
+    depth: u8,
+    cfg: &Config,
+    scratch: &mut EncodeScratch,
+    out: &mut Vec<u8>,
+) {
+    emit_str(code, arena, depth, cfg, scratch, out);
+}
+
+/// Writes the frame header and dispatches to the scheme compressor.
+fn emit_str(
+    code: SchemeCode,
+    arena: &StringArena,
+    depth: u8,
+    cfg: &Config,
+    scratch: &mut EncodeScratch,
+    out: &mut Vec<u8>,
+) {
     let code = if depth == 0 || arena.is_empty() { SchemeCode::Uncompressed } else { code };
     out.put_u8(code.as_u8());
     // lint: allow(cast) encode side: block length is capped at max_block_values
@@ -502,9 +797,9 @@ pub fn compress_str_with(code: SchemeCode, arena: &StringArena, depth: u8, cfg: 
     match code {
         SchemeCode::Uncompressed => str::uncompressed::compress(arena, out),
         SchemeCode::OneValue => str::onevalue::compress(arena, out),
-        SchemeCode::Dict => str::dict::compress(arena, child_depth, cfg, out),
-        SchemeCode::DictFsst => str::dict_fsst::compress(arena, child_depth, cfg, out),
-        SchemeCode::Fsst => str::fsst::compress(arena, child_depth, cfg, out),
+        SchemeCode::Dict => str::dict::compress(arena, child_depth, cfg, scratch, out),
+        SchemeCode::DictFsst => str::dict_fsst::compress(arena, child_depth, cfg, scratch, out),
+        SchemeCode::Fsst => str::fsst::compress(arena, child_depth, cfg, scratch, out),
         _ => unreachable!("scheme {code:?} is not a string scheme"),
     }
 }

@@ -13,7 +13,7 @@
 
 use crate::config::Config;
 use crate::scheme::{self, SchemeCode};
-use crate::scratch::DecodeScratch;
+use crate::scratch::{DecodeScratch, EncodeScratch};
 use crate::simd;
 use crate::types::{StringArena, StringViews};
 use crate::writer::{Reader, WriteLe};
@@ -22,10 +22,20 @@ use crate::fxhash::FxHashMap;
 
 /// Builds `(dictionary arena, codes)` in first-occurrence order.
 pub fn encode_dict(arena: &StringArena) -> (StringArena, Vec<i32>) {
-    let mut map: FxHashMap<&[u8], i32> =
-        FxHashMap::with_capacity_and_hasher(arena.len() / 4 + 1, Default::default());
     let mut dict = StringArena::new();
     let mut codes = Vec::with_capacity(arena.len());
+    encode_dict_into(arena, &mut dict, &mut codes);
+    (dict, codes)
+}
+
+/// [`encode_dict`] into caller-owned buffers (cleared first). The lookup map
+/// keys borrow from `arena`, so it stays function-local — the one allocation
+/// the string dictionary keeps on the encode path.
+pub fn encode_dict_into(arena: &StringArena, dict: &mut StringArena, codes: &mut Vec<i32>) {
+    let mut map: FxHashMap<&[u8], i32> =
+        FxHashMap::with_capacity_and_hasher(arena.len() / 4 + 1, Default::default());
+    dict.clear();
+    codes.clear();
     for i in 0..arena.len() {
         let s = arena.get(i);
         let code = *map.entry(s).or_insert_with(|| {
@@ -35,14 +45,24 @@ pub fn encode_dict(arena: &StringArena) -> (StringArena, Vec<i32>) {
         });
         codes.push(code);
     }
-    (dict, codes)
 }
 
-/// Compresses `arena` as a dictionary with a cascaded code sequence.
-pub fn compress(arena: &StringArena, child_depth: u8, cfg: &Config, out: &mut Vec<u8>) {
-    let (dict, codes) = encode_dict(arena);
+/// Compresses `arena` as a dictionary with a cascaded code sequence, leasing
+/// the dictionary arena and code array from `scratch`.
+pub fn compress(
+    arena: &StringArena,
+    child_depth: u8,
+    cfg: &Config,
+    scratch: &mut EncodeScratch,
+    out: &mut Vec<u8>,
+) {
+    let mut dict = scratch.lease_arena();
+    let mut codes = scratch.lease_i32(arena.len());
+    encode_dict_into(arena, &mut dict, &mut codes);
     write_dict(&dict, out);
-    scheme::compress_int_excluding(&codes, child_depth, cfg, out, Some(SchemeCode::Dict));
+    scheme::compress_int_excluding_into(&codes, child_depth, cfg, scratch, out, Some(SchemeCode::Dict));
+    scratch.release_arena(dict);
+    scratch.release_i32(codes);
 }
 
 pub(crate) fn write_dict(dict: &StringArena, out: &mut Vec<u8>) {

@@ -13,20 +13,30 @@
 
 use crate::config::Config;
 use crate::scheme;
-use crate::scratch::DecodeScratch;
+use crate::scratch::{DecodeScratch, EncodeScratch};
 use crate::types::{StringArena, StringViews};
 use crate::writer::{Reader, WriteLe};
 use crate::{Error, Result};
 use btr_fsst::SymbolTable;
 
-/// Compresses `arena` as Dict+FSST.
-pub fn compress(arena: &StringArena, child_depth: u8, cfg: &Config, out: &mut Vec<u8>) {
-    let (dict, codes) = super::dict::encode_dict(arena);
+/// Compresses `arena` as Dict+FSST, leasing the dictionary arena, code
+/// array, compressed-pool, and length buffers from `scratch`. (Symbol-table
+/// training still allocates its own storage.)
+pub fn compress(
+    arena: &StringArena,
+    child_depth: u8,
+    cfg: &Config,
+    scratch: &mut EncodeScratch,
+    out: &mut Vec<u8>,
+) {
+    let mut dict = scratch.lease_arena();
+    let mut codes = scratch.lease_i32(arena.len());
+    super::dict::encode_dict_into(arena, &mut dict, &mut codes);
+    let mut compressed = scratch.lease_u8(dict.total_bytes() / 2 + 16);
+    let mut lengths = scratch.lease_u32(dict.len());
     let dict_strings: Vec<&[u8]> = dict.iter().collect();
     let table = SymbolTable::train(&dict_strings);
     let table_bytes = table.serialize();
-    let mut compressed = Vec::with_capacity(dict.total_bytes() / 2 + 16);
-    let mut lengths = Vec::with_capacity(dict.len());
     for s in &dict_strings {
         table.compress(s, &mut compressed);
         // lint: allow(cast) encode side: a single string is far smaller than 4 GiB
@@ -41,7 +51,19 @@ pub fn compress(arena: &StringArena, child_depth: u8, cfg: &Config, out: &mut Ve
     out.put_u32(compressed.len() as u32);
     out.extend_from_slice(&compressed);
     out.put_u32_slice(&lengths);
-    scheme::compress_int_excluding(&codes, child_depth, cfg, out, Some(crate::scheme::SchemeCode::Dict));
+    scheme::compress_int_excluding_into(
+        &codes,
+        child_depth,
+        cfg,
+        scratch,
+        out,
+        Some(crate::scheme::SchemeCode::Dict),
+    );
+    drop(dict_strings);
+    scratch.release_arena(dict);
+    scratch.release_i32(codes);
+    scratch.release_u8(compressed);
+    scratch.release_u32(lengths);
 }
 
 /// Decompresses a Dict+FSST block of `count` strings.

@@ -12,19 +12,27 @@
 
 use crate::config::Config;
 use crate::scheme;
-use crate::scratch::DecodeScratch;
+use crate::scratch::{DecodeScratch, EncodeScratch};
 use crate::types::{StringArena, StringViews};
 use crate::writer::{Reader, WriteLe};
 use crate::{Error, Result};
 use btr_fsst::SymbolTable;
 
-/// Compresses `arena` with FSST.
-pub fn compress(arena: &StringArena, child_depth: u8, cfg: &Config, out: &mut Vec<u8>) {
+/// Compresses `arena` with FSST, leasing the compressed-bytes and length
+/// buffers from `scratch`. (Symbol-table training still allocates its own
+/// storage — the allocations this scheme keeps.)
+pub fn compress(
+    arena: &StringArena,
+    child_depth: u8,
+    cfg: &Config,
+    scratch: &mut EncodeScratch,
+    out: &mut Vec<u8>,
+) {
     let strings: Vec<&[u8]> = arena.iter().collect();
     let table = SymbolTable::train(&strings);
     let table_bytes = table.serialize();
-    let mut compressed = Vec::with_capacity(arena.total_bytes() / 2 + 16);
-    let mut lengths = Vec::with_capacity(arena.len());
+    let mut compressed = scratch.lease_u8(arena.total_bytes() / 2 + 16);
+    let mut lengths = scratch.lease_i32(arena.len());
     for s in &strings {
         table.compress(s, &mut compressed);
         // lint: allow(cast) encode side: a single string is far smaller than 2 GiB
@@ -36,7 +44,9 @@ pub fn compress(arena: &StringArena, child_depth: u8, cfg: &Config, out: &mut Ve
     // lint: allow(cast) encode side: compressed pool is far smaller than 4 GiB
     out.put_u32(compressed.len() as u32);
     out.extend_from_slice(&compressed);
-    scheme::compress_int(&lengths, child_depth, cfg, out);
+    scheme::compress_int_into(&lengths, child_depth, cfg, scratch, out);
+    scratch.release_u8(compressed);
+    scratch.release_i32(lengths);
 }
 
 /// Decompresses an FSST block of `count` strings.

@@ -42,7 +42,8 @@
 //! `Vec`'s safe API. Sized leases are padded by [`crate::simd::DECODE_SLACK`]
 //! so the SIMD kernels' overshoot reservation always fits the pooled buffer.
 
-use crate::types::{ColumnType, DecodedColumn, StringViews};
+use crate::fxhash::FxHashMap;
+use crate::types::{ColumnType, DecodedColumn, StringArena, StringViews};
 
 /// Default pool budget: enough for several 64k-value blocks of temporaries
 /// per worker without letting a pathological column pin memory forever.
@@ -280,6 +281,180 @@ impl std::fmt::Debug for DecodeScratch {
     }
 }
 
+/// How many cleared hash maps an [`EncodeScratch`] retains per key type.
+///
+/// `HashMap` capacity is opaque (no `capacity -> bytes` contract), so maps
+/// are capped by count rather than charged against the byte budget. The
+/// cascade holds at most one stats map plus one dictionary map per level
+/// (depth ≤ 3 in practice), so a small stack covers the deepest recursion.
+const MAP_STACK_MAX: usize = 8;
+
+/// A reusable arena of *encode* temporaries — the write-side sibling of
+/// [`DecodeScratch`], sharing its tiered-freelist design and budget policy.
+///
+/// The compression pipeline (§3 of the paper: stats → viability filter →
+/// sampled trials → cascade) is temporary-heavy: every block gathers a
+/// sample, every candidate scheme compresses that sample into a trial
+/// buffer, and every chosen scheme materialises side-arrays (RLE run pairs,
+/// dictionary code sequences, frequency exception lists, Pseudodecimal
+/// digit/exponent columns) that are themselves recursively compressed. All
+/// of those are leased from this arena and released on exit, so a warm
+/// `compress_column_into` performs zero heap allocations for integer and
+/// double columns (string columns still allocate in borrowed-key stats maps
+/// and FSST symbol-table training; see DESIGN.md §12).
+///
+/// Beyond the element-type vector pools it adds encode-specific free stacks:
+///
+/// - sample-range pairs (`Vec<(usize, usize)>`) reused across candidate
+///   trials and cascade levels,
+/// - cleared [`StringArena`]s for per-block string sub-ranges and sample
+///   gathers,
+/// - cleared `FxHashMap`s for one-pass integer/double statistics and
+///   dictionary code assignment (both key on `i32` / `u64` bit patterns).
+///
+/// Like [`DecodeScratch`] this module is deliberately `unsafe`-free (noted
+/// in `btr-lint.toml`): all reuse goes through `Vec`/`HashMap` safe APIs.
+/// Not thread-safe by design — each encode worker owns one.
+pub struct EncodeScratch {
+    i32s: Pool<i32>,
+    f64s: Pool<f64>,
+    u8s: Pool<u8>,
+    u32s: Pool<u32>,
+    ranges: Pool<(usize, usize)>,
+    arenas: Vec<StringArena>,
+    arena_bytes: usize,
+    int_maps: Vec<FxHashMap<i32, usize>>,
+    bits_maps: Vec<FxHashMap<u64, usize>>,
+    budget_bytes: usize,
+    hits: u64,
+    misses: u64,
+    returns: u64,
+    dropped: u64,
+}
+
+impl EncodeScratch {
+    /// A scratch arena with the default byte budget.
+    pub fn new() -> EncodeScratch {
+        EncodeScratch::with_budget(DEFAULT_BUDGET_BYTES)
+    }
+
+    /// A scratch arena holding at most `budget_bytes` of pooled capacity.
+    pub fn with_budget(budget_bytes: usize) -> EncodeScratch {
+        EncodeScratch {
+            i32s: Pool::new(),
+            f64s: Pool::new(),
+            u8s: Pool::new(),
+            u32s: Pool::new(),
+            ranges: Pool::new(),
+            arenas: Vec::new(),
+            arena_bytes: 0,
+            int_maps: Vec::new(),
+            bits_maps: Vec::new(),
+            budget_bytes,
+            hits: 0,
+            misses: 0,
+            returns: 0,
+            dropped: 0,
+        }
+    }
+
+    pool_methods!(lease_i32, release_i32, i32s, i32);
+    pool_methods!(lease_f64, release_f64, f64s, f64);
+    pool_methods!(lease_u8, release_u8, u8s, u8);
+    pool_methods!(lease_u32, release_u32, u32s, u32);
+    pool_methods!(lease_ranges, release_ranges, ranges, (usize, usize));
+
+    /// Leases an empty [`StringArena`] (cleared pooled arena or fresh).
+    pub fn lease_arena(&mut self) -> StringArena {
+        match self.arenas.pop() {
+            Some(a) => {
+                self.hits += 1;
+                self.arena_bytes -= a.capacity_bytes();
+                a
+            }
+            // Lazily sized by the caller's pushes; neither a hit nor a miss.
+            None => StringArena::new(),
+        }
+    }
+
+    /// Returns a leased arena to the pool (or drops it over budget).
+    pub fn release_arena(&mut self, mut a: StringArena) {
+        let bytes = a.capacity_bytes();
+        if bytes == 0 {
+            return;
+        }
+        if bytes > self.budget_bytes.saturating_sub(self.held_bytes()) {
+            self.dropped += 1;
+            return;
+        }
+        a.clear();
+        self.arena_bytes += bytes;
+        self.returns += 1;
+        self.arenas.push(a);
+    }
+
+    /// Leases a cleared `i32`-keyed map (integer stats, dictionary codes).
+    pub fn lease_int_map(&mut self) -> FxHashMap<i32, usize> {
+        self.int_maps.pop().unwrap_or_default()
+    }
+
+    /// Returns an `i32`-keyed map, retaining its capacity for the next lease.
+    pub fn release_int_map(&mut self, mut m: FxHashMap<i32, usize>) {
+        if self.int_maps.len() < MAP_STACK_MAX {
+            m.clear();
+            self.int_maps.push(m);
+        }
+    }
+
+    /// Leases a cleared `u64`-keyed map (double stats/dictionaries by bits).
+    pub fn lease_bits_map(&mut self) -> FxHashMap<u64, usize> {
+        self.bits_maps.pop().unwrap_or_default()
+    }
+
+    /// Returns a `u64`-keyed map, retaining its capacity for the next lease.
+    pub fn release_bits_map(&mut self, mut m: FxHashMap<u64, usize>) {
+        if self.bits_maps.len() < MAP_STACK_MAX {
+            m.clear();
+            self.bits_maps.push(m);
+        }
+    }
+
+    /// Bytes of capacity currently pooled (vector pools + string arenas;
+    /// retained maps are capped by count, not bytes — see [`MAP_STACK_MAX`]).
+    pub fn held_bytes(&self) -> usize {
+        self.i32s.held_bytes
+            + self.f64s.held_bytes
+            + self.u8s.held_bytes
+            + self.u32s.held_bytes
+            + self.ranges.held_bytes
+            + self.arena_bytes
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> ScratchStats {
+        ScratchStats {
+            hits: self.hits,
+            misses: self.misses,
+            returns: self.returns,
+            dropped: self.dropped,
+            held_bytes: self.held_bytes(),
+            budget_bytes: self.budget_bytes,
+        }
+    }
+}
+
+impl Default for EncodeScratch {
+    fn default() -> Self {
+        EncodeScratch::new()
+    }
+}
+
+impl std::fmt::Debug for EncodeScratch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EncodeScratch").field("stats", &self.stats()).finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -359,5 +534,67 @@ mod tests {
         s.release_i32(Vec::new());
         let st = s.stats();
         assert_eq!((st.returns, st.dropped, st.held_bytes), (0, 0, 0));
+    }
+
+    #[test]
+    fn encode_scratch_roundtrips_vectors() {
+        let mut s = EncodeScratch::new();
+        let mut v = s.lease_i32(500);
+        assert!(v.is_empty() && v.capacity() >= 500);
+        v.extend(0..500);
+        let ptr = v.as_ptr();
+        s.release_i32(v);
+        let v2 = s.lease_i32(500);
+        assert!(v2.is_empty() && v2.capacity() >= 500);
+        assert_eq!(v2.as_ptr(), ptr, "same allocation served back");
+        let st = s.stats();
+        assert_eq!((st.hits, st.misses, st.returns), (1, 1, 1));
+    }
+
+    #[test]
+    fn encode_scratch_reuses_ranges_and_arena() {
+        let mut s = EncodeScratch::new();
+        let mut r = s.lease_ranges(10);
+        r.push((0, 64));
+        s.release_ranges(r);
+        assert!(s.lease_ranges(8).capacity() >= 8);
+        assert_eq!(s.stats().hits, 1);
+
+        let mut a = s.lease_arena();
+        a.push(b"hello");
+        a.push(b"world");
+        s.release_arena(a);
+        assert!(s.held_bytes() > 0);
+        let a2 = s.lease_arena();
+        assert!(a2.is_empty(), "pooled arenas come back cleared");
+        assert!(a2.capacity_bytes() > 0, "but keep their capacity");
+    }
+
+    #[test]
+    fn encode_scratch_reuses_maps_cleared() {
+        let mut s = EncodeScratch::new();
+        let mut m = s.lease_int_map();
+        m.insert(7, 3);
+        let cap = m.capacity();
+        s.release_int_map(m);
+        let m2 = s.lease_int_map();
+        assert!(m2.is_empty(), "pooled maps come back cleared");
+        assert_eq!(m2.capacity(), cap, "but keep their capacity");
+
+        let mut b = s.lease_bits_map();
+        b.insert(1.5f64.to_bits(), 1);
+        s.release_bits_map(b);
+        assert!(s.lease_bits_map().is_empty());
+    }
+
+    #[test]
+    fn encode_scratch_budget_drops_arenas() {
+        let mut s = EncodeScratch::with_budget(8);
+        let mut a = StringArena::new();
+        a.push(&[0u8; 64]);
+        s.release_arena(a);
+        let st = s.stats();
+        assert_eq!((st.returns, st.dropped), (0, 1));
+        assert_eq!(s.held_bytes(), 0);
     }
 }

@@ -32,6 +32,13 @@ impl IntegerStats {
     pub fn collect(values: &[i32]) -> Self {
         let mut counts: FxHashMap<i32, usize> =
             FxHashMap::with_capacity_and_hasher(values.len() / 4 + 1, Default::default());
+        Self::collect_with_map(values, &mut counts)
+    }
+
+    /// [`collect`](Self::collect) reusing a caller-owned count map (cleared
+    /// first) so the encode scratch arena can pool it across blocks.
+    pub fn collect_with_map(values: &[i32], counts: &mut FxHashMap<i32, usize>) -> Self {
+        counts.clear();
         let mut min = i32::MAX;
         let mut max = i32::MIN;
         let mut runs = 0usize;
@@ -45,9 +52,12 @@ impl IntegerStats {
             }
             prev = Some(v);
         }
+        // Ties on count break toward the larger value: the winner must not
+        // depend on hash-map iteration order (and hence map capacity), or
+        // pooled maps would make serial and parallel output diverge.
         let (top_value, top_count) = counts
             .iter()
-            .max_by_key(|&(_, &c)| c)
+            .max_by_key(|&(&v, &c)| (c, v))
             .map(|(&v, &c)| (v, c))
             .unwrap_or((0, 0));
         IntegerStats {
@@ -89,6 +99,13 @@ impl DoubleStats {
     pub fn collect(values: &[f64]) -> Self {
         let mut counts: FxHashMap<u64, usize> =
             FxHashMap::with_capacity_and_hasher(values.len() / 4 + 1, Default::default());
+        Self::collect_with_map(values, &mut counts)
+    }
+
+    /// [`collect`](Self::collect) reusing a caller-owned count map (cleared
+    /// first) so the encode scratch arena can pool it across blocks.
+    pub fn collect_with_map(values: &[f64], counts: &mut FxHashMap<u64, usize>) -> Self {
+        counts.clear();
         let mut runs = 0usize;
         let mut prev: Option<u64> = None;
         for &v in values {
@@ -99,9 +116,10 @@ impl DoubleStats {
             }
             prev = Some(bits);
         }
+        // Deterministic tie-break by bit pattern (see IntegerStats).
         let (top_bits, top_count) = counts
             .iter()
-            .max_by_key(|&(_, &c)| c)
+            .max_by_key(|&(&v, &c)| (c, v))
             .map(|(&v, &c)| (v, c))
             .unwrap_or((0, 0));
         DoubleStats {
@@ -158,9 +176,11 @@ impl StringStats {
             }
             prev = Some(s);
         }
+        // Deterministic tie-break toward the earliest first occurrence
+        // (see IntegerStats for why iteration order must not decide).
         let (top_index, top_count) = counts
             .values()
-            .max_by_key(|&&(c, _)| c)
+            .max_by_key(|&&(c, i)| (c, std::cmp::Reverse(i)))
             .map(|&(c, i)| (i, c))
             .unwrap_or((0, 0));
         StringStats {
@@ -238,6 +258,38 @@ mod tests {
         assert_eq!(arena.get(s.top_index), b"x");
         assert_eq!(s.total_bytes, 8);
         assert_eq!(s.unique_bytes, 6);
+    }
+
+    #[test]
+    fn top_value_ties_break_deterministically() {
+        // 3 and 7 both appear twice; the larger value must win regardless of
+        // the count map's capacity (and hence iteration order).
+        let values = [7, 3, 3, 7, 1];
+        for extra_capacity in [0usize, 16, 1024] {
+            let mut map =
+                FxHashMap::with_capacity_and_hasher(extra_capacity, Default::default());
+            let s = IntegerStats::collect_with_map(&values, &mut map);
+            assert_eq!((s.top_value, s.top_count), (7, 2));
+        }
+        let d = DoubleStats::collect(&[2.0, 8.0, 8.0, 2.0]);
+        assert_eq!((d.top_value, d.top_count), (8.0, 2));
+        let arena = StringArena::from_strs(&["b", "a", "a", "b"]);
+        let st = StringStats::collect(&arena);
+        // Equal counts: earliest first occurrence wins.
+        assert_eq!((st.top_index, st.top_count), (0, 2));
+    }
+
+    #[test]
+    fn collect_with_map_matches_collect() {
+        let values: Vec<i32> = (0..500).map(|i| i % 37).collect();
+        let fresh = IntegerStats::collect(&values);
+        let mut map = FxHashMap::default();
+        map.insert(999, 999); // dirty map must be cleared
+        let pooled = IntegerStats::collect_with_map(&values, &mut map);
+        assert_eq!(
+            (fresh.unique_count, fresh.top_value, fresh.top_count, fresh.min, fresh.max),
+            (pooled.unique_count, pooled.top_value, pooled.top_count, pooled.min, pooled.max)
+        );
     }
 
     #[test]

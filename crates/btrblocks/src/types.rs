@@ -127,10 +127,30 @@ impl StringArena {
     /// Returns a sub-arena with the strings at `indices` (used by sampling).
     pub fn gather(&self, indices: impl Iterator<Item = usize>) -> StringArena {
         let mut out = StringArena::new();
+        self.gather_into(indices, &mut out);
+        out
+    }
+
+    /// [`gather`](Self::gather) into a caller-owned arena (cleared first),
+    /// so block slicing and sample gathers can reuse a leased arena.
+    pub fn gather_into(&self, indices: impl Iterator<Item = usize>, out: &mut StringArena) {
+        out.clear();
         for i in indices {
             out.push(self.get(i));
         }
-        out
+    }
+
+    /// Empties the arena, keeping both buffers' capacity.
+    pub fn clear(&mut self) {
+        self.bytes.clear();
+        self.offsets.clear();
+        self.offsets.push(0);
+    }
+
+    /// Bytes of backing capacity (bytes pool + offsets), used by the encode
+    /// scratch arena to charge pooled arenas against its byte budget.
+    pub fn capacity_bytes(&self) -> usize {
+        self.bytes.capacity() + self.offsets.capacity() * 4
     }
 }
 

@@ -1,0 +1,140 @@
+//! Zero-allocation warm encode: the tentpole guarantee of `EncodeScratch`.
+//!
+//! This binary installs btr-corrupt's tracking allocator as the global
+//! allocator, compresses a relation once cold (populating the scratch pool
+//! and the output shells), then compresses the same columns again warm via
+//! `compress_column_into` and asserts the warm pass performs **zero** heap
+//! allocations.
+//!
+//! The scheme pool is restricted to the schemes whose encode path is fully
+//! scratch-leased: Frequency keeps a Roaring bitmap serialization and the
+//! FSST schemes keep symbol-table training allocations, so they are excluded
+//! here (their leased temporaries are covered by the roundtrip proptests).
+//! String columns are excluded for the same reason — their stats and
+//! dictionary maps key on borrowed `&[u8]` slices that cannot outlive one
+//! block, so those maps are rebuilt per block by design (DESIGN.md §12).
+
+use btr_corrupt::alloc::{self, TrackingAllocator};
+use btrblocks::{
+    compress_column, compress_column_into, Column, ColumnData, CompressedColumn, Config,
+    EncodeScratch, Relation, SchemeCode,
+};
+
+#[global_allocator]
+static ALLOCATOR: TrackingAllocator = TrackingAllocator;
+
+fn scratch_only_config() -> Config {
+    Config {
+        block_size: 2_048,
+        ..Config::default()
+    }
+    .with_pool(&[
+        SchemeCode::Uncompressed,
+        SchemeCode::OneValue,
+        SchemeCode::Rle,
+        SchemeCode::Dict,
+        SchemeCode::FastPfor,
+        SchemeCode::FastBp128,
+    ])
+}
+
+fn sample_relation(rows: usize) -> Relation {
+    Relation::new(vec![
+        // Ascending ints: FastPfor/FastBp128 territory.
+        Column::new("id", ColumnData::Int((0..rows as i32).collect())),
+        // Run-heavy ints: RLE with a cascaded child.
+        Column::new("runs", ColumnData::Int((0..rows).map(|i| (i / 100) as i32 % 7).collect())),
+        // Low-cardinality ints: integer dictionary.
+        Column::new("cat", ColumnData::Int((0..rows).map(|i| (i * 31) as i32 % 40).collect())),
+        // Constant ints: OneValue.
+        Column::new("one", ColumnData::Int(vec![42; rows])),
+        // Low-cardinality doubles: double dictionary.
+        Column::new(
+            "price",
+            ColumnData::Double((0..rows).map(|i| (i % 50) as f64 * 0.25).collect()),
+        ),
+        // Run-heavy doubles: double RLE.
+        Column::new(
+            "bucket",
+            ColumnData::Double((0..rows).map(|i| (i / 200) as f64).collect()),
+        ),
+    ])
+}
+
+/// One full encode of every column into its reused shell, the way a
+/// steady-state ingest loop recompresses batches.
+fn encode_all(
+    rel: &Relation,
+    cfg: &Config,
+    scratch: &mut EncodeScratch,
+    outs: &mut [CompressedColumn],
+) -> usize {
+    let mut bytes = 0;
+    for (col, out) in rel.columns.iter().zip(outs.iter_mut()) {
+        compress_column_into(col, cfg, scratch, out);
+        bytes += out.blocks.iter().map(|b| b.len()).sum::<usize>();
+    }
+    bytes
+}
+
+// One #[test] only: the allocator counters are process-global, and a second
+// test running on a sibling thread would count its allocations into the
+// measured window.
+#[test]
+fn warm_encode_allocates_zero_bytes() {
+    let cfg = scratch_only_config();
+    let rel = sample_relation(10_000);
+
+    let mut scratch = EncodeScratch::new();
+    let mut outs: Vec<CompressedColumn> = rel
+        .columns
+        .iter()
+        .map(|col| CompressedColumn {
+            name: String::new(),
+            column_type: col.data.column_type(),
+            nulls: Vec::new(),
+            blocks: Vec::new(),
+            schemes: Vec::new(),
+        })
+        .collect();
+
+    // Cold pass: every lease misses and allocates; the pool and the output
+    // shells fill up.
+    let cold_bytes = encode_all(&rel, &cfg, &mut scratch, &mut outs);
+    assert!(cold_bytes > 0);
+    let cold = scratch.stats();
+    assert!(cold.misses > 0, "cold pass must populate the pool");
+    assert_eq!(cold.dropped, 0, "budget must not drop encode-sized buffers");
+
+    // Settle pass: shells and pool already shaped; lets any one-time growth
+    // (tier rebalancing, map capacity) finish before the measured window.
+    let settle_bytes = encode_all(&rel, &cfg, &mut scratch, &mut outs);
+    assert_eq!(settle_bytes, cold_bytes);
+
+    // Warm pass: identical work, zero heap allocations.
+    let (warm_bytes, growth) =
+        alloc::measure(|| encode_all(&rel, &cfg, &mut scratch, &mut outs));
+    assert_eq!(warm_bytes, cold_bytes);
+    assert_eq!(
+        growth, 0,
+        "warm encode must not allocate (grew {growth} bytes; stats: {:?})",
+        scratch.stats()
+    );
+
+    // The reused shells must hold exactly what a fresh compression produces:
+    // buffer reuse is a performance property, never an output property.
+    for (col, out) in rel.columns.iter().zip(&outs) {
+        let fresh = compress_column(col, &cfg);
+        assert_eq!(&fresh, out, "column {}", col.name);
+    }
+
+    // A tight budget drops oversized returns instead of hoarding; encode
+    // still succeeds, it just stays allocating. This pins the budget
+    // behaviour end-to-end rather than only at the unit level.
+    let mut scratch = EncodeScratch::with_budget(1 << 10);
+    let bytes = encode_all(&rel, &cfg, &mut scratch, &mut outs);
+    assert_eq!(bytes, cold_bytes);
+    let stats = scratch.stats();
+    assert!(stats.held_bytes <= stats.budget_bytes);
+    assert!(stats.dropped > 0, "tight budget must drop returns");
+}

@@ -258,6 +258,45 @@ fn relations_roundtrip_via_file_bytes() {
     }
 }
 
+#[test]
+fn block_parallel_compression_matches_serial() {
+    // Block-granular parallel compression must be byte-identical to the
+    // serial path for any relation shape and any worker count — including a
+    // single-column relation, where the old per-column fan-out degenerated
+    // to one worker.
+    let mut rng = Xorshift::new(0xB10C);
+    for case in 0..CASES {
+        let cfg = small_cfg(simd_mode(case));
+        let ints = arb_ints(&mut rng);
+        let n = ints.len();
+        let doubles: Vec<f64> = (0..n).map(|_| f64::from_bits(rng.next_u64())).collect();
+        let strings = arb_strings(&mut rng);
+        let srefs: Vec<&[u8]> = strings.iter().map(|s| s.as_slice()).collect();
+        let mut arena = StringArena::new();
+        for s in srefs.iter().take(n) {
+            arena.push(s);
+        }
+        while arena.len() < n {
+            arena.push(b"pad");
+        }
+        let rel = Relation::new(vec![
+            Column::new("i", ColumnData::Int(ints.clone())),
+            Column::new("d", ColumnData::Double(doubles)),
+            Column::new("s", ColumnData::Str(arena)),
+        ]);
+        let serial = btrblocks::compress(&rel, &cfg).unwrap();
+        let single = Relation::new(vec![Column::new("only", ColumnData::Int(ints))]);
+        let single_serial = btrblocks::compress(&single, &cfg).unwrap();
+        for threads in [1usize, 2, 3, 8] {
+            let par = btrblocks::compress_parallel(&rel, &cfg, threads).unwrap();
+            assert_eq!(par, serial, "case {case} threads {threads}");
+            assert_eq!(par.to_bytes(), serial.to_bytes(), "case {case} threads {threads}");
+            let par = btrblocks::compress_parallel(&single, &cfg, threads).unwrap();
+            assert_eq!(par, single_serial, "single column, case {case} threads {threads}");
+        }
+    }
+}
+
 /// A deliberately filthy out-buffer of the right type: stale contents and
 /// odd capacities that `decompress_block_into` must fully overwrite.
 fn dirty_decoded(ty: ColumnType, rng: &mut Xorshift) -> DecodedColumn {

@@ -60,4 +60,14 @@ grep -q '"warm-scratch"' BENCH_decode.json
 # global allocator): its heap_growth_bytes field is the last run's.
 grep -q '"name": "warm-scratch", "seconds": [0-9.]*, "rows_per_s": [0-9]*, "heap_growth_bytes": 0,' BENCH_decode.json
 
+echo "== encode-path smoke benchmark (BENCH_compress.json)"
+BENCH_ROWS="${BENCH_ROWS:-64000}" BENCH_COMPRESS_JSON="BENCH_compress.json" \
+  cargo run --release --quiet -p btr-bench --bin compression_speed > /dev/null
+# The warm encode pass must stay allocation-free (tracked by the bench
+# binary's global allocator), and block-parallel compression must be
+# byte-identical to serial. Thread speedups are recorded but not asserted —
+# they depend on the host's core count (available_parallelism in the JSON).
+grep -q '"name": "warm-scratch", "seconds": [0-9.]*, "mb_per_s": [0-9.]*, "heap_growth_bytes": 0,' BENCH_compress.json
+grep -q '"parallel_matches_serial": true' BENCH_compress.json
+
 echo "ok"
