@@ -22,6 +22,7 @@ fn main() {
         ("column_scan", e::column_scan::run),
         ("compression_speed", e::compression_speed::run),
         ("scalar_ablation", e::scalar_ablation::run),
+        ("chaos_campaign", e::chaos_campaign::run),
     ];
     for (name, run) in suite {
         eprintln!(">>> running {name} (rows={rows}, seed={seed})");

@@ -1,0 +1,27 @@
+//! Chaos campaign smoke; see `btr_bench::experiments::chaos_campaign`.
+//!
+//! Prints the campaign verdict table and, when `BENCH_CHAOS_JSON` is set,
+//! writes the machine-readable counters (panics, divergence, attribution,
+//! hedges, quarantines) to that path — CI points it at `BENCH_chaos.json`
+//! and asserts the campaign came back clean. `BENCH_CHAOS_SCHEDULES`
+//! scales the campaign; `BENCH_SEED` replays a specific one.
+
+use btr_bench::experiments::chaos_campaign;
+
+fn main() {
+    let (schedules, seed) = (chaos_campaign::bench_schedules(), btr_bench::bench_seed());
+    let bench = chaos_campaign::measure(schedules, seed);
+    if let Ok(path) = std::env::var("BENCH_CHAOS_JSON") {
+        let json = chaos_campaign::json(&bench, schedules, seed);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("could not write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
+    println!("{}", chaos_campaign::render(&bench));
+    if !bench.report.is_clean() {
+        eprintln!("chaos campaign found failures (see table above)");
+        std::process::exit(1);
+    }
+}

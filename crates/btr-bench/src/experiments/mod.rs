@@ -4,6 +4,7 @@
 //! table/series. Binaries under `src/bin/` print these; `bin/all` runs the
 //! full suite. `EXPERIMENTS.md` records the paper-vs-measured comparison.
 
+pub mod chaos_campaign;
 pub mod column_scan;
 pub mod compression_speed;
 pub mod decode_scratch;

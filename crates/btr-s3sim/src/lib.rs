@@ -32,6 +32,13 @@
 //! per byte; scans are network-bound only while `T_c` — decompression
 //! throughput in *compressed* bytes — exceeds the wire speed.
 
+pub mod retry;
+
+pub use retry::{
+    run_with_retries, Attempt, Deadline, RetryBudget, RetryError, RetryFailure, RetryStats,
+    SimClock,
+};
+
 use btr_corrupt::rng::Xorshift;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -82,6 +89,13 @@ enum Fault {
     Truncate(usize),
     /// One bit of the response body is flipped at the given byte offset.
     CorruptBit { offset: usize, bit: u8 },
+    /// The connection dies mid-body after `got` bytes; unlike
+    /// [`Fault::Truncate`] the client *notices* (content-length mismatch)
+    /// and gets a typed error instead of silently short bytes.
+    Partial { got: usize },
+    /// The response is delayed by `ms` of simulated latency; with a request
+    /// timeout configured it may become a [`GetError::TimedOut`].
+    Spike { ms: u32 },
 }
 
 /// Deterministic fault injection for an [`ObjectStore`].
@@ -101,6 +115,21 @@ pub struct FaultPlan {
     pub truncate_rate: f64,
     /// Probability a GET returns a body with one bit flipped.
     pub corrupt_rate: f64,
+    /// Probability a GET dies mid-body with a typed
+    /// [`GetError::PartialBody`].
+    pub partial_rate: f64,
+    /// Probability a GET is hit by a latency spike.
+    pub latency_spike_rate: f64,
+    /// Peak spike latency in milliseconds; each spike draws a duration in
+    /// `[latency_spike_ms / 2, latency_spike_ms]` deterministically.
+    pub latency_spike_ms: u32,
+    /// Request timeout in milliseconds; `0` disables timeouts. A request
+    /// whose total latency reaches the timeout returns
+    /// [`GetError::TimedOut`] on the timed GET path.
+    pub request_timeout_ms: u32,
+    /// Base latency of every request in milliseconds (first-byte latency on
+    /// the timed GET path; hedging decisions key off it).
+    pub base_latency_ms: u32,
     /// Attempts per key after which GETs are always clean.
     pub max_faults_per_key: u32,
 }
@@ -112,6 +141,11 @@ impl Default for FaultPlan {
             transient_rate: 0.0,
             truncate_rate: 0.0,
             corrupt_rate: 0.0,
+            partial_rate: 0.0,
+            latency_spike_rate: 0.0,
+            latency_spike_ms: 2_000,
+            request_timeout_ms: 0,
+            base_latency_ms: 0,
             max_faults_per_key: 3,
         }
     }
@@ -128,7 +162,11 @@ impl FaultPlan {
     }
 
     fn draw(&self, key: &str, attempt: u32, body_len: usize) -> Fault {
-        if attempt >= self.max_faults_per_key {
+        // Convergence looks at the low bits only: a hedged request carries
+        // HEDGE_ATTEMPT_SALT in the high bits so it draws *independent*
+        // faults from the primary, yet still goes clean once the per-key
+        // fault window is spent.
+        if (attempt & 0xFFFF) >= self.max_faults_per_key {
             return Fault::None;
         }
         let mut h = self.seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(attempt) + 1);
@@ -137,21 +175,42 @@ impl FaultPlan {
         }
         let mut rng = Xorshift::new(h);
         let roll = rng.next_f64();
-        if roll < self.transient_rate {
-            Fault::Transient
-        } else if roll < self.transient_rate + self.truncate_rate && body_len > 0 {
-            Fault::Truncate(rng.gen_range(0..body_len))
-        } else if roll < self.transient_rate + self.truncate_rate + self.corrupt_rate && body_len > 0
-        {
-            Fault::CorruptBit {
+        let mut cum = self.transient_rate;
+        if roll < cum {
+            return Fault::Transient;
+        }
+        cum += self.truncate_rate;
+        if roll < cum && body_len > 0 {
+            return Fault::Truncate(rng.gen_range(0..body_len));
+        }
+        cum += self.corrupt_rate;
+        if roll < cum && body_len > 0 {
+            return Fault::CorruptBit {
                 offset: rng.gen_range(0..body_len),
                 bit: rng.gen_range(0u8..8),
-            }
-        } else {
-            Fault::None
+            };
         }
+        cum += self.partial_rate;
+        if roll < cum && body_len > 0 {
+            return Fault::Partial {
+                got: rng.gen_range(0..body_len),
+            };
+        }
+        cum += self.latency_spike_rate;
+        if roll < cum && self.latency_spike_ms > 0 {
+            return Fault::Spike {
+                ms: rng.gen_range(self.latency_spike_ms / 2..=self.latency_spike_ms),
+            };
+        }
+        Fault::None
     }
 }
+
+/// Attempt-counter salt for hedged requests: a hedge for attempt `n` draws
+/// faults as attempt `n | HEDGE_ATTEMPT_SALT`, giving it an independent
+/// fault outcome from the primary request while [`FaultPlan`]'s convergence
+/// window (which masks the salt off) still applies.
+pub const HEDGE_ATTEMPT_SALT: u32 = 1 << 20;
 
 /// Error from a faulted GET.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -160,6 +219,65 @@ pub enum GetError {
     NotFound,
     /// Injected transient failure; retrying may succeed.
     Transient,
+    /// The request exceeded the plan's timeout (latency spike).
+    TimedOut {
+        /// The timeout that fired, in milliseconds.
+        after_ms: u32,
+    },
+    /// The connection died mid-body: `got` of `expected` bytes arrived.
+    PartialBody {
+        /// Bytes received before the connection died.
+        got: usize,
+        /// Bytes the range/object should have produced.
+        expected: usize,
+    },
+}
+
+impl GetError {
+    /// Whether retrying the request could plausibly succeed. This is the
+    /// single place GET errors are classified as retryable vs permanent;
+    /// both [`Simulator::scan_with_retries`] and btr-scan's object-store
+    /// source defer to it.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            GetError::NotFound => false,
+            GetError::Transient | GetError::TimedOut { .. } | GetError::PartialBody { .. } => true,
+        }
+    }
+}
+
+impl std::fmt::Display for GetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GetError::NotFound => write!(f, "object not found"),
+            GetError::Transient => write!(f, "transient request failure"),
+            GetError::TimedOut { after_ms } => write!(f, "request timed out after {after_ms} ms"),
+            GetError::PartialBody { got, expected } => {
+                write!(f, "partial body: {got} of {expected} bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GetError {}
+
+/// Outcome of a GET on the timed path: what came back and how long the
+/// request took in simulated time. Latency is reported, never slept —
+/// callers charge it to their [`SimClock`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimedGet {
+    /// The response body or typed error.
+    pub outcome: Result<Vec<u8>, GetError>,
+    /// Simulated request latency in milliseconds (base latency plus any
+    /// injected spike, capped at the timeout when one fires).
+    pub latency_ms: u32,
+}
+
+impl TimedGet {
+    /// Request latency in simulated seconds.
+    pub fn latency_seconds(&self) -> f64 {
+        f64::from(self.latency_ms) / 1e3
+    }
 }
 
 /// Request accounting for an [`ObjectStore`] — how many GETs of each kind
@@ -248,10 +366,11 @@ impl ObjectStore {
         read_lock(&self.objects).get(key).cloned()
     }
 
-    /// Applies `fault` to a clean body.
+    /// Applies `fault` to a clean body. Latency ([`Fault::Spike`]) is the
+    /// timed path's concern; here a spiked body is otherwise clean.
     fn apply_fault(body: &[u8], fault: Fault) -> Result<Vec<u8>, GetError> {
         match fault {
-            Fault::None => Ok(body.to_vec()),
+            Fault::None | Fault::Spike { .. } => Ok(body.to_vec()),
             Fault::Transient => Err(GetError::Transient),
             Fault::Truncate(len) => Ok(body[..len.min(body.len())].to_vec()),
             Fault::CorruptBit { offset, bit } => {
@@ -261,6 +380,20 @@ impl ObjectStore {
                 }
                 Ok(out)
             }
+            Fault::Partial { got } => Err(GetError::PartialBody {
+                got: got.min(body.len()),
+                expected: body.len(),
+            }),
+        }
+    }
+
+    /// Bytes a response actually moved over the wire: full bodies for
+    /// successes, the received prefix for partial reads, nothing otherwise.
+    fn billed_bytes(outcome: &Result<Vec<u8>, GetError>) -> usize {
+        match outcome {
+            Ok(body) => body.len(),
+            Err(GetError::PartialBody { got, .. }) => *got,
+            Err(_) => 0,
         }
     }
 
@@ -311,7 +444,7 @@ impl ObjectStore {
             .map_or(Fault::None, |p| p.draw(key, attempt, obj.len()));
         drop(plan);
         let body = Self::apply_fault(&obj, fault);
-        self.account(false, body.as_ref().map_or(0, Vec::len));
+        self.account(false, Self::billed_bytes(&body));
         body
     }
 
@@ -338,19 +471,55 @@ impl ObjectStore {
         len: usize,
         attempt: u32,
     ) -> Result<Vec<u8>, GetError> {
-        let obj = self.lookup(key).ok_or(GetError::NotFound)?;
-        let end = start.checked_add(len).ok_or(GetError::NotFound)?;
-        if end > obj.len() {
-            return Err(GetError::NotFound);
-        }
+        self.get_range_timed(key, start, len, attempt).outcome
+    }
+
+    /// [`ObjectStore::get_range_with_attempt`] plus a simulated latency
+    /// reading — the path fault-aware scanners use. The latency is the
+    /// plan's base latency plus any injected spike; when a spike pushes it
+    /// to the plan's `request_timeout_ms` the outcome becomes
+    /// [`GetError::TimedOut`] and the latency is capped at the timeout
+    /// (the client stops waiting). Nothing sleeps: callers advance their
+    /// [`SimClock`] by the reported latency.
+    pub fn get_range_timed(&self, key: &str, start: usize, len: usize, attempt: u32) -> TimedGet {
+        let Some(obj) = self.lookup(key) else {
+            return TimedGet {
+                outcome: Err(GetError::NotFound),
+                latency_ms: 0,
+            };
+        };
+        let Some(end) = start.checked_add(len).filter(|&e| e <= obj.len()) else {
+            return TimedGet {
+                outcome: Err(GetError::NotFound),
+                latency_ms: 0,
+            };
+        };
         let plan = read_lock(&self.fault_plan);
-        let fault = plan.as_ref().map_or(Fault::None, |p| {
-            p.draw(&format!("{key}[{start}+{len}]"), attempt, len)
+        let (fault, base_ms, timeout_ms) = plan.as_ref().map_or((Fault::None, 0, 0), |p| {
+            (
+                p.draw(&format!("{key}[{start}+{len}]"), attempt, len),
+                p.base_latency_ms,
+                p.request_timeout_ms,
+            )
         });
         drop(plan);
-        let body = Self::apply_fault(&obj[start..end], fault);
-        self.account(true, body.as_ref().map_or(0, Vec::len));
-        body
+        let mut latency_ms = base_ms;
+        let outcome = if let Fault::Spike { ms } = fault {
+            latency_ms = latency_ms.saturating_add(ms);
+            if timeout_ms > 0 && latency_ms >= timeout_ms {
+                latency_ms = timeout_ms;
+                Err(GetError::TimedOut { after_ms: timeout_ms })
+            } else {
+                Ok(obj[start..end].to_vec())
+            }
+        } else {
+            Self::apply_fault(&obj[start..end], fault)
+        };
+        self.account(true, Self::billed_bytes(&outcome));
+        TimedGet {
+            outcome,
+            latency_ms,
+        }
     }
 
     /// Size of an object (a HEAD request; not counted as a GET).
@@ -598,22 +767,17 @@ impl Simulator {
     {
         let mut stats = ScanStats::default();
         let mut cpu = 0.0f64;
+        let clock = SimClock::new();
         for key in keys {
-            let mut done = false;
-            for attempt in 0..policy.max_attempts.max(1) {
-                if attempt > 0 {
-                    stats.retries += 1;
-                    stats.retry_backoff_seconds += policy.backoff_seconds(attempt - 1);
-                }
+            let mut rstats = RetryStats::default();
+            let result = run_with_retries(policy, &clock, None, None, &mut rstats, |attempt| {
                 stats.requests += 1;
                 match self.store.get_with_attempt(key, attempt) {
-                    Err(GetError::NotFound) => {
-                        return Err(ScanError::MissingObject { key: key.clone() })
-                    }
-                    Err(GetError::Transient) => {
+                    Err(err) if err.is_retryable() => {
                         stats.transient_failures += 1;
-                        continue;
+                        Attempt::Retry
                     }
+                    Err(_) => Attempt::Fatal(ScanError::MissingObject { key: key.clone() }),
                     Ok(body) => {
                         stats.compressed_bytes += body.len() as u64;
                         let started = Instant::now();
@@ -622,22 +786,27 @@ impl Simulator {
                         match verdict {
                             Ok(produced) => {
                                 stats.uncompressed_bytes += produced as u64;
-                                done = true;
-                                break;
+                                Attempt::Success(())
                             }
                             Err(_) => {
                                 stats.checksum_refetches += 1;
-                                continue;
+                                Attempt::Retry
                             }
                         }
                     }
                 }
-            }
-            if !done {
-                return Err(ScanError::RetriesExhausted {
-                    key: key.clone(),
-                    attempts: policy.max_attempts.max(1),
-                });
+            });
+            stats.retries += u64::from(rstats.retries);
+            stats.retry_backoff_seconds += rstats.backoff_seconds;
+            match result {
+                Ok(()) => {}
+                Err(RetryFailure::Fatal(err)) => return Err(err),
+                Err(RetryFailure::Stopped(_)) => {
+                    return Err(ScanError::RetriesExhausted {
+                        key: key.clone(),
+                        attempts: policy.max_attempts.max(1),
+                    })
+                }
             }
         }
         stats.cpu_seconds = cpu / self.model.cores.max(1) as f64;
@@ -944,5 +1113,111 @@ mod tests {
         let p = RetryPolicy::default();
         assert!((p.backoff_seconds(0) - 0.05).abs() < 1e-12);
         assert!((p.backoff_seconds(2) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_reads_produce_typed_errors_and_bill_received_bytes() {
+        let store = ObjectStore::new();
+        store.put("k", vec![0x11; 500]);
+        store.set_fault_plan(Some(FaultPlan {
+            partial_rate: 1.0,
+            ..FaultPlan::default()
+        }));
+        let err = store.get_range_with_attempt("k", 100, 64, 0).unwrap_err();
+        match err {
+            GetError::PartialBody { got, expected } => {
+                assert_eq!(expected, 64);
+                assert!(got < 64, "partial read must be short, got {got}");
+                assert_eq!(store.counters().bytes_served, got as u64);
+            }
+            other => panic!("expected PartialBody, got {other:?}"),
+        }
+        // Deterministic: the same (range, attempt) repeats its outcome.
+        let repeat = store.get_range_with_attempt("k", 100, 64, 0).unwrap_err();
+        assert_eq!(err, repeat);
+        // Past the fault window the read is whole again.
+        assert_eq!(
+            store.get_range_with_attempt("k", 100, 64, 9).unwrap(),
+            vec![0x11; 64]
+        );
+    }
+
+    #[test]
+    fn latency_spikes_delay_and_time_out() {
+        let store = ObjectStore::new();
+        store.put("k", vec![0x22; 500]);
+        // Spike without a timeout: the body arrives, late.
+        store.set_fault_plan(Some(FaultPlan {
+            latency_spike_rate: 1.0,
+            latency_spike_ms: 1_000,
+            base_latency_ms: 30,
+            ..FaultPlan::default()
+        }));
+        let slow = store.get_range_timed("k", 0, 64, 0);
+        assert_eq!(slow.outcome, Ok(vec![0x22; 64]));
+        assert!(
+            (530..=1_030).contains(&slow.latency_ms),
+            "spike + base latency, got {} ms",
+            slow.latency_ms
+        );
+        assert_eq!(store.get_range_timed("k", 0, 64, 0), slow, "deterministic");
+        // Same spike under a 400 ms timeout: the exact error is TimedOut and
+        // the client stops waiting at the timeout.
+        store.set_fault_plan(Some(FaultPlan {
+            latency_spike_rate: 1.0,
+            latency_spike_ms: 1_000,
+            base_latency_ms: 30,
+            request_timeout_ms: 400,
+            ..FaultPlan::default()
+        }));
+        let timed_out = store.get_range_timed("k", 0, 64, 0);
+        assert_eq!(timed_out.outcome, Err(GetError::TimedOut { after_ms: 400 }));
+        assert_eq!(timed_out.latency_ms, 400);
+        assert!((timed_out.latency_seconds() - 0.4).abs() < 1e-12);
+        // Without a spike the base latency still applies.
+        store.set_fault_plan(Some(FaultPlan {
+            base_latency_ms: 30,
+            request_timeout_ms: 400,
+            ..FaultPlan::default()
+        }));
+        let clean = store.get_range_timed("k", 0, 64, 0);
+        assert_eq!(clean.outcome, Ok(vec![0x22; 64]));
+        assert_eq!(clean.latency_ms, 30);
+    }
+
+    #[test]
+    fn get_error_retryability_is_classified_in_one_place() {
+        assert!(!GetError::NotFound.is_retryable());
+        assert!(GetError::Transient.is_retryable());
+        assert!(GetError::TimedOut { after_ms: 100 }.is_retryable());
+        assert!(GetError::PartialBody { got: 3, expected: 9 }.is_retryable());
+    }
+
+    #[test]
+    fn hedged_attempts_draw_independent_faults_but_converge() {
+        let store = ObjectStore::new();
+        store.put("k", vec![0x33; 4_096]);
+        store.set_fault_plan(Some(FaultPlan {
+            transient_rate: 0.5,
+            max_faults_per_key: 4,
+            ..FaultPlan::default()
+        }));
+        // Across many ranges, some primary attempts fail while their hedge
+        // (same range, salted attempt) succeeds — the draws are independent.
+        let mut hedge_saved = 0;
+        for i in 0..40 {
+            let primary = store.get_range_with_attempt("k", i * 64, 64, 0);
+            let hedge = store.get_range_with_attempt("k", i * 64, 64, HEDGE_ATTEMPT_SALT);
+            if primary.is_err() && hedge.is_ok() {
+                hedge_saved += 1;
+            }
+        }
+        assert!(hedge_saved > 0, "hedges must not mirror primary faults");
+        // The convergence guarantee masks the salt off: a salted attempt past
+        // the fault window is clean.
+        assert_eq!(
+            store.get_range_with_attempt("k", 0, 64, HEDGE_ATTEMPT_SALT | 4),
+            Ok(vec![0x33; 64])
+        );
     }
 }

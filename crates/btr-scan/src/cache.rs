@@ -198,6 +198,19 @@ impl BlockCache {
         displaced
     }
 
+    /// Byte-budget pressure in `[0, 1+]`: held bytes over budget. The
+    /// engine's degradation ladder bypasses cache inserts for streamed
+    /// blocks once this crosses its threshold, so a fault-storm scan cannot
+    /// churn the working set of healthy scans. A zero-budget cache is always
+    /// fully pressured.
+    pub fn pressure(&self) -> f64 {
+        if self.byte_budget == 0 {
+            return 1.0;
+        }
+        let bytes: usize = self.shards.iter().map(|s| lock(s).bytes).sum();
+        bytes as f64 / self.byte_budget as f64
+    }
+
     /// Snapshot of the counters.
     pub fn stats(&self) -> CacheStats {
         let (mut entries, mut bytes) = (0, 0);

@@ -1,0 +1,497 @@
+//! Chaos campaign: randomized fault schedules over concurrent scans.
+//!
+//! The fault-tolerance layer ([`crate::retry`], the source's hedging /
+//! breaker / quarantine, the engine's deadline + degradation ladder) is only
+//! trustworthy under *composed* failure — latency spikes while a breaker is
+//! half-open while another scan's block is permanently corrupt. This module
+//! is the harness that exercises exactly that: each **schedule** builds a
+//! randomized [`FaultPlan`] (plus, sometimes, a permanently bit-flipped
+//! stored block via [`btr_corrupt::Mutation`]), points several concurrent
+//! scans at one shared [`ObjectStoreSource`], and classifies every scan's
+//! outcome:
+//!
+//! * a successful scan must be **byte-identical** to the fault-free
+//!   reference run;
+//! * a failed scan must fail with a **typed error attributed to something
+//!   the schedule injected** (a deadline it set, a budget it capped, a
+//!   breaker it configured, a fault family it enabled);
+//! * nothing may panic, and every schedule must terminate (all simulated
+//!   time — nothing here sleeps).
+//!
+//! Randomness is [`Xorshift`] seeded from [`ChaosConfig::seed`], so a
+//! failing campaign replays exactly.
+
+use crate::batch::append;
+use crate::engine::{EngineOptions, ScanEngine};
+use crate::layout::RelationLayout;
+use crate::plan::{Predicate, ScanSpec};
+use crate::retry::{BreakerConfig, HedgeConfig};
+use crate::source::{BlockSource, MemorySource, ObjectStoreSource};
+use crate::{Result, ScanError};
+use btr_corrupt::{Mutation, Xorshift};
+use btr_s3sim::{FaultPlan, ObjectStore, RetryPolicy};
+use btrblocks::{
+    CmpOp, Column, ColumnData, Config, Literal, Relation, Sidecar, StringArena,
+};
+use std::sync::Arc;
+
+/// Campaign shape; the default is a quick smoke, tests scale `schedules` up.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Master seed; every schedule derives its own RNG from it.
+    pub seed: u64,
+    /// Randomized fault schedules to run.
+    pub schedules: usize,
+    /// Concurrent scans per schedule, all sharing one source (and therefore
+    /// one breaker, quarantine set, and in-flight table).
+    pub concurrent_scans: usize,
+    /// Rows in the generated relation.
+    pub rows: usize,
+    /// Compression block size (controls block count per column).
+    pub block_size: usize,
+    /// Decode workers per scan.
+    pub engine_workers: usize,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 0xC4A0_5EED,
+            schedules: 50,
+            concurrent_scans: 8,
+            rows: 4_000,
+            block_size: 500,
+            engine_workers: 1,
+        }
+    }
+}
+
+/// How one scan inside a schedule ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleOutcome {
+    /// Completed, byte-identical to the fault-free reference.
+    Identical,
+    /// Completed but its output differs from the reference — a correctness
+    /// bug, never acceptable.
+    Divergent,
+    /// Failed with a typed error the schedule explains.
+    AttributedFailure,
+    /// Failed with an error nothing in the schedule explains — a bug.
+    UnattributedFailure,
+    /// A panic reached the scan (or its thread).
+    Panicked,
+}
+
+/// Aggregated campaign result. A healthy run has
+/// [`ChaosReport::is_clean`]: zero panics, zero divergent scans, zero
+/// unattributed failures.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ChaosReport {
+    /// Schedules executed.
+    pub schedules: u64,
+    /// Scans started across all schedules.
+    pub scans_run: u64,
+    /// Scans that completed byte-identical to the reference.
+    pub scans_ok: u64,
+    /// Scans that failed (attributed or not).
+    pub scans_failed: u64,
+    /// Panics observed (worker panics or scan-thread panics).
+    pub panics: u64,
+    /// Successful scans whose bytes diverged from the reference.
+    pub divergent: u64,
+    /// Failures no injected fault explains.
+    pub unattributed: u64,
+    /// Typed failure tally: deadline exceeded.
+    pub deadline_exceeded: u64,
+    /// Typed failure tally: retry budget exhausted.
+    pub budget_exhausted: u64,
+    /// Typed failure tally: breaker open fail-fast.
+    pub breaker_open: u64,
+    /// Typed failure tally: quarantined block.
+    pub quarantined: u64,
+    /// Typed failure tally: retries exhausted.
+    pub fetch_failed: u64,
+    /// Hedged GETs issued across the campaign.
+    pub hedges_issued: u64,
+    /// Hedged GETs that won their race.
+    pub hedges_won: u64,
+    /// Breaker state transitions across the campaign.
+    pub breaker_transitions: u64,
+    /// Blocks quarantined across the campaign.
+    pub blocks_quarantined: u64,
+    /// Fetch retries across the campaign.
+    pub retries: u64,
+    /// Simulated backoff charged across the campaign, in seconds.
+    pub backoff_seconds: f64,
+}
+
+impl ChaosReport {
+    /// True when the campaign saw no panics, no divergence, and no
+    /// unattributed failures — the campaign's pass condition.
+    pub fn is_clean(&self) -> bool {
+        self.panics == 0 && self.divergent == 0 && self.unattributed == 0
+    }
+}
+
+/// What one schedule injected, for attributing failures.
+struct ScheduleCtx {
+    /// Any fault family with a nonzero rate (transient, truncate, corrupt,
+    /// partial, spikes/timeouts).
+    faults_injected: bool,
+    /// Bit-corruption is possible: injected corrupt bodies or a permanently
+    /// flipped stored block.
+    corruption_possible: bool,
+    /// The permanently corrupted block, if any.
+    corrupted: Option<(u32, u32)>,
+    /// A circuit breaker was configured on the source.
+    breaker: bool,
+}
+
+fn classify(err: &ScanError, spec: &ScanSpec, ctx: &ScheduleCtx) -> ScheduleOutcome {
+    match err {
+        ScanError::Worker(_) => ScheduleOutcome::Panicked,
+        ScanError::DeadlineExceeded { .. } => {
+            if spec.tolerance.deadline_seconds.is_some() {
+                ScheduleOutcome::AttributedFailure
+            } else {
+                ScheduleOutcome::UnattributedFailure
+            }
+        }
+        ScanError::RetryBudgetExhausted { .. } => {
+            if spec.tolerance.retry_budget.is_some() {
+                ScheduleOutcome::AttributedFailure
+            } else {
+                ScheduleOutcome::UnattributedFailure
+            }
+        }
+        ScanError::BreakerOpen { .. } => {
+            if ctx.breaker && ctx.faults_injected {
+                ScheduleOutcome::AttributedFailure
+            } else {
+                ScheduleOutcome::UnattributedFailure
+            }
+        }
+        ScanError::Quarantined { column, block } => {
+            if ctx.corrupted == Some((*column, *block)) || ctx.corruption_possible {
+                ScheduleOutcome::AttributedFailure
+            } else {
+                ScheduleOutcome::UnattributedFailure
+            }
+        }
+        ScanError::FetchFailed { .. } => {
+            if ctx.faults_injected || ctx.corrupted.is_some() {
+                ScheduleOutcome::AttributedFailure
+            } else {
+                ScheduleOutcome::UnattributedFailure
+            }
+        }
+        // Planning errors, missing objects, decode failures: the campaign
+        // stores a valid object, so none of these are ever expected.
+        _ => ScheduleOutcome::UnattributedFailure,
+    }
+}
+
+/// A small three-column relation (sequential ints, derived doubles,
+/// low-cardinality strings) whose specs exercise pruning, pushdown, string
+/// decode, and multi-column gathers.
+fn build_relation(rows: usize) -> Relation {
+    // lint: allow(cast) campaign row counts are tiny (thousands)
+    let ids: Vec<i32> = (0..rows).map(|i| i as i32).collect();
+    let vals: Vec<f64> = ids.iter().map(|&i| f64::from(i) * 0.5 - 3.0).collect();
+    let strings: Vec<String> = ids.iter().map(|&i| format!("t{}", i % 13)).collect();
+    let refs: Vec<&str> = strings.iter().map(String::as_str).collect();
+    Relation::new(vec![
+        Column::new("id", ColumnData::Int(ids)),
+        Column::new("val", ColumnData::Double(vals)),
+        Column::new("tag", ColumnData::Str(StringArena::from_strs(&refs))),
+    ])
+}
+
+/// The specs every schedule's scans draw from (tolerances are layered on
+/// per scan).
+fn spec_pool(rows: usize) -> Vec<ScanSpec> {
+    // lint: allow(cast) campaign row counts are tiny (thousands)
+    let rows = rows as i32;
+    vec![
+        ScanSpec::project(["id", "val", "tag"]),
+        ScanSpec::project(["id"]).with_predicate(Predicate {
+            column: "id".into(),
+            op: CmpOp::Lt,
+            literal: Literal::Int(rows / 3),
+        }),
+        ScanSpec::project(["val", "tag"]).with_predicate(Predicate {
+            column: "id".into(),
+            op: CmpOp::Ge,
+            literal: Literal::Int(rows / 2),
+        }),
+        ScanSpec::project(["tag"]),
+    ]
+}
+
+/// Drains a scan into per-column output (batch boundaries erased), so runs
+/// compare byte-for-byte regardless of batching.
+fn run_one(
+    engine: &ScanEngine,
+    source: Arc<dyn BlockSource>,
+    sidecar: &Sidecar,
+    spec: &ScanSpec,
+) -> Result<Vec<(String, ColumnData)>> {
+    let mut scan = engine.scan(source, sidecar, spec)?;
+    let mut out: Option<Vec<(String, ColumnData)>> = None;
+    for batch in scan.by_ref() {
+        let batch = batch?;
+        match &mut out {
+            None => out = Some(batch.columns),
+            Some(columns) => {
+                for ((_, dst), (_, src)) in columns.iter_mut().zip(&batch.columns) {
+                    append(dst, src)?;
+                }
+            }
+        }
+    }
+    Ok(out.unwrap_or_default())
+}
+
+/// Runs the campaign; see the module docs for what each schedule does and
+/// asserts. Setup failures (compression of the generated relation) are the
+/// only errors returned — scan failures are classified into the report.
+pub fn run_campaign(config: &ChaosConfig) -> Result<ChaosReport> {
+    let relation = build_relation(config.rows);
+    let codec = Config {
+        block_size: config.block_size.max(1),
+        ..Config::default()
+    };
+    let sidecar = Arc::new(Sidecar::build(&relation, codec.block_size));
+    let compressed = Arc::new(btrblocks::compress(&relation, &codec)?);
+    let bytes = compressed.to_bytes();
+    let layout = RelationLayout::of(&compressed);
+    let specs = spec_pool(config.rows);
+
+    // Fault-free references, one per spec, computed over a memory source.
+    let reference_engine = ScanEngine::new(EngineOptions {
+        workers: config.engine_workers.max(1),
+        prefetch: 4,
+        batch_rows: 1_024,
+        cache_bytes: 16 << 20,
+        config: codec.clone(),
+    });
+    let memory: Arc<dyn BlockSource> = Arc::new(MemorySource::new("chaos-ref", compressed));
+    let references: Vec<Vec<(String, ColumnData)>> = specs
+        .iter()
+        .map(|spec| run_one(&reference_engine, memory.clone(), &sidecar, spec))
+        .collect::<Result<_>>()?;
+
+    let mut report = ChaosReport::default();
+    for schedule in 0..config.schedules {
+        // lint: allow(cast) schedule index to seed material
+        let mut rng =
+            Xorshift::new(config.seed ^ (schedule as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+
+        let plan = FaultPlan {
+            seed: rng.next_u64(),
+            transient_rate: rng.next_f64() * 0.35,
+            truncate_rate: rng.next_f64() * 0.25,
+            corrupt_rate: rng.next_f64() * 0.25,
+            partial_rate: rng.next_f64() * 0.25,
+            latency_spike_rate: rng.next_f64() * 0.5,
+            latency_spike_ms: 100 + rng.next_u32() % 1_900,
+            request_timeout_ms: if rng.gen_bool(0.5) {
+                400 + rng.next_u32() % 600
+            } else {
+                0
+            },
+            base_latency_ms: rng.next_u32() % 40,
+            max_faults_per_key: 1 + rng.next_u32() % 5,
+        };
+
+        // Some schedules permanently corrupt one stored block: bit rot the
+        // retry layer can never heal, which must end in quarantine — and
+        // must poison only scans touching that block.
+        let mut corrupted = None;
+        let mut stored = bytes.clone();
+        if rng.gen_bool(0.25) {
+            let column = rng.next_u32() % 3;
+            if let Some(col) = layout.columns.get(column as usize) {
+                if !col.blocks.is_empty() {
+                    // lint: allow(cast) per-column block counts are tiny
+                    let block = rng.next_u32() % col.blocks.len() as u32;
+                    if let Some(range) = col.blocks.get(block as usize) {
+                        // lint: allow(cast) simulated objects are far below 4 GiB
+                        let offset = range.offset as usize + range.len as usize / 2;
+                        // lint: allow(cast) bit index is reduced mod 8
+                        let bit = (rng.next_u32() % 8) as u8;
+                        stored = Mutation::BitFlip { offset, bit }.apply(&stored);
+                        corrupted = Some((column, block));
+                    }
+                }
+            }
+        }
+
+        let store = Arc::new(ObjectStore::new());
+        store.put("chaos.btr", stored);
+        store.set_fault_plan(Some(plan.clone()));
+
+        let retry = RetryPolicy {
+            max_attempts: 2 + rng.next_u32() % 6,
+            base_backoff_seconds: 0.02,
+            backoff_multiplier: 2.0,
+        };
+        let mut source = ObjectStoreSource::new(store, "chaos.btr", layout.clone(), retry);
+        let use_breaker = rng.gen_bool(0.5);
+        if use_breaker {
+            source = source.with_breaker(BreakerConfig {
+                failure_threshold: 1 + rng.next_u32() % 5,
+                open_seconds: 0.5 + rng.next_f64() * 10.0,
+            });
+        }
+        if rng.gen_bool(0.5) {
+            source = source.with_hedging(HedgeConfig {
+                percentile: 0.9,
+                min_seconds: 0.005,
+                warmup: 8,
+            });
+        }
+        let source: Arc<dyn BlockSource> = Arc::new(source);
+
+        let ctx = ScheduleCtx {
+            faults_injected: plan.transient_rate > 0.0
+                || plan.truncate_rate > 0.0
+                || plan.corrupt_rate > 0.0
+                || plan.partial_rate > 0.0
+                || (plan.latency_spike_rate > 0.0 && plan.request_timeout_ms > 0),
+            corruption_possible: plan.corrupt_rate > 0.0 || corrupted.is_some(),
+            corrupted,
+            breaker: use_breaker,
+        };
+
+        // A small cache budget on some schedules drives the ladder's
+        // cache-pressure rung.
+        let cache_bytes = if rng.gen_bool(0.3) { 32 << 10 } else { 16 << 20 };
+        let engine = Arc::new(ScanEngine::new(EngineOptions {
+            workers: config.engine_workers.max(1),
+            prefetch: 4,
+            batch_rows: 1_024,
+            cache_bytes,
+            config: codec.clone(),
+        }));
+
+        // Draw every scan's spec + tolerance up front (the RNG is not
+        // shared with threads), then run them concurrently.
+        let mut jobs = Vec::with_capacity(config.concurrent_scans);
+        for s in 0..config.concurrent_scans.max(1) {
+            let spec_idx = (schedule + s) % specs.len().max(1);
+            let mut spec = specs.get(spec_idx).cloned().unwrap_or_default();
+            if rng.gen_bool(0.3) {
+                spec = spec.with_deadline(0.5 + rng.next_f64() * 5.0);
+            }
+            if rng.gen_bool(0.3) {
+                spec = spec.with_retry_budget(
+                    1.0 + f64::from(rng.next_u32() % 16),
+                    rng.next_f64() * 2.0,
+                );
+            }
+            jobs.push((spec_idx, spec));
+        }
+        let handles: Vec<_> = jobs
+            .into_iter()
+            .map(|(spec_idx, spec)| {
+                let engine = engine.clone();
+                let source = source.clone();
+                let sidecar = sidecar.clone();
+                std::thread::spawn(move || {
+                    let result = run_one(&engine, source, &sidecar, &spec);
+                    (spec_idx, spec, result)
+                })
+            })
+            .collect();
+        for handle in handles {
+            report.scans_run += 1;
+            let (spec_idx, spec, result) = match handle.join() {
+                Ok(done) => done,
+                Err(_) => {
+                    report.panics += 1;
+                    continue;
+                }
+            };
+            match result {
+                Ok(columns) => {
+                    if references.get(spec_idx) == Some(&columns) {
+                        report.scans_ok += 1;
+                    } else {
+                        report.divergent += 1;
+                    }
+                }
+                Err(err) => {
+                    report.scans_failed += 1;
+                    match &err {
+                        ScanError::DeadlineExceeded { .. } => report.deadline_exceeded += 1,
+                        ScanError::RetryBudgetExhausted { .. } => report.budget_exhausted += 1,
+                        ScanError::BreakerOpen { .. } => report.breaker_open += 1,
+                        ScanError::Quarantined { .. } => report.quarantined += 1,
+                        ScanError::FetchFailed { .. } => report.fetch_failed += 1,
+                        _ => {}
+                    }
+                    match classify(&err, &spec, &ctx) {
+                        ScheduleOutcome::Panicked => report.panics += 1,
+                        ScheduleOutcome::UnattributedFailure => report.unattributed += 1,
+                        _ => {}
+                    }
+                }
+            }
+        }
+        let stats = source.stats();
+        report.hedges_issued += stats.hedges_issued;
+        report.hedges_won += stats.hedges_won;
+        report.breaker_transitions += stats.breaker_transitions;
+        report.blocks_quarantined += stats.blocks_quarantined;
+        report.retries += stats.retries;
+        report.backoff_seconds += stats.backoff_seconds;
+        report.schedules += 1;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_campaign_is_clean() {
+        let report = run_campaign(&ChaosConfig {
+            schedules: 10,
+            rows: 2_000,
+            ..ChaosConfig::default()
+        })
+        .expect("campaign setup");
+        assert_eq!(report.schedules, 10);
+        assert_eq!(report.scans_run, 80);
+        assert!(
+            report.is_clean(),
+            "panics={} divergent={} unattributed={}",
+            report.panics,
+            report.divergent,
+            report.unattributed
+        );
+        assert!(report.scans_ok > 0, "some scans must survive the faults");
+    }
+
+    #[test]
+    fn campaigns_touch_every_mechanism_eventually() {
+        // Across a few dozen schedules the randomized knobs must exercise
+        // retries, hedging, and quarantine at least once each.
+        let report = run_campaign(&ChaosConfig {
+            schedules: 40,
+            rows: 2_000,
+            ..ChaosConfig::default()
+        })
+        .expect("campaign setup");
+        assert!(report.is_clean());
+        assert!(report.retries > 0, "fault rates must force retries");
+        assert!(report.hedges_issued > 0, "spiky schedules must hedge");
+        assert!(
+            report.blocks_quarantined > 0,
+            "permanent corruption must quarantine"
+        );
+        assert!(report.backoff_seconds > 0.0);
+    }
+}

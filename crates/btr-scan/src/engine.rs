@@ -20,22 +20,42 @@
 //! NULL semantics follow [`btrblocks::metadata::pruned_filter`]: NULL
 //! positions hold neutral values and participate in predicates like any
 //! other value (SQL three-valued logic is future work).
+//!
+//! # Fault tolerance and degradation
+//!
+//! Each scan carries a [`crate::retry::Tolerance`] (deadline + retry
+//! budget) threaded to the source through [`crate::retry::FetchCtl`];
+//! workers also check the deadline before starting a row group, so a scan
+//! past its budget stops promptly instead of grinding through remaining
+//! groups. Under stress the pipeline *degrades* before it fails, one rung at
+//! a time (see DESIGN.md §13):
+//!
+//! 1. decoded-cache byte pressure → streamed blocks bypass cache inserts,
+//! 2. source breaker half-open → prefetch window halves,
+//! 3. source breaker open → prefetch shrinks to 1 (and the source itself
+//!    sheds hedged GETs while not closed).
 
 use crate::batch::{append, empty_like, gather, split_front, RecordBatch};
 use crate::cache::{BlockCache, BlockKey};
 use crate::plan::{plan_scan, RowGroup, ScanSpec};
+use crate::retry::{BreakerState, FetchCtl};
 use crate::source::{BlockSource, FetchStats};
 use crate::{Result, ScanError};
 use btr_roaring::RoaringBitmap;
+use btr_s3sim::{Deadline, RetryBudget, SimClock};
 use btrblocks::{
     decompress_block_into, filter_block, filter_decoded, has_fast_path, peek_scheme, CmpOp,
     ColumnData, ColumnType, Config, DecodeScratch, DecodedColumn, Literal, Sidecar,
 };
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Instant;
+
+/// Cache byte-budget fraction past which the degradation ladder starts
+/// bypassing cache inserts for streamed blocks.
+const CACHE_PRESSURE_BYPASS: f64 = 0.9;
 
 /// Tuning knobs for [`ScanEngine`].
 #[derive(Debug, Clone)]
@@ -102,6 +122,19 @@ pub struct ScanReport {
     /// Wall-clock time from scan start to exhaustion (or to now, if the scan
     /// is still running).
     pub wall_seconds: f64,
+    /// Simulated backoff charged to this scan's fetches, in seconds.
+    pub fetch_backoff_seconds: f64,
+    /// Hedged GETs issued during this scan.
+    pub hedges_issued: u64,
+    /// Hedged GETs whose response won the race during this scan.
+    pub hedges_won: u64,
+    /// Circuit-breaker state transitions observed during this scan.
+    pub breaker_transitions: u64,
+    /// Blocks quarantined as permanently corrupt during this scan.
+    pub blocks_quarantined: u64,
+    /// Upward degradation-ladder moves (cache bypass, shrunk prefetch)
+    /// taken while this scan ran.
+    pub degradation_steps: u64,
 }
 
 struct Counters {
@@ -111,6 +144,10 @@ struct Counters {
     decode_nanos: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    /// Current degradation-ladder level (0 = healthy).
+    degradation_level: AtomicU64,
+    /// Upward level transitions, summed.
+    degradation_steps: AtomicU64,
 }
 
 impl Counters {
@@ -122,6 +159,8 @@ impl Counters {
             decode_nanos: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            degradation_level: AtomicU64::new(0),
+            degradation_steps: AtomicU64::new(0),
         }
     }
 }
@@ -136,6 +175,13 @@ struct Ctx {
     column_types: Vec<ColumnType>,
     predicate: Option<(usize, CmpOp, Literal)>,
     counters: Counters,
+    /// The source's simulated clock (fresh and unused for sources without
+    /// health state).
+    clock: SimClock,
+    /// Deadline + retry budget threaded into every fetch of this scan.
+    ctl: FetchCtl,
+    /// The configured prefetch window; the ladder shrinks from here.
+    base_prefetch: usize,
 }
 
 impl Ctx {
@@ -151,9 +197,58 @@ impl Ctx {
     }
 
     fn fetch(&self, column: u32, block: u32) -> Result<Vec<u8>> {
-        let bytes = self.source.fetch(column, block)?;
+        let bytes = self.source.fetch_ctl(column, block, &self.ctl)?;
         self.counters.fetched.fetch_add(1, Ordering::Relaxed);
         Ok(bytes)
+    }
+
+    /// Returns the scan's deadline error if its budget is already spent —
+    /// checked before starting a row group so an expired scan stops promptly
+    /// instead of fetching/decoding groups it can no longer use.
+    fn check_deadline(&self) -> Result<()> {
+        if let Some(deadline) = self.ctl.deadline {
+            if deadline.exceeded(&self.clock) {
+                return Err(ScanError::DeadlineExceeded {
+                    elapsed_seconds: deadline.elapsed_seconds(&self.clock),
+                    budget_seconds: deadline.budget_seconds,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Current degradation-ladder rung; see the module docs.
+    fn degradation_level(&self) -> u64 {
+        match self.source.health().map_or(BreakerState::Closed, |h| h.breaker_state()) {
+            BreakerState::Open => 3,
+            BreakerState::HalfOpen => 2,
+            BreakerState::Closed => {
+                if self.cache.pressure() >= CACHE_PRESSURE_BYPASS {
+                    1
+                } else {
+                    0
+                }
+            }
+        }
+    }
+
+    /// Re-evaluates the ladder: records upward moves and resizes the
+    /// prefetch window. Workers call this once per claimed row group, so the
+    /// scan reacts to a breaker opening mid-flight.
+    fn update_degradation(&self, shared: &Shared) {
+        let level = self.degradation_level();
+        let prev = self.counters.degradation_level.swap(level, Ordering::Relaxed);
+        if level > prev {
+            self.counters
+                .degradation_steps
+                .fetch_add(level - prev, Ordering::Relaxed);
+        }
+        let capacity = match level {
+            0 | 1 => self.base_prefetch,
+            2 => (self.base_prefetch / 2).max(1),
+            _ => 1,
+        };
+        shared.capacity.store(capacity, Ordering::Relaxed);
     }
 
     /// Timed decode into worker-leased buffers; the caller decides whether
@@ -186,6 +281,15 @@ impl Ctx {
         value: Arc<DecodedColumn>,
         scratch: &mut DecodeScratch,
     ) {
+        // Degradation rung 1: under byte-budget pressure, streaming more
+        // blocks in would churn the shared working set for every scan —
+        // serve this scan without admitting its blocks.
+        if self.cache.pressure() >= CACHE_PRESSURE_BYPASS {
+            if let Ok(col) = Arc::try_unwrap(value) {
+                scratch.recycle(col);
+            }
+            return;
+        }
         for displaced in self.cache.insert(key, value) {
             if let Ok(col) = Arc::try_unwrap(displaced) {
                 scratch.recycle(col);
@@ -214,6 +318,7 @@ fn process_row_group(
     group: RowGroup,
     scratch: &mut DecodeScratch,
 ) -> Result<BlockOut> {
+    ctx.check_deadline()?;
     // Predicate first: it decides whether projection blocks are needed at
     // all. `pred_decoded` keeps a decoded predicate block around so a
     // projection of the same column doesn't re-resolve it; `pred_bytes`
@@ -322,6 +427,9 @@ struct Shared {
     task_free: Condvar,
     /// Signals the consumer that a result landed.
     out_ready: Condvar,
+    /// Live prefetch window size; the degradation ladder shrinks it while
+    /// the source's breaker is not closed.
+    capacity: AtomicUsize,
 }
 
 fn lock(shared: &Shared) -> MutexGuard<'_, PipeState> {
@@ -338,24 +446,20 @@ fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-fn worker_loop(
-    shared: &Shared,
-    ctx: &Ctx,
-    groups: &[RowGroup],
-    capacity: usize,
-) {
+fn worker_loop(shared: &Shared, ctx: &Ctx, groups: &[RowGroup]) {
     // One decode arena per worker, living for the whole scan: buffers leased
     // while decoding block i are pooled and reused for block i + workers,
     // so a steady-state scan decodes without heap allocation.
     let mut scratch = DecodeScratch::new();
     loop {
+        ctx.update_degradation(shared);
         let i = {
             let mut st = lock(shared);
             loop {
                 if st.cancelled || st.next_task >= groups.len() {
                     return;
                 }
-                if st.next_task < st.next_emit + capacity {
+                if st.next_task < st.next_emit + shared.capacity.load(Ordering::Relaxed) {
                     break;
                 }
                 st = shared
@@ -418,6 +522,23 @@ impl ScanEngine {
     ) -> Result<Scan> {
         let plan = plan_scan(source.as_ref(), sidecar, spec)?;
         let columns = source.columns();
+        // Time runs on the source's simulated clock when it has one; the
+        // deadline starts when the scan does.
+        let clock = source
+            .health()
+            .map(|h| h.clock().clone())
+            .unwrap_or_default();
+        let ctl = FetchCtl {
+            deadline: spec
+                .tolerance
+                .deadline_seconds
+                .map(|seconds| Deadline::after(&clock, seconds)),
+            budget: spec
+                .tolerance
+                .retry_budget
+                .map(|cfg| Arc::new(RetryBudget::new(cfg.capacity, cfg.refill_per_second))),
+        };
+        let capacity = self.options.prefetch.max(1);
         let ctx = Arc::new(Ctx {
             source: source.clone(),
             cache: self.cache.clone(),
@@ -431,6 +552,9 @@ impl ScanEngine {
                 .zip(plan.predicate_column)
                 .map(|(p, idx)| (idx, p.op, p.literal.clone())),
             counters: Counters::new(),
+            clock,
+            ctl,
+            base_prefetch: capacity,
         });
         let groups: Arc<[RowGroup]> = plan.row_groups.clone().into();
         let shared = Arc::new(Shared {
@@ -442,8 +566,8 @@ impl ScanEngine {
             }),
             task_free: Condvar::new(),
             out_ready: Condvar::new(),
+            capacity: AtomicUsize::new(capacity),
         });
-        let capacity = self.options.prefetch.max(1);
         let n_workers = self.options.workers.max(1).min(groups.len().max(1));
         // Snapshot before spawning: workers may finish fetching before this
         // function returns, and the report must see those bytes as deltas.
@@ -453,7 +577,7 @@ impl ScanEngine {
                 let shared = shared.clone();
                 let ctx = ctx.clone();
                 let groups = groups.clone();
-                std::thread::spawn(move || worker_loop(&shared, &ctx, &groups, capacity))
+                std::thread::spawn(move || worker_loop(&shared, &ctx, &groups))
             })
             .collect();
         let buffers = plan
@@ -582,6 +706,12 @@ impl Scan {
             wall_seconds: self
                 .wall_seconds
                 .unwrap_or_else(|| self.started.elapsed().as_secs_f64()),
+            fetch_backoff_seconds: fetch.backoff_seconds - self.fetch_base.backoff_seconds,
+            hedges_issued: fetch.hedges_issued - self.fetch_base.hedges_issued,
+            hedges_won: fetch.hedges_won - self.fetch_base.hedges_won,
+            breaker_transitions: fetch.breaker_transitions - self.fetch_base.breaker_transitions,
+            blocks_quarantined: fetch.blocks_quarantined - self.fetch_base.blocks_quarantined,
+            degradation_steps: c.degradation_steps.load(Ordering::Relaxed),
         }
     }
 }
@@ -817,6 +947,102 @@ mod tests {
         let first = scan.next().unwrap().unwrap();
         assert_eq!(first.rows(), 100);
         drop(scan); // must cancel + join without deadlock
+    }
+
+    fn store_source(
+        rel: &Relation,
+        cfg: &Config,
+        plan: Option<btr_s3sim::FaultPlan>,
+        retry: btr_s3sim::RetryPolicy,
+    ) -> (crate::source::ObjectStoreSource, SimClock) {
+        let compressed = Arc::new(btrblocks::compress(rel, cfg).unwrap());
+        let layout = crate::layout::RelationLayout::of(&compressed);
+        let store = Arc::new(btr_s3sim::ObjectStore::new());
+        store.put("rel.btr", compressed.to_bytes());
+        store.set_fault_plan(plan);
+        let clock = SimClock::default();
+        let source = crate::source::ObjectStoreSource::new(store, "rel.btr", layout, retry)
+            .with_clock(clock.clone());
+        (source, clock)
+    }
+
+    #[test]
+    fn scan_deadline_is_typed_and_bounded_on_the_simulated_clock() {
+        // 100ms per GET, four blocks, 250ms budget: the deadline trips
+        // mid-scan and the overshoot stays within one fetch.
+        let engine = ScanEngine::new(EngineOptions {
+            workers: 1,
+            prefetch: 2,
+            ..options(1_000, 4_096)
+        });
+        let rel = Relation::new(vec![Column::new(
+            "id",
+            ColumnData::Int((0..4_000).collect()),
+        )]);
+        let sidecar = Sidecar::build(&rel, 1_000);
+        let (source, clock) = store_source(
+            &rel,
+            &engine.options.config,
+            Some(btr_s3sim::FaultPlan {
+                base_latency_ms: 100,
+                ..btr_s3sim::FaultPlan::default()
+            }),
+            btr_s3sim::RetryPolicy::default(),
+        );
+        let spec = ScanSpec::project(["id"]).with_deadline(0.25);
+        let scan = engine.scan(Arc::new(source), &sidecar, &spec).unwrap();
+        let err = scan
+            .filter_map(std::result::Result::err)
+            .next()
+            .expect("a 250ms budget cannot cover four 100ms fetches");
+        match err {
+            ScanError::DeadlineExceeded {
+                elapsed_seconds,
+                budget_seconds,
+            } => {
+                assert_eq!(budget_seconds, 0.25);
+                assert!(elapsed_seconds > 0.25);
+                // Overshoot bounded by the one fetch in flight when the
+                // budget ran out.
+                assert!(elapsed_seconds <= 0.25 + 0.1 + 1e-9, "{elapsed_seconds}");
+                assert!(clock.now_seconds() <= 0.25 + 0.1 + 1e-9);
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn report_carries_fault_tolerance_counters() {
+        let engine = ScanEngine::new(EngineOptions {
+            workers: 2,
+            ..options(1_000, 4_096)
+        });
+        let rel = Relation::new(vec![Column::new(
+            "id",
+            ColumnData::Int((0..4_000).collect()),
+        )]);
+        let sidecar = Sidecar::build(&rel, 1_000);
+        let (source, _clock) = store_source(
+            &rel,
+            &engine.options.config,
+            Some(btr_s3sim::FaultPlan::transient(0.6, 21)),
+            btr_s3sim::RetryPolicy {
+                max_attempts: 32,
+                ..btr_s3sim::RetryPolicy::default()
+            },
+        );
+        let mut scan = engine
+            .scan(Arc::new(source), &sidecar, &ScanSpec::project(["id"]))
+            .unwrap();
+        let rows: usize = scan.by_ref().map(|b| b.unwrap().rows()).sum();
+        assert_eq!(rows, 4_000, "faults are transient, the scan completes");
+        let report = scan.report();
+        assert!(report.fetch_retries > 0);
+        assert!(report.fetch_backoff_seconds > 0.0);
+        assert_eq!(report.hedges_issued, 0);
+        assert_eq!(report.blocks_quarantined, 0);
+        assert_eq!(report.breaker_transitions, 0);
+        assert_eq!(report.degradation_steps, 0);
     }
 
     #[test]

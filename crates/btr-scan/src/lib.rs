@@ -63,17 +63,28 @@
 
 pub mod batch;
 pub mod cache;
+pub mod chaos;
 pub mod engine;
 pub mod layout;
 pub mod plan;
+pub mod retry;
 pub mod source;
 
 pub use batch::RecordBatch;
 pub use cache::{BlockCache, BlockKey, CacheStats};
+pub use chaos::{ChaosConfig, ChaosReport, ScheduleOutcome};
 pub use engine::{EngineOptions, Scan, ScanEngine, ScanReport};
 pub use layout::{ColumnLayout, RelationLayout};
 pub use plan::{plan_scan, Predicate, RowGroup, ScanPlan, ScanSpec};
+pub use retry::{
+    BreakerConfig, BreakerState, CircuitBreaker, FetchCtl, HedgeConfig, RetryBudgetConfig,
+    SourceHealth, Tolerance,
+};
 pub use source::{BlockSource, FetchStats, MemorySource, ObjectStoreSource, SourceColumn};
+
+// The time/budget primitives live next to the simulator's retry driver so
+// both crates share one definition; re-export them as part of this API.
+pub use btr_s3sim::{Deadline, RetryBudget, SimClock};
 
 /// Errors produced while planning or executing a scan.
 #[derive(Debug, Clone, PartialEq)]
@@ -119,6 +130,41 @@ pub enum ScanError {
     CorruptLayout(&'static str),
     /// A scan worker panicked; the message names the row group.
     Worker(String),
+    /// The scan's deadline elapsed (simulated clock) before the fetch could
+    /// finish; no further retries were attempted.
+    DeadlineExceeded {
+        /// Simulated seconds elapsed when the deadline was noticed.
+        elapsed_seconds: f64,
+        /// The scan's configured budget in simulated seconds.
+        budget_seconds: f64,
+    },
+    /// The scan-wide retry token bucket ran dry, so this fetch stopped
+    /// retrying early (anti-amplification under a fault storm).
+    RetryBudgetExhausted {
+        /// Column index.
+        column: u32,
+        /// Block index.
+        block: u32,
+        /// Attempts made before the budget ran out.
+        attempts: u32,
+    },
+    /// The source's circuit breaker is open: recent fetches kept failing, so
+    /// this one failed fast without touching the store.
+    BreakerOpen {
+        /// Column index.
+        column: u32,
+        /// Block index.
+        block: u32,
+    },
+    /// The block is quarantined: an earlier fetch exhausted its retries with
+    /// every received body failing its checksum, marking the stored bytes as
+    /// permanently corrupt.
+    Quarantined {
+        /// Column index.
+        column: u32,
+        /// Block index.
+        block: u32,
+    },
 }
 
 impl std::fmt::Display for ScanError {
@@ -150,6 +196,29 @@ impl std::fmt::Display for ScanError {
             ),
             ScanError::CorruptLayout(m) => write!(f, "corrupt relation layout: {m}"),
             ScanError::Worker(m) => write!(f, "scan worker panicked: {m}"),
+            ScanError::DeadlineExceeded {
+                elapsed_seconds,
+                budget_seconds,
+            } => write!(
+                f,
+                "scan deadline exceeded: {elapsed_seconds:.3}s elapsed of {budget_seconds:.3}s budget"
+            ),
+            ScanError::RetryBudgetExhausted {
+                column,
+                block,
+                attempts,
+            } => write!(
+                f,
+                "retry budget exhausted fetching column {column} block {block} after {attempts} attempts"
+            ),
+            ScanError::BreakerOpen { column, block } => write!(
+                f,
+                "circuit breaker open: fetch of column {column} block {block} failed fast"
+            ),
+            ScanError::Quarantined { column, block } => write!(
+                f,
+                "column {column} block {block} is quarantined as permanently corrupt"
+            ),
         }
     }
 }

@@ -9,6 +9,7 @@
 //! paper's "prune before accessing a file through a high-latency network"
 //! (§2.1) happens here.
 
+use crate::retry::{RetryBudgetConfig, Tolerance};
 use crate::source::BlockSource;
 use crate::{Result, ScanError};
 use btrblocks::{CmpOp, Literal, Sidecar};
@@ -24,13 +25,16 @@ pub struct Predicate {
     pub literal: Literal,
 }
 
-/// What to scan: a projection plus an optional predicate.
+/// What to scan: a projection, an optional predicate, and the scan's
+/// fault-tolerance posture.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ScanSpec {
     /// Columns to return, in output order.
     pub projection: Vec<String>,
     /// Optional filter.
     pub predicate: Option<Predicate>,
+    /// Deadline and retry-budget knobs; the default tolerates everything.
+    pub tolerance: Tolerance,
 }
 
 impl ScanSpec {
@@ -43,12 +47,37 @@ impl ScanSpec {
         ScanSpec {
             projection: columns.into_iter().map(Into::into).collect(),
             predicate: None,
+            tolerance: Tolerance::default(),
         }
     }
 
     /// Adds a predicate.
     pub fn with_predicate(mut self, predicate: Predicate) -> ScanSpec {
         self.predicate = Some(predicate);
+        self
+    }
+
+    /// Bounds the scan to `seconds` of simulated time; once elapsed, fetches
+    /// stop retrying and the scan surfaces
+    /// [`ScanError::DeadlineExceeded`](crate::ScanError::DeadlineExceeded).
+    pub fn with_deadline(mut self, seconds: f64) -> ScanSpec {
+        self.tolerance.deadline_seconds = Some(seconds);
+        self
+    }
+
+    /// Caps total retries across every fetch of the scan with a token bucket
+    /// of `capacity` tokens refilling at `refill_per_second`.
+    pub fn with_retry_budget(mut self, capacity: f64, refill_per_second: f64) -> ScanSpec {
+        self.tolerance.retry_budget = Some(RetryBudgetConfig {
+            capacity,
+            refill_per_second,
+        });
+        self
+    }
+
+    /// Replaces the whole tolerance bundle.
+    pub fn with_tolerance(mut self, tolerance: Tolerance) -> ScanSpec {
+        self.tolerance = tolerance;
         self
     }
 }

@@ -5,15 +5,33 @@
 //! over a `CompressedRelation` already in memory (tests, local files) and
 //! over `btr-s3sim`'s costed store (the paper's cloud setting, §6.7). The
 //! object-store source fetches exactly one block payload per ranged GET,
-//! verifies the framing CRC, and retries transient faults with the same
-//! exponential-backoff policy as `Simulator::scan_with_retries` — backoff is
-//! accumulated as simulated seconds, never slept.
+//! verifies the framing CRC, and drives [`btr_s3sim::run_with_retries`] —
+//! the same deadline-aware retry loop `Simulator::scan_with_retries` uses;
+//! backoff is charged to a simulated clock, never slept.
+//!
+//! On top of the retry loop the object-store source layers the
+//! fault-tolerance mechanisms from [`crate::retry`]:
+//!
+//! * per-scan [`FetchCtl`] (deadline + retry budget) threaded in through
+//!   [`BlockSource::fetch_ctl`];
+//! * hedged GETs for stragglers past a latency percentile, with in-flight
+//!   dedup so concurrent fetches of one block resolve with one request;
+//! * a circuit breaker that fails fast during an outage and probes for
+//!   recovery;
+//! * per-block quarantine: a block whose every full-length body keeps
+//!   failing its CRC is marked permanently corrupt, so only scans that need
+//!   that block fail — its neighbors (and neighbor scans) are untouched.
 
 use crate::layout::RelationLayout;
+use crate::retry::{Admission, BreakerConfig, FetchCtl, HedgeConfig, SourceHealth};
+use crate::retry::{Inflight, JoinOutcome};
 use crate::{Result, ScanError};
-use btr_s3sim::{GetError, ObjectStore, RetryPolicy};
+use btr_s3sim::{
+    run_with_retries, Attempt, ObjectStore, RetryError, RetryFailure, RetryPolicy,
+    RetryStats, SimClock, HEDGE_ATTEMPT_SALT,
+};
 use btrblocks::crc32c::crc32c;
-use btrblocks::{ColumnType, CompressedRelation};
+use btrblocks::{BlockRange, ColumnType, CompressedRelation};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -31,7 +49,7 @@ pub struct SourceColumn {
 /// Fetch-side counters, snapshotted into the [`crate::ScanReport`].
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct FetchStats {
-    /// Fetch requests issued (each attempt counts).
+    /// Fetch requests issued (each attempt counts, hedges included).
     pub requests: u64,
     /// Block payload bytes pulled from the source.
     pub bytes_fetched: u64,
@@ -39,6 +57,14 @@ pub struct FetchStats {
     pub retries: u64,
     /// Simulated backoff accumulated across retries, in seconds.
     pub backoff_seconds: f64,
+    /// Hedged GETs issued for straggling primaries.
+    pub hedges_issued: u64,
+    /// Hedged GETs whose response was used (faster or primary failed).
+    pub hedges_won: u64,
+    /// Circuit-breaker state transitions observed on the source.
+    pub breaker_transitions: u64,
+    /// Blocks quarantined as permanently corrupt.
+    pub blocks_quarantined: u64,
 }
 
 /// A supplier of compressed block payloads.
@@ -57,6 +83,19 @@ pub trait BlockSource: Send + Sync {
 
     /// Fetches the compressed payload of `block` in `column` (both indices).
     fn fetch(&self, column: u32, block: u32) -> Result<Vec<u8>>;
+
+    /// Like [`BlockSource::fetch`], but honouring the scan's deadline and
+    /// retry budget. Sources without retry machinery ignore the control.
+    fn fetch_ctl(&self, column: u32, block: u32, ctl: &FetchCtl) -> Result<Vec<u8>> {
+        let _ = ctl;
+        self.fetch(column, block)
+    }
+
+    /// The source's fault-tolerance state (clock, breaker, quarantine), if
+    /// it has any; in-memory sources don't.
+    fn health(&self) -> Option<&SourceHealth> {
+        None
+    }
 
     /// Snapshot of the fetch counters.
     fn stats(&self) -> FetchStats;
@@ -128,8 +167,7 @@ impl BlockSource for MemorySource {
         FetchStats {
             requests: self.requests.load(Ordering::Relaxed),
             bytes_fetched: self.bytes.load(Ordering::Relaxed),
-            retries: 0,
-            backoff_seconds: 0.0,
+            ..FetchStats::default()
         }
     }
 }
@@ -141,6 +179,8 @@ pub struct ObjectStoreSource {
     key: String,
     layout: RelationLayout,
     retry: RetryPolicy,
+    health: SourceHealth,
+    inflight: Inflight,
     requests: AtomicU64,
     bytes: AtomicU64,
     retries: AtomicU64,
@@ -149,7 +189,9 @@ pub struct ObjectStoreSource {
 
 impl ObjectStoreSource {
     /// Creates a source for the object at `key`; `layout` must describe that
-    /// object's bytes (see [`RelationLayout::of`]).
+    /// object's bytes (see [`RelationLayout::of`]). Quarantine and in-flight
+    /// dedup are always on; hedging and circuit breaking are opt-in via
+    /// [`ObjectStoreSource::with_hedging`] / [`ObjectStoreSource::with_breaker`].
     pub fn new(
         store: Arc<ObjectStore>,
         key: impl Into<String>,
@@ -161,10 +203,182 @@ impl ObjectStoreSource {
             key: key.into(),
             layout,
             retry,
+            health: SourceHealth::new(),
+            inflight: Inflight::new(),
             requests: AtomicU64::new(0),
             bytes: AtomicU64::new(0),
             retries: AtomicU64::new(0),
             backoff_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Shares a simulated clock with other sources/scans (one timeline per
+    /// simulated world).
+    pub fn with_clock(mut self, clock: SimClock) -> ObjectStoreSource {
+        self.health.set_clock(clock);
+        self
+    }
+
+    /// Enables circuit breaking on this source.
+    pub fn with_breaker(mut self, config: BreakerConfig) -> ObjectStoreSource {
+        self.health.set_breaker(config);
+        self
+    }
+
+    /// Enables hedged GETs on this source.
+    pub fn with_hedging(mut self, config: HedgeConfig) -> ObjectStoreSource {
+        self.health.set_hedging(config);
+        self
+    }
+
+    fn valid_body(&self, body: &[u8], range: &BlockRange) -> bool {
+        // The store may have truncated or flipped bits; the framing CRC from
+        // the layout catches both.
+        body.len() == range.len as usize && crc32c(body) == range.crc32c
+    }
+
+    /// The owner side of one block fetch: breaker admission, the shared
+    /// retry loop, hedging, and quarantine on permanent corruption.
+    fn fetch_owned(
+        &self,
+        column: u32,
+        block: u32,
+        range: &BlockRange,
+        ctl: &FetchCtl,
+    ) -> Result<Vec<u8>> {
+        let clock = self.health.clock();
+        let probing = match self.health.breaker() {
+            Some(breaker) => match breaker.admit(clock) {
+                Admission::Allowed => false,
+                Admission::Probe => true,
+                Admission::FailFast => return Err(ScanError::BreakerOpen { column, block }),
+            },
+            None => false,
+        };
+        // A recovery probe gets exactly one attempt: its job is to sample
+        // the source's health, not to grind through a retry schedule.
+        let policy = if probing {
+            RetryPolicy {
+                max_attempts: 1,
+                ..self.retry.clone()
+            }
+        } else {
+            self.retry.clone()
+        };
+        let (start, len) = (range.offset as usize, range.len as usize);
+        let mut stats = RetryStats::default();
+        // True once a *full-length* body failed its CRC — the signature of
+        // corrupt stored bytes (a truncated body is a transport fault).
+        let mut saw_corrupt_body = false;
+        let result = run_with_retries(
+            &policy,
+            clock,
+            ctl.deadline,
+            ctl.budget.as_deref(),
+            &mut stats,
+            |attempt| {
+                self.requests.fetch_add(1, Ordering::Relaxed);
+                let primary = self.store.get_range_timed(&self.key, start, len, attempt);
+                let mut latency = primary.latency_seconds();
+                self.health.observe_latency(latency);
+                let mut outcome = primary.outcome;
+                // Hedge a straggler: once the primary has been out longer
+                // than the recent latency percentile, a second GET (salted so
+                // it draws independent faults) races it; the first valid
+                // response wins and only its latency is charged.
+                if let Some(threshold) = self.health.hedge_threshold() {
+                    if latency > threshold {
+                        self.health.note_hedge_issued();
+                        self.requests.fetch_add(1, Ordering::Relaxed);
+                        let hedge = self.store.get_range_timed(
+                            &self.key,
+                            start,
+                            len,
+                            attempt | HEDGE_ATTEMPT_SALT,
+                        );
+                        let hedge_total = threshold + hedge.latency_seconds();
+                        let hedge_valid =
+                            matches!(&hedge.outcome, Ok(b) if self.valid_body(b, range));
+                        let primary_valid =
+                            matches!(&outcome, Ok(b) if self.valid_body(b, range));
+                        if hedge_valid && (!primary_valid || hedge_total < latency) {
+                            self.health.note_hedge_won();
+                            outcome = hedge.outcome;
+                            latency = latency.min(hedge_total);
+                        }
+                    }
+                }
+                clock.advance_seconds(latency);
+                match outcome {
+                    Ok(body) => {
+                        self.bytes.fetch_add(body.len() as u64, Ordering::Relaxed);
+                        if self.valid_body(&body, range) {
+                            Attempt::Success(body)
+                        } else {
+                            if body.len() == len {
+                                saw_corrupt_body = true;
+                            }
+                            Attempt::Retry
+                        }
+                    }
+                    Err(err) if err.is_retryable() => Attempt::Retry,
+                    Err(_) => Attempt::Fatal(ScanError::MissingObject(self.key.clone())),
+                }
+            },
+        );
+        self.retries
+            .fetch_add(u64::from(stats.retries), Ordering::Relaxed);
+        self.backoff_nanos
+            .fetch_add((stats.backoff_seconds * 1e9) as u64, Ordering::Relaxed);
+        match result {
+            Ok(body) => {
+                if let Some(breaker) = self.health.breaker() {
+                    breaker.record(clock, true);
+                }
+                Ok(body)
+            }
+            Err(RetryFailure::Fatal(err)) => {
+                // NotFound is an authoritative answer from a healthy store,
+                // so it counts as breaker evidence of health, not failure.
+                if let Some(breaker) = self.health.breaker() {
+                    breaker.record(clock, true);
+                }
+                Err(err)
+            }
+            Err(RetryFailure::Stopped(RetryError::Exhausted { attempts })) => {
+                if let Some(breaker) = self.health.breaker() {
+                    breaker.record(clock, false);
+                }
+                if saw_corrupt_body {
+                    // Every full-length body failed its CRC until the policy
+                    // gave up: the stored bytes themselves are bad. Poison
+                    // this block only; neighbors keep scanning.
+                    self.health.quarantine(column, block);
+                    Err(ScanError::Quarantined { column, block })
+                } else {
+                    Err(ScanError::FetchFailed {
+                        column,
+                        block,
+                        attempts,
+                    })
+                }
+            }
+            // Deadline and budget stops are the *scan* giving up, not the
+            // store failing — no breaker evidence either way.
+            Err(RetryFailure::Stopped(RetryError::DeadlineExceeded {
+                elapsed_seconds,
+                budget_seconds,
+            })) => Err(ScanError::DeadlineExceeded {
+                elapsed_seconds,
+                budget_seconds,
+            }),
+            Err(RetryFailure::Stopped(RetryError::BudgetExhausted { attempts })) => {
+                Err(ScanError::RetryBudgetExhausted {
+                    column,
+                    block,
+                    attempts,
+                })
+            }
         }
     }
 }
@@ -191,46 +405,38 @@ impl BlockSource for ObjectStoreSource {
     }
 
     fn fetch(&self, column: u32, block: u32) -> Result<Vec<u8>> {
-        let range = self
+        self.fetch_ctl(column, block, &FetchCtl::default())
+    }
+
+    fn fetch_ctl(&self, column: u32, block: u32, ctl: &FetchCtl) -> Result<Vec<u8>> {
+        let range = *self
             .layout
             .columns
             .get(column as usize)
             .and_then(|c| c.blocks.get(block as usize))
             .ok_or(ScanError::BlockOutOfRange { column, block })?;
-        let (start, len) = (range.offset as usize, range.len as usize);
-        let mut attempt = 0u32;
         loop {
-            self.requests.fetch_add(1, Ordering::Relaxed);
-            let outcome = self
-                .store
-                .get_range_with_attempt(&self.key, start, len, attempt);
-            match outcome {
-                Ok(body) => {
-                    self.bytes.fetch_add(body.len() as u64, Ordering::Relaxed);
-                    // The store may have truncated or flipped bits; the
-                    // framing CRC from the layout catches both.
-                    if body.len() == len && crc32c(&body) == range.crc32c {
-                        return Ok(body);
-                    }
-                }
-                Err(GetError::NotFound) => {
-                    return Err(ScanError::MissingObject(self.key.clone()));
-                }
-                Err(GetError::Transient) => {}
+            if self.health.is_quarantined(column, block) {
+                return Err(ScanError::Quarantined { column, block });
             }
-            attempt += 1;
-            if attempt >= self.retry.max_attempts {
-                return Err(ScanError::FetchFailed {
-                    column,
-                    block,
-                    attempts: attempt,
-                });
+            // Single-flight: concurrent fetches of one block resolve with
+            // one request chain. A waiter whose owner failed does NOT
+            // inherit the error (the owner may have hit its own deadline or
+            // budget) — it loops back and fetches under its own control.
+            match self.inflight.join((column, block)) {
+                JoinOutcome::Waited(Some(body)) => return Ok(body),
+                JoinOutcome::Waited(None) => continue,
+                JoinOutcome::Owner(guard) => {
+                    let result = self.fetch_owned(column, block, &range, ctl);
+                    guard.publish(result.as_ref().ok().cloned());
+                    return result;
+                }
             }
-            self.retries.fetch_add(1, Ordering::Relaxed);
-            let backoff = self.retry.backoff_seconds(attempt - 1);
-            self.backoff_nanos
-                .fetch_add((backoff * 1e9) as u64, Ordering::Relaxed);
         }
+    }
+
+    fn health(&self) -> Option<&SourceHealth> {
+        Some(&self.health)
     }
 
     fn stats(&self) -> FetchStats {
@@ -239,6 +445,10 @@ impl BlockSource for ObjectStoreSource {
             bytes_fetched: self.bytes.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
             backoff_seconds: self.backoff_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+            hedges_issued: self.health.hedges_issued(),
+            hedges_won: self.health.hedges_won(),
+            breaker_transitions: self.health.breaker_transitions(),
+            blocks_quarantined: self.health.quarantined_blocks(),
         }
     }
 }
@@ -356,5 +566,199 @@ mod tests {
                 attempts: 3
             }
         );
+    }
+
+    fn never_converging(rate: f64, seed: u64) -> btr_s3sim::FaultPlan {
+        btr_s3sim::FaultPlan {
+            max_faults_per_key: 1_000,
+            ..btr_s3sim::FaultPlan::transient(rate, seed)
+        }
+    }
+
+    #[test]
+    fn deadline_stops_a_fetch_within_one_backoff_step() {
+        let (compressed, _) = sample();
+        let layout = RelationLayout::of(&compressed);
+        let store = Arc::new(ObjectStore::new());
+        store.put("rel.btr", compressed.to_bytes());
+        store.set_fault_plan(Some(never_converging(1.0, 9)));
+        let clock = SimClock::default();
+        let source = ObjectStoreSource::new(
+            store,
+            "rel.btr",
+            layout,
+            RetryPolicy {
+                max_attempts: 1_000,
+                base_backoff_seconds: 0.05,
+                backoff_multiplier: 1.0,
+            },
+        )
+        .with_clock(clock.clone());
+        let ctl = FetchCtl {
+            deadline: Some(btr_s3sim::Deadline::after(&clock, 0.2)),
+            budget: None,
+        };
+        match source.fetch_ctl(0, 0, &ctl).unwrap_err() {
+            ScanError::DeadlineExceeded {
+                elapsed_seconds,
+                budget_seconds,
+            } => {
+                assert_eq!(budget_seconds, 0.2);
+                // Overshoot is bounded by a single backoff step.
+                assert!(elapsed_seconds >= 0.2);
+                assert!(elapsed_seconds <= 0.2 + 0.05 + 1e-9, "{elapsed_seconds}");
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_is_typed_and_counted() {
+        let (compressed, _) = sample();
+        let layout = RelationLayout::of(&compressed);
+        let store = Arc::new(ObjectStore::new());
+        store.put("rel.btr", compressed.to_bytes());
+        store.set_fault_plan(Some(never_converging(1.0, 3)));
+        let source = ObjectStoreSource::new(
+            store,
+            "rel.btr",
+            layout,
+            RetryPolicy {
+                max_attempts: 1_000,
+                ..RetryPolicy::default()
+            },
+        );
+        let ctl = FetchCtl {
+            deadline: None,
+            budget: Some(Arc::new(btr_s3sim::RetryBudget::new(2.0, 0.0))),
+        };
+        // One free first attempt plus two budgeted retries.
+        assert_eq!(
+            source.fetch_ctl(0, 0, &ctl).unwrap_err(),
+            ScanError::RetryBudgetExhausted {
+                column: 0,
+                block: 0,
+                attempts: 3
+            }
+        );
+    }
+
+    #[test]
+    fn breaker_fails_fast_then_recovers_through_a_probe() {
+        let (compressed, _) = sample();
+        let layout = RelationLayout::of(&compressed);
+        let store = Arc::new(ObjectStore::new());
+        store.put("rel.btr", compressed.to_bytes());
+        store.set_fault_plan(Some(never_converging(1.0, 5)));
+        let clock = SimClock::default();
+        let source = ObjectStoreSource::new(
+            store.clone(),
+            "rel.btr",
+            layout,
+            RetryPolicy {
+                max_attempts: 2,
+                ..RetryPolicy::default()
+            },
+        )
+        .with_clock(clock.clone())
+        .with_breaker(crate::retry::BreakerConfig {
+            failure_threshold: 1,
+            open_seconds: 5.0,
+        });
+
+        // The exhausted fetch trips the breaker; the next block fails fast
+        // without touching the store.
+        assert!(matches!(
+            source.fetch(0, 0).unwrap_err(),
+            ScanError::FetchFailed { .. }
+        ));
+        let requests_when_open = source.stats().requests;
+        assert_eq!(
+            source.fetch(0, 1).unwrap_err(),
+            ScanError::BreakerOpen { column: 0, block: 1 }
+        );
+        assert_eq!(source.stats().requests, requests_when_open);
+
+        // After the open window a probe GET closes it again.
+        store.set_fault_plan(None);
+        clock.advance_seconds(6.0);
+        assert!(source.fetch(0, 1).is_ok());
+        assert!(source.fetch(0, 2).is_ok());
+        // Closed -> Open -> HalfOpen -> Closed.
+        assert_eq!(source.stats().breaker_transitions, 3);
+    }
+
+    #[test]
+    fn permanent_corruption_quarantines_only_that_block() {
+        let (compressed, _) = sample();
+        let layout = RelationLayout::of(&compressed);
+        let mut bytes = compressed.to_bytes();
+        let range = layout.columns[0].blocks[1];
+        bytes[range.offset as usize + 4] ^= 0x10;
+        let store = Arc::new(ObjectStore::new());
+        store.put("rel.btr", bytes);
+        let source = ObjectStoreSource::new(
+            store,
+            "rel.btr",
+            layout,
+            RetryPolicy {
+                max_attempts: 2,
+                ..RetryPolicy::default()
+            },
+        );
+        let poisoned = ScanError::Quarantined { column: 0, block: 1 };
+        assert_eq!(source.fetch(0, 1).unwrap_err(), poisoned.clone());
+        // Neighbours are untouched by the quarantine.
+        assert!(source.fetch(0, 0).is_ok());
+        assert!(source.fetch(0, 2).is_ok());
+        // The poisoned block now fails fast, issuing no new requests.
+        let requests = source.stats().requests;
+        assert_eq!(source.fetch(0, 1).unwrap_err(), poisoned);
+        let stats = source.stats();
+        assert_eq!(stats.requests, requests);
+        assert_eq!(stats.blocks_quarantined, 1);
+    }
+
+    #[test]
+    fn hedges_fire_for_stragglers_once_the_window_is_warm() {
+        // Many small blocks keep slow keys under the p90 threshold: spikes
+        // stay in the top decile of the latency window, so they hedge.
+        let cfg = Config {
+            block_size: 100,
+            ..Config::default()
+        };
+        let rel = Relation::new(vec![Column::new(
+            "id",
+            ColumnData::Int((0..4_000).collect()),
+        )]);
+        let compressed = Arc::new(btrblocks::compress(&rel, &cfg).unwrap());
+        let layout = RelationLayout::of(&compressed);
+        let store = Arc::new(ObjectStore::new());
+        store.put("rel.btr", compressed.to_bytes());
+        store.set_fault_plan(Some(btr_s3sim::FaultPlan {
+            latency_spike_rate: 0.05,
+            latency_spike_ms: 2_000,
+            base_latency_ms: 10,
+            max_faults_per_key: 1_000,
+            ..btr_s3sim::FaultPlan::transient(0.0, 18)
+        }));
+        let clock = SimClock::default();
+        let source = ObjectStoreSource::new(store, "rel.btr", layout, RetryPolicy::default())
+            .with_clock(clock.clone())
+            .with_hedging(crate::retry::HedgeConfig {
+                percentile: 0.9,
+                min_seconds: 0.005,
+                warmup: 4,
+            });
+        for _ in 0..10 {
+            for block in 0..40 {
+                source.fetch(0, block).unwrap();
+            }
+        }
+        let stats = source.stats();
+        assert!(stats.hedges_issued > 0, "spikes past p90 must hedge");
+        assert!(stats.hedges_won > 0, "a clean hedge must beat a 2s spike");
+        // This seed also spikes some hedges, so not every hedge wins.
+        assert!(stats.hedges_won < stats.hedges_issued);
     }
 }

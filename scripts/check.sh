@@ -70,4 +70,15 @@ BENCH_ROWS="${BENCH_ROWS:-64000}" BENCH_COMPRESS_JSON="BENCH_compress.json" \
 grep -q '"name": "warm-scratch", "seconds": [0-9.]*, "mb_per_s": [0-9.]*, "heap_growth_bytes": 0,' BENCH_compress.json
 grep -q '"parallel_matches_serial": true' BENCH_compress.json
 
+echo "== chaos campaign smoke (BENCH_chaos.json)"
+BENCH_CHAOS_SCHEDULES="${BENCH_CHAOS_SCHEDULES:-100}" BENCH_CHAOS_JSON="BENCH_chaos.json" \
+  cargo run --release --quiet -p btr-bench --bin chaos_campaign > /dev/null
+# The fault-model contract: randomized fault schedules over concurrent
+# scans may fail scans, but only with typed, attributed errors — never a
+# panic, never silently wrong bytes.
+grep -q '"panics": 0' BENCH_chaos.json
+grep -q '"divergent": 0' BENCH_chaos.json
+grep -q '"unattributed": 0' BENCH_chaos.json
+grep -q '"clean": true' BENCH_chaos.json
+
 echo "ok"
