@@ -23,6 +23,7 @@ fn main() {
         ("compression_speed", e::compression_speed::run),
         ("scalar_ablation", e::scalar_ablation::run),
         ("chaos_campaign", e::chaos_campaign::run),
+        ("scan_service", e::scan_service::run),
     ];
     for (name, run) in suite {
         eprintln!(">>> running {name} (rows={rows}, seed={seed})");

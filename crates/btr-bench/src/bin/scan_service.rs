@@ -1,0 +1,28 @@
+//! Scan-service concurrency sweep; see `btr_bench::experiments::scan_service`.
+//!
+//! Prints the per-level table and, when `BENCH_SERVER_JSON` is set, writes
+//! the machine-readable sweep (throughput, dedup hits, coalescing ratios,
+//! queue-wait percentiles) to that path — CI points it at
+//! `BENCH_server.json` and asserts the sweep is clean and that cross-scan
+//! dedup fired. `BENCH_ROWS` scales the relation; `BENCH_SEED` replays a
+//! specific fault schedule.
+
+use btr_bench::experiments::scan_service;
+
+fn main() {
+    let (rows, seed) = (btr_bench::bench_rows(), btr_bench::bench_seed());
+    let bench = scan_service::measure(rows, seed);
+    if let Ok(path) = std::env::var("BENCH_SERVER_JSON") {
+        let json = scan_service::json(&bench, seed);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("could not write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
+    println!("{}", scan_service::render(&bench));
+    if !bench.is_clean() {
+        eprintln!("scan service sweep found failures (see table above)");
+        std::process::exit(1);
+    }
+}

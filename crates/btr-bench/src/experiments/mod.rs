@@ -17,6 +17,7 @@ pub mod pde_pool;
 pub mod scalar_ablation;
 pub mod scan_cost;
 pub mod scan_pipeline;
+pub mod scan_service;
 pub mod table2;
 pub mod table3;
 pub mod table4;

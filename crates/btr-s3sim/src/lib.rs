@@ -42,7 +42,7 @@ pub use retry::{
 use btr_corrupt::rng::Xorshift;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::Instant;
 
 /// Default chunk size for multi-part objects: 16 MB (paper §6.7).
@@ -313,6 +313,37 @@ pub struct ObjectStore {
     get_requests: std::sync::atomic::AtomicU64,
     ranged_get_requests: std::sync::atomic::AtomicU64,
     bytes_served: std::sync::atomic::AtomicU64,
+    tenant_stats: RwLock<HashMap<String, GetStats>>,
+    inflight: Mutex<InflightState>,
+    inflight_cv: Condvar,
+}
+
+/// Book-keeping for the optional global in-flight GET cap: how many requests
+/// are currently being served, the cap (None = unlimited), and the high-water
+/// mark since the last reset.
+#[derive(Debug, Default)]
+struct InflightState {
+    cap: Option<usize>,
+    current: usize,
+    peak: usize,
+}
+
+/// RAII token for one in-flight GET slot; releasing wakes one blocked caller.
+struct InflightSlot<'a> {
+    store: &'a ObjectStore,
+}
+
+impl Drop for InflightSlot<'_> {
+    fn drop(&mut self) {
+        let mut st = self
+            .store
+            .inflight
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        st.current = st.current.saturating_sub(1);
+        drop(st);
+        self.store.inflight_cv.notify_one();
+    }
 }
 
 /// Recovers the map even if a writer panicked mid-insert; the map itself is
@@ -407,6 +438,54 @@ impl ObjectStore {
         self.bytes_served.fetch_add(bytes as u64, Relaxed);
     }
 
+    /// [`ObjectStore::account`] plus the per-tenant breakdown. Anonymous
+    /// requests (`tenant == None`) only hit the global counters.
+    fn account_as(&self, ranged: bool, bytes: usize, tenant: Option<&str>) {
+        self.account(ranged, bytes);
+        let Some(tenant) = tenant else { return };
+        let mut map = write_lock(&self.tenant_stats);
+        let stats = map.entry(tenant.to_string()).or_default();
+        if ranged {
+            stats.ranged_get_requests += 1;
+        } else {
+            stats.get_requests += 1;
+        }
+        stats.bytes_served += bytes as u64;
+    }
+
+    /// Installs (or clears) a global cap on concurrently served GETs. While
+    /// `current == cap`, further GETs block until a slot frees — letting a
+    /// harness prove that cross-scan deduplication, not luck, keeps request
+    /// counts down even when the store throttles concurrency.
+    pub fn set_inflight_cap(&self, cap: Option<usize>) {
+        let mut st = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+        st.cap = cap;
+        drop(st);
+        self.inflight_cv.notify_all();
+    }
+
+    /// High-water mark of concurrently served GETs since creation (or the
+    /// last [`ObjectStore::reset_counters`]). Tracked whether or not a cap is
+    /// installed.
+    pub fn inflight_peak(&self) -> usize {
+        self.inflight.lock().unwrap_or_else(|e| e.into_inner()).peak
+    }
+
+    /// Claims one in-flight GET slot, blocking while the store is at its cap.
+    fn acquire_slot(&self) -> InflightSlot<'_> {
+        let mut st = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+        while st.cap.is_some_and(|cap| st.current >= cap.max(1)) {
+            st = self
+                .inflight_cv
+                .wait(st)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        st.current += 1;
+        st.peak = st.peak.max(st.current);
+        drop(st);
+        InflightSlot { store: self }
+    }
+
     /// Request counters accumulated since creation (or the last
     /// [`ObjectStore::reset_counters`]).
     pub fn counters(&self) -> GetStats {
@@ -418,12 +497,31 @@ impl ObjectStore {
         }
     }
 
-    /// Zeroes the request counters.
+    /// Zeroes the request counters, the per-tenant breakdown and the
+    /// in-flight high-water mark.
     pub fn reset_counters(&self) {
         use std::sync::atomic::Ordering::Relaxed;
         self.get_requests.store(0, Relaxed);
         self.ranged_get_requests.store(0, Relaxed);
         self.bytes_served.store(0, Relaxed);
+        write_lock(&self.tenant_stats).clear();
+        self.inflight.lock().unwrap_or_else(|e| e.into_inner()).peak = 0;
+    }
+
+    /// Request counters attributed to one tenant via
+    /// [`ObjectStore::get_range_timed_as`]. Unknown tenants read as zero.
+    pub fn tenant_counters(&self, tenant: &str) -> GetStats {
+        read_lock(&self.tenant_stats)
+            .get(tenant)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Tenants that have issued attributed requests, sorted.
+    pub fn tenants(&self) -> Vec<String> {
+        let mut names: Vec<String> = read_lock(&self.tenant_stats).keys().cloned().collect();
+        names.sort();
+        names
     }
 
     /// Fetches a whole object, bypassing fault injection.
@@ -482,6 +580,22 @@ impl ObjectStore {
     /// (the client stops waiting). Nothing sleeps: callers advance their
     /// [`SimClock`] by the reported latency.
     pub fn get_range_timed(&self, key: &str, start: usize, len: usize, attempt: u32) -> TimedGet {
+        self.get_range_timed_as(key, start, len, attempt, None)
+    }
+
+    /// [`ObjectStore::get_range_timed`] with the request attributed to a
+    /// tenant: the global counters advance as usual, and when `tenant` is
+    /// `Some` the same deltas land in that tenant's [`GetStats`] (read back
+    /// via [`ObjectStore::tenant_counters`]). Respects the in-flight cap.
+    pub fn get_range_timed_as(
+        &self,
+        key: &str,
+        start: usize,
+        len: usize,
+        attempt: u32,
+        tenant: Option<&str>,
+    ) -> TimedGet {
+        let _slot = self.acquire_slot();
         let Some(obj) = self.lookup(key) else {
             return TimedGet {
                 outcome: Err(GetError::NotFound),
@@ -515,7 +629,7 @@ impl ObjectStore {
         } else {
             Self::apply_fault(&obj[start..end], fault)
         };
-        self.account(true, Self::billed_bytes(&outcome));
+        self.account_as(true, Self::billed_bytes(&outcome), tenant);
         TimedGet {
             outcome,
             latency_ms,
@@ -905,6 +1019,55 @@ mod tests {
         };
         assert!((stats.t_r_gb_per_s() - 4.0).abs() < 1e-9);
         assert!((stats.t_c_gbit_per_s() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tenant_attribution_splits_counters() {
+        let store = ObjectStore::new();
+        store.put("a", (0u8..200).collect());
+        store.get_range_timed_as("a", 0, 100, 0, Some("alice"));
+        store.get_range_timed_as("a", 100, 50, 0, Some("bob"));
+        store.get_range_timed_as("a", 150, 50, 0, None);
+        let alice = store.tenant_counters("alice");
+        let bob = store.tenant_counters("bob");
+        assert_eq!(alice.ranged_get_requests, 1);
+        assert_eq!(alice.bytes_served, 100);
+        assert_eq!(bob.ranged_get_requests, 1);
+        assert_eq!(bob.bytes_served, 50);
+        assert_eq!(store.tenant_counters("nobody"), GetStats::default());
+        assert_eq!(store.tenants(), vec!["alice".to_string(), "bob".to_string()]);
+        // Global counters see all three requests, attributed or not.
+        let all = store.counters();
+        assert_eq!(all.ranged_get_requests, 3);
+        assert_eq!(all.bytes_served, 200);
+        store.reset_counters();
+        assert_eq!(store.tenant_counters("alice"), GetStats::default());
+        assert!(store.tenants().is_empty());
+    }
+
+    #[test]
+    fn inflight_cap_bounds_concurrency_and_records_peak() {
+        let store = Arc::new(ObjectStore::new());
+        store.put("a", vec![0u8; 64]);
+        store.set_inflight_cap(Some(1));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let s = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..16 {
+                    let got = s.get_range_timed_as("a", 0, 64, 0, Some("t"));
+                    assert!(got.outcome.is_ok());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.inflight_peak(), 1);
+        assert_eq!(store.counters().ranged_get_requests, 8 * 16);
+        store.set_inflight_cap(None);
+        store.reset_counters();
+        assert_eq!(store.inflight_peak(), 0);
     }
 
     #[test]

@@ -34,7 +34,7 @@ impl RecordBatch {
 }
 
 /// An empty buffer of the given type, used to seed per-column accumulators.
-pub(crate) fn empty_like(ty: ColumnType) -> ColumnData {
+pub fn empty_like(ty: ColumnType) -> ColumnData {
     match ty {
         ColumnType::Integer => ColumnData::Int(Vec::new()),
         ColumnType::Double => ColumnData::Double(Vec::new()),
@@ -44,7 +44,7 @@ pub(crate) fn empty_like(ty: ColumnType) -> ColumnData {
 
 /// Materializes the selected rows of a decoded block. `selection == None`
 /// means "all rows" (no predicate, or a fast path that matched everything).
-pub(crate) fn gather(decoded: &DecodedColumn, selection: Option<&RoaringBitmap>) -> ColumnData {
+pub fn gather(decoded: &DecodedColumn, selection: Option<&RoaringBitmap>) -> ColumnData {
     match (decoded, selection) {
         (DecodedColumn::Int(v), None) => ColumnData::Int(v.clone()),
         (DecodedColumn::Int(v), Some(sel)) => {
@@ -70,7 +70,7 @@ pub(crate) fn gather(decoded: &DecodedColumn, selection: Option<&RoaringBitmap>)
 
 /// Appends `src` onto `dst`; both must share a type (the planner guarantees
 /// this, so a mismatch is reported as corruption rather than panicking).
-pub(crate) fn append(dst: &mut ColumnData, src: &ColumnData) -> Result<()> {
+pub fn append(dst: &mut ColumnData, src: &ColumnData) -> Result<()> {
     match (dst, src) {
         (ColumnData::Int(d), ColumnData::Int(s)) => d.extend_from_slice(s),
         (ColumnData::Double(d), ColumnData::Double(s)) => d.extend_from_slice(s),
@@ -89,7 +89,7 @@ pub(crate) fn append(dst: &mut ColumnData, src: &ColumnData) -> Result<()> {
 }
 
 /// Removes and returns the first `k` rows of `data` (`k <= data.len()`).
-pub(crate) fn split_front(data: &mut ColumnData, k: usize) -> ColumnData {
+pub fn split_front(data: &mut ColumnData, k: usize) -> ColumnData {
     match data {
         ColumnData::Int(v) => {
             let tail = v.split_off(k);

@@ -198,6 +198,14 @@ impl BlockCache {
         displaced
     }
 
+    /// Whether the cache currently holds `key`, without refreshing its
+    /// recency or perturbing hit/miss counters. The scan service's coalescer
+    /// uses this to skip blocks another scan already decoded when sizing a
+    /// ranged fetch.
+    pub fn contains(&self, key: &BlockKey) -> bool {
+        lock(self.shard_of(key)).map.contains_key(key)
+    }
+
     /// Byte-budget pressure in `[0, 1+]`: held bytes over budget. The
     /// engine's degradation ladder bypasses cache inserts for streamed
     /// blocks once this crosses its threshold, so a fault-storm scan cannot

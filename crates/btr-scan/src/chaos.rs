@@ -193,8 +193,9 @@ fn classify(err: &ScanError, spec: &ScanSpec, ctx: &ScheduleCtx) -> ScheduleOutc
 
 /// A small three-column relation (sequential ints, derived doubles,
 /// low-cardinality strings) whose specs exercise pruning, pushdown, string
-/// decode, and multi-column gathers.
-fn build_relation(rows: usize) -> Relation {
+/// decode, and multi-column gathers. Public so service-level campaigns
+/// (btr-server) stress the same shape of data.
+pub fn build_relation(rows: usize) -> Relation {
     // lint: allow(cast) campaign row counts are tiny (thousands)
     let ids: Vec<i32> = (0..rows).map(|i| i as i32).collect();
     let vals: Vec<f64> = ids.iter().map(|&i| f64::from(i) * 0.5 - 3.0).collect();
@@ -208,8 +209,8 @@ fn build_relation(rows: usize) -> Relation {
 }
 
 /// The specs every schedule's scans draw from (tolerances are layered on
-/// per scan).
-fn spec_pool(rows: usize) -> Vec<ScanSpec> {
+/// per scan). Public for reuse by service-level campaigns.
+pub fn spec_pool(rows: usize) -> Vec<ScanSpec> {
     // lint: allow(cast) campaign row counts are tiny (thousands)
     let rows = rows as i32;
     vec![

@@ -35,27 +35,20 @@
 //! 3. source breaker open → prefetch shrinks to 1 (and the source itself
 //!    sheds hedged GETs while not closed).
 
-use crate::batch::{append, empty_like, gather, split_front, RecordBatch};
-use crate::cache::{BlockCache, BlockKey};
+use crate::batch::{append, empty_like, split_front, RecordBatch};
+use crate::cache::BlockCache;
+use crate::pipeline::{BlockPipeline, BlockResult, PipelineParams};
 use crate::plan::{plan_scan, RowGroup, ScanSpec};
-use crate::retry::{BreakerState, FetchCtl};
+use crate::retry::FetchCtl;
 use crate::source::{BlockSource, FetchStats};
 use crate::{Result, ScanError};
-use btr_roaring::RoaringBitmap;
-use btr_s3sim::{Deadline, RetryBudget, SimClock};
-use btrblocks::{
-    decompress_block_into, filter_block, filter_decoded, has_fast_path, peek_scheme, CmpOp,
-    ColumnData, ColumnType, Config, DecodeScratch, DecodedColumn, Literal, Sidecar,
-};
+use btr_s3sim::{Deadline, RetryBudget};
+use btrblocks::{ColumnData, Config, DecodeScratch, Sidecar};
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Instant;
-
-/// Cache byte-budget fraction past which the degradation ladder starts
-/// bypassing cache inserts for streamed blocks.
-const CACHE_PRESSURE_BYPASS: f64 = 0.9;
 
 /// Tuning knobs for [`ScanEngine`].
 #[derive(Debug, Clone)]
@@ -105,6 +98,10 @@ pub struct ScanReport {
     pub cache_hits: u64,
     /// Decoded-block cache misses.
     pub cache_misses: u64,
+    /// Blocks received from another scan's in-flight decode through a shared
+    /// [`crate::pipeline::DecodeGate`] (always 0 for engine-driven scans,
+    /// which run gateless; the scan service wires the gate in).
+    pub dedup_hits: u64,
     /// Compressed bytes pulled from the source.
     pub bytes_fetched: u64,
     /// Fetch requests issued (every retry attempt counts).
@@ -137,278 +134,6 @@ pub struct ScanReport {
     pub degradation_steps: u64,
 }
 
-struct Counters {
-    pushdown: AtomicU64,
-    decoded: AtomicU64,
-    fetched: AtomicU64,
-    decode_nanos: AtomicU64,
-    cache_hits: AtomicU64,
-    cache_misses: AtomicU64,
-    /// Current degradation-ladder level (0 = healthy).
-    degradation_level: AtomicU64,
-    /// Upward level transitions, summed.
-    degradation_steps: AtomicU64,
-}
-
-impl Counters {
-    fn new() -> Counters {
-        Counters {
-            pushdown: AtomicU64::new(0),
-            decoded: AtomicU64::new(0),
-            fetched: AtomicU64::new(0),
-            decode_nanos: AtomicU64::new(0),
-            cache_hits: AtomicU64::new(0),
-            cache_misses: AtomicU64::new(0),
-            degradation_level: AtomicU64::new(0),
-            degradation_steps: AtomicU64::new(0),
-        }
-    }
-}
-
-/// Per-scan context shared by the workers.
-struct Ctx {
-    source: Arc<dyn BlockSource>,
-    cache: Arc<BlockCache>,
-    relation: Arc<str>,
-    config: Config,
-    projection: Vec<usize>,
-    column_types: Vec<ColumnType>,
-    predicate: Option<(usize, CmpOp, Literal)>,
-    counters: Counters,
-    /// The source's simulated clock (fresh and unused for sources without
-    /// health state).
-    clock: SimClock,
-    /// Deadline + retry budget threaded into every fetch of this scan.
-    ctl: FetchCtl,
-    /// The configured prefetch window; the ladder shrinks from here.
-    base_prefetch: usize,
-}
-
-impl Ctx {
-    /// Cache lookup with per-scan hit/miss accounting.
-    fn cache_get(&self, key: &BlockKey) -> Option<Arc<DecodedColumn>> {
-        let hit = self.cache.get(key);
-        if hit.is_some() {
-            self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
-        } else {
-            self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
-        }
-        hit
-    }
-
-    fn fetch(&self, column: u32, block: u32) -> Result<Vec<u8>> {
-        let bytes = self.source.fetch_ctl(column, block, &self.ctl)?;
-        self.counters.fetched.fetch_add(1, Ordering::Relaxed);
-        Ok(bytes)
-    }
-
-    /// Returns the scan's deadline error if its budget is already spent —
-    /// checked before starting a row group so an expired scan stops promptly
-    /// instead of fetching/decoding groups it can no longer use.
-    fn check_deadline(&self) -> Result<()> {
-        if let Some(deadline) = self.ctl.deadline {
-            if deadline.exceeded(&self.clock) {
-                return Err(ScanError::DeadlineExceeded {
-                    elapsed_seconds: deadline.elapsed_seconds(&self.clock),
-                    budget_seconds: deadline.budget_seconds,
-                });
-            }
-        }
-        Ok(())
-    }
-
-    /// Current degradation-ladder rung; see the module docs.
-    fn degradation_level(&self) -> u64 {
-        match self.source.health().map_or(BreakerState::Closed, |h| h.breaker_state()) {
-            BreakerState::Open => 3,
-            BreakerState::HalfOpen => 2,
-            BreakerState::Closed => {
-                if self.cache.pressure() >= CACHE_PRESSURE_BYPASS {
-                    1
-                } else {
-                    0
-                }
-            }
-        }
-    }
-
-    /// Re-evaluates the ladder: records upward moves and resizes the
-    /// prefetch window. Workers call this once per claimed row group, so the
-    /// scan reacts to a breaker opening mid-flight.
-    fn update_degradation(&self, shared: &Shared) {
-        let level = self.degradation_level();
-        let prev = self.counters.degradation_level.swap(level, Ordering::Relaxed);
-        if level > prev {
-            self.counters
-                .degradation_steps
-                .fetch_add(level - prev, Ordering::Relaxed);
-        }
-        let capacity = match level {
-            0 | 1 => self.base_prefetch,
-            2 => (self.base_prefetch / 2).max(1),
-            _ => 1,
-        };
-        shared.capacity.store(capacity, Ordering::Relaxed);
-    }
-
-    /// Timed decode into worker-leased buffers; the caller decides whether
-    /// to cache the result.
-    fn decode(
-        &self,
-        bytes: &[u8],
-        ty: ColumnType,
-        scratch: &mut DecodeScratch,
-    ) -> Result<Arc<DecodedColumn>> {
-        let t0 = Instant::now();
-        let mut decoded = scratch.lease_decoded(ty);
-        if let Err(e) = decompress_block_into(bytes, ty, &self.config, scratch, &mut decoded) {
-            scratch.recycle(decoded);
-            return Err(e.into());
-        }
-        self.counters
-            .decode_nanos
-            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        self.counters.decoded.fetch_add(1, Ordering::Relaxed);
-        Ok(Arc::new(decoded))
-    }
-
-    /// Caches a decoded block and recycles whatever the insert displaced
-    /// (LRU victims, replaced entries, refused oversized values) into the
-    /// worker's scratch arena — unless another scan still holds a reference.
-    fn cache_insert(
-        &self,
-        key: BlockKey,
-        value: Arc<DecodedColumn>,
-        scratch: &mut DecodeScratch,
-    ) {
-        // Degradation rung 1: under byte-budget pressure, streaming more
-        // blocks in would churn the shared working set for every scan —
-        // serve this scan without admitting its blocks.
-        if self.cache.pressure() >= CACHE_PRESSURE_BYPASS {
-            if let Ok(col) = Arc::try_unwrap(value) {
-                scratch.recycle(col);
-            }
-            return;
-        }
-        for displaced in self.cache.insert(key, value) {
-            if let Ok(col) = Arc::try_unwrap(displaced) {
-                scratch.recycle(col);
-            }
-        }
-    }
-
-    fn key(&self, column: usize, block: u32) -> BlockKey {
-        BlockKey {
-            relation: self.relation.clone(),
-            // lint: allow(cast) column count is far smaller than 4 GiB
-            column: column as u32,
-            block,
-        }
-    }
-}
-
-/// One processed row group: selected rows of every projected column.
-struct BlockOut {
-    rows_matched: u64,
-    columns: Vec<ColumnData>,
-}
-
-fn process_row_group(
-    ctx: &Ctx,
-    group: RowGroup,
-    scratch: &mut DecodeScratch,
-) -> Result<BlockOut> {
-    ctx.check_deadline()?;
-    // Predicate first: it decides whether projection blocks are needed at
-    // all. `pred_decoded` keeps a decoded predicate block around so a
-    // projection of the same column doesn't re-resolve it; `pred_bytes`
-    // keeps fetched-but-not-decoded payloads from the fast path.
-    let mut pred_decoded: Option<(usize, Arc<DecodedColumn>)> = None;
-    let mut pred_bytes: Option<(usize, Vec<u8>)> = None;
-    let mut selection: Option<RoaringBitmap> = None;
-
-    if let Some((pidx, op, literal)) = &ctx.predicate {
-        let key = ctx.key(*pidx, group.block);
-        if let Some(decoded) = ctx.cache_get(&key) {
-            selection = Some(filter_decoded(&decoded, *op, literal)?);
-            pred_decoded = Some((*pidx, decoded));
-        } else {
-            // lint: allow(cast) column count is far smaller than 4 GiB
-            let bytes = ctx.fetch(*pidx as u32, group.block)?;
-            // lint: allow(indexing) predicate indices were resolved against columns at plan time
-            let ty = ctx.column_types[*pidx];
-            if has_fast_path(ty, peek_scheme(&bytes)?) {
-                selection = Some(filter_block(&bytes, ty, *op, literal, &ctx.config)?);
-                ctx.counters.pushdown.fetch_add(1, Ordering::Relaxed);
-                pred_bytes = Some((*pidx, bytes));
-            } else {
-                let decoded = ctx.decode(&bytes, ty, scratch)?;
-                ctx.cache_insert(key, decoded.clone(), scratch);
-                selection = Some(filter_decoded(&decoded, *op, literal)?);
-                pred_decoded = Some((*pidx, decoded));
-            }
-        }
-    }
-
-    let rows_matched = match &selection {
-        Some(sel) => sel.cardinality(),
-        None => u64::from(group.rows),
-    };
-    if rows_matched == 0 {
-        // Nothing survives: emit empty columns without touching the
-        // projection blocks — pushdown's payoff.
-        let columns = ctx
-            .projection
-            .iter()
-            // lint: allow(indexing) projection indices were resolved against columns at plan time
-            .map(|&idx| empty_like(ctx.column_types[idx]))
-            .collect();
-        return Ok(BlockOut {
-            rows_matched,
-            columns,
-        });
-    }
-
-    let mut columns = Vec::with_capacity(ctx.projection.len());
-    for &idx in &ctx.projection {
-        let reused = match &pred_decoded {
-            Some((pidx, decoded)) if *pidx == idx => Some(decoded.clone()),
-            _ => None,
-        };
-        let decoded = if let Some(d) = reused {
-            d
-        } else if matches!(&pred_bytes, Some((pidx, _)) if *pidx == idx) {
-            // The fast path already fetched (and counted a miss for) this
-            // block; decode the payload we have instead of re-fetching.
-            let (_, bytes) = pred_bytes.take().unwrap_or((0, Vec::new()));
-            let key = ctx.key(idx, group.block);
-            // lint: allow(indexing) projection indices were resolved against columns at plan time
-            let d = ctx.decode(&bytes, ctx.column_types[idx], scratch)?;
-            ctx.cache_insert(key, d.clone(), scratch);
-            pred_decoded = Some((idx, d.clone()));
-            d
-        } else {
-            let key = ctx.key(idx, group.block);
-            match ctx.cache_get(&key) {
-                Some(d) => d,
-                None => {
-                    // lint: allow(cast) column count is far smaller than 4 GiB
-                    let bytes = ctx.fetch(idx as u32, group.block)?;
-                    // lint: allow(indexing) projection indices were resolved against columns at plan time
-                    let d = ctx.decode(&bytes, ctx.column_types[idx], scratch)?;
-                    ctx.cache_insert(key, d.clone(), scratch);
-                    d
-                }
-            }
-        };
-        columns.push(gather(&decoded, selection.as_ref()));
-    }
-    Ok(BlockOut {
-        rows_matched,
-        columns,
-    })
-}
-
 /// Reorder/backpressure state of one scan's pipeline.
 struct PipeState {
     /// Next row-group index a worker may claim.
@@ -416,7 +141,7 @@ struct PipeState {
     /// Next row-group index the consumer will emit.
     next_emit: usize,
     /// Finished groups waiting for their turn, by index.
-    ready: BTreeMap<usize, Result<BlockOut>>,
+    ready: BTreeMap<usize, Result<BlockResult>>,
     /// Set when the consumer goes away or errors out.
     cancelled: bool,
 }
@@ -446,13 +171,15 @@ fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-fn worker_loop(shared: &Shared, ctx: &Ctx, groups: &[RowGroup]) {
+fn worker_loop(shared: &Shared, pipeline: &BlockPipeline, groups: &[RowGroup]) {
     // One decode arena per worker, living for the whole scan: buffers leased
     // while decoding block i are pooled and reused for block i + workers,
     // so a steady-state scan decodes without heap allocation.
     let mut scratch = DecodeScratch::new();
     loop {
-        ctx.update_degradation(shared);
+        shared
+            .capacity
+            .store(pipeline.refresh_window(), Ordering::Relaxed);
         let i = {
             let mut st = lock(shared);
             loop {
@@ -473,7 +200,7 @@ fn worker_loop(shared: &Shared, ctx: &Ctx, groups: &[RowGroup]) {
         };
         // lint: allow(indexing) i < groups.len() was checked before leaving the lock
         let group = groups[i];
-        let result = catch_unwind(AssertUnwindSafe(|| process_row_group(ctx, group, &mut scratch)))
+        let result = catch_unwind(AssertUnwindSafe(|| pipeline.process(group, &mut scratch)))
             .unwrap_or_else(|payload| {
                 Err(ScanError::Worker(format!(
                     "row group {} (block {}): {}",
@@ -537,12 +264,15 @@ impl ScanEngine {
                 .tolerance
                 .retry_budget
                 .map(|cfg| Arc::new(RetryBudget::new(cfg.capacity, cfg.refill_per_second))),
+            tenant: None,
         };
         let capacity = self.options.prefetch.max(1);
-        let ctx = Arc::new(Ctx {
+        // A single scan never races itself past its own cache lookups, so
+        // the engine runs gateless; the scan service installs a shared
+        // DecodeGate when many scans share one cache.
+        let pipeline = Arc::new(BlockPipeline::new(PipelineParams {
             source: source.clone(),
             cache: self.cache.clone(),
-            relation: source.relation_id(),
             config: self.options.config.clone(),
             projection: plan.projection.clone(),
             column_types: columns.iter().map(|c| c.column_type).collect(),
@@ -551,11 +281,10 @@ impl ScanEngine {
                 .as_ref()
                 .zip(plan.predicate_column)
                 .map(|(p, idx)| (idx, p.op, p.literal.clone())),
-            counters: Counters::new(),
-            clock,
             ctl,
             base_prefetch: capacity,
-        });
+            gate: None,
+        }));
         let groups: Arc<[RowGroup]> = plan.row_groups.clone().into();
         let shared = Arc::new(Shared {
             state: Mutex::new(PipeState {
@@ -575,9 +304,9 @@ impl ScanEngine {
         let handles = (0..n_workers)
             .map(|_| {
                 let shared = shared.clone();
-                let ctx = ctx.clone();
+                let pipeline = pipeline.clone();
                 let groups = groups.clone();
-                std::thread::spawn(move || worker_loop(&shared, &ctx, &groups))
+                std::thread::spawn(move || worker_loop(&shared, &pipeline, &groups))
             })
             .collect();
         let buffers = plan
@@ -589,7 +318,7 @@ impl ScanEngine {
         Ok(Scan {
             shared,
             handles,
-            ctx,
+            pipeline,
             total: groups.len(),
             names: spec.projection.clone(),
             buffers,
@@ -615,7 +344,7 @@ impl ScanEngine {
 pub struct Scan {
     shared: Arc<Shared>,
     handles: Vec<std::thread::JoinHandle<()>>,
-    ctx: Arc<Ctx>,
+    pipeline: Arc<BlockPipeline>,
     total: usize,
     names: Vec<String>,
     buffers: Vec<ColumnData>,
@@ -634,7 +363,7 @@ pub struct Scan {
 }
 
 impl Scan {
-    fn next_block(&mut self) -> Option<Result<BlockOut>> {
+    fn next_block(&mut self) -> Option<Result<BlockResult>> {
         let mut st = lock(&self.shared);
         loop {
             if st.next_emit >= self.total || st.cancelled {
@@ -687,22 +416,23 @@ impl Scan {
     /// Execution statistics so far; final once the iterator is exhausted.
     pub fn report(&self) -> ScanReport {
         let fetch = self.source.stats();
-        let c = &self.ctx.counters;
+        let c = self.pipeline.counters();
         ScanReport {
             blocks_total: self.blocks_total,
             blocks_pruned: self.blocks_pruned,
-            blocks_pushdown_fast_path: c.pushdown.load(Ordering::Relaxed),
-            blocks_decoded: c.decoded.load(Ordering::Relaxed),
-            blocks_fetched: c.fetched.load(Ordering::Relaxed),
-            cache_hits: c.cache_hits.load(Ordering::Relaxed),
-            cache_misses: c.cache_misses.load(Ordering::Relaxed),
+            blocks_pushdown_fast_path: c.blocks_pushdown_fast_path,
+            blocks_decoded: c.blocks_decoded,
+            blocks_fetched: c.blocks_fetched,
+            cache_hits: c.cache_hits,
+            cache_misses: c.cache_misses,
+            dedup_hits: c.dedup_hits,
             bytes_fetched: fetch.bytes_fetched - self.fetch_base.bytes_fetched,
             fetch_requests: fetch.requests - self.fetch_base.requests,
             fetch_retries: fetch.retries - self.fetch_base.retries,
             rows_total: self.rows_total,
             rows_matched: self.rows_matched,
             batches: self.batches,
-            decode_seconds: c.decode_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+            decode_seconds: c.decode_seconds,
             wall_seconds: self
                 .wall_seconds
                 .unwrap_or_else(|| self.started.elapsed().as_secs_f64()),
@@ -711,7 +441,7 @@ impl Scan {
             hedges_won: fetch.hedges_won - self.fetch_base.hedges_won,
             breaker_transitions: fetch.breaker_transitions - self.fetch_base.breaker_transitions,
             blocks_quarantined: fetch.blocks_quarantined - self.fetch_base.blocks_quarantined,
-            degradation_steps: c.degradation_steps.load(Ordering::Relaxed),
+            degradation_steps: c.degradation_steps,
         }
     }
 }
@@ -766,7 +496,8 @@ impl Drop for Scan {
 mod tests {
     use super::*;
     use crate::source::MemorySource;
-    use btrblocks::{Column, Relation, StringArena};
+    use btr_s3sim::SimClock;
+    use btrblocks::{CmpOp, Column, Literal, Relation, StringArena};
 
     fn options(block_size: usize, batch_rows: usize) -> EngineOptions {
         EngineOptions {

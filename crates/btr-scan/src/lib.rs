@@ -66,6 +66,7 @@ pub mod cache;
 pub mod chaos;
 pub mod engine;
 pub mod layout;
+pub mod pipeline;
 pub mod plan;
 pub mod retry;
 pub mod source;
@@ -75,6 +76,7 @@ pub use cache::{BlockCache, BlockKey, CacheStats};
 pub use chaos::{ChaosConfig, ChaosReport, ScheduleOutcome};
 pub use engine::{EngineOptions, Scan, ScanEngine, ScanReport};
 pub use layout::{ColumnLayout, RelationLayout};
+pub use pipeline::{BlockPipeline, BlockResult, DecodeGate, PipelineCounters, PipelineParams};
 pub use plan::{plan_scan, Predicate, RowGroup, ScanPlan, ScanSpec};
 pub use retry::{
     BreakerConfig, BreakerState, CircuitBreaker, FetchCtl, HedgeConfig, RetryBudgetConfig,
@@ -165,6 +167,18 @@ pub enum ScanError {
         /// Block index.
         block: u32,
     },
+    /// The scan service refused to admit the scan: its shared queue or byte
+    /// budget is already full of other tenants' outstanding work. Typed so
+    /// clients can back off and resubmit instead of treating it as a data
+    /// error.
+    AdmissionRejected {
+        /// Which budget filled up (`"task queue"` or `"byte budget"`).
+        resource: &'static str,
+        /// Outstanding amount at rejection time (tasks or bytes).
+        queued: u64,
+        /// The configured limit for that resource.
+        limit: u64,
+    },
 }
 
 impl std::fmt::Display for ScanError {
@@ -218,6 +232,14 @@ impl std::fmt::Display for ScanError {
             ScanError::Quarantined { column, block } => write!(
                 f,
                 "column {column} block {block} is quarantined as permanently corrupt"
+            ),
+            ScanError::AdmissionRejected {
+                resource,
+                queued,
+                limit,
+            } => write!(
+                f,
+                "scan admission rejected: {resource} full ({queued} outstanding of {limit})"
             ),
         }
     }

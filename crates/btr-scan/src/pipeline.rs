@@ -1,0 +1,636 @@
+//! The shareable per-scan block pipeline: resolve → filter → decode → gather.
+//!
+//! [`BlockPipeline`] is the piece of a scan that processes one row group —
+//! cache lookup, fetch, compressed-domain predicate evaluation, decode, and
+//! row gathering — factored out of the engine so it can be driven by more
+//! than one executor. [`crate::ScanEngine`] wraps it in a per-scan worker
+//! pool; a scan *service* (btr-server) builds one pipeline per admitted scan
+//! over a **shared** cache and a **shared** source, and drives many of them
+//! from one service-wide pool.
+//!
+//! Everything a pipeline borrows is behind `Arc`, so N pipelines over the
+//! same relation share:
+//!
+//! * the decoded-block cache ([`BlockCache`]) — one scan's decode is every
+//!   scan's cache hit;
+//! * the [`BlockSource`] — and with it the source's single-flight fetch
+//!   table, breaker, quarantine set, and clock;
+//! * optionally a [`DecodeGate`] — cross-scan single-flight around the whole
+//!   miss path (fetch + decode + cache insert), so two scans missing the
+//!   same block at the same moment produce one GET *and one decode*, with
+//!   the waiter handed the owner's `Arc<DecodedColumn>` directly. Gate waits
+//!   are counted as `dedup_hits` in [`PipelineCounters`]. A failed owner
+//!   publishes nothing; waiters retry under their own deadline/budget, never
+//!   inheriting the owner's error (same contract as the source's in-flight
+//!   table).
+//!
+//! The engine leaves the gate off (a single scan cannot race itself past the
+//! cache), so its behavior is exactly the pre-refactor pipeline.
+
+use crate::batch::{empty_like, gather};
+use crate::cache::{BlockCache, BlockKey};
+use crate::plan::RowGroup;
+use crate::retry::{BreakerState, FetchCtl};
+use crate::source::BlockSource;
+use crate::{Result, ScanError};
+use btr_roaring::RoaringBitmap;
+use btr_s3sim::SimClock;
+use btrblocks::{
+    decompress_block_into, filter_block, filter_decoded, has_fast_path, peek_scheme, CmpOp,
+    ColumnData, ColumnType, Config, DecodeScratch, DecodedColumn, Literal,
+};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// Cache byte-budget fraction past which the degradation ladder starts
+/// bypassing cache inserts for streamed blocks.
+const CACHE_PRESSURE_BYPASS: f64 = 0.9;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Everything needed to build a [`BlockPipeline`]; the relation identity and
+/// simulated clock are derived from the source.
+pub struct PipelineParams {
+    /// Where block bytes come from (shared across scans in a service).
+    pub source: Arc<dyn BlockSource>,
+    /// Decoded-block cache (shared across scans in a service).
+    pub cache: Arc<BlockCache>,
+    /// Codec configuration; `block_size` must match the relation's.
+    pub config: Config,
+    /// Source column indices to project, in output order.
+    pub projection: Vec<usize>,
+    /// Column types of *all* source columns, in file order.
+    pub column_types: Vec<ColumnType>,
+    /// Resolved predicate: `(source column index, op, literal)`.
+    pub predicate: Option<(usize, CmpOp, Literal)>,
+    /// Deadline / retry budget / tenant threaded into every fetch.
+    pub ctl: FetchCtl,
+    /// Healthy prefetch window; the degradation ladder shrinks from here.
+    pub base_prefetch: usize,
+    /// Cross-scan decode single-flight; `None` for single-scan use.
+    pub gate: Option<Arc<DecodeGate>>,
+}
+
+/// Per-pipeline activity counters (relaxed atomics, written by workers).
+struct Counters {
+    pushdown: AtomicU64,
+    decoded: AtomicU64,
+    fetched: AtomicU64,
+    decode_nanos: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    dedup_hits: AtomicU64,
+    /// Current degradation-ladder level (0 = healthy).
+    degradation_level: AtomicU64,
+    /// Upward level transitions, summed.
+    degradation_steps: AtomicU64,
+}
+
+impl Counters {
+    fn new() -> Counters {
+        Counters {
+            pushdown: AtomicU64::new(0),
+            decoded: AtomicU64::new(0),
+            fetched: AtomicU64::new(0),
+            decode_nanos: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            dedup_hits: AtomicU64::new(0),
+            degradation_level: AtomicU64::new(0),
+            degradation_steps: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Snapshot of a pipeline's activity, folded into scan/service reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PipelineCounters {
+    /// Predicate blocks evaluated in the compressed domain (no decode).
+    pub blocks_pushdown_fast_path: u64,
+    /// Blocks this pipeline decompressed itself.
+    pub blocks_decoded: u64,
+    /// Blocks this pipeline fetched from the source.
+    pub blocks_fetched: u64,
+    /// Decoded-block cache hits.
+    pub cache_hits: u64,
+    /// Decoded-block cache misses.
+    pub cache_misses: u64,
+    /// Blocks received from another pipeline's in-flight decode through the
+    /// [`DecodeGate`] (neither fetched nor decoded here).
+    pub dedup_hits: u64,
+    /// CPU seconds spent decompressing.
+    pub decode_seconds: f64,
+    /// Upward degradation-ladder moves taken while this pipeline ran.
+    pub degradation_steps: u64,
+}
+
+/// One processed row group: selected rows of every projected column.
+pub struct BlockResult {
+    /// Rows that survived the predicate (all rows when there is none).
+    pub rows_matched: u64,
+    /// Gathered values per projected column, in projection order.
+    pub columns: Vec<ColumnData>,
+}
+
+/// The shareable scan pipeline; see the module docs.
+pub struct BlockPipeline {
+    source: Arc<dyn BlockSource>,
+    cache: Arc<BlockCache>,
+    relation: Arc<str>,
+    config: Config,
+    projection: Vec<usize>,
+    column_types: Vec<ColumnType>,
+    predicate: Option<(usize, CmpOp, Literal)>,
+    counters: Counters,
+    /// The source's simulated clock (fresh and unused for sources without
+    /// health state).
+    clock: SimClock,
+    ctl: FetchCtl,
+    base_prefetch: usize,
+    gate: Option<Arc<DecodeGate>>,
+}
+
+impl BlockPipeline {
+    /// Builds a pipeline; relation identity and clock come from the source.
+    pub fn new(params: PipelineParams) -> BlockPipeline {
+        let relation = params.source.relation_id();
+        let clock = params
+            .source
+            .health()
+            .map(|h| h.clock().clone())
+            .unwrap_or_default();
+        BlockPipeline {
+            relation,
+            clock,
+            source: params.source,
+            cache: params.cache,
+            config: params.config,
+            projection: params.projection,
+            column_types: params.column_types,
+            predicate: params.predicate,
+            counters: Counters::new(),
+            ctl: params.ctl,
+            base_prefetch: params.base_prefetch.max(1),
+            gate: params.gate,
+        }
+    }
+
+    /// The source this pipeline reads from.
+    pub fn source(&self) -> &Arc<dyn BlockSource> {
+        &self.source
+    }
+
+    /// The fetch control (deadline, budget, tenant) threaded into fetches.
+    pub fn ctl(&self) -> &FetchCtl {
+        &self.ctl
+    }
+
+    /// Activity snapshot.
+    pub fn counters(&self) -> PipelineCounters {
+        let c = &self.counters;
+        PipelineCounters {
+            blocks_pushdown_fast_path: c.pushdown.load(Ordering::Relaxed),
+            blocks_decoded: c.decoded.load(Ordering::Relaxed),
+            blocks_fetched: c.fetched.load(Ordering::Relaxed),
+            cache_hits: c.cache_hits.load(Ordering::Relaxed),
+            cache_misses: c.cache_misses.load(Ordering::Relaxed),
+            dedup_hits: c.dedup_hits.load(Ordering::Relaxed),
+            decode_seconds: c.decode_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+            degradation_steps: c.degradation_steps.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Cache lookup with per-pipeline hit/miss accounting.
+    fn cache_get(&self, key: &BlockKey) -> Option<Arc<DecodedColumn>> {
+        let hit = self.cache.get(key);
+        if hit.is_some() {
+            self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    fn fetch(&self, column: u32, block: u32) -> Result<Vec<u8>> {
+        let bytes = self.source.fetch_ctl(column, block, &self.ctl)?;
+        self.counters.fetched.fetch_add(1, Ordering::Relaxed);
+        Ok(bytes)
+    }
+
+    /// Returns the scan's deadline error if its budget is already spent —
+    /// checked before starting a row group so an expired scan stops promptly
+    /// instead of fetching/decoding groups it can no longer use.
+    pub fn check_deadline(&self) -> Result<()> {
+        if let Some(deadline) = self.ctl.deadline {
+            if deadline.exceeded(&self.clock) {
+                return Err(ScanError::DeadlineExceeded {
+                    elapsed_seconds: deadline.elapsed_seconds(&self.clock),
+                    budget_seconds: deadline.budget_seconds,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Current degradation-ladder rung; see the engine's module docs.
+    fn degradation_level(&self) -> u64 {
+        match self
+            .source
+            .health()
+            .map_or(BreakerState::Closed, |h| h.breaker_state())
+        {
+            BreakerState::Open => 3,
+            BreakerState::HalfOpen => 2,
+            BreakerState::Closed => {
+                if self.cache.pressure() >= CACHE_PRESSURE_BYPASS {
+                    1
+                } else {
+                    0
+                }
+            }
+        }
+    }
+
+    /// Re-evaluates the degradation ladder: records upward moves and returns
+    /// the prefetch window the executor should run with right now. Callers
+    /// re-check once per claimed row group, so a scan reacts to a breaker
+    /// opening mid-flight.
+    pub fn refresh_window(&self) -> usize {
+        let level = self.degradation_level();
+        let prev = self
+            .counters
+            .degradation_level
+            .swap(level, Ordering::Relaxed);
+        if level > prev {
+            self.counters
+                .degradation_steps
+                .fetch_add(level - prev, Ordering::Relaxed);
+        }
+        match level {
+            0 | 1 => self.base_prefetch,
+            2 => (self.base_prefetch / 2).max(1),
+            _ => 1,
+        }
+    }
+
+    /// Timed decode into worker-leased buffers; the caller decides whether
+    /// to cache the result.
+    fn decode(
+        &self,
+        bytes: &[u8],
+        ty: ColumnType,
+        scratch: &mut DecodeScratch,
+    ) -> Result<Arc<DecodedColumn>> {
+        let t0 = Instant::now();
+        let mut decoded = scratch.lease_decoded(ty);
+        if let Err(e) = decompress_block_into(bytes, ty, &self.config, scratch, &mut decoded) {
+            scratch.recycle(decoded);
+            return Err(e.into());
+        }
+        self.counters
+            .decode_nanos
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.counters.decoded.fetch_add(1, Ordering::Relaxed);
+        Ok(Arc::new(decoded))
+    }
+
+    /// Caches a decoded block and recycles whatever the insert displaced
+    /// (LRU victims, replaced entries, refused oversized values) into the
+    /// worker's scratch arena — unless another scan still holds a reference.
+    fn cache_insert(&self, key: BlockKey, value: Arc<DecodedColumn>, scratch: &mut DecodeScratch) {
+        // Degradation rung 1: under byte-budget pressure, streaming more
+        // blocks in would churn the shared working set for every scan —
+        // serve this scan without admitting its blocks.
+        if self.cache.pressure() >= CACHE_PRESSURE_BYPASS {
+            if let Ok(col) = Arc::try_unwrap(value) {
+                scratch.recycle(col);
+            }
+            return;
+        }
+        for displaced in self.cache.insert(key, value) {
+            if let Ok(col) = Arc::try_unwrap(displaced) {
+                scratch.recycle(col);
+            }
+        }
+    }
+
+    fn key(&self, column: usize, block: u32) -> BlockKey {
+        BlockKey {
+            relation: self.relation.clone(),
+            // lint: allow(cast) column count is far smaller than 4 GiB
+            column: column as u32,
+            block,
+        }
+    }
+
+    /// The whole miss path for one block: fetch, decode, cache.
+    fn fetch_decode_insert(
+        &self,
+        idx: usize,
+        block: u32,
+        key: BlockKey,
+        scratch: &mut DecodeScratch,
+    ) -> Result<Arc<DecodedColumn>> {
+        // lint: allow(cast) column count is far smaller than 4 GiB
+        let bytes = self.fetch(idx as u32, block)?;
+        // lint: allow(indexing) projection indices were resolved against columns at plan time
+        let decoded = self.decode(&bytes, self.column_types[idx], scratch)?;
+        self.cache_insert(key, decoded.clone(), scratch);
+        Ok(decoded)
+    }
+
+    /// Resolves a cache miss, deduplicating the miss path across scans when
+    /// a [`DecodeGate`] is installed.
+    fn resolve_miss(
+        &self,
+        idx: usize,
+        block: u32,
+        key: BlockKey,
+        scratch: &mut DecodeScratch,
+    ) -> Result<Arc<DecodedColumn>> {
+        let Some(gate) = self.gate.as_deref() else {
+            return self.fetch_decode_insert(idx, block, key, scratch);
+        };
+        loop {
+            match gate.join(&key) {
+                GateOutcome::Waited(Some(decoded)) => {
+                    self.counters.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(decoded);
+                }
+                GateOutcome::Waited(None) => {
+                    // The owner failed — possibly on *its own* deadline or
+                    // budget, which this scan must not inherit. Re-check the
+                    // cache (a later owner may have landed the block), then
+                    // contend for ownership again.
+                    if let Some(decoded) = self.cache.get(&key) {
+                        return Ok(decoded);
+                    }
+                    continue;
+                }
+                GateOutcome::Owner(guard) => {
+                    let result = self.fetch_decode_insert(idx, block, key, scratch);
+                    guard.publish(result.as_ref().ok().cloned());
+                    return result;
+                }
+            }
+        }
+    }
+
+    /// Processes one row group: predicate first (compressed-domain when the
+    /// scheme allows), then decode + gather of only the blocks whose values
+    /// are actually needed.
+    pub fn process(&self, group: RowGroup, scratch: &mut DecodeScratch) -> Result<BlockResult> {
+        self.check_deadline()?;
+        // Predicate first: it decides whether projection blocks are needed
+        // at all. `pred_decoded` keeps a decoded predicate block around so a
+        // projection of the same column doesn't re-resolve it; `pred_bytes`
+        // keeps fetched-but-not-decoded payloads from the fast path.
+        let mut pred_decoded: Option<(usize, Arc<DecodedColumn>)> = None;
+        let mut pred_bytes: Option<(usize, Vec<u8>)> = None;
+        let mut selection: Option<RoaringBitmap> = None;
+
+        if let Some((pidx, op, literal)) = &self.predicate {
+            let key = self.key(*pidx, group.block);
+            if let Some(decoded) = self.cache_get(&key) {
+                selection = Some(filter_decoded(&decoded, *op, literal)?);
+                pred_decoded = Some((*pidx, decoded));
+            } else {
+                // The fast path needs the raw payload, so this fetch stays
+                // outside the decode gate; concurrent fetches of one block
+                // still collapse in the source's in-flight table.
+                // lint: allow(cast) column count is far smaller than 4 GiB
+                let bytes = self.fetch(*pidx as u32, group.block)?;
+                // lint: allow(indexing) predicate indices were resolved against columns at plan time
+                let ty = self.column_types[*pidx];
+                if has_fast_path(ty, peek_scheme(&bytes)?) {
+                    selection = Some(filter_block(&bytes, ty, *op, literal, &self.config)?);
+                    self.counters.pushdown.fetch_add(1, Ordering::Relaxed);
+                    pred_bytes = Some((*pidx, bytes));
+                } else {
+                    let decoded = self.decode(&bytes, ty, scratch)?;
+                    self.cache_insert(key, decoded.clone(), scratch);
+                    selection = Some(filter_decoded(&decoded, *op, literal)?);
+                    pred_decoded = Some((*pidx, decoded));
+                }
+            }
+        }
+
+        let rows_matched = match &selection {
+            Some(sel) => sel.cardinality(),
+            None => u64::from(group.rows),
+        };
+        if rows_matched == 0 {
+            // Nothing survives: emit empty columns without touching the
+            // projection blocks — pushdown's payoff.
+            let columns = self
+                .projection
+                .iter()
+                // lint: allow(indexing) projection indices were resolved against columns at plan time
+                .map(|&idx| empty_like(self.column_types[idx]))
+                .collect();
+            return Ok(BlockResult {
+                rows_matched,
+                columns,
+            });
+        }
+
+        let mut columns = Vec::with_capacity(self.projection.len());
+        for &idx in &self.projection {
+            let reused = match &pred_decoded {
+                Some((pidx, decoded)) if *pidx == idx => Some(decoded.clone()),
+                _ => None,
+            };
+            let decoded = if let Some(d) = reused {
+                d
+            } else if matches!(&pred_bytes, Some((pidx, _)) if *pidx == idx) {
+                // The fast path already fetched (and counted a miss for)
+                // this block; decode the payload we have instead of
+                // re-fetching.
+                let (_, bytes) = pred_bytes.take().unwrap_or((0, Vec::new()));
+                let key = self.key(idx, group.block);
+                // lint: allow(indexing) projection indices were resolved against columns at plan time
+                let d = self.decode(&bytes, self.column_types[idx], scratch)?;
+                self.cache_insert(key, d.clone(), scratch);
+                pred_decoded = Some((idx, d.clone()));
+                d
+            } else {
+                let key = self.key(idx, group.block);
+                match self.cache_get(&key) {
+                    Some(d) => d,
+                    None => self.resolve_miss(idx, group.block, key, scratch)?,
+                }
+            };
+            columns.push(gather(&decoded, selection.as_ref()));
+        }
+        Ok(BlockResult {
+            rows_matched,
+            columns,
+        })
+    }
+}
+
+enum GateState {
+    Pending,
+    /// `Some(decoded)` on success; `None` when the owner failed (waiters
+    /// retry under their own deadline/budget rather than inheriting).
+    Done(Option<Arc<DecodedColumn>>),
+}
+
+struct GateSlot {
+    state: Mutex<GateState>,
+    done: Condvar,
+}
+
+/// Cross-scan single-flight around the block miss path (fetch + decode +
+/// cache insert), keyed by [`BlockKey`]. One gate is shared by every
+/// pipeline of a scan service; see the module docs.
+#[derive(Default)]
+pub struct DecodeGate {
+    slots: Mutex<HashMap<BlockKey, Arc<GateSlot>>>,
+}
+
+/// Result of [`DecodeGate::join`].
+pub enum GateOutcome<'a> {
+    /// The caller owns the miss and must complete the guard.
+    Owner(GateGuard<'a>),
+    /// Another pipeline resolved first: its decoded block, or `None` if it
+    /// failed.
+    Waited(Option<Arc<DecodedColumn>>),
+}
+
+impl DecodeGate {
+    /// An empty gate.
+    pub fn new() -> DecodeGate {
+        DecodeGate::default()
+    }
+
+    /// Registers interest in `key`: become the owner, or wait for the
+    /// current owner's published outcome.
+    pub fn join(&self, key: &BlockKey) -> GateOutcome<'_> {
+        let slot = {
+            let mut slots = lock(&self.slots);
+            if let Some(slot) = slots.get(key) {
+                slot.clone()
+            } else {
+                slots.insert(
+                    key.clone(),
+                    Arc::new(GateSlot {
+                        state: Mutex::new(GateState::Pending),
+                        done: Condvar::new(),
+                    }),
+                );
+                return GateOutcome::Owner(GateGuard {
+                    gate: self,
+                    key: key.clone(),
+                    value: None,
+                });
+            }
+        };
+        let mut state = lock(&slot.state);
+        loop {
+            match &*state {
+                GateState::Done(result) => return GateOutcome::Waited(result.clone()),
+                GateState::Pending => {
+                    state = slot.done.wait(state).unwrap_or_else(|e| e.into_inner());
+                }
+            }
+        }
+    }
+}
+
+/// Owner side of a gate slot. Publishing (or dropping — e.g. on a panic
+/// unwinding through the miss path) removes the slot and wakes waiters; an
+/// unpublished drop reads as a failure, so waiters never hang.
+pub struct GateGuard<'a> {
+    gate: &'a DecodeGate,
+    key: BlockKey,
+    value: Option<Arc<DecodedColumn>>,
+}
+
+impl GateGuard<'_> {
+    /// Publishes the miss outcome to any waiters.
+    pub fn publish(mut self, value: Option<Arc<DecodedColumn>>) {
+        self.value = value;
+    }
+}
+
+impl Drop for GateGuard<'_> {
+    fn drop(&mut self) {
+        // Remove the slot first so late joiners start a fresh miss, then
+        // wake everyone already waiting on this one.
+        let slot = lock(&self.gate.slots).remove(&self.key);
+        if let Some(slot) = slot {
+            *lock(&slot.state) = GateState::Done(self.value.take());
+            slot.done.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(block: u32) -> BlockKey {
+        BlockKey {
+            relation: Arc::from("r"),
+            column: 0,
+            block,
+        }
+    }
+
+    #[test]
+    fn gate_owner_publishes_decoded_block_to_waiters() {
+        let gate = Arc::new(DecodeGate::new());
+        let owner = match gate.join(&key(1)) {
+            GateOutcome::Owner(g) => g,
+            GateOutcome::Waited(_) => panic!("first joiner must own"),
+        };
+        let waiter = {
+            let gate = gate.clone();
+            std::thread::spawn(move || match gate.join(&key(1)) {
+                GateOutcome::Waited(v) => v,
+                GateOutcome::Owner(_) => panic!("slot is owned"),
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        owner.publish(Some(Arc::new(DecodedColumn::Int(vec![1, 2, 3]))));
+        let got = waiter.join().unwrap().expect("owner published a value");
+        assert_eq!(*got, DecodedColumn::Int(vec![1, 2, 3]));
+        // Slot is gone: the next joiner owns a fresh miss.
+        assert!(matches!(gate.join(&key(1)), GateOutcome::Owner(_)));
+    }
+
+    #[test]
+    fn dropped_gate_owner_reads_as_failure() {
+        let gate = Arc::new(DecodeGate::new());
+        let owner = match gate.join(&key(0)) {
+            GateOutcome::Owner(g) => g,
+            GateOutcome::Waited(_) => panic!("first joiner must own"),
+        };
+        let waiter = {
+            let gate = gate.clone();
+            std::thread::spawn(move || match gate.join(&key(0)) {
+                GateOutcome::Waited(v) => v,
+                GateOutcome::Owner(_) => panic!("slot is owned"),
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(owner);
+        assert!(waiter.join().unwrap().is_none());
+    }
+
+    #[test]
+    fn distinct_keys_do_not_contend() {
+        let gate = DecodeGate::new();
+        let a = match gate.join(&key(0)) {
+            GateOutcome::Owner(g) => g,
+            GateOutcome::Waited(_) => panic!("fresh key must be owned"),
+        };
+        assert!(matches!(gate.join(&key(1)), GateOutcome::Owner(_)));
+        drop(a);
+    }
+}

@@ -67,6 +67,9 @@ pub struct FetchCtl {
     pub deadline: Option<Deadline>,
     /// Scan-wide retry budget.
     pub budget: Option<Arc<RetryBudget>>,
+    /// Tenant identity for per-tenant GET accounting in the store; `None`
+    /// (engine-driven scans) bills nothing per tenant.
+    pub tenant: Option<Arc<str>>,
 }
 
 /// Hedged-GET configuration for an object-store source.

@@ -91,6 +91,32 @@ pub trait BlockSource: Send + Sync {
         self.fetch(column, block)
     }
 
+    /// Compressed byte length of one block, when the source can answer
+    /// without fetching (layout-backed sources can). The scan service uses
+    /// this for admission estimates and fair-share task costs.
+    fn block_len(&self, column: u32, block: u32) -> Option<u64> {
+        let _ = (column, block);
+        None
+    }
+
+    /// Fetches `count` consecutive blocks of `column` starting at `block`,
+    /// returning one payload per block in order. The default loops over
+    /// [`BlockSource::fetch_ctl`]; layout-backed sources override it with
+    /// **one** ranged GET covering the whole span (the scan service's
+    /// cross-scan coalescing path), falling back to per-block fetches when
+    /// the span keeps failing so errors stay attributed per block.
+    fn fetch_span_ctl(
+        &self,
+        column: u32,
+        block: u32,
+        count: u32,
+        ctl: &FetchCtl,
+    ) -> Result<Vec<Vec<u8>>> {
+        (0..count)
+            .map(|i| self.fetch_ctl(column, block.saturating_add(i), ctl))
+            .collect()
+    }
+
     /// The source's fault-tolerance state (clock, breaker, quarantine), if
     /// it has any; in-memory sources don't.
     fn health(&self) -> Option<&SourceHealth> {
@@ -161,6 +187,14 @@ impl BlockSource for MemorySource {
         self.requests.fetch_add(1, Ordering::Relaxed);
         self.bytes.fetch_add(bytes.len() as u64, Ordering::Relaxed);
         Ok(bytes)
+    }
+
+    fn block_len(&self, column: u32, block: u32) -> Option<u64> {
+        self.relation
+            .columns
+            .get(column as usize)
+            .and_then(|c| c.blocks.get(block as usize))
+            .map(|b| b.len() as u64)
     }
 
     fn stats(&self) -> FetchStats {
@@ -237,6 +271,133 @@ impl ObjectStoreSource {
         body.len() == range.len as usize && crc32c(body) == range.crc32c
     }
 
+    /// Slices the payloads of `ranges` out of a span body fetched starting
+    /// at absolute offset `span_start`, verifying every slice's CRC. `None`
+    /// means the body is short, misaligned, or carries a corrupt slice.
+    fn slice_span(
+        &self,
+        body: &[u8],
+        span_start: u64,
+        ranges: &[BlockRange],
+    ) -> Option<Vec<Vec<u8>>> {
+        let mut out = Vec::with_capacity(ranges.len());
+        for range in ranges {
+            let rel = range.offset.checked_sub(span_start)? as usize;
+            let end = rel.checked_add(range.len as usize)?;
+            let slice = body.get(rel..end)?;
+            if crc32c(slice) != range.crc32c {
+                return None;
+            }
+            out.push(slice.to_vec());
+        }
+        Some(out)
+    }
+
+    /// One ranged GET covering every block of `ranges` (the coalescing
+    /// path). `Err(None)` means "degrade to per-block fetches" — the span
+    /// kept failing or carried a corrupt slice, and per-block fetches
+    /// attribute that (quarantine, typed errors) at block granularity.
+    /// `Err(Some(e))` is a scan-level stop (deadline, budget, missing
+    /// object) that per-block fetches could only repeat.
+    fn fetch_span_owned(
+        &self,
+        column: u32,
+        block: u32,
+        ranges: &[BlockRange],
+        ctl: &FetchCtl,
+    ) -> std::result::Result<Vec<Vec<u8>>, Option<ScanError>> {
+        let clock = self.health.clock();
+        // Any breaker caution (open or probing) degrades to the per-block
+        // path, which owns fail-fast and probe semantics.
+        if self.health.breaker_state() != crate::retry::BreakerState::Closed {
+            return Err(None);
+        }
+        let (first, last) = match (ranges.first(), ranges.last()) {
+            (Some(f), Some(l)) => (f, l),
+            _ => return Err(None),
+        };
+        let start = first.offset;
+        let span_len = match last
+            .offset
+            .checked_add(u64::from(last.len))
+            .and_then(|end| end.checked_sub(start))
+        {
+            Some(len) => len,
+            None => return Err(None),
+        };
+        let mut stats = RetryStats::default();
+        let result = run_with_retries(
+            &self.retry,
+            clock,
+            ctl.deadline,
+            ctl.budget.as_deref(),
+            &mut stats,
+            |attempt| {
+                self.requests.fetch_add(1, Ordering::Relaxed);
+                let got = self.store.get_range_timed_as(
+                    &self.key,
+                    start as usize,
+                    span_len as usize,
+                    attempt,
+                    ctl.tenant.as_deref(),
+                );
+                let latency = got.latency_seconds();
+                self.health.observe_latency(latency);
+                clock.advance_seconds(latency);
+                match got.outcome {
+                    Ok(body) => {
+                        self.bytes.fetch_add(body.len() as u64, Ordering::Relaxed);
+                        match self.slice_span(&body, start, ranges) {
+                            Some(bodies) => Attempt::Success(bodies),
+                            None => Attempt::Retry,
+                        }
+                    }
+                    Err(err) if err.is_retryable() => Attempt::Retry,
+                    Err(_) => Attempt::Fatal(ScanError::MissingObject(self.key.clone())),
+                }
+            },
+        );
+        self.retries
+            .fetch_add(u64::from(stats.retries), Ordering::Relaxed);
+        self.backoff_nanos
+            .fetch_add((stats.backoff_seconds * 1e9) as u64, Ordering::Relaxed);
+        match result {
+            Ok(bodies) => {
+                if let Some(breaker) = self.health.breaker() {
+                    breaker.record(clock, true);
+                }
+                Ok(bodies)
+            }
+            Err(RetryFailure::Fatal(err)) => {
+                // NotFound is an authoritative answer from a healthy store.
+                if let Some(breaker) = self.health.breaker() {
+                    breaker.record(clock, true);
+                }
+                Err(Some(err))
+            }
+            Err(RetryFailure::Stopped(RetryError::Exhausted { .. })) => {
+                if let Some(breaker) = self.health.breaker() {
+                    breaker.record(clock, false);
+                }
+                Err(None)
+            }
+            Err(RetryFailure::Stopped(RetryError::DeadlineExceeded {
+                elapsed_seconds,
+                budget_seconds,
+            })) => Err(Some(ScanError::DeadlineExceeded {
+                elapsed_seconds,
+                budget_seconds,
+            })),
+            Err(RetryFailure::Stopped(RetryError::BudgetExhausted { attempts })) => {
+                Err(Some(ScanError::RetryBudgetExhausted {
+                    column,
+                    block,
+                    attempts,
+                }))
+            }
+        }
+    }
+
     /// The owner side of one block fetch: breaker admission, the shared
     /// retry loop, hedging, and quarantine on permanent corruption.
     fn fetch_owned(
@@ -278,7 +439,9 @@ impl ObjectStoreSource {
             &mut stats,
             |attempt| {
                 self.requests.fetch_add(1, Ordering::Relaxed);
-                let primary = self.store.get_range_timed(&self.key, start, len, attempt);
+                let primary =
+                    self.store
+                        .get_range_timed_as(&self.key, start, len, attempt, ctl.tenant.as_deref());
                 let mut latency = primary.latency_seconds();
                 self.health.observe_latency(latency);
                 let mut outcome = primary.outcome;
@@ -290,11 +453,12 @@ impl ObjectStoreSource {
                     if latency > threshold {
                         self.health.note_hedge_issued();
                         self.requests.fetch_add(1, Ordering::Relaxed);
-                        let hedge = self.store.get_range_timed(
+                        let hedge = self.store.get_range_timed_as(
                             &self.key,
                             start,
                             len,
                             attempt | HEDGE_ATTEMPT_SALT,
+                            ctl.tenant.as_deref(),
                         );
                         let hedge_total = threshold + hedge.latency_seconds();
                         let hedge_valid =
@@ -432,6 +596,52 @@ impl BlockSource for ObjectStoreSource {
                     return result;
                 }
             }
+        }
+    }
+
+    fn block_len(&self, column: u32, block: u32) -> Option<u64> {
+        self.layout
+            .columns
+            .get(column as usize)
+            .and_then(|c| c.blocks.get(block as usize))
+            .map(|r| u64::from(r.len))
+    }
+
+    fn fetch_span_ctl(
+        &self,
+        column: u32,
+        block: u32,
+        count: u32,
+        ctl: &FetchCtl,
+    ) -> Result<Vec<Vec<u8>>> {
+        let per_block = |this: &Self| -> Result<Vec<Vec<u8>>> {
+            (0..count)
+                .map(|i| this.fetch_ctl(column, block.saturating_add(i), ctl))
+                .collect()
+        };
+        if count <= 1 {
+            return per_block(self);
+        }
+        let Some(col) = self.layout.columns.get(column as usize) else {
+            return Err(ScanError::BlockOutOfRange { column, block });
+        };
+        let mut ranges = Vec::with_capacity(count as usize);
+        for i in 0..count {
+            let b = block.saturating_add(i);
+            let Some(range) = col.blocks.get(b as usize) else {
+                return Err(ScanError::BlockOutOfRange { column, block: b });
+            };
+            // A quarantined member needs per-block handling (typed fail-fast
+            // for it, normal fetches for its neighbors).
+            if self.health.is_quarantined(column, b) {
+                return per_block(self);
+            }
+            ranges.push(*range);
+        }
+        match self.fetch_span_owned(column, block, &ranges, ctl) {
+            Ok(bodies) => Ok(bodies),
+            Err(None) => per_block(self),
+            Err(Some(err)) => Err(err),
         }
     }
 
@@ -597,6 +807,7 @@ mod tests {
         let ctl = FetchCtl {
             deadline: Some(btr_s3sim::Deadline::after(&clock, 0.2)),
             budget: None,
+            tenant: None,
         };
         match source.fetch_ctl(0, 0, &ctl).unwrap_err() {
             ScanError::DeadlineExceeded {
@@ -631,6 +842,7 @@ mod tests {
         let ctl = FetchCtl {
             deadline: None,
             budget: Some(Arc::new(btr_s3sim::RetryBudget::new(2.0, 0.0))),
+            tenant: None,
         };
         // One free first attempt plus two budgeted retries.
         assert_eq!(

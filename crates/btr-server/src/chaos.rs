@@ -1,0 +1,407 @@
+//! Service-level chaos campaign: many tenants, one faulty store, one
+//! service.
+//!
+//! [`btr_scan::chaos`] stresses one engine's fault tolerance; this module
+//! stresses the *service* composition on top of it — shared cache, decode
+//! gate, coalescing source, admission control, and DRR dispatch — under the
+//! same randomized fault schedules. Each **schedule**:
+//!
+//! 1. builds a randomized [`FaultPlan`] (and sometimes permanently
+//!    bit-flips one stored block),
+//! 2. starts a fresh [`ScanService`] with randomized knobs (cache budget,
+//!    window, coalescing width, sometimes deliberately tight admission
+//!    limits),
+//! 3. has N tenants submit scans from the shared spec pool concurrently —
+//!    some with deadlines, some with retry budgets — and drain them,
+//! 4. classifies every outcome: success must be **byte-identical** to the
+//!    fault-free reference; failure must carry a **typed error attributed
+//!    to something the schedule injected** (including
+//!    [`ScanError::AdmissionRejected`] when, and only when, the schedule
+//!    chose tight limits); nothing may panic.
+//!
+//! Randomness is [`Xorshift`]-seeded, so a failing campaign replays
+//! exactly. The relation and spec pool are shared with the engine-level
+//! campaign ([`btr_scan::chaos::build_relation`] /
+//! [`btr_scan::chaos::spec_pool`]), so both layers stress the same shape of
+//! data.
+
+use crate::service::{ScanHandle, ScanService};
+use crate::ServiceOptions;
+use btr_scan::batch::append;
+use btr_scan::chaos::{build_relation, spec_pool};
+use btr_scan::engine::{EngineOptions, ScanEngine};
+use btr_scan::layout::RelationLayout;
+use btr_scan::{
+    BlockSource, BreakerConfig, HedgeConfig, MemorySource, ObjectStoreSource, Result, ScanError,
+    ScanSpec,
+};
+use btr_corrupt::{Mutation, Xorshift};
+use btr_s3sim::{FaultPlan, ObjectStore, RetryPolicy};
+use btrblocks::{ColumnData, Config, Sidecar};
+use std::sync::Arc;
+
+/// Campaign shape; the default is a quick smoke, tests scale `schedules` up.
+#[derive(Debug, Clone)]
+pub struct ServiceChaosConfig {
+    /// Master seed; every schedule derives its own RNG from it.
+    pub seed: u64,
+    /// Randomized fault schedules to run (one fresh service each).
+    pub schedules: usize,
+    /// Concurrent tenants per schedule, each draining one scan.
+    pub tenants: usize,
+    /// Rows in the generated relation.
+    pub rows: usize,
+    /// Compression block size (controls block count per column).
+    pub block_size: usize,
+    /// Service worker threads.
+    pub workers: usize,
+}
+
+impl Default for ServiceChaosConfig {
+    fn default() -> Self {
+        ServiceChaosConfig {
+            seed: 0x5E21_FEED,
+            schedules: 20,
+            tenants: 8,
+            rows: 4_000,
+            block_size: 500,
+            workers: 4,
+        }
+    }
+}
+
+/// Aggregated campaign result; healthy when [`is_clean`] —
+/// zero panics, zero divergence, zero unattributed failures.
+///
+/// [`is_clean`]: ServiceChaosReport::is_clean
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ServiceChaosReport {
+    /// Schedules executed.
+    pub schedules: u64,
+    /// Scans submitted across all schedules.
+    pub scans_run: u64,
+    /// Scans byte-identical to the fault-free reference.
+    pub scans_ok: u64,
+    /// Scans that failed (attributed or not).
+    pub scans_failed: u64,
+    /// Panics observed (worker panics surfacing as `ScanError::Worker`, or
+    /// tenant-thread panics).
+    pub panics: u64,
+    /// Successful scans whose bytes diverged from the reference.
+    pub divergent: u64,
+    /// Failures nothing in the schedule explains.
+    pub unattributed: u64,
+    /// Typed failure tally: admission rejections (tight-limit schedules).
+    pub admission_rejected: u64,
+    /// Typed failure tally: deadline exceeded.
+    pub deadline_exceeded: u64,
+    /// Typed failure tally: retry budget exhausted.
+    pub budget_exhausted: u64,
+    /// Typed failure tally: breaker open fail-fast.
+    pub breaker_open: u64,
+    /// Typed failure tally: quarantined block.
+    pub quarantined: u64,
+    /// Typed failure tally: retries exhausted.
+    pub fetch_failed: u64,
+    /// Cross-scan decode dedup hits across the campaign.
+    pub dedup_hits: u64,
+    /// Blocks carried by coalesced ranged GETs across the campaign.
+    pub coalesced_blocks: u64,
+    /// Admission rejections counted by the services themselves.
+    pub service_rejections: u64,
+}
+
+impl ServiceChaosReport {
+    /// The campaign's pass condition.
+    pub fn is_clean(&self) -> bool {
+        self.panics == 0 && self.divergent == 0 && self.unattributed == 0
+    }
+}
+
+/// What one schedule injected, for attributing failures.
+struct ScheduleCtx {
+    faults_injected: bool,
+    corruption_possible: bool,
+    corrupted: Option<(u32, u32)>,
+    breaker: bool,
+    /// The schedule configured deliberately tight admission limits.
+    tight_admission: bool,
+}
+
+fn classify(err: &ScanError, spec: &ScanSpec, ctx: &ScheduleCtx) -> Option<()> {
+    // Returns Some(()) when attributed, None when not.
+    match err {
+        ScanError::Worker(_) => None,
+        ScanError::AdmissionRejected { .. } => ctx.tight_admission.then_some(()),
+        ScanError::DeadlineExceeded { .. } => spec.tolerance.deadline_seconds.map(|_| ()),
+        ScanError::RetryBudgetExhausted { .. } => spec.tolerance.retry_budget.map(|_| ()),
+        ScanError::BreakerOpen { .. } => (ctx.breaker && ctx.faults_injected).then_some(()),
+        ScanError::Quarantined { column, block } => (ctx.corrupted == Some((*column, *block))
+            || ctx.corruption_possible)
+            .then_some(()),
+        ScanError::FetchFailed { .. } => {
+            (ctx.faults_injected || ctx.corrupted.is_some()).then_some(())
+        }
+        _ => None,
+    }
+}
+
+/// Drains a handle into per-column output (batch boundaries erased) so runs
+/// compare byte-for-byte regardless of batching.
+fn drain(handle: &mut ScanHandle) -> Result<Vec<(String, ColumnData)>> {
+    let mut out: Option<Vec<(String, ColumnData)>> = None;
+    for batch in handle.by_ref() {
+        let batch = batch?;
+        match &mut out {
+            None => out = Some(batch.columns),
+            Some(columns) => {
+                for ((_, dst), (_, src)) in columns.iter_mut().zip(&batch.columns) {
+                    append(dst, src)?;
+                }
+            }
+        }
+    }
+    Ok(out.unwrap_or_default())
+}
+
+/// Runs the campaign; setup failures (compressing the generated relation)
+/// are the only errors returned — scan failures are classified into the
+/// report.
+pub fn run_service_campaign(config: &ServiceChaosConfig) -> Result<ServiceChaosReport> {
+    let relation = build_relation(config.rows);
+    let codec = Config {
+        block_size: config.block_size.max(1),
+        ..Config::default()
+    };
+    let sidecar = Sidecar::build(&relation, codec.block_size);
+    let compressed = Arc::new(btrblocks::compress(&relation, &codec)?);
+    let bytes = compressed.to_bytes();
+    let layout = RelationLayout::of(&compressed);
+    let specs = spec_pool(config.rows);
+
+    // Fault-free references, one per spec, via a plain engine over memory.
+    let reference_engine = ScanEngine::new(EngineOptions {
+        workers: 2,
+        prefetch: 4,
+        batch_rows: 1_024,
+        cache_bytes: 16 << 20,
+        config: codec.clone(),
+    });
+    let memory: Arc<dyn BlockSource> = Arc::new(MemorySource::new("svc-ref", compressed));
+    let references: Vec<Vec<(String, ColumnData)>> = specs
+        .iter()
+        .map(|spec| {
+            let mut scan = reference_engine.scan(memory.clone(), &sidecar, spec)?;
+            let mut out: Option<Vec<(String, ColumnData)>> = None;
+            for batch in scan.by_ref() {
+                let batch = batch?;
+                match &mut out {
+                    None => out = Some(batch.columns),
+                    Some(columns) => {
+                        for ((_, dst), (_, src)) in columns.iter_mut().zip(&batch.columns) {
+                            append(dst, src)?;
+                        }
+                    }
+                }
+            }
+            Ok(out.unwrap_or_default())
+        })
+        .collect::<Result<_>>()?;
+
+    let mut report = ServiceChaosReport::default();
+    for schedule in 0..config.schedules {
+        let mut rng =
+            Xorshift::new(config.seed ^ (schedule as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+
+        let plan = FaultPlan {
+            seed: rng.next_u64(),
+            transient_rate: rng.next_f64() * 0.35,
+            truncate_rate: rng.next_f64() * 0.25,
+            corrupt_rate: rng.next_f64() * 0.25,
+            partial_rate: rng.next_f64() * 0.25,
+            latency_spike_rate: rng.next_f64() * 0.5,
+            latency_spike_ms: 100 + rng.next_u32() % 1_900,
+            request_timeout_ms: if rng.gen_bool(0.5) {
+                400 + rng.next_u32() % 600
+            } else {
+                0
+            },
+            base_latency_ms: rng.next_u32() % 40,
+            max_faults_per_key: 1 + rng.next_u32() % 5,
+        };
+
+        // Some schedules permanently corrupt one stored block — quarantine
+        // must contain it to the scans that touch it.
+        let mut corrupted = None;
+        let mut stored = bytes.clone();
+        if rng.gen_bool(0.25) {
+            let column = rng.next_u32() % 3;
+            if let Some(col) = layout.columns.get(column as usize) {
+                if !col.blocks.is_empty() {
+                    let blocks = u32::try_from(col.blocks.len()).unwrap_or(1);
+                    let block = rng.next_u32() % blocks;
+                    if let Some(range) = col.blocks.get(block as usize) {
+                        // lint: allow(cast) simulated objects are far below 4 GiB
+                        let offset = range.offset as usize + range.len as usize / 2;
+                        let bit = u8::try_from(rng.next_u32() % 8).unwrap_or(0);
+                        stored = Mutation::BitFlip { offset, bit }.apply(&stored);
+                        corrupted = Some((column, block));
+                    }
+                }
+            }
+        }
+
+        let store = Arc::new(ObjectStore::new());
+        store.put("svc-chaos.btr", stored);
+        store.set_fault_plan(Some(plan.clone()));
+
+        let retry = RetryPolicy {
+            max_attempts: 2 + rng.next_u32() % 6,
+            base_backoff_seconds: 0.02,
+            backoff_multiplier: 2.0,
+        };
+        let mut source = ObjectStoreSource::new(store, "svc-chaos.btr", layout.clone(), retry);
+        let use_breaker = rng.gen_bool(0.5);
+        if use_breaker {
+            source = source.with_breaker(BreakerConfig {
+                failure_threshold: 1 + rng.next_u32() % 5,
+                open_seconds: 0.5 + rng.next_f64() * 10.0,
+            });
+        }
+        if rng.gen_bool(0.5) {
+            source = source.with_hedging(HedgeConfig {
+                percentile: 0.9,
+                min_seconds: 0.005,
+                warmup: 8,
+            });
+        }
+
+        let tight_admission = rng.gen_bool(0.2);
+        let options = ServiceOptions {
+            workers: config.workers.max(1),
+            cache_bytes: if rng.gen_bool(0.3) { 32 << 10 } else { 16 << 20 },
+            batch_rows: 1_024,
+            window: 2 + (rng.next_u32() % 6) as usize,
+            queue_limit: if tight_admission {
+                config.tenants.max(1) as u64
+            } else {
+                4_096
+            },
+            byte_budget: if tight_admission { 256 << 10 } else { 1 << 30 },
+            quantum_bytes: 16 << 10,
+            coalesce_window: 1 + rng.next_u32() % 4,
+            config: codec.clone(),
+        };
+        let service = ScanService::new(options);
+        service.register("svc-chaos", Arc::new(source), sidecar.clone());
+
+        let ctx = ScheduleCtx {
+            faults_injected: plan.transient_rate > 0.0
+                || plan.truncate_rate > 0.0
+                || plan.corrupt_rate > 0.0
+                || plan.partial_rate > 0.0
+                || (plan.latency_spike_rate > 0.0 && plan.request_timeout_ms > 0),
+            corruption_possible: plan.corrupt_rate > 0.0 || corrupted.is_some(),
+            corrupted,
+            breaker: use_breaker,
+            tight_admission,
+        };
+
+        // Draw every tenant's spec + tolerance up front (the RNG is not
+        // shared with threads), then submit + drain concurrently.
+        let mut jobs = Vec::with_capacity(config.tenants.max(1));
+        for t in 0..config.tenants.max(1) {
+            let spec_idx = (schedule + t) % specs.len().max(1);
+            let mut spec = specs.get(spec_idx).cloned().unwrap_or_default();
+            if rng.gen_bool(0.3) {
+                spec = spec.with_deadline(0.5 + rng.next_f64() * 5.0);
+            }
+            if rng.gen_bool(0.3) {
+                spec = spec.with_retry_budget(
+                    1.0 + f64::from(rng.next_u32() % 16),
+                    rng.next_f64() * 2.0,
+                );
+            }
+            jobs.push((t, spec_idx, spec));
+        }
+        let handles: Vec<_> = jobs
+            .into_iter()
+            .map(|(t, spec_idx, spec)| {
+                let client = service.client(format!("tenant-{t}"));
+                std::thread::spawn(move || {
+                    let result = client
+                        .submit("svc-chaos", &spec)
+                        .and_then(|mut handle| drain(&mut handle));
+                    (spec_idx, spec, result)
+                })
+            })
+            .collect();
+        for handle in handles {
+            report.scans_run += 1;
+            let (spec_idx, spec, result) = match handle.join() {
+                Ok(done) => done,
+                Err(_) => {
+                    report.panics += 1;
+                    continue;
+                }
+            };
+            match result {
+                Ok(columns) => {
+                    if references.get(spec_idx) == Some(&columns) {
+                        report.scans_ok += 1;
+                    } else {
+                        report.divergent += 1;
+                    }
+                }
+                Err(err) => {
+                    report.scans_failed += 1;
+                    match &err {
+                        ScanError::AdmissionRejected { .. } => report.admission_rejected += 1,
+                        ScanError::DeadlineExceeded { .. } => report.deadline_exceeded += 1,
+                        ScanError::RetryBudgetExhausted { .. } => report.budget_exhausted += 1,
+                        ScanError::BreakerOpen { .. } => report.breaker_open += 1,
+                        ScanError::Quarantined { .. } => report.quarantined += 1,
+                        ScanError::FetchFailed { .. } => report.fetch_failed += 1,
+                        _ => {}
+                    }
+                    if matches!(err, ScanError::Worker(_)) {
+                        report.panics += 1;
+                    } else if classify(&err, &spec, &ctx).is_none() {
+                        report.unattributed += 1;
+                    }
+                }
+            }
+        }
+        let service_report = service.report();
+        report.dedup_hits += service_report.dedup_hits;
+        report.coalesced_blocks += service_report.coalesced_blocks;
+        report.service_rejections += service_report.admission_rejections;
+        report.schedules += 1;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_service_campaign_is_clean() {
+        let report = run_service_campaign(&ServiceChaosConfig {
+            schedules: 6,
+            rows: 2_000,
+            ..ServiceChaosConfig::default()
+        })
+        .expect("campaign setup");
+        assert_eq!(report.schedules, 6);
+        assert_eq!(report.scans_run, 48);
+        assert!(
+            report.is_clean(),
+            "panics={} divergent={} unattributed={}",
+            report.panics,
+            report.divergent,
+            report.unattributed
+        );
+        assert!(report.scans_ok > 0, "some scans must survive the faults");
+    }
+}

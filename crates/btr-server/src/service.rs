@@ -1,0 +1,767 @@
+//! The service core: registration, admission, DRR dispatch, scan handles.
+//!
+//! One [`ScanService`] owns the shared decoded-block cache, the cross-scan
+//! [`DecodeGate`], one [`CoalescingSource`] per registered relation, and a
+//! fixed worker pool. Tenants obtain [`ScanClient`] handles and submit
+//! [`ScanSpec`]s; an admitted scan becomes a [`ScanHandle`] — an iterator of
+//! [`RecordBatch`]es — backed by a [`btr_scan::BlockPipeline`] whose row
+//! groups are dispatched by the service-wide scheduler, never by per-scan
+//! threads.
+//!
+//! # Flow of one admitted scan
+//!
+//! 1. `submit` plans the scan, estimates per-row-group costs from
+//!    [`BlockSource::block_len`], and checks the two admission budgets
+//!    (outstanding tasks, outstanding estimated bytes). The *initial window*
+//!    of row groups is enqueued; interest in their blocks is registered with
+//!    the coalescing source so other scans' fetches can carry them.
+//! 2. Workers pull tasks via deficit round-robin, record the queue wait
+//!    (logical dispatch distance + real seconds), and run
+//!    [`btr_scan::BlockPipeline::process`] — cache lookup, gated fetch +
+//!    decode, predicate, gather — with panics contained per row group.
+//! 3. The consumer drains results in row order; each emitted group releases
+//!    its admission accounting and enqueues the next group, keeping at most
+//!    `window` tasks outstanding per scan.
+//! 4. Finishing (drain, error, cancel, or drop) purges the scan's queued
+//!    tasks, returns its admission budget, releases block interest, and
+//!    folds its pipeline counters into the tenant's metrics exactly once.
+//!
+//! # Lock ordering
+//!
+//! `progress` (per scan) and `sched` (service) are never held together; the
+//! metrics and relations maps are leaves. Workers wait on `task_ready` under
+//! the `sched` mutex; consumers wait on their scan's `out_ready` under its
+//! `progress` mutex.
+
+use crate::coalesce::CoalescingSource;
+use crate::metrics::{percentile, snapshot, Metrics, ServiceReport};
+use crate::sched::{Scheduler, Task};
+use crate::{lock, ServiceOptions};
+use btr_scan::batch::{append, empty_like, split_front};
+use btr_scan::{
+    plan_scan, BlockCache, BlockPipeline, BlockResult, BlockSource, DecodeGate, FetchCtl,
+    PipelineCounters, PipelineParams, RecordBatch, Result, RowGroup, ScanError, ScanSpec,
+};
+use btr_s3sim::{Deadline, RetryBudget};
+use btrblocks::{ColumnData, DecodeScratch, Sidecar};
+use std::collections::{BTreeMap, HashMap};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::time::Instant;
+
+/// Cost charged against the byte budget for a task whose source cannot
+/// report a block length.
+const DEFAULT_TASK_COST: u64 = 64 << 10;
+
+/// Reorder/backpressure state of one scan, guarded by `ScanShared::progress`.
+#[derive(Default)]
+struct Progress {
+    /// Row groups enqueued so far (a prefix of `groups`).
+    enqueued: usize,
+    /// Next row-group index the consumer will emit.
+    next_emit: usize,
+    /// Finished groups waiting for their turn, by index.
+    ready: BTreeMap<usize, Result<BlockResult>>,
+}
+
+/// Everything workers and the consumer share about one admitted scan.
+pub(crate) struct ScanShared {
+    /// Service-unique id, used to purge this scan's tasks from the scheduler.
+    pub(crate) id: u64,
+    tenant: Arc<str>,
+    pipeline: Arc<BlockPipeline>,
+    source: Arc<CoalescingSource>,
+    groups: Vec<RowGroup>,
+    /// Source columns each task reads (projection ∪ predicate column); every
+    /// task registers interest in these columns of its block.
+    interest_cols: Vec<u32>,
+    /// Estimated compressed bytes per row group, parallel to `groups`.
+    costs: Vec<u64>,
+    progress: Mutex<Progress>,
+    /// Signals the consumer that a result landed (or the scan was
+    /// cancelled).
+    out_ready: Condvar,
+    /// Set by finish/cancel/shutdown; workers skip this scan's tasks.
+    cancelled: AtomicBool,
+    /// Set once the scan's counters were folded into tenant metrics, so the
+    /// service report never double-counts a scan.
+    folded: AtomicBool,
+}
+
+impl ScanShared {
+    fn register_interest(&self, block: u32) {
+        for &col in &self.interest_cols {
+            self.source.register_interest(col, block);
+        }
+    }
+
+    fn release_interest(&self, block: u32) {
+        for &col in &self.interest_cols {
+            self.source.release_interest(col, block);
+        }
+    }
+
+    fn cost_of(&self, idx: usize) -> u64 {
+        self.costs.get(idx).copied().unwrap_or(DEFAULT_TASK_COST)
+    }
+
+    /// A minimal instance for scheduler unit tests: a one-column in-memory
+    /// relation nobody ever scans.
+    #[cfg(test)]
+    pub(crate) fn dummy(id: u64) -> Arc<ScanShared> {
+        use btrblocks::{Column, ColumnType, Config, Relation};
+        let cfg = Config::default();
+        let rel = Relation::new(vec![Column::new("id", ColumnData::Int(vec![1, 2, 3]))]);
+        let compressed = Arc::new(btrblocks::compress(&rel, &cfg).unwrap());
+        let inner: Arc<dyn BlockSource> =
+            Arc::new(btr_scan::MemorySource::new("dummy", compressed));
+        let cache = Arc::new(BlockCache::new(1 << 16));
+        let source = Arc::new(CoalescingSource::new(inner, cache.clone(), 1));
+        let pipeline = Arc::new(BlockPipeline::new(PipelineParams {
+            source: source.clone(),
+            cache,
+            config: cfg,
+            projection: vec![0],
+            column_types: vec![ColumnType::Integer],
+            predicate: None,
+            ctl: FetchCtl::default(),
+            base_prefetch: 1,
+            gate: None,
+        }));
+        Arc::new(ScanShared {
+            id,
+            tenant: Arc::from("dummy"),
+            pipeline,
+            source,
+            groups: Vec::new(),
+            interest_cols: Vec::new(),
+            costs: Vec::new(),
+            progress: Mutex::new(Progress::default()),
+            out_ready: Condvar::new(),
+            cancelled: AtomicBool::new(false),
+            folded: AtomicBool::new(false),
+        })
+    }
+}
+
+/// A registered relation: its coalescing source plus zone-map sidecar.
+struct Registered {
+    source: Arc<CoalescingSource>,
+    sidecar: Arc<Sidecar>,
+}
+
+/// Shared service state, behind one `Arc` held by the service, its workers,
+/// every client, and every live handle.
+struct Inner {
+    options: ServiceOptions,
+    cache: Arc<BlockCache>,
+    gate: Arc<DecodeGate>,
+    relations: Mutex<HashMap<String, Registered>>,
+    sched: Mutex<Scheduler>,
+    /// Wakes workers when tasks arrive or the service shuts down.
+    task_ready: Condvar,
+    /// Tasks enqueued and not yet emitted to a consumer, service-wide.
+    outstanding_tasks: AtomicU64,
+    /// Estimated compressed bytes behind those tasks.
+    outstanding_bytes: AtomicU64,
+    /// Monotone dispatch counter; differences measure logical queue wait.
+    dispatch_seq: AtomicU64,
+    scan_ids: AtomicU64,
+    shutdown: AtomicBool,
+    /// Live scans, so shutdown can wake blocked consumers and the report can
+    /// include not-yet-folded pipeline counters.
+    scans: Mutex<Vec<Weak<ScanShared>>>,
+    metrics: Mutex<Metrics>,
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    // One decode arena per worker for the lifetime of the service; buffers
+    // recycle across row groups of every scan it serves.
+    let mut scratch = DecodeScratch::new();
+    loop {
+        let task = {
+            let mut sched = lock(&inner.sched);
+            loop {
+                if inner.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                if let Some(task) = sched.pick() {
+                    break task;
+                }
+                sched = inner
+                    .task_ready
+                    .wait(sched)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let d = inner.dispatch_seq.fetch_add(1, Ordering::Relaxed);
+        let wait_logical = d.saturating_sub(task.enqueue_dispatch);
+        let wait_seconds = task.enqueued_at.elapsed().as_secs_f64();
+        {
+            let mut m = lock(&inner.metrics);
+            let acc = m.tenants.entry(task.scan.tenant.clone()).or_default();
+            acc.tasks_dispatched += 1;
+            acc.wait_logical.push(wait_logical);
+            acc.wait_seconds.push(wait_seconds);
+        }
+        let scan = &task.scan;
+        if scan.cancelled.load(Ordering::Relaxed) {
+            // finish() purges queued tasks, but a task already picked is past
+            // the purge — release its block interest here instead.
+            scan.release_interest(task.group.block);
+            continue;
+        }
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            scan.pipeline.process(task.group, &mut scratch)
+        }))
+        .unwrap_or_else(|payload| {
+            Err(ScanError::Worker(format!(
+                "row group {} (block {}): {}",
+                task.group_idx,
+                task.group.block,
+                panic_text(payload.as_ref())
+            )))
+        });
+        scan.release_interest(task.group.block);
+        {
+            let mut p = lock(&scan.progress);
+            p.ready.insert(task.group_idx, result);
+        }
+        scan.out_ready.notify_all();
+    }
+}
+
+impl Inner {
+    /// Charges the admission budgets and hands row group `idx` to the
+    /// scheduler. `register` declares the block's coalescing interest here;
+    /// pass `false` only when the caller already declared it (the submit
+    /// path pre-registers a whole window before any task is runnable).
+    fn enqueue_task(&self, scan: &Arc<ScanShared>, idx: usize, register: bool) {
+        let Some(&group) = scan.groups.get(idx) else {
+            return;
+        };
+        let cost = scan.cost_of(idx);
+        if register {
+            scan.register_interest(group.block);
+        }
+        self.outstanding_tasks.fetch_add(1, Ordering::Relaxed);
+        self.outstanding_bytes.fetch_add(cost, Ordering::Relaxed);
+        let task = Task {
+            scan: scan.clone(),
+            group_idx: idx,
+            group,
+            cost,
+            enqueue_dispatch: self.dispatch_seq.load(Ordering::Relaxed),
+            enqueued_at: Instant::now(),
+        };
+        lock(&self.sched).enqueue(&scan.tenant, task);
+        self.task_ready.notify_one();
+    }
+
+    fn record_rejection(&self, tenant: &Arc<str>) {
+        let mut m = lock(&self.metrics);
+        m.rejections += 1;
+        m.tenants.entry(tenant.clone()).or_default().scans_rejected += 1;
+    }
+
+    fn submit(
+        self: &Arc<Inner>,
+        tenant: &Arc<str>,
+        relation: &str,
+        spec: &ScanSpec,
+    ) -> Result<ScanHandle> {
+        let (source, sidecar) = {
+            let rels = lock(&self.relations);
+            let reg = rels
+                .get(relation)
+                .ok_or_else(|| ScanError::MissingObject(relation.to_string()))?;
+            (reg.source.clone(), reg.sidecar.clone())
+        };
+        let src: Arc<dyn BlockSource> = source.clone();
+        let plan = plan_scan(src.as_ref(), &sidecar, spec)?;
+        let columns = src.columns();
+
+        // Columns every task touches: the projection plus the predicate
+        // column (its block is fetched whether or not the fast path fires).
+        let mut interest_cols: Vec<u32> = Vec::with_capacity(plan.projection.len() + 1);
+        for &idx in plan.projection.iter().chain(plan.predicate_column.iter()) {
+            let col = u32::try_from(idx).unwrap_or(u32::MAX);
+            if !interest_cols.contains(&col) {
+                interest_cols.push(col);
+            }
+        }
+        let costs: Vec<u64> = plan
+            .row_groups
+            .iter()
+            .map(|g| {
+                interest_cols
+                    .iter()
+                    .map(|&c| src.block_len(c, g.block).unwrap_or(DEFAULT_TASK_COST))
+                    .sum()
+            })
+            .collect();
+        let window = self.options.window.max(1);
+        let initial = window.min(plan.row_groups.len());
+        let initial_cost: u64 = costs.iter().take(initial).sum();
+
+        // Admission: an idle service always admits (so a scan larger than
+        // the budgets can still run alone, and rejection is deterministic);
+        // otherwise reject when the initial window would overflow either
+        // budget. Tasks, then bytes — the cheaper check first.
+        if initial > 0 {
+            let queued = self.outstanding_tasks.load(Ordering::Relaxed);
+            if queued > 0 && queued + initial as u64 > self.options.queue_limit {
+                self.record_rejection(tenant);
+                return Err(ScanError::AdmissionRejected {
+                    resource: "task queue",
+                    queued,
+                    limit: self.options.queue_limit,
+                });
+            }
+            let bytes = self.outstanding_bytes.load(Ordering::Relaxed);
+            if bytes > 0 && bytes + initial_cost > self.options.byte_budget {
+                self.record_rejection(tenant);
+                return Err(ScanError::AdmissionRejected {
+                    resource: "byte budget",
+                    queued: bytes,
+                    limit: self.options.byte_budget,
+                });
+            }
+        }
+
+        // Deadlines run on the source's simulated clock, starting now; the
+        // tenant tag flows through every fetch into per-tenant GET stats.
+        let clock = src
+            .health()
+            .map(|h| h.clock().clone())
+            .unwrap_or_default();
+        let ctl = FetchCtl {
+            deadline: spec
+                .tolerance
+                .deadline_seconds
+                .map(|seconds| Deadline::after(&clock, seconds)),
+            budget: spec
+                .tolerance
+                .retry_budget
+                .map(|cfg| Arc::new(RetryBudget::new(cfg.capacity, cfg.refill_per_second))),
+            tenant: Some(tenant.clone()),
+        };
+        let pipeline = Arc::new(BlockPipeline::new(PipelineParams {
+            source: src.clone(),
+            cache: self.cache.clone(),
+            config: self.options.config.clone(),
+            projection: plan.projection.clone(),
+            column_types: columns.iter().map(|c| c.column_type).collect(),
+            predicate: spec
+                .predicate
+                .as_ref()
+                .zip(plan.predicate_column)
+                .map(|(p, idx)| (idx, p.op, p.literal.clone())),
+            ctl,
+            base_prefetch: window,
+            gate: Some(self.gate.clone()),
+        }));
+        let scan = Arc::new(ScanShared {
+            id: self.scan_ids.fetch_add(1, Ordering::Relaxed),
+            tenant: tenant.clone(),
+            pipeline,
+            source,
+            groups: plan.row_groups,
+            interest_cols,
+            costs,
+            progress: Mutex::new(Progress {
+                enqueued: initial,
+                next_emit: 0,
+                ready: BTreeMap::new(),
+            }),
+            out_ready: Condvar::new(),
+            cancelled: AtomicBool::new(false),
+            folded: AtomicBool::new(false),
+        });
+        {
+            let mut m = lock(&self.metrics);
+            m.tenants.entry(tenant.clone()).or_default().scans_admitted += 1;
+        }
+        {
+            let mut scans = lock(&self.scans);
+            scans.retain(|w| w.upgrade().is_some());
+            scans.push(Arc::downgrade(&scan));
+        }
+        // Declare the whole initial window's interest before any task is
+        // runnable: a worker picking up block b must already see the queued
+        // interest in b+1.. for its GET to coalesce, whatever the thread
+        // timing.
+        for i in 0..initial {
+            if let Some(&group) = scan.groups.get(i) {
+                scan.register_interest(group.block);
+            }
+        }
+        for i in 0..initial {
+            self.enqueue_task(&scan, i, false);
+        }
+        let buffers = plan
+            .projection
+            .iter()
+            .filter_map(|&idx| columns.get(idx).map(|c| empty_like(c.column_type)))
+            .collect();
+        Ok(ScanHandle {
+            inner: self.clone(),
+            scan,
+            names: spec.projection.clone(),
+            buffers,
+            buffered_rows: 0,
+            batch_rows: self.options.batch_rows.max(1),
+            rows_matched: 0,
+            batches: 0,
+            failed: false,
+            finished: false,
+        })
+    }
+}
+
+/// The service; see the module docs. Dropping it shuts the worker pool down
+/// and cancels any scans still draining.
+pub struct ScanService {
+    inner: Arc<Inner>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ScanService {
+    /// Starts a service with `options.workers` dispatch threads.
+    pub fn new(options: ServiceOptions) -> ScanService {
+        let cache = Arc::new(BlockCache::new(options.cache_bytes));
+        let inner = Arc::new(Inner {
+            sched: Mutex::new(Scheduler::new(options.quantum_bytes)),
+            cache,
+            options,
+            gate: Arc::new(DecodeGate::new()),
+            relations: Mutex::new(HashMap::new()),
+            task_ready: Condvar::new(),
+            outstanding_tasks: AtomicU64::new(0),
+            outstanding_bytes: AtomicU64::new(0),
+            dispatch_seq: AtomicU64::new(0),
+            scan_ids: AtomicU64::new(1),
+            shutdown: AtomicBool::new(false),
+            scans: Mutex::new(Vec::new()),
+            metrics: Mutex::new(Metrics::default()),
+        });
+        let workers = (0..inner.options.workers.max(1))
+            .map(|_| {
+                let inner = inner.clone();
+                std::thread::spawn(move || worker_loop(&inner))
+            })
+            .collect();
+        ScanService { inner, workers }
+    }
+
+    /// Registers a relation under `name`, wrapping its source for ranged-GET
+    /// coalescing. Re-registering a name replaces the previous source.
+    pub fn register(
+        &self,
+        name: impl Into<String>,
+        source: Arc<dyn BlockSource>,
+        sidecar: Sidecar,
+    ) {
+        let wrapped = Arc::new(CoalescingSource::new(
+            source,
+            self.inner.cache.clone(),
+            self.inner.options.coalesce_window,
+        ));
+        lock(&self.inner.relations).insert(
+            name.into(),
+            Registered {
+                source: wrapped,
+                sidecar: Arc::new(sidecar),
+            },
+        );
+    }
+
+    /// A submission handle for `tenant`; cheap to clone and thread-safe.
+    pub fn client(&self, tenant: impl Into<String>) -> ScanClient {
+        ScanClient {
+            inner: self.inner.clone(),
+            tenant: Arc::from(tenant.into()),
+        }
+    }
+
+    /// The shared decoded-block cache.
+    pub fn cache(&self) -> &Arc<BlockCache> {
+        &self.inner.cache
+    }
+
+    /// Service-wide and per-tenant accounting. Tenant breakdowns cover
+    /// finished scans; the service-wide dedup count also includes scans
+    /// still draining.
+    pub fn report(&self) -> ServiceReport {
+        let (mut spans_issued, mut coalesced_blocks, mut staged_hits) = (0u64, 0u64, 0u64);
+        {
+            let rels = lock(&self.inner.relations);
+            for reg in rels.values() {
+                let s = reg.source.stats();
+                spans_issued += s.spans_issued;
+                coalesced_blocks += s.coalesced_blocks;
+                staged_hits += s.staged_hits;
+            }
+        }
+        let mut live = PipelineCounters::default();
+        for weak in lock(&self.inner.scans).iter() {
+            if let Some(scan) = weak.upgrade() {
+                if !scan.folded.load(Ordering::Relaxed) {
+                    let c = scan.pipeline.counters();
+                    live.dedup_hits += c.dedup_hits;
+                }
+            }
+        }
+        let m = lock(&self.inner.metrics);
+        let (tenants, all_logical, all_seconds) = snapshot(&m.tenants);
+        let dedup_hits = tenants.iter().map(|t| t.dedup_hits).sum::<u64>() + live.dedup_hits;
+        ServiceReport {
+            tenants,
+            admission_rejections: m.rejections,
+            dedup_hits,
+            spans_issued,
+            coalesced_blocks,
+            staged_hits,
+            cache: self.inner.cache.stats(),
+            outstanding_tasks: self.inner.outstanding_tasks.load(Ordering::Relaxed),
+            outstanding_bytes: self.inner.outstanding_bytes.load(Ordering::Relaxed),
+            queue_wait_logical_p50: percentile(&all_logical, 0.50),
+            queue_wait_logical_p95: percentile(&all_logical, 0.95),
+            queue_wait_p50: percentile(&all_seconds, 0.50),
+            queue_wait_p95: percentile(&all_seconds, 0.95),
+        }
+    }
+}
+
+impl Drop for ScanService {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Relaxed);
+        self.inner.task_ready.notify_all();
+        for weak in lock(&self.inner.scans).iter() {
+            if let Some(scan) = weak.upgrade() {
+                scan.cancelled.store(true, Ordering::Relaxed);
+                scan.out_ready.notify_all();
+            }
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A tenant's submission handle.
+#[derive(Clone)]
+pub struct ScanClient {
+    inner: Arc<Inner>,
+    tenant: Arc<str>,
+}
+
+impl ScanClient {
+    /// Submits a scan of `relation`. Fails with
+    /// [`ScanError::AdmissionRejected`] when the service's shared budgets
+    /// are full of outstanding work — back off and resubmit — and with
+    /// [`ScanError::MissingObject`] for an unregistered relation.
+    pub fn submit(&self, relation: &str, spec: &ScanSpec) -> Result<ScanHandle> {
+        self.inner.submit(&self.tenant, relation, spec)
+    }
+
+    /// This client's tenant name.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+}
+
+/// How a scan ended, for the tenant's scan counters.
+enum Outcome {
+    Completed,
+    Failed,
+    Cancelled,
+}
+
+/// A running scan: an iterator of [`RecordBatch`]es in row order.
+///
+/// Dropping the handle early cancels the scan: its queued tasks leave the
+/// scheduler, its admission budget returns, and staged coalesced bytes for
+/// it are released.
+pub struct ScanHandle {
+    inner: Arc<Inner>,
+    scan: Arc<ScanShared>,
+    names: Vec<String>,
+    buffers: Vec<ColumnData>,
+    buffered_rows: usize,
+    batch_rows: usize,
+    rows_matched: u64,
+    batches: u64,
+    failed: bool,
+    finished: bool,
+}
+
+impl ScanHandle {
+    /// Waits for the next in-order row group; emitting it releases its
+    /// admission accounting and refills the scan's look-ahead window.
+    fn next_block(&mut self) -> Option<Result<BlockResult>> {
+        let scan = self.scan.clone();
+        let mut p = lock(&scan.progress);
+        loop {
+            if scan.cancelled.load(Ordering::Relaxed) || p.next_emit >= scan.groups.len() {
+                return None;
+            }
+            let emit = p.next_emit;
+            if let Some(result) = p.ready.remove(&emit) {
+                p.next_emit += 1;
+                let refill = (p.enqueued < scan.groups.len()).then(|| {
+                    let next = p.enqueued;
+                    p.enqueued += 1;
+                    next
+                });
+                drop(p);
+                self.inner.outstanding_tasks.fetch_sub(1, Ordering::Relaxed);
+                self.inner
+                    .outstanding_bytes
+                    .fetch_sub(scan.cost_of(emit), Ordering::Relaxed);
+                if let Some(next) = refill {
+                    self.inner.enqueue_task(&scan, next, true);
+                }
+                return Some(result);
+            }
+            p = scan.out_ready.wait(p).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn cut(&mut self, n: usize) -> RecordBatch {
+        let columns = self
+            .names
+            .iter()
+            .zip(self.buffers.iter_mut())
+            .map(|(name, buf)| (name.clone(), split_front(buf, n)))
+            .collect();
+        self.buffered_rows -= n;
+        self.batches += 1;
+        RecordBatch { columns }
+    }
+
+    /// Tears the scan down (idempotent): cancels workers' view of it, purges
+    /// queued tasks, returns admission budget, and folds metrics.
+    fn finish(&mut self, outcome: Outcome) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        let scan = &self.scan;
+        scan.cancelled.store(true, Ordering::Relaxed);
+        // Enqueued-but-never-emitted tasks give back their admission
+        // accounting here; emitted ones already did.
+        let (pending, pending_cost) = {
+            let p = lock(&scan.progress);
+            let pending = p.enqueued.saturating_sub(p.next_emit) as u64;
+            let cost: u64 = (p.next_emit..p.enqueued).map(|i| scan.cost_of(i)).sum();
+            (pending, cost)
+        };
+        if pending > 0 {
+            self.inner.outstanding_tasks.fetch_sub(pending, Ordering::Relaxed);
+            self.inner
+                .outstanding_bytes
+                .fetch_sub(pending_cost, Ordering::Relaxed);
+        }
+        // Tasks still queued leave the scheduler and release their block
+        // interest; tasks a worker already picked release it in the worker.
+        let purged = lock(&self.inner.sched).purge(scan.id);
+        for task in &purged {
+            scan.release_interest(task.group.block);
+        }
+        scan.out_ready.notify_all();
+        let counters = scan.pipeline.counters();
+        let mut m = lock(&self.inner.metrics);
+        let acc = m.tenants.entry(scan.tenant.clone()).or_default();
+        acc.fold_counters(&counters);
+        acc.rows_emitted += self.rows_matched;
+        match outcome {
+            Outcome::Completed => acc.scans_completed += 1,
+            Outcome::Failed => acc.scans_failed += 1,
+            Outcome::Cancelled => acc.scans_cancelled += 1,
+        }
+        scan.folded.store(true, Ordering::Relaxed);
+    }
+
+    /// Cancels the scan; the iterator yields nothing further.
+    pub fn cancel(&mut self) {
+        self.finish(Outcome::Cancelled);
+    }
+
+    /// Rows matched so far.
+    pub fn rows_matched(&self) -> u64 {
+        self.rows_matched
+    }
+
+    /// Batches emitted so far.
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// The owning tenant.
+    pub fn tenant(&self) -> &str {
+        &self.scan.tenant
+    }
+
+    /// This scan's pipeline counters (cache hits, dedup hits, decodes...).
+    pub fn counters(&self) -> PipelineCounters {
+        self.scan.pipeline.counters()
+    }
+}
+
+impl Iterator for ScanHandle {
+    type Item = Result<RecordBatch>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed || self.finished {
+            return None;
+        }
+        loop {
+            if self.buffered_rows >= self.batch_rows {
+                return Some(Ok(self.cut(self.batch_rows)));
+            }
+            match self.next_block() {
+                Some(Ok(block)) => {
+                    self.rows_matched += block.rows_matched;
+                    self.buffered_rows += block.rows_matched as usize;
+                    for (buf, col) in self.buffers.iter_mut().zip(&block.columns) {
+                        if let Err(e) = append(buf, col) {
+                            self.failed = true;
+                            self.finish(Outcome::Failed);
+                            return Some(Err(e));
+                        }
+                    }
+                }
+                Some(Err(e)) => {
+                    self.failed = true;
+                    self.finish(Outcome::Failed);
+                    return Some(Err(e));
+                }
+                None => {
+                    if self.buffered_rows > 0 {
+                        return Some(Ok(self.cut(self.buffered_rows)));
+                    }
+                    self.finish(Outcome::Completed);
+                    return None;
+                }
+            }
+        }
+    }
+}
+
+impl Drop for ScanHandle {
+    fn drop(&mut self) {
+        self.finish(Outcome::Cancelled);
+    }
+}

@@ -31,6 +31,7 @@ DECODE_CRATES=(
   btr-float
   btr-lz
   btr-scan
+  btr-server
   parquet-lite
   orc-lite
 )
@@ -80,5 +81,15 @@ grep -q '"panics": 0' BENCH_chaos.json
 grep -q '"divergent": 0' BENCH_chaos.json
 grep -q '"unattributed": 0' BENCH_chaos.json
 grep -q '"clean": true' BENCH_chaos.json
+
+echo "== scan service smoke benchmark (BENCH_server.json)"
+BENCH_ROWS="${BENCH_ROWS:-64000}" BENCH_SERVER_JSON="BENCH_server.json" \
+  cargo run --release --quiet -p btr-bench --bin scan_service > /dev/null
+# The sharing contract: under a convergent fault plan every concurrent scan
+# must succeed, and the economics the service exists for — cross-scan decode
+# dedup — must actually fire at least once.
+grep -q '"dedup_positive": true' BENCH_server.json
+grep -q '"unattributed": 0' BENCH_server.json
+grep -q '"clean": true' BENCH_server.json
 
 echo "ok"
