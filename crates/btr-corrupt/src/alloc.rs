@@ -22,12 +22,12 @@ pub struct TrackingAllocator;
 
 impl TrackingAllocator {
     fn on_alloc(size: usize) {
-        let live = LIVE.fetch_add(size, Ordering::Relaxed) + size;
-        PEAK.fetch_max(live, Ordering::Relaxed);
+        let live = LIVE.fetch_add(size, Ordering::Relaxed) + size; // ordering: allocation tracking counter; approximate by design
+        PEAK.fetch_max(live, Ordering::Relaxed); // ordering: allocation tracking counter; approximate by design
     }
 
     fn on_dealloc(size: usize) {
-        LIVE.fetch_sub(size, Ordering::Relaxed);
+        LIVE.fetch_sub(size, Ordering::Relaxed); // ordering: allocation tracking counter; approximate by design
     }
 }
 
@@ -75,19 +75,19 @@ unsafe impl GlobalAlloc for TrackingAllocator {
 
 /// Currently live heap bytes (as seen by the tracking allocator).
 pub fn live_bytes() -> usize {
-    LIVE.load(Ordering::Relaxed)
+    LIVE.load(Ordering::Relaxed) // ordering: statistics snapshot
 }
 
 /// Resets the peak to the current live count and returns the live count.
 pub fn reset_peak() -> usize {
-    let live = LIVE.load(Ordering::Relaxed);
-    PEAK.store(live, Ordering::Relaxed);
+    let live = LIVE.load(Ordering::Relaxed); // ordering: statistics snapshot
+    PEAK.store(live, Ordering::Relaxed); // ordering: allocation tracking counter; approximate by design
     live
 }
 
 /// Peak live bytes since the last [`reset_peak`].
 pub fn peak_bytes() -> usize {
-    PEAK.load(Ordering::Relaxed)
+    PEAK.load(Ordering::Relaxed) // ordering: statistics snapshot
 }
 
 /// Runs `f` and returns `(result, peak_heap_growth_in_bytes)` — the highest

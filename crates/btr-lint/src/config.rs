@@ -10,6 +10,21 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
+/// One row of the workspace lock hierarchy (`[lock_order.<name>]`): every
+/// `btr_sync` lock must declare a rank that appears here, and every row here
+/// must be backed by a `Rank` const in the named file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LockOrderEntry {
+    /// Hierarchy name, e.g. `scan.cache.shard` (the `Rank`'s name string).
+    pub name: String,
+    /// Numeric rank; acquisitions must be strictly increasing.
+    pub rank: u64,
+    /// Workspace-relative file declaring the `Rank` const.
+    pub file: String,
+    /// The field (or fields) guarded, for the human reading the table.
+    pub field: String,
+}
+
 /// Tool configuration, from `btr-lint.toml` at the workspace root.
 #[derive(Debug, Clone, Default)]
 pub struct Config {
@@ -18,15 +33,53 @@ pub struct Config {
     pub unsafe_allow: Vec<String>,
     /// Crates whose lib targets sit on the decode path (rules P1/P2).
     pub decode_path_crates: Vec<String>,
+    /// Crates whose lib targets must use `btr_sync` wrappers instead of raw
+    /// `std::sync` primitives (rules C1/C2/C4).
+    pub concurrency_crates: Vec<String>,
+    /// Files exempt from the atomics-ordering annotation rule (C3) — a
+    /// reviewed list, empty in a fully-audited workspace.
+    pub atomics_allow: Vec<String>,
+    /// The workspace lock hierarchy (rule C2), sorted by rank.
+    pub lock_order: Vec<LockOrderEntry>,
 }
 
 impl Config {
     /// Parses `btr-lint.toml` content.
     pub fn parse(text: &str) -> Result<Config, String> {
         let doc = parse_toml(text)?;
+        let mut lock_order = Vec::new();
+        for (section, entries) in &doc.sections {
+            let Some(name) = section.strip_prefix("lock_order.") else {
+                continue;
+            };
+            let mut entry = LockOrderEntry {
+                name: name.to_string(),
+                ..LockOrderEntry::default()
+            };
+            for (key, value) in entries {
+                match (key.as_str(), value) {
+                    ("rank", Value::Int(n)) => entry.rank = *n,
+                    ("file", Value::Str(s)) => entry.file = s.clone(),
+                    ("field", Value::Str(s)) => entry.field = s.clone(),
+                    _ => {
+                        return Err(format!(
+                            "[lock_order.{name}]: unsupported entry `{key}`"
+                        ))
+                    }
+                }
+            }
+            if entry.file.is_empty() {
+                return Err(format!("[lock_order.{name}]: missing `file`"));
+            }
+            lock_order.push(entry);
+        }
+        lock_order.sort_by_key(|e| e.rank);
         Ok(Config {
             unsafe_allow: doc.string_array("unsafe", "allow"),
             decode_path_crates: doc.string_array("decode_path", "crates"),
+            concurrency_crates: doc.string_array("concurrency", "crates"),
+            atomics_allow: doc.string_array("atomics", "allow"),
+            lock_order,
         })
     }
 }
@@ -287,6 +340,39 @@ mod tests {
         assert!(Ratchet::parse("[x]\nfoo = \"bar\"\n").is_err());
         assert!(Config::parse("[unsafe\nallow = []\n").is_err());
         assert!(Config::parse("[unsafe]\nallow [\"x\"]\n").is_err());
+    }
+
+    #[test]
+    fn parses_lock_order_table() {
+        let cfg = Config::parse(
+            "[concurrency]\n\
+             crates = [\"btr-scan\"]\n\
+             [atomics]\n\
+             allow = []\n\
+             [lock_order.scan.cache.shard]\n\
+             rank = 70\n\
+             file = \"crates/btr-scan/src/cache.rs\"\n\
+             field = \"BlockCache.shards\"\n\
+             [lock_order.s3.objects]\n\
+             rank = 130\n\
+             file = \"crates/btr-s3sim/src/lib.rs\"\n\
+             field = \"ObjectStore.objects\"\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.concurrency_crates, vec!["btr-scan"]);
+        assert!(cfg.atomics_allow.is_empty());
+        // Sorted by rank, dotted names preserved.
+        assert_eq!(cfg.lock_order.len(), 2);
+        assert_eq!(cfg.lock_order[0].name, "scan.cache.shard");
+        assert_eq!(cfg.lock_order[0].rank, 70);
+        assert_eq!(cfg.lock_order[1].name, "s3.objects");
+        assert_eq!(cfg.lock_order[1].file, "crates/btr-s3sim/src/lib.rs");
+    }
+
+    #[test]
+    fn lock_order_entry_without_file_is_rejected() {
+        assert!(Config::parse("[lock_order.x]\nrank = 1\n").is_err());
+        assert!(Config::parse("[lock_order.x]\nrank = 1\nfile = \"f.rs\"\nbogus = 2\n").is_err());
     }
 
     #[test]

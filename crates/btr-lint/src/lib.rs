@@ -20,6 +20,20 @@
 //! * **P3** `banned_macro` — no `todo!`/`unimplemented!`/`dbg!`/`println!`
 //!   in any library target.
 //!
+//! The concurrency contract (DESIGN.md §15) adds four rules:
+//!
+//! * **C1** `rawlock` — no raw `std::sync::Mutex`/`RwLock`/`Condvar` in
+//!   crates listed under `[concurrency]`; use the `btr-sync` ordered
+//!   wrappers, or `// lint: allow(rawlock) <reason>`.
+//! * **C2** `lock_rank` — every `Ordered*::new(RANK, …)` names a constant
+//!   whose rank exists in the `[lock_order]` hierarchy table, and every
+//!   table row is backed by a declaration that is actually constructed.
+//! * **C3** `atomic_ordering` — every `Ordering::<mode>` token carries an
+//!   `// ordering: <reason>` annotation (same line or the comment block
+//!   directly above) unless the file is listed under `[atomics] allow`.
+//! * **C4** `bare_wait` — no bare `Condvar::wait` (use `wait_while`) and
+//!   no `thread::sleep` in concurrency-crate lib targets.
+//!
 //! Violation counts are diffed against `lint-ratchet.toml`: `--check` fails
 //! on any count above the committed value, so new debt cannot land, while
 //! existing debt is burned down by lowering the committed numbers.

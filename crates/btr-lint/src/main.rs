@@ -30,7 +30,7 @@ fn main() -> ExitCode {
             },
             "--help" | "-h" => {
                 println!(
-                    "btr-lint — decode-path safety-contract checker\n\n\
+                    "btr-lint — decode-path safety & concurrency contract checker\n\n\
                      USAGE: btr-lint [--check] [--update-ratchet] [--root DIR] [--report FILE]\n\n\
                      --check           exit 1 if any (crate, rule) count exceeds lint-ratchet.toml\n\
                      --update-ratchet  rewrite lint-ratchet.toml with the current counts\n\

@@ -32,6 +32,26 @@ pub fn render_json(run: &LintRun) -> String {
     }
     out.push_str("\n  },\n");
 
+    out.push_str("  \"lock_inventory\": [\n");
+    for (i, l) in run.lock_inventory.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"name\": {}, \"rank\": {}, \"file\": {}, \"field\": {}, \"const\": {}, \"construction_sites\": {}}}",
+            quote(&l.name),
+            l.rank,
+            quote(&l.file),
+            quote(&l.field),
+            quote(&l.const_name),
+            l.construction_sites
+        );
+        out.push_str(if i + 1 == run.lock_inventory.len() {
+            "\n"
+        } else {
+            ",\n"
+        });
+    }
+    out.push_str("  ],\n");
+
     out.push_str("  \"unsafe_inventory\": [\n");
     for (i, s) in run.unsafe_inventory.iter().enumerate() {
         let _ = write!(

@@ -7,13 +7,28 @@
 //! | P1   | `indexing`                 | lib targets of decode-path crates   |
 //! | P2   | `cast`                     | lib targets of decode-path crates   |
 //! | P3   | `banned_macro`             | lib targets of every crate          |
+//! | C1   | `rawlock`                  | lib targets of concurrency crates   |
+//! | C2   | `lock_rank`                | lib targets of concurrency crates   |
+//! | C3   | `atomic_ordering`          | lib targets of every crate          |
+//! | C4   | `bare_wait`                | lib targets of concurrency crates   |
 //! |      | `bad_annotation`           | wherever an escape hatch is used    |
 //!
-//! Escape hatches: `// lint: allow(indexing) <reason>` and
-//! `// lint: allow(cast) <reason>`. A whole-line annotation suppresses the
-//! next code line; a trailing annotation suppresses its own line. The reason
-//! is mandatory — a bare annotation is itself reported (`bad_annotation`)
-//! and suppresses nothing, so the hatch cannot be used silently.
+//! Escape hatches: `// lint: allow(indexing) <reason>`,
+//! `// lint: allow(cast) <reason>`, and `// lint: allow(rawlock) <reason>`.
+//! A whole-line annotation suppresses the next code line; a trailing
+//! annotation suppresses its own line. The reason is mandatory — a bare
+//! annotation is itself reported (`bad_annotation`) and suppresses nothing,
+//! so the hatch cannot be used silently.
+//!
+//! The concurrency rules enforce the contract in DESIGN.md §15: locks in
+//! concurrency crates are `btr_sync` wrappers carrying a declared rank from
+//! the `[lock_order]` hierarchy in `btr-lint.toml` (C1; the cross-check of
+//! construction sites against the table is C2, finished by the workspace
+//! driver), every `Ordering::<mode>` token states *why* the chosen ordering
+//! suffices via an `// ordering: <reason>` comment on the same line or the
+//! comment block directly above (C3), and blocking primitives that invite
+//! lost-wakeup bugs — bare `Condvar::wait`, `thread::sleep` — are banned in
+//! favor of `wait_while` and the simulated clock (C4).
 //!
 //! Test code (a `#[cfg(test)]` module, a `#[test]` fn, or any item under a
 //! test-gated brace region) is exempt from P1/P2/P3 but not from U1/U2:
@@ -34,6 +49,18 @@ pub enum Rule {
     Cast,
     /// P3: `todo!`/`unimplemented!`/`dbg!`/`println!` in a library target.
     BannedMacro,
+    /// C1: raw `std::sync` `Mutex`/`RwLock`/`Condvar` in a concurrency
+    /// crate (use the `btr_sync` ordered wrappers).
+    RawLock,
+    /// C2: a lock construction or rank declaration inconsistent with the
+    /// `[lock_order]` hierarchy table.
+    LockRank,
+    /// C3: an atomic `Ordering::<mode>` token without an
+    /// `// ordering: <reason>` annotation.
+    AtomicOrdering,
+    /// C4: bare `Condvar::wait` or `thread::sleep` in a concurrency crate's
+    /// lib target (use `wait_while` / the simulated clock).
+    BareWait,
     /// An allow-annotation with no reason or an unknown kind.
     BadAnnotation,
 }
@@ -47,17 +74,25 @@ impl Rule {
             Rule::Indexing => "indexing",
             Rule::Cast => "cast",
             Rule::BannedMacro => "banned_macro",
+            Rule::RawLock => "rawlock",
+            Rule::LockRank => "lock_rank",
+            Rule::AtomicOrdering => "atomic_ordering",
+            Rule::BareWait => "bare_wait",
             Rule::BadAnnotation => "bad_annotation",
         }
     }
 
     /// All rules, in report order.
-    pub const ALL: [Rule; 6] = [
+    pub const ALL: [Rule; 10] = [
         Rule::UnsafeNoSafety,
         Rule::UnsafeOutsideAllowlist,
         Rule::Indexing,
         Rule::Cast,
         Rule::BannedMacro,
+        Rule::RawLock,
+        Rule::LockRank,
+        Rule::AtomicOrdering,
+        Rule::BareWait,
         Rule::BadAnnotation,
     ];
 }
@@ -89,6 +124,34 @@ pub struct FileRules {
     pub decode_path: bool,
     /// P3 applies (lib target of any crate).
     pub lib_target: bool,
+    /// C1/C2/C4 apply (lib target of a concurrency crate).
+    pub concurrency_lib: bool,
+    /// C3 applies (lib target not on the `[atomics] allow` list).
+    pub atomics: bool,
+}
+
+/// A `const NAME: Rank = Rank::new(rank, "name")` declaration found in a
+/// concurrency crate's lib target (raw material for the C2 cross-check).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankDecl {
+    /// The Rust const (or static) identifier.
+    pub const_name: String,
+    /// Numeric rank argument.
+    pub rank: u64,
+    /// Hierarchy name argument (the string literal, unquoted).
+    pub name: String,
+    pub line: u32,
+}
+
+/// An `Ordered{Mutex,RwLock,Condvar}::new(SOME_RANK, …)` construction site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WrapperSite {
+    /// `OrderedMutex`, `OrderedRwLock`, or `OrderedCondvar`.
+    pub wrapper: String,
+    /// Last identifier of the first argument — must name a `RankDecl`
+    /// (ranks are always named consts, never inline `Rank::new(...)`).
+    pub rank_const: String,
+    pub line: u32,
 }
 
 /// Everything the analysis found in one file.
@@ -96,6 +159,10 @@ pub struct FileRules {
 pub struct FileAnalysis {
     pub violations: Vec<Violation>,
     pub unsafe_sites: Vec<UnsafeSite>,
+    /// Rank consts declared in this file (concurrency lib targets only).
+    pub rank_decls: Vec<RankDecl>,
+    /// Ordered-wrapper construction sites (concurrency lib targets only).
+    pub wrapper_sites: Vec<WrapperSite>,
     /// Count of correctly-used escape hatches (for the report).
     pub suppressed: usize,
 }
@@ -118,10 +185,23 @@ const NARROW_INT_TYPES: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
 /// Macros banned from library targets (P3).
 const BANNED_MACROS: &[&str] = &["todo", "unimplemented", "dbg", "println"];
 
+/// Raw `std::sync` primitives banned from concurrency crates (C1). The
+/// `btr_sync` wrappers (`OrderedMutex`, …) lex as distinct identifiers.
+const RAW_SYNC_PRIMITIVES: &[&str] = &["Mutex", "RwLock", "Condvar"];
+
+/// The atomic memory-ordering variants (C3). `cmp::Ordering`'s variants
+/// (`Less`/`Equal`/`Greater`) are not in this set, so comparison code never
+/// trips the rule.
+const ATOMIC_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// The `btr_sync` wrapper types whose `::new` takes a rank (C2 evidence).
+const ORDERED_WRAPPERS: &[&str] = &["OrderedMutex", "OrderedRwLock", "OrderedCondvar"];
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum AllowKind {
     Indexing,
     Cast,
+    RawLock,
 }
 
 /// Runs every applicable rule over `src` and returns the findings.
@@ -135,6 +215,8 @@ pub fn analyze(src: &str, rules: FileRules) -> FileAnalysis {
     let in_test =
         |line: u32| test_lines.binary_search_by(|r| cmp_range(r, line)).is_ok();
     let mut suppressed_hits = 0usize;
+    // Most recent `const`/`static` identifier, for naming rank decls.
+    let mut last_decl_name: Option<String> = None;
 
     // Significant (non-comment) token indices for prev/next lookups.
     let sig: Vec<usize> = (0..tokens.len())
@@ -225,11 +307,180 @@ pub fn analyze(src: &str, rules: FileRules) -> FileAnalysis {
                     what: format!("`{}!` in a library target", tok.text),
                 });
             }
+            // C1: raw lock primitives. Any mention of the bare identifier
+            // counts — a type position, a `use`, or a `Mutex::new` call all
+            // mean the file is not speaking btr-sync's vocabulary.
+            TokKind::Ident
+                if rules.concurrency_lib
+                    && !in_test(tok.line)
+                    && RAW_SYNC_PRIMITIVES.contains(&tok.text) =>
+            {
+                if allows.covers(tok.line, AllowKind::RawLock) {
+                    suppressed_hits += 1;
+                } else {
+                    out.violations.push(Violation {
+                        rule: Rule::RawLock,
+                        line: tok.line,
+                        what: format!(
+                            "raw `{}` in a concurrency crate (use btr_sync::Ordered{})",
+                            tok.text, tok.text
+                        ),
+                    });
+                }
+            }
+            // C3: `Ordering::<mode>` without an `// ordering:` annotation.
+            TokKind::Ident
+                if rules.atomics
+                    && !in_test(tok.line)
+                    && ATOMIC_ORDERINGS.contains(&tok.text)
+                    && is_ordering_path(&tokens, &sig, si)
+                    && !lines.has_ordering_near(tok.line) =>
+            {
+                out.violations.push(Violation {
+                    rule: Rule::AtomicOrdering,
+                    line: tok.line,
+                    what: format!(
+                        "`Ordering::{}` without an `// ordering: <reason>` annotation",
+                        tok.text
+                    ),
+                });
+            }
+            // C4: bare blocking calls. `.wait(` loses wakeups without a
+            // hand-rolled predicate loop; `thread::sleep` stalls real time
+            // the simulated clock can't account for.
+            TokKind::Ident
+                if rules.concurrency_lib
+                    && !in_test(tok.line)
+                    && (tok.text == "wait" || tok.text == "sleep")
+                    && matches!(next.map(|t| t.kind), Some(TokKind::Punct('(')))
+                    && matches!(
+                        prev.map(|t| t.kind),
+                        Some(TokKind::Punct('.') | TokKind::Punct(':'))
+                    ) =>
+            {
+                let fix = if tok.text == "wait" {
+                    "use OrderedCondvar::wait_while"
+                } else {
+                    "use SimClock::advance_seconds"
+                };
+                out.violations.push(Violation {
+                    rule: Rule::BareWait,
+                    line: tok.line,
+                    what: format!("bare `{}()` in a concurrency crate ({fix})", tok.text),
+                });
+            }
             _ => {}
+        }
+
+        // C2 raw material (cross-checked against the `[lock_order]` table by
+        // the workspace driver): rank-const declarations and ordered-wrapper
+        // construction sites.
+        if rules.concurrency_lib && !in_test(tok.line) {
+            if tok.kind == TokKind::Ident && (tok.text == "const" || tok.text == "static") {
+                last_decl_name = next
+                    .filter(|t| t.kind == TokKind::Ident)
+                    .map(|t| t.text.to_string());
+            }
+            if tok.kind == TokKind::Ident && tok.text == "Rank" {
+                if let Some(decl) = rank_decl_at(&tokens, &sig, si, last_decl_name.as_deref()) {
+                    out.rank_decls.push(decl);
+                }
+            }
+            if tok.kind == TokKind::Ident && ORDERED_WRAPPERS.contains(&tok.text) {
+                if let Some(site) = wrapper_site_at(&tokens, &sig, si) {
+                    out.wrapper_sites.push(site);
+                }
+            }
         }
     }
     out.suppressed = suppressed_hits;
     out
+}
+
+/// Whether the significant token at `sig[si]` (an ordering variant name) is
+/// preceded by `Ordering` `::`, i.e. forms an `Ordering::<mode>` path.
+fn is_ordering_path(tokens: &[Token<'_>], sig: &[usize], si: usize) -> bool {
+    if si < 3 {
+        return false;
+    }
+    let at = |k: usize| &tokens[sig[k]];
+    matches!(at(si - 1).kind, TokKind::Punct(':'))
+        && matches!(at(si - 2).kind, TokKind::Punct(':'))
+        && at(si - 3).kind == TokKind::Ident
+        && at(si - 3).text == "Ordering"
+}
+
+/// Parses `Rank::new(<number>, "<name>")` starting at the `Rank` token;
+/// `decl_name` is the most recent `const`/`static` identifier.
+fn rank_decl_at(
+    tokens: &[Token<'_>],
+    sig: &[usize],
+    si: usize,
+    decl_name: Option<&str>,
+) -> Option<RankDecl> {
+    let at = |k: usize| sig.get(k).map(|&i| &tokens[i]);
+    let expect = |k: usize, kind: TokKind, text: Option<&str>| {
+        at(k).is_some_and(|t| t.kind == kind && text.is_none_or(|x| t.text == x))
+    };
+    if !(expect(si + 1, TokKind::Punct(':'), None)
+        && expect(si + 2, TokKind::Punct(':'), None)
+        && expect(si + 3, TokKind::Ident, Some("new"))
+        && expect(si + 4, TokKind::Punct('('), None)
+        && expect(si + 6, TokKind::Punct(','), None))
+    {
+        return None;
+    }
+    let rank_tok = at(si + 5)?;
+    let name_tok = at(si + 7)?;
+    if rank_tok.kind != TokKind::Number || name_tok.kind != TokKind::Str {
+        return None;
+    }
+    let digits: String = rank_tok.text.chars().take_while(|c| c.is_ascii_digit()).collect();
+    Some(RankDecl {
+        const_name: decl_name.unwrap_or("<unnamed>").to_string(),
+        rank: digits.parse().ok()?,
+        name: name_tok.text.trim_matches('"').to_string(),
+        line: tokens[sig[si]].line,
+    })
+}
+
+/// Parses `Ordered*::new(<first-arg>, …)` starting at the wrapper token and
+/// returns the last identifier of the first argument (the rank const).
+fn wrapper_site_at(tokens: &[Token<'_>], sig: &[usize], si: usize) -> Option<WrapperSite> {
+    let at = |k: usize| sig.get(k).map(|&i| &tokens[i]);
+    let is = |k: usize, kind: TokKind, text: Option<&str>| {
+        at(k).is_some_and(|t| t.kind == kind && text.is_none_or(|x| t.text == x))
+    };
+    if !(is(si + 1, TokKind::Punct(':'), None)
+        && is(si + 2, TokKind::Punct(':'), None)
+        && is(si + 3, TokKind::Ident, Some("new"))
+        && is(si + 4, TokKind::Punct('('), None))
+    {
+        return None;
+    }
+    let mut depth = 1i32;
+    let mut rank_const = None;
+    let mut j = si + 5;
+    while let Some(t) = at(j) {
+        match t.kind {
+            TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('{') => depth += 1,
+            TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            TokKind::Punct(',') if depth == 1 => break,
+            TokKind::Ident => rank_const = Some(t.text.to_string()),
+            _ => {}
+        }
+        j += 1;
+    }
+    Some(WrapperSite {
+        wrapper: tokens[sig[si]].text.to_string(),
+        rank_const: rank_const.unwrap_or_default(),
+        line: tokens[sig[si]].line,
+    })
 }
 
 /// Whether a `[` forms an index expression, judged by the preceding
@@ -303,6 +554,7 @@ fn collect_allows(tokens: &[Token<'_>], out: &mut FileAnalysis) -> Allows {
         let kind = match args[..close].trim() {
             "indexing" => AllowKind::Indexing,
             "cast" => AllowKind::Cast,
+            "rawlock" => AllowKind::RawLock,
             other => {
                 out.violations.push(Violation {
                     rule: Rule::BadAnnotation,
@@ -341,12 +593,14 @@ fn collect_allows(tokens: &[Token<'_>], out: &mut FileAnalysis) -> Allows {
     Allows { entries }
 }
 
-/// Per-line comment facts used by the U1 SAFETY search.
+/// Per-line comment facts used by the U1 SAFETY and C3 ordering searches.
 struct LineMap {
     /// Sorted list of lines fully or partially covered by a comment.
     comment_lines: Vec<u32>,
     /// Subset of `comment_lines` whose comment text contains `SAFETY:`.
     safety_lines: Vec<u32>,
+    /// Subset of `comment_lines` whose comment text contains `ordering:`.
+    ordering_lines: Vec<u32>,
     /// Lines holding at least one non-comment token.
     code_lines: Vec<u32>,
 }
@@ -355,6 +609,7 @@ impl LineMap {
     fn build(tokens: &[Token<'_>]) -> LineMap {
         let mut comment_lines = Vec::new();
         let mut safety_lines = Vec::new();
+        let mut ordering_lines = Vec::new();
         let mut code_lines = Vec::new();
         for t in tokens {
             if t.is_comment() {
@@ -364,6 +619,9 @@ impl LineMap {
                     if t.text.contains("SAFETY:") {
                         push_sorted(&mut safety_lines, l);
                     }
+                    if t.text.contains("ordering:") {
+                        push_sorted(&mut ordering_lines, l);
+                    }
                 }
             } else {
                 push_sorted(&mut code_lines, t.line);
@@ -372,6 +630,7 @@ impl LineMap {
         LineMap {
             comment_lines,
             safety_lines,
+            ordering_lines,
             code_lines,
         }
     }
@@ -379,7 +638,18 @@ impl LineMap {
     /// U1 acceptance: a `SAFETY:` comment on the `unsafe` line itself, or on
     /// the contiguous run of comment-only lines directly above it.
     fn has_safety_near(&self, line: u32) -> bool {
-        if self.safety_lines.binary_search(&line).is_ok() {
+        self.has_marker_near(&self.safety_lines, line)
+    }
+
+    /// C3 acceptance: an `// ordering:` comment on the token's line, or on
+    /// the contiguous run of comment-only lines directly above it (which,
+    /// inside a multi-line expression, is the annotation's natural home).
+    fn has_ordering_near(&self, line: u32) -> bool {
+        self.has_marker_near(&self.ordering_lines, line)
+    }
+
+    fn has_marker_near(&self, marker_lines: &[u32], line: u32) -> bool {
+        if marker_lines.binary_search(&line).is_ok() {
             return true;
         }
         let mut l = line;
@@ -388,14 +658,14 @@ impl LineMap {
             let is_comment = self.comment_lines.binary_search(&l).is_ok();
             let is_code = self.code_lines.binary_search(&l).is_ok();
             if is_comment && !is_code {
-                if self.safety_lines.binary_search(&l).is_ok() {
+                if marker_lines.binary_search(&l).is_ok() {
                     return true;
                 }
                 continue; // keep walking up the comment block
             }
             // First non-comment line above (code or blank) ends the search,
             // except a trailing comment on a code line directly above.
-            return l == line - 1 && is_comment && self.safety_lines.binary_search(&l).is_ok();
+            return l == line - 1 && is_comment && marker_lines.binary_search(&l).is_ok();
         }
         false
     }
@@ -515,6 +785,17 @@ mod tests {
         unsafe_allowed: false,
         decode_path: true,
         lib_target: true,
+        concurrency_lib: false,
+        atomics: false,
+    };
+
+    /// A concurrency-crate lib target with every rule family on.
+    const CONCURRENCY: FileRules = FileRules {
+        unsafe_allowed: false,
+        decode_path: false,
+        lib_target: true,
+        concurrency_lib: true,
+        atomics: true,
     };
 
     fn rule_count(a: &FileAnalysis, rule: Rule) -> usize {
@@ -692,6 +973,120 @@ mod tests {
         let mismatch = analyze("// lint: allow(cast) wrong kind\nlet x = v[0];", DECODE);
         assert_eq!(rule_count(&mismatch, Rule::Indexing), 1);
         assert_eq!(mismatch.suppressed, 0);
+    }
+
+    #[test]
+    fn rawlock_flags_std_sync_primitives_in_concurrency_crates() {
+        let src = "use std::sync::{Arc, Mutex};\nstruct S { m: Mutex<u32>, c: Condvar, r: RwLock<u8> }\n";
+        let a = analyze(src, CONCURRENCY);
+        assert_eq!(rule_count(&a, Rule::RawLock), 4, "{:?}", a.violations);
+        // The ordered wrappers are distinct identifiers and pass.
+        let ok = analyze("struct S { m: OrderedMutex<u32>, c: OrderedCondvar }", CONCURRENCY);
+        assert_eq!(rule_count(&ok, Rule::RawLock), 0);
+        // Outside concurrency crates the rule is off.
+        let off = analyze("struct S { m: Mutex<u32> }", DECODE);
+        assert_eq!(rule_count(&off, Rule::RawLock), 0);
+        // Test code is exempt (std locks are fine in unit tests).
+        let test = analyze("#[cfg(test)]\nmod t {\n    fn f() { let m = Mutex::new(0); }\n}\n", CONCURRENCY);
+        assert_eq!(rule_count(&test, Rule::RawLock), 0);
+        // The escape hatch works and demands a reason.
+        let allowed = analyze(
+            "static INIT: Mutex<bool> = Mutex::new(false); // lint: allow(rawlock) process-global init flag, no ordering\n",
+            CONCURRENCY,
+        );
+        assert_eq!(rule_count(&allowed, Rule::RawLock), 0);
+        assert_eq!(allowed.suppressed, 2);
+    }
+
+    #[test]
+    fn atomic_ordering_needs_an_annotation() {
+        let bare = analyze("fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }", CONCURRENCY);
+        assert_eq!(rule_count(&bare, Rule::AtomicOrdering), 1);
+        let trailing = analyze(
+            "fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); // ordering: statistics counter\n}",
+            CONCURRENCY,
+        );
+        assert_eq!(rule_count(&trailing, Rule::AtomicOrdering), 0);
+        // A comment block directly above works, even when the marker is not
+        // on the last comment line (multi-line justifications).
+        let above = analyze(
+            "fn f(c: &AtomicU64) {\n    // ordering: statistics counter, read only\n    // after the workers joined\n    c.load(Ordering::Acquire);\n}",
+            CONCURRENCY,
+        );
+        assert_eq!(rule_count(&above, Rule::AtomicOrdering), 0);
+        // `cmp::Ordering` variants never match.
+        let cmp = analyze("fn f() -> Ordering { Ordering::Equal }", CONCURRENCY);
+        assert_eq!(rule_count(&cmp, Rule::AtomicOrdering), 0);
+        // A bare variant ident without the `Ordering::` path is invisible.
+        let bare_ident = analyze("fn f(c: &AtomicU64) { c.load(Relaxed); }", CONCURRENCY);
+        assert_eq!(rule_count(&bare_ident, Rule::AtomicOrdering), 0);
+        // Off for files on the atomics allowlist.
+        let off = analyze(
+            "fn f(c: &AtomicU64) { c.load(Ordering::SeqCst); }",
+            FileRules {
+                atomics: false,
+                ..CONCURRENCY
+            },
+        );
+        assert_eq!(rule_count(&off, Rule::AtomicOrdering), 0);
+    }
+
+    #[test]
+    fn bare_wait_and_sleep_are_banned_in_concurrency_libs() {
+        let a = analyze(
+            "fn f() { let g = cv.wait(g).unwrap(); std::thread::sleep(d); }",
+            CONCURRENCY,
+        );
+        assert_eq!(rule_count(&a, Rule::BareWait), 2, "{:?}", a.violations);
+        // `wait_while` is the sanctioned form; `wait` as a field or a plain
+        // ident is not a call.
+        let ok = analyze("fn f() { let g = cv.wait_while(g, |s| s.busy); let wait = 3; }", CONCURRENCY);
+        assert_eq!(rule_count(&ok, Rule::BareWait), 0);
+        // Tests may sleep (timing-based fixtures).
+        let test = analyze(
+            "#[cfg(test)]\nmod t {\n    fn f() { std::thread::sleep(d); }\n}\n",
+            CONCURRENCY,
+        );
+        assert_eq!(rule_count(&test, Rule::BareWait), 0);
+    }
+
+    #[test]
+    fn rank_decls_and_wrapper_sites_are_collected() {
+        let src = "\
+const CACHE_RANK: Rank = Rank::new(70, \"scan.cache.shard\");\n\
+pub(crate) static OTHER_RANK: Rank = Rank::new(90, \"scan.health\");\n\
+fn f() {\n\
+    let m = OrderedMutex::new(CACHE_RANK, Shard::default());\n\
+    let c = OrderedCondvar::new(OTHER_RANK);\n\
+    let r = OrderedRwLock::new(CACHE_RANK, vec![1]);\n\
+}\n";
+        let a = analyze(src, CONCURRENCY);
+        assert_eq!(a.rank_decls.len(), 2, "{:?}", a.rank_decls);
+        assert_eq!(a.rank_decls[0].const_name, "CACHE_RANK");
+        assert_eq!(a.rank_decls[0].rank, 70);
+        assert_eq!(a.rank_decls[0].name, "scan.cache.shard");
+        assert_eq!(a.rank_decls[1].const_name, "OTHER_RANK");
+        assert_eq!(a.wrapper_sites.len(), 3, "{:?}", a.wrapper_sites);
+        assert_eq!(a.wrapper_sites[0].wrapper, "OrderedMutex");
+        assert_eq!(a.wrapper_sites[0].rank_const, "CACHE_RANK");
+        assert_eq!(a.wrapper_sites[1].wrapper, "OrderedCondvar");
+        assert_eq!(a.wrapper_sites[1].rank_const, "OTHER_RANK");
+        // Non-concurrency files collect nothing.
+        let off = analyze(src, DECODE);
+        assert!(off.rank_decls.is_empty() && off.wrapper_sites.is_empty());
+    }
+
+    #[test]
+    fn inline_rank_in_wrapper_does_not_resolve_to_a_const() {
+        // `Rank::new` inline (not behind a named const): the collected
+        // rank_const is the trailing `new` ident, which the workspace
+        // cross-check will fail to resolve — by design.
+        let a = analyze(
+            "fn f() { let m = OrderedMutex::new(Rank::new(5, \"x\"), 0u32); }",
+            CONCURRENCY,
+        );
+        assert_eq!(a.wrapper_sites.len(), 1);
+        assert_eq!(a.wrapper_sites[0].rank_const, "new");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! lib files of decode-path crates; P3 runs on lib files of every crate.
 
 use crate::config::{Config, Ratchet};
-use crate::rules::{analyze, FileRules, Rule, UnsafeSite, Violation};
+use crate::rules::{analyze, FileRules, RankDecl, Rule, UnsafeSite, Violation, WrapperSite};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
@@ -39,11 +39,31 @@ pub struct SitedUnsafe {
     pub allowlisted: bool,
 }
 
+/// One `[lock_order]` row joined with the evidence found in source — the
+/// report's lock inventory.
+#[derive(Debug, Clone)]
+pub struct LockInventory {
+    /// Hierarchy name (the `Rank`'s string).
+    pub name: String,
+    /// Numeric rank.
+    pub rank: u64,
+    /// File declaring the rank const (from the table).
+    pub file: String,
+    /// Guarded field(s), for the human reader.
+    pub field: String,
+    /// The Rust const backing the row (empty when the cross-check failed).
+    pub const_name: String,
+    /// Ordered-wrapper construction sites naming this rank.
+    pub construction_sites: u64,
+}
+
 /// Aggregated result of linting the workspace.
 #[derive(Debug, Default)]
 pub struct LintRun {
     pub violations: Vec<SitedViolation>,
     pub unsafe_inventory: Vec<SitedUnsafe>,
+    /// The lock hierarchy with per-rank construction evidence (C2).
+    pub lock_inventory: Vec<LockInventory>,
     /// `crate → rule key → violation count` (all crates present, all rules).
     pub counts: BTreeMap<String, BTreeMap<String, u64>>,
     /// Files scanned.
@@ -186,6 +206,9 @@ fn is_lib_file(rel: &Path) -> bool {
 pub fn run(root: &Path, config: &Config) -> std::io::Result<LintRun> {
     let crates = discover_crates(root)?;
     let mut run = LintRun::default();
+    // C2 raw material, accumulated across files as `(crate, file, item)`.
+    let mut rank_decls: Vec<(String, String, RankDecl)> = Vec::new();
+    let mut wrapper_sites: Vec<(String, String, WrapperSite)> = Vec::new();
     for krate in &crates {
         // Seed the counts map so clean crates appear explicitly as zeros.
         let slot = run.counts.entry(krate.name.clone()).or_default();
@@ -193,6 +216,7 @@ pub fn run(root: &Path, config: &Config) -> std::io::Result<LintRun> {
             slot.insert(rule.key().to_string(), 0);
         }
         let decode = config.decode_path_crates.contains(&krate.name);
+        let concurrency = config.concurrency_crates.contains(&krate.name);
         let crate_root = root.join(&krate.dir);
         for sub in ["src", "tests", "examples", "benches"] {
             let dir = crate_root.join(sub);
@@ -215,6 +239,8 @@ pub fn run(root: &Path, config: &Config) -> std::io::Result<LintRun> {
                     unsafe_allowed: config.unsafe_allow.contains(&rel_str),
                     decode_path: decode && lib,
                     lib_target: lib,
+                    concurrency_lib: concurrency && lib,
+                    atomics: lib && !config.atomics_allow.contains(&rel_str),
                 };
                 let src = std::fs::read_to_string(&file)?;
                 let analysis = analyze(&src, rules);
@@ -237,15 +263,200 @@ pub fn run(root: &Path, config: &Config) -> std::io::Result<LintRun> {
                         allowlisted: rules.unsafe_allowed,
                     });
                 }
+                for d in analysis.rank_decls {
+                    rank_decls.push((krate.name.clone(), rel_str.clone(), d));
+                }
+                for w in analysis.wrapper_sites {
+                    wrapper_sites.push((krate.name.clone(), rel_str.clone(), w));
+                }
             }
         }
     }
+    cross_check_lock_order(&mut run, config, &crates, &rank_decls, &wrapper_sites);
     run.violations.sort_by(|a, b| {
         (&a.file, a.violation.line).cmp(&(&b.file, b.violation.line))
     });
     run.unsafe_inventory
         .sort_by(|a, b| (&a.file, a.site.line).cmp(&(&b.file, b.site.line)));
     Ok(run)
+}
+
+/// Records a C2 violation into both the counts map and the violation list.
+fn record_lock_rank(run: &mut LintRun, krate: &str, file: &str, line: u32, what: String) {
+    let slot = run.counts.entry(krate.to_string()).or_default();
+    *slot.entry(Rule::LockRank.key().to_string()).or_insert(0) += 1;
+    run.violations.push(SitedViolation {
+        krate: krate.to_string(),
+        file: file.to_string(),
+        violation: Violation {
+            rule: Rule::LockRank,
+            line,
+            what,
+        },
+    });
+}
+
+/// The crate owning a workspace-relative file path (longest dir prefix).
+fn crate_of_file<'a>(crates: &'a [Crate], file: &str) -> &'a str {
+    let mut best: Option<(&str, usize)> = None;
+    for c in crates {
+        let dir = c
+            .dir
+            .components()
+            .map(|p| p.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let matches = dir.is_empty() || file.starts_with(&format!("{dir}/"));
+        if matches && best.is_none_or(|(_, len)| dir.len() >= len) {
+            best = Some((c.name.as_str(), dir.len()));
+        }
+    }
+    best.map(|(name, _)| name).unwrap_or("workspace")
+}
+
+/// Rule C2: the `[lock_order]` table, the `Rank` consts, and the wrapper
+/// construction sites must tell one consistent story — every declared rank
+/// appears in the table (same number, same file), every table row is backed
+/// by a declaration that is actually used, ranks and names are unique, and
+/// every wrapper construction names a known rank const.
+fn cross_check_lock_order(
+    run: &mut LintRun,
+    config: &Config,
+    crates: &[Crate],
+    rank_decls: &[(String, String, RankDecl)],
+    wrapper_sites: &[(String, String, WrapperSite)],
+) {
+    // Duplicate rank numbers or hierarchy names among declarations.
+    for (i, (krate, file, d)) in rank_decls.iter().enumerate() {
+        for (_, file2, d2) in rank_decls.iter().take(i) {
+            if d.rank == d2.rank {
+                record_lock_rank(
+                    run,
+                    krate,
+                    file,
+                    d.line,
+                    format!(
+                        "rank {} of `{}` duplicates `{}` ({file2})",
+                        d.rank, d.name, d2.name
+                    ),
+                );
+            }
+            if d.name == d2.name {
+                record_lock_rank(
+                    run,
+                    krate,
+                    file,
+                    d.line,
+                    format!("lock name `{}` already declared in {file2}", d.name),
+                );
+            }
+        }
+    }
+    // Every declaration against the table.
+    for (krate, file, d) in rank_decls {
+        match config.lock_order.iter().find(|e| e.name == d.name) {
+            None => record_lock_rank(
+                run,
+                krate,
+                file,
+                d.line,
+                format!(
+                    "`{}` (rank {}, `{}`) is not in btr-lint.toml's [lock_order] table",
+                    d.const_name, d.rank, d.name
+                ),
+            ),
+            Some(e) => {
+                if e.rank != d.rank {
+                    record_lock_rank(
+                        run,
+                        krate,
+                        file,
+                        d.line,
+                        format!(
+                            "`{}` declares rank {} but [lock_order.{}] says {}",
+                            d.const_name, d.rank, d.name, e.rank
+                        ),
+                    );
+                }
+                if e.file != *file {
+                    record_lock_rank(
+                        run,
+                        krate,
+                        file,
+                        d.line,
+                        format!(
+                            "`{}` lives in {file} but [lock_order.{}] says {}",
+                            d.const_name, d.name, e.file
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    // Every table row backed by a declaration (an unbacked row is stale
+    // documentation, which is worse than none).
+    for e in &config.lock_order {
+        if !rank_decls.iter().any(|(_, _, d)| d.name == e.name) {
+            record_lock_rank(
+                run,
+                crate_of_file(crates, &e.file),
+                &e.file,
+                0,
+                format!("[lock_order.{}] has no backing Rank declaration", e.name),
+            );
+        }
+    }
+    // Every wrapper construction names a known rank const, and every rank
+    // const is constructed with at least once (unused ranks rot).
+    for (krate, file, w) in wrapper_sites {
+        if !rank_decls.iter().any(|(_, _, d)| d.const_name == w.rank_const) {
+            record_lock_rank(
+                run,
+                krate,
+                file,
+                w.line,
+                format!(
+                    "{}::new's rank `{}` is not a declared Rank const (ranks must be named consts)",
+                    w.wrapper, w.rank_const
+                ),
+            );
+        }
+    }
+    for (krate, file, d) in rank_decls {
+        if !wrapper_sites.iter().any(|(_, _, w)| w.rank_const == d.const_name) {
+            record_lock_rank(
+                run,
+                krate,
+                file,
+                d.line,
+                format!("rank const `{}` (`{}`) is never used", d.const_name, d.name),
+            );
+        }
+    }
+    // The inventory: table rows joined with their evidence, in rank order.
+    run.lock_inventory = config
+        .lock_order
+        .iter()
+        .map(|e| LockInventory {
+            name: e.name.clone(),
+            rank: e.rank,
+            file: e.file.clone(),
+            field: e.field.clone(),
+            const_name: rank_decls
+                .iter()
+                .find(|(_, _, d)| d.name == e.name)
+                .map(|(_, _, d)| d.const_name.clone())
+                .unwrap_or_default(),
+            construction_sites: wrapper_sites
+                .iter()
+                .filter(|(_, _, w)| {
+                    rank_decls
+                        .iter()
+                        .any(|(_, _, d)| d.name == e.name && d.const_name == w.rank_const)
+                })
+                .count() as u64,
+        })
+        .collect();
 }
 
 #[cfg(test)]

@@ -63,3 +63,74 @@ fn decode_path_crates_have_no_unannotated_debt() {
         }
     }
 }
+
+#[test]
+fn concurrency_crates_honor_the_lock_and_atomics_contract() {
+    let root = workspace_root();
+    let config_text = std::fs::read_to_string(root.join(btr_lint::CONFIG_FILE))
+        .expect("btr-lint.toml at the workspace root");
+    let config = btr_lint::Config::parse(&config_text).expect("config parses");
+    assert!(
+        !config.concurrency_crates.is_empty(),
+        "concurrency crate list must not be empty"
+    );
+
+    let (run, _) = btr_lint::run_workspace(&root).expect("lint run");
+    for krate in &config.concurrency_crates {
+        assert!(
+            run.counts.contains_key(krate),
+            "concurrency crate `{krate}` not found in the workspace"
+        );
+        for rule in ["rawlock", "lock_rank", "bare_wait"] {
+            let n = run
+                .counts
+                .get(krate)
+                .and_then(|m| m.get(rule))
+                .copied()
+                .unwrap_or(0);
+            assert_eq!(n, 0, "[{krate}] {rule} must stay at zero");
+        }
+    }
+
+    // C3 is workspace-wide (every lib target), not just concurrency crates.
+    let unannotated: u64 = run
+        .counts
+        .values()
+        .filter_map(|m| m.get("atomic_ordering"))
+        .sum();
+    assert_eq!(
+        unannotated, 0,
+        "every `Ordering::` site needs an `// ordering:` annotation"
+    );
+}
+
+#[test]
+fn lock_hierarchy_table_is_fully_backed() {
+    let root = workspace_root();
+    let config_text = std::fs::read_to_string(root.join(btr_lint::CONFIG_FILE))
+        .expect("btr-lint.toml at the workspace root");
+    let config = btr_lint::Config::parse(&config_text).expect("config parses");
+    assert!(
+        !config.lock_order.is_empty(),
+        "the [lock_order] hierarchy table must not be empty"
+    );
+
+    let (run, _) = btr_lint::run_workspace(&root).expect("lint run");
+    assert_eq!(
+        run.lock_inventory.len(),
+        config.lock_order.len(),
+        "inventory must carry one row per declared lock"
+    );
+    for lock in &run.lock_inventory {
+        assert!(
+            !lock.const_name.is_empty(),
+            "lock `{}` has no backing `Rank` declaration",
+            lock.name
+        );
+        assert!(
+            lock.construction_sites >= 1,
+            "lock `{}` is declared but never constructed",
+            lock.name
+        );
+    }
+}

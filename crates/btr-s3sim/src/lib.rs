@@ -41,8 +41,9 @@ pub use retry::{
 
 use btr_corrupt::rng::Xorshift;
 use std::collections::HashMap;
+use btr_sync::{OrderedCondvar, OrderedMutex, OrderedRwLock, Rank};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Default chunk size for multi-part objects: 16 MB (paper §6.7).
@@ -305,17 +306,32 @@ impl GetStats {
     }
 }
 
+/// Lock ranks for the store's leaves of the workspace hierarchy (DESIGN.md
+/// §15; the table lives in btr-lint.toml's `[lock_order]` section). Store
+/// locks are only ever taken with scan/service locks already released, so
+/// they rank above every consumer.
+const S3_INFLIGHT_RANK: Rank = Rank::new(120, "s3.inflight");
+const S3_INFLIGHT_CV_RANK: Rank = Rank::new(121, "s3.inflight.cv");
+const S3_OBJECTS_RANK: Rank = Rank::new(130, "s3.objects");
+const S3_FAULT_PLAN_RANK: Rank = Rank::new(132, "s3.fault_plan");
+const S3_TENANTS_RANK: Rank = Rank::new(134, "s3.tenants");
+
 /// An in-memory object store.
-#[derive(Default)]
 pub struct ObjectStore {
-    objects: RwLock<HashMap<String, Arc<Vec<u8>>>>,
-    fault_plan: RwLock<Option<FaultPlan>>,
+    objects: OrderedRwLock<HashMap<String, Arc<Vec<u8>>>>,
+    fault_plan: OrderedRwLock<Option<FaultPlan>>,
     get_requests: std::sync::atomic::AtomicU64,
     ranged_get_requests: std::sync::atomic::AtomicU64,
     bytes_served: std::sync::atomic::AtomicU64,
-    tenant_stats: RwLock<HashMap<String, GetStats>>,
-    inflight: Mutex<InflightState>,
-    inflight_cv: Condvar,
+    tenant_stats: OrderedRwLock<HashMap<String, GetStats>>,
+    inflight: OrderedMutex<InflightState>,
+    inflight_cv: OrderedCondvar,
+}
+
+impl Default for ObjectStore {
+    fn default() -> ObjectStore {
+        ObjectStore::new()
+    }
 }
 
 /// Book-keeping for the optional global in-flight GET cap: how many requests
@@ -335,42 +351,39 @@ struct InflightSlot<'a> {
 
 impl Drop for InflightSlot<'_> {
     fn drop(&mut self) {
-        let mut st = self
-            .store
-            .inflight
-            .lock()
-            .unwrap_or_else(|e| e.into_inner());
+        let mut st = self.store.inflight.lock();
         st.current = st.current.saturating_sub(1);
         drop(st);
         self.store.inflight_cv.notify_one();
     }
 }
 
-/// Recovers the map even if a writer panicked mid-insert; the map itself is
-/// never left half-modified by our operations.
-fn read_lock<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
-    lock.read().unwrap_or_else(|e| e.into_inner())
-}
-
-fn write_lock<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
-    lock.write().unwrap_or_else(|e| e.into_inner())
-}
-
 impl ObjectStore {
-    /// Creates an empty store.
+    /// Creates an empty store. The locks recover from poisoning (btr-sync's
+    /// built-in behavior): the maps are never left half-modified by our
+    /// operations, so a panicking writer cannot corrupt them.
     pub fn new() -> Self {
-        Self::default()
+        ObjectStore {
+            objects: OrderedRwLock::new(S3_OBJECTS_RANK, HashMap::new()),
+            fault_plan: OrderedRwLock::new(S3_FAULT_PLAN_RANK, None),
+            get_requests: std::sync::atomic::AtomicU64::new(0),
+            ranged_get_requests: std::sync::atomic::AtomicU64::new(0),
+            bytes_served: std::sync::atomic::AtomicU64::new(0),
+            tenant_stats: OrderedRwLock::new(S3_TENANTS_RANK, HashMap::new()),
+            inflight: OrderedMutex::new(S3_INFLIGHT_RANK, InflightState::default()),
+            inflight_cv: OrderedCondvar::new(S3_INFLIGHT_CV_RANK),
+        }
     }
 
     /// Installs (or clears) the fault plan consulted by
     /// [`ObjectStore::get_with_attempt`].
     pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
-        *write_lock(&self.fault_plan) = plan;
+        *self.fault_plan.write() = plan;
     }
 
     /// Stores one object.
     pub fn put(&self, key: impl Into<String>, bytes: Vec<u8>) {
-        write_lock(&self.objects).insert(key.into(), Arc::new(bytes));
+        self.objects.write().insert(key.into(), Arc::new(bytes));
     }
 
     /// Splits `bytes` into `chunk_size` parts stored as `key/part-N`,
@@ -394,7 +407,7 @@ impl ObjectStore {
 
     /// Looks an object up without touching the request counters.
     fn lookup(&self, key: &str) -> Option<Arc<Vec<u8>>> {
-        read_lock(&self.objects).get(key).cloned()
+        self.objects.read().get(key).cloned()
     }
 
     /// Applies `fault` to a clean body. Latency ([`Fault::Spike`]) is the
@@ -429,6 +442,8 @@ impl ObjectStore {
     }
 
     fn account(&self, ranged: bool, bytes: usize) {
+        // ordering: request counters are pure statistics, read after the
+        // calls that bump them have returned
         use std::sync::atomic::Ordering::Relaxed;
         if ranged {
             self.ranged_get_requests.fetch_add(1, Relaxed);
@@ -443,7 +458,7 @@ impl ObjectStore {
     fn account_as(&self, ranged: bool, bytes: usize, tenant: Option<&str>) {
         self.account(ranged, bytes);
         let Some(tenant) = tenant else { return };
-        let mut map = write_lock(&self.tenant_stats);
+        let mut map = self.tenant_stats.write();
         let stats = map.entry(tenant.to_string()).or_default();
         if ranged {
             stats.ranged_get_requests += 1;
@@ -458,7 +473,7 @@ impl ObjectStore {
     /// harness prove that cross-scan deduplication, not luck, keeps request
     /// counts down even when the store throttles concurrency.
     pub fn set_inflight_cap(&self, cap: Option<usize>) {
-        let mut st = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+        let mut st = self.inflight.lock();
         st.cap = cap;
         drop(st);
         self.inflight_cv.notify_all();
@@ -468,18 +483,16 @@ impl ObjectStore {
     /// last [`ObjectStore::reset_counters`]). Tracked whether or not a cap is
     /// installed.
     pub fn inflight_peak(&self) -> usize {
-        self.inflight.lock().unwrap_or_else(|e| e.into_inner()).peak
+        self.inflight.lock().peak
     }
 
     /// Claims one in-flight GET slot, blocking while the store is at its cap.
     fn acquire_slot(&self) -> InflightSlot<'_> {
-        let mut st = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
-        while st.cap.is_some_and(|cap| st.current >= cap.max(1)) {
-            st = self
-                .inflight_cv
-                .wait(st)
-                .unwrap_or_else(|e| e.into_inner());
-        }
+        let mut st = self
+            .inflight_cv
+            .wait_while(self.inflight.lock(), |st| {
+                st.cap.is_some_and(|cap| st.current >= cap.max(1))
+            });
         st.current += 1;
         st.peak = st.peak.max(st.current);
         drop(st);
@@ -489,6 +502,8 @@ impl ObjectStore {
     /// Request counters accumulated since creation (or the last
     /// [`ObjectStore::reset_counters`]).
     pub fn counters(&self) -> GetStats {
+        // ordering: statistics snapshot; tests serialize with the requests
+        // they count via join/return, not via these loads
         use std::sync::atomic::Ordering::Relaxed;
         GetStats {
             get_requests: self.get_requests.load(Relaxed),
@@ -500,18 +515,20 @@ impl ObjectStore {
     /// Zeroes the request counters, the per-tenant breakdown and the
     /// in-flight high-water mark.
     pub fn reset_counters(&self) {
+        // ordering: counter reset is advisory; callers quiesce requests first
         use std::sync::atomic::Ordering::Relaxed;
         self.get_requests.store(0, Relaxed);
         self.ranged_get_requests.store(0, Relaxed);
         self.bytes_served.store(0, Relaxed);
-        write_lock(&self.tenant_stats).clear();
-        self.inflight.lock().unwrap_or_else(|e| e.into_inner()).peak = 0;
+        self.tenant_stats.write().clear();
+        self.inflight.lock().peak = 0;
     }
 
     /// Request counters attributed to one tenant via
     /// [`ObjectStore::get_range_timed_as`]. Unknown tenants read as zero.
     pub fn tenant_counters(&self, tenant: &str) -> GetStats {
-        read_lock(&self.tenant_stats)
+        self.tenant_stats
+            .read()
             .get(tenant)
             .copied()
             .unwrap_or_default()
@@ -519,7 +536,7 @@ impl ObjectStore {
 
     /// Tenants that have issued attributed requests, sorted.
     pub fn tenants(&self) -> Vec<String> {
-        let mut names: Vec<String> = read_lock(&self.tenant_stats).keys().cloned().collect();
+        let mut names: Vec<String> = self.tenant_stats.read().keys().cloned().collect();
         names.sort();
         names
     }
@@ -536,7 +553,7 @@ impl ObjectStore {
     /// produces the same outcome. Without a plan this is a clean copy.
     pub fn get_with_attempt(&self, key: &str, attempt: u32) -> Result<Vec<u8>, GetError> {
         let obj = self.lookup(key).ok_or(GetError::NotFound)?;
-        let plan = read_lock(&self.fault_plan);
+        let plan = self.fault_plan.read();
         let fault = plan
             .as_ref()
             .map_or(Fault::None, |p| p.draw(key, attempt, obj.len()));
@@ -608,7 +625,7 @@ impl ObjectStore {
                 latency_ms: 0,
             };
         };
-        let plan = read_lock(&self.fault_plan);
+        let plan = self.fault_plan.read();
         let (fault, base_ms, timeout_ms) = plan.as_ref().map_or((Fault::None, 0, 0), |p| {
             (
                 p.draw(&format!("{key}[{start}+{len}]"), attempt, len),
@@ -643,7 +660,7 @@ impl ObjectStore {
 
     /// Lists keys with a prefix, sorted.
     pub fn list(&self, prefix: &str) -> Vec<String> {
-        let mut keys: Vec<String> = read_lock(&self.objects)
+        let mut keys: Vec<String> = self.objects.read()
             .keys()
             .filter(|k| k.starts_with(prefix))
             .cloned()
@@ -808,11 +825,11 @@ impl Simulator {
         let produced = AtomicUsize::new(0);
         let started = Instant::now();
         for chunk in &chunks {
-            produced.fetch_add(decompress(chunk), Ordering::Relaxed);
+            produced.fetch_add(decompress(chunk), Ordering::Relaxed); // ordering: thread::scope join publishes
         }
         let cpu_single_thread = started.elapsed().as_secs_f64();
 
-        stats.uncompressed_bytes = produced.load(Ordering::Relaxed) as u64;
+        stats.uncompressed_bytes = produced.load(Ordering::Relaxed) as u64; // ordering: read after scope join
         stats.cpu_seconds = cpu_single_thread / self.model.cores.max(1) as f64;
         stats.network_seconds = self
             .model
@@ -845,11 +862,11 @@ impl Simulator {
         let produced = AtomicUsize::new(0);
         let started = Instant::now();
         for body in &bodies {
-            produced.fetch_add(decompress(body), Ordering::Relaxed);
+            produced.fetch_add(decompress(body), Ordering::Relaxed); // ordering: thread::scope join publishes
         }
         let cpu_single_thread = started.elapsed().as_secs_f64();
 
-        stats.uncompressed_bytes = produced.load(Ordering::Relaxed) as u64;
+        stats.uncompressed_bytes = produced.load(Ordering::Relaxed) as u64; // ordering: read after scope join
         stats.cpu_seconds = cpu_single_thread / self.model.cores.max(1) as f64;
         stats.network_seconds = self
             .model

@@ -31,8 +31,9 @@
 //! deadline and budget enforcement.
 
 use crate::RetryPolicy;
+use btr_sync::{OrderedMutex, Rank};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// A shared simulated clock counting nanoseconds since "boot".
 ///
@@ -51,6 +52,8 @@ impl SimClock {
 
     /// Current simulated time in seconds.
     pub fn now_seconds(&self) -> f64 {
+        // ordering: monotonic test clock; readers tolerate a stale tick and
+        // campaigns advance it from the observing thread or across joins
         self.nanos.load(Ordering::Relaxed) as f64 / 1e9
     }
 
@@ -58,6 +61,7 @@ impl SimClock {
     pub fn advance_seconds(&self, seconds: f64) {
         if seconds.is_finite() && seconds > 0.0 {
             self.nanos
+                // ordering: monotonic test clock; see now_seconds
                 .fetch_add((seconds * 1e9) as u64, Ordering::Relaxed);
         }
     }
@@ -108,8 +112,12 @@ struct BudgetState {
 pub struct RetryBudget {
     capacity: f64,
     refill_per_second: f64,
-    state: Mutex<BudgetState>,
+    state: OrderedMutex<BudgetState>,
 }
+
+/// Leaf rank: the budget is consulted between fetch attempts with no other
+/// lock held (DESIGN.md §15).
+const S3_RETRY_BUDGET_RANK: Rank = Rank::new(110, "s3.retry.budget");
 
 impl RetryBudget {
     /// A full bucket of `capacity` tokens refilling at `refill_per_second`.
@@ -118,7 +126,7 @@ impl RetryBudget {
         RetryBudget {
             capacity,
             refill_per_second: refill_per_second.max(0.0),
-            state: Mutex::new(BudgetState {
+            state: OrderedMutex::new(S3_RETRY_BUDGET_RANK, BudgetState {
                 tokens: capacity,
                 last_refill_seconds: 0.0,
             }),
@@ -134,7 +142,7 @@ impl RetryBudget {
 
     /// Takes one retry token if available.
     pub fn try_take(&self, clock: &SimClock) -> bool {
-        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut state = self.state.lock();
         self.refill(&mut state, clock);
         if state.tokens >= 1.0 {
             state.tokens -= 1.0;
@@ -146,7 +154,7 @@ impl RetryBudget {
 
     /// Tokens currently available (after refilling to `clock`'s now).
     pub fn available(&self, clock: &SimClock) -> f64 {
-        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut state = self.state.lock();
         self.refill(&mut state, clock);
         state.tokens
     }

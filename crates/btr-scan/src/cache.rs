@@ -9,8 +9,9 @@
 use btrblocks::DecodedColumn;
 use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
+use btr_sync::{OrderedMutex, Rank};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 const SHARDS: usize = 8;
 
@@ -91,8 +92,13 @@ pub(crate) fn decoded_bytes(col: &DecodedColumn) -> usize {
 }
 
 /// A sharded LRU over decoded blocks; see the module docs.
+/// One rank for all shards (DESIGN.md §15): a thread holds at most one
+/// shard at a time (pressure/stats iterate with per-iteration guards), so
+/// siblings can share the rank and the checker still catches pairwise holds.
+const CACHE_SHARD_RANK: Rank = Rank::new(70, "scan.cache.shard");
+
 pub struct BlockCache {
-    shards: Vec<Mutex<Shard>>,
+    shards: Vec<OrderedMutex<Shard>>,
     shard_budget: usize,
     byte_budget: usize,
     hits: AtomicU64,
@@ -101,16 +107,12 @@ pub struct BlockCache {
     insertions: AtomicU64,
 }
 
-fn lock<'a>(m: &'a Mutex<Shard>) -> std::sync::MutexGuard<'a, Shard> {
-    m.lock().unwrap_or_else(|e| e.into_inner())
-}
-
 impl BlockCache {
     /// Creates a cache holding at most `byte_budget` decoded bytes (split
     /// evenly across shards).
     pub fn new(byte_budget: usize) -> BlockCache {
         BlockCache {
-            shards: (0..SHARDS).map(|_| Mutex::new(Shard::new())).collect(),
+            shards: (0..SHARDS).map(|_| OrderedMutex::new(CACHE_SHARD_RANK, Shard::new())).collect(),
             shard_budget: byte_budget / SHARDS,
             byte_budget,
             hits: AtomicU64::new(0),
@@ -120,7 +122,7 @@ impl BlockCache {
         }
     }
 
-    fn shard_of(&self, key: &BlockKey) -> &Mutex<Shard> {
+    fn shard_of(&self, key: &BlockKey) -> &OrderedMutex<Shard> {
         let mut h = std::collections::hash_map::DefaultHasher::new();
         key.hash(&mut h);
         // lint: allow(indexing) index is reduced mod SHARDS
@@ -129,7 +131,7 @@ impl BlockCache {
 
     /// Looks up a decoded block, refreshing its recency on hit.
     pub fn get(&self, key: &BlockKey) -> Option<Arc<DecodedColumn>> {
-        let mut shard = lock(self.shard_of(key));
+        let mut shard = self.shard_of(key).lock();
         shard.tick += 1;
         let new_tick = shard.tick;
         let (value, old_tick) = match shard.map.get_mut(key) {
@@ -140,14 +142,14 @@ impl BlockCache {
             }
             None => {
                 drop(shard);
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed); // ordering: statistics counter
                 return None;
             }
         };
         shard.lru.remove(&old_tick);
         shard.lru.insert(new_tick, key.clone());
         drop(shard);
-        self.hits.fetch_add(1, Ordering::Relaxed);
+        self.hits.fetch_add(1, Ordering::Relaxed); // ordering: statistics counter
         Some(value)
     }
 
@@ -168,7 +170,7 @@ impl BlockCache {
         let mut displaced = Vec::new();
         let mut evicted = 0u64;
         {
-            let mut shard = lock(self.shard_of(&key));
+            let mut shard = self.shard_of(&key).lock();
             shard.tick += 1;
             let tick = shard.tick;
             if let Some(old) = shard.map.remove(&key) {
@@ -193,8 +195,8 @@ impl BlockCache {
                 }
             }
         }
-        self.insertions.fetch_add(1, Ordering::Relaxed);
-        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        self.insertions.fetch_add(1, Ordering::Relaxed); // ordering: statistics counter
+        self.evictions.fetch_add(evicted, Ordering::Relaxed); // ordering: statistics counter
         displaced
     }
 
@@ -203,7 +205,7 @@ impl BlockCache {
     /// uses this to skip blocks another scan already decoded when sizing a
     /// ranged fetch.
     pub fn contains(&self, key: &BlockKey) -> bool {
-        lock(self.shard_of(key)).map.contains_key(key)
+        self.shard_of(key).lock().map.contains_key(key)
     }
 
     /// Byte-budget pressure in `[0, 1+]`: held bytes over budget. The
@@ -215,7 +217,7 @@ impl BlockCache {
         if self.byte_budget == 0 {
             return 1.0;
         }
-        let bytes: usize = self.shards.iter().map(|s| lock(s).bytes).sum();
+        let bytes: usize = self.shards.iter().map(|s| s.lock().bytes).sum();
         bytes as f64 / self.byte_budget as f64
     }
 
@@ -223,15 +225,15 @@ impl BlockCache {
     pub fn stats(&self) -> CacheStats {
         let (mut entries, mut bytes) = (0, 0);
         for shard in &self.shards {
-            let s = lock(shard);
+            let s = shard.lock();
             entries += s.map.len();
             bytes += s.bytes;
         }
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            insertions: self.insertions.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed), // ordering: statistics snapshot
+            misses: self.misses.load(Ordering::Relaxed), // ordering: statistics snapshot
+            evictions: self.evictions.load(Ordering::Relaxed), // ordering: statistics snapshot
+            insertions: self.insertions.load(Ordering::Relaxed), // ordering: statistics snapshot
             entries,
             bytes,
             byte_budget: self.byte_budget,

@@ -46,8 +46,9 @@ use btr_s3sim::{Deadline, RetryBudget};
 use btrblocks::{ColumnData, Config, DecodeScratch, Sidecar};
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use btr_sync::{OrderedCondvar, OrderedMutex, Rank};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Tuning knobs for [`ScanEngine`].
@@ -146,19 +147,22 @@ struct PipeState {
     cancelled: bool,
 }
 
+/// Engine ranks (DESIGN.md §15): the pipe state is acquired with no other
+/// lock held and released before `pipeline.process` runs, so it sits below
+/// the pipeline/cache/source ranks a worker acquires afterwards.
+const ENGINE_STATE_RANK: Rank = Rank::new(50, "scan.engine.state");
+const ENGINE_TASK_FREE_RANK: Rank = Rank::new(51, "scan.engine.task_free");
+const ENGINE_OUT_READY_RANK: Rank = Rank::new(52, "scan.engine.out_ready");
+
 struct Shared {
-    state: Mutex<PipeState>,
+    state: OrderedMutex<PipeState>,
     /// Signals workers that the window moved (or the scan was cancelled).
-    task_free: Condvar,
+    task_free: OrderedCondvar,
     /// Signals the consumer that a result landed.
-    out_ready: Condvar,
+    out_ready: OrderedCondvar,
     /// Live prefetch window size; the degradation ladder shrinks it while
     /// the source's breaker is not closed.
     capacity: AtomicUsize,
-}
-
-fn lock(shared: &Shared) -> MutexGuard<'_, PipeState> {
-    shared.state.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
@@ -179,20 +183,20 @@ fn worker_loop(shared: &Shared, pipeline: &BlockPipeline, groups: &[RowGroup]) {
     loop {
         shared
             .capacity
+            // ordering: advisory prefetch window; workers re-read it every
+            // iteration and a stale value only delays the resize one step
             .store(pipeline.refresh_window(), Ordering::Relaxed);
         let i = {
-            let mut st = lock(shared);
-            loop {
-                if st.cancelled || st.next_task >= groups.len() {
-                    return;
-                }
-                if st.next_task < st.next_emit + shared.capacity.load(Ordering::Relaxed) {
-                    break;
-                }
-                st = shared
-                    .task_free
-                    .wait(st)
-                    .unwrap_or_else(|e| e.into_inner());
+            // Park while the scan is live and the prefetch window is full;
+            // spurious wakeups re-test the window like the old manual loop.
+            let mut st = shared.task_free.wait_while(shared.state.lock(), |st| {
+                !st.cancelled
+                    && st.next_task < groups.len()
+                    // ordering: advisory window; see the store above
+                    && st.next_task >= st.next_emit + shared.capacity.load(Ordering::Relaxed)
+            });
+            if st.cancelled || st.next_task >= groups.len() {
+                return;
             }
             let i = st.next_task;
             st.next_task += 1;
@@ -209,8 +213,9 @@ fn worker_loop(shared: &Shared, pipeline: &BlockPipeline, groups: &[RowGroup]) {
                     panic_text(payload.as_ref())
                 )))
             });
-        let mut st = lock(shared);
+        let mut st = shared.state.lock();
         st.ready.insert(i, result);
+        drop(st);
         shared.out_ready.notify_all();
     }
 }
@@ -287,14 +292,14 @@ impl ScanEngine {
         }));
         let groups: Arc<[RowGroup]> = plan.row_groups.clone().into();
         let shared = Arc::new(Shared {
-            state: Mutex::new(PipeState {
+            state: OrderedMutex::new(ENGINE_STATE_RANK, PipeState {
                 next_task: 0,
                 next_emit: 0,
                 ready: BTreeMap::new(),
                 cancelled: false,
             }),
-            task_free: Condvar::new(),
-            out_ready: Condvar::new(),
+            task_free: OrderedCondvar::new(ENGINE_TASK_FREE_RANK),
+            out_ready: OrderedCondvar::new(ENGINE_OUT_READY_RANK),
             capacity: AtomicUsize::new(capacity),
         });
         let n_workers = self.options.workers.max(1).min(groups.len().max(1));
@@ -364,9 +369,10 @@ pub struct Scan {
 
 impl Scan {
     fn next_block(&mut self) -> Option<Result<BlockResult>> {
-        let mut st = lock(&self.shared);
+        let total = self.total;
+        let mut st = self.shared.state.lock();
         loop {
-            if st.next_emit >= self.total || st.cancelled {
+            if st.next_emit >= total || st.cancelled {
                 return None;
             }
             let emit = st.next_emit;
@@ -376,11 +382,11 @@ impl Scan {
                 self.shared.task_free.notify_all();
                 return Some(result);
             }
-            st = self
-                .shared
-                .out_ready
-                .wait(st)
-                .unwrap_or_else(|e| e.into_inner());
+            // Park until the next in-order result lands (or the scan ends);
+            // spurious wakeups re-test like the old manual loop.
+            st = self.shared.out_ready.wait_while(st, |st| {
+                !st.cancelled && st.next_emit < total && !st.ready.contains_key(&st.next_emit)
+            });
         }
     }
 
@@ -403,7 +409,7 @@ impl Scan {
             self.wall_seconds = Some(self.started.elapsed().as_secs_f64());
         }
         {
-            let mut st = lock(&self.shared);
+            let mut st = self.shared.state.lock();
             st.cancelled = true;
         }
         self.shared.task_free.notify_all();

@@ -40,17 +40,14 @@ use btrblocks::{
     ColumnData, ColumnType, Config, DecodeScratch, DecodedColumn, Literal,
 };
 use std::collections::HashMap;
+use btr_sync::{OrderedCondvar, OrderedMutex, Rank};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Cache byte-budget fraction past which the degradation ladder starts
 /// bypassing cache inserts for streamed blocks.
 const CACHE_PRESSURE_BYPASS: f64 = 0.9;
-
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|e| e.into_inner())
-}
 
 /// Everything needed to build a [`BlockPipeline`]; the relation identity and
 /// simulated clock are derived from the source.
@@ -193,14 +190,14 @@ impl BlockPipeline {
     pub fn counters(&self) -> PipelineCounters {
         let c = &self.counters;
         PipelineCounters {
-            blocks_pushdown_fast_path: c.pushdown.load(Ordering::Relaxed),
-            blocks_decoded: c.decoded.load(Ordering::Relaxed),
-            blocks_fetched: c.fetched.load(Ordering::Relaxed),
-            cache_hits: c.cache_hits.load(Ordering::Relaxed),
-            cache_misses: c.cache_misses.load(Ordering::Relaxed),
-            dedup_hits: c.dedup_hits.load(Ordering::Relaxed),
-            decode_seconds: c.decode_nanos.load(Ordering::Relaxed) as f64 / 1e9,
-            degradation_steps: c.degradation_steps.load(Ordering::Relaxed),
+            blocks_pushdown_fast_path: c.pushdown.load(Ordering::Relaxed), // ordering: statistics snapshot
+            blocks_decoded: c.decoded.load(Ordering::Relaxed), // ordering: statistics snapshot
+            blocks_fetched: c.fetched.load(Ordering::Relaxed), // ordering: statistics snapshot
+            cache_hits: c.cache_hits.load(Ordering::Relaxed), // ordering: statistics snapshot
+            cache_misses: c.cache_misses.load(Ordering::Relaxed), // ordering: statistics snapshot
+            dedup_hits: c.dedup_hits.load(Ordering::Relaxed), // ordering: statistics snapshot
+            decode_seconds: c.decode_nanos.load(Ordering::Relaxed) as f64 / 1e9, // ordering: statistics snapshot
+            degradation_steps: c.degradation_steps.load(Ordering::Relaxed), // ordering: statistics snapshot
         }
     }
 
@@ -208,16 +205,16 @@ impl BlockPipeline {
     fn cache_get(&self, key: &BlockKey) -> Option<Arc<DecodedColumn>> {
         let hit = self.cache.get(key);
         if hit.is_some() {
-            self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+            self.counters.cache_hits.fetch_add(1, Ordering::Relaxed); // ordering: statistics counter
         } else {
-            self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+            self.counters.cache_misses.fetch_add(1, Ordering::Relaxed); // ordering: statistics counter
         }
         hit
     }
 
     fn fetch(&self, column: u32, block: u32) -> Result<Vec<u8>> {
         let bytes = self.source.fetch_ctl(column, block, &self.ctl)?;
-        self.counters.fetched.fetch_add(1, Ordering::Relaxed);
+        self.counters.fetched.fetch_add(1, Ordering::Relaxed); // ordering: statistics counter
         Ok(bytes)
     }
 
@@ -264,10 +261,12 @@ impl BlockPipeline {
         let prev = self
             .counters
             .degradation_level
+            // ordering: degradation level is advisory; readers tolerate lag
             .swap(level, Ordering::Relaxed);
         if level > prev {
             self.counters
                 .degradation_steps
+                // ordering: statistics counter
                 .fetch_add(level - prev, Ordering::Relaxed);
         }
         match level {
@@ -293,8 +292,9 @@ impl BlockPipeline {
         }
         self.counters
             .decode_nanos
+            // ordering: statistics counter
             .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        self.counters.decoded.fetch_add(1, Ordering::Relaxed);
+        self.counters.decoded.fetch_add(1, Ordering::Relaxed); // ordering: statistics counter
         Ok(Arc::new(decoded))
     }
 
@@ -358,7 +358,7 @@ impl BlockPipeline {
         loop {
             match gate.join(&key) {
                 GateOutcome::Waited(Some(decoded)) => {
-                    self.counters.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                    self.counters.dedup_hits.fetch_add(1, Ordering::Relaxed); // ordering: statistics counter
                     return Ok(decoded);
                 }
                 GateOutcome::Waited(None) => {
@@ -372,6 +372,15 @@ impl BlockPipeline {
                     continue;
                 }
                 GateOutcome::Owner(guard) => {
+                    // Ownership was won, but this scan's cache miss predates
+                    // the join: a previous owner may have landed the block
+                    // and left the gate in between. Re-check before paying
+                    // for a duplicate fetch, and publish the hit so any
+                    // waiters that raced in behind share it.
+                    if let Some(decoded) = self.cache.get(&key) {
+                        guard.publish(Some(decoded.clone()));
+                        return Ok(decoded);
+                    }
                     let result = self.fetch_decode_insert(idx, block, key, scratch);
                     guard.publish(result.as_ref().ok().cloned());
                     return result;
@@ -408,7 +417,7 @@ impl BlockPipeline {
                 let ty = self.column_types[*pidx];
                 if has_fast_path(ty, peek_scheme(&bytes)?) {
                     selection = Some(filter_block(&bytes, ty, *op, literal, &self.config)?);
-                    self.counters.pushdown.fetch_add(1, Ordering::Relaxed);
+                    self.counters.pushdown.fetch_add(1, Ordering::Relaxed); // ordering: statistics counter
                     pred_bytes = Some((*pidx, bytes));
                 } else {
                     let decoded = self.decode(&bytes, ty, scratch)?;
@@ -480,17 +489,30 @@ enum GateState {
     Done(Option<Arc<DecodedColumn>>),
 }
 
+/// Gate ranks (DESIGN.md §15): the slot table is held only for the
+/// insert/lookup/remove instant; a joiner waits on one slot's state with
+/// nothing else held, and every slot shares one rank since no thread ever
+/// holds two slots.
+const GATE_SLOTS_RANK: Rank = Rank::new(60, "scan.gate.slots");
+const GATE_SLOT_RANK: Rank = Rank::new(64, "scan.gate.slot");
+const GATE_SLOT_DONE_RANK: Rank = Rank::new(65, "scan.gate.slot.done");
+
 struct GateSlot {
-    state: Mutex<GateState>,
-    done: Condvar,
+    state: OrderedMutex<GateState>,
+    done: OrderedCondvar,
 }
 
 /// Cross-scan single-flight around the block miss path (fetch + decode +
 /// cache insert), keyed by [`BlockKey`]. One gate is shared by every
 /// pipeline of a scan service; see the module docs.
-#[derive(Default)]
 pub struct DecodeGate {
-    slots: Mutex<HashMap<BlockKey, Arc<GateSlot>>>,
+    slots: OrderedMutex<HashMap<BlockKey, Arc<GateSlot>>>,
+}
+
+impl Default for DecodeGate {
+    fn default() -> DecodeGate {
+        DecodeGate { slots: OrderedMutex::new(GATE_SLOTS_RANK, HashMap::new()) }
+    }
 }
 
 /// Result of [`DecodeGate::join`].
@@ -512,15 +534,15 @@ impl DecodeGate {
     /// current owner's published outcome.
     pub fn join(&self, key: &BlockKey) -> GateOutcome<'_> {
         let slot = {
-            let mut slots = lock(&self.slots);
+            let mut slots = self.slots.lock();
             if let Some(slot) = slots.get(key) {
                 slot.clone()
             } else {
                 slots.insert(
                     key.clone(),
                     Arc::new(GateSlot {
-                        state: Mutex::new(GateState::Pending),
-                        done: Condvar::new(),
+                        state: OrderedMutex::new(GATE_SLOT_RANK, GateState::Pending),
+                        done: OrderedCondvar::new(GATE_SLOT_DONE_RANK),
                     }),
                 );
                 return GateOutcome::Owner(GateGuard {
@@ -530,14 +552,13 @@ impl DecodeGate {
                 });
             }
         };
-        let mut state = lock(&slot.state);
-        loop {
-            match &*state {
-                GateState::Done(result) => return GateOutcome::Waited(result.clone()),
-                GateState::Pending => {
-                    state = slot.done.wait(state).unwrap_or_else(|e| e.into_inner());
-                }
-            }
+        // Park until the owner publishes; spurious wakeups re-test the state.
+        let state = slot
+            .done
+            .wait_while(slot.state.lock(), |state| matches!(state, GateState::Pending));
+        match &*state {
+            GateState::Done(result) => GateOutcome::Waited(result.clone()),
+            GateState::Pending => GateOutcome::Waited(None),
         }
     }
 }
@@ -562,9 +583,9 @@ impl Drop for GateGuard<'_> {
     fn drop(&mut self) {
         // Remove the slot first so late joiners start a fresh miss, then
         // wake everyone already waiting on this one.
-        let slot = lock(&self.gate.slots).remove(&self.key);
+        let slot = self.gate.slots.lock().remove(&self.key);
         if let Some(slot) = slot {
-            *lock(&slot.state) = GateState::Done(self.value.take());
+            *slot.state.lock() = GateState::Done(self.value.take());
             slot.done.notify_all();
         }
     }

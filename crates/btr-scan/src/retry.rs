@@ -28,12 +28,22 @@
 
 use btr_s3sim::{Deadline, RetryBudget, SimClock};
 use std::collections::{HashMap, HashSet};
+use btr_sync::{OrderedCondvar, OrderedMutex, Rank};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::Arc;
 
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|e| e.into_inner())
-}
+/// Resilience-substrate ranks (DESIGN.md §15). The single-flight table is
+/// held only for the insert/lookup/remove instant; waiting on a slot happens
+/// with nothing else held, so slots share one rank. Health and breaker locks
+/// are leaves consulted between fetch attempts (quarantine is additionally
+/// queried under btr-server's coalesce lock, which ranks below all of
+/// these).
+const INFLIGHT_SLOTS_RANK: Rank = Rank::new(80, "scan.inflight.slots");
+const INFLIGHT_SLOT_RANK: Rank = Rank::new(84, "scan.inflight.slot");
+const INFLIGHT_SLOT_DONE_RANK: Rank = Rank::new(85, "scan.inflight.slot.done");
+const HEALTH_QUARANTINE_RANK: Rank = Rank::new(90, "scan.health.quarantine");
+const HEALTH_WINDOW_RANK: Rank = Rank::new(92, "scan.health.window");
+const BREAKER_RANK: Rank = Rank::new(94, "scan.breaker");
 
 /// Per-scan fault-tolerance knobs, carried by [`crate::ScanSpec`].
 ///
@@ -148,7 +158,7 @@ enum BreakerInner {
 /// module docs for granularity (fetch outcomes, not attempts).
 pub struct CircuitBreaker {
     config: BreakerConfig,
-    inner: Mutex<BreakerInner>,
+    inner: OrderedMutex<BreakerInner>,
     transitions: AtomicU64,
 }
 
@@ -157,7 +167,7 @@ impl CircuitBreaker {
     pub fn new(config: BreakerConfig) -> CircuitBreaker {
         CircuitBreaker {
             config,
-            inner: Mutex::new(BreakerInner::Closed { failures: 0 }),
+            inner: OrderedMutex::new(BREAKER_RANK, BreakerInner::Closed { failures: 0 }),
             transitions: AtomicU64::new(0),
         }
     }
@@ -165,14 +175,14 @@ impl CircuitBreaker {
     /// Admission decision for one fetch. At most one caller receives
     /// [`Admission::Probe`] per open window.
     pub fn admit(&self, clock: &SimClock) -> Admission {
-        let mut inner = lock(&self.inner);
+        let mut inner = self.inner.lock();
         match *inner {
             BreakerInner::Closed { .. } => Admission::Allowed,
             BreakerInner::HalfOpen => Admission::FailFast,
             BreakerInner::Open { until_seconds } => {
                 if clock.now_seconds() >= until_seconds {
                     *inner = BreakerInner::HalfOpen;
-                    self.transitions.fetch_add(1, Ordering::Relaxed);
+                    self.transitions.fetch_add(1, Ordering::Relaxed); // ordering: statistics counter
                     Admission::Probe
                 } else {
                     Admission::FailFast
@@ -183,7 +193,7 @@ impl CircuitBreaker {
 
     /// Records one fetch outcome (success or terminal failure).
     pub fn record(&self, clock: &SimClock, ok: bool) {
-        let mut inner = lock(&self.inner);
+        let mut inner = self.inner.lock();
         match *inner {
             BreakerInner::Closed { ref mut failures } => {
                 if ok {
@@ -194,7 +204,7 @@ impl CircuitBreaker {
                         *inner = BreakerInner::Open {
                             until_seconds: clock.now_seconds() + self.config.open_seconds,
                         };
-                        self.transitions.fetch_add(1, Ordering::Relaxed);
+                        self.transitions.fetch_add(1, Ordering::Relaxed); // ordering: statistics counter
                     }
                 }
             }
@@ -206,7 +216,7 @@ impl CircuitBreaker {
                         until_seconds: clock.now_seconds() + self.config.open_seconds,
                     }
                 };
-                self.transitions.fetch_add(1, Ordering::Relaxed);
+                self.transitions.fetch_add(1, Ordering::Relaxed); // ordering: statistics counter
             }
             // A straggler fetch finishing after the breaker opened carries
             // stale evidence — ignore it.
@@ -217,7 +227,7 @@ impl CircuitBreaker {
     /// Current state (read-only: an elapsed open window still reads `Open`
     /// until a fetch claims the probe).
     pub fn state(&self) -> BreakerState {
-        match *lock(&self.inner) {
+        match *self.inner.lock() {
             BreakerInner::Closed { .. } => BreakerState::Closed,
             BreakerInner::Open { .. } => BreakerState::Open,
             BreakerInner::HalfOpen => BreakerState::HalfOpen,
@@ -226,7 +236,7 @@ impl CircuitBreaker {
 
     /// State transitions so far (closed→open, open→half-open, half-open→*).
     pub fn transitions(&self) -> u64 {
-        self.transitions.load(Ordering::Relaxed)
+        self.transitions.load(Ordering::Relaxed) // ordering: statistics snapshot
     }
 }
 
@@ -278,8 +288,8 @@ pub struct SourceHealth {
     clock: SimClock,
     breaker: Option<CircuitBreaker>,
     hedge: Option<HedgeConfig>,
-    quarantined: Mutex<HashSet<(u32, u32)>>,
-    window: Mutex<LatencyWindow>,
+    quarantined: OrderedMutex<HashSet<(u32, u32)>>,
+    window: OrderedMutex<LatencyWindow>,
     hedges_issued: AtomicU64,
     hedges_won: AtomicU64,
     quarantine_count: AtomicU64,
@@ -299,8 +309,8 @@ impl SourceHealth {
             clock: SimClock::new(),
             breaker: None,
             hedge: None,
-            quarantined: Mutex::new(HashSet::new()),
-            window: Mutex::new(LatencyWindow::new()),
+            quarantined: OrderedMutex::new(HEALTH_QUARANTINE_RANK, HashSet::new()),
+            window: OrderedMutex::new(HEALTH_WINDOW_RANK, LatencyWindow::new()),
             hedges_issued: AtomicU64::new(0),
             hedges_won: AtomicU64::new(0),
             quarantine_count: AtomicU64::new(0),
@@ -339,27 +349,27 @@ impl SourceHealth {
 
     /// Whether `(column, block)` is quarantined as permanently corrupt.
     pub fn is_quarantined(&self, column: u32, block: u32) -> bool {
-        lock(&self.quarantined).contains(&(column, block))
+        self.quarantined.lock().contains(&(column, block))
     }
 
     /// Quarantines a block; returns whether it was newly added.
     pub fn quarantine(&self, column: u32, block: u32) -> bool {
-        let added = lock(&self.quarantined).insert((column, block));
+        let added = self.quarantined.lock().insert((column, block));
         if added {
-            self.quarantine_count.fetch_add(1, Ordering::Relaxed);
+            self.quarantine_count.fetch_add(1, Ordering::Relaxed); // ordering: statistics counter
         }
         added
     }
 
     /// Blocks quarantined so far.
     pub fn quarantined_blocks(&self) -> u64 {
-        self.quarantine_count.load(Ordering::Relaxed)
+        self.quarantine_count.load(Ordering::Relaxed) // ordering: statistics snapshot
     }
 
     /// Feeds one completed fetch latency into the hedging window.
     pub fn observe_latency(&self, seconds: f64) {
         if self.hedge.is_some() {
-            lock(&self.window).push(seconds);
+            self.window.lock().push(seconds);
         }
     }
 
@@ -372,28 +382,28 @@ impl SourceHealth {
         if self.breaker_state() != BreakerState::Closed {
             return None;
         }
-        let threshold = lock(&self.window).percentile(cfg.percentile, cfg.warmup)?;
+        let threshold = self.window.lock().percentile(cfg.percentile, cfg.warmup)?;
         (threshold >= cfg.min_seconds).then_some(threshold)
     }
 
     /// Records a hedge being issued.
     pub fn note_hedge_issued(&self) {
-        self.hedges_issued.fetch_add(1, Ordering::Relaxed);
+        self.hedges_issued.fetch_add(1, Ordering::Relaxed); // ordering: statistics counter
     }
 
     /// Records a hedge winning its race.
     pub fn note_hedge_won(&self) {
-        self.hedges_won.fetch_add(1, Ordering::Relaxed);
+        self.hedges_won.fetch_add(1, Ordering::Relaxed); // ordering: statistics counter
     }
 
     /// Hedges issued so far.
     pub fn hedges_issued(&self) -> u64 {
-        self.hedges_issued.load(Ordering::Relaxed)
+        self.hedges_issued.load(Ordering::Relaxed) // ordering: statistics snapshot
     }
 
     /// Hedges that won so far.
     pub fn hedges_won(&self) -> u64 {
-        self.hedges_won.load(Ordering::Relaxed)
+        self.hedges_won.load(Ordering::Relaxed) // ordering: statistics snapshot
     }
 
     /// Breaker transitions so far (0 without a breaker).
@@ -410,13 +420,13 @@ enum SlotState {
 }
 
 struct Slot {
-    state: Mutex<SlotState>,
-    done: Condvar,
+    state: OrderedMutex<SlotState>,
+    done: OrderedCondvar,
 }
 
 /// Single-flight table for in-flight block fetches; see the module docs.
 pub(crate) struct Inflight {
-    slots: Mutex<HashMap<(u32, u32), Arc<Slot>>>,
+    slots: OrderedMutex<HashMap<(u32, u32), Arc<Slot>>>,
 }
 
 /// Result of [`Inflight::join`].
@@ -430,7 +440,7 @@ pub(crate) enum JoinOutcome<'a> {
 impl Inflight {
     pub(crate) fn new() -> Inflight {
         Inflight {
-            slots: Mutex::new(HashMap::new()),
+            slots: OrderedMutex::new(INFLIGHT_SLOTS_RANK, HashMap::new()),
         }
     }
 
@@ -438,15 +448,15 @@ impl Inflight {
     /// for the current owner's published outcome.
     pub(crate) fn join(&self, key: (u32, u32)) -> JoinOutcome<'_> {
         let slot = {
-            let mut slots = lock(&self.slots);
+            let mut slots = self.slots.lock();
             if let Some(slot) = slots.get(&key) {
                 slot.clone()
             } else {
                 slots.insert(
                     key,
                     Arc::new(Slot {
-                        state: Mutex::new(SlotState::Pending),
-                        done: Condvar::new(),
+                        state: OrderedMutex::new(INFLIGHT_SLOT_RANK, SlotState::Pending),
+                        done: OrderedCondvar::new(INFLIGHT_SLOT_DONE_RANK),
                     }),
                 );
                 return JoinOutcome::Owner(OwnerGuard {
@@ -456,14 +466,13 @@ impl Inflight {
                 });
             }
         };
-        let mut state = lock(&slot.state);
-        loop {
-            match &*state {
-                SlotState::Done(result) => return JoinOutcome::Waited(result.clone()),
-                SlotState::Pending => {
-                    state = slot.done.wait(state).unwrap_or_else(|e| e.into_inner());
-                }
-            }
+        // Park until the owner publishes; spurious wakeups re-test the state.
+        let state = slot
+            .done
+            .wait_while(slot.state.lock(), |state| matches!(state, SlotState::Pending));
+        match &*state {
+            SlotState::Done(result) => JoinOutcome::Waited(result.clone()),
+            SlotState::Pending => JoinOutcome::Waited(None),
         }
     }
 }
@@ -488,9 +497,9 @@ impl Drop for OwnerGuard<'_> {
     fn drop(&mut self) {
         // Remove the slot first so late joiners start a fresh fetch, then
         // wake everyone already waiting on this one.
-        let slot = lock(&self.inflight.slots).remove(&self.key);
+        let slot = self.inflight.slots.lock().remove(&self.key);
         if let Some(slot) = slot {
-            *lock(&slot.state) = SlotState::Done(self.body.take());
+            *slot.state.lock() = SlotState::Done(self.body.take());
             slot.done.notify_all();
         }
     }

@@ -184,8 +184,8 @@ impl BlockSource for MemorySource {
             .get(block as usize)
             .ok_or(ScanError::BlockOutOfRange { column, block })?
             .clone();
-        self.requests.fetch_add(1, Ordering::Relaxed);
-        self.bytes.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        self.requests.fetch_add(1, Ordering::Relaxed); // ordering: statistics counter
+        self.bytes.fetch_add(bytes.len() as u64, Ordering::Relaxed); // ordering: statistics counter
         Ok(bytes)
     }
 
@@ -199,8 +199,8 @@ impl BlockSource for MemorySource {
 
     fn stats(&self) -> FetchStats {
         FetchStats {
-            requests: self.requests.load(Ordering::Relaxed),
-            bytes_fetched: self.bytes.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed), // ordering: statistics snapshot
+            bytes_fetched: self.bytes.load(Ordering::Relaxed), // ordering: statistics snapshot
             ..FetchStats::default()
         }
     }
@@ -333,7 +333,7 @@ impl ObjectStoreSource {
             ctl.budget.as_deref(),
             &mut stats,
             |attempt| {
-                self.requests.fetch_add(1, Ordering::Relaxed);
+                self.requests.fetch_add(1, Ordering::Relaxed); // ordering: statistics counter
                 let got = self.store.get_range_timed_as(
                     &self.key,
                     start as usize,
@@ -346,7 +346,7 @@ impl ObjectStoreSource {
                 clock.advance_seconds(latency);
                 match got.outcome {
                     Ok(body) => {
-                        self.bytes.fetch_add(body.len() as u64, Ordering::Relaxed);
+                        self.bytes.fetch_add(body.len() as u64, Ordering::Relaxed); // ordering: statistics counter
                         match self.slice_span(&body, start, ranges) {
                             Some(bodies) => Attempt::Success(bodies),
                             None => Attempt::Retry,
@@ -358,9 +358,9 @@ impl ObjectStoreSource {
             },
         );
         self.retries
-            .fetch_add(u64::from(stats.retries), Ordering::Relaxed);
+            .fetch_add(u64::from(stats.retries), Ordering::Relaxed); // ordering: statistics counter
         self.backoff_nanos
-            .fetch_add((stats.backoff_seconds * 1e9) as u64, Ordering::Relaxed);
+            .fetch_add((stats.backoff_seconds * 1e9) as u64, Ordering::Relaxed); // ordering: statistics counter
         match result {
             Ok(bodies) => {
                 if let Some(breaker) = self.health.breaker() {
@@ -438,7 +438,7 @@ impl ObjectStoreSource {
             ctl.budget.as_deref(),
             &mut stats,
             |attempt| {
-                self.requests.fetch_add(1, Ordering::Relaxed);
+                self.requests.fetch_add(1, Ordering::Relaxed); // ordering: statistics counter
                 let primary =
                     self.store
                         .get_range_timed_as(&self.key, start, len, attempt, ctl.tenant.as_deref());
@@ -452,7 +452,7 @@ impl ObjectStoreSource {
                 if let Some(threshold) = self.health.hedge_threshold() {
                     if latency > threshold {
                         self.health.note_hedge_issued();
-                        self.requests.fetch_add(1, Ordering::Relaxed);
+                        self.requests.fetch_add(1, Ordering::Relaxed); // ordering: statistics counter
                         let hedge = self.store.get_range_timed_as(
                             &self.key,
                             start,
@@ -475,7 +475,7 @@ impl ObjectStoreSource {
                 clock.advance_seconds(latency);
                 match outcome {
                     Ok(body) => {
-                        self.bytes.fetch_add(body.len() as u64, Ordering::Relaxed);
+                        self.bytes.fetch_add(body.len() as u64, Ordering::Relaxed); // ordering: statistics counter
                         if self.valid_body(&body, range) {
                             Attempt::Success(body)
                         } else {
@@ -491,9 +491,9 @@ impl ObjectStoreSource {
             },
         );
         self.retries
-            .fetch_add(u64::from(stats.retries), Ordering::Relaxed);
+            .fetch_add(u64::from(stats.retries), Ordering::Relaxed); // ordering: statistics counter
         self.backoff_nanos
-            .fetch_add((stats.backoff_seconds * 1e9) as u64, Ordering::Relaxed);
+            .fetch_add((stats.backoff_seconds * 1e9) as u64, Ordering::Relaxed); // ordering: statistics counter
         match result {
             Ok(body) => {
                 if let Some(breaker) = self.health.breaker() {
@@ -651,10 +651,10 @@ impl BlockSource for ObjectStoreSource {
 
     fn stats(&self) -> FetchStats {
         FetchStats {
-            requests: self.requests.load(Ordering::Relaxed),
-            bytes_fetched: self.bytes.load(Ordering::Relaxed),
-            retries: self.retries.load(Ordering::Relaxed),
-            backoff_seconds: self.backoff_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+            requests: self.requests.load(Ordering::Relaxed), // ordering: statistics snapshot
+            bytes_fetched: self.bytes.load(Ordering::Relaxed), // ordering: statistics snapshot
+            retries: self.retries.load(Ordering::Relaxed), // ordering: statistics snapshot
+            backoff_seconds: self.backoff_nanos.load(Ordering::Relaxed) as f64 / 1e9, // ordering: statistics snapshot
             hedges_issued: self.health.hedges_issued(),
             hedges_won: self.health.hedges_won(),
             breaker_transitions: self.health.breaker_transitions(),

@@ -22,13 +22,18 @@
 //! bytes are dropped when the last interested task releases its interest,
 //! so a cancelled scan cannot strand payloads.
 
-use crate::lock;
 use btr_scan::{
     BlockCache, BlockKey, BlockSource, FetchCtl, FetchStats, Result, SourceColumn, SourceHealth,
 };
+use btr_sync::{OrderedMutex, Rank};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+/// `span_len` probes the decoded-block cache and the source's quarantine
+/// set while holding this lock, so it must rank below btr-scan's
+/// `scan.cache.shard` (70) and `scan.health.quarantine` (90).
+const COALESCE_STATE_RANK: Rank = Rank::new(40, "server.coalesce.state");
 
 /// Coalescing activity counters, folded into [`crate::ServiceReport`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -64,7 +69,7 @@ pub struct CoalescingSource {
     /// column's end.
     column_blocks: Vec<u32>,
     window: u32,
-    state: Mutex<CoalesceState>,
+    state: OrderedMutex<CoalesceState>,
     spans_issued: AtomicU64,
     coalesced_blocks: AtomicU64,
     staged_hits: AtomicU64,
@@ -91,7 +96,7 @@ impl CoalescingSource {
             relation,
             column_blocks,
             window: window.max(1),
-            state: Mutex::new(CoalesceState::default()),
+            state: OrderedMutex::new(COALESCE_STATE_RANK, CoalesceState::default()),
             spans_issued: AtomicU64::new(0),
             coalesced_blocks: AtomicU64::new(0),
             staged_hits: AtomicU64::new(0),
@@ -106,14 +111,14 @@ impl CoalescingSource {
     /// Declares that a queued task will read `(column, block)`; fetches of
     /// a preceding block may now extend their GET to carry this one.
     pub fn register_interest(&self, column: u32, block: u32) {
-        let mut st = lock(&self.state);
+        let mut st = self.state.lock();
         *st.interest.entry((column, block)).or_insert(0) += 1;
     }
 
     /// Releases one registration; at zero, any staged body for the block is
     /// dropped (nobody is coming for it).
     pub fn release_interest(&self, column: u32, block: u32) {
-        let mut st = lock(&self.state);
+        let mut st = self.state.lock();
         let gone = match st.interest.get_mut(&(column, block)) {
             Some(n) => {
                 *n = n.saturating_sub(1);
@@ -130,13 +135,13 @@ impl CoalescingSource {
     /// Activity snapshot.
     pub fn stats(&self) -> CoalesceStats {
         let staged_bytes = {
-            let st = lock(&self.state);
+            let st = self.state.lock();
             st.staged.values().map(|b| b.len() as u64).sum()
         };
         CoalesceStats {
-            spans_issued: self.spans_issued.load(Ordering::Relaxed),
-            coalesced_blocks: self.coalesced_blocks.load(Ordering::Relaxed),
-            staged_hits: self.staged_hits.load(Ordering::Relaxed),
+            spans_issued: self.spans_issued.load(Ordering::Relaxed), // ordering: statistics snapshot
+            coalesced_blocks: self.coalesced_blocks.load(Ordering::Relaxed), // ordering: statistics snapshot
+            staged_hits: self.staged_hits.load(Ordering::Relaxed), // ordering: statistics snapshot
             staged_bytes,
         }
     }
@@ -158,7 +163,7 @@ impl CoalescingSource {
             .get(column as usize)
             .copied()
             .unwrap_or(0);
-        let st = lock(&self.state);
+        let st = self.state.lock();
         let mut len = 1u32;
         while len < self.window {
             let Some(next) = block.checked_add(len) else {
@@ -199,8 +204,8 @@ impl BlockSource for CoalescingSource {
     }
 
     fn fetch_ctl(&self, column: u32, block: u32, ctl: &FetchCtl) -> Result<Vec<u8>> {
-        if let Some(body) = lock(&self.state).staged.remove(&(column, block)) {
-            self.staged_hits.fetch_add(1, Ordering::Relaxed);
+        if let Some(body) = self.state.lock().staged.remove(&(column, block)) {
+            self.staged_hits.fetch_add(1, Ordering::Relaxed); // ordering: statistics counter
             return Ok(body);
         }
         let span = self.span_len(column, block);
@@ -209,12 +214,12 @@ impl BlockSource for CoalescingSource {
         }
         match self.inner.fetch_span_ctl(column, block, span, ctl) {
             Ok(bodies) => {
-                self.spans_issued.fetch_add(1, Ordering::Relaxed);
+                self.spans_issued.fetch_add(1, Ordering::Relaxed); // ordering: statistics counter
                 let mut bodies = bodies.into_iter();
                 let first = bodies.next().unwrap_or_default();
                 let mut staged = 0u64;
                 {
-                    let mut st = lock(&self.state);
+                    let mut st = self.state.lock();
                     for (i, body) in bodies.enumerate() {
                         // i counts from 0 for block+1; span <= window keeps
                         // the arithmetic in range.
@@ -232,7 +237,7 @@ impl BlockSource for CoalescingSource {
                         }
                     }
                 }
-                self.coalesced_blocks.fetch_add(staged, Ordering::Relaxed);
+                self.coalesced_blocks.fetch_add(staged, Ordering::Relaxed); // ordering: statistics counter
                 Ok(first)
             }
             // The span path degrades, never fails: per-block fetches keep

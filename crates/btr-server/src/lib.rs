@@ -87,7 +87,6 @@ pub use service::{ScanClient, ScanHandle, ScanService};
 pub use btr_scan::{RecordBatch, Result, ScanError, ScanSpec};
 
 use btrblocks::Config;
-use std::sync::{Mutex, MutexGuard};
 
 /// Tuning knobs for [`ScanService`].
 #[derive(Debug, Clone)]
@@ -134,11 +133,4 @@ impl Default for ServiceOptions {
             config: Config::default(),
         }
     }
-}
-
-/// Recovers the guarded value even if another thread panicked while holding
-/// the lock; none of this crate's critical sections leave state
-/// half-modified.
-pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|e| e.into_inner())
 }

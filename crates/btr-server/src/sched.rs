@@ -64,6 +64,12 @@ impl Scheduler {
         self.queues.iter().map(|q| q.tasks.len()).sum()
     }
 
+    /// Whether any tenant has a queued task. Workers use this as their wait
+    /// predicate so `pick` (which consumes) only runs when it will succeed.
+    pub fn has_ready(&self) -> bool {
+        self.queues.iter().any(|q| !q.tasks.is_empty())
+    }
+
     /// Appends a task to its tenant's queue (creating the queue on first
     /// contact).
     pub fn enqueue(&mut self, tenant: &Arc<str>, task: Task) {

@@ -36,7 +36,7 @@
 use crate::coalesce::CoalescingSource;
 use crate::metrics::{percentile, snapshot, Metrics, ServiceReport};
 use crate::sched::{Scheduler, Task};
-use crate::{lock, ServiceOptions};
+use crate::ServiceOptions;
 use btr_scan::batch::{append, empty_like, split_front};
 use btr_scan::{
     plan_scan, BlockCache, BlockPipeline, BlockResult, BlockSource, DecodeGate, FetchCtl,
@@ -46,13 +46,27 @@ use btr_s3sim::{Deadline, RetryBudget};
 use btrblocks::{ColumnData, DecodeScratch, Sidecar};
 use std::collections::{BTreeMap, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use btr_sync::{OrderedCondvar, OrderedMutex, Rank};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::sync::{Arc, Weak};
 use std::time::Instant;
 
 /// Cost charged against the byte budget for a task whose source cannot
 /// report a block length.
 const DEFAULT_TASK_COST: u64 = 64 << 10;
+
+/// Lock ranks of the service layer (rows in `btr-lint.toml`'s
+/// `[lock_order]` table). The service sits above every btr-scan and
+/// btr-s3sim lock, so everything here ranks below 50. `sched` and a scan's
+/// `progress` are never held together (module docs above); `scans`,
+/// `relations`, and `metrics` are leaves held alone.
+const SCANS_RANK: Rank = Rank::new(10, "server.scans");
+const SCHED_RANK: Rank = Rank::new(20, "server.sched");
+const TASK_READY_RANK: Rank = Rank::new(21, "server.sched.task_ready");
+const SCAN_PROGRESS_RANK: Rank = Rank::new(30, "server.scan.progress");
+const SCAN_OUT_READY_RANK: Rank = Rank::new(31, "server.scan.out_ready");
+const RELATIONS_RANK: Rank = Rank::new(35, "server.relations");
+const METRICS_RANK: Rank = Rank::new(38, "server.metrics");
 
 /// Reorder/backpressure state of one scan, guarded by `ScanShared::progress`.
 #[derive(Default)]
@@ -78,10 +92,10 @@ pub(crate) struct ScanShared {
     interest_cols: Vec<u32>,
     /// Estimated compressed bytes per row group, parallel to `groups`.
     costs: Vec<u64>,
-    progress: Mutex<Progress>,
+    progress: OrderedMutex<Progress>,
     /// Signals the consumer that a result landed (or the scan was
     /// cancelled).
-    out_ready: Condvar,
+    out_ready: OrderedCondvar,
     /// Set by finish/cancel/shutdown; workers skip this scan's tasks.
     cancelled: AtomicBool,
     /// Set once the scan's counters were folded into tenant metrics, so the
@@ -137,8 +151,8 @@ impl ScanShared {
             groups: Vec::new(),
             interest_cols: Vec::new(),
             costs: Vec::new(),
-            progress: Mutex::new(Progress::default()),
-            out_ready: Condvar::new(),
+            progress: OrderedMutex::new(SCAN_PROGRESS_RANK, Progress::default()),
+            out_ready: OrderedCondvar::new(SCAN_OUT_READY_RANK),
             cancelled: AtomicBool::new(false),
             folded: AtomicBool::new(false),
         })
@@ -157,10 +171,10 @@ struct Inner {
     options: ServiceOptions,
     cache: Arc<BlockCache>,
     gate: Arc<DecodeGate>,
-    relations: Mutex<HashMap<String, Registered>>,
-    sched: Mutex<Scheduler>,
+    relations: OrderedMutex<HashMap<String, Registered>>,
+    sched: OrderedMutex<Scheduler>,
     /// Wakes workers when tasks arrive or the service shuts down.
-    task_ready: Condvar,
+    task_ready: OrderedCondvar,
     /// Tasks enqueued and not yet emitted to a consumer, service-wide.
     outstanding_tasks: AtomicU64,
     /// Estimated compressed bytes behind those tasks.
@@ -171,8 +185,8 @@ struct Inner {
     shutdown: AtomicBool,
     /// Live scans, so shutdown can wake blocked consumers and the report can
     /// include not-yet-folded pipeline counters.
-    scans: Mutex<Vec<Weak<ScanShared>>>,
-    metrics: Mutex<Metrics>,
+    scans: OrderedMutex<Vec<Weak<ScanShared>>>,
+    metrics: OrderedMutex<Metrics>,
 }
 
 fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
@@ -191,32 +205,33 @@ fn worker_loop(inner: &Inner) {
     let mut scratch = DecodeScratch::new();
     loop {
         let task = {
-            let mut sched = lock(&inner.sched);
-            loop {
-                if inner.shutdown.load(Ordering::Relaxed) {
-                    return;
-                }
-                if let Some(task) = sched.pick() {
-                    break task;
-                }
-                sched = inner
-                    .task_ready
-                    .wait(sched)
-                    .unwrap_or_else(|e| e.into_inner());
+            let mut sched = inner.task_ready.wait_while(inner.sched.lock(), |sched| {
+                // ordering: shutdown flag; the predicate re-reads it on
+                // every wakeup, so a stale value only costs one iteration
+                !inner.shutdown.load(Ordering::Relaxed) && !sched.has_ready()
+            });
+            if inner.shutdown.load(Ordering::Relaxed) { // ordering: shutdown flag
+                return;
+            }
+            match sched.pick() {
+                // `has_ready` held under the lock, so `pick` finds a task;
+                // the arm below keeps the loop robust to predicate drift.
+                Some(task) => task,
+                None => continue,
             }
         };
-        let d = inner.dispatch_seq.fetch_add(1, Ordering::Relaxed);
+        let d = inner.dispatch_seq.fetch_add(1, Ordering::Relaxed); // ordering: monotone dispatch counter; gaps only skew wait stats
         let wait_logical = d.saturating_sub(task.enqueue_dispatch);
         let wait_seconds = task.enqueued_at.elapsed().as_secs_f64();
         {
-            let mut m = lock(&inner.metrics);
+            let mut m = inner.metrics.lock();
             let acc = m.tenants.entry(task.scan.tenant.clone()).or_default();
             acc.tasks_dispatched += 1;
             acc.wait_logical.push(wait_logical);
             acc.wait_seconds.push(wait_seconds);
         }
         let scan = &task.scan;
-        if scan.cancelled.load(Ordering::Relaxed) {
+        if scan.cancelled.load(Ordering::Relaxed) { // ordering: cancel flag; a stale read only delays the skip
             // finish() purges queued tasks, but a task already picked is past
             // the purge — release its block interest here instead.
             scan.release_interest(task.group.block);
@@ -235,7 +250,7 @@ fn worker_loop(inner: &Inner) {
         });
         scan.release_interest(task.group.block);
         {
-            let mut p = lock(&scan.progress);
+            let mut p = scan.progress.lock();
             p.ready.insert(task.group_idx, result);
         }
         scan.out_ready.notify_all();
@@ -255,22 +270,22 @@ impl Inner {
         if register {
             scan.register_interest(group.block);
         }
-        self.outstanding_tasks.fetch_add(1, Ordering::Relaxed);
-        self.outstanding_bytes.fetch_add(cost, Ordering::Relaxed);
+        self.outstanding_tasks.fetch_add(1, Ordering::Relaxed); // ordering: admission budget counter; checks are advisory
+        self.outstanding_bytes.fetch_add(cost, Ordering::Relaxed); // ordering: admission budget counter; checks are advisory
         let task = Task {
             scan: scan.clone(),
             group_idx: idx,
             group,
             cost,
-            enqueue_dispatch: self.dispatch_seq.load(Ordering::Relaxed),
+            enqueue_dispatch: self.dispatch_seq.load(Ordering::Relaxed), // ordering: monotone dispatch counter
             enqueued_at: Instant::now(),
         };
-        lock(&self.sched).enqueue(&scan.tenant, task);
+        self.sched.lock().enqueue(&scan.tenant, task);
         self.task_ready.notify_one();
     }
 
     fn record_rejection(&self, tenant: &Arc<str>) {
-        let mut m = lock(&self.metrics);
+        let mut m = self.metrics.lock();
         m.rejections += 1;
         m.tenants.entry(tenant.clone()).or_default().scans_rejected += 1;
     }
@@ -282,7 +297,7 @@ impl Inner {
         spec: &ScanSpec,
     ) -> Result<ScanHandle> {
         let (source, sidecar) = {
-            let rels = lock(&self.relations);
+            let rels = self.relations.lock();
             let reg = rels
                 .get(relation)
                 .ok_or_else(|| ScanError::MissingObject(relation.to_string()))?;
@@ -320,7 +335,7 @@ impl Inner {
         // otherwise reject when the initial window would overflow either
         // budget. Tasks, then bytes — the cheaper check first.
         if initial > 0 {
-            let queued = self.outstanding_tasks.load(Ordering::Relaxed);
+            let queued = self.outstanding_tasks.load(Ordering::Relaxed); // ordering: admission budget counter; checks are advisory
             if queued > 0 && queued + initial as u64 > self.options.queue_limit {
                 self.record_rejection(tenant);
                 return Err(ScanError::AdmissionRejected {
@@ -329,7 +344,7 @@ impl Inner {
                     limit: self.options.queue_limit,
                 });
             }
-            let bytes = self.outstanding_bytes.load(Ordering::Relaxed);
+            let bytes = self.outstanding_bytes.load(Ordering::Relaxed); // ordering: admission budget counter; checks are advisory
             if bytes > 0 && bytes + initial_cost > self.options.byte_budget {
                 self.record_rejection(tenant);
                 return Err(ScanError::AdmissionRejected {
@@ -373,28 +388,31 @@ impl Inner {
             gate: Some(self.gate.clone()),
         }));
         let scan = Arc::new(ScanShared {
-            id: self.scan_ids.fetch_add(1, Ordering::Relaxed),
+            id: self.scan_ids.fetch_add(1, Ordering::Relaxed), // ordering: id allocator; only uniqueness matters
             tenant: tenant.clone(),
             pipeline,
             source,
             groups: plan.row_groups,
             interest_cols,
             costs,
-            progress: Mutex::new(Progress {
-                enqueued: initial,
-                next_emit: 0,
-                ready: BTreeMap::new(),
-            }),
-            out_ready: Condvar::new(),
+            progress: OrderedMutex::new(
+                SCAN_PROGRESS_RANK,
+                Progress {
+                    enqueued: initial,
+                    next_emit: 0,
+                    ready: BTreeMap::new(),
+                },
+            ),
+            out_ready: OrderedCondvar::new(SCAN_OUT_READY_RANK),
             cancelled: AtomicBool::new(false),
             folded: AtomicBool::new(false),
         });
         {
-            let mut m = lock(&self.metrics);
+            let mut m = self.metrics.lock();
             m.tenants.entry(tenant.clone()).or_default().scans_admitted += 1;
         }
         {
-            let mut scans = lock(&self.scans);
+            let mut scans = self.scans.lock();
             scans.retain(|w| w.upgrade().is_some());
             scans.push(Arc::downgrade(&scan));
         }
@@ -442,19 +460,19 @@ impl ScanService {
     pub fn new(options: ServiceOptions) -> ScanService {
         let cache = Arc::new(BlockCache::new(options.cache_bytes));
         let inner = Arc::new(Inner {
-            sched: Mutex::new(Scheduler::new(options.quantum_bytes)),
+            sched: OrderedMutex::new(SCHED_RANK, Scheduler::new(options.quantum_bytes)),
             cache,
             options,
             gate: Arc::new(DecodeGate::new()),
-            relations: Mutex::new(HashMap::new()),
-            task_ready: Condvar::new(),
+            relations: OrderedMutex::new(RELATIONS_RANK, HashMap::new()),
+            task_ready: OrderedCondvar::new(TASK_READY_RANK),
             outstanding_tasks: AtomicU64::new(0),
             outstanding_bytes: AtomicU64::new(0),
             dispatch_seq: AtomicU64::new(0),
             scan_ids: AtomicU64::new(1),
             shutdown: AtomicBool::new(false),
-            scans: Mutex::new(Vec::new()),
-            metrics: Mutex::new(Metrics::default()),
+            scans: OrderedMutex::new(SCANS_RANK, Vec::new()),
+            metrics: OrderedMutex::new(METRICS_RANK, Metrics::default()),
         });
         let workers = (0..inner.options.workers.max(1))
             .map(|_| {
@@ -478,7 +496,7 @@ impl ScanService {
             self.inner.cache.clone(),
             self.inner.options.coalesce_window,
         ));
-        lock(&self.inner.relations).insert(
+        self.inner.relations.lock().insert(
             name.into(),
             Registered {
                 source: wrapped,
@@ -506,7 +524,7 @@ impl ScanService {
     pub fn report(&self) -> ServiceReport {
         let (mut spans_issued, mut coalesced_blocks, mut staged_hits) = (0u64, 0u64, 0u64);
         {
-            let rels = lock(&self.inner.relations);
+            let rels = self.inner.relations.lock();
             for reg in rels.values() {
                 let s = reg.source.stats();
                 spans_issued += s.spans_issued;
@@ -515,15 +533,15 @@ impl ScanService {
             }
         }
         let mut live = PipelineCounters::default();
-        for weak in lock(&self.inner.scans).iter() {
+        for weak in self.inner.scans.lock().iter() {
             if let Some(scan) = weak.upgrade() {
-                if !scan.folded.load(Ordering::Relaxed) {
+                if !scan.folded.load(Ordering::Relaxed) { // ordering: fold flag; report tolerates a racing fold
                     let c = scan.pipeline.counters();
                     live.dedup_hits += c.dedup_hits;
                 }
             }
         }
-        let m = lock(&self.inner.metrics);
+        let m = self.inner.metrics.lock();
         let (tenants, all_logical, all_seconds) = snapshot(&m.tenants);
         let dedup_hits = tenants.iter().map(|t| t.dedup_hits).sum::<u64>() + live.dedup_hits;
         ServiceReport {
@@ -534,8 +552,8 @@ impl ScanService {
             coalesced_blocks,
             staged_hits,
             cache: self.inner.cache.stats(),
-            outstanding_tasks: self.inner.outstanding_tasks.load(Ordering::Relaxed),
-            outstanding_bytes: self.inner.outstanding_bytes.load(Ordering::Relaxed),
+            outstanding_tasks: self.inner.outstanding_tasks.load(Ordering::Relaxed), // ordering: statistics snapshot
+            outstanding_bytes: self.inner.outstanding_bytes.load(Ordering::Relaxed), // ordering: statistics snapshot
             queue_wait_logical_p50: percentile(&all_logical, 0.50),
             queue_wait_logical_p95: percentile(&all_logical, 0.95),
             queue_wait_p50: percentile(&all_seconds, 0.50),
@@ -546,11 +564,11 @@ impl ScanService {
 
 impl Drop for ScanService {
     fn drop(&mut self) {
-        self.inner.shutdown.store(true, Ordering::Relaxed);
+        self.inner.shutdown.store(true, Ordering::Relaxed); // ordering: shutdown flag; wait predicates re-read it
         self.inner.task_ready.notify_all();
-        for weak in lock(&self.inner.scans).iter() {
+        for weak in self.inner.scans.lock().iter() {
             if let Some(scan) = weak.upgrade() {
-                scan.cancelled.store(true, Ordering::Relaxed);
+                scan.cancelled.store(true, Ordering::Relaxed); // ordering: cancel flag; consumers re-check under their lock
                 scan.out_ready.notify_all();
             }
         }
@@ -612,9 +630,14 @@ impl ScanHandle {
     /// admission accounting and refills the scan's look-ahead window.
     fn next_block(&mut self) -> Option<Result<BlockResult>> {
         let scan = self.scan.clone();
-        let mut p = lock(&scan.progress);
+        let mut p = scan.progress.lock();
         loop {
-            if scan.cancelled.load(Ordering::Relaxed) || p.next_emit >= scan.groups.len() {
+            p = scan.out_ready.wait_while(p, |p| {
+                !scan.cancelled.load(Ordering::Relaxed) // ordering: cancel flag; re-read every wakeup
+                    && p.next_emit < scan.groups.len()
+                    && !p.ready.contains_key(&p.next_emit)
+            });
+            if scan.cancelled.load(Ordering::Relaxed) || p.next_emit >= scan.groups.len() { // ordering: cancel flag
                 return None;
             }
             let emit = p.next_emit;
@@ -626,16 +649,15 @@ impl ScanHandle {
                     next
                 });
                 drop(p);
-                self.inner.outstanding_tasks.fetch_sub(1, Ordering::Relaxed);
+                self.inner.outstanding_tasks.fetch_sub(1, Ordering::Relaxed); // ordering: admission budget counter; checks are advisory
                 self.inner
                     .outstanding_bytes
-                    .fetch_sub(scan.cost_of(emit), Ordering::Relaxed);
+                    .fetch_sub(scan.cost_of(emit), Ordering::Relaxed); // ordering: admission budget counter; checks are advisory
                 if let Some(next) = refill {
                     self.inner.enqueue_task(&scan, next, true);
                 }
                 return Some(result);
             }
-            p = scan.out_ready.wait(p).unwrap_or_else(|e| e.into_inner());
         }
     }
 
@@ -659,30 +681,30 @@ impl ScanHandle {
         }
         self.finished = true;
         let scan = &self.scan;
-        scan.cancelled.store(true, Ordering::Relaxed);
+        scan.cancelled.store(true, Ordering::Relaxed); // ordering: cancel flag; workers re-check per task
         // Enqueued-but-never-emitted tasks give back their admission
         // accounting here; emitted ones already did.
         let (pending, pending_cost) = {
-            let p = lock(&scan.progress);
+            let p = scan.progress.lock();
             let pending = p.enqueued.saturating_sub(p.next_emit) as u64;
             let cost: u64 = (p.next_emit..p.enqueued).map(|i| scan.cost_of(i)).sum();
             (pending, cost)
         };
         if pending > 0 {
-            self.inner.outstanding_tasks.fetch_sub(pending, Ordering::Relaxed);
+            self.inner.outstanding_tasks.fetch_sub(pending, Ordering::Relaxed); // ordering: admission budget counter; checks are advisory
             self.inner
                 .outstanding_bytes
-                .fetch_sub(pending_cost, Ordering::Relaxed);
+                .fetch_sub(pending_cost, Ordering::Relaxed); // ordering: admission budget counter; checks are advisory
         }
         // Tasks still queued leave the scheduler and release their block
         // interest; tasks a worker already picked release it in the worker.
-        let purged = lock(&self.inner.sched).purge(scan.id);
+        let purged = self.inner.sched.lock().purge(scan.id);
         for task in &purged {
             scan.release_interest(task.group.block);
         }
         scan.out_ready.notify_all();
         let counters = scan.pipeline.counters();
-        let mut m = lock(&self.inner.metrics);
+        let mut m = self.inner.metrics.lock();
         let acc = m.tenants.entry(scan.tenant.clone()).or_default();
         acc.fold_counters(&counters);
         acc.rows_emitted += self.rows_matched;
@@ -691,7 +713,7 @@ impl ScanHandle {
             Outcome::Failed => acc.scans_failed += 1,
             Outcome::Cancelled => acc.scans_cancelled += 1,
         }
-        scan.folded.store(true, Ordering::Relaxed);
+        scan.folded.store(true, Ordering::Relaxed); // ordering: fold flag; set after metrics folded under their lock
     }
 
     /// Cancels the scan; the iterator yields nothing further.

@@ -20,8 +20,14 @@ use crate::types::ColumnData;
 use crate::Result;
 use std::cell::RefCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use btr_sync::{OrderedMutex, Rank};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+
+/// Per-item result slots for the fan-out below. Leaf rank of the workspace
+/// lock hierarchy (DESIGN.md §15): a worker stores into exactly one slot at
+/// a time with nothing else held, and the collector drains after the scope
+/// joins.
+const PARALLEL_SLOT_RANK: Rank = Rank::new(100, "blocks.parallel.slot");
 
 thread_local! {
     /// Per-worker decode arena: buffers leased while decoding one column are
@@ -63,18 +69,20 @@ fn for_each_labeled<T: Send>(
 ) -> Vec<T> {
     let threads = threads.max(1).min(n.max(1));
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<std::thread::Result<T>>>> =
-        (0..n).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<OrderedMutex<Option<std::thread::Result<T>>>> =
+        (0..n).map(|_| OrderedMutex::new(PARALLEL_SLOT_RANK, None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
+                // ordering: work-ticket counter; results are published by the
+                // scope join, not by this fetch_add
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
                 let out = catch_unwind(AssertUnwindSafe(|| work(i)));
                 // lint: allow(indexing) i < n was checked by the break above; slots has n entries
-                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
+                *slots[i].lock() = Some(out);
             });
         }
     });
@@ -82,10 +90,7 @@ fn for_each_labeled<T: Send>(
         .into_iter()
         .enumerate()
         .map(|(i, s)| {
-            let filled = s
-                .into_inner()
-                .unwrap_or_else(|e| e.into_inner())
-                .expect("worker filled slot");
+            let filled = s.into_inner().expect("worker filled slot");
             match filled {
                 Ok(out) => out,
                 Err(payload) => std::panic::resume_unwind(Box::new(format!(

@@ -92,4 +92,25 @@ grep -q '"dedup_positive": true' BENCH_server.json
 grep -q '"unattributed": 0' BENCH_server.json
 grep -q '"clean": true' BENCH_server.json
 
+echo "== lock-order runtime checker (chaos smokes with --features lock-order)"
+# The concurrency contract (DESIGN.md §15): every lock acquisition is
+# checked against the declared hierarchy at runtime when the btr-sync
+# `lock-order` feature is on. Re-running the chaos smokes under the checker
+# proves the real interleavings — not just the lint's static view — respect
+# the ranking. Gated so environments without the feature plumbing skip
+# gracefully rather than fail.
+if cargo build --release --quiet -p btr-bench --features lock-order 2>/dev/null; then
+  cargo test --release --quiet -p btr-sync --features lock-order > /dev/null
+  BENCH_CHAOS_SCHEDULES="${BENCH_CHAOS_SCHEDULES:-100}" BENCH_CHAOS_JSON="BENCH_chaos_lockorder.json" \
+    cargo run --release --quiet -p btr-bench --features lock-order --bin chaos_campaign > /dev/null
+  grep -q '"panics": 0' BENCH_chaos_lockorder.json
+  grep -q '"clean": true' BENCH_chaos_lockorder.json
+  BENCH_ROWS="${BENCH_ROWS:-64000}" BENCH_SERVER_JSON="BENCH_server_lockorder.json" \
+    cargo run --release --quiet -p btr-bench --features lock-order --bin scan_service > /dev/null
+  grep -q '"unattributed": 0' BENCH_server_lockorder.json
+  grep -q '"clean": true' BENCH_server_lockorder.json
+else
+  echo "   (skipped: lock-order feature unavailable in this build)"
+fi
+
 echo "ok"
