@@ -18,6 +18,7 @@ fn main() {
         ("table4", e::table4::run),
         ("scan_cost", e::scan_cost::run),
         ("scan_pipeline", e::scan_pipeline::run),
+        ("query_engine", e::query_engine::run),
         ("decode_scratch", e::decode_scratch::run),
         ("column_scan", e::column_scan::run),
         ("compression_speed", e::compression_speed::run),

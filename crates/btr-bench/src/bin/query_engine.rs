@@ -1,0 +1,22 @@
+//! Expression-engine benchmark; see `btr_bench::experiments::query_engine`.
+//!
+//! Prints the pushdown-vs-baseline table and, when `BENCH_QUERY_JSON` is
+//! set, writes the machine-readable metrics (speedups per selectivity,
+//! aggregate-from-zones timings) to that path — CI points it at
+//! `BENCH_query.json`.
+
+use btr_bench::experiments::query_engine;
+
+fn main() {
+    let (rows, seed) = (btr_bench::bench_rows(), btr_bench::bench_seed());
+    let bench = query_engine::measure(rows, seed);
+    if let Ok(path) = std::env::var("BENCH_QUERY_JSON") {
+        let json = query_engine::json(&bench, rows, seed);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("could not write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
+    println!("{}", query_engine::render(&bench));
+}

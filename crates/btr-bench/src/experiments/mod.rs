@@ -14,6 +14,7 @@ pub mod figure6;
 pub mod figure7;
 pub mod figure8;
 pub mod pde_pool;
+pub mod query_engine;
 pub mod scalar_ablation;
 pub mod scan_cost;
 pub mod scan_pipeline;

@@ -1,0 +1,191 @@
+//! The typed expression tree and its builder API.
+//!
+//! An [`Expr`] is schema-free: columns are referenced by name and resolved at
+//! compile time ([`crate::ExprPlan::compile`]). The builder methods make
+//! predicates read like the query they express:
+//!
+//! ```
+//! use btr_expr::{col, lit};
+//! let e = col("price").gt(lit(10.0)).and(col("city").eq(lit("Berlin")));
+//! ```
+
+use btrblocks::{CmpOp, Literal};
+
+/// A typed expression over named columns.
+///
+/// Comparisons require both sides to have the same type (integer, double, or
+/// string); arithmetic is defined on numerics only (`i32` wraps, doubles are
+/// IEEE 754). The boolean connectives are two-valued. Type checking happens
+/// when the expression is compiled against a schema.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A column reference, by name.
+    Col(String),
+    /// A literal value.
+    Lit(Literal),
+    /// `lhs op rhs` (NaN never satisfies any comparison).
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Logical conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Logical disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// Numeric addition (`i32` wrapping).
+    Add(Box<Expr>, Box<Expr>),
+    /// Numeric subtraction (`i32` wrapping).
+    Sub(Box<Expr>, Box<Expr>),
+    /// Numeric multiplication (`i32` wrapping).
+    Mul(Box<Expr>, Box<Expr>),
+}
+
+/// A column reference.
+pub fn col(name: impl Into<String>) -> Expr {
+    Expr::Col(name.into())
+}
+
+/// A literal (from `i32`, `f64`, `&str`, `Vec<u8>`, or a [`Literal`]).
+pub fn lit(value: impl Into<Literal>) -> Expr {
+    Expr::Lit(value.into())
+}
+
+impl From<Literal> for Expr {
+    fn from(l: Literal) -> Expr {
+        Expr::Lit(l)
+    }
+}
+
+impl From<i32> for Expr {
+    fn from(v: i32) -> Expr {
+        Expr::Lit(Literal::Int(v))
+    }
+}
+
+impl From<f64> for Expr {
+    fn from(v: f64) -> Expr {
+        Expr::Lit(Literal::Double(v))
+    }
+}
+
+impl From<&str> for Expr {
+    fn from(v: &str) -> Expr {
+        Expr::Lit(Literal::from(v))
+    }
+}
+
+impl Expr {
+    fn cmp(self, op: CmpOp, rhs: impl Into<Expr>) -> Expr {
+        Expr::Cmp(op, Box::new(self), Box::new(rhs.into()))
+    }
+
+    /// `self == rhs`
+    pub fn eq(self, rhs: impl Into<Expr>) -> Expr {
+        self.cmp(CmpOp::Eq, rhs)
+    }
+
+    /// `self < rhs`
+    pub fn lt(self, rhs: impl Into<Expr>) -> Expr {
+        self.cmp(CmpOp::Lt, rhs)
+    }
+
+    /// `self <= rhs`
+    pub fn le(self, rhs: impl Into<Expr>) -> Expr {
+        self.cmp(CmpOp::Le, rhs)
+    }
+
+    /// `self > rhs`
+    pub fn gt(self, rhs: impl Into<Expr>) -> Expr {
+        self.cmp(CmpOp::Gt, rhs)
+    }
+
+    /// `self >= rhs`
+    pub fn ge(self, rhs: impl Into<Expr>) -> Expr {
+        self.cmp(CmpOp::Ge, rhs)
+    }
+
+    /// `self AND rhs`
+    pub fn and(self, rhs: impl Into<Expr>) -> Expr {
+        Expr::And(Box::new(self), Box::new(rhs.into()))
+    }
+
+    /// `self OR rhs`
+    pub fn or(self, rhs: impl Into<Expr>) -> Expr {
+        Expr::Or(Box::new(self), Box::new(rhs.into()))
+    }
+
+    /// `NOT self`
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+
+    /// `self + rhs` (numeric; `i32` wraps)
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, rhs: impl Into<Expr>) -> Expr {
+        Expr::Add(Box::new(self), Box::new(rhs.into()))
+    }
+
+    /// `self - rhs` (numeric; `i32` wraps)
+    #[allow(clippy::should_implement_trait)]
+    pub fn sub(self, rhs: impl Into<Expr>) -> Expr {
+        Expr::Sub(Box::new(self), Box::new(rhs.into()))
+    }
+
+    /// `self * rhs` (numeric; `i32` wraps)
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(self, rhs: impl Into<Expr>) -> Expr {
+        Expr::Mul(Box::new(self), Box::new(rhs.into()))
+    }
+
+    /// Collects every referenced column name (with duplicates, in tree
+    /// order). Mostly useful for diagnostics; plans carry resolved indices.
+    pub fn column_names(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_names(&mut out);
+        out
+    }
+
+    fn collect_names<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::Col(name) => out.push(name.as_str()),
+            Expr::Lit(_) => {}
+            Expr::Cmp(_, a, b)
+            | Expr::And(a, b)
+            | Expr::Or(a, b)
+            | Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b) => {
+                a.collect_names(out);
+                b.collect_names(out);
+            }
+            Expr::Not(a) => a.collect_names(out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let e = col("a").ge(lit(3)).and(col("b").lt(lit(2.5)).or(col("c").eq(lit("x")).not()));
+        assert_eq!(e.column_names(), vec!["a", "b", "c"]);
+        // Literal coercions via Into<Expr>.
+        assert_eq!(col("a").eq(7), col("a").eq(lit(Literal::Int(7))));
+        assert_eq!(col("a").lt(1.5), col("a").lt(lit(1.5f64)));
+        assert_eq!(col("a").eq("s"), col("a").eq(lit("s")));
+    }
+
+    #[test]
+    fn arithmetic_builders() {
+        let e = col("a").add(col("b")).mul(2).sub(1).gt(0);
+        match e {
+            Expr::Cmp(CmpOp::Gt, lhs, _) => match *lhs {
+                Expr::Sub(_, _) => {}
+                other => panic!("unexpected tree: {other:?}"),
+            },
+            other => panic!("unexpected tree: {other:?}"),
+        }
+    }
+}

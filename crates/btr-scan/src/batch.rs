@@ -7,7 +7,7 @@
 //! iterator uses to re-chunk decoded blocks.
 
 use crate::{Result, ScanError};
-use btr_roaring::RoaringBitmap;
+use btr_expr::Selection;
 use btrblocks::{ColumnData, ColumnType, DecodedColumn, StringArena};
 
 /// A horizontal slice of scan output: equal-length columns, in projection
@@ -43,28 +43,41 @@ pub fn empty_like(ty: ColumnType) -> ColumnData {
 }
 
 /// Materializes the selected rows of a decoded block. `selection == None`
-/// means "all rows" (no predicate, or a fast path that matched everything).
-pub fn gather(decoded: &DecodedColumn, selection: Option<&RoaringBitmap>) -> ColumnData {
-    match (decoded, selection) {
-        (DecodedColumn::Int(v), None) => ColumnData::Int(v.clone()),
-        (DecodedColumn::Int(v), Some(sel)) => {
-// lint: allow(indexing) selection indices were produced from this block's own rows
-            ColumnData::Int(sel.iter().map(|i| v[i as usize]).collect())
+/// means "all rows" (no filter); a dense `Selection::is_all` takes the same
+/// bulk-clone path, so late materialization costs nothing when everything
+/// survives.
+pub fn gather(decoded: &DecodedColumn, selection: Option<&Selection>) -> ColumnData {
+    let dense = selection.is_none_or(Selection::is_all);
+    match (decoded, dense) {
+        (DecodedColumn::Int(v), true) => ColumnData::Int(v.clone()),
+        (DecodedColumn::Int(v), false) => {
+            // lint: allow(indexing) selection indices were produced from this block's own rows
+            ColumnData::Int(sel_iter(selection).map(|i| v[i as usize]).collect())
         }
-        (DecodedColumn::Double(v), None) => ColumnData::Double(v.clone()),
-        (DecodedColumn::Double(v), Some(sel)) => {
-// lint: allow(indexing) selection indices were produced from this block's own rows
-            ColumnData::Double(sel.iter().map(|i| v[i as usize]).collect())
+        (DecodedColumn::Double(v), true) => ColumnData::Double(v.clone()),
+        (DecodedColumn::Double(v), false) => {
+            // lint: allow(indexing) selection indices were produced from this block's own rows
+            ColumnData::Double(sel_iter(selection).map(|i| v[i as usize]).collect())
         }
-        (DecodedColumn::Str(views), None) => ColumnData::Str(views.to_arena()),
-        (DecodedColumn::Str(views), Some(sel)) => {
-            let total: usize = sel.iter().map(|i| views.get(i as usize).len()).sum();
-            let mut arena = StringArena::with_capacity(sel.cardinality() as usize, total);
-            for i in sel.iter() {
+        (DecodedColumn::Str(views), true) => ColumnData::Str(views.to_arena()),
+        (DecodedColumn::Str(views), false) => {
+            let total: usize = sel_iter(selection).map(|i| views.get(i as usize).len()).sum();
+            let count = selection.map_or(0, |s| s.cardinality() as usize);
+            let mut arena = StringArena::with_capacity(count, total);
+            for i in sel_iter(selection) {
                 arena.push(views.get(i as usize));
             }
             ColumnData::Str(arena)
         }
+    }
+}
+
+/// Row iterator of a sparse selection (`gather` only calls this when the
+/// selection is present and not dense).
+fn sel_iter<'a>(selection: Option<&'a Selection>) -> Box<dyn Iterator<Item = u32> + 'a> {
+    match selection {
+        Some(sel) => sel.iter(),
+        None => Box::new(std::iter::empty()),
     }
 }
 
@@ -125,13 +138,16 @@ mod tests {
     fn gather_with_and_without_selection() {
         let col = DecodedColumn::Int(vec![10, 20, 30, 40]);
         assert_eq!(gather(&col, None), ColumnData::Int(vec![10, 20, 30, 40]));
-        let sel = RoaringBitmap::from_sorted_iter([1u32, 3]);
+        let sel = Selection::from_sorted_indices(4, vec![1, 3]);
         assert_eq!(gather(&col, Some(&sel)), ColumnData::Int(vec![20, 40]));
+        // A dense selection takes the bulk-clone path.
+        let sel = Selection::all(4);
+        assert_eq!(gather(&col, Some(&sel)), ColumnData::Int(vec![10, 20, 30, 40]));
 
         let arena = StringArena::from_strs(&["aa", "b", "ccc"]);
         let views = StringViews::from_arena(&arena);
         let col = DecodedColumn::Str(views);
-        let sel = RoaringBitmap::from_sorted_iter([0u32, 2]);
+        let sel = Selection::from_sorted_indices(3, vec![0, 2]);
         assert_eq!(
             gather(&col, Some(&sel)),
             ColumnData::Str(StringArena::from_strs(&["aa", "ccc"]))

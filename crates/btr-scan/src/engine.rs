@@ -37,13 +37,16 @@
 
 use crate::batch::{append, empty_like, split_front, RecordBatch};
 use crate::cache::BlockCache;
-use crate::pipeline::{BlockPipeline, BlockResult, PipelineParams};
+use crate::pipeline::{
+    AggSourceCounts, BlockPipeline, BlockResult, PipelineCounters, PipelineFilter, PipelineParams,
+};
 use crate::plan::{plan_scan, RowGroup, ScanSpec};
 use crate::retry::FetchCtl;
 use crate::source::{BlockSource, FetchStats};
 use crate::{Result, ScanError};
+use btr_expr::{AggState, AggValue};
 use btr_s3sim::{Deadline, RetryBudget};
-use btrblocks::{ColumnData, Config, DecodeScratch, Sidecar};
+use btrblocks::{BlockZone, ColumnData, Config, DecodeScratch, Sidecar};
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use btr_sync::{OrderedCondvar, OrderedMutex, Rank};
@@ -281,11 +284,7 @@ impl ScanEngine {
             config: self.options.config.clone(),
             projection: plan.projection.clone(),
             column_types: columns.iter().map(|c| c.column_type).collect(),
-            predicate: spec
-                .predicate
-                .as_ref()
-                .zip(plan.predicate_column)
-                .map(|(p, idx)| (idx, p.op, p.literal.clone())),
+            filter: PipelineFilter::from_plan(&plan),
             ctl,
             base_prefetch: capacity,
             gate: None,
@@ -341,6 +340,109 @@ impl ScanEngine {
             failed: false,
         })
     }
+
+    /// Computes `spec.aggregates` over the relation, answering each row
+    /// group from the cheapest sufficient representation: zone maps (no
+    /// fetch), the compressed domain (no decode), or a vectorized fold over
+    /// decoded values — restricted to rows surviving `spec`'s filter.
+    ///
+    /// Groups fold sequentially in block order so double `SUM`s accumulate
+    /// in one deterministic order (floating-point addition is not
+    /// associative); the result is bit-identical to a naive
+    /// decode-everything row loop.
+    pub fn aggregate(
+        &self,
+        source: Arc<dyn BlockSource>,
+        sidecar: &Sidecar,
+        spec: &ScanSpec,
+    ) -> Result<AggReport> {
+        if spec.aggregates.is_empty() {
+            return Err(ScanError::EmptyProjection);
+        }
+        let plan = plan_scan(source.as_ref(), sidecar, spec)?;
+        let columns = source.columns();
+        let clock = source
+            .health()
+            .map(|h| h.clock().clone())
+            .unwrap_or_default();
+        let ctl = FetchCtl {
+            deadline: spec
+                .tolerance
+                .deadline_seconds
+                .map(|seconds| Deadline::after(&clock, seconds)),
+            budget: spec
+                .tolerance
+                .retry_budget
+                .map(|cfg| Arc::new(RetryBudget::new(cfg.capacity, cfg.refill_per_second))),
+            tenant: None,
+        };
+        let pipeline = BlockPipeline::new(PipelineParams {
+            source: source.clone(),
+            cache: self.cache.clone(),
+            config: self.options.config.clone(),
+            projection: Vec::new(),
+            column_types: columns.iter().map(|c| c.column_type).collect(),
+            filter: PipelineFilter::from_plan(&plan),
+            ctl,
+            base_prefetch: 1,
+            gate: None,
+        });
+        let mut aggs = Vec::with_capacity(spec.aggregates.len());
+        for (agg, &c) in spec.aggregates.iter().zip(&plan.agg_columns) {
+            // lint: allow(indexing) aggregate indices were resolved against these columns
+            let state = AggState::new(agg.kind, columns[c].column_type).map_err(ScanError::Expr)?;
+            aggs.push((c, state));
+        }
+        let metas: Vec<_> = plan
+            .agg_columns
+            .iter()
+            // lint: allow(indexing) aggregate indices were resolved against these columns
+            .map(|&c| sidecar.column(&columns[c].name))
+            .collect();
+        let mut scratch = DecodeScratch::new();
+        let mut agg_sources = AggSourceCounts::default();
+        for (i, group) in plan.row_groups.iter().enumerate() {
+            let zones: Vec<Option<&BlockZone>> = metas
+                .iter()
+                .map(|m| m.and_then(|m| m.zones.get(group.block as usize)))
+                .collect();
+            let counts = pipeline.aggregate_group(
+                *group,
+                plan.group_fully_selected(i),
+                &mut aggs,
+                &zones,
+                &mut scratch,
+            )?;
+            agg_sources.add(counts);
+        }
+        Ok(AggReport {
+            values: aggs.into_iter().map(|(_, state)| state.value()).collect(),
+            blocks_total: plan.blocks_total as u64,
+            blocks_pruned: plan.blocks_pruned as u64,
+            rows_total: plan.rows_total,
+            agg_sources,
+            counters: pipeline.counters(),
+        })
+    }
+}
+
+/// Result of [`ScanEngine::aggregate`]: one value per requested aggregate,
+/// plus which rung of the pushdown lattice answered each group and the
+/// pipeline's fetch/decode activity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggReport {
+    /// One value per `ScanSpec::aggregates` entry, in spec order.
+    pub values: Vec<AggValue>,
+    /// Row groups in the relation.
+    pub blocks_total: u64,
+    /// Row groups the zone maps eliminated before any fetch.
+    pub blocks_pruned: u64,
+    /// Rows in the relation.
+    pub rows_total: u64,
+    /// Per-aggregate-per-group counts of zone / compressed / decoded answers.
+    pub agg_sources: AggSourceCounts,
+    /// Fetch/decode/cache activity of the aggregate pass.
+    pub counters: PipelineCounters,
 }
 
 /// A running scan: an iterator of [`RecordBatch`]es plus a [`ScanReport`].
@@ -648,6 +750,8 @@ mod tests {
 
     #[test]
     fn type_mismatched_predicate_surfaces_as_error() {
+        // The expression compiler type-checks at plan time, so the mismatch
+        // is a typed error from `scan` instead of a mid-scan decode failure.
         let engine = ScanEngine::new(options(1_000, 4_096));
         let rel = Relation::new(vec![Column::new(
             "id",
@@ -660,10 +764,103 @@ mod tests {
             op: CmpOp::Eq,
             literal: Literal::Double(1.0),
         });
+        let err = match engine.scan(source, &sidecar, &spec) {
+            Err(e) => e,
+            Ok(_) => panic!("ill-typed predicate must fail at plan time"),
+        };
+        assert!(matches!(
+            err,
+            ScanError::Expr(btr_expr::ExprError::TypeMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn expr_scan_matches_row_wise_reference() {
+        let engine = ScanEngine::new(options(1_000, 4_096));
+        let rel = Relation::new(vec![
+            Column::new("id", ColumnData::Int((0..4_000).collect())),
+            Column::new(
+                "val",
+                ColumnData::Double((0..4_000).map(|i| f64::from(i) * 0.5).collect()),
+            ),
+        ]);
+        let sidecar = Sidecar::build(&rel, 1_000);
+        let source = source_of(&rel, &engine.options.config, "expr");
+        // (id >= 500 AND val < 1200.0) — a leaf plus a leaf, with an
+        // arithmetic twist on a third conjunct: (id + id) < 5000.
+        let expr = btr_expr::col("id")
+            .ge(btr_expr::lit(500))
+            .and(btr_expr::col("val").lt(btr_expr::lit(1_200.0)))
+            .and(btr_expr::col("id").add(btr_expr::col("id")).lt(btr_expr::lit(5_000)));
+        let spec = ScanSpec::project(["id"]).with_expr(expr);
         let mut scan = engine.scan(source, &sidecar, &spec).unwrap();
-        let first = scan.next();
-        assert!(matches!(first, Some(Err(ScanError::Decode(_)))));
-        assert!(scan.next().is_none(), "scan fuses after an error");
+        let got: Vec<i32> = scan
+            .by_ref()
+            .flat_map(|b| match b.unwrap().column("id").unwrap() {
+                ColumnData::Int(v) => v.clone(),
+                _ => unreachable!("projected an int column"),
+            })
+            .collect();
+        let want: Vec<i32> = (0..4_000)
+            .filter(|&i| i >= 500 && f64::from(i) * 0.5 < 1_200.0 && i + i < 5_000)
+            .collect();
+        assert_eq!(got, want);
+        let report = scan.report();
+        // val < 1200 prunes blocks 3+ (zones 1500+), id >= 500 is
+        // always-true there anyway; at least one block dies before fetch.
+        assert!(report.blocks_pruned >= 1, "{report:?}");
+    }
+
+    #[test]
+    fn aggregates_answer_from_zones_without_fetching() {
+        let engine = ScanEngine::new(options(1_000, 4_096));
+        let rel = Relation::new(vec![Column::new(
+            "id",
+            ColumnData::Int((0..4_000).collect()),
+        )]);
+        let sidecar = Sidecar::build(&rel, 1_000);
+        let source = source_of(&rel, &engine.options.config, "agg-zones");
+        let spec = ScanSpec::aggregate([
+            btr_expr::Aggregate::count("id"),
+            btr_expr::Aggregate::min("id"),
+            btr_expr::Aggregate::max("id"),
+        ]);
+        let report = engine.aggregate(source, &sidecar, &spec).unwrap();
+        assert_eq!(
+            report.values,
+            vec![
+                btr_expr::AggValue::Count(4_000),
+                btr_expr::AggValue::MinInt(Some(0)),
+                btr_expr::AggValue::MaxInt(Some(3_999)),
+            ]
+        );
+        // COUNT/MIN/MAX all come from zone maps: nothing fetched or decoded.
+        assert_eq!(report.agg_sources.from_zones, 12, "3 aggs × 4 groups");
+        assert_eq!(report.counters.blocks_fetched, 0);
+        assert_eq!(report.counters.blocks_decoded, 0);
+    }
+
+    #[test]
+    fn filtered_aggregate_matches_reference() {
+        let engine = ScanEngine::new(options(1_000, 4_096));
+        let vals: Vec<f64> = (0..4_000).map(|i| f64::from(i % 97) * 0.25).collect();
+        let rel = Relation::new(vec![
+            Column::new("id", ColumnData::Int((0..4_000).collect())),
+            Column::new("val", ColumnData::Double(vals.clone())),
+        ]);
+        let sidecar = Sidecar::build(&rel, 1_000);
+        let source = source_of(&rel, &engine.options.config, "agg-filter");
+        let spec = ScanSpec::aggregate([btr_expr::Aggregate::sum("val")])
+            .with_expr(btr_expr::col("id").lt(btr_expr::lit(1_500)));
+        let report = engine.aggregate(source, &sidecar, &spec).unwrap();
+        // Reference: sequential fold over the filtered rows, same order.
+        let mut want = 0.0f64;
+        for v in vals.iter().take(1_500) {
+            want += v;
+        }
+        assert_eq!(report.values, vec![btr_expr::AggValue::SumDouble(want)]);
+        // id < 1500 prunes blocks 2 and 3 before any fetch.
+        assert_eq!(report.blocks_pruned, 2);
     }
 
     #[test]

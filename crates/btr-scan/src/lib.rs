@@ -74,15 +74,23 @@ pub mod source;
 pub use batch::RecordBatch;
 pub use cache::{BlockCache, BlockKey, CacheStats};
 pub use chaos::{ChaosConfig, ChaosReport, ScheduleOutcome};
-pub use engine::{EngineOptions, Scan, ScanEngine, ScanReport};
+pub use engine::{AggReport, EngineOptions, Scan, ScanEngine, ScanReport};
 pub use layout::{ColumnLayout, RelationLayout};
-pub use pipeline::{BlockPipeline, BlockResult, DecodeGate, PipelineCounters, PipelineParams};
+pub use pipeline::{
+    AggSourceCounts, BlockPipeline, BlockResult, DecodeGate, GroupCtx, PipelineCounters,
+    PipelineFilter, PipelineParams,
+};
 pub use plan::{plan_scan, Predicate, RowGroup, ScanPlan, ScanSpec};
 pub use retry::{
     BreakerConfig, BreakerState, CircuitBreaker, FetchCtl, HedgeConfig, RetryBudgetConfig,
     SourceHealth, Tolerance,
 };
 pub use source::{BlockSource, FetchStats, MemorySource, ObjectStoreSource, SourceColumn};
+
+// The expression vocabulary: build filters with `col`/`lit` and the `Expr`
+// builder methods, aggregates with `Aggregate`; results come back as
+// `AggValue`s. All of it lives in the btr-expr kernel crate.
+pub use btr_expr::{col, lit, AggKind, AggValue, Aggregate, Expr, ExprError, ExprPlan, Selection};
 
 // The time/budget primitives live next to the simulator's retry driver so
 // both crates share one definition; re-export them as part of this API.
@@ -107,6 +115,9 @@ pub enum ScanError {
     },
     /// The zone-map sidecar does not describe the relation being scanned.
     SidecarMismatch(&'static str),
+    /// The filter or aggregate expression failed to compile or evaluate
+    /// (type mismatch, non-boolean filter, evaluator misuse).
+    Expr(btr_expr::ExprError),
     /// A block index outside the column's range was requested.
     BlockOutOfRange {
         /// Column index.
@@ -195,6 +206,7 @@ impl std::fmt::Display for ScanError {
                 "column '{column}' has {got} blocks, expected {expected}"
             ),
             ScanError::SidecarMismatch(m) => write!(f, "sidecar mismatch: {m}"),
+            ScanError::Expr(e) => write!(f, "expression error: {e}"),
             ScanError::BlockOutOfRange { column, block } => {
                 write!(f, "block {block} out of range for column {column}")
             }
@@ -250,6 +262,12 @@ impl std::error::Error for ScanError {}
 impl From<btrblocks::Error> for ScanError {
     fn from(e: btrblocks::Error) -> Self {
         ScanError::Decode(e)
+    }
+}
+
+impl From<btr_expr::ExprError> for ScanError {
+    fn from(e: btr_expr::ExprError) -> Self {
+        ScanError::Expr(e)
     }
 }
 

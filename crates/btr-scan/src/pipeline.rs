@@ -29,15 +29,19 @@
 
 use crate::batch::{empty_like, gather};
 use crate::cache::{BlockCache, BlockKey};
-use crate::plan::RowGroup;
+use crate::plan::{RowGroup, ScanPlan};
 use crate::retry::{BreakerState, FetchCtl};
 use crate::source::BlockSource;
 use crate::{Result, ScanError};
+use btr_expr::{
+    eval_predicate, filter_leaf, AggState, ColumnAccess, ConjunctKind, ExprPlan, LeafInput,
+    LeafVerdict, Selection,
+};
 use btr_roaring::RoaringBitmap;
 use btr_s3sim::SimClock;
 use btrblocks::{
-    decompress_block_into, filter_block, filter_decoded, has_fast_path, peek_scheme, CmpOp,
-    ColumnData, ColumnType, Config, DecodeScratch, DecodedColumn, Literal,
+    decompress_block_into, filter_decoded, BlockZone, CmpOp, ColumnData, ColumnType, Config,
+    DecodeScratch, DecodedColumn, Literal,
 };
 use std::collections::HashMap;
 use btr_sync::{OrderedCondvar, OrderedMutex, Rank};
@@ -48,6 +52,75 @@ use std::time::Instant;
 /// Cache byte-budget fraction past which the degradation ladder starts
 /// bypassing cache inserts for streamed blocks.
 const CACHE_PRESSURE_BYPASS: f64 = 0.9;
+
+/// The compiled filter a pipeline evaluates per row group: the conjunct plan
+/// plus the planner's per-block always-true masks, both shared so service
+/// pipelines stay cheap to clone.
+#[derive(Clone)]
+pub struct PipelineFilter {
+    plan: Arc<ExprPlan>,
+    /// Block index → bitmask of conjuncts zone maps proved always-true.
+    always_true: Arc<HashMap<u32, u64>>,
+}
+
+impl PipelineFilter {
+    /// Extracts the filter a [`ScanPlan`] compiled, if any.
+    pub fn from_plan(plan: &ScanPlan) -> Option<PipelineFilter> {
+        let expr = plan.filter.clone()?;
+        let always_true = plan
+            .row_groups
+            .iter()
+            .zip(&plan.group_masks)
+            .map(|(g, &m)| (g.block, m))
+            .collect();
+        Some(PipelineFilter {
+            plan: Arc::new(expr),
+            always_true: Arc::new(always_true),
+        })
+    }
+
+    /// A filter from a bare expression plan with no zone-map masks (every
+    /// conjunct evaluates on every block).
+    pub fn from_expr_plan(plan: ExprPlan) -> PipelineFilter {
+        PipelineFilter {
+            plan: Arc::new(plan),
+            always_true: Arc::new(HashMap::new()),
+        }
+    }
+
+    /// Source columns the filter reads.
+    pub fn columns(&self) -> &[usize] {
+        &self.plan.columns
+    }
+}
+
+/// Per-row-group working set: blocks already decoded (keyed by source column
+/// index) and compressed payloads fetched for compressed-domain evaluation
+/// but not (yet) decoded. Reusing it across the filter, projection, and
+/// aggregate stages of one group is what makes each block resolve at most
+/// once.
+#[derive(Default)]
+pub struct GroupCtx {
+    decoded: HashMap<usize, Arc<DecodedColumn>>,
+    bytes: HashMap<usize, Vec<u8>>,
+}
+
+impl GroupCtx {
+    /// An empty working set.
+    pub fn new() -> GroupCtx {
+        GroupCtx::default()
+    }
+}
+
+/// [`ColumnAccess`] over a group's decoded blocks, for the general-conjunct
+/// evaluator.
+struct CtxCols<'a>(&'a HashMap<usize, Arc<DecodedColumn>>);
+
+impl ColumnAccess for CtxCols<'_> {
+    fn column(&self, index: usize) -> Option<&DecodedColumn> {
+        self.0.get(&index).map(AsRef::as_ref)
+    }
+}
 
 /// Everything needed to build a [`BlockPipeline`]; the relation identity and
 /// simulated clock are derived from the source.
@@ -62,8 +135,8 @@ pub struct PipelineParams {
     pub projection: Vec<usize>,
     /// Column types of *all* source columns, in file order.
     pub column_types: Vec<ColumnType>,
-    /// Resolved predicate: `(source column index, op, literal)`.
-    pub predicate: Option<(usize, CmpOp, Literal)>,
+    /// Compiled filter (usually [`PipelineFilter::from_plan`]).
+    pub filter: Option<PipelineFilter>,
     /// Deadline / retry budget / tenant threaded into every fetch.
     pub ctl: FetchCtl,
     /// Healthy prefetch window; the degradation ladder shrinks from here.
@@ -141,7 +214,7 @@ pub struct BlockPipeline {
     config: Config,
     projection: Vec<usize>,
     column_types: Vec<ColumnType>,
-    predicate: Option<(usize, CmpOp, Literal)>,
+    filter: Option<PipelineFilter>,
     counters: Counters,
     /// The source's simulated clock (fresh and unused for sources without
     /// health state).
@@ -168,7 +241,7 @@ impl BlockPipeline {
             config: params.config,
             projection: params.projection,
             column_types: params.column_types,
-            predicate: params.predicate,
+            filter: params.filter,
             counters: Counters::new(),
             ctl: params.ctl,
             base_prefetch: params.base_prefetch.max(1),
@@ -389,47 +462,152 @@ impl BlockPipeline {
         }
     }
 
-    /// Processes one row group: predicate first (compressed-domain when the
-    /// scheme allows), then decode + gather of only the blocks whose values
-    /// are actually needed.
-    pub fn process(&self, group: RowGroup, scratch: &mut DecodeScratch) -> Result<BlockResult> {
-        self.check_deadline()?;
-        // Predicate first: it decides whether projection blocks are needed
-        // at all. `pred_decoded` keeps a decoded predicate block around so a
-        // projection of the same column doesn't re-resolve it; `pred_bytes`
-        // keeps fetched-but-not-decoded payloads from the fast path.
-        let mut pred_decoded: Option<(usize, Arc<DecodedColumn>)> = None;
-        let mut pred_bytes: Option<(usize, Vec<u8>)> = None;
-        let mut selection: Option<RoaringBitmap> = None;
-
-        if let Some((pidx, op, literal)) = &self.predicate {
-            let key = self.key(*pidx, group.block);
-            if let Some(decoded) = self.cache_get(&key) {
-                selection = Some(filter_decoded(&decoded, *op, literal)?);
-                pred_decoded = Some((*pidx, decoded));
-            } else {
-                // The fast path needs the raw payload, so this fetch stays
-                // outside the decode gate; concurrent fetches of one block
-                // still collapse in the source's in-flight table.
-                // lint: allow(cast) column count is far smaller than 4 GiB
-                let bytes = self.fetch(*pidx as u32, group.block)?;
-                // lint: allow(indexing) predicate indices were resolved against columns at plan time
-                let ty = self.column_types[*pidx];
-                if has_fast_path(ty, peek_scheme(&bytes)?) {
-                    selection = Some(filter_block(&bytes, ty, *op, literal, &self.config)?);
-                    self.counters.pushdown.fetch_add(1, Ordering::Relaxed); // ordering: statistics counter
-                    pred_bytes = Some((*pidx, bytes));
-                } else {
-                    let decoded = self.decode(&bytes, ty, scratch)?;
-                    self.cache_insert(key, decoded.clone(), scratch);
-                    selection = Some(filter_decoded(&decoded, *op, literal)?);
-                    pred_decoded = Some((*pidx, decoded));
-                }
+    /// Evaluates one leaf conjunct (`column op literal`) over a row group,
+    /// staying in the compressed domain when the scheme has a fast path.
+    /// Decoded blocks and fetched-but-undecoded payloads land in `ctx` so
+    /// later conjuncts, the projection, or aggregates reuse them.
+    fn eval_leaf(
+        &self,
+        idx: usize,
+        op: CmpOp,
+        literal: &Literal,
+        group: RowGroup,
+        ctx: &mut GroupCtx,
+        scratch: &mut DecodeScratch,
+    ) -> Result<RoaringBitmap> {
+        if let Some(decoded) = ctx.decoded.get(&idx) {
+            return Ok(filter_decoded(decoded, op, literal)?);
+        }
+        let key = self.key(idx, group.block);
+        if let Some(decoded) = self.cache_get(&key) {
+            let rows = filter_decoded(&decoded, op, literal)?;
+            ctx.decoded.insert(idx, decoded);
+            return Ok(rows);
+        }
+        // The fast path needs the raw payload, so this fetch stays outside
+        // the decode gate; concurrent fetches of one block still collapse in
+        // the source's in-flight table.
+        // lint: allow(cast) column count is far smaller than 4 GiB
+        let bytes = self.fetch(idx as u32, group.block)?;
+        // lint: allow(indexing) filter indices were resolved against columns at plan time
+        let ty = self.column_types[idx];
+        let input = LeafInput::Compressed {
+            bytes: &bytes,
+            ty,
+            config: &self.config,
+        };
+        match filter_leaf(input, op, literal)? {
+            LeafVerdict::Selected { rows, .. } => {
+                self.counters.pushdown.fetch_add(1, Ordering::Relaxed); // ordering: statistics counter
+                ctx.bytes.insert(idx, bytes);
+                Ok(rows)
+            }
+            LeafVerdict::NeedsDecode => {
+                let decoded = self.decode(&bytes, ty, scratch)?;
+                self.cache_insert(key, decoded.clone(), scratch);
+                let rows = filter_decoded(&decoded, op, literal)?;
+                ctx.decoded.insert(idx, decoded);
+                Ok(rows)
             }
         }
+    }
+
+    /// Resolves source column `idx` of `group` to a decoded block, reusing
+    /// the group's working set (decoded blocks, fetched payloads) before
+    /// touching the cache or the source.
+    fn ensure_decoded(
+        &self,
+        idx: usize,
+        group: RowGroup,
+        ctx: &mut GroupCtx,
+        scratch: &mut DecodeScratch,
+    ) -> Result<Arc<DecodedColumn>> {
+        if let Some(decoded) = ctx.decoded.get(&idx) {
+            return Ok(decoded.clone());
+        }
+        let key = self.key(idx, group.block);
+        let decoded = if let Some(bytes) = ctx.bytes.remove(&idx) {
+            // A compressed-domain conjunct already fetched (and counted a
+            // miss for) this block; decode the payload we have instead of
+            // re-fetching.
+            // lint: allow(indexing) indices were resolved against columns at plan time
+            let d = self.decode(&bytes, self.column_types[idx], scratch)?;
+            self.cache_insert(key, d.clone(), scratch);
+            d
+        } else {
+            match self.cache_get(&key) {
+                Some(d) => d,
+                None => self.resolve_miss(idx, group.block, key, scratch)?,
+            }
+        };
+        ctx.decoded.insert(idx, decoded.clone());
+        Ok(decoded)
+    }
+
+    /// Evaluates the pipeline's filter over one row group: conjuncts the
+    /// planner proved always-true for this block are skipped, leaves run in
+    /// the compressed domain when possible, general conjuncts run the
+    /// vectorized kernel over the rows still selected. `Ok(None)` means
+    /// every row survives (no filter, or all conjuncts masked).
+    pub fn filter_selection(
+        &self,
+        group: RowGroup,
+        ctx: &mut GroupCtx,
+        scratch: &mut DecodeScratch,
+    ) -> Result<Option<Selection>> {
+        let Some(filter) = &self.filter else {
+            return Ok(None);
+        };
+        let mask = filter.always_true.get(&group.block).copied().unwrap_or(0);
+        let mut selection: Option<Selection> = None;
+        for (ci, conjunct) in filter.plan.conjuncts.iter().enumerate() {
+            if ci < 64 && mask & (1u64 << ci) != 0 {
+                continue;
+            }
+            match &conjunct.kind {
+                ConjunctKind::Leaf {
+                    column,
+                    op,
+                    literal,
+                    ..
+                } => {
+                    let rows = self.eval_leaf(*column, *op, literal, group, ctx, scratch)?;
+                    let leaf_sel = Selection::from_bitmap(group.rows, rows);
+                    selection = Some(match selection {
+                        Some(cur) => cur.intersect(&leaf_sel),
+                        None => leaf_sel,
+                    });
+                }
+                ConjunctKind::General(expr) => {
+                    for &idx in &conjunct.columns {
+                        self.ensure_decoded(idx, group, ctx, scratch)?;
+                    }
+                    let candidates = selection
+                        .take()
+                        .unwrap_or_else(|| Selection::all(group.rows));
+                    // The kernel evaluates only candidate rows, so its result
+                    // is already the intersection.
+                    selection =
+                        Some(eval_predicate(expr, &CtxCols(&ctx.decoded), &candidates)?);
+                }
+            }
+            if selection.as_ref().is_some_and(Selection::is_empty) {
+                break; // nothing left for later conjuncts to unselect
+            }
+        }
+        Ok(selection)
+    }
+
+    /// Processes one row group: filter first (compressed-domain and
+    /// zone-masked where possible), then decode + gather of only the blocks
+    /// whose values are actually needed — late materialization.
+    pub fn process(&self, group: RowGroup, scratch: &mut DecodeScratch) -> Result<BlockResult> {
+        self.check_deadline()?;
+        let mut ctx = GroupCtx::new();
+        let selection = self.filter_selection(group, &mut ctx, scratch)?;
 
         let rows_matched = match &selection {
-            Some(sel) => sel.cardinality(),
+            Some(sel) => u64::from(sel.cardinality()),
             None => u64::from(group.rows),
         };
         if rows_matched == 0 {
@@ -449,36 +627,118 @@ impl BlockPipeline {
 
         let mut columns = Vec::with_capacity(self.projection.len());
         for &idx in &self.projection {
-            let reused = match &pred_decoded {
-                Some((pidx, decoded)) if *pidx == idx => Some(decoded.clone()),
-                _ => None,
-            };
-            let decoded = if let Some(d) = reused {
-                d
-            } else if matches!(&pred_bytes, Some((pidx, _)) if *pidx == idx) {
-                // The fast path already fetched (and counted a miss for)
-                // this block; decode the payload we have instead of
-                // re-fetching.
-                let (_, bytes) = pred_bytes.take().unwrap_or((0, Vec::new()));
-                let key = self.key(idx, group.block);
-                // lint: allow(indexing) projection indices were resolved against columns at plan time
-                let d = self.decode(&bytes, self.column_types[idx], scratch)?;
-                self.cache_insert(key, d.clone(), scratch);
-                pred_decoded = Some((idx, d.clone()));
-                d
-            } else {
-                let key = self.key(idx, group.block);
-                match self.cache_get(&key) {
-                    Some(d) => d,
-                    None => self.resolve_miss(idx, group.block, key, scratch)?,
-                }
-            };
+            let decoded = self.ensure_decoded(idx, group, &mut ctx, scratch)?;
             columns.push(gather(&decoded, selection.as_ref()));
         }
         Ok(BlockResult {
             rows_matched,
             columns,
         })
+    }
+
+    /// Folds one row group into the given aggregate states, exploiting the
+    /// cheapest sufficient representation per aggregate:
+    ///
+    /// 1. zone maps (`fully_selected` groups only — a residual selection
+    ///    invalidates block-level statistics),
+    /// 2. the compressed domain (one-value / RLE frames, `COUNT` from any
+    ///    frame header),
+    /// 3. a vectorized fold over decoded values, restricted to the selected
+    ///    rows when the filter left a residue.
+    ///
+    /// `aggs` pairs each state with its source column; `zones` is parallel
+    /// (the block's zone for that column, if the sidecar has one). Returns
+    /// how many aggregates were answered at each rung.
+    pub fn aggregate_group(
+        &self,
+        group: RowGroup,
+        fully_selected: bool,
+        aggs: &mut [(usize, AggState)],
+        zones: &[Option<&BlockZone>],
+        scratch: &mut DecodeScratch,
+    ) -> Result<AggSourceCounts> {
+        self.check_deadline()?;
+        let mut counts = AggSourceCounts::default();
+        let mut ctx = GroupCtx::new();
+        let selection = if fully_selected {
+            None
+        } else {
+            self.filter_selection(group, &mut ctx, scratch)?
+        };
+        for ((idx, state), zone) in aggs.iter_mut().zip(zones) {
+            match &selection {
+                None => {
+                    if fully_selected {
+                        if let Some(zone) = zone {
+                            if state.fold_zone(zone, group.rows) {
+                                counts.from_zones += 1;
+                                continue;
+                            }
+                        }
+                    }
+                    if let Some(decoded) = ctx.decoded.get(idx) {
+                        state.fold_decoded(decoded, None)?;
+                        counts.from_decoded += 1;
+                        continue;
+                    }
+                    if !ctx.bytes.contains_key(idx) {
+                        let key = self.key(*idx, group.block);
+                        if let Some(decoded) = self.cache_get(&key) {
+                            state.fold_decoded(&decoded, None)?;
+                            ctx.decoded.insert(*idx, decoded);
+                            counts.from_decoded += 1;
+                            continue;
+                        }
+                        // lint: allow(cast) column count is far smaller than 4 GiB
+                        let bytes = self.fetch(*idx as u32, group.block)?;
+                        ctx.bytes.insert(*idx, bytes);
+                    }
+                    // lint: allow(indexing) aggregate indices were resolved against columns at plan time
+                    let ty = self.column_types[*idx];
+                    let answered = match ctx.bytes.get(idx) {
+                        Some(bytes) => state.fold_compressed(bytes, ty, &self.config)?,
+                        None => false,
+                    };
+                    if answered {
+                        counts.from_compressed += 1;
+                        continue;
+                    }
+                    let decoded = self.ensure_decoded(*idx, group, &mut ctx, scratch)?;
+                    state.fold_decoded(&decoded, None)?;
+                    counts.from_decoded += 1;
+                }
+                Some(sel) => {
+                    if sel.is_empty() {
+                        continue; // no surviving rows: the group contributes nothing
+                    }
+                    let decoded = self.ensure_decoded(*idx, group, &mut ctx, scratch)?;
+                    state.fold_decoded(&decoded, Some(sel))?;
+                    counts.from_decoded += 1;
+                }
+            }
+        }
+        Ok(counts)
+    }
+}
+
+/// How many aggregates a group (or scan) answered at each rung of the
+/// pushdown lattice; see [`BlockPipeline::aggregate_group`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AggSourceCounts {
+    /// Answered from zone maps alone (no fetch, no decode).
+    pub from_zones: u64,
+    /// Answered in the compressed domain (fetched, not decoded).
+    pub from_compressed: u64,
+    /// Folded over decoded values.
+    pub from_decoded: u64,
+}
+
+impl AggSourceCounts {
+    /// Accumulates another group's counts.
+    pub fn add(&mut self, other: AggSourceCounts) {
+        self.from_zones += other.from_zones;
+        self.from_compressed += other.from_compressed;
+        self.from_decoded += other.from_decoded;
     }
 }
 

@@ -12,9 +12,14 @@
 use crate::retry::{RetryBudgetConfig, Tolerance};
 use crate::source::BlockSource;
 use crate::{Result, ScanError};
+use btr_expr::{col, Aggregate, ConjunctKind, Expr, ExprError, ExprPlan, ZoneVerdict};
 use btrblocks::{CmpOp, Literal, Sidecar};
 
 /// A pushed-down comparison against one column.
+///
+/// This is the legacy single-comparison filter shape; it plans as a
+/// single-leaf [`Expr`] (`col(column) op literal`). New code can use
+/// [`ScanSpec::with_expr`] for arbitrary boolean expressions.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Predicate {
     /// Column the predicate applies to.
@@ -25,14 +30,31 @@ pub struct Predicate {
     pub literal: Literal,
 }
 
-/// What to scan: a projection, an optional predicate, and the scan's
-/// fault-tolerance posture.
+impl Predicate {
+    /// The equivalent single-node expression.
+    pub fn to_expr(&self) -> Expr {
+        Expr::Cmp(
+            self.op,
+            Box::new(col(self.column.clone())),
+            Box::new(Expr::Lit(self.literal.clone())),
+        )
+    }
+}
+
+/// What to scan: a projection, an optional filter, optional aggregates, and
+/// the scan's fault-tolerance posture.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ScanSpec {
     /// Columns to return, in output order.
     pub projection: Vec<String>,
-    /// Optional filter.
+    /// Optional single-comparison filter (legacy shape; ANDed with `expr`
+    /// when both are set).
     pub predicate: Option<Predicate>,
+    /// Optional filter expression.
+    pub expr: Option<Expr>,
+    /// Aggregates to compute (driven by
+    /// [`ScanEngine::aggregate`](crate::ScanEngine::aggregate)).
+    pub aggregates: Vec<Aggregate>,
     /// Deadline and retry-budget knobs; the default tolerates everything.
     pub tolerance: Tolerance,
 }
@@ -46,8 +68,18 @@ impl ScanSpec {
     {
         ScanSpec {
             projection: columns.into_iter().map(Into::into).collect(),
-            predicate: None,
-            tolerance: Tolerance::default(),
+            ..ScanSpec::default()
+        }
+    }
+
+    /// A spec computing the given aggregates (no projection required).
+    pub fn aggregate<I>(aggregates: I) -> ScanSpec
+    where
+        I: IntoIterator<Item = Aggregate>,
+    {
+        ScanSpec {
+            aggregates: aggregates.into_iter().collect(),
+            ..ScanSpec::default()
         }
     }
 
@@ -55,6 +87,29 @@ impl ScanSpec {
     pub fn with_predicate(mut self, predicate: Predicate) -> ScanSpec {
         self.predicate = Some(predicate);
         self
+    }
+
+    /// Adds a filter expression (ANDed with any `with_predicate` filter).
+    pub fn with_expr(mut self, expr: Expr) -> ScanSpec {
+        self.expr = Some(expr);
+        self
+    }
+
+    /// Appends an aggregate.
+    pub fn with_aggregate(mut self, aggregate: Aggregate) -> ScanSpec {
+        self.aggregates.push(aggregate);
+        self
+    }
+
+    /// The effective filter expression: `expr AND predicate`, either alone,
+    /// or `None`.
+    pub fn filter_expr(&self) -> Option<Expr> {
+        match (&self.expr, &self.predicate) {
+            (Some(e), Some(p)) => Some(e.clone().and(p.to_expr())),
+            (Some(e), None) => Some(e.clone()),
+            (None, Some(p)) => Some(p.to_expr()),
+            (None, None) => None,
+        }
     }
 
     /// Bounds the scan to `seconds` of simulated time; once elapsed, fetches
@@ -98,8 +153,17 @@ pub struct RowGroup {
 pub struct ScanPlan {
     /// Source column indices to project, in output order.
     pub projection: Vec<usize>,
-    /// Source column index of the predicate column, if any.
+    /// Source column index of the predicate column when the filter is a
+    /// single leaf comparison (the legacy pushdown shape), else `None`.
     pub predicate_column: Option<usize>,
+    /// The compiled filter, if the spec carries one.
+    pub filter: Option<ExprPlan>,
+    /// Per surviving row group (parallel to `row_groups`): bit `i` set means
+    /// zone maps proved conjunct `i` always-true for that group, so residual
+    /// evaluation skips it. Conjuncts beyond 64 never set bits.
+    pub group_masks: Vec<u64>,
+    /// Source column indices of the spec's aggregates, in aggregate order.
+    pub agg_columns: Vec<usize>,
     /// Row groups that survived pruning, in block order.
     pub row_groups: Vec<RowGroup>,
     /// Row groups before pruning.
@@ -110,13 +174,36 @@ pub struct ScanPlan {
     pub rows_total: u64,
 }
 
+impl ScanPlan {
+    /// Every source column the filter reads (empty without a filter).
+    pub fn filter_columns(&self) -> &[usize] {
+        self.filter.as_ref().map_or(&[], |f| &f.columns)
+    }
+
+    /// Whether surviving group `i` needs no residual filter work: either the
+    /// scan has no filter, or zone maps proved every conjunct always-true
+    /// for this group.
+    pub fn group_fully_selected(&self, i: usize) -> bool {
+        match &self.filter {
+            None => true,
+            Some(plan) => {
+                let n = plan.conjuncts.len();
+                n <= 64 && {
+                    let mask = self.group_masks.get(i).copied().unwrap_or(0);
+                    (0..n).all(|b| mask & (1u64 << b) != 0)
+                }
+            }
+        }
+    }
+}
+
 /// Plans a scan of `spec` over `source`, pruning with `sidecar`.
 pub fn plan_scan(
     source: &dyn BlockSource,
     sidecar: &Sidecar,
     spec: &ScanSpec,
 ) -> Result<ScanPlan> {
-    if spec.projection.is_empty() {
+    if spec.projection.is_empty() && spec.aggregates.is_empty() {
         return Err(ScanError::EmptyProjection);
     }
     let columns = source.columns();
@@ -131,17 +218,43 @@ pub fn plan_scan(
         .iter()
         .map(|name| resolve(name))
         .collect::<Result<_>>()?;
-    let predicate_column = spec
-        .predicate
+    let agg_columns: Vec<usize> = spec
+        .aggregates
+        .iter()
+        .map(|a| resolve(&a.column))
+        .collect::<Result<_>>()?;
+    let filter = match spec.filter_expr() {
+        Some(expr) => Some(
+            ExprPlan::compile(&expr, |name| {
+                columns
+                    .iter()
+                    .enumerate()
+                    .find(|(_, c)| c.name == name)
+                    .map(|(i, c)| (i, c.column_type))
+            })
+            .map_err(|e| match e {
+                ExprError::UnknownColumn(name) => ScanError::UnknownColumn(name),
+                other => ScanError::Expr(other),
+            })?,
+        ),
+        None => None,
+    };
+    // The legacy single-comparison pushdown shape, when the whole filter
+    // reduces to one leaf.
+    let predicate_column = filter
         .as_ref()
-        .map(|p| resolve(&p.column))
-        .transpose()?;
+        .and_then(|f| f.single_leaf())
+        .map(|(column, _, _)| column);
 
     // All involved columns must agree on block count, or there is no row
     // group structure to iterate.
     let mut involved: Vec<usize> = projection.clone();
-    involved.extend(predicate_column);
-    // lint: allow(indexing) projection is non-empty, so involved is too; indices came from resolve
+    for &idx in filter.iter().flat_map(|f| f.columns.iter()).chain(&agg_columns) {
+        if !involved.contains(&idx) {
+            involved.push(idx);
+        }
+    }
+    // lint: allow(indexing) a projection, filter, or aggregate exists, so involved is non-empty; indices came from resolve
     let first = &columns[involved[0]];
     for &idx in &involved {
         // lint: allow(indexing) involved indices came from resolve
@@ -158,7 +271,7 @@ pub fn plan_scan(
     // Row counts per group come from the sidecar; any involved column's meta
     // works since they all chunk identically. Validate it describes this
     // relation before trusting it.
-    // lint: allow(indexing) projection is non-empty, so involved is too; indices came from resolve
+    // lint: allow(indexing) involved is non-empty (checked above); indices came from resolve
     let meta_col = &columns[involved[0]];
     if meta_col.blocks == 0 {
         // Empty columns compress to zero blocks while `Sidecar::build` emits
@@ -169,6 +282,9 @@ pub fn plan_scan(
         return Ok(ScanPlan {
             projection,
             predicate_column,
+            filter,
+            group_masks: Vec::new(),
+            agg_columns,
             row_groups: Vec::new(),
             blocks_total: 0,
             blocks_pruned: 0,
@@ -190,37 +306,59 @@ pub fn plan_scan(
         ));
     }
 
-    let pred_meta = match (&spec.predicate, predicate_column) {
-        (Some(p), Some(idx)) => {
-            let meta = sidecar
-                // lint: allow(indexing) predicate index came from resolve
-                .column(&columns[idx].name)
-                .ok_or(ScanError::SidecarMismatch("column missing from sidecar"))?;
-            Some((p, meta))
-        }
-        _ => None,
-    };
+    // Per-conjunct sidecar metadata: leaf conjuncts consult their column's
+    // zone maps; general conjuncts carry no zone entry and never prune.
+    let mut conjunct_metas = Vec::new();
+    for conjunct in filter.iter().flat_map(|f| f.conjuncts.iter()) {
+        conjunct_metas.push(match &conjunct.kind {
+            ConjunctKind::Leaf { column, .. } => Some(
+                sidecar
+                    // lint: allow(indexing) leaf column index came from resolve
+                    .column(&columns[*column].name)
+                    .ok_or(ScanError::SidecarMismatch("column missing from sidecar"))?,
+            ),
+            ConjunctKind::General(_) => None,
+        });
+    }
 
     let blocks_total = meta_col.blocks;
     let mut row_groups = Vec::with_capacity(blocks_total);
+    let mut group_masks = Vec::with_capacity(blocks_total);
     let mut base_row = 0u64;
     for block in 0..blocks_total {
         // lint: allow(indexing) block < blocks_total == block_rows.len() (validated above)
         let rows = meta.block_rows[block];
-        let survives = match &pred_meta {
-            Some((p, pmeta)) => pmeta
-                .zones
-                .get(block)
-                .is_none_or(|zone| zone.may_match(p.op, &p.literal)),
-            None => true,
-        };
-        if survives {
+        let mut mask = 0u64;
+        let mut pruned = false;
+        let conjuncts = filter.iter().flat_map(|f| f.conjuncts.iter());
+        for (ci, (conjunct, cmeta)) in conjuncts.zip(&conjunct_metas).enumerate() {
+            let verdict = cmeta
+                .and_then(|m| m.zones.get(block))
+                .map_or(ZoneVerdict::Unknown, |zone| conjunct.zone_verdict(zone));
+            match verdict {
+                // One impossible conjunct sinks the whole group: it is never
+                // fetched, let alone decoded.
+                ZoneVerdict::AlwaysFalse => {
+                    pruned = true;
+                    break;
+                }
+                // Proven conjuncts drop out of this group's residual work.
+                ZoneVerdict::AlwaysTrue => {
+                    if ci < 64 {
+                        mask |= 1u64 << ci;
+                    }
+                }
+                ZoneVerdict::Unknown => {}
+            }
+        }
+        if !pruned {
             row_groups.push(RowGroup {
                 // lint: allow(cast) block count is far smaller than 4 GiB
                 block: block as u32,
                 rows,
                 base_row,
             });
+            group_masks.push(mask);
         }
         base_row += u64::from(rows);
     }
@@ -228,6 +366,9 @@ pub fn plan_scan(
     Ok(ScanPlan {
         projection,
         predicate_column,
+        filter,
+        group_masks,
+        agg_columns,
         row_groups,
         blocks_total,
         blocks_pruned,
@@ -304,6 +445,84 @@ mod tests {
         let plan = plan_scan(&source, &sidecar, &spec).unwrap();
         assert_eq!(plan.blocks_pruned, 0);
         assert_eq!(plan.predicate_column, Some(2));
+    }
+
+    #[test]
+    fn expr_conjuncts_prune_and_mask_independently() {
+        use btr_expr::lit;
+        // id >= 1000 AND val < 2000.0 over blocks of 1000 rows: only block 1
+        // satisfies both zone ranges, and both conjuncts are proven there.
+        let (source, sidecar) = setup();
+        let spec = ScanSpec::project(["id"])
+            .with_expr(col("id").ge(lit(1_000)).and(col("val").lt(lit(2_000.0))));
+        let plan = plan_scan(&source, &sidecar, &spec).unwrap();
+        assert_eq!(plan.blocks_pruned, 4);
+        assert_eq!(plan.row_groups.len(), 1);
+        assert_eq!(plan.row_groups[0].block, 1);
+        assert_eq!(plan.group_masks, vec![0b11]);
+        assert!(plan.group_fully_selected(0));
+        // Two conjuncts → no single-leaf pushdown shape.
+        assert_eq!(plan.predicate_column, None);
+        assert_eq!(plan.filter_columns(), &[0, 1]);
+    }
+
+    #[test]
+    fn general_conjuncts_never_prune_or_mask() {
+        use btr_expr::lit;
+        let (source, sidecar) = setup();
+        let spec = ScanSpec::project(["id"]).with_expr(col("id").add(lit(0)).ge(lit(1_000)));
+        let plan = plan_scan(&source, &sidecar, &spec).unwrap();
+        assert_eq!(plan.blocks_pruned, 0);
+        assert_eq!(plan.group_masks, vec![0; 5]);
+        assert!(!plan.group_fully_selected(0));
+    }
+
+    #[test]
+    fn aggregate_only_spec_needs_no_projection() {
+        use btr_expr::Aggregate;
+        let (source, sidecar) = setup();
+        let spec = ScanSpec::aggregate([Aggregate::sum("id"), Aggregate::count("val")]);
+        let plan = plan_scan(&source, &sidecar, &spec).unwrap();
+        assert_eq!(plan.projection, Vec::<usize>::new());
+        assert_eq!(plan.agg_columns, vec![0, 1]);
+        assert_eq!(plan.row_groups.len(), 5);
+    }
+
+    #[test]
+    fn predicate_and_expr_are_conjoined() {
+        use btr_expr::lit;
+        // Legacy predicate and new expr both present: they AND together, so
+        // pruning uses both (id < 1500 keeps blocks 0-1, val >= 1000 prunes
+        // block 0).
+        let (source, sidecar) = setup();
+        let spec = ScanSpec::project(["id"])
+            .with_predicate(Predicate {
+                column: "id".into(),
+                op: CmpOp::Lt,
+                literal: Literal::Int(1_500),
+            })
+            .with_expr(col("val").ge(lit(1_000.0)));
+        let plan = plan_scan(&source, &sidecar, &spec).unwrap();
+        assert_eq!(plan.blocks_pruned, 4);
+        assert_eq!(plan.row_groups.len(), 1);
+        assert_eq!(plan.row_groups[0].block, 1);
+        assert_eq!(plan.predicate_column, None);
+    }
+
+    #[test]
+    fn ill_typed_expr_is_rejected() {
+        use btr_expr::lit;
+        let (source, sidecar) = setup();
+        let spec = ScanSpec::project(["id"]).with_expr(col("id").eq(lit("nope")));
+        assert!(matches!(
+            plan_scan(&source, &sidecar, &spec).unwrap_err(),
+            ScanError::Expr(_)
+        ));
+        let spec = ScanSpec::project(["id"]).with_expr(col("ghost").eq(lit(1)));
+        assert_eq!(
+            plan_scan(&source, &sidecar, &spec).unwrap_err(),
+            ScanError::UnknownColumn("ghost".into())
+        );
     }
 
     #[test]

@@ -156,6 +156,93 @@ fn selective_scan_over_object_store_prunes_matches_and_caches() {
     assert_eq!(concat(&warm_batches, "tag"), want_tags);
 }
 
+/// Wraps a source and remembers every `(column, block)` actually fetched, so
+/// a test can prove zone-pruned blocks never reach the wire.
+struct RecordingSource {
+    inner: Arc<dyn BlockSource>,
+    fetched: std::sync::Mutex<std::collections::HashSet<(u32, u32)>>,
+}
+
+impl RecordingSource {
+    fn new(inner: Arc<dyn BlockSource>) -> RecordingSource {
+        RecordingSource {
+            inner,
+            fetched: std::sync::Mutex::new(std::collections::HashSet::new()),
+        }
+    }
+
+    fn fetched_blocks(&self) -> std::collections::HashSet<(u32, u32)> {
+        self.fetched.lock().expect("ledger lock").clone()
+    }
+}
+
+impl BlockSource for RecordingSource {
+    fn relation_id(&self) -> Arc<str> {
+        self.inner.relation_id()
+    }
+    fn rows(&self) -> u64 {
+        self.inner.rows()
+    }
+    fn columns(&self) -> Vec<btr_scan::SourceColumn> {
+        self.inner.columns()
+    }
+    fn fetch(&self, column: u32, block: u32) -> btr_scan::Result<Vec<u8>> {
+        self.fetched.lock().expect("ledger lock").insert((column, block));
+        self.inner.fetch(column, block)
+    }
+    fn stats(&self) -> btr_scan::FetchStats {
+        self.inner.stats()
+    }
+}
+
+#[test]
+fn zone_pruned_blocks_are_never_fetched_with_multi_conjunct_filters() {
+    use btr_scan::{col, lit, MemorySource};
+
+    let cfg = config();
+    let rel = build_relation();
+    let sidecar = Sidecar::build(&rel, BLOCK_SIZE);
+    let compressed = Arc::new(btrblocks::compress(&rel, &cfg).expect("compress"));
+    let inner = Arc::new(MemorySource::new("ledger", compressed));
+    let source = Arc::new(RecordingSource::new(inner));
+
+    // id in [2000, 6000) AND val < 1200.0: ids keep blocks 2..6, vals
+    // (0.25 * id) < 1200 keeps blocks 0..4 — the conjunction survives only
+    // in blocks 2..=4, everything else must die at plan time.
+    let expr = col("id")
+        .ge(lit(2_000))
+        .and(col("id").lt(lit(6_000)))
+        .and(col("val").lt(lit(1_200.0)));
+    let spec = ScanSpec::project(["id", "val"]).with_expr(expr);
+
+    let engine = ScanEngine::new(EngineOptions {
+        config: cfg,
+        ..EngineOptions::default()
+    });
+    let mut scan = engine.scan(source.clone(), &sidecar, &spec).expect("plan");
+    let batches: Vec<RecordBatch> = scan.by_ref().map(|b| b.expect("batch")).collect();
+    let report = scan.report();
+    assert_eq!(report.blocks_total, 20);
+    assert_eq!(report.blocks_pruned, 17, "only blocks 2..=4 survive");
+
+    // The surviving rows are exactly ids 2000..4800 (0.25 * 4800 == 1200).
+    let ids = concat(&batches, "id");
+    assert_eq!(ids, ColumnData::Int((2_000..4_800).collect()));
+    assert_eq!(report.rows_matched, 2_800);
+
+    // The fetch ledger agrees: no block outside 2..=4 of either involved
+    // column ever reached the source.
+    let fetched = source.fetched_blocks();
+    assert!(!fetched.is_empty());
+    for &(column, block) in &fetched {
+        assert!(
+            (2..=4).contains(&block),
+            "pruned block fetched: column {column} block {block}"
+        );
+        assert!(column <= 1, "uninvolved column fetched: {column}");
+    }
+}
+
 #[test]
 fn scan_survives_transient_store_faults() {
     let cfg = config();

@@ -40,7 +40,8 @@ use crate::ServiceOptions;
 use btr_scan::batch::{append, empty_like, split_front};
 use btr_scan::{
     plan_scan, BlockCache, BlockPipeline, BlockResult, BlockSource, DecodeGate, FetchCtl,
-    PipelineCounters, PipelineParams, RecordBatch, Result, RowGroup, ScanError, ScanSpec,
+    PipelineCounters, PipelineFilter, PipelineParams, RecordBatch, Result, RowGroup, ScanError,
+    ScanSpec,
 };
 use btr_s3sim::{Deadline, RetryBudget};
 use btrblocks::{ColumnData, DecodeScratch, Sidecar};
@@ -138,7 +139,7 @@ impl ScanShared {
             config: cfg,
             projection: vec![0],
             column_types: vec![ColumnType::Integer],
-            predicate: None,
+            filter: None,
             ctl: FetchCtl::default(),
             base_prefetch: 1,
             gate: None,
@@ -304,24 +305,45 @@ impl Inner {
             (reg.source.clone(), reg.sidecar.clone())
         };
         let src: Arc<dyn BlockSource> = source.clone();
+        // The service streams projected batches; aggregate-only specs (legal
+        // for the engine's aggregate driver) have nothing to stream.
+        if spec.projection.is_empty() {
+            return Err(ScanError::EmptyProjection);
+        }
         let plan = plan_scan(src.as_ref(), &sidecar, spec)?;
         let columns = src.columns();
 
-        // Columns every task touches: the projection plus the predicate
-        // column (its block is fetched whether or not the fast path fires).
+        // Columns every task may touch: the projection plus every filter
+        // column (filter blocks are fetched whether or not the fast path
+        // fires).
         let mut interest_cols: Vec<u32> = Vec::with_capacity(plan.projection.len() + 1);
-        for &idx in plan.projection.iter().chain(plan.predicate_column.iter()) {
+        for &idx in plan.projection.iter().chain(plan.filter_columns().iter()) {
             let col = u32::try_from(idx).unwrap_or(u32::MAX);
             if !interest_cols.contains(&col) {
                 interest_cols.push(col);
             }
         }
+        // Byte estimates are post-pruning and post-masking: groups whose
+        // every conjunct the zone maps already proved never fetch
+        // filter-only columns, so they aren't charged for them.
+        let mut proj_cols: Vec<u32> = Vec::with_capacity(plan.projection.len());
+        for &idx in &plan.projection {
+            let col = u32::try_from(idx).unwrap_or(u32::MAX);
+            if !proj_cols.contains(&col) {
+                proj_cols.push(col);
+            }
+        }
         let costs: Vec<u64> = plan
             .row_groups
             .iter()
-            .map(|g| {
-                interest_cols
-                    .iter()
+            .enumerate()
+            .map(|(i, g)| {
+                let cols: &[u32] = if plan.group_fully_selected(i) {
+                    &proj_cols
+                } else {
+                    &interest_cols
+                };
+                cols.iter()
                     .map(|&c| src.block_len(c, g.block).unwrap_or(DEFAULT_TASK_COST))
                     .sum()
             })
@@ -378,11 +400,7 @@ impl Inner {
             config: self.options.config.clone(),
             projection: plan.projection.clone(),
             column_types: columns.iter().map(|c| c.column_type).collect(),
-            predicate: spec
-                .predicate
-                .as_ref()
-                .zip(plan.predicate_column)
-                .map(|(p, idx)| (idx, p.op, p.literal.clone())),
+            filter: PipelineFilter::from_plan(&plan),
             ctl,
             base_prefetch: window,
             gate: Some(self.gate.clone()),

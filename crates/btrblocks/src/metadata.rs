@@ -8,7 +8,7 @@
 //! holding per-block min/max (ints and doubles) and counts, plus predicate
 //! pruning that decides which blocks a scan can skip entirely.
 
-use crate::query::{CmpOp, Literal};
+use crate::types::{CmpOp, Literal};
 use crate::relation::CompressedRelation;
 use crate::types::{ColumnData, ColumnType};
 use crate::writer::{Reader, WriteLe};

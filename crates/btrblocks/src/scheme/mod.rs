@@ -22,6 +22,7 @@
 //! signatures remain as thin wrappers.
 
 pub mod double;
+pub mod filter;
 pub mod int;
 pub mod str;
 

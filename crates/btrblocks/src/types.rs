@@ -324,6 +324,100 @@ impl DecodedColumn {
 /// NULL positions for one column block.
 pub type NullBitmap = RoaringBitmap;
 
+/// Comparison operator of a pushed-down predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `value == literal`
+    Eq,
+    /// `value < literal`
+    Lt,
+    /// `value <= literal`
+    Le,
+    /// `value > literal`
+    Gt,
+    /// `value >= literal`
+    Ge,
+}
+
+impl CmpOp {
+    /// Whether `value op literal` holds (`PartialOrd`; NaN never matches).
+    #[inline]
+    pub fn matches<T: PartialOrd>(self, value: &T, literal: &T) -> bool {
+        match self {
+            CmpOp::Eq => value == literal,
+            CmpOp::Lt => value < literal,
+            CmpOp::Le => value <= literal,
+            CmpOp::Gt => value > literal,
+            CmpOp::Ge => value >= literal,
+        }
+    }
+
+    /// The operator with its operands swapped: `a op b == b op.flip() a`.
+    /// Used when normalizing `literal op column` comparisons into the
+    /// canonical `column op literal` form.
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+}
+
+/// A typed predicate literal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// Integer literal.
+    Int(i32),
+    /// Double literal (compared by `PartialOrd`; NaN never matches).
+    Double(f64),
+    /// String literal (byte-wise comparison).
+    Str(Vec<u8>),
+}
+
+impl Literal {
+    /// The column type this literal compares against.
+    pub fn column_type(&self) -> ColumnType {
+        match self {
+            Literal::Int(_) => ColumnType::Integer,
+            Literal::Double(_) => ColumnType::Double,
+            Literal::Str(_) => ColumnType::String,
+        }
+    }
+}
+
+impl From<i32> for Literal {
+    fn from(v: i32) -> Literal {
+        Literal::Int(v)
+    }
+}
+
+impl From<f64> for Literal {
+    fn from(v: f64) -> Literal {
+        Literal::Double(v)
+    }
+}
+
+impl From<&str> for Literal {
+    fn from(v: &str) -> Literal {
+        Literal::Str(v.as_bytes().to_vec())
+    }
+}
+
+impl From<&[u8]> for Literal {
+    fn from(v: &[u8]) -> Literal {
+        Literal::Str(v.to_vec())
+    }
+}
+
+impl From<Vec<u8>> for Literal {
+    fn from(v: Vec<u8>) -> Literal {
+        Literal::Str(v)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -26,6 +26,7 @@ echo "== decode-path panic gate"
 DECODE_CRATES=(
   btrblocks
   btr-bitpacking
+  btr-expr
   btr-fsst
   btr-roaring
   btr-float
@@ -52,6 +53,16 @@ echo "== scan-engine smoke benchmark (BENCH_scan.json)"
 BENCH_ROWS="${BENCH_ROWS:-64000}" BENCH_SCAN_JSON="BENCH_scan.json" \
   cargo run --release --quiet -p btr-bench --bin scan_pipeline > /dev/null
 grep -q '"cache_hit_rate"' BENCH_scan.json
+
+echo "== query-engine smoke benchmark (BENCH_query.json)"
+BENCH_ROWS="${BENCH_ROWS:-64000}" BENCH_QUERY_JSON="BENCH_query.json" \
+  cargo run --release --quiet -p btr-bench --bin query_engine > /dev/null
+# The expression-engine contract: at 1% selectivity, pushdown (zone pruning +
+# compressed-domain leaves + late materialization) must not lose to
+# decode-everything-then-filter, and unfiltered COUNT/MIN/MAX must answer
+# from zone maps without decoding a single block.
+grep -q '"selectivity": 0.01, .*"pushdown_ok": true' BENCH_query.json
+grep -q '"aggregate": {.*"blocks_decoded": 0}' BENCH_query.json
 
 echo "== decode-scratch smoke benchmark (BENCH_decode.json)"
 BENCH_ROWS="${BENCH_ROWS:-64000}" BENCH_DECODE_JSON="BENCH_decode.json" \
