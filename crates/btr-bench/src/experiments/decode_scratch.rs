@@ -10,11 +10,15 @@
 //! allocator (the `decode_scratch` binary does; library tests read zero).
 //! The headline row is the warm pass: zero bytes allocated per block.
 
+use crate::experiments::compression_speed::{best_of, workers_json, ScalePoint, WorkerAccount};
+use crate::pool::WorkerPool;
 use crate::{time_it, Table};
+use btr_sync::morsel::{MorselDispenser, WorkerStats};
 use btrblocks::{
-    decompress_block_into, Column, ColumnData, Config, DecodeScratch, Relation, SchemeCode,
-    StringArena,
+    decode_granularity, decode_items, decompress_block_into, decompress_item, Column, ColumnData,
+    Config, DecodeItem, DecodeScratch, Relation, SchemeCode, StringArena,
 };
+use std::sync::{Arc, Mutex};
 
 /// One decode variant's metrics.
 #[derive(Debug, Clone)]
@@ -35,7 +39,7 @@ pub struct DecodeRun {
     pub scratch_misses: u64,
 }
 
-/// All three variants plus the workload shape.
+/// All three variants plus the workload shape and morsel-parallel scaling.
 #[derive(Debug, Clone)]
 pub struct DecodeBench {
     /// Blocks decoded per pass.
@@ -46,6 +50,21 @@ pub struct DecodeBench {
     pub scratch_held_bytes: usize,
     /// Fresh, cold-scratch, warm-scratch.
     pub runs: Vec<DecodeRun>,
+    /// Cores the host reports; speedup plateaus here on smaller machines.
+    pub available_parallelism: usize,
+    /// Decode passes per measurement, calibrated so one measurement runs at
+    /// least ~100ms.
+    pub iters: usize,
+    /// Calibrated serial baseline: `iters` dispenser-free passes, seconds.
+    pub serial_seconds: f64,
+    /// 1-worker morsel time over serial time, minus one, in percent.
+    pub dispenser_overhead_pct: f64,
+    /// Whether that overhead stayed under 5%.
+    pub dispenser_overhead_ok: bool,
+    /// Thread-scaling samples (1, 2, 4, 8 workers on a persistent pool).
+    pub scale: Vec<ScalePoint>,
+    /// Whether every parallel decode equalled the serial relation.
+    pub decode_matches_serial: bool,
 }
 
 /// The alloc-regression test's scheme pool: every scheme whose decode path
@@ -145,6 +164,68 @@ pub fn measure(rows: usize, seed: u64) -> DecodeBench {
     assert_eq!(fresh_rows, cold_rows);
     assert_eq!(cold_rows, warm_rows);
 
+    // Morsel-parallel decode scaling: costs are rows of *output* per block
+    // (read from frame headers without decoding), claimed through the same
+    // dispenser the encode bench uses.
+    let decoded =
+        btrblocks::relation::decompress_relation(&compressed, &cfg).expect("serial decompress");
+    let mut decode_matches_serial = true;
+    for threads in [1usize, 2, 4, 8] {
+        let par =
+            btrblocks::decompress_parallel(&compressed, &cfg, threads).expect("parallel decompress");
+        if par != decoded {
+            decode_matches_serial = false;
+        }
+    }
+
+    let ctx = Arc::new(DecodeCtx::new(compressed, cfg));
+    let (_, once_secs) = time_it(|| ctx.serial_pass());
+    let iters = ((0.1 / once_secs.max(1e-9)).ceil() as usize).clamp(1, 10_000);
+    let serial_seconds = best_of(3, || {
+        let (_, secs) = time_it(|| {
+            for _ in 0..iters {
+                ctx.serial_pass();
+            }
+        });
+        secs
+    });
+
+    let available_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut scale = Vec::new();
+    let mut base_secs = 0.0f64;
+    for threads in [1usize, 2, 4, 8] {
+        let pool = WorkerPool::new(threads);
+        let mut best = f64::MAX;
+        let mut best_workers = Vec::new();
+        for _ in 0..3 {
+            let mut accounts = Vec::new();
+            let (_, secs) = time_it(|| {
+                for it in 0..iters {
+                    let acc = ctx.morsel_pass(&pool);
+                    if it + 1 == iters {
+                        accounts = acc;
+                    }
+                }
+            });
+            if secs < best {
+                best = secs;
+                best_workers = accounts;
+            }
+        }
+        if threads == 1 {
+            base_secs = best;
+        }
+        scale.push(ScalePoint {
+            threads,
+            seconds: best,
+            speedup: base_secs / best.max(1e-12),
+            available_parallelism,
+            workers: best_workers,
+        });
+    }
+    let dispenser_overhead_pct = (base_secs / serial_seconds.max(1e-12) - 1.0) * 100.0;
+    let dispenser_overhead_ok = dispenser_overhead_pct < 5.0;
+
     DecodeBench {
         blocks,
         rows: warm_rows,
@@ -161,6 +242,64 @@ pub fn measure(rows: usize, seed: u64) -> DecodeBench {
                 warm_stats.misses - cold_stats.misses,
             ),
         ],
+        available_parallelism,
+        iters,
+        serial_seconds,
+        dispenser_overhead_pct,
+        dispenser_overhead_ok,
+        scale,
+        decode_matches_serial,
+    }
+}
+
+/// Owned decode workload shared with pool workers via `Arc`: the compressed
+/// relation, its block items and their row-count costs.
+struct DecodeCtx {
+    compressed: btrblocks::CompressedRelation,
+    cfg: Config,
+    items: Vec<DecodeItem>,
+    costs: Vec<u64>,
+}
+
+impl DecodeCtx {
+    fn new(compressed: btrblocks::CompressedRelation, cfg: Config) -> DecodeCtx {
+        let (items, costs) = decode_items(&compressed);
+        DecodeCtx { compressed, cfg, items, costs }
+    }
+
+    /// Decodes every item in order with no dispenser — the overhead baseline.
+    fn serial_pass(&self) {
+        for item in &self.items {
+            std::hint::black_box(
+                decompress_item(&self.compressed, &self.cfg, item).expect("bench relation decodes"),
+            );
+        }
+    }
+
+    /// Decodes every item through a fresh [`MorselDispenser`] on the pool,
+    /// returning per-worker accounting.
+    fn morsel_pass(self: &Arc<Self>, pool: &WorkerPool) -> Vec<WorkerAccount> {
+        let dispenser = Arc::new(MorselDispenser::new(&self.costs, decode_granularity(), pool.size()));
+        let stats: Arc<Vec<Mutex<WorkerStats>>> =
+            Arc::new((0..pool.size()).map(|_| Mutex::new(WorkerStats::default())).collect());
+        let ctx = self.clone();
+        let d = dispenser.clone();
+        let st = stats.clone();
+        pool.run(Arc::new(move |w| {
+            let mut ws = WorkerStats::default();
+            while let Some(m) = d.claim(&mut ws) {
+                for item in &ctx.items[m.start..m.end] {
+                    std::hint::black_box(
+                        decompress_item(&ctx.compressed, &ctx.cfg, item)
+                            .expect("bench relation decodes"),
+                    );
+                }
+            }
+            if let Some(slot) = st.get(w) {
+                *slot.lock().expect("stats lock") = ws;
+            }
+        }));
+        stats.iter().map(|s| WorkerAccount::of(&s.lock().expect("stats lock"))).collect()
     }
 }
 
@@ -189,7 +328,32 @@ pub fn json(bench: &DecodeBench, rows: usize, seed: u64) -> String {
             if i + 1 == bench.runs.len() { "" } else { "," }
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str(&format!(
+        "  ],\n  \"available_parallelism\": {},\n  \"iters\": {},\n  \
+         \"serial_seconds\": {:.6},\n  \"dispenser_overhead_pct\": {:.2},\n  \
+         \"dispenser_overhead_ok\": {},\n  \"scale\": [\n",
+        bench.available_parallelism,
+        bench.iters,
+        bench.serial_seconds,
+        bench.dispenser_overhead_pct,
+        bench.dispenser_overhead_ok
+    ));
+    for (i, p) in bench.scale.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"threads\": {}, \"seconds\": {:.6}, \"speedup\": {:.2}, \
+             \"available_parallelism\": {}, \"workers\": [{}]}}{}\n",
+            p.threads,
+            p.seconds,
+            p.speedup,
+            p.available_parallelism,
+            workers_json(&p.workers),
+            if i + 1 == bench.scale.len() { "" } else { "," }
+        ));
+    }
+    out.push_str(&format!(
+        "  ],\n  \"decode_matches_serial\": {}\n}}\n",
+        bench.decode_matches_serial
+    ));
     out
 }
 
@@ -218,15 +382,33 @@ pub fn render(bench: &DecodeBench) -> String {
             run.scratch_misses.to_string(),
         ]);
     }
+    let mut scale = Table::new(&["threads", "seconds", "speedup", "morsels", "queue waits"]);
+    for p in &bench.scale {
+        scale.row(vec![
+            p.threads.to_string(),
+            format!("{:.4}", p.seconds),
+            format!("{:.2}x", p.speedup),
+            p.workers.iter().map(|w| w.morsels).sum::<u64>().to_string(),
+            p.workers.iter().map(|w| w.queue_waits).sum::<u64>().to_string(),
+        ]);
+    }
     format!(
         "Decode allocation cost ({} blocks, {} rows decoded per pass; \
          scratch holds {} pooled bytes after warm pass)\n\
          allocate-fresh API vs cold/warm DecodeScratch reuse \
-         (heap growth needs the tracking allocator — see the decode_scratch binary)\n\n{}",
+         (heap growth needs the tracking allocator — see the decode_scratch binary)\n\n{}\n\
+         Morsel-parallel decode scaling ({} cores available, {} passes per sample; \
+         output equal to serial: {}; dispenser overhead vs serial: {:+.2}% (ok: {}))\n\n{}",
         bench.blocks,
         bench.rows,
         bench.scratch_held_bytes,
-        table.render()
+        table.render(),
+        bench.available_parallelism,
+        bench.iters,
+        bench.decode_matches_serial,
+        bench.dispenser_overhead_pct,
+        bench.dispenser_overhead_ok,
+        scale.render()
     )
 }
 
@@ -251,8 +433,19 @@ mod tests {
         assert!(cold.scratch_misses > 0, "cold pass populates the pool");
         assert_eq!(warm.scratch_misses, 0, "warm pass is all hits");
         assert!(warm.scratch_hits > 0);
+        assert!(bench.decode_matches_serial, "parallel decode must equal serial");
+        assert_eq!(bench.scale.len(), 4);
+        assert!(bench.iters >= 1);
+        for p in &bench.scale {
+            assert_eq!(p.workers.len(), p.threads, "one account per worker");
+            let items: u64 = p.workers.iter().map(|w| w.items).sum();
+            assert_eq!(items as usize, bench.blocks, "every block claimed once");
+        }
         let json = json(&bench, 20_000, 7);
         assert!(json.contains("\"warm-scratch\""));
         assert!(json.contains("\"bytes_per_block\""));
+        assert!(json.contains("\"decode_matches_serial\": true"));
+        assert!(json.contains("\"dispenser_overhead_ok\""));
+        assert!(json.contains("\"queue_waits\""));
     }
 }

@@ -14,6 +14,7 @@
 
 pub mod experiments;
 pub mod formats;
+pub mod pool;
 pub mod proxies;
 
 use std::time::Instant;

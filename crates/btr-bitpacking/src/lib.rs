@@ -23,6 +23,7 @@ pub mod bp128;
 pub mod fastpfor;
 pub mod for_delta;
 pub mod plain;
+pub mod simd;
 
 /// Number of values in one vertical-layout packing block.
 pub const BLOCK128: usize = 128;

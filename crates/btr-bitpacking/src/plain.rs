@@ -5,7 +5,7 @@
 //! used by Parquet's bit-packed hybrid encoding. The per-width inner loops are
 //! fully determined by constants so LLVM unrolls and vectorizes them.
 
-use crate::{Error, Result};
+use crate::Result;
 
 /// Packs `values` (arbitrary length) at bit width `width` into a word vector.
 ///
@@ -56,35 +56,10 @@ pub fn unpack(packed: &[u32], count: usize, width: u8) -> Result<Vec<u32>> {
 }
 
 /// Unpacks `out.len()` values at bit width `width` from `packed` into `out`.
+/// Dispatches to the AVX2 gather kernel when the CPU has it (see
+/// [`crate::simd`]); use [`crate::simd::unpack_into_with`] to force scalar.
 pub fn unpack_into(packed: &[u32], width: u8, out: &mut [u32]) -> Result<()> {
-    if width > 32 {
-        return Err(Error::InvalidBitWidth(width));
-    }
-    if width == 0 {
-        out.fill(0);
-        return Ok(());
-    }
-    let w = width as usize;
-    let needed = (out.len() * w).div_ceil(32);
-    if packed.len() < needed {
-        return Err(Error::UnexpectedEnd);
-    }
-    let mask: u64 = if width == 32 { u64::from(u32::MAX) } else { (1u64 << width) - 1 };
-    let mut bitpos = 0usize;
-    for slot in out.iter_mut() {
-        let word = bitpos / 32;
-        let off = bitpos % 32;
-        // lint: allow(indexing) packed.len() >= needed words was checked above
-        let mut v = u64::from(packed[word]) >> off;
-        if off + w > 32 {
-            // lint: allow(indexing) a straddling value implies word + 1 < needed
-            v |= u64::from(packed[word + 1]) << (32 - off);
-        }
-        // lint: allow(cast) masked to the packing width (<= 32 bits)
-        *slot = (v & mask) as u32;
-        bitpos += w;
-    }
-    Ok(())
+    crate::simd::unpack_into_with(packed, width, out, crate::simd::SimdPref::Auto)
 }
 
 /// Number of `u32` words `pack` produces for `count` values at `width` bits.
@@ -95,6 +70,7 @@ pub fn packed_words(count: usize, width: u8) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Error;
 
     fn roundtrip(values: &[u32], width: u8) {
         let packed = pack(values, width);

@@ -38,6 +38,7 @@ pub mod eval;
 pub mod expr;
 pub mod plan;
 pub mod selection;
+pub mod simd;
 
 pub use agg::{AggKind, AggState, AggValue, Aggregate};
 pub use eval::{eval_predicate, filter_leaf, ColumnAccess, LeafInput, LeafVerdict};

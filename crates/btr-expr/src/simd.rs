@@ -1,0 +1,274 @@
+//! Vectorized selection-vector kernels.
+//!
+//! Selections in dense form are `u64` bitmap words ([`crate::selection`]
+//! obtains them via `btr_roaring::RoaringBitmap::write_dense_words`). These
+//! kernels cover the three hot operations on that form:
+//!
+//! * [`and_words_into`] — bitmap intersection, 256 bits per AVX2 `vpand`.
+//! * [`count_ones_words`] — density counting via the Muła nibble-lookup
+//!   popcount (`vpshufb` + `vpsadbw`); the scalar twin is one `popcnt` per
+//!   word.
+//! * [`words_to_indices`] — bitmap → selection-index expansion. The AVX2
+//!   variant's win is skipping all-zero 4-word groups with one `vptest`
+//!   (selective predicates leave most of the bitmap empty); set bits are
+//!   still extracted with the scalar bit trick, which is the fastest
+//!   portable way without AVX-512 compress stores.
+//!
+//! Every kernel takes an explicit [`SimdMode`] so the oracle tests (and the
+//! §6.8-style ablation) can force the scalar path; `Auto` dispatches on
+//! runtime AVX2 detection shared with btrblocks.
+
+use btrblocks::simd::use_avx2;
+use btrblocks::SimdMode;
+
+/// Writes `a & b` into `out` (cleared first), word by word. Inputs must have
+/// equal length — the selection layer always compares bitmaps of the same
+/// row-universe.
+pub fn and_words_into(a: &[u64], b: &[u64], out: &mut Vec<u64>, mode: SimdMode) {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len().min(b.len());
+    out.clear();
+    out.resize(n, 0);
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2(mode) {
+        // SAFETY: use_avx2 checked the CPU; the kernel reads/writes only
+        // the first n elements of equal-or-longer slices.
+        // lint: allow(indexing) n = min of all three lengths, slicing cannot panic
+        unsafe { and_words_avx2(&a[..n], &b[..n], &mut out[..n]) };
+        return;
+    }
+    let _ = mode;
+    for ((slot, &x), &y) in out.iter_mut().zip(a).zip(b) {
+        *slot = x & y;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+// SAFETY: caller must ensure AVX2 is available; `a`, `b`, `out` must all
+// hold at least `out.len()` words. Unaligned 32-byte loads/stores cover
+// 4-word groups; the tail runs scalar.
+unsafe fn and_words_avx2(a: &[u64], b: &[u64], out: &mut [u64]) {
+    use std::arch::x86_64::*;
+    let n = out.len();
+    let mut i = 0usize;
+    while i + 4 <= n {
+        let va = _mm256_loadu_si256(a.as_ptr().add(i) as *const __m256i);
+        let vb = _mm256_loadu_si256(b.as_ptr().add(i) as *const __m256i);
+        _mm256_storeu_si256(out.as_mut_ptr().add(i) as *mut __m256i, _mm256_and_si256(va, vb));
+        i += 4;
+    }
+    while i < n {
+        // lint: allow(indexing) i < n <= len of all three slices
+        out[i] = a[i] & b[i];
+        i += 1;
+    }
+}
+
+/// Total number of set bits across `words`.
+pub fn count_ones_words(words: &[u64], mode: SimdMode) -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2(mode) {
+        // SAFETY: use_avx2 checked the CPU; the kernel only reads `words`.
+        return unsafe { count_ones_avx2(words) };
+    }
+    let _ = mode;
+    words.iter().map(|w| u64::from(w.count_ones())).sum()
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+// SAFETY: caller must ensure AVX2 is available; the kernel only reads the
+// slice. Muła popcount: split each byte
+// into nibbles, look both up in a 16-entry bit-count table with vpshufb, sum
+// byte counts into the four 64-bit lanes with vpsadbw. Loads are unaligned
+// 32-byte reads of complete 4-word groups; the tail uses scalar popcnt.
+unsafe fn count_ones_avx2(words: &[u64]) -> u64 {
+    use std::arch::x86_64::*;
+    let lut = _mm256_setr_epi8(
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, // low lane
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, // high lane
+    );
+    let low_mask = _mm256_set1_epi8(0x0F);
+    let mut acc = _mm256_setzero_si256();
+    let n = words.len();
+    let mut i = 0usize;
+    while i + 4 <= n {
+        let v = _mm256_loadu_si256(words.as_ptr().add(i) as *const __m256i);
+        let lo = _mm256_and_si256(v, low_mask);
+        let hi = _mm256_and_si256(_mm256_srli_epi64::<4>(v), low_mask);
+        let cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo), _mm256_shuffle_epi8(lut, hi));
+        acc = _mm256_add_epi64(acc, _mm256_sad_epu8(cnt, _mm256_setzero_si256()));
+        i += 4;
+    }
+    let mut lanes = [0u64; 4];
+    _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, acc);
+    let mut total = lanes.iter().sum::<u64>();
+    while i < n {
+        // lint: allow(indexing) i < n = words.len()
+        total += u64::from(words[i].count_ones());
+        i += 1;
+    }
+    total
+}
+
+/// Expands set bits of `words` into sorted row indices appended to `out`
+/// (cleared first), dropping any index `>= limit` (slack bits past the row
+/// count in the final word).
+pub fn words_to_indices(words: &[u64], limit: u32, out: &mut Vec<u32>, mode: SimdMode) {
+    out.clear();
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2(mode) {
+        // SAFETY: use_avx2 checked the CPU; the kernel reads `words` and
+        // appends to `out` through safe Vec methods.
+        unsafe { words_to_indices_avx2(words, limit, out) };
+        return;
+    }
+    let _ = mode;
+    for (wi, &word) in words.iter().enumerate() {
+        expand_word(wi, word, limit, out);
+    }
+}
+
+/// Appends the set-bit indices of one word (scalar bit-clear loop).
+#[inline]
+fn expand_word(wi: usize, word: u64, limit: u32, out: &mut Vec<u32>) {
+    let mut w = word;
+    let base = (wi * 64) as u64;
+    while w != 0 {
+        let idx = base + u64::from(w.trailing_zeros());
+        if idx >= u64::from(limit) {
+            break; // bits ascend within the word; the rest are also past limit
+        }
+        out.push(idx as u32); // lint: allow(cast) idx < limit <= u32::MAX, guarded above
+        w &= w - 1;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+// SAFETY: caller must ensure AVX2 is available. One unaligned 32-byte load
+// + one vptest per complete 4-word group; non-zero groups and the tail defer
+// to the safe scalar expansion.
+unsafe fn words_to_indices_avx2(words: &[u64], limit: u32, out: &mut Vec<u32>) {
+    use std::arch::x86_64::*;
+    let n = words.len();
+    let mut i = 0usize;
+    while i + 4 <= n {
+        let v = _mm256_loadu_si256(words.as_ptr().add(i) as *const __m256i);
+        if _mm256_testz_si256(v, v) == 0 {
+            for k in 0..4 {
+                // lint: allow(indexing) i + k < i + 4 <= n
+                expand_word(i + k, words[i + k], limit, out);
+            }
+        }
+        i += 4;
+    }
+    while i < n {
+        // lint: allow(indexing) i < n = words.len()
+        expand_word(i, words[i], limit, out);
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn modes() -> [SimdMode; 2] {
+        [SimdMode::Auto, SimdMode::ForceScalar]
+    }
+
+    fn rng_words(seed: u64, n: usize, density: u64) -> Vec<u64> {
+        // xorshift64*; density selects all-zero words often to exercise the
+        // vptest skip path.
+        let mut s = seed;
+        (0..n)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                let v = s.wrapping_mul(0x2545_F491_4F6C_DD1D);
+                if v % 10 < density {
+                    v
+                } else {
+                    0
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn and_words_matches_scalar() {
+        for n in [0usize, 1, 3, 4, 5, 8, 17, 100] {
+            let a = rng_words(1, n, 8);
+            let b = rng_words(2, n, 8);
+            let expect: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| x & y).collect();
+            for mode in modes() {
+                let mut out = vec![u64::MAX; 2]; // dirty out, wrong length
+                and_words_into(&a, &b, &mut out, mode);
+                assert_eq!(out, expect, "n {n} mode {mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn count_ones_matches_scalar() {
+        for n in [0usize, 1, 3, 4, 7, 8, 33, 257] {
+            for density in [0u64, 3, 10] {
+                let words = rng_words(n as u64 + 7, n, density);
+                let expect: u64 = words.iter().map(|w| u64::from(w.count_ones())).sum();
+                for mode in modes() {
+                    assert_eq!(
+                        count_ones_words(&words, mode),
+                        expect,
+                        "n {n} density {density} mode {mode:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn count_ones_saturated_words() {
+        // All-ones input stresses the vpsadbw accumulator (64 per word).
+        let words = vec![u64::MAX; 100];
+        for mode in modes() {
+            assert_eq!(count_ones_words(&words, mode), 6400);
+        }
+    }
+
+    #[test]
+    fn indices_match_scalar_and_are_sorted() {
+        for n in [0usize, 1, 4, 5, 16, 65] {
+            for density in [0u64, 2, 10] {
+                let words = rng_words(n as u64 * 31 + 1, n, density);
+                let limit = (n * 64) as u32;
+                let mut expect = Vec::new();
+                for (wi, &w) in words.iter().enumerate() {
+                    for b in 0..64 {
+                        if w & (1 << b) != 0 {
+                            expect.push((wi * 64 + b) as u32);
+                        }
+                    }
+                }
+                for mode in modes() {
+                    let mut out = vec![9u32; 3]; // dirty out
+                    words_to_indices(&words, limit, &mut out, mode);
+                    assert_eq!(out, expect, "n {n} density {density} mode {mode:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn indices_respect_limit() {
+        // Slack bits past `limit` in the last word must be dropped.
+        let words = vec![u64::MAX; 2];
+        for mode in modes() {
+            let mut out = Vec::new();
+            words_to_indices(&words, 70, &mut out, mode);
+            assert_eq!(out, (0..70).collect::<Vec<u32>>(), "mode {mode:?}");
+        }
+    }
+}

@@ -4,7 +4,7 @@
 /// 4096 × 2 bytes = 8 KiB, the break-even point against a 8 KiB bitset.
 pub(crate) const ARRAY_MAX: usize = 4096;
 
-const BITMAP_WORDS: usize = 1024;
+pub(crate) const BITMAP_WORDS: usize = 1024;
 
 /// One 2^16-value chunk of a Roaring bitmap.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -290,6 +290,98 @@ impl RoaringBitmap {
         RoaringBitmap { chunks: out }
     }
 
+    /// Expands the bitmap into a dense `u64` word array covering `0..rows`
+    /// (`ceil(rows / 64)` words), clearing `out` first; set values `>= rows`
+    /// are ignored. A chunk spans 65536 bits = exactly 1024 words, so every
+    /// container lands word-aligned: Bitmap containers OR-copy whole words,
+    /// Run containers OR word-sized masks. The dense form is what the
+    /// vectorized selection kernels (btr-expr) operate on.
+    pub fn write_dense_words(&self, rows: u32, out: &mut Vec<u64>) {
+        let words = (rows as usize).div_ceil(64);
+        out.clear();
+        out.resize(words, 0);
+        for (key, c) in &self.chunks {
+            let base = usize::from(*key) * container::BITMAP_WORDS;
+            if base >= words {
+                break; // chunks ascend; everything further is >= rows
+            }
+            match c {
+                Container::Array(lows) => {
+                    for &low in lows {
+                        if let Some(slot) = out.get_mut(base + usize::from(low) / 64) {
+                            *slot |= 1u64 << (low % 64);
+                        }
+                    }
+                }
+                Container::Bitmap(b) => {
+                    let n = (words - base).min(container::BITMAP_WORDS);
+                    // lint: allow(indexing) base + n <= words = out.len(); n <= 1024 = b.len()
+                    for (slot, w) in out[base..base + n].iter_mut().zip(b.iter()) {
+                        *slot |= *w;
+                    }
+                }
+                Container::Run(runs) => {
+                    for &(start, len) in runs {
+                        let mut s = u32::from(start);
+                        let e = u32::from(start) + u32::from(len); // inclusive
+                        loop {
+                            // Bits of this run that fall in word s/64.
+                            let span_end = (s | 63).min(e);
+                            let nbits = span_end - s + 1;
+                            let mask = if nbits == 64 {
+                                u64::MAX
+                            } else {
+                                ((1u64 << nbits) - 1) << (s % 64)
+                            };
+                            if let Some(slot) = out.get_mut(base + (s as usize) / 64) {
+                                *slot |= mask;
+                            }
+                            if span_end == e {
+                                break;
+                            }
+                            s = span_end + 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Rebuilds a bitmap from a dense word array — the inverse of
+    /// [`RoaringBitmap::write_dense_words`]. Each 1024-word group becomes
+    /// one chunk: an Array container when at or below the 4096-entry
+    /// break-even, a Bitmap container otherwise.
+    pub fn from_dense_words(words: &[u64]) -> RoaringBitmap {
+        let mut chunks = Vec::new();
+        for (chunk_idx, group) in words.chunks(container::BITMAP_WORDS).enumerate() {
+            let card: usize = group.iter().map(|w| w.count_ones() as usize).sum();
+            if card == 0 {
+                continue;
+            }
+            // lint: allow(cast) a u32 universe has at most 2^16 word groups
+            let key = chunk_idx as u16;
+            let container = if card <= ARRAY_MAX {
+                let mut lows = Vec::with_capacity(card);
+                for (wi, &word) in group.iter().enumerate() {
+                    let mut w = word;
+                    while w != 0 {
+                        // lint: allow(cast) wi < 1024 and trailing_zeros < 64, so the low fits u16
+                        lows.push((wi * 64) as u16 + w.trailing_zeros() as u16);
+                        w &= w - 1;
+                    }
+                }
+                Container::Array(lows)
+            } else {
+                let mut full = Box::new([0u64; container::BITMAP_WORDS]);
+                // lint: allow(indexing) group.len() <= 1024 by chunks() construction
+                full[..group.len()].copy_from_slice(group);
+                Container::Bitmap(full)
+            };
+            chunks.push((key, container));
+        }
+        RoaringBitmap { chunks }
+    }
+
     /// Serializes to a compact byte buffer; see the `serialize` module docs
     /// for the layout.
     pub fn serialize(&self) -> Vec<u8> {
@@ -403,6 +495,79 @@ mod tests {
         assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 2, 3, 4, 100_000, 200_000]);
         let i = a.intersection(&b);
         assert_eq!(i.iter().collect::<Vec<_>>(), vec![2, 3]);
+    }
+
+    #[test]
+    fn dense_words_roundtrip_shapes() {
+        // Sparse array chunk, dense bitmap chunk, and a multi-chunk spread
+        // must all survive write_dense_words -> from_dense_words.
+        let shapes: [Vec<u32>; 4] = [
+            vec![0, 3, 63, 64, 1000],
+            (0..10_000).collect(),
+            (0..200_000).step_by(13).collect(),
+            vec![],
+        ];
+        for values in &shapes {
+            let bm = RoaringBitmap::from_sorted_iter(values.iter().copied());
+            let rows = values.iter().copied().max().map_or(0, |m| m + 1);
+            let mut words = Vec::new();
+            bm.write_dense_words(rows, &mut words);
+            assert_eq!(words.len(), (rows as usize).div_ceil(64));
+            let back = RoaringBitmap::from_dense_words(&words);
+            assert_eq!(back, bm, "shape with {} values", values.len());
+        }
+    }
+
+    #[test]
+    fn dense_words_set_expected_bits() {
+        let bm = RoaringBitmap::from_sorted_iter([0u32, 1, 64, 127]);
+        let mut words = vec![0xFFu64; 1]; // dirty out, wrong length
+        bm.write_dense_words(128, &mut words);
+        assert_eq!(words, vec![0b11, (1 << 0) | (1 << 63)]);
+    }
+
+    #[test]
+    fn dense_words_ignore_values_past_rows() {
+        let bm = RoaringBitmap::from_sorted_iter([3u32, 70, 100_000, 200_000]);
+        let mut words = Vec::new();
+        bm.write_dense_words(80, &mut words);
+        assert_eq!(words.len(), 2);
+        assert_eq!(words[0], 1 << 3);
+        assert_eq!(words[1], 1 << (70 - 64));
+    }
+
+    #[test]
+    fn dense_words_expand_run_containers() {
+        // Runs crossing word boundaries, exactly filling a word, and a
+        // single-value run (len 0).
+        let bm = RoaringBitmap {
+            chunks: vec![(0, Container::Run(vec![(60, 10), (128, 63), (300, 0)]))],
+        };
+        let expect: Vec<u32> =
+            (60..=70).chain(128..=191).chain(std::iter::once(300)).collect();
+        let mut words = Vec::new();
+        bm.write_dense_words(301, &mut words);
+        let back = RoaringBitmap::from_dense_words(&words);
+        assert_eq!(back.iter().collect::<Vec<_>>(), expect);
+    }
+
+    #[test]
+    fn from_dense_words_picks_container_kinds() {
+        // <= 4096 set bits in a chunk -> Array; more -> Bitmap; empty 1024-word
+        // groups produce no chunk at all.
+        let mut words = vec![0u64; 3 * 1024];
+        words[0] = 0b101; // chunk 0: 2 bits -> Array
+        for w in words[2048..2048 + 100].iter_mut() {
+            *w = u64::MAX; // chunk 2: 6400 bits -> Bitmap
+        }
+        let bm = RoaringBitmap::from_dense_words(&words);
+        let chunks = bm.chunks();
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[0].0, 0);
+        assert!(matches!(chunks[0].1, Container::Array(_)));
+        assert_eq!(chunks[1].0, 2);
+        assert!(matches!(chunks[1].1, Container::Bitmap(_)));
+        assert_eq!(bm.cardinality(), 2 + 6400);
     }
 
     #[test]

@@ -49,8 +49,8 @@ use btr_s3sim::{Deadline, RetryBudget};
 use btrblocks::{BlockZone, ColumnData, Config, DecodeScratch, Sidecar};
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use btr_sync::{OrderedCondvar, OrderedMutex, Rank};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use btr_sync::{CachePadded, OrderedCondvar, OrderedMutex, Rank};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -136,6 +136,9 @@ pub struct ScanReport {
     /// Upward degradation-ladder moves (cache bypass, shrunk prefetch)
     /// taken while this scan ran.
     pub degradation_steps: u64,
+    /// Claim batches workers took from the shared dispenser state — the
+    /// per-scan lock-acquisition count of the morsel claim path.
+    pub morsels_claimed: u64,
 }
 
 /// Reorder/backpressure state of one scan's pipeline.
@@ -157,6 +160,10 @@ const ENGINE_STATE_RANK: Rank = Rank::new(50, "scan.engine.state");
 const ENGINE_TASK_FREE_RANK: Rank = Rank::new(51, "scan.engine.task_free");
 const ENGINE_OUT_READY_RANK: Rank = Rank::new(52, "scan.engine.out_ready");
 
+/// How many row groups one claim may take at most once the per-worker ramp
+/// is fully open (see [`worker_loop`]).
+const MAX_CLAIM_BATCH: usize = 8;
+
 struct Shared {
     state: OrderedMutex<PipeState>,
     /// Signals workers that the window moved (or the scan was cancelled).
@@ -164,8 +171,12 @@ struct Shared {
     /// Signals the consumer that a result landed.
     out_ready: OrderedCondvar,
     /// Live prefetch window size; the degradation ladder shrinks it while
-    /// the source's breaker is not closed.
-    capacity: AtomicUsize,
+    /// the source's breaker is not closed. Padded: workers re-read it every
+    /// claim while one worker stores the refreshed window, and it must not
+    /// share a line with the morsel counter next to it.
+    capacity: CachePadded<AtomicUsize>,
+    /// Claim batches ("morsels") workers took from the dispenser state.
+    morsels_claimed: CachePadded<AtomicU64>,
 }
 
 fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
@@ -183,13 +194,17 @@ fn worker_loop(shared: &Shared, pipeline: &BlockPipeline, groups: &[RowGroup]) {
     // while decoding block i are pooled and reused for block i + workers,
     // so a steady-state scan decodes without heap allocation.
     let mut scratch = DecodeScratch::new();
+    // Morsel ramp: each claim doubles this worker's batch (1, 2, 4, 8) so
+    // tiny scans still spread across workers while long scans amortize the
+    // state lock over MAX_CLAIM_BATCH groups per acquisition.
+    let mut claims = 0u32;
     loop {
         shared
             .capacity
             // ordering: advisory prefetch window; workers re-read it every
             // iteration and a stale value only delays the resize one step
             .store(pipeline.refresh_window(), Ordering::Relaxed);
-        let i = {
+        let (start, take) = {
             // Park while the scan is live and the prefetch window is full;
             // spurious wakeups re-test the window like the old manual loop.
             let mut st = shared.task_free.wait_while(shared.state.lock(), |st| {
@@ -201,25 +216,39 @@ fn worker_loop(shared: &Shared, pipeline: &BlockPipeline, groups: &[RowGroup]) {
             if st.cancelled || st.next_task >= groups.len() {
                 return;
             }
-            let i = st.next_task;
-            st.next_task += 1;
-            i
+            // One lock acquisition claims a contiguous run of groups, capped
+            // by the ramp target, the prefetch window space, and what's left.
+            // ordering: advisory window; see the store above
+            let cap = shared.capacity.load(Ordering::Relaxed).max(1);
+            let space = (st.next_emit + cap).saturating_sub(st.next_task).max(1);
+            let ramp = (1usize << claims.min(3)).min(MAX_CLAIM_BATCH);
+            let take = ramp.min(space).min(groups.len() - st.next_task);
+            let start = st.next_task;
+            st.next_task += take;
+            (start, take)
         };
-        // lint: allow(indexing) i < groups.len() was checked before leaving the lock
-        let group = groups[i];
-        let result = catch_unwind(AssertUnwindSafe(|| pipeline.process(group, &mut scratch)))
-            .unwrap_or_else(|payload| {
-                Err(ScanError::Worker(format!(
-                    "row group {} (block {}): {}",
-                    i,
-                    group.block,
-                    panic_text(payload.as_ref())
-                )))
-            });
-        let mut st = shared.state.lock();
-        st.ready.insert(i, result);
-        drop(st);
-        shared.out_ready.notify_all();
+        claims += 1;
+        // ordering: statistics counter, no synchronization implied
+        shared.morsels_claimed.fetch_add(1, Ordering::Relaxed);
+        for (i, &group) in groups.iter().enumerate().skip(start).take(take) {
+            let result = catch_unwind(AssertUnwindSafe(|| pipeline.process(group, &mut scratch)))
+                .unwrap_or_else(|payload| {
+                    Err(ScanError::Worker(format!(
+                        "row group {} (block {}): {}",
+                        i,
+                        group.block,
+                        panic_text(payload.as_ref())
+                    )))
+                });
+            let mut st = shared.state.lock();
+            let stop = st.cancelled;
+            st.ready.insert(i, result);
+            drop(st);
+            shared.out_ready.notify_all();
+            if stop {
+                return;
+            }
+        }
     }
 }
 
@@ -299,7 +328,8 @@ impl ScanEngine {
             }),
             task_free: OrderedCondvar::new(ENGINE_TASK_FREE_RANK),
             out_ready: OrderedCondvar::new(ENGINE_OUT_READY_RANK),
-            capacity: AtomicUsize::new(capacity),
+            capacity: CachePadded::new(AtomicUsize::new(capacity)),
+            morsels_claimed: CachePadded::new(AtomicU64::new(0)),
         });
         let n_workers = self.options.workers.max(1).min(groups.len().max(1));
         // Snapshot before spawning: workers may finish fetching before this
@@ -550,6 +580,8 @@ impl Scan {
             breaker_transitions: fetch.breaker_transitions - self.fetch_base.breaker_transitions,
             blocks_quarantined: fetch.blocks_quarantined - self.fetch_base.blocks_quarantined,
             degradation_steps: c.degradation_steps,
+            // ordering: statistics read, no synchronization implied
+            morsels_claimed: self.shared.morsels_claimed.load(Ordering::Relaxed),
         }
     }
 }
@@ -861,6 +893,42 @@ mod tests {
         assert_eq!(report.values, vec![btr_expr::AggValue::SumDouble(want)]);
         // id < 1500 prunes blocks 2 and 3 before any fetch.
         assert_eq!(report.blocks_pruned, 2);
+    }
+
+    #[test]
+    fn morsel_claims_batch_up_without_changing_output() {
+        // 100 row groups through 2 workers: the ramp must coalesce claims
+        // (fewer lock acquisitions than groups) and the ordered output must
+        // be unaffected.
+        let engine = ScanEngine::new(EngineOptions {
+            workers: 2,
+            prefetch: 32,
+            ..options(500, 4_096)
+        });
+        let rel = Relation::new(vec![Column::new(
+            "id",
+            ColumnData::Int((0..50_000).collect()),
+        )]);
+        let sidecar = Sidecar::build(&rel, 500);
+        let source = source_of(&rel, &engine.options.config, "morsels");
+        let mut scan = engine
+            .scan(source, &sidecar, &ScanSpec::project(["id"]))
+            .unwrap();
+        let all: Vec<i32> = scan
+            .by_ref()
+            .flat_map(|b| match b.unwrap().column("id").unwrap() {
+                ColumnData::Int(v) => v.clone(),
+                _ => unreachable!("projected an int column"),
+            })
+            .collect();
+        assert_eq!(all, (0..50_000).collect::<Vec<_>>());
+        let report = scan.report();
+        assert!(report.morsels_claimed > 0);
+        assert!(
+            report.morsels_claimed < 100,
+            "ramped claims must batch groups: {} claims for 100 groups",
+            report.morsels_claimed
+        );
     }
 
     #[test]

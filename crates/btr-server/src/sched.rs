@@ -122,6 +122,26 @@ impl Scheduler {
         }
     }
 
+    /// Picks up to `limit` tasks in DRR order, appending them to `out`;
+    /// returns how many were taken. Byte-equivalent to `limit` consecutive
+    /// [`Scheduler::pick`] calls — a dispatch leaves the cursor on the
+    /// serving tenant, so batching does not change the DRR order — but lets
+    /// a worker drain a morsel of tasks under one scheduler-lock
+    /// acquisition.
+    pub fn pick_batch(&mut self, limit: usize, out: &mut Vec<Task>) -> usize {
+        let mut taken = 0;
+        while taken < limit {
+            match self.pick() {
+                Some(task) => {
+                    out.push(task);
+                    taken += 1;
+                }
+                None => break,
+            }
+        }
+        taken
+    }
+
     /// Removes every queued task of scan `scan_id`, returning them so the
     /// caller can release per-block interest registrations.
     pub fn purge(&mut self, scan_id: u64) -> Vec<Task> {
@@ -207,6 +227,43 @@ mod tests {
         while let Some(task) = sched.pick() {
             assert_eq!(task.scan.id, 2);
         }
+    }
+
+    #[test]
+    fn pick_batch_matches_repeated_single_picks() {
+        // Two schedulers with identical queues: draining one via pick() and
+        // the other via pick_batch() must dispatch the same (scan, group)
+        // sequence — batching is a locking optimization, not a policy change.
+        let build = || {
+            let mut sched = Scheduler::new(16);
+            let s1 = dummy_scan(1);
+            let s2 = dummy_scan(2);
+            let a: Arc<str> = Arc::from("a");
+            let b: Arc<str> = Arc::from("b");
+            for i in 0..12 {
+                sched.enqueue(&a, task(&s1, i, 7 + (i as u64 % 5) * 9));
+                if i % 3 == 0 {
+                    sched.enqueue(&b, task(&s2, i, 30));
+                }
+            }
+            sched
+        };
+        let mut single = Vec::new();
+        let mut one = build();
+        while let Some(t) = one.pick() {
+            single.push((t.scan.id, t.group_idx));
+        }
+        let mut batched = Vec::new();
+        let mut many = build();
+        loop {
+            let mut out = Vec::new();
+            if many.pick_batch(4, &mut out) == 0 {
+                break;
+            }
+            batched.extend(out.into_iter().map(|t| (t.scan.id, t.group_idx)));
+        }
+        assert_eq!(batched, single);
+        assert_eq!(batched.len(), 16);
     }
 
     #[test]

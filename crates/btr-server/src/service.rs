@@ -47,7 +47,7 @@ use btr_s3sim::{Deadline, RetryBudget};
 use btrblocks::{ColumnData, DecodeScratch, Sidecar};
 use std::collections::{BTreeMap, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use btr_sync::{OrderedCondvar, OrderedMutex, Rank};
+use btr_sync::{CachePadded, OrderedCondvar, OrderedMutex, Rank};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::Instant;
@@ -177,11 +177,15 @@ struct Inner {
     /// Wakes workers when tasks arrive or the service shuts down.
     task_ready: OrderedCondvar,
     /// Tasks enqueued and not yet emitted to a consumer, service-wide.
-    outstanding_tasks: AtomicU64,
+    /// The three counters below are written from every worker and every
+    /// consumer; each gets its own cache line so an admission-budget update
+    /// never invalidates the dispatch counter's line (and vice versa).
+    outstanding_tasks: CachePadded<AtomicU64>,
     /// Estimated compressed bytes behind those tasks.
-    outstanding_bytes: AtomicU64,
+    outstanding_bytes: CachePadded<AtomicU64>,
     /// Monotone dispatch counter; differences measure logical queue wait.
-    dispatch_seq: AtomicU64,
+    dispatch_seq: CachePadded<AtomicU64>,
+    /// Unpadded on purpose: only the submit path touches it.
     scan_ids: AtomicU64,
     shutdown: AtomicBool,
     /// Live scans, so shutdown can wake blocked consumers and the report can
@@ -200,12 +204,20 @@ fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// Tasks one worker drains per scheduler-lock acquisition. Small enough that
+/// a point query queued behind another worker's batch still dispatches
+/// within a few task executions; large enough to amortize the scheduler and
+/// metrics locks across a morsel of work. DRR order is unchanged (see
+/// [`Scheduler::pick_batch`]).
+const WORKER_PICK_BATCH: usize = 4;
+
 fn worker_loop(inner: &Inner) {
     // One decode arena per worker for the lifetime of the service; buffers
     // recycle across row groups of every scan it serves.
     let mut scratch = DecodeScratch::new();
+    let mut batch: Vec<Task> = Vec::with_capacity(WORKER_PICK_BATCH);
     loop {
-        let task = {
+        {
             let mut sched = inner.task_ready.wait_while(inner.sched.lock(), |sched| {
                 // ordering: shutdown flag; the predicate re-reads it on
                 // every wakeup, so a stale value only costs one iteration
@@ -214,47 +226,54 @@ fn worker_loop(inner: &Inner) {
             if inner.shutdown.load(Ordering::Relaxed) { // ordering: shutdown flag
                 return;
             }
-            match sched.pick() {
-                // `has_ready` held under the lock, so `pick` finds a task;
-                // the arm below keeps the loop robust to predicate drift.
-                Some(task) => task,
-                None => continue,
-            }
-        };
-        let d = inner.dispatch_seq.fetch_add(1, Ordering::Relaxed); // ordering: monotone dispatch counter; gaps only skew wait stats
-        let wait_logical = d.saturating_sub(task.enqueue_dispatch);
-        let wait_seconds = task.enqueued_at.elapsed().as_secs_f64();
-        {
-            let mut m = inner.metrics.lock();
-            let acc = m.tenants.entry(task.scan.tenant.clone()).or_default();
-            acc.tasks_dispatched += 1;
-            acc.wait_logical.push(wait_logical);
-            acc.wait_seconds.push(wait_seconds);
+            sched.pick_batch(WORKER_PICK_BATCH, &mut batch);
         }
-        let scan = &task.scan;
-        if scan.cancelled.load(Ordering::Relaxed) { // ordering: cancel flag; a stale read only delays the skip
-            // finish() purges queued tasks, but a task already picked is past
-            // the purge — release its block interest here instead.
-            scan.release_interest(task.group.block);
+        if batch.is_empty() {
+            // `has_ready` held under the lock, so the batch is normally
+            // non-empty; this arm keeps the loop robust to predicate drift.
             continue;
         }
-        let result = catch_unwind(AssertUnwindSafe(|| {
-            scan.pipeline.process(task.group, &mut scratch)
-        }))
-        .unwrap_or_else(|payload| {
-            Err(ScanError::Worker(format!(
-                "row group {} (block {}): {}",
-                task.group_idx,
-                task.group.block,
-                panic_text(payload.as_ref())
-            )))
-        });
-        scan.release_interest(task.group.block);
+        // The whole batch dispatches now: one metrics-lock acquisition
+        // records every task's queue wait.
         {
-            let mut p = scan.progress.lock();
-            p.ready.insert(task.group_idx, result);
+            let mut m = inner.metrics.lock();
+            for task in &batch {
+                let d = inner.dispatch_seq.fetch_add(1, Ordering::Relaxed); // ordering: monotone dispatch counter; gaps only skew wait stats
+                let acc = m.tenants.entry(task.scan.tenant.clone()).or_default();
+                acc.tasks_dispatched += 1;
+                acc.wait_logical.push(d.saturating_sub(task.enqueue_dispatch));
+                acc.wait_seconds.push(task.enqueued_at.elapsed().as_secs_f64());
+            }
         }
-        scan.out_ready.notify_all();
+        for task in batch.drain(..) {
+            let scan = &task.scan;
+            // ordering: shutdown flag; remaining tasks just release interest
+            let stop = inner.shutdown.load(Ordering::Relaxed);
+            // ordering: cancel flag; a stale read only delays the skip
+            if stop || scan.cancelled.load(Ordering::Relaxed) {
+                // finish() purges queued tasks, but a task already picked is
+                // past the purge — release its block interest here instead.
+                scan.release_interest(task.group.block);
+                continue;
+            }
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                scan.pipeline.process(task.group, &mut scratch)
+            }))
+            .unwrap_or_else(|payload| {
+                Err(ScanError::Worker(format!(
+                    "row group {} (block {}): {}",
+                    task.group_idx,
+                    task.group.block,
+                    panic_text(payload.as_ref())
+                )))
+            });
+            scan.release_interest(task.group.block);
+            {
+                let mut p = scan.progress.lock();
+                p.ready.insert(task.group_idx, result);
+            }
+            scan.out_ready.notify_all();
+        }
     }
 }
 
@@ -484,9 +503,9 @@ impl ScanService {
             gate: Arc::new(DecodeGate::new()),
             relations: OrderedMutex::new(RELATIONS_RANK, HashMap::new()),
             task_ready: OrderedCondvar::new(TASK_READY_RANK),
-            outstanding_tasks: AtomicU64::new(0),
-            outstanding_bytes: AtomicU64::new(0),
-            dispatch_seq: AtomicU64::new(0),
+            outstanding_tasks: CachePadded::new(AtomicU64::new(0)),
+            outstanding_bytes: CachePadded::new(AtomicU64::new(0)),
+            dispatch_seq: CachePadded::new(AtomicU64::new(0)),
             scan_ids: AtomicU64::new(1),
             shutdown: AtomicBool::new(false),
             scans: OrderedMutex::new(SCANS_RANK, Vec::new()),

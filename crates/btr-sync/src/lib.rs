@@ -34,6 +34,11 @@
 //! already contained and surfaced as typed errors by the scan layers, and a
 //! poisoned-lock panic cascade would only obscure the original failure.
 
+pub mod morsel;
+mod pad;
+
+pub use pad::CachePadded;
+
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -1,0 +1,345 @@
+//! Morsel-driven work distribution (Leis et al., "Morsel-Driven Parallelism",
+//! adapted to this workspace's encode/decode/scan fan-outs).
+//!
+//! The old fan-outs handed out one work item per atomic `fetch_add`, which
+//! has two scaling problems: tiny items make the shared cursor the hottest
+//! line in the process, and uniform items ignore that a "block" can be 40
+//! bytes or 4 MB. A [`MorselDispenser`] instead hands out *size-targeted
+//! ranges* of items ("morsels"): each claim advances a single cache-padded
+//! cursor over a prefix-sum of per-item costs (bytes of input for encode,
+//! rows of output for decode) until the claimed range's cost reaches the
+//! current target.
+//!
+//! The target is adaptive ([`Granularity`]): the first round of claims uses
+//! the minimum cost so every worker starts immediately (ramp-up), and the
+//! target doubles per round until it hits the maximum, amortizing queue
+//! traffic at steady state. A fixed granularity (min == max) is provided for
+//! determinism tests and ablation.
+//!
+//! Claiming is a CAS loop on the cursor; workers record morsels claimed,
+//! items and cost units processed, and CAS retries (queue waits) in their
+//! own [`WorkerStats`] — callers keep one per worker (cache-padded, see
+//! [`crate::CachePadded`]) so the accounting itself never false-shares.
+//!
+//! Output placement stays with the caller: the dispenser only partitions the
+//! index space, so results can be staged worker-locally and merged by item
+//! index after the join — the collector never contends with producers.
+
+use crate::CachePadded;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Morsel sizing policy, in the dispenser's cost units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Granularity {
+    /// Cost target for the first round of claims (ramp-up).
+    pub min_cost: u64,
+    /// Cost target ceiling at steady state.
+    pub max_cost: u64,
+}
+
+impl Granularity {
+    /// Adaptive sizing: claims target `min_cost` on the first round and
+    /// double per round up to `max_cost`.
+    pub fn adaptive(min_cost: u64, max_cost: u64) -> Granularity {
+        Granularity {
+            min_cost,
+            max_cost: max_cost.max(min_cost),
+        }
+    }
+
+    /// Fixed sizing: every claim targets `cost` units.
+    pub fn fixed(cost: u64) -> Granularity {
+        Granularity { min_cost: cost, max_cost: cost }
+    }
+
+    /// One item per claim regardless of cost (maximum queue traffic; the
+    /// behaviour of the pre-morsel fan-out, kept for ablation and tests).
+    pub fn single_item() -> Granularity {
+        Granularity::fixed(0)
+    }
+
+    /// The cost target for claim round `round` (0-based): `min_cost`
+    /// doubled per round, saturating at `max_cost`.
+    pub fn target(&self, round: u64) -> u64 {
+        let shift = round.min(32) as u32;
+        self.min_cost
+            .saturating_mul(1u64 << shift)
+            .clamp(self.min_cost, self.max_cost)
+    }
+}
+
+impl Default for Granularity {
+    /// A generic adaptive default for byte-cost work (64 KiB ramping to
+    /// 1 MiB); callers with row-cost items should pick their own.
+    fn default() -> Granularity {
+        Granularity::adaptive(64 << 10, 1 << 20)
+    }
+}
+
+/// A claimed range of work items: process `start..end`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Morsel {
+    /// First item index (inclusive).
+    pub start: usize,
+    /// One past the last item index (exclusive).
+    pub end: usize,
+}
+
+/// Per-worker work accounting, owned by one worker for the whole run.
+/// Callers keep these in `CachePadded` slots so neighbouring workers'
+/// updates never share a cache line.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Morsels this worker claimed.
+    pub morsels: u64,
+    /// Work items this worker processed.
+    pub items: u64,
+    /// Cost units (dispenser-defined) this worker processed.
+    pub cost_units: u64,
+    /// CAS retries while claiming — the queue-wait signal: how often this
+    /// worker lost a race on the shared cursor.
+    pub queue_waits: u64,
+}
+
+impl WorkerStats {
+    /// Folds another worker's stats into this one (for totals).
+    pub fn merge(&mut self, other: &WorkerStats) {
+        self.morsels += other.morsels;
+        self.items += other.items;
+        self.cost_units += other.cost_units;
+        self.queue_waits += other.queue_waits;
+    }
+}
+
+/// A shared dispenser over `n` work items with per-item costs.
+///
+/// Construction is O(n) (one prefix-sum); each claim is a binary search plus
+/// one CAS. Safe to share by reference across worker threads.
+#[derive(Debug)]
+pub struct MorselDispenser {
+    /// `prefix[i]` = total cost of items `0..i`; `prefix[n]` = total cost.
+    prefix: Vec<u64>,
+    /// Next unclaimed item index. Padded: every worker CASes this.
+    cursor: CachePadded<AtomicUsize>,
+    /// Claims handed out, driving the adaptive ramp. Padded and separate
+    /// from the cursor so the ramp read never contends with claim CASes.
+    claims: CachePadded<AtomicU64>,
+    granularity: Granularity,
+    /// Ramp divisor: one "round" is one claim per worker.
+    workers: u64,
+}
+
+impl MorselDispenser {
+    /// A dispenser over `costs.len()` items for `workers` claimants.
+    pub fn new(costs: &[u64], granularity: Granularity, workers: usize) -> MorselDispenser {
+        let mut prefix = Vec::with_capacity(costs.len() + 1);
+        let mut total = 0u64;
+        prefix.push(0);
+        for &c in costs {
+            total = total.saturating_add(c);
+            prefix.push(total);
+        }
+        MorselDispenser {
+            prefix,
+            cursor: CachePadded::new(AtomicUsize::new(0)),
+            claims: CachePadded::new(AtomicU64::new(0)),
+            granularity,
+            workers: workers.max(1) as u64,
+        }
+    }
+
+    /// Number of work items.
+    pub fn len(&self) -> usize {
+        self.prefix.len() - 1
+    }
+
+    /// Whether the dispenser was built over zero items.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total cost across all items.
+    pub fn total_cost(&self) -> u64 {
+        *self.prefix.last().unwrap_or(&0)
+    }
+
+    /// Claims the next morsel, or `None` when all items are claimed.
+    ///
+    /// The claimed range always contains at least one item; it extends until
+    /// its summed cost reaches the adaptive target for the current round.
+    /// CAS losses are recorded in `stats.queue_waits`.
+    pub fn claim(&self, stats: &mut WorkerStats) -> Option<Morsel> {
+        let n = self.len();
+        loop {
+            // ordering: acquire pairs with the release CAS below so a claim
+            // observes every prior cursor advance
+            let start = self.cursor.load(Ordering::Acquire);
+            if start >= n {
+                return None;
+            }
+            // ordering: ramp counter is advisory; a stale round only sizes
+            // one morsel off by a factor of two
+            let round = self.claims.load(Ordering::Relaxed) / self.workers;
+            let target = self.granularity.target(round);
+            // lint: allow(indexing) start < n and prefix has n + 1 entries
+            let base = self.prefix[start];
+            // First index whose inclusive cost meets the target, but at
+            // least one item per claim.
+            let end = self
+                .prefix
+                .partition_point(|&p| p <= base || p - base < target)
+                .min(n)
+                .max(start + 1);
+            if self
+                .cursor
+                // ordering: release publishes the claim; acquire on failure
+                // refreshes `start` for the retry
+                .compare_exchange(start, end, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                // ordering: ramp counter; see the load above
+                self.claims.fetch_add(1, Ordering::Relaxed);
+                stats.morsels += 1;
+                stats.items += (end - start) as u64;
+                // lint: allow(indexing) end <= n and prefix has n + 1 entries
+                stats.cost_units += self.prefix[end] - base;
+                return Some(Morsel { start, end });
+            }
+            stats.queue_waits += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(d: &MorselDispenser) -> (Vec<Morsel>, WorkerStats) {
+        let mut stats = WorkerStats::default();
+        let mut morsels = Vec::new();
+        while let Some(m) = d.claim(&mut stats) {
+            morsels.push(m);
+        }
+        (morsels, stats)
+    }
+
+    #[test]
+    fn morsels_cover_every_item_exactly_once() {
+        let costs: Vec<u64> = (0..100).map(|i| (i % 7) + 1).collect();
+        let d = MorselDispenser::new(&costs, Granularity::adaptive(4, 32), 3);
+        let (morsels, stats) = drain(&d);
+        let mut next = 0;
+        for m in &morsels {
+            assert_eq!(m.start, next, "morsels must be contiguous");
+            assert!(m.end > m.start, "morsels are non-empty");
+            next = m.end;
+        }
+        assert_eq!(next, 100);
+        assert_eq!(stats.items, 100);
+        assert_eq!(stats.cost_units, costs.iter().sum::<u64>());
+        assert_eq!(stats.morsels, morsels.len() as u64);
+    }
+
+    #[test]
+    fn adaptive_ramp_grows_morsels() {
+        // Unit costs, one worker: round r targets min << r, so morsel sizes
+        // must be non-decreasing until the max, and the first is the min.
+        let costs = vec![1u64; 1000];
+        let d = MorselDispenser::new(&costs, Granularity::adaptive(2, 64), 1);
+        let (morsels, _) = drain(&d);
+        assert_eq!(morsels[0].end - morsels[0].start, 2, "ramp starts at min");
+        let sizes: Vec<usize> = morsels.iter().map(|m| m.end - m.start).collect();
+        let max = *sizes.iter().max().unwrap();
+        assert_eq!(max, 64, "ramp reaches max_cost");
+        // Sizes never shrink before the tail morsel.
+        for pair in sizes[..sizes.len() - 1].windows(2) {
+            assert!(pair[1] >= pair[0], "sizes: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn fixed_granularity_is_uniform() {
+        let costs = vec![1u64; 64];
+        let d = MorselDispenser::new(&costs, Granularity::fixed(8), 4);
+        let (morsels, _) = drain(&d);
+        assert!(morsels[..morsels.len() - 1].iter().all(|m| m.end - m.start == 8));
+    }
+
+    #[test]
+    fn single_item_granularity_matches_old_fan_out() {
+        let costs = vec![100u64; 10];
+        let d = MorselDispenser::new(&costs, Granularity::single_item(), 4);
+        let (morsels, stats) = drain(&d);
+        assert_eq!(morsels.len(), 10);
+        assert!(morsels.iter().all(|m| m.end - m.start == 1));
+        assert_eq!(stats.morsels, 10);
+    }
+
+    #[test]
+    fn zero_cost_items_still_advance() {
+        let costs = vec![0u64; 5];
+        let d = MorselDispenser::new(&costs, Granularity::adaptive(10, 100), 2);
+        let (morsels, _) = drain(&d);
+        assert_eq!(morsels.iter().map(|m| m.end - m.start).sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn empty_dispenser_claims_nothing() {
+        let d = MorselDispenser::new(&[], Granularity::default(), 4);
+        let mut stats = WorkerStats::default();
+        assert_eq!(d.claim(&mut stats), None);
+        assert!(d.is_empty());
+        assert_eq!(d.total_cost(), 0);
+    }
+
+    #[test]
+    fn one_oversized_item_is_its_own_morsel() {
+        // An item costlier than max_cost must not block or merge badly.
+        let costs = vec![1, 1_000_000, 1, 1];
+        let d = MorselDispenser::new(&costs, Granularity::adaptive(2, 8), 1);
+        let (morsels, _) = drain(&d);
+        assert!(morsels.iter().any(|m| (m.start..m.end).contains(&1)));
+        assert_eq!(morsels.iter().map(|m| m.end - m.start).sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn concurrent_claims_partition_the_items() {
+        let costs: Vec<u64> = (0..5_000).map(|i| (i % 13) + 1).collect();
+        let d = MorselDispenser::new(&costs, Granularity::adaptive(4, 64), 8);
+        let claimed: Vec<Vec<Morsel>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut stats = WorkerStats::default();
+                        let mut mine = Vec::new();
+                        while let Some(m) = d.claim(&mut stats) {
+                            mine.push(m);
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("claimer")).collect()
+        });
+        let mut all: Vec<Morsel> = claimed.into_iter().flatten().collect();
+        all.sort_by_key(|m| m.start);
+        let mut next = 0;
+        for m in &all {
+            assert_eq!(m.start, next, "ranges must tile 0..n with no gap/overlap");
+            next = m.end;
+        }
+        assert_eq!(next, 5_000);
+    }
+
+    #[test]
+    fn granularity_target_ramp() {
+        let g = Granularity::adaptive(4, 64);
+        assert_eq!(g.target(0), 4);
+        assert_eq!(g.target(1), 8);
+        assert_eq!(g.target(4), 64);
+        assert_eq!(g.target(400), 64, "ramp saturates");
+        let f = Granularity::fixed(16);
+        assert_eq!(f.target(0), 16);
+        assert_eq!(f.target(9), 16);
+    }
+}

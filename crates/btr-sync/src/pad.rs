@@ -1,0 +1,88 @@
+//! Cache-line padding for hot shared state.
+//!
+//! Two atomics that live in the same cache line ping-pong that line between
+//! cores on every update even though the updates are logically independent —
+//! false sharing. [`CachePadded`] aligns (and therefore sizes) its contents
+//! to 64 bytes, the line size of every x86-64 and most aarch64 parts this
+//! workspace targets, so a padded counter owns its line outright.
+//!
+//! Use it for (a) shared cursors that every worker hammers (the morsel
+//! dispenser's claim cursor), and (b) per-worker counter slots that sit next
+//! to each other in a `Vec` (each worker writes its own slot; padding keeps
+//! neighbouring workers off each other's lines).
+
+use std::ops::{Deref, DerefMut};
+
+/// Aligns `T` to a 64-byte cache line so it never shares a line with its
+/// neighbours. `Deref`s to `T`, so `CachePadded<AtomicU64>` is used exactly
+/// like the bare atomic.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wraps `value` in its own cache line.
+    pub const fn new(value: T) -> CachePadded<T> {
+        CachePadded { value }
+    }
+
+    /// Unwraps the padded value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T: Clone> Clone for CachePadded<T> {
+    fn clone(&self) -> CachePadded<T> {
+        CachePadded::new(self.value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn padded_values_are_line_aligned_and_line_sized() {
+        assert_eq!(std::mem::align_of::<CachePadded<AtomicU64>>(), 64);
+        assert_eq!(std::mem::size_of::<CachePadded<AtomicU64>>(), 64);
+        // A vector of padded slots puts every slot on its own line.
+        let slots: Vec<CachePadded<AtomicU64>> =
+            (0..4).map(|_| CachePadded::new(AtomicU64::new(0))).collect();
+        for pair in slots.windows(2) {
+            let a = &*pair[0] as *const AtomicU64 as usize;
+            let b = &*pair[1] as *const AtomicU64 as usize;
+            assert!(b - a >= 64);
+        }
+    }
+
+    #[test]
+    fn deref_passes_through() {
+        let c = CachePadded::new(AtomicU64::new(7));
+        // ordering: single-threaded test
+        c.fetch_add(1, Ordering::Relaxed);
+        // ordering: single-threaded test
+        assert_eq!(c.load(Ordering::Relaxed), 8);
+        assert_eq!(c.into_inner().into_inner(), 8);
+        let mut m = CachePadded::new(5u32);
+        *m += 1;
+        assert_eq!(*m, 6);
+    }
+}

@@ -161,6 +161,15 @@ pub fn peek_scheme(bytes: &[u8]) -> Result<SchemeCode> {
     SchemeCode::from_u8(r.u8()?)
 }
 
+/// Reads the value count from a compressed block's frame header without
+/// decoding it. This is exactly the count the decoder will produce on
+/// success, which makes it the rows-of-output cost for decode morsels.
+pub fn peek_count(bytes: &[u8]) -> Result<usize> {
+    let mut r = Reader::new(bytes);
+    r.u8()?;
+    Ok(r.u32()? as usize)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

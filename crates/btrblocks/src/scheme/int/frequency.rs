@@ -71,23 +71,22 @@ pub fn decompress_into(
     let bitmap_len = r.u32()? as usize;
     let bitmap = RoaringBitmap::deserialize(r.take(bitmap_len)?)?;
     let mut exceptions = scratch.lease_i32(0);
+    let mut positions = scratch.lease_u32(bitmap.cardinality() as usize);
     let result = (|| -> Result<()> {
         scheme::decompress_int_into(r, cfg, scratch, &mut exceptions)?;
         if bitmap.cardinality() as usize != exceptions.len() {
             return Err(Error::Corrupt("frequency exception count mismatch"));
         }
-        out.clear();
-        out.resize(count, top);
-        for (pos, &val) in bitmap.iter().zip(exceptions.iter()) {
-            let pos = pos as usize;
-            if pos >= count {
-                return Err(Error::Corrupt("frequency exception position out of range"));
-            }
-            // lint: allow(indexing) pos was range-checked against count above
-            out[pos] = val;
+        positions.extend(bitmap.iter());
+        // Splat the top value, then patch the exceptions in: both steps are
+        // vectorized, with one range check over all positions up front.
+        crate::simd::fill_i32(top, count, cfg.simd, out);
+        if !crate::simd::patch_i32(out, &positions, &exceptions, cfg.simd) {
+            return Err(Error::Corrupt("frequency exception position out of range"));
         }
         Ok(())
     })();
+    scratch.release_u32(positions);
     scratch.release_i32(exceptions);
     result
 }

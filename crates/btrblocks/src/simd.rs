@@ -363,6 +363,259 @@ unsafe fn dict_decode_u64_avx2(codes: &[u32], dict: &[u64], out: *mut u64) {
     }
 }
 
+// ------------------------------------------------ Frequency fill + patch
+
+/// Fills `out` with `count` copies of `value`, clearing it first (the
+/// Frequency scheme's "everything is the top value" base layer). The AVX2
+/// path splat-stores 8-wide and may overshoot into [`DECODE_SLACK`].
+pub fn fill_i32(value: i32, count: usize, mode: SimdMode, out: &mut Vec<i32>) {
+    out.clear();
+    out.reserve(count + DECODE_SLACK);
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2(mode) {
+        // SAFETY: capacity reserved above includes DECODE_SLACK, so the
+        // 8-wide splat stores may overshoot `count` by up to one vector.
+        unsafe {
+            let dst = out.as_mut_ptr();
+            use std::arch::x86_64::*;
+            let splat = _mm256_set1_epi32(value);
+            let mut i = 0usize;
+            while i < count {
+                _mm256_storeu_si256(dst.add(i) as *mut __m256i, splat);
+                i += 8;
+            }
+            out.set_len(count);
+        }
+        return;
+    }
+    let _ = mode;
+    out.resize(count, value);
+}
+
+/// Fills `out` with `count` copies of `value`; see [`fill_i32`].
+pub fn fill_f64(value: f64, count: usize, mode: SimdMode, out: &mut Vec<f64>) {
+    out.clear();
+    out.reserve(count + DECODE_SLACK);
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2(mode) {
+        // SAFETY: as in `fill_i32`, with 4-wide f64 stores overshooting into
+        // the DECODE_SLACK reserve.
+        unsafe {
+            let dst = out.as_mut_ptr();
+            use std::arch::x86_64::*;
+            let splat = _mm256_set1_pd(value);
+            let mut i = 0usize;
+            while i < count {
+                _mm256_storeu_pd(dst.add(i), splat);
+                i += 4;
+            }
+            out.set_len(count);
+        }
+        return;
+    }
+    let _ = mode;
+    out.resize(count, value);
+}
+
+/// Validates that every position is `< limit`: the range check of the
+/// Frequency scheme's exception patch, vectorized as an 8-wide unsigned max
+/// reduction instead of a branch per element.
+pub fn positions_in_range(positions: &[u32], limit: usize, mode: SimdMode) -> bool {
+    if positions.is_empty() {
+        return true;
+    }
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2(mode) {
+        // SAFETY: positions is non-empty; reads stay within the slice
+        // (8-wide body, scalar tail), no writes.
+        let max = unsafe { max_u32_avx2(positions) };
+        return (max as usize) < limit;
+    }
+    let _ = mode;
+    let max = positions.iter().copied().max().unwrap_or(0);
+    (max as usize) < limit
+}
+
+/// Applies Frequency exceptions: `out[positions[i]] = values[i]`. Returns
+/// `false` (writing nothing) if any position is out of range — the caller
+/// maps that to a corruption error. With a vectorized range check up front,
+/// the patch loop itself needs no per-element branch.
+pub fn patch_i32(out: &mut [i32], positions: &[u32], values: &[i32], mode: SimdMode) -> bool {
+    debug_assert_eq!(positions.len(), values.len());
+    if !positions_in_range(positions, out.len(), mode) {
+        return false;
+    }
+    for (&pos, &v) in positions.iter().zip(values) {
+        // lint: allow(indexing) every position was range-checked above
+        out[pos as usize] = v;
+    }
+    true
+}
+
+/// Applies Frequency exceptions for f64; see [`patch_i32`].
+pub fn patch_f64(out: &mut [f64], positions: &[u32], values: &[f64], mode: SimdMode) -> bool {
+    debug_assert_eq!(positions.len(), values.len());
+    if !positions_in_range(positions, out.len(), mode) {
+        return false;
+    }
+    for (&pos, &v) in positions.iter().zip(values) {
+        // lint: allow(indexing) every position was range-checked above
+        out[pos as usize] = v;
+    }
+    true
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+// SAFETY: caller must ensure AVX2 is available and `values` is non-empty;
+// all reads stay within `values` (8-wide body, scalar tail), no writes.
+unsafe fn max_u32_avx2(values: &[u32]) -> u32 {
+    use std::arch::x86_64::*;
+    let n = values.len();
+    let mut acc = _mm256_setzero_si256();
+    let mut i = 0usize;
+    while i + 8 <= n {
+        let v = _mm256_loadu_si256(values.as_ptr().add(i) as *const __m256i);
+        acc = _mm256_max_epu32(acc, v);
+        i += 8;
+    }
+    let mut lanes = [0u32; 8];
+    _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, acc);
+    let mut max = lanes.iter().copied().max().unwrap_or(0);
+    while i < n {
+        max = max.max(*values.get_unchecked(i));
+        i += 1;
+    }
+    max
+}
+
+// ---------------------------------------------------------- Zone-map min/max
+
+/// Min/max over an i32 slice (zone-map construction); `None` when empty.
+pub fn minmax_i32(values: &[i32], mode: SimdMode) -> Option<(i32, i32)> {
+    if values.is_empty() {
+        return None;
+    }
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2(mode) {
+        // SAFETY: values is non-empty; reads stay within the slice.
+        return Some(unsafe { minmax_i32_avx2(values) });
+    }
+    let _ = mode;
+    let mut min = i32::MAX;
+    let mut max = i32::MIN;
+    for &x in values {
+        min = min.min(x);
+        max = max.max(x);
+    }
+    Some((min, max))
+}
+
+/// NaN-aware min/max over an f64 slice (zone-map construction): returns
+/// `(min, max, has_nan)` over the non-NaN values, with the
+/// `(INFINITY, NEG_INFINITY)` identity when every value is NaN or the slice
+/// is empty (callers detect that as `min > max`).
+pub fn minmax_f64(values: &[f64], mode: SimdMode) -> (f64, f64, bool) {
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2(mode) && !values.is_empty() {
+        // SAFETY: values is non-empty; reads stay within the slice.
+        return unsafe { minmax_f64_avx2(values) };
+    }
+    let _ = mode;
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut has_nan = false;
+    for &x in values {
+        if x.is_nan() {
+            has_nan = true;
+        } else {
+            min = min.min(x);
+            max = max.max(x);
+        }
+    }
+    (min, max, has_nan)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+// SAFETY: caller must ensure AVX2 is available and `values` is non-empty;
+// all reads stay within `values` (8-wide body, scalar tail), no writes.
+unsafe fn minmax_i32_avx2(values: &[i32]) -> (i32, i32) {
+    use std::arch::x86_64::*;
+    let n = values.len();
+    let mut vmin = _mm256_set1_epi32(i32::MAX);
+    let mut vmax = _mm256_set1_epi32(i32::MIN);
+    let mut i = 0usize;
+    while i + 8 <= n {
+        let v = _mm256_loadu_si256(values.as_ptr().add(i) as *const __m256i);
+        vmin = _mm256_min_epi32(vmin, v);
+        vmax = _mm256_max_epi32(vmax, v);
+        i += 8;
+    }
+    let mut lo = [0i32; 8];
+    let mut hi = [0i32; 8];
+    _mm256_storeu_si256(lo.as_mut_ptr() as *mut __m256i, vmin);
+    _mm256_storeu_si256(hi.as_mut_ptr() as *mut __m256i, vmax);
+    let mut min = lo.iter().copied().min().unwrap_or(i32::MAX);
+    let mut max = hi.iter().copied().max().unwrap_or(i32::MIN);
+    while i < n {
+        let x = *values.get_unchecked(i);
+        min = min.min(x);
+        max = max.max(x);
+        i += 1;
+    }
+    (min, max)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+// SAFETY: caller must ensure AVX2 is available and `values` is non-empty;
+// all reads stay within `values` (4-wide body, scalar tail), no writes.
+unsafe fn minmax_f64_avx2(values: &[f64]) -> (f64, f64, bool) {
+    use std::arch::x86_64::*;
+    let n = values.len();
+    let pos_inf = _mm256_set1_pd(f64::INFINITY);
+    let neg_inf = _mm256_set1_pd(f64::NEG_INFINITY);
+    let mut vmin = pos_inf;
+    let mut vmax = neg_inf;
+    let mut vnan = _mm256_setzero_pd();
+    let mut i = 0usize;
+    while i + 4 <= n {
+        let v = _mm256_loadu_pd(values.as_ptr().add(i));
+        // NaN lanes are masked to the min/max identities so they never
+        // poison the accumulators, but they do set the NaN flag.
+        let nan = _mm256_cmp_pd::<_CMP_UNORD_Q>(v, v);
+        vnan = _mm256_or_pd(vnan, nan);
+        vmin = _mm256_min_pd(vmin, _mm256_blendv_pd(v, pos_inf, nan));
+        vmax = _mm256_max_pd(vmax, _mm256_blendv_pd(v, neg_inf, nan));
+        i += 4;
+    }
+    let mut lo = [0f64; 4];
+    let mut hi = [0f64; 4];
+    _mm256_storeu_pd(lo.as_mut_ptr(), vmin);
+    _mm256_storeu_pd(hi.as_mut_ptr(), vmax);
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for l in lo {
+        min = min.min(l);
+    }
+    for h in hi {
+        max = max.max(h);
+    }
+    let mut has_nan = _mm256_movemask_pd(vnan) != 0;
+    while i < n {
+        let x = *values.get_unchecked(i);
+        if x.is_nan() {
+            has_nan = true;
+        } else {
+            min = min.min(x);
+            max = max.max(x);
+        }
+        i += 1;
+    }
+    (min, max, has_nan)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -451,6 +704,106 @@ mod tests {
             let mut out = vec![-1; 100];
             dict_decode_i32_into(&codes, &dict, mode, &mut out);
             assert_eq!(out, vec![3, 0, 7]);
+        }
+    }
+
+    #[test]
+    fn fill_both_paths_match_including_dirty_out() {
+        for mode in both_modes() {
+            for count in [0usize, 1, 7, 8, 9, 63, 64, 100] {
+                let mut out = vec![99i32; 5]; // dirty buffer must be cleared
+                fill_i32(-42, count, mode, &mut out);
+                assert_eq!(out, vec![-42; count], "mode {mode:?} count {count}");
+                let mut out = vec![3.5f64; 11];
+                fill_f64(0.25, count, mode, &mut out);
+                assert_eq!(out, vec![0.25; count], "mode {mode:?} count {count}");
+            }
+        }
+    }
+
+    #[test]
+    fn patch_both_paths_match() {
+        for mode in both_modes() {
+            let mut base = vec![7i32; 50];
+            let positions: Vec<u32> = vec![0, 3, 8, 17, 31, 49];
+            let values: Vec<i32> = vec![-1, -2, -3, -4, -5, -6];
+            assert!(patch_i32(&mut base, &positions, &values, mode));
+            let mut expected = vec![7i32; 50];
+            for (&p, &v) in positions.iter().zip(&values) {
+                expected[p as usize] = v;
+            }
+            assert_eq!(base, expected, "mode {mode:?}");
+
+            let mut based = vec![1.0f64; 20];
+            assert!(patch_f64(&mut based, &[2, 19], &[f64::NAN, -0.0], mode));
+            assert!(based[2].is_nan());
+            assert_eq!(based[19].to_bits(), (-0.0f64).to_bits());
+        }
+    }
+
+    #[test]
+    fn patch_rejects_out_of_range_without_writing() {
+        for mode in both_modes() {
+            let mut base = vec![7i32; 10];
+            // One in-range position followed by an out-of-range one: the
+            // whole patch must be refused with no partial writes.
+            assert!(!patch_i32(&mut base, &[1, 10], &[5, 6], mode));
+            assert_eq!(base, vec![7; 10], "mode {mode:?} must not partially patch");
+            let mut based = vec![0.0f64; 4];
+            assert!(!patch_f64(&mut based, &[4], &[1.0], mode));
+            assert_eq!(based, vec![0.0; 4]);
+            // Empty patch always succeeds, even on an empty output.
+            assert!(patch_i32(&mut [], &[], &[], mode));
+        }
+    }
+
+    #[test]
+    fn positions_in_range_tail_lengths() {
+        for mode in both_modes() {
+            for n in 0..40usize {
+                let positions: Vec<u32> = (0..n as u32).collect();
+                assert!(positions_in_range(&positions, n.max(1), mode));
+                if n > 0 {
+                    assert!(!positions_in_range(&positions, n - 1, mode), "n = {n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn minmax_i32_both_paths_match() {
+        for mode in both_modes() {
+            assert_eq!(minmax_i32(&[], mode), None);
+            assert_eq!(minmax_i32(&[5], mode), Some((5, 5)));
+            for n in [1usize, 7, 8, 9, 33, 100] {
+                let values: Vec<i32> = (0..n as i32).map(|i| (i * 37 % 91) - 45).collect();
+                let min = values.iter().copied().min().unwrap();
+                let max = values.iter().copied().max().unwrap();
+                assert_eq!(minmax_i32(&values, mode), Some((min, max)), "mode {mode:?} n {n}");
+            }
+            assert_eq!(minmax_i32(&[i32::MIN, i32::MAX], mode), Some((i32::MIN, i32::MAX)));
+        }
+    }
+
+    #[test]
+    fn minmax_f64_is_nan_aware_on_both_paths() {
+        for mode in both_modes() {
+            let (min, max, nan) = minmax_f64(&[], mode);
+            assert!(min > max && !nan, "empty slice yields the fold identity");
+            let (min, max, nan) = minmax_f64(&[f64::NAN, f64::NAN, f64::NAN], mode);
+            assert!(min > max && nan, "all-NaN yields identity plus the flag");
+            let values = [3.0, f64::NAN, -7.5, 0.0, f64::NAN, 11.25, -0.0];
+            let (min, max, nan) = minmax_f64(&values, mode);
+            assert_eq!((min, max), (-7.5, 11.25), "mode {mode:?}");
+            assert!(nan);
+            // NaN in the scalar tail (length not a multiple of 4) counts too.
+            let values = [1.0, 2.0, 3.0, 4.0, f64::NAN];
+            let (min, max, nan) = minmax_f64(&values, mode);
+            assert_eq!((min, max), (1.0, 4.0));
+            assert!(nan, "tail NaN must set the flag under mode {mode:?}");
+            let (min, max, nan) = minmax_f64(&[f64::INFINITY, f64::NEG_INFINITY], mode);
+            assert_eq!((min, max), (f64::NEG_INFINITY, f64::INFINITY));
+            assert!(!nan);
         }
     }
 
